@@ -1,0 +1,90 @@
+"""§6.3 effectiveness results: FSM-detection accuracy, LossCheck
+localization scoreboard, and generated-code volume.
+"""
+
+from repro.analysis import detect_fsms
+from repro.testbed import BUG_IDS, SPECS, load_design, run_losscheck
+from repro.testbed.debug_configs import instrument_for_debugging
+
+LOSS_BUGS = ["D1", "D2", "D3", "D4", "D11", "C2", "C4"]
+
+
+def _fsm_accuracy():
+    manual = detected = false_pos = false_neg = 0
+    for bug_id in BUG_IDS:
+        spec = SPECS[bug_id]
+        found = {f.name for f in detect_fsms(load_design(bug_id).top)}
+        manual += len(spec.manual_fsms)
+        detected += len(found)
+        false_pos += len(found - set(spec.manual_fsms))
+        false_neg += len(set(spec.manual_fsms) - found)
+    return manual, detected, false_pos, false_neg
+
+
+def test_fsm_detection_accuracy(benchmark, emit):
+    manual, detected, false_pos, false_neg = benchmark.pedantic(
+        _fsm_accuracy, rounds=1, iterations=1
+    )
+    text = (
+        "FSM Monitor detection accuracy (paper: 0 FP, 5 FN of 32)\n"
+        "manually identified FSMs: %d\n"
+        "detected: %d\nfalse positives: %d\nfalse negatives: %d"
+        % (manual, detected, false_pos, false_neg)
+    )
+    emit("effectiveness_fsm_accuracy.txt", text)
+    assert (manual, false_pos, false_neg) == (32, 0, 5)
+
+
+def _losscheck_scoreboard():
+    rows = []
+    for bug_id in LOSS_BUGS:
+        outcome = run_losscheck(bug_id)
+        rows.append(
+            (
+                bug_id,
+                outcome.localized,
+                list(outcome.result.localized),
+                outcome.false_positives,
+                sorted(outcome.result.filtered),
+                outcome.generated_lines,
+            )
+        )
+    return rows
+
+
+def test_losscheck_scoreboard(benchmark, emit):
+    rows = benchmark.pedantic(_losscheck_scoreboard, rounds=1, iterations=1)
+    lines = [
+        "LossCheck localization (paper: 6/7 localized; D1 has 1 FP; D11 "
+        "is the mis-filtered FN)",
+        "%-5s %-10s %-28s %-14s %-20s %8s"
+        % ("bug", "localized", "reported", "false pos.", "filtered", "gen.LoC"),
+    ]
+    for bug_id, localized, reported, fps, filtered, loc in rows:
+        lines.append(
+            "%-5s %-10s %-28s %-14s %-20s %8d"
+            % (bug_id, "yes" if localized else "NO",
+               ",".join(reported) or "-", ",".join(fps) or "-",
+               ",".join(filtered) or "-", loc)
+        )
+    emit("effectiveness_losscheck.txt", "\n".join(lines))
+    localized_count = sum(1 for _, loc, *_ in rows if loc)
+    assert localized_count == 6
+
+
+def test_generated_code_volume(benchmark, emit):
+    def volumes():
+        return {
+            bug_id: instrument_for_debugging(bug_id, 8192).generated_lines
+            for bug_id in BUG_IDS
+        }
+
+    lines_per_bug = benchmark.pedantic(volumes, rounds=1, iterations=1)
+    average = sum(lines_per_bug.values()) / len(lines_per_bug)
+    text = "\n".join(
+        ["Generated Verilog per bug (SignalCat + monitors)"]
+        + ["%-5s %5d" % (b, lines_per_bug[b]) for b in BUG_IDS]
+        + ["average: %.1f lines" % average]
+    )
+    emit("effectiveness_generated_loc.txt", text)
+    assert average > 20

@@ -1,0 +1,104 @@
+"""Figure 2: resource overhead of SignalCat + the three monitors.
+
+For every testbed bug, instruments the buggy design with the full
+toolchain (FSM Monitor, Statistics Monitor, Dependency Monitor,
+SignalCat in on-FPGA mode), sweeps the recording-buffer size over
+1K/2K/4K/8K entries, and reports the block RAM / register / logic
+overheads — grouped like the paper's figure (HARP designs on top,
+KC705 designs below). Also reports the §6.4 frequency outcome per bug.
+"""
+
+import pytest
+
+from repro.resources import (
+    achievable_frequency,
+    estimate_resources,
+    estimate_timing,
+    platform_for,
+)
+from repro.testbed import HARP_BUGS, KC705_BUGS, SPECS, load_design
+from repro.testbed.debug_configs import instrument_for_debugging
+
+BUFFER_SIZES = [1024, 2048, 4096, 8192]
+
+
+def _series_for(bug_id):
+    spec = SPECS[bug_id]
+    platform = platform_for(spec)
+    base = estimate_resources(load_design(bug_id))
+    rows = []
+    for depth in BUFFER_SIZES:
+        instr = instrument_for_debugging(bug_id, buffer_depth=depth)
+        overhead = estimate_resources(instr.module) - base
+        report = estimate_timing(instr.module, platform)
+        rows.append(
+            {
+                "depth": depth,
+                "bram_mbits": overhead.bram_bits / 1e6,
+                "registers": overhead.registers,
+                "logic": overhead.logic_cells,
+                "fmax": achievable_frequency(report, spec.target_mhz),
+            }
+        )
+    return rows
+
+
+def _render(group_name, bug_ids):
+    lines = [
+        "%s platform" % group_name,
+        "%-5s %7s | %12s %10s %8s | %s"
+        % ("bug", "buffer", "BRAM(Mbit)", "registers", "logic", "freq(MHz)"),
+    ]
+    for bug_id in bug_ids:
+        for row in _series_for(bug_id):
+            lines.append(
+                "%-5s %7d | %12.3f %10d %8d | %d"
+                % (
+                    bug_id,
+                    row["depth"],
+                    row["bram_mbits"],
+                    row["registers"],
+                    row["logic"],
+                    row["fmax"],
+                )
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def test_figure2_harp_group(benchmark, emit):
+    text = benchmark.pedantic(
+        lambda: _render("Intel HARP", HARP_BUGS), rounds=1, iterations=1
+    )
+    emit("figure2_overhead_harp.txt", text)
+    assert "D3" in text and "C2" in text
+
+
+def test_figure2_kc705_group(benchmark, emit):
+    text = benchmark.pedantic(
+        lambda: _render("Xilinx KC705", KC705_BUGS), rounds=1, iterations=1
+    )
+    emit("figure2_overhead_kc705.txt", text)
+    assert "D4" in text and "S3" in text
+
+
+def test_figure2_bram_linearity(benchmark):
+    """The headline property: BRAM overhead is linear in buffer size."""
+
+    def check(bug_id="D1"):
+        rows = _series_for(bug_id)
+        ratios = [
+            rows[i + 1]["bram_mbits"] / rows[i]["bram_mbits"]
+            for i in range(len(rows) - 1)
+        ]
+        return ratios
+
+    ratios = benchmark(check)
+    for ratio in ratios:
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+
+def test_figure2_instrumentation_speed(benchmark):
+    """Time to instrument one design with the full toolchain."""
+    instr = benchmark(instrument_for_debugging, "C2", 8192)
+    assert instr.recorder_width > 0

@@ -1,0 +1,107 @@
+"""Figure 3: LossCheck's register/logic overhead, normalized to the
+platform's total resources (HARP: D1, D2, D3, C2; KC705: D4, C4).
+
+Matches the paper's claims: below 1.7% of the Intel platform and below
+0.7% of the Xilinx platform, with no BRAM cost (LossCheck's shadow
+state is bounded, §4.5.2). Also reports the §6.4 frequency outcome.
+"""
+
+from repro.core import LossCheck
+from repro.resources import (
+    achievable_frequency,
+    estimate_resources,
+    estimate_timing,
+    platform_for,
+)
+from repro.testbed import FIGURE3_HARP, FIGURE3_KC705, SPECS, load_design
+
+
+def _losscheck_overhead(bug_id):
+    spec = SPECS[bug_id]
+    platform = platform_for(spec)
+    design = load_design(bug_id)
+    base = estimate_resources(design)
+    lc = LossCheck(
+        design,
+        source=spec.losscheck.source,
+        sink=spec.losscheck.sink,
+        source_valid=spec.losscheck.source_valid,
+    )
+    instrumented = estimate_resources(lc.module)
+    overhead = instrumented - base
+    norm = overhead.normalized(platform)
+    report = estimate_timing(lc.module, platform)
+    return {
+        "registers_pct": norm["registers"] * 100,
+        "logic_pct": norm["logic"] * 100,
+        "bram_bits": overhead.bram_bits,
+        "fmax": achievable_frequency(report, spec.target_mhz),
+        "generated_lines": lc.generated_line_count(),
+    }
+
+
+def _render(group_name, bug_ids, limit_pct):
+    lines = [
+        "%s (normalized to platform totals; paper bound < %.1f%%)"
+        % (group_name, limit_pct),
+        "%-5s %14s %10s %10s %10s"
+        % ("bug", "registers(%)", "logic(%)", "gen.LoC", "freq(MHz)"),
+    ]
+    rows = {}
+    for bug_id in bug_ids:
+        row = _losscheck_overhead(bug_id)
+        rows[bug_id] = row
+        lines.append(
+            "%-5s %14.4f %10.4f %10d %10d"
+            % (
+                bug_id,
+                row["registers_pct"],
+                row["logic_pct"],
+                row["generated_lines"],
+                row["fmax"],
+            )
+        )
+    return "\n".join(lines), rows
+
+
+def test_figure3_harp(benchmark, emit):
+    text, rows = benchmark.pedantic(
+        lambda: _render("Intel HARP", FIGURE3_HARP, 1.7), rounds=1, iterations=1
+    )
+    emit("figure3_losscheck_harp.txt", text)
+    for bug_id, row in rows.items():
+        assert row["registers_pct"] < 1.7, bug_id
+        assert row["logic_pct"] < 1.7, bug_id
+        assert row["bram_bits"] == 0, "LossCheck state is bounded (§4.5.2)"
+
+
+def test_figure3_kc705(benchmark, emit):
+    text, rows = benchmark.pedantic(
+        lambda: _render("Xilinx KC705", FIGURE3_KC705, 0.7), rounds=1, iterations=1
+    )
+    emit("figure3_losscheck_kc705.txt", text)
+    for bug_id, row in rows.items():
+        assert row["registers_pct"] < 0.7, bug_id
+        assert row["logic_pct"] < 0.7, bug_id
+
+
+def test_figure3_optimus_frequency_fallback(benchmark):
+    """LossCheck, like the monitors, costs Optimus its 400 MHz (§6.4)."""
+    row = benchmark(_losscheck_overhead, "D1")
+    assert row["fmax"] == SPECS["D1"].target_mhz
+
+
+def test_figure3_instrumentation_speed(benchmark):
+    spec = SPECS["C2"].losscheck
+    design = load_design("C2")
+
+    def build():
+        return LossCheck(
+            design,
+            source=spec.source,
+            sink=spec.sink,
+            source_valid=spec.source_valid,
+        )
+
+    lc = benchmark(build)
+    assert lc.monitored

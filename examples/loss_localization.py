@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""LossCheck walkthrough on the paper's running example (section 4.5).
+
+Shows every stage of the tool: the propagation-relation table, the
+generated shadow-variable Verilog (A/V/P/N per Equations 1 and 2),
+runtime loss detection, and ground-truth false-positive filtering.
+
+Run:  python examples/loss_localization.py
+"""
+
+from repro.core import LossCheck
+from repro.hdl import elaborate, parse
+from repro.hdl.codegen import generate_expression
+
+DESIGN = """
+module lossy (
+    input wire clk,
+    input wire in_valid,
+    input wire [7:0] in,
+    input wire cond_a,
+    input wire cond_b,
+    input wire [7:0] a,
+    output reg [7:0] out
+);
+    reg [7:0] b;
+    always @(posedge clk) begin
+        // buggy code (b's value can be lost)
+        if (cond_a) out <= a;
+        else if (cond_b) out <= b;
+        if (in_valid) b <= in;
+    end
+endmodule
+"""
+
+
+def overwrite_b(sim):
+    """Failure scenario: two valid inputs while out prefers channel a."""
+    sim["cond_a"] = 1
+    sim["a"] = 0xEE
+    sim["in_valid"] = 1
+    for value in (0x11, 0x22):
+        sim["in"] = value
+        sim.step()
+    sim["in_valid"] = 0
+    sim.step(3)
+
+
+def main():
+    design = elaborate(parse(DESIGN), top="lossy")
+    losscheck = LossCheck(design, source="in", sink="out", source_valid="in_valid")
+
+    print("== Static analysis: propagation relations (paper 4.5.1) ==")
+    for relation in losscheck.relation_table().relations:
+        condition = (
+            generate_expression(relation.condition)
+            if relation.condition is not None
+            else "1"
+        )
+        print("  %-4s ~~> %-4s  when %s" % (relation.src, relation.dst, condition))
+    print("registers on the in -> out path:", sorted(losscheck.path))
+    print("monitored:", losscheck.monitored)
+    print()
+
+    print("== Generated shadow logic (paper 4.5.2, Equations 1 and 2) ==")
+    print(losscheck.generated_verilog())
+
+    print("== Runtime analysis ==")
+    result = losscheck.analyze(overwrite_b)
+    for warning in result.warnings:
+        print(" ", warning)
+    print("localized root cause:", result.localized)
+    assert result.localized == ["b"]
+    print()
+    print(
+        "b held a valid value that was overwritten before it propagated\n"
+        "to out -- exactly the paper's diagnosis for this snippet."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro: reproduction of *Debugging in the Brave New World of
+Reconfigurable Hardware* (ASPLOS 2022).
+
+Subpackages
+-----------
+``repro.hdl``
+    Verilog-subset lexer/parser/AST/codegen and design elaboration.
+``repro.sim``
+    Cycle-accurate two-state simulator, testbench helpers, IP models.
+``repro.analysis``
+    Static analyses: dependency graphs, path constraints, FSM detection,
+    data-propagation relations.
+``repro.core``
+    The paper's five debugging tools: SignalCat, FSM Monitor, Dependency
+    Monitor, Statistics Monitor, LossCheck.
+``repro.study``
+    The 68-bug study database and taxonomy (Table 1).
+``repro.testbed``
+    The 20 reliably-reproducible bugs (Table 2) with push-button harness.
+``repro.resources``
+    Synthesis resource/timing estimation for the overhead evaluation
+    (Figures 2 and 3).
+"""
+
+__version__ = "1.0.0"
+
+from .hdl import elaborate, parse  # noqa: E402
+from .sim import Simulator, Testbench  # noqa: E402
+from .core import (  # noqa: E402
+    DependencyMonitor,
+    FSMMonitor,
+    LossCheck,
+    Mode,
+    SignalCat,
+    StatisticsMonitor,
+)
+
+__all__ = [
+    "parse",
+    "elaborate",
+    "Simulator",
+    "Testbench",
+    "SignalCat",
+    "Mode",
+    "FSMMonitor",
+    "DependencyMonitor",
+    "StatisticsMonitor",
+    "LossCheck",
+    "__version__",
+]

@@ -1,0 +1,180 @@
+"""Static FSM detection heuristics (FSM Monitor's static half, §4.2).
+
+Hardware FSMs follow fixed code patterns. Per the paper, a register is an
+FSM state variable when:
+
+* transitions are *conditional assignments* of constant states (e.g. inside
+  a case arm or if branch), and the register itself appears in at least one
+  of those conditions (typically as the case subject);
+* the design performs no arithmetic on the register (that is a counter,
+  not an FSM);
+* the design does not select individual bits of the register.
+
+These heuristics can produce false negatives — e.g. two-process FSMs whose
+state register is assigned from a ``next_state`` variable — matching the
+0-false-positive / 5-false-negative result over the paper's 32
+manually-identified FSMs (§4.2, §6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hdl import ast_nodes as ast
+from .assignments import analyze_module, expression_identifiers
+
+_ARITH_OPS = frozenset(["+", "-", "*", "/", "%", "<<", ">>", "<<<", ">>>"])
+
+
+@dataclass
+class FSMTransition:
+    """One detected state transition.
+
+    ``from_state`` is None when the assignment is not guarded by an
+    equality test on the state register (e.g. a reset arc from any state).
+    """
+
+    from_state: Optional[int]
+    to_state: int
+    condition: Optional[ast.Expression]
+    lineno: int = 0
+
+
+@dataclass
+class DetectedFSM:
+    """A detected FSM register with its state space and transition arcs."""
+
+    name: str
+    width: int
+    states: set = field(default_factory=set)
+    transitions: list = field(default_factory=list)
+    clock: Optional[str] = None
+
+
+def _constant_value(expr):
+    if isinstance(expr, ast.Number):
+        return expr.value
+    return None
+
+
+def _collect_disqualified(module):
+    """Names used arithmetically or bit-selected anywhere in the design."""
+    disqualified = set()
+    for node in module.walk():
+        if isinstance(node, ast.BinaryOp) and node.op in _ARITH_OPS:
+            disqualified.update(expression_identifiers(node))
+        elif isinstance(node, ast.UnaryOp) and node.op == "-":
+            disqualified.update(expression_identifiers(node))
+        elif isinstance(node, (ast.Index, ast.PartSelect, ast.IndexedPartSelect)):
+            if isinstance(node.var, ast.Identifier):
+                disqualified.add(node.var.name)
+    return disqualified
+
+
+def _equality_states(condition, name):
+    """Constants compared (positively) for equality against *name*.
+
+    Negated subtrees (``!(state == IDLE)`` guards synthesized for case
+    arm priority) are skipped: they exclude states rather than select
+    them.
+    """
+    states = []
+    if condition is None:
+        return states
+
+    def visit(node):
+        if isinstance(node, ast.UnaryOp) and node.op == "!":
+            return
+        if isinstance(node, ast.BinaryOp) and node.op == "==":
+            left, right = node.left, node.right
+            value = None
+            if isinstance(left, ast.Identifier) and left.name == name:
+                value = _constant_value(right)
+            elif isinstance(right, ast.Identifier) and right.name == name:
+                value = _constant_value(left)
+            if value is not None:
+                states.append(value)
+                return
+        for child in node.children():
+            visit(child)
+
+    visit(condition)
+    return states
+
+
+def detect_fsms(module):
+    """Detect FSM registers in an elaborated flat module.
+
+    Returns a list of :class:`DetectedFSM`, ordered by register name.
+    """
+    view = analyze_module(module)
+    disqualified = _collect_disqualified(module)
+    input_ports = {
+        p.name for p in module.ports if p.direction is ast.PortDirection.INPUT
+    }
+    results = []
+    for decl in module.declarations():
+        name = decl.name
+        if decl.kind is not ast.NetKind.REG or decl.array is not None:
+            continue
+        if name in disqualified or name in input_ports:
+            continue
+        records = view.assignments_to(name)
+        if not records or any(not r.sequential for r in records):
+            continue
+        states = set()
+        transitions = []
+        self_in_condition = False
+        ok = True
+        for record in records:
+            to_state = _constant_value(record.rhs)
+            if to_state is None:
+                if (
+                    isinstance(record.rhs, ast.Identifier)
+                    and record.rhs.name == name
+                ):
+                    continue  # explicit hold, not a transition
+                ok = False
+                break
+            if record.condition is None:
+                ok = False  # unconditional constant: a tied register
+                break
+            from_states = _equality_states(record.condition, name)
+            if from_states:
+                self_in_condition = True
+            states.add(to_state)
+            states.update(from_states)
+            if from_states:
+                for from_state in from_states:
+                    transitions.append(
+                        FSMTransition(
+                            from_state=from_state,
+                            to_state=to_state,
+                            condition=record.condition,
+                            lineno=record.lineno,
+                        )
+                    )
+            else:
+                transitions.append(
+                    FSMTransition(
+                        from_state=None,
+                        to_state=to_state,
+                        condition=record.condition,
+                        lineno=record.lineno,
+                    )
+                )
+        if not ok or not self_in_condition or len(states) < 2:
+            continue
+        clock = next((r.clock for r in records if r.clock), None)
+        results.append(
+            DetectedFSM(
+                name=name,
+                width=decl.bit_width,
+                states=states,
+                transitions=transitions,
+                clock=clock,
+            )
+        )
+    results.sort(key=lambda fsm: fsm.name)
+    return results

@@ -1,0 +1,117 @@
+"""Declarative IP models for the static analyses (§4.3, §4.5.1, §5).
+
+Dependency Monitor and LossCheck cannot see inside closed-source IP blocks,
+so — exactly as the paper prescribes — developers provide a model of each
+IP's input/output relationships. A model lists:
+
+* :class:`IPFlow` — data flows ``src_port -> dst_port`` with a latency in
+  cycles and the ports that gate the flow;
+* :class:`IPLossRule` — conditions (expressed over the IP's ports) under
+  which the IP itself drops data, e.g. a FIFO write while full.
+
+The paper implements models for ``altsyncram``, ``scfifo`` and ``dcfifo``
+(394 lines of Python+Verilog, §5); :data:`DEFAULT_IP_MODELS` provides the
+same three plus the SignalCat recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IPFlow:
+    """One data flow through an IP: src port propagates to dst port."""
+
+    src_port: str
+    dst_port: str
+    #: Cycles of latency through the IP (FIFOs/BRAMs are registered: >= 1).
+    latency: int = 1
+    #: Template for the propagation condition over port connections.
+    #: ``{port}`` placeholders are substituted with connected expressions.
+    condition: str = ""
+
+
+@dataclass
+class IPLossRule:
+    """A condition under which the IP drops data presented on a port."""
+
+    port: str
+    #: Condition template over port connections ({port} placeholders).
+    condition: str
+    description: str
+
+
+@dataclass
+class IPAnalysisModel:
+    """Dependency/propagation model of one blackbox IP."""
+
+    name: str
+    flows: list = field(default_factory=list)
+    loss_rules: list = field(default_factory=list)
+
+
+ALTSYNCRAM_MODEL = IPAnalysisModel(
+    name="altsyncram",
+    flows=[
+        IPFlow("data_a", "q_a", latency=2, condition="{wren_a}"),
+        IPFlow("data_a", "q_b", latency=2, condition="{wren_a}"),
+        IPFlow("data_b", "q_a", latency=2, condition="{wren_b}"),
+        IPFlow("data_b", "q_b", latency=2, condition="{wren_b}"),
+        IPFlow("address_a", "q_a", latency=1),
+        IPFlow("address_b", "q_b", latency=1),
+    ],
+)
+
+SCFIFO_MODEL = IPAnalysisModel(
+    name="scfifo",
+    flows=[
+        IPFlow("data", "q", latency=1, condition="{wrreq} && !{full}"),
+        IPFlow("rdreq", "q", latency=1),
+        IPFlow("wrreq", "empty", latency=1),
+        IPFlow("rdreq", "empty", latency=1),
+        IPFlow("wrreq", "full", latency=1),
+        IPFlow("rdreq", "full", latency=1),
+        IPFlow("wrreq", "usedw", latency=1),
+        IPFlow("rdreq", "usedw", latency=1),
+    ],
+    loss_rules=[
+        IPLossRule(
+            port="data",
+            condition="{wrreq} && {full}",
+            description="write request while FIFO full drops the data word",
+        )
+    ],
+)
+
+DCFIFO_MODEL = IPAnalysisModel(
+    name="dcfifo",
+    flows=[
+        IPFlow("data", "q", latency=1, condition="{wrreq} && !{wrfull}"),
+        IPFlow("rdreq", "q", latency=1),
+        IPFlow("wrreq", "rdempty", latency=1),
+        IPFlow("rdreq", "rdempty", latency=1),
+        IPFlow("wrreq", "wrfull", latency=1),
+        IPFlow("rdreq", "wrfull", latency=1),
+    ],
+    loss_rules=[
+        IPLossRule(
+            port="data",
+            condition="{wrreq} && {wrfull}",
+            description="write request while FIFO full drops the data word",
+        )
+    ],
+)
+
+RECORDER_MODEL = IPAnalysisModel(
+    name="signal_recorder",
+    flows=[],  # recorder is a sink; it never feeds back into the design
+)
+
+#: Registry used by default across the analyses.
+DEFAULT_IP_MODELS = {
+    "altsyncram": ALTSYNCRAM_MODEL,
+    "scfifo": SCFIFO_MODEL,
+    "dcfifo": DCFIFO_MODEL,
+    "signal_recorder": RECORDER_MODEL,
+}

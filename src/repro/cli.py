@@ -1,0 +1,193 @@
+"""Command-line interface: the artifact's push-button workflow.
+
+Mirrors the paper artifact's README commands::
+
+    python -m repro list                 # Table 2 inventory
+    python -m repro table1               # regenerate Table 1
+    python -m repro reproduce D2         # push-button bug reproduction
+    python -m repro verify-fix D2        # run the same scenario on the fix
+    python -m repro losscheck D2         # full LossCheck workflow
+    python -m repro fsms D2              # FSM detection report
+    python -m repro instrument D2        # emit the instrumented Verilog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args):
+    from .testbed import BUG_IDS, SPECS
+
+    print("%-4s %-28s %-22s %-8s %s" % ("ID", "Subclass", "Application",
+                                         "Platform", "Symptoms"))
+    for bug_id in BUG_IDS:
+        spec = SPECS[bug_id]
+        symptoms = ", ".join(sorted(s.value for s in spec.symptoms))
+        print(
+            "%-4s %-28s %-22s %-8s %s"
+            % (bug_id, spec.subclass.value, spec.application,
+               spec.platform.value, symptoms)
+        )
+    return 0
+
+
+def _cmd_table1(args):
+    from .study import format_table1
+
+    print(format_table1())
+    return 0
+
+
+def _cmd_reproduce(args):
+    from .testbed import SPECS, reproduce
+
+    result = reproduce(args.bug_id)
+    spec = SPECS[args.bug_id]
+    print("%s reproduced." % args.bug_id)
+    print("root cause: %s" % spec.root_cause)
+    print(
+        "observed symptoms: %s"
+        % ", ".join(sorted(s.value for s in result.observation.symptoms))
+    )
+    for key, value in result.observation.details.items():
+        print("  %s: %s" % (key, value))
+    return 0
+
+
+def _cmd_verify_fix(args):
+    from .testbed import SPECS, verify_fix
+
+    verify_fix(args.bug_id)
+    print("%s fix verified clean (%s)." % (args.bug_id, SPECS[args.bug_id].fix))
+    return 0
+
+
+def _cmd_losscheck(args):
+    from .testbed import SPECS, run_losscheck
+
+    outcome = run_losscheck(args.bug_id)
+    print("LossCheck on %s (source=%s, sink=%s):" % (
+        args.bug_id,
+        SPECS[args.bug_id].losscheck.source,
+        SPECS[args.bug_id].losscheck.sink,
+    ))
+    for warning in outcome.result.warnings[:10]:
+        print("  %s" % warning)
+    if len(outcome.result.warnings) > 10:
+        print("  ... %d more warnings" % (len(outcome.result.warnings) - 10))
+    print("filtered (intentional drops): %s" % (sorted(outcome.result.filtered) or "-"))
+    print("localized: %s" % (outcome.result.localized or "-"))
+    print("matches the paper's outcome: %s" % outcome.matches_paper)
+    return 0
+
+
+def _cmd_fsms(args):
+    from .analysis import detect_fsms
+    from .testbed import SPECS, load_design
+
+    spec = SPECS[args.bug_id]
+    detected = detect_fsms(load_design(args.bug_id).top)
+    print("manually identified: %s" % (", ".join(spec.manual_fsms) or "-"))
+    print("detected:")
+    for fsm in detected:
+        print(
+            "  %s: %d states, %d transition arcs"
+            % (fsm.name, len(fsm.states), len(fsm.transitions))
+        )
+    missed = set(spec.manual_fsms) - {f.name for f in detected}
+    if missed:
+        print("missed (two-process FSMs): %s" % ", ".join(sorted(missed)))
+    return 0
+
+
+def _cmd_instrument(args):
+    from .testbed.debug_configs import instrument_for_debugging
+    from .hdl.codegen import generate_module
+
+    instr = instrument_for_debugging(args.bug_id, buffer_depth=args.buffer)
+    print(generate_module(instr.module))
+    print(
+        "// generated instrumentation: %d lines; recorder sample width: "
+        "%d bits" % (instr.generated_lines, instr.recorder_width),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_wave(args):
+    from .sim import Simulator, write_vcd
+    from .testbed import load_design
+    from .testbed.scenarios import SCENARIOS
+
+    sim = Simulator(load_design(args.bug_id, fixed=args.fixed), trace="all")
+    SCENARIOS[args.bug_id](sim)
+    write_vcd(
+        sim,
+        args.output,
+        comment="testbed bug %s (%s)"
+        % (args.bug_id, "fixed" if args.fixed else "buggy"),
+    )
+    print(
+        "wrote %d-cycle waveform for %s to %s"
+        % (sim.cycle, args.bug_id, args.output)
+    )
+    return 0
+
+
+def build_parser():
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ASPLOS'22 FPGA-debugging reproduction: testbed and tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 20 testbed bugs").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("table1", help="regenerate Table 1").set_defaults(
+        func=_cmd_table1
+    )
+    for name, func, help_text in [
+        ("reproduce", _cmd_reproduce, "reproduce a bug push-button"),
+        ("verify-fix", _cmd_verify_fix, "run the scenario on the fixed design"),
+        ("losscheck", _cmd_losscheck, "run the LossCheck workflow on a loss bug"),
+        ("fsms", _cmd_fsms, "FSM detection report for a bug's design"),
+    ]:
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("bug_id", metavar="BUG", help="testbed id, e.g. D2")
+        command.set_defaults(func=func)
+    instrument = sub.add_parser(
+        "instrument", help="emit the fully-instrumented Verilog for a bug"
+    )
+    instrument.add_argument("bug_id", metavar="BUG")
+    instrument.add_argument(
+        "--buffer", type=int, default=8192, help="recording buffer entries"
+    )
+    instrument.set_defaults(func=_cmd_instrument)
+    wave = sub.add_parser(
+        "wave", help="run a bug's scenario and dump a VCD waveform"
+    )
+    wave.add_argument("bug_id", metavar="BUG")
+    wave.add_argument("output", help="VCD output path")
+    wave.add_argument(
+        "--fixed", action="store_true", help="use the fixed design variant"
+    )
+    wave.set_defaults(func=_cmd_wave)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print("error: unknown bug id %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

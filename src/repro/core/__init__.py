@@ -1,0 +1,40 @@
+"""The paper's five debugging tools (§4).
+
+* :class:`SignalCat` — unified simulation/on-FPGA logging (§4.1);
+* :class:`FSMMonitor` — automatic FSM detection + transition traces (§4.2);
+* :class:`DependencyMonitor` — provenance tracking for a variable (§4.3);
+* :class:`StatisticsMonitor` — event counters (§4.4);
+* :class:`LossCheck` — precise data-loss localization (§4.5).
+"""
+
+from .signalcat import DEFAULT_BUFFER_DEPTH, LogEntry, Mode, SignalCat
+from .fsm_monitor import FSMMonitor, FSMTransitionEvent, MonitoredFSM
+from .dependency_monitor import DependencyMonitor, UpdateEvent
+from .statistics_monitor import (
+    PipelineStatistics,
+    StageDivergence,
+    StatEvent,
+    StatisticsMonitor,
+)
+from .losscheck import LossCheck, LossCheckResult, LossWarning
+from .instrument import Instrumenter
+
+__all__ = [
+    "SignalCat",
+    "Mode",
+    "LogEntry",
+    "DEFAULT_BUFFER_DEPTH",
+    "FSMMonitor",
+    "FSMTransitionEvent",
+    "MonitoredFSM",
+    "DependencyMonitor",
+    "UpdateEvent",
+    "StatisticsMonitor",
+    "StatEvent",
+    "PipelineStatistics",
+    "StageDivergence",
+    "LossCheck",
+    "LossCheckResult",
+    "LossWarning",
+    "Instrumenter",
+]

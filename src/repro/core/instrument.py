@@ -1,0 +1,155 @@
+"""Shared instrumentation machinery for the debugging tools.
+
+All five tools transform an elaborated design by appending generated
+declarations, continuous assigns, clocked blocks and blackbox recorder
+instances to a *copy* of the module (the input design is never mutated).
+:class:`Instrumenter` tracks what was added so tools can report the
+"lines of generated Verilog" metric from the paper's evaluation (§6.3).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..hdl import ast_nodes as ast
+from ..hdl.codegen import generate_module, generate_statement, _generate_item
+from ..hdl.elaborate import Design
+
+
+def clone_module(module):
+    """Deep copy of a module AST (instrumentation never mutates inputs)."""
+    return copy.deepcopy(module)
+
+
+def dominant_clock(module):
+    """The most frequently used clock signal of *module* (default 'clk')."""
+    counts = {}
+    for item in module.items:
+        if isinstance(item, ast.Always) and not item.is_combinational:
+            for sens in item.sens:
+                if sens.signal:
+                    counts[sens.signal] = counts.get(sens.signal, 0) + 1
+    if not counts:
+        return "clk"
+    return max(counts, key=lambda name: (counts[name], name))
+
+
+def flat_name(name):
+    """Make a dotted (flattened-hierarchy) name safe for generated signals."""
+    return name.replace(".", "_")
+
+
+class Instrumenter:
+    """Accumulates generated logic onto a cloned module."""
+
+    def __init__(self, design, prefix):
+        if isinstance(design, Design):
+            module = design.top
+        else:
+            module = design
+        self.original = module
+        self.module = clone_module(module)
+        self.prefix = prefix
+        self.generated_items = []
+        self._taken = {decl.name for decl in self.module.declarations()}
+        self.clock = dominant_clock(self.module)
+
+    def fresh(self, suffix):
+        """Unique generated signal name with the tool prefix."""
+        base = "%s%s" % (self.prefix, flat_name(suffix))
+        name = base
+        counter = 0
+        while name in self._taken:
+            counter += 1
+            name = "%s_%d" % (base, counter)
+        self._taken.add(name)
+        return name
+
+    def add_reg(self, name, width=1):
+        """Declare and return a generated register."""
+        decl = ast.Declaration(
+            kind=ast.NetKind.REG,
+            name=name,
+            width=(
+                ast.Width(msb=ast.Number(value=width - 1), lsb=ast.Number(value=0))
+                if width > 1
+                else None
+            ),
+        )
+        self._append(decl)
+        return ast.Identifier(name=name)
+
+    def add_wire(self, name, expr, width=1):
+        """Declare a generated wire continuously assigned to *expr*."""
+        decl = ast.Declaration(
+            kind=ast.NetKind.WIRE,
+            name=name,
+            width=(
+                ast.Width(msb=ast.Number(value=width - 1), lsb=ast.Number(value=0))
+                if width > 1
+                else None
+            ),
+        )
+        self._append(decl)
+        self._append(ast.ContinuousAssign(lhs=ast.Identifier(name=name), rhs=expr))
+        return ast.Identifier(name=name)
+
+    def add_clocked_block(self, statements, clock=None):
+        """Append an ``always @(posedge clock)`` block with *statements*."""
+        block = ast.Always(
+            sens=[ast.SensItem(edge=ast.Edge.POSEDGE, signal=clock or self.clock)],
+            body=ast.Block(statements=list(statements)),
+        )
+        self._append(block)
+        return block
+
+    def add_instance(self, module_name, instance_name, params, ports):
+        """Append a blackbox instance (e.g. the recording IP)."""
+        inst = ast.Instance(
+            module_name=module_name,
+            instance_name=instance_name,
+            params=[
+                ast.ParamOverride(name=key, value=ast.Number(value=value))
+                for key, value in params.items()
+            ],
+            ports=[
+                ast.PortConnection(port=key, expr=value)
+                for key, value in ports.items()
+            ],
+        )
+        self._append(inst)
+        return inst
+
+    def _append(self, item):
+        self.module.items.append(item)
+        self.generated_items.append(item)
+
+    # -- reporting ------------------------------------------------------------
+
+    def generated_verilog(self):
+        """Render only the generated instrumentation as Verilog text."""
+        lines = []
+        for item in self.generated_items:
+            lines.extend(_generate_item(item))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def generated_line_count(self):
+        """Number of generated Verilog lines (the paper's §6.3 metric)."""
+        text = self.generated_verilog()
+        return sum(1 for line in text.splitlines() if line.strip())
+
+    def instrumented_verilog(self):
+        """Render the full instrumented module."""
+        return generate_module(self.module)
+
+
+def display_statement(fmt, args, label=""):
+    """Build a labeled ``$display`` statement node."""
+    return ast.Display(format=fmt, args=list(args), label=label)
+
+
+def guarded(condition, stmt):
+    """Wrap *stmt* in ``if (condition)`` unless condition is None."""
+    if condition is None:
+        return stmt
+    return ast.If(cond=condition, then_stmt=stmt)

@@ -1,0 +1,368 @@
+"""SignalCat: unified logging for simulation and on-FPGA debugging (§4.1).
+
+SignalCat gives a hardware design a single ``$display``-based logging
+interface that works in both execution contexts:
+
+* in **simulation mode** the statements execute natively and the log is
+  the simulator's display stream;
+* in **on-FPGA mode** SignalCat statically analyzes each ``$display``'s
+  arguments and *path constraint* (the condition under which the
+  statement executes), removes the statements (no console exists on an
+  FPGA), and synthesizes an instance of a vendor-style data-recording IP
+  that samples all arguments plus one path-constraint bit per statement
+  on every cycle where at least one constraint holds. After execution,
+  :meth:`SignalCat.reconstruct` decodes the recording buffer back into
+  the very same textual log.
+
+All other tools (FSM/Dependency/Statistics Monitor, LossCheck) emit
+``$display`` statements and inherit both modes through SignalCat.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..hdl import ast_nodes as ast
+from ..hdl.elaborate import Design
+from ..hdl.parser import parse_expression
+from ..hdl.transform import map_statement
+from ..analysis.assignments import analyze_module
+from ..sim.simulator import Simulator, verilog_format
+from ..sim.values import SymbolTable, mask, self_width
+from .instrument import Instrumenter
+
+#: Paper default recording-buffer size (§6.1): 8,192 entries.
+DEFAULT_BUFFER_DEPTH = 8192
+
+
+class Mode(enum.Enum):
+    """Execution context SignalCat targets."""
+
+    SIMULATION = "simulation"
+    ON_FPGA = "on_fpga"
+
+
+@dataclass
+class LogEntry:
+    """One reconstructed log line."""
+
+    cycle: int
+    text: str
+    statement_index: int
+    values: list = field(default_factory=list)
+    label: str = ""
+
+    def __str__(self):
+        return "[%6d] %s" % (self.cycle, self.text)
+
+
+@dataclass
+class _StatementLayout:
+    """Bit layout of one $display inside the recording word."""
+
+    index: int
+    fmt: str
+    label: str
+    flag_bit: int
+    arg_fields: list  # (offset, width) per argument
+
+
+def _drop_displays(module):
+    """Remove every $display from the module's always blocks."""
+    for item in module.items:
+        if isinstance(item, ast.Always):
+            item.body = map_statement(
+                item.body,
+                lambda e: e,
+                lambda s: None if isinstance(s, ast.Display) else s,
+            )
+    return module
+
+
+class SignalCat:
+    """Unified logging over one elaborated design.
+
+    Parameters
+    ----------
+    design:
+        Elaborated design (or flat module) containing ``$display``
+        statements.
+    mode:
+        :class:`Mode` — native simulation displays, or synthesized
+        recording-IP logic.
+    buffer_depth:
+        Recording-IP buffer entries (on-FPGA mode; paper default 8192).
+    start_event / stop_event:
+        Optional Verilog condition strings; recording is active from the
+        cycle *start_event* first holds until *stop_event* holds
+        (inclusive), modeling the recording IP's trigger configuration.
+    """
+
+    RECORDER_INSTANCE = "signalcat_recorder"
+
+    def __init__(
+        self,
+        design,
+        mode=Mode.SIMULATION,
+        buffer_depth=DEFAULT_BUFFER_DEPTH,
+        start_event=None,
+        stop_event=None,
+        stop_delay=0,
+        dedup=False,
+    ):
+        self.mode = mode
+        self.buffer_depth = buffer_depth
+        self.stop_delay = stop_delay
+        self.dedup = dedup
+        self.instrumenter = Instrumenter(design, prefix="sc_")
+        self.module = self.instrumenter.module
+        self._layouts = []
+        self.word_width = 0
+        base_module = (
+            design.top if isinstance(design, Design) else design
+        )
+        self.displays = analyze_module(base_module).displays
+        if mode is Mode.ON_FPGA:
+            self._start = parse_expression(start_event) if start_event else None
+            self._stop = parse_expression(stop_event) if stop_event else None
+            self._synthesize()
+        else:
+            self._start = self._stop = None
+
+    # -- static synthesis (on-FPGA mode) ------------------------------------
+
+    def _synthesize(self):
+        ins = self.instrumenter
+        symbols = SymbolTable(self.module)
+        flag_count = len(self.displays)
+        offset = flag_count
+        flag_exprs = []
+        arg_parts = []
+        for record in self.displays:
+            fields = []
+            for arg in record.stmt.args:
+                width = self_width(arg, symbols)
+                fields.append((offset, width))
+                arg_parts.append((arg, width))
+                offset += width
+            self._layouts.append(
+                _StatementLayout(
+                    index=record.index,
+                    fmt=record.stmt.format,
+                    label=record.stmt.label,
+                    flag_bit=record.index,
+                    arg_fields=fields,
+                )
+            )
+            condition = record.condition
+            flag_exprs.append(
+                condition if condition is not None else ast.Number(value=1, width=1)
+            )
+        self.word_width = max(offset, 1)
+        _drop_displays(self.module)
+        if not self.displays:
+            return
+        flag_wires = []
+        for index, expr in enumerate(flag_exprs):
+            flag_wires.append(ins.add_wire(ins.fresh("flag_%d" % index), expr))
+        # Data word: {argN ... arg0, flags[n-1] ... flags[0]} (LSB = flag 0).
+        parts = [arg for arg, _ in reversed(arg_parts)]
+        parts.extend(ast.Identifier(name=w.name) for w in reversed(flag_wires))
+        data_expr = parts[0] if len(parts) == 1 else ast.Concat(parts=parts)
+        data = ins.add_wire(ins.fresh("data"), data_expr, width=self.word_width)
+        any_flag = flag_wires[0]
+        for wire in flag_wires[1:]:
+            any_flag = ast.BinaryOp(op="||", left=any_flag, right=wire)
+        gate = self._recording_gate(ins)
+        enable_expr = (
+            any_flag if gate is None else ast.BinaryOp(op="&&", left=gate, right=any_flag)
+        )
+        enable = ins.add_wire(ins.fresh("enable"), enable_expr)
+        params = {"WIDTH": self.word_width, "DEPTH": self.buffer_depth}
+        if self.dedup:
+            params["DEDUP"] = 1
+        ins.add_instance(
+            "signal_recorder",
+            self.RECORDER_INSTANCE,
+            params=params,
+            ports={
+                "clock": ast.Identifier(name=ins.clock),
+                "enable": enable,
+                "data": data,
+            },
+        )
+
+    def _recording_gate(self, ins):
+        if self._start is None and self._stop is None:
+            return None
+        active = ins.add_reg(ins.fresh("active"))
+        start_cond = self._start if self._start is not None else ast.Number(value=1)
+        statements = []
+        post = None
+        stopped = None
+        arming = start_cond
+        if self._stop is not None:
+            # The window is [first start, first stop): a sticky `stopped`
+            # latch prevents an always-true start event from re-arming.
+            stopped = ins.add_reg(ins.fresh("stopped"))
+            arming = ast.BinaryOp(
+                op="&&",
+                left=start_cond,
+                right=ast.UnaryOp(op="!", operand=stopped),
+            )
+            if self.stop_delay > 0:
+                # Post-trigger window (§4.1: "capture a fixed interval
+                # ... after the user-provided event"): a countdown keeps
+                # the recorder enabled for stop_delay cycles past it.
+                width = max(1, self.stop_delay.bit_length())
+                post = ins.add_reg(ins.fresh("post"), width=width)
+                statements.append(
+                    ast.If(
+                        cond=ast.BinaryOp(
+                            op="&&",
+                            left=self._stop,
+                            right=ast.UnaryOp(op="!", operand=stopped),
+                        ),
+                        then_stmt=ast.NonblockingAssign(
+                            lhs=post, rhs=ast.Number(value=self.stop_delay)
+                        ),
+                        else_stmt=ast.If(
+                            cond=ast.BinaryOp(
+                                op="!=", left=post, right=ast.Number(value=0)
+                            ),
+                            then_stmt=ast.NonblockingAssign(
+                                lhs=post,
+                                rhs=ast.BinaryOp(
+                                    op="-", left=post, right=ast.Number(value=1)
+                                ),
+                            ),
+                        ),
+                    )
+                )
+            statements.append(
+                ast.If(
+                    cond=self._stop,
+                    then_stmt=ast.Block(
+                        statements=[
+                            ast.NonblockingAssign(
+                                lhs=active, rhs=ast.Number(value=0)
+                            ),
+                            ast.NonblockingAssign(
+                                lhs=stopped, rhs=ast.Number(value=1)
+                            ),
+                        ]
+                    ),
+                    else_stmt=ast.If(
+                        cond=arming,
+                        then_stmt=ast.NonblockingAssign(
+                            lhs=active, rhs=ast.Number(value=1)
+                        ),
+                    ),
+                )
+            )
+        else:
+            statements.append(
+                ast.If(
+                    cond=arming,
+                    then_stmt=ast.NonblockingAssign(
+                        lhs=active, rhs=ast.Number(value=1)
+                    ),
+                )
+            )
+        ins.add_clocked_block(statements)
+        # Record from the cycle the start event first holds (inclusive)
+        # until the stop event holds (exclusive, unless a post-trigger
+        # window extends it).
+        gate = ast.BinaryOp(op="||", left=active, right=arming)
+        if self._stop is not None:
+            if post is not None:
+                gate = ast.BinaryOp(
+                    op="||",
+                    left=gate,
+                    right=ast.BinaryOp(
+                        op="!=", left=post, right=ast.Number(value=0)
+                    ),
+                )
+            else:
+                gate = ast.BinaryOp(
+                    op="&&",
+                    left=gate,
+                    right=ast.UnaryOp(op="!", operand=self._stop),
+                )
+        return gate
+
+    # -- execution helpers ----------------------------------------------------
+
+    def simulator(self, **kwargs):
+        """A :class:`Simulator` over the (possibly instrumented) design."""
+        return Simulator(self.module, **kwargs)
+
+    def reconstruct(self, sim):
+        """Reconstruct the textual log after an execution.
+
+        In simulation mode this reads the simulator's native display
+        events; in on-FPGA mode it decodes the recording IP buffer —
+        producing the same format either way (§4.1).
+        """
+        if self.mode is Mode.SIMULATION:
+            index_of = {
+                (record.stmt.format, record.stmt.label): record.index
+                for record in self.displays
+            }
+            return [
+                LogEntry(
+                    cycle=event.cycle,
+                    text=event.text,
+                    statement_index=index_of.get((event.format, event.label), -1),
+                    values=event.values,
+                    label=event.label,
+                )
+                for event in sim.display_events
+            ]
+        entries = []
+        if not self._layouts:
+            return entries
+        recorder = sim.ip_model(self.RECORDER_INSTANCE)
+        for cycle, word in recorder.samples:
+            for layout in self._layouts:
+                if not (word >> layout.flag_bit) & 1:
+                    continue
+                values = [
+                    (word >> offset) & mask(width)
+                    for offset, width in layout.arg_fields
+                ]
+                entries.append(
+                    LogEntry(
+                        cycle=cycle,
+                        text=verilog_format(layout.fmt, values),
+                        statement_index=layout.index,
+                        values=values,
+                        label=layout.label,
+                    )
+                )
+        return entries
+
+    def run(self, drive, max_cycles=10000, **sim_kwargs):
+        """Convenience: build a simulator, run *drive(sim)*, reconstruct.
+
+        *drive* receives the simulator and performs stimulus; returns
+        the reconstructed log.
+        """
+        sim = self.simulator(**sim_kwargs)
+        drive(sim)
+        return self.reconstruct(sim)
+
+    # -- reporting ------------------------------------------------------------
+
+    def generated_line_count(self):
+        """Lines of generated Verilog (§6.3 metric)."""
+        return self.instrumenter.generated_line_count()
+
+    def generated_verilog(self):
+        """The generated instrumentation as Verilog text."""
+        return self.instrumenter.generated_verilog()
+
+    def format_log(self, entries):
+        """Render reconstructed entries as the familiar simulator text."""
+        return "\n".join(str(entry) for entry in entries)

@@ -1,0 +1,190 @@
+"""Statistics Monitor: event counters for anomaly spotting (§4.4).
+
+A developer names events of interest — each a 1-bit Verilog condition over
+design signals (e.g. ``in_valid``, ``out_valid && !stall``). The monitor
+generates a counter register per event plus a ``$display`` that fires on
+every change, so statistical anomalies ("more inputs than outputs
+arrived") are visible in the unified SignalCat log without cycle-by-cycle
+recording of wide data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl import ast_nodes as ast
+from ..hdl.parser import parse_expression
+from .instrument import Instrumenter
+from .signalcat import Mode, SignalCat
+
+_LABEL_PREFIX = "stat:"
+_COUNTER_WIDTH = 32
+
+
+@dataclass
+class StatEvent:
+    """One observed counter change."""
+
+    cycle: int
+    event: str
+    count: int
+
+
+class StatisticsMonitor:
+    """Counts developer-specified events in a design.
+
+    Parameters
+    ----------
+    design:
+        Elaborated design (or flat module).
+    events:
+        Mapping of event name to a Verilog condition string (or an
+        expression node) that is counted on every cycle where it holds.
+    """
+
+    def __init__(self, design, events):
+        self.instrumenter = Instrumenter(design, prefix="stat_")
+        self.module = self.instrumenter.module
+        self.events = {}
+        for name, condition in events.items():
+            if isinstance(condition, str):
+                condition = parse_expression(condition)
+            self.events[name] = condition
+        self._counters = {}
+        self._instrument()
+
+    def _instrument(self):
+        ins = self.instrumenter
+        statements = []
+        for name, condition in self.events.items():
+            counter = ins.add_reg(ins.fresh(name), width=_COUNTER_WIDTH)
+            self._counters[name] = counter.name
+            new_count = ast.BinaryOp(
+                op="+", left=counter, right=ast.Number(value=1)
+            )
+            display = ast.Display(
+                format="StatisticsMonitor: %s = %%d" % name,
+                args=[new_count],
+                label=_LABEL_PREFIX + name,
+            )
+            statements.append(
+                ast.If(
+                    cond=condition,
+                    then_stmt=ast.Block(
+                        statements=[
+                            ast.NonblockingAssign(lhs=counter, rhs=new_count),
+                            display,
+                        ]
+                    ),
+                )
+            )
+        if statements:
+            ins.add_clocked_block(statements)
+
+    # -- runtime ----------------------------------------------------------------
+
+    def simulator(self, mode=Mode.SIMULATION, **kwargs):
+        """SignalCat-wrapped simulator for the instrumented design."""
+        self._signalcat = SignalCat(self.module, mode=mode, **kwargs)
+        return self._signalcat.simulator()
+
+    def counts(self, sim):
+        """Final counter values, by event name."""
+        return {name: sim[reg] for name, reg in self._counters.items()}
+
+    def trace(self, sim):
+        """All counter-change events from an execution."""
+        signalcat = getattr(self, "_signalcat", None)
+        if signalcat is not None:
+            entries = signalcat.reconstruct(sim)
+            triples = [(e.cycle, e.label, e.values) for e in entries]
+        else:
+            triples = [
+                (e.cycle, e.label, e.values) for e in sim.display_events
+            ]
+        events = []
+        for cycle, label, values in triples:
+            if label.startswith(_LABEL_PREFIX):
+                events.append(
+                    StatEvent(
+                        cycle=cycle, event=label[len(_LABEL_PREFIX):],
+                        count=values[0],
+                    )
+                )
+        return events
+
+    def generated_line_count(self):
+        """Lines of generated Verilog (§6.3 metric)."""
+        return self.instrumenter.generated_line_count()
+
+
+@dataclass
+class StageDivergence:
+    """Where a pipeline's counts first drop (§4.4 localization)."""
+
+    upstream: str
+    downstream: str
+    upstream_count: int
+    downstream_count: int
+
+    @property
+    def missing(self):
+        return self.upstream_count - self.downstream_count
+
+    def __str__(self):
+        return (
+            "%d events entered %s but only %d reached %s (%d missing)"
+            % (
+                self.upstream_count,
+                self.upstream,
+                self.downstream_count,
+                self.downstream,
+                self.missing,
+            )
+        )
+
+
+class PipelineStatistics(StatisticsMonitor):
+    """Ordered per-stage counters that localize statistical anomalies.
+
+    §4.4: "per-component (e.g. per pipeline stage) counters help a
+    developer localize a statistical anomaly to a small region of a
+    complex circuit." The developer lists the pipeline's stage events
+    in flow order; :meth:`first_divergence` then names the first stage
+    boundary where the downstream count falls behind.
+
+    ``slack`` absorbs in-flight events (a downstream stage legitimately
+    lags by the pipeline's latency).
+    """
+
+    def __init__(self, design, stages, slack=0):
+        if len(stages) < 2:
+            raise ValueError("a pipeline needs at least two stage events")
+        self.stage_order = [name for name, _ in stages]
+        self.slack = slack
+        super().__init__(design, dict(stages))
+
+    def first_divergence(self, sim):
+        """The first stage boundary losing events, or None if balanced."""
+        counts = self.counts(sim)
+        for upstream, downstream in zip(self.stage_order, self.stage_order[1:]):
+            if counts[downstream] + self.slack < counts[upstream]:
+                return StageDivergence(
+                    upstream=upstream,
+                    downstream=downstream,
+                    upstream_count=counts[upstream],
+                    downstream_count=counts[downstream],
+                )
+        return None
+
+    def report(self, sim):
+        """Readable per-stage summary plus the divergence verdict."""
+        counts = self.counts(sim)
+        lines = ["%-24s %8d" % (name, counts[name]) for name in self.stage_order]
+        divergence = self.first_divergence(sim)
+        lines.append(
+            "balanced (no loss between stages)"
+            if divergence is None
+            else str(divergence)
+        )
+        return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""HDL front end: lexer, parser, AST, code generation, elaboration.
+
+Typical usage::
+
+    from repro.hdl import parse, elaborate, generate_module
+
+    source = parse(verilog_text)
+    design = elaborate(source, top="my_top")
+    print(generate_module(design.top))
+"""
+
+from . import ast_nodes as ast
+from .codegen import (
+    generate_expression,
+    generate_module,
+    generate_source,
+    generate_statement,
+)
+from .elaborate import DEFAULT_BLACKBOXES, Design, ElaborationError, elaborate
+from .lexer import LexerError, Token, tokenize
+from .parser import ParseError, parse, parse_expression, parse_module, parse_statement
+from .transform import (
+    NotConstantError,
+    const_eval,
+    fold_constants,
+    map_expression,
+    map_statement,
+    rename_identifiers,
+    substitute,
+    try_const_eval,
+)
+
+__all__ = [
+    "ast",
+    "parse",
+    "parse_module",
+    "parse_expression",
+    "parse_statement",
+    "ParseError",
+    "tokenize",
+    "Token",
+    "LexerError",
+    "generate_expression",
+    "generate_statement",
+    "generate_module",
+    "generate_source",
+    "elaborate",
+    "Design",
+    "ElaborationError",
+    "DEFAULT_BLACKBOXES",
+    "const_eval",
+    "try_const_eval",
+    "fold_constants",
+    "substitute",
+    "map_expression",
+    "map_statement",
+    "rename_identifiers",
+    "NotConstantError",
+]

@@ -1,0 +1,472 @@
+"""Abstract syntax tree nodes for the synthesizable Verilog subset.
+
+The AST is deliberately small and regular: every node is a dataclass, every
+expression node derives from :class:`Expression`, every statement node from
+:class:`Statement`, and every module-level item from :class:`ModuleItem`.
+Instrumentation tools (SignalCat, LossCheck, ...) build new designs by
+constructing these nodes directly; :mod:`repro.hdl.codegen` renders them back
+to Verilog source.
+
+Width semantics are two-state (0/1) and resolved during elaboration
+(:mod:`repro.hdl.elaborate`): after elaboration all ``Width`` bounds and
+parameter references are plain Python ints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields
+from typing import Optional, Union
+
+
+class Edge(enum.Enum):
+    """Sensitivity-list trigger kind for an ``always`` block."""
+
+    POSEDGE = "posedge"
+    NEGEDGE = "negedge"
+    STAR = "*"
+
+
+class PortDirection(enum.Enum):
+    """Direction of a module port."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+
+class NetKind(enum.Enum):
+    """Storage class of a declared signal."""
+
+    REG = "reg"
+    WIRE = "wire"
+    INTEGER = "integer"
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes.
+
+    ``lineno`` is the 1-based source line the node was parsed from (0 for
+    synthesized nodes created by instrumentation passes).
+    """
+
+    def children(self):
+        """Yield every child :class:`Node` (recursing into lists/tuples)."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self):
+        """Yield this node and every descendant, depth-first pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expression(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Number(Expression):
+    """An integer literal, optionally sized (``8'hFF``) and/or signed."""
+
+    value: int
+    width: Optional[int] = None
+    signed: bool = False
+
+    def __str__(self):
+        if self.width is not None:
+            return "%d'h%x" % (self.width, self.value)
+        return str(self.value)
+
+
+@dataclass
+class Identifier(Expression):
+    """A reference to a declared signal or parameter by name.
+
+    After hierarchy flattening, names may be dotted (``fifo.wr_ptr``).
+    """
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass
+class Index(Expression):
+    """Single-bit or array-element select, ``var[index]``."""
+
+    var: Expression
+    index: Expression
+
+
+@dataclass
+class PartSelect(Expression):
+    """Constant part select, ``var[msb:lsb]``."""
+
+    var: Expression
+    msb: Expression
+    lsb: Expression
+
+
+@dataclass
+class IndexedPartSelect(Expression):
+    """Indexed part select, ``var[base +: width]`` or ``var[base -: width]``."""
+
+    var: Expression
+    base: Expression
+    width: Expression
+    ascending: bool = True
+
+
+@dataclass
+class Concat(Expression):
+    """Concatenation, ``{a, b, c}`` (left part is most significant)."""
+
+    parts: list
+
+
+@dataclass
+class Repeat(Expression):
+    """Replication, ``{count{expr}}``."""
+
+    count: Expression
+    expr: Expression
+
+
+@dataclass
+class UnaryOp(Expression):
+    """Unary operator: ``~ ! - + & | ^ ~& ~| ~^``."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Binary operator (arithmetic, bitwise, logical, shift, comparison)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Ternary(Expression):
+    """Conditional expression, ``cond ? iftrue : iffalse``."""
+
+    cond: Expression
+    iftrue: Expression
+    iffalse: Expression
+
+
+@dataclass
+class SizeCast(Expression):
+    """SystemVerilog size cast, ``42'(expr)``: truncates or zero-extends."""
+
+    width: int
+    expr: Expression
+
+
+# ---------------------------------------------------------------------------
+# Statements (inside always blocks)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Statement(Node):
+    """Base class for procedural statements."""
+
+
+@dataclass
+class Block(Statement):
+    """A ``begin ... end`` list of statements."""
+
+    statements: list = field(default_factory=list)
+
+
+@dataclass
+class NonblockingAssign(Statement):
+    """``lhs <= rhs``: committed at the end of the clock cycle."""
+
+    lhs: Expression
+    rhs: Expression
+    lineno: int = field(default=0, compare=False)
+
+
+@dataclass
+class BlockingAssign(Statement):
+    """``lhs = rhs``: takes effect immediately within the block."""
+
+    lhs: Expression
+    rhs: Expression
+    lineno: int = field(default=0, compare=False)
+
+
+@dataclass
+class If(Statement):
+    """``if (cond) then_stmt [else else_stmt]``."""
+
+    cond: Expression
+    then_stmt: Statement
+    else_stmt: Optional[Statement] = None
+
+
+@dataclass
+class CaseItem(Node):
+    """One arm of a case statement; ``labels`` empty means ``default``."""
+
+    labels: list
+    stmt: Statement
+
+
+@dataclass
+class Case(Statement):
+    """``case``/``casez`` statement."""
+
+    subject: Expression
+    items: list
+    casez: bool = False
+
+
+@dataclass
+class For(Statement):
+    """A statically-bounded ``for`` loop; unrolled during elaboration."""
+
+    init: BlockingAssign
+    cond: Expression
+    step: BlockingAssign
+    body: Statement
+
+
+@dataclass
+class Display(Statement):
+    """``$display(fmt, args...)`` — the debugging primitive SignalCat handles."""
+
+    format: str
+    args: list = field(default_factory=list)
+    lineno: int = field(default=0, compare=False)
+    label: str = ""
+
+
+@dataclass
+class Finish(Statement):
+    """``$finish`` — terminates simulation."""
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ModuleItem(Node):
+    """Base class for module-level items."""
+
+
+@dataclass
+class Width(Node):
+    """A ``[msb:lsb]`` range; bounds are expressions until elaboration."""
+
+    msb: Expression
+    lsb: Expression
+
+    def bits(self):
+        """Bit/element count; valid once both bounds are constant Numbers.
+
+        Handles both descending (``[7:0]``) and ascending (``[0:9]``)
+        ranges.
+        """
+        msb = self.msb.value if isinstance(self.msb, Number) else self.msb
+        lsb = self.lsb.value if isinstance(self.lsb, Number) else self.lsb
+        return abs(int(msb) - int(lsb)) + 1
+
+
+@dataclass
+class Declaration(ModuleItem):
+    """A ``reg``/``wire``/``integer`` declaration, optionally a memory array."""
+
+    kind: NetKind
+    name: str
+    width: Optional[Width] = None
+    array: Optional[Width] = None
+    signed: bool = False
+    lineno: int = field(default=0, compare=False)
+
+    @property
+    def bit_width(self):
+        """Declared element width in bits (1 if scalar)."""
+        if self.kind is NetKind.INTEGER:
+            return 32
+        return self.width.bits() if self.width is not None else 1
+
+    @property
+    def array_depth(self):
+        """Number of array elements (1 if not a memory)."""
+        return self.array.bits() if self.array is not None else 1
+
+
+@dataclass
+class ParameterDecl(ModuleItem):
+    """A ``parameter`` or ``localparam`` declaration."""
+
+    name: str
+    value: Expression
+    local: bool = False
+
+
+@dataclass
+class ContinuousAssign(ModuleItem):
+    """A continuous ``assign lhs = rhs``."""
+
+    lhs: Expression
+    rhs: Expression
+    lineno: int = field(default=0, compare=False)
+
+
+@dataclass
+class SensItem(Node):
+    """One sensitivity-list entry, e.g. ``posedge clk``."""
+
+    edge: Edge
+    signal: Optional[str] = None
+
+
+@dataclass
+class Always(ModuleItem):
+    """An ``always @(...) stmt`` block."""
+
+    sens: list
+    body: Statement
+    lineno: int = field(default=0, compare=False)
+
+    @property
+    def is_combinational(self):
+        """True for ``always @(*)`` blocks."""
+        return any(item.edge is Edge.STAR for item in self.sens)
+
+
+@dataclass
+class PortConnection(Node):
+    """A named port connection in an instance, ``.port(expr)``."""
+
+    port: str
+    expr: Optional[Expression]
+
+
+@dataclass
+class ParamOverride(Node):
+    """A named parameter override in an instance, ``.NAME(value)``."""
+
+    name: str
+    value: Expression
+
+
+@dataclass
+class Instance(ModuleItem):
+    """A module (or blackbox IP) instantiation."""
+
+    module_name: str
+    instance_name: str
+    params: list = field(default_factory=list)
+    ports: list = field(default_factory=list)
+    lineno: int = field(default=0, compare=False)
+
+
+@dataclass
+class Port(Node):
+    """An ANSI-style module port."""
+
+    direction: PortDirection
+    kind: NetKind
+    name: str
+    width: Optional[Width] = None
+    signed: bool = False
+
+    @property
+    def bit_width(self):
+        """Declared port width in bits."""
+        return self.width.bits() if self.width is not None else 1
+
+
+@dataclass
+class Module(Node):
+    """A Verilog module: parameters, ports, and body items."""
+
+    name: str
+    params: list = field(default_factory=list)
+    ports: list = field(default_factory=list)
+    items: list = field(default_factory=list)
+
+    def declarations(self):
+        """All :class:`Declaration` items, including implicit port regs/wires."""
+        return [item for item in self.items if isinstance(item, Declaration)]
+
+    def find_declaration(self, name):
+        """Return the :class:`Declaration` for *name*, or None."""
+        for item in self.items:
+            if isinstance(item, Declaration) and item.name == name:
+                return item
+        return None
+
+    def port_map(self):
+        """Mapping of port name to :class:`Port`."""
+        return {port.name: port for port in self.ports}
+
+
+@dataclass
+class Source(Node):
+    """A parsed source file: an ordered list of modules."""
+
+    modules: list = field(default_factory=list)
+
+    def module_map(self):
+        """Mapping of module name to :class:`Module`."""
+        return {module.name: module for module in self.modules}
+
+    def find_module(self, name):
+        """Return the module called *name* or raise KeyError."""
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError("no module named %r" % name)
+
+
+LValue = Union[Identifier, Index, PartSelect, IndexedPartSelect, Concat]
+
+
+def lvalue_base_name(expr):
+    """Return the underlying signal name written by an lvalue expression.
+
+    ``Concat`` lvalues have several bases; use :func:`lvalue_base_names` for
+    those. Raises TypeError for non-lvalue expressions.
+    """
+    if isinstance(expr, Identifier):
+        return expr.name
+    if isinstance(expr, (Index, PartSelect, IndexedPartSelect)):
+        return lvalue_base_name(expr.var)
+    raise TypeError("not a simple lvalue: %r" % (expr,))
+
+
+def lvalue_base_names(expr):
+    """Return all signal names written by an lvalue (handles Concat)."""
+    if isinstance(expr, Concat):
+        names = []
+        for part in expr.parts:
+            names.extend(lvalue_base_names(part))
+        return names
+    return [lvalue_base_name(expr)]

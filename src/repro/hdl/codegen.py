@@ -1,0 +1,226 @@
+"""Verilog source generation from AST nodes.
+
+Round-trips the subset accepted by :mod:`repro.hdl.parser`; instrumentation
+tools use it both to emit debuggable instrumented designs and to measure
+"lines of generated Verilog" (paper §6.3).
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+_INDENT = "    "
+
+
+def _escape(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def generate_expression(expr):
+    """Render an expression node as Verilog source text."""
+    if isinstance(expr, ast.Number):
+        return str(expr)
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return "%s[%s]" % (generate_expression(expr.var), generate_expression(expr.index))
+    if isinstance(expr, ast.PartSelect):
+        return "%s[%s:%s]" % (
+            generate_expression(expr.var),
+            generate_expression(expr.msb),
+            generate_expression(expr.lsb),
+        )
+    if isinstance(expr, ast.IndexedPartSelect):
+        return "%s[%s %s %s]" % (
+            generate_expression(expr.var),
+            generate_expression(expr.base),
+            "+:" if expr.ascending else "-:",
+            generate_expression(expr.width),
+        )
+    if isinstance(expr, ast.Concat):
+        return "{%s}" % ", ".join(generate_expression(p) for p in expr.parts)
+    if isinstance(expr, ast.Repeat):
+        return "{%s{%s}}" % (
+            generate_expression(expr.count),
+            generate_expression(expr.expr),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return "%s(%s)" % (expr.op, generate_expression(expr.operand))
+    if isinstance(expr, ast.BinaryOp):
+        return "(%s %s %s)" % (
+            generate_expression(expr.left),
+            expr.op,
+            generate_expression(expr.right),
+        )
+    if isinstance(expr, ast.Ternary):
+        return "(%s ? %s : %s)" % (
+            generate_expression(expr.cond),
+            generate_expression(expr.iftrue),
+            generate_expression(expr.iffalse),
+        )
+    if isinstance(expr, ast.SizeCast):
+        return "%d'(%s)" % (expr.width, generate_expression(expr.expr))
+    raise TypeError("cannot generate code for %r" % (expr,))
+
+
+def _width_text(width):
+    if width is None:
+        return ""
+    return "[%s:%s] " % (
+        generate_expression(width.msb),
+        generate_expression(width.lsb),
+    )
+
+
+def generate_statement(stmt, indent=1):
+    """Render a procedural statement as a list of indented source lines."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Block):
+        lines = [pad + "begin"]
+        for inner in stmt.statements:
+            lines.extend(generate_statement(inner, indent + 1))
+        lines.append(pad + "end")
+        return lines
+    if isinstance(stmt, ast.NonblockingAssign):
+        return [
+            pad
+            + "%s <= %s;" % (generate_expression(stmt.lhs), generate_expression(stmt.rhs))
+        ]
+    if isinstance(stmt, ast.BlockingAssign):
+        return [
+            pad
+            + "%s = %s;" % (generate_expression(stmt.lhs), generate_expression(stmt.rhs))
+        ]
+    if isinstance(stmt, ast.If):
+        then_stmt = stmt.then_stmt
+        if stmt.else_stmt is not None and isinstance(then_stmt, ast.If):
+            # Dangling-else hazard: an unbracketed nested if would
+            # capture this statement's else on re-parse.
+            then_stmt = ast.Block(statements=[then_stmt])
+        lines = [pad + "if (%s)" % generate_expression(stmt.cond)]
+        lines.extend(generate_statement(then_stmt, indent + 1))
+        if stmt.else_stmt is not None:
+            lines.append(pad + "else")
+            lines.extend(generate_statement(stmt.else_stmt, indent + 1))
+        return lines
+    if isinstance(stmt, ast.Case):
+        keyword = "casez" if stmt.casez else "case"
+        lines = [pad + "%s (%s)" % (keyword, generate_expression(stmt.subject))]
+        for item in stmt.items:
+            if item.labels:
+                label = ", ".join(generate_expression(l) for l in item.labels)
+            else:
+                label = "default"
+            lines.append(pad + _INDENT + label + ":")
+            lines.extend(generate_statement(item.stmt, indent + 2))
+        lines.append(pad + "endcase")
+        return lines
+    if isinstance(stmt, ast.For):
+        header = "for (%s = %s; %s; %s = %s)" % (
+            generate_expression(stmt.init.lhs),
+            generate_expression(stmt.init.rhs),
+            generate_expression(stmt.cond),
+            generate_expression(stmt.step.lhs),
+            generate_expression(stmt.step.rhs),
+        )
+        return [pad + header] + generate_statement(stmt.body, indent + 1)
+    if isinstance(stmt, ast.Display):
+        args = "".join(", " + generate_expression(a) for a in stmt.args)
+        return [pad + '$display("%s"%s);' % (_escape(stmt.format), args)]
+    if isinstance(stmt, ast.Finish):
+        return [pad + "$finish;"]
+    raise TypeError("cannot generate code for %r" % (stmt,))
+
+
+def _generate_item(item):
+    if isinstance(item, ast.Declaration):
+        text = item.kind.value
+        if item.signed:
+            text += " signed"
+        if item.width is not None and item.kind is not ast.NetKind.INTEGER:
+            text += " " + _width_text(item.width).rstrip()
+        text += " " + item.name
+        if item.array is not None:
+            text += " [%s:%s]" % (
+                generate_expression(item.array.msb),
+                generate_expression(item.array.lsb),
+            )
+        return [_INDENT + text + ";"]
+    if isinstance(item, ast.ParameterDecl):
+        keyword = "localparam" if item.local else "parameter"
+        return [
+            _INDENT
+            + "%s %s = %s;" % (keyword, item.name, generate_expression(item.value))
+        ]
+    if isinstance(item, ast.ContinuousAssign):
+        return [
+            _INDENT
+            + "assign %s = %s;"
+            % (generate_expression(item.lhs), generate_expression(item.rhs))
+        ]
+    if isinstance(item, ast.Always):
+        sens_parts = []
+        for sens in item.sens:
+            if sens.edge is ast.Edge.STAR and sens.signal is None:
+                sens_parts.append("*")
+            elif sens.edge is ast.Edge.STAR:
+                sens_parts.append(sens.signal)
+            else:
+                sens_parts.append("%s %s" % (sens.edge.value, sens.signal))
+        lines = [_INDENT + "always @(%s)" % " or ".join(sens_parts)]
+        lines.extend(generate_statement(item.body, 2))
+        return lines
+    if isinstance(item, ast.Instance):
+        lines = [_INDENT + item.module_name]
+        if item.params:
+            overrides = ", ".join(
+                ".%s(%s)" % (p.name, generate_expression(p.value)) for p in item.params
+            )
+            lines[0] += " #(%s)" % overrides
+        lines[0] += " " + item.instance_name + " ("
+        for position, conn in enumerate(item.ports):
+            expr = generate_expression(conn.expr) if conn.expr is not None else ""
+            comma = "," if position + 1 < len(item.ports) else ""
+            lines.append(_INDENT * 2 + ".%s(%s)%s" % (conn.port, expr, comma))
+        lines.append(_INDENT + ");")
+        return lines
+    raise TypeError("cannot generate code for %r" % (item,))
+
+
+def generate_module(module):
+    """Render a :class:`Module` as Verilog source text."""
+    lines = []
+    header = "module " + module.name
+    if module.params:
+        overrides = ", ".join(
+            "parameter %s = %s" % (p.name, generate_expression(p.value))
+            for p in module.params
+        )
+        header += " #(%s)" % overrides
+    header += " ("
+    lines.append(header)
+    port_names = {p.name for p in module.ports}
+    for position, port in enumerate(module.ports):
+        text = port.direction.value
+        if port.kind is ast.NetKind.REG:
+            text += " reg"
+        if port.signed:
+            text += " signed"
+        if port.width is not None:
+            text += " " + _width_text(port.width).rstrip()
+        text += " " + port.name
+        comma = "," if position + 1 < len(module.ports) else ""
+        lines.append(_INDENT + text + comma)
+    lines.append(");")
+    for item in module.items:
+        # Skip the implicit re-declaration of ANSI ports.
+        if isinstance(item, ast.Declaration) and item.name in port_names:
+            continue
+        lines.extend(_generate_item(item))
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def generate_source(source):
+    """Render a :class:`Source` (all modules) as Verilog text."""
+    return "\n".join(generate_module(m) for m in source.modules)

@@ -1,0 +1,324 @@
+"""Design elaboration: parameters, loop unrolling, hierarchy flattening.
+
+:func:`elaborate` turns a parsed :class:`~repro.hdl.ast_nodes.Source` into a
+single flat :class:`~repro.hdl.ast_nodes.Module`:
+
+* parameter/localparam references are substituted with constants and their
+  declarations dropped;
+* widths and array ranges become constant :class:`Number` bounds;
+* ``for`` loops with static bounds are unrolled;
+* child module instances are inlined, their signals renamed to
+  ``instance.signal`` dotted names, and port connections turned into
+  continuous assigns — mirroring Verilator's inlining, which the paper's
+  toolchain relies on (§5);
+* blackbox IP instances (``altsyncram``, ``scfifo``, ``dcfifo``, recording
+  IPs) are kept as :class:`Instance` items for the simulator/analyses to
+  bind to behavioral models.
+
+The elaborated module is what the simulator, the analyses, and all five
+debugging tools operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast_nodes as ast
+from .transform import (
+    NotConstantError,
+    const_eval,
+    fold_constants,
+    map_statement,
+    rename_identifiers,
+)
+
+#: IP blocks treated as blackboxes during elaboration by default.
+DEFAULT_BLACKBOXES = frozenset(["altsyncram", "scfifo", "dcfifo", "signal_recorder"])
+
+_MAX_UNROLL = 65536
+
+
+class ElaborationError(ValueError):
+    """Raised when a design cannot be elaborated (bad params, loops, ...)."""
+
+
+@dataclass
+class Design:
+    """An elaborated design: one flat module plus its blackbox instances."""
+
+    top: ast.Module
+    blackboxes: list = field(default_factory=list)
+
+    @property
+    def name(self):
+        """Name of the top module."""
+        return self.top.name
+
+
+def _resolve_params(module, overrides):
+    """Compute the parameter environment for one module instantiation."""
+    env = {}
+    for param in module.params:
+        env[param.name] = const_eval(param.value, env)
+    for name, value in (overrides or {}).items():
+        if name not in env:
+            raise ElaborationError(
+                "module %s has no parameter %r" % (module.name, name)
+            )
+        env[name] = value
+    for item in module.items:
+        if isinstance(item, ast.ParameterDecl):
+            if item.name not in env:
+                env[item.name] = const_eval(item.value, env)
+    return env
+
+
+def _resolve_width(width, env, context):
+    if width is None:
+        return None
+    try:
+        msb = const_eval(width.msb, env)
+        lsb = const_eval(width.lsb, env)
+    except NotConstantError as exc:
+        raise ElaborationError("%s: non-constant width (%s)" % (context, exc))
+    return ast.Width(msb=ast.Number(value=msb), lsb=ast.Number(value=lsb))
+
+
+def _unroll_for(stmt, env):
+    """Unroll a For statement into a list of statements."""
+    var = ast.lvalue_base_name(stmt.init.lhs)
+    try:
+        value = const_eval(stmt.init.rhs, env)
+    except NotConstantError as exc:
+        raise ElaborationError("for-loop init must be constant: %s" % exc)
+    statements = []
+    iterations = 0
+    while True:
+        loop_env = dict(env)
+        loop_env[var] = value
+        try:
+            if not const_eval(stmt.cond, loop_env):
+                break
+        except NotConstantError as exc:
+            raise ElaborationError("for-loop condition must be static: %s" % exc)
+        body = map_statement(stmt.body, lambda e: fold_constants(e, loop_env))
+        body = _expand_statement(body, loop_env)
+        statements.append(body)
+        try:
+            value = const_eval(stmt.step.rhs, loop_env)
+        except NotConstantError as exc:
+            raise ElaborationError("for-loop step must be static: %s" % exc)
+        iterations += 1
+        if iterations > _MAX_UNROLL:
+            raise ElaborationError("for-loop exceeds %d iterations" % _MAX_UNROLL)
+    return statements
+
+
+def _expand_statement(stmt, env):
+    """Fold constants and unroll loops within a statement tree."""
+    from .transform import _one
+
+    def stmt_fn(node):
+        if isinstance(node, ast.For):
+            return _unroll_for(node, env)
+        return node
+
+    return _one(map_statement(stmt, lambda e: fold_constants(e, env), stmt_fn))
+
+
+def _is_lvalue(expr):
+    if isinstance(expr, ast.Identifier):
+        return True
+    if isinstance(expr, (ast.Index, ast.PartSelect, ast.IndexedPartSelect)):
+        return _is_lvalue(expr.var)
+    if isinstance(expr, ast.Concat):
+        return all(_is_lvalue(p) for p in expr.parts)
+    return False
+
+
+class _Elaborator:
+    def __init__(self, source, blackboxes):
+        self._modules = source.module_map()
+        self._blackboxes = set(blackboxes)
+        self._items = []
+        self._blackbox_instances = []
+
+    def elaborate(self, top_name, overrides=None):
+        top = self._modules[top_name]
+        env = _resolve_params(top, overrides)
+        self._inline(top, env, prefix="")
+        module = ast.Module(
+            name=top.name,
+            params=[],
+            ports=[self._resolve_port(p, env) for p in top.ports],
+            items=self._items,
+        )
+        return Design(top=module, blackboxes=self._blackbox_instances)
+
+    def _resolve_port(self, port, env):
+        return ast.Port(
+            direction=port.direction,
+            kind=port.kind,
+            name=port.name,
+            width=_resolve_width(port.width, env, port.name),
+            signed=port.signed,
+        )
+
+    def _inline(self, module, env, prefix, alias=None):
+        alias = alias or {}
+        local_names = {d.name for d in module.declarations()}
+        local_names.update(p.name for p in module.ports)
+        for item in module.items:
+            if isinstance(item, ast.Instance):
+                local_names.add(item.instance_name)
+        rename = {}
+        if prefix or alias:
+            rename = {
+                name: alias.get(name, prefix + name) for name in local_names
+            }
+
+        def fix_expr(expr):
+            expr = fold_constants(expr, env)
+            if rename:
+                expr = rename_identifiers(expr, rename)
+            return expr
+
+        for item in module.items:
+            if isinstance(item, ast.ParameterDecl):
+                continue
+            if isinstance(item, ast.Declaration):
+                if item.name in alias:
+                    # Port directly aliased to an outer signal: the outer
+                    # declaration is the single source of truth.
+                    continue
+                self._items.append(
+                    ast.Declaration(
+                        kind=(
+                            ast.NetKind.REG
+                            if item.kind is ast.NetKind.INTEGER
+                            else item.kind
+                        ),
+                        name=rename.get(item.name, item.name),
+                        width=(
+                            _resolve_width(item.width, env, item.name)
+                            if item.kind is not ast.NetKind.INTEGER
+                            else ast.Width(
+                                msb=ast.Number(value=31), lsb=ast.Number(value=0)
+                            )
+                        ),
+                        array=_resolve_width(item.array, env, item.name),
+                        signed=item.signed,
+                        lineno=item.lineno,
+                    )
+                )
+            elif isinstance(item, ast.ContinuousAssign):
+                self._items.append(
+                    ast.ContinuousAssign(
+                        lhs=fix_expr(item.lhs),
+                        rhs=fix_expr(item.rhs),
+                        lineno=item.lineno,
+                    )
+                )
+            elif isinstance(item, ast.Always):
+                body = _expand_statement(item.body, env)
+                if rename:
+                    body = map_statement(
+                        body, lambda e: rename_identifiers(e, rename)
+                    )
+                sens = [
+                    ast.SensItem(
+                        edge=s.edge,
+                        signal=rename.get(s.signal, s.signal) if s.signal else None,
+                    )
+                    for s in item.sens
+                ]
+                self._items.append(ast.Always(sens=sens, body=body, lineno=item.lineno))
+            elif isinstance(item, ast.Instance):
+                self._inline_instance(item, env, prefix, fix_expr)
+            else:
+                raise ElaborationError("unsupported module item %r" % (item,))
+
+    def _inline_instance(self, inst, env, prefix, fix_expr):
+        child_prefix = prefix + inst.instance_name + "."
+        overrides = {}
+        for override in inst.params:
+            try:
+                overrides[override.name] = const_eval(override.value, env)
+            except NotConstantError as exc:
+                raise ElaborationError(
+                    "instance %s: non-constant parameter %s (%s)"
+                    % (inst.instance_name, override.name, exc)
+                )
+        if inst.module_name in self._blackboxes:
+            self._blackbox_instance(inst, overrides, child_prefix, fix_expr)
+            return
+        if inst.module_name not in self._modules:
+            raise ElaborationError(
+                "instance %s references unknown module %s (declare it or "
+                "register it as a blackbox IP)" % (inst.instance_name, inst.module_name)
+            )
+        child = self._modules[inst.module_name]
+        child_env = _resolve_params(child, overrides)
+        ports = child.port_map()
+        alias = {}
+        assigns = []
+        for conn in inst.ports:
+            if conn.port not in ports:
+                raise ElaborationError(
+                    "instance %s: unknown port %s" % (inst.instance_name, conn.port)
+                )
+            if conn.expr is None:
+                continue
+            port = ports[conn.port]
+            outer = fix_expr(conn.expr)
+            if isinstance(outer, ast.Identifier):
+                # Plain-identifier connections become direct renames. This
+                # keeps clocks as clocks after flattening and avoids a
+                # settle-loop hop per port.
+                alias[conn.port] = outer.name
+                continue
+            inner = ast.Identifier(name=child_prefix + conn.port)
+            if port.direction is ast.PortDirection.INPUT:
+                assigns.append(ast.ContinuousAssign(lhs=inner, rhs=outer))
+            else:
+                if not _is_lvalue(outer):
+                    raise ElaborationError(
+                        "instance %s: output port %s must connect to an lvalue"
+                        % (inst.instance_name, conn.port)
+                    )
+                assigns.append(ast.ContinuousAssign(lhs=outer, rhs=inner))
+        self._inline(child, child_env, child_prefix, alias=alias)
+        self._items.extend(assigns)
+
+    def _blackbox_instance(self, inst, overrides, child_prefix, fix_expr):
+        resolved = ast.Instance(
+            module_name=inst.module_name,
+            instance_name=child_prefix.rstrip("."),
+            params=[
+                ast.ParamOverride(name=name, value=ast.Number(value=value))
+                for name, value in overrides.items()
+            ],
+            ports=[
+                ast.PortConnection(
+                    port=conn.port,
+                    expr=fix_expr(conn.expr) if conn.expr is not None else None,
+                )
+                for conn in inst.ports
+            ],
+            lineno=inst.lineno,
+        )
+        self._items.append(resolved)
+        self._blackbox_instances.append(resolved)
+
+
+def elaborate(source, top=None, params=None, blackboxes=DEFAULT_BLACKBOXES):
+    """Elaborate *source* with *top* as the root module.
+
+    ``params`` optionally overrides top-level parameters. Returns a
+    :class:`Design` whose ``top`` is a flat module.
+    """
+    if isinstance(source, ast.Module):
+        source = ast.Source(modules=[source])
+    if top is None:
+        top = source.modules[-1].name
+    return _Elaborator(source, blackboxes).elaborate(top, params)

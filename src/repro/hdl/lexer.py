@@ -1,0 +1,123 @@
+"""Tokenizer for the synthesizable Verilog subset.
+
+Produces a flat list of :class:`Token` objects. Comments (``//`` and
+``/* */``) and whitespace are skipped; line numbers are tracked for
+diagnostics and for mapping instrumentation back to source.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    [
+        "module", "endmodule", "input", "output", "inout", "reg", "wire",
+        "integer", "parameter", "localparam", "assign", "always", "begin",
+        "end", "if", "else", "case", "casez", "endcase", "default", "for",
+        "posedge", "negedge", "or", "signed",
+    ]
+)
+
+# Ordered: longest operators first so maximal-munch works.
+_OPERATORS = [
+    "<<<", ">>>", "===", "!==",
+    "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "+:", "-:",
+    "~&", "~|", "~^", "^~",
+    "+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^",
+    "=", "?", ":", ",", ";", ".", "#", "(", ")", "[", "]", "{", "}", "@", "'",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<sized>[0-9_]*'[sS]?[bodhBODH][0-9a-fA-FxXzZ_?]+)
+  | (?P<real>\d[\d_]*\.\d[\d_]*)
+  | (?P<number>\d[\d_]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>\$?[A-Za-z_][A-Za-z0-9_$\.]*)
+  | (?P<op>%s)
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """
+    % "|".join(re.escape(op) for op in _OPERATORS),
+    re.VERBOSE | re.DOTALL,
+)
+
+_BASE_RADIX = {"b": 2, "o": 8, "d": 10, "h": 16}
+
+
+class LexerError(ValueError):
+    """Raised when the input contains a character outside the subset."""
+
+
+@dataclass
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of ``keyword``, ``ident``, ``sysname`` (``$display``),
+    ``number`` (with ``value``/``width``/``signed`` filled in), ``string``,
+    or ``op``.
+    """
+
+    kind: str
+    text: str
+    lineno: int
+    value: int = 0
+    width: object = None
+    signed: bool = False
+
+    def __repr__(self):
+        return "Token(%s, %r, line %d)" % (self.kind, self.text, self.lineno)
+
+
+def _parse_sized_number(text):
+    """Parse ``8'hFF`` style literals; returns (value, width, signed)."""
+    size_part, rest = text.split("'", 1)
+    signed = rest[0] in "sS"
+    if signed:
+        rest = rest[1:]
+    radix = _BASE_RADIX[rest[0].lower()]
+    digits = rest[1:].replace("_", "")
+    # Two-state simulation: x/z/? digits read as 0.
+    digits = re.sub(r"[xXzZ?]", "0", digits)
+    value = int(digits, radix) if digits else 0
+    width = int(size_part.replace("_", "")) if size_part else None
+    return value, width, signed
+
+
+def tokenize(text):
+    """Tokenize *text*, returning a list of :class:`Token`.
+
+    Raises :class:`LexerError` on characters outside the supported subset.
+    """
+    tokens = []
+    lineno = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        raw = match.group()
+        if kind in ("ws", "comment"):
+            lineno += raw.count("\n")
+            continue
+        if kind == "bad":
+            raise LexerError("line %d: unexpected character %r" % (lineno, raw))
+        if kind == "sized":
+            value, width, signed = _parse_sized_number(raw)
+            tokens.append(Token("number", raw, lineno, value, width, signed))
+        elif kind in ("number", "real"):
+            if kind == "real":
+                raise LexerError("line %d: real literals unsupported" % lineno)
+            tokens.append(Token("number", raw, lineno, int(raw.replace("_", ""))))
+        elif kind == "string":
+            tokens.append(Token("string", raw[1:-1], lineno))
+        elif kind == "ident":
+            if raw.startswith("$"):
+                tokens.append(Token("sysname", raw, lineno))
+            elif raw in KEYWORDS:
+                tokens.append(Token("keyword", raw, lineno))
+            else:
+                tokens.append(Token("ident", raw, lineno))
+        else:
+            tokens.append(Token("op", raw, lineno))
+        lineno += raw.count("\n")
+    return tokens

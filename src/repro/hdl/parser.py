@@ -1,0 +1,561 @@
+"""Recursive-descent parser for the synthesizable Verilog subset.
+
+The grammar covers what the paper's testbed designs and generated
+instrumentation need: ANSI-style modules with parameters, vector and memory
+declarations, continuous assigns, ``always`` blocks (edge-triggered and
+combinational), if/case/casez/for statements, blocking and nonblocking
+assignments, ``$display``/``$finish``, module instantiation with named
+connections, and the SystemVerilog size-cast ``N'(expr)``.
+
+Entry point: :func:`parse` (text -> :class:`repro.hdl.ast_nodes.Source`).
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on input the subset grammar does not accept."""
+
+
+_UNARY_OPS = frozenset(["~", "!", "-", "+", "&", "|", "^", "~&", "~|", "~^"])
+
+# Binary operator precedence levels, lowest binding first.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^", "~^", "^~"],
+    ["&"],
+    ["==", "!=", "===", "!=="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>", "<<<", ">>>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, ahead=0):
+        index = self._pos + ahead
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return Token("eof", "<eof>", self._tokens[-1].lineno if self._tokens else 0)
+
+    def _next(self):
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def _at(self, kind, text=None, ahead=0):
+        token = self._peek(ahead)
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind, text=None):
+        if self._at(kind, text):
+            return self._next()
+        return None
+
+    def _expect(self, kind, text=None):
+        token = self._peek()
+        if not self._at(kind, text):
+            raise ParseError(
+                "line %d: expected %s, got %r"
+                % (token.lineno, text or kind, token.text)
+            )
+        return self._next()
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_source(self):
+        modules = []
+        while not self._at("eof"):
+            modules.append(self.parse_module())
+        return ast.Source(modules=modules)
+
+    def parse_module(self):
+        self._expect("keyword", "module")
+        name = self._expect("ident").text
+        params = []
+        if self._accept("op", "#"):
+            self._expect("op", "(")
+            while not self._at("op", ")"):
+                self._accept("keyword", "parameter")
+                pname = self._expect("ident").text
+                self._expect("op", "=")
+                params.append(
+                    ast.ParameterDecl(name=pname, value=self.parse_expression())
+                )
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", ")")
+        ports = []
+        self._expect("op", "(")
+        while not self._at("op", ")"):
+            ports.append(self._parse_port())
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ")")
+        self._expect("op", ";")
+        items = []
+        while not self._at("keyword", "endmodule"):
+            items.extend(self._parse_item())
+        self._expect("keyword", "endmodule")
+        return self._with_port_declarations(
+            ast.Module(name=name, params=params, ports=ports, items=items)
+        )
+
+    @staticmethod
+    def _with_port_declarations(module):
+        """Add implicit Declarations for ports not declared in the body."""
+        declared = {d.name for d in module.declarations()}
+        implicit = []
+        for port in module.ports:
+            if port.name in declared:
+                continue
+            implicit.append(
+                ast.Declaration(
+                    kind=port.kind,
+                    name=port.name,
+                    width=port.width,
+                    signed=port.signed,
+                )
+            )
+        module.items = implicit + module.items
+        return module
+
+    def _parse_port(self):
+        token = self._next()
+        if token.text not in ("input", "output", "inout"):
+            raise ParseError(
+                "line %d: expected port direction, got %r" % (token.lineno, token.text)
+            )
+        direction = ast.PortDirection(token.text)
+        kind = ast.NetKind.WIRE
+        if self._at("keyword", "reg") or self._at("keyword", "wire"):
+            kind = ast.NetKind(self._next().text)
+        signed = bool(self._accept("keyword", "signed"))
+        width = self._parse_optional_width()
+        name = self._expect("ident").text
+        return ast.Port(
+            direction=direction, kind=kind, name=name, width=width, signed=signed
+        )
+
+    def _parse_optional_width(self):
+        if not self._at("op", "["):
+            return None
+        self._next()
+        msb = self.parse_expression()
+        self._expect("op", ":")
+        lsb = self.parse_expression()
+        self._expect("op", "]")
+        return ast.Width(msb=msb, lsb=lsb)
+
+    # -- module items -------------------------------------------------------
+
+    def _parse_item(self):
+        token = self._peek()
+        if token.kind == "keyword":
+            if token.text in ("reg", "wire", "integer"):
+                return self._parse_declaration()
+            if token.text in ("parameter", "localparam"):
+                return self._parse_parameter_item()
+            if token.text == "assign":
+                return [self._parse_continuous_assign()]
+            if token.text == "always":
+                return [self._parse_always()]
+        if token.kind == "ident":
+            return [self._parse_instance()]
+        raise ParseError(
+            "line %d: unexpected token %r in module body" % (token.lineno, token.text)
+        )
+
+    def _parse_declaration(self):
+        lineno = self._peek().lineno
+        kind = ast.NetKind(self._next().text)
+        signed = bool(self._accept("keyword", "signed"))
+        width = None if kind is ast.NetKind.INTEGER else self._parse_optional_width()
+        items = []
+        while True:
+            name = self._expect("ident").text
+            array = self._parse_optional_width()
+            decl = ast.Declaration(
+                kind=kind,
+                name=name,
+                width=width,
+                array=array,
+                signed=signed,
+                lineno=lineno,
+            )
+            items.append(decl)
+            if self._accept("op", "="):
+                if kind is not ast.NetKind.WIRE:
+                    raise ParseError(
+                        "line %d: initializer only allowed on wire" % lineno
+                    )
+                items.append(
+                    ast.ContinuousAssign(
+                        lhs=ast.Identifier(name=name),
+                        rhs=self.parse_expression(),
+                        lineno=lineno,
+                    )
+                )
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        return items
+
+    def _parse_parameter_item(self):
+        local = self._next().text == "localparam"
+        items = []
+        while True:
+            name = self._expect("ident").text
+            self._expect("op", "=")
+            items.append(
+                ast.ParameterDecl(name=name, value=self.parse_expression(), local=local)
+            )
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        return items
+
+    def _parse_continuous_assign(self):
+        lineno = self._expect("keyword", "assign").lineno
+        lhs = self.parse_expression()
+        self._expect("op", "=")
+        rhs = self.parse_expression()
+        self._expect("op", ";")
+        return ast.ContinuousAssign(lhs=lhs, rhs=rhs, lineno=lineno)
+
+    def _parse_always(self):
+        lineno = self._expect("keyword", "always").lineno
+        self._expect("op", "@")
+        self._expect("op", "(")
+        sens = []
+        if self._accept("op", "*"):
+            sens.append(ast.SensItem(edge=ast.Edge.STAR))
+        else:
+            while True:
+                if self._accept("keyword", "posedge"):
+                    edge = ast.Edge.POSEDGE
+                elif self._accept("keyword", "negedge"):
+                    edge = ast.Edge.NEGEDGE
+                else:
+                    # Plain signal in sensitivity list: treat as combinational.
+                    edge = ast.Edge.STAR
+                signal = None
+                if edge is not ast.Edge.STAR or self._at("ident"):
+                    signal = self._expect("ident").text
+                sens.append(ast.SensItem(edge=edge, signal=signal))
+                if not (self._accept("keyword", "or") or self._accept("op", ",")):
+                    break
+        self._expect("op", ")")
+        body = self.parse_statement()
+        return ast.Always(sens=sens, body=body, lineno=lineno)
+
+    def _parse_instance(self):
+        lineno = self._peek().lineno
+        module_name = self._expect("ident").text
+        params = []
+        if self._accept("op", "#"):
+            self._expect("op", "(")
+            while not self._at("op", ")"):
+                self._expect("op", ".")
+                pname = self._expect("ident").text
+                self._expect("op", "(")
+                params.append(
+                    ast.ParamOverride(name=pname, value=self.parse_expression())
+                )
+                self._expect("op", ")")
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", ")")
+        instance_name = self._expect("ident").text
+        ports = []
+        self._expect("op", "(")
+        while not self._at("op", ")"):
+            self._expect("op", ".")
+            port_name = self._expect("ident").text
+            self._expect("op", "(")
+            expr = None
+            if not self._at("op", ")"):
+                expr = self.parse_expression()
+            self._expect("op", ")")
+            ports.append(ast.PortConnection(port=port_name, expr=expr))
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.Instance(
+            module_name=module_name,
+            instance_name=instance_name,
+            params=params,
+            ports=ports,
+            lineno=lineno,
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self):
+        token = self._peek()
+        if token.kind == "keyword":
+            if token.text == "begin":
+                return self._parse_block()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text in ("case", "casez"):
+                return self._parse_case()
+            if token.text == "for":
+                return self._parse_for()
+        if token.kind == "sysname":
+            return self._parse_system_call()
+        if self._accept("op", ";"):
+            return ast.Block(statements=[])
+        return self._parse_assignment()
+
+    def _parse_block(self):
+        self._expect("keyword", "begin")
+        # Optional block label: "begin : name".
+        if self._accept("op", ":"):
+            self._expect("ident")
+        statements = []
+        while not self._at("keyword", "end"):
+            statements.append(self.parse_statement())
+        self._expect("keyword", "end")
+        return ast.Block(statements=statements)
+
+    def _parse_if(self):
+        self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self.parse_expression()
+        self._expect("op", ")")
+        then_stmt = self.parse_statement()
+        else_stmt = None
+        if self._accept("keyword", "else"):
+            else_stmt = self.parse_statement()
+        return ast.If(cond=cond, then_stmt=then_stmt, else_stmt=else_stmt)
+
+    def _parse_case(self):
+        casez = self._next().text == "casez"
+        self._expect("op", "(")
+        subject = self.parse_expression()
+        self._expect("op", ")")
+        items = []
+        while not self._at("keyword", "endcase"):
+            if self._accept("keyword", "default"):
+                self._accept("op", ":")
+                items.append(ast.CaseItem(labels=[], stmt=self.parse_statement()))
+                continue
+            labels = [self.parse_expression()]
+            while self._accept("op", ","):
+                labels.append(self.parse_expression())
+            self._expect("op", ":")
+            items.append(ast.CaseItem(labels=labels, stmt=self.parse_statement()))
+        self._expect("keyword", "endcase")
+        return ast.Case(subject=subject, items=items, casez=casez)
+
+    def _parse_for(self):
+        self._expect("keyword", "for")
+        self._expect("op", "(")
+        init = self._parse_assignment(terminated=False)
+        self._expect("op", ";")
+        cond = self.parse_expression()
+        self._expect("op", ";")
+        step = self._parse_assignment(terminated=False)
+        self._expect("op", ")")
+        body = self.parse_statement()
+        if not isinstance(init, ast.BlockingAssign) or not isinstance(
+            step, ast.BlockingAssign
+        ):
+            raise ParseError("for loop init/step must be blocking assignments")
+        return ast.For(init=init, cond=cond, step=step, body=body)
+
+    def _parse_system_call(self):
+        token = self._expect("sysname")
+        name = token.text
+        if name in ("$finish", "$stop"):
+            if self._accept("op", "("):
+                self._expect("op", ")")
+            self._expect("op", ";")
+            return ast.Finish()
+        if name not in ("$display", "$write"):
+            raise ParseError(
+                "line %d: unsupported system task %s" % (token.lineno, name)
+            )
+        self._expect("op", "(")
+        fmt = self._expect("string")
+        args = []
+        while self._accept("op", ","):
+            args.append(self.parse_expression())
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.Display(format=fmt.text, args=args, lineno=token.lineno)
+
+    def _parse_assignment(self, terminated=True):
+        lineno = self._peek().lineno
+        lhs = self._parse_primary()
+        if self._accept("op", "<="):
+            rhs = self.parse_expression()
+            stmt = ast.NonblockingAssign(lhs=lhs, rhs=rhs, lineno=lineno)
+        elif self._accept("op", "="):
+            rhs = self.parse_expression()
+            stmt = ast.BlockingAssign(lhs=lhs, rhs=rhs, lineno=lineno)
+        else:
+            token = self._peek()
+            raise ParseError(
+                "line %d: expected assignment, got %r" % (token.lineno, token.text)
+            )
+        if terminated:
+            self._expect("op", ";")
+        return stmt
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expression(self):
+        return self._parse_ternary()
+
+    def _parse_ternary(self):
+        cond = self._parse_binary(0)
+        if self._accept("op", "?"):
+            iftrue = self.parse_expression()
+            self._expect("op", ":")
+            iffalse = self.parse_expression()
+            return ast.Ternary(cond=cond, iftrue=iftrue, iffalse=iffalse)
+        return cond
+
+    def _parse_binary(self, level):
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self._peek().kind == "op" and self._peek().text in ops:
+            op = self._next().text
+            right = self._parse_binary(level + 1)
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token.kind == "op" and token.text in _UNARY_OPS:
+            self._next()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.UnaryOp(op=token.text, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self._peek()
+        if token.kind == "number":
+            self._next()
+            # SystemVerilog size cast: N'(expr).
+            if token.width is None and self._at("op", "'") and self._at("op", "(", 1):
+                self._next()
+                self._next()
+                expr = self.parse_expression()
+                self._expect("op", ")")
+                return self._parse_postfix(
+                    ast.SizeCast(width=token.value, expr=expr)
+                )
+            return ast.Number(
+                value=token.value, width=token.width, signed=token.signed
+            )
+        if token.kind == "ident":
+            self._next()
+            return self._parse_postfix(ast.Identifier(name=token.text))
+        if token.kind == "sysname" and token.text in ("$signed", "$unsigned"):
+            self._next()
+            self._expect("op", "(")
+            expr = self.parse_expression()
+            self._expect("op", ")")
+            # Two-state simplification: treat as identity.
+            return expr
+        if self._accept("op", "("):
+            expr = self.parse_expression()
+            self._expect("op", ")")
+            return self._parse_postfix(expr)
+        if self._at("op", "{"):
+            return self._parse_concat()
+        raise ParseError(
+            "line %d: unexpected token %r in expression" % (token.lineno, token.text)
+        )
+
+    def _parse_concat(self):
+        self._expect("op", "{")
+        first = self.parse_expression()
+        if self._at("op", "{"):
+            self._next()
+            expr = self.parse_expression()
+            self._expect("op", "}")
+            self._expect("op", "}")
+            return ast.Repeat(count=first, expr=expr)
+        parts = [first]
+        while self._accept("op", ","):
+            parts.append(self.parse_expression())
+        self._expect("op", "}")
+        return self._parse_postfix(ast.Concat(parts=parts))
+
+    def _parse_postfix(self, expr):
+        while self._at("op", "["):
+            self._next()
+            index = self.parse_expression()
+            if self._accept("op", ":"):
+                msb = index
+                lsb = self.parse_expression()
+                self._expect("op", "]")
+                expr = ast.PartSelect(var=expr, msb=msb, lsb=lsb)
+            elif self._accept("op", "+:"):
+                width = self.parse_expression()
+                self._expect("op", "]")
+                expr = ast.IndexedPartSelect(
+                    var=expr, base=index, width=width, ascending=True
+                )
+            elif self._accept("op", "-:"):
+                width = self.parse_expression()
+                self._expect("op", "]")
+                expr = ast.IndexedPartSelect(
+                    var=expr, base=index, width=width, ascending=False
+                )
+            else:
+                self._expect("op", "]")
+                expr = ast.Index(var=expr, index=index)
+        return expr
+
+
+def parse(text):
+    """Parse Verilog source *text* into a :class:`repro.hdl.ast_nodes.Source`."""
+    return _Parser(tokenize(text)).parse_source()
+
+
+def parse_module(text):
+    """Parse source containing exactly one module and return it."""
+    source = parse(text)
+    if len(source.modules) != 1:
+        raise ParseError("expected exactly one module, got %d" % len(source.modules))
+    return source.modules[0]
+
+
+def parse_expression(text):
+    """Parse a standalone expression (used by tools and tests)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expression()
+    if not parser._at("eof"):
+        raise ParseError("trailing input after expression: %r" % parser._peek().text)
+    return expr
+
+
+def parse_statement(text):
+    """Parse a standalone procedural statement (used by tools and tests)."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.parse_statement()
+    if not parser._at("eof"):
+        raise ParseError("trailing input after statement: %r" % parser._peek().text)
+    return stmt

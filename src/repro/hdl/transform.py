@@ -1,0 +1,274 @@
+"""Expression/statement transformation helpers shared by elaboration and tools.
+
+Provides a generic bottom-up expression rewriter (:func:`map_expression`),
+statement rewriter (:func:`map_statements`), parameter substitution, and a
+constant evaluator used for widths, case labels and for-loop unrolling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from . import ast_nodes as ast
+
+
+class NotConstantError(ValueError):
+    """Raised when a supposedly-constant expression references a signal."""
+
+
+def map_expression(expr, fn):
+    """Rebuild *expr* bottom-up, applying *fn* to every sub-expression.
+
+    *fn* receives each node after its children have been rewritten and
+    returns the replacement node (often the same node).
+    """
+    if isinstance(expr, (ast.Number, ast.Identifier)):
+        return fn(expr)
+    if isinstance(expr, ast.Index):
+        return fn(
+            ast.Index(var=map_expression(expr.var, fn), index=map_expression(expr.index, fn))
+        )
+    if isinstance(expr, ast.PartSelect):
+        return fn(
+            ast.PartSelect(
+                var=map_expression(expr.var, fn),
+                msb=map_expression(expr.msb, fn),
+                lsb=map_expression(expr.lsb, fn),
+            )
+        )
+    if isinstance(expr, ast.IndexedPartSelect):
+        return fn(
+            ast.IndexedPartSelect(
+                var=map_expression(expr.var, fn),
+                base=map_expression(expr.base, fn),
+                width=map_expression(expr.width, fn),
+                ascending=expr.ascending,
+            )
+        )
+    if isinstance(expr, ast.Concat):
+        return fn(ast.Concat(parts=[map_expression(p, fn) for p in expr.parts]))
+    if isinstance(expr, ast.Repeat):
+        return fn(
+            ast.Repeat(
+                count=map_expression(expr.count, fn),
+                expr=map_expression(expr.expr, fn),
+            )
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return fn(ast.UnaryOp(op=expr.op, operand=map_expression(expr.operand, fn)))
+    if isinstance(expr, ast.BinaryOp):
+        return fn(
+            ast.BinaryOp(
+                op=expr.op,
+                left=map_expression(expr.left, fn),
+                right=map_expression(expr.right, fn),
+            )
+        )
+    if isinstance(expr, ast.Ternary):
+        return fn(
+            ast.Ternary(
+                cond=map_expression(expr.cond, fn),
+                iftrue=map_expression(expr.iftrue, fn),
+                iffalse=map_expression(expr.iffalse, fn),
+            )
+        )
+    if isinstance(expr, ast.SizeCast):
+        return fn(ast.SizeCast(width=expr.width, expr=map_expression(expr.expr, fn)))
+    raise TypeError("cannot transform %r" % (expr,))
+
+
+def map_statement(stmt, expr_fn, stmt_fn=None):
+    """Rebuild *stmt* with every expression rewritten through *expr_fn*.
+
+    If *stmt_fn* is given it is applied to each rebuilt statement and may
+    return a replacement statement, a list of statements (spliced into the
+    enclosing block), or None to drop the statement.
+    """
+
+    def rebuild(node):
+        if isinstance(node, ast.Block):
+            statements = []
+            for inner in node.statements:
+                result = map_statement(inner, expr_fn, stmt_fn)
+                if result is None:
+                    continue
+                if isinstance(result, list):
+                    statements.extend(result)
+                else:
+                    statements.append(result)
+            return ast.Block(statements=statements)
+        if isinstance(node, ast.NonblockingAssign):
+            return ast.NonblockingAssign(
+                lhs=map_expression(node.lhs, expr_fn),
+                rhs=map_expression(node.rhs, expr_fn),
+                lineno=node.lineno,
+            )
+        if isinstance(node, ast.BlockingAssign):
+            return ast.BlockingAssign(
+                lhs=map_expression(node.lhs, expr_fn),
+                rhs=map_expression(node.rhs, expr_fn),
+                lineno=node.lineno,
+            )
+        if isinstance(node, ast.If):
+            return ast.If(
+                cond=map_expression(node.cond, expr_fn),
+                then_stmt=_one(map_statement(node.then_stmt, expr_fn, stmt_fn)),
+                else_stmt=(
+                    _one(map_statement(node.else_stmt, expr_fn, stmt_fn))
+                    if node.else_stmt is not None
+                    else None
+                ),
+            )
+        if isinstance(node, ast.Case):
+            return ast.Case(
+                subject=map_expression(node.subject, expr_fn),
+                items=[
+                    ast.CaseItem(
+                        labels=[map_expression(l, expr_fn) for l in item.labels],
+                        stmt=_one(map_statement(item.stmt, expr_fn, stmt_fn)),
+                    )
+                    for item in node.items
+                ],
+                casez=node.casez,
+            )
+        if isinstance(node, ast.For):
+            return ast.For(
+                init=map_statement(node.init, expr_fn),
+                cond=map_expression(node.cond, expr_fn),
+                step=map_statement(node.step, expr_fn),
+                body=_one(map_statement(node.body, expr_fn, stmt_fn)),
+            )
+        if isinstance(node, ast.Display):
+            return ast.Display(
+                format=node.format,
+                args=[map_expression(a, expr_fn) for a in node.args],
+                lineno=node.lineno,
+                label=node.label,
+            )
+        if isinstance(node, ast.Finish):
+            return ast.Finish()
+        raise TypeError("cannot transform %r" % (node,))
+
+    rebuilt = rebuild(stmt)
+    if stmt_fn is not None and not isinstance(rebuilt, ast.Block):
+        return stmt_fn(rebuilt)
+    return rebuilt
+
+
+def _one(result):
+    """Normalize a map_statement result to a single statement."""
+    if result is None:
+        return ast.Block(statements=[])
+    if isinstance(result, list):
+        if len(result) == 1:
+            return result[0]
+        return ast.Block(statements=result)
+    return result
+
+
+def substitute(expr, env):
+    """Replace identifiers found in *env* (name -> int) with Number nodes."""
+
+    def fn(node):
+        if isinstance(node, ast.Identifier) and node.name in env:
+            return ast.Number(value=env[node.name])
+        return node
+
+    return map_expression(expr, fn)
+
+
+def const_eval(expr, env=None):
+    """Evaluate a constant expression to a Python int.
+
+    *env* maps parameter names to ints. Raises :class:`NotConstantError`
+    when the expression references anything else.
+    """
+    env = env or {}
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Identifier):
+        if expr.name in env:
+            return env[expr.name]
+        raise NotConstantError("non-constant identifier %r" % expr.name)
+    if isinstance(expr, ast.UnaryOp):
+        value = const_eval(expr.operand, env)
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value
+        if expr.op == "!":
+            return int(value == 0)
+        raise NotConstantError("unsupported constant unary %s" % expr.op)
+    if isinstance(expr, ast.BinaryOp):
+        left = const_eval(expr.left, env)
+        right = const_eval(expr.right, env)
+        ops = {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: left // right,
+            "%": lambda: left % right,
+            "<<": lambda: left << right,
+            ">>": lambda: left >> right,
+            "<": lambda: int(left < right),
+            "<=": lambda: int(left <= right),
+            ">": lambda: int(left > right),
+            ">=": lambda: int(left >= right),
+            "==": lambda: int(left == right),
+            "!=": lambda: int(left != right),
+            "&&": lambda: int(bool(left) and bool(right)),
+            "||": lambda: int(bool(left) or bool(right)),
+            "&": lambda: left & right,
+            "|": lambda: left | right,
+            "^": lambda: left ^ right,
+        }
+        if expr.op in ops:
+            return ops[expr.op]()
+        raise NotConstantError("unsupported constant binary %s" % expr.op)
+    if isinstance(expr, ast.Ternary):
+        return (
+            const_eval(expr.iftrue, env)
+            if const_eval(expr.cond, env)
+            else const_eval(expr.iffalse, env)
+        )
+    if isinstance(expr, ast.SizeCast):
+        return const_eval(expr.expr, env) & ((1 << expr.width) - 1)
+    if isinstance(expr, ast.Concat):
+        raise NotConstantError("constant concat unsupported")
+    raise NotConstantError("non-constant expression %r" % (expr,))
+
+
+def try_const_eval(expr, env=None):
+    """Like :func:`const_eval` but returns None instead of raising."""
+    try:
+        return const_eval(expr, env)
+    except NotConstantError:
+        return None
+
+
+def fold_constants(expr, env):
+    """Substitute *env* and collapse fully-constant subtrees to Numbers."""
+
+    def fn(node):
+        if isinstance(node, ast.Identifier) and node.name in env:
+            return ast.Number(value=env[node.name])
+        if isinstance(node, (ast.Number, ast.Identifier)):
+            return node
+        value = try_const_eval(node)
+        if value is not None and value >= 0:
+            width = node.width if isinstance(node, ast.SizeCast) else None
+            return ast.Number(value=value, width=width)
+        return node
+
+    return map_expression(expr, fn)
+
+
+def rename_identifiers(expr, rename):
+    """Rewrite identifiers through the *rename* mapping (name -> name)."""
+
+    def fn(node):
+        if isinstance(node, ast.Identifier) and node.name in rename:
+            return ast.Identifier(name=rename[node.name])
+        return node
+
+    return map_expression(expr, fn)

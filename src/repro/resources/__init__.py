@@ -1,0 +1,34 @@
+"""Synthesis resource and timing estimation (stands in for Quartus/Vivado).
+
+Used by the Figure 2 / Figure 3 benchmark harnesses and the §6.4
+frequency results.
+"""
+
+from .platforms import HARP, KC705, PlatformModel, platform_for
+from .estimator import (
+    BRAM_THRESHOLD_BITS,
+    ResourceEstimate,
+    estimate_resources,
+    overhead,
+)
+from .timing import (
+    RECORDER_WIDE_THRESHOLD,
+    TimingReport,
+    achievable_frequency,
+    estimate_timing,
+)
+
+__all__ = [
+    "PlatformModel",
+    "HARP",
+    "KC705",
+    "platform_for",
+    "ResourceEstimate",
+    "estimate_resources",
+    "overhead",
+    "BRAM_THRESHOLD_BITS",
+    "TimingReport",
+    "estimate_timing",
+    "achievable_frequency",
+    "RECORDER_WIDE_THRESHOLD",
+]

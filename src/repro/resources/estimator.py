@@ -1,0 +1,202 @@
+"""Structural resource estimation for elaborated designs (§6.4).
+
+Stands in for the Quartus/Vivado synthesis reports the paper reads: the
+estimator counts, from the elaborated AST,
+
+* **registers** — bits of sequentially-assigned scalar registers, plus
+  small memories that synthesize to register banks;
+* **block RAM bits** — large memories, FIFO/BRAM IP capacity, and the
+  recording IP's ``DEPTH x WIDTH`` buffer (the dominant, linearly-growing
+  term in Figure 2);
+* **logic cells** — a LUT-packing estimate over every expression the
+  design evaluates per cycle.
+
+Absolute numbers are estimates, but the properties the paper's Figures 2
+and 3 rest on are structural and hold exactly: BRAM grows linearly with
+recording-buffer depth while registers and logic stay flat.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hdl import ast_nodes as ast
+from ..hdl.elaborate import Design
+from ..hdl.transform import const_eval, try_const_eval
+from ..analysis.assignments import analyze_module
+from ..sim.values import SymbolTable, self_width
+
+#: Memories at or below this many bits synthesize to register banks.
+BRAM_THRESHOLD_BITS = 1024
+
+
+@dataclass
+class ResourceEstimate:
+    """Estimated resource usage of one design."""
+
+    registers: int = 0
+    logic_cells: int = 0
+    bram_bits: int = 0
+
+    def __add__(self, other):
+        return ResourceEstimate(
+            registers=self.registers + other.registers,
+            logic_cells=self.logic_cells + other.logic_cells,
+            bram_bits=self.bram_bits + other.bram_bits,
+        )
+
+    def __sub__(self, other):
+        return ResourceEstimate(
+            registers=self.registers - other.registers,
+            logic_cells=self.logic_cells - other.logic_cells,
+            bram_bits=self.bram_bits - other.bram_bits,
+        )
+
+    def normalized(self, platform):
+        """Usage as fractions of a platform's capacity (Figure 3)."""
+        return {
+            "registers": self.registers / platform.registers,
+            "logic": self.logic_cells / platform.logic_cells,
+            "bram": self.bram_bits / platform.bram_bits,
+        }
+
+
+def _logic_cost(expr, symbols, lut_inputs):
+    """LUT-equivalent count of evaluating *expr* once."""
+    if isinstance(expr, (ast.Number, ast.Identifier)):
+        return 0
+    if isinstance(expr, (ast.Index, ast.PartSelect, ast.IndexedPartSelect)):
+        base = _logic_cost(expr.var, symbols, lut_inputs)
+        if isinstance(expr, ast.Index) and try_const_eval(expr.index) is None:
+            # Variable bit/element select: a mux tree over the source.
+            width = self_width(expr, symbols)
+            source = self_width(expr.var, symbols)
+            base += max(1, (source * width) // (lut_inputs - 2) // 4)
+            base += _logic_cost(expr.index, symbols, lut_inputs)
+        return base
+    if isinstance(expr, ast.Concat):
+        return sum(_logic_cost(p, symbols, lut_inputs) for p in expr.parts)
+    if isinstance(expr, ast.Repeat):
+        return _logic_cost(expr.expr, symbols, lut_inputs)
+    if isinstance(expr, ast.SizeCast):
+        return _logic_cost(expr.expr, symbols, lut_inputs)
+    if isinstance(expr, ast.UnaryOp):
+        inner = _logic_cost(expr.operand, symbols, lut_inputs)
+        width = self_width(expr.operand, symbols)
+        if expr.op in ("~", "-"):
+            return inner + max(1, width // lut_inputs + 1)
+        # Reductions and logical not collapse through a LUT tree.
+        return inner + max(1, math.ceil(width / lut_inputs))
+    if isinstance(expr, ast.BinaryOp):
+        cost = _logic_cost(expr.left, symbols, lut_inputs)
+        cost += _logic_cost(expr.right, symbols, lut_inputs)
+        width = max(
+            self_width(expr.left, symbols), self_width(expr.right, symbols)
+        )
+        op = expr.op
+        if op in ("&", "|", "^", "~^", "^~"):
+            cost += max(1, math.ceil(width / (lut_inputs - 3)))
+        elif op in ("+", "-"):
+            cost += width  # one carry-chain cell per bit
+        elif op == "*":
+            cost += max(4, (width * width) // 4)
+        elif op in ("/", "%"):
+            cost += max(8, width * width // 2)
+        elif op in ("==", "!=", "===", "!=="):
+            cost += max(1, math.ceil(width / 3))
+        elif op in ("<", "<=", ">", ">="):
+            cost += max(1, math.ceil(width / 2))
+        elif op in ("<<", ">>", "<<<", ">>>"):
+            if try_const_eval(expr.right) is None:
+                shift_levels = max(1, math.ceil(math.log2(max(width, 2))))
+                cost += width * shift_levels // 2
+        elif op in ("&&", "||"):
+            cost += 1
+        return cost
+    if isinstance(expr, ast.Ternary):
+        width = self_width(expr, symbols)
+        return (
+            _logic_cost(expr.cond, symbols, lut_inputs)
+            + _logic_cost(expr.iftrue, symbols, lut_inputs)
+            + _logic_cost(expr.iffalse, symbols, lut_inputs)
+            + max(1, math.ceil(width / 2))
+        )
+    raise TypeError("cannot cost %r" % (expr,))
+
+
+def _ip_resources(inst):
+    """Resource contribution of one blackbox IP instance."""
+    params = {p.name: const_eval(p.value) for p in inst.params}
+    estimate = ResourceEstimate()
+    if inst.module_name == "signal_recorder":
+        width = int(params.get("WIDTH", 32))
+        depth = int(params.get("DEPTH", 8192))
+        estimate.bram_bits += width * depth
+        address_bits = max(1, math.ceil(math.log2(max(depth, 2))))
+        # Sample staging register, write pointer, control.
+        estimate.registers += width + address_bits + 8
+        estimate.logic_cells += width // 2 + address_bits + 8
+    elif inst.module_name in ("scfifo", "dcfifo"):
+        width = int(params.get("LPM_WIDTH", 32))
+        depth = int(params.get("LPM_NUMWORDS", 16))
+        estimate.bram_bits += width * depth
+        pointer_bits = max(1, math.ceil(math.log2(max(depth, 2))))
+        pointers = 2 if inst.module_name == "scfifo" else 4
+        estimate.registers += pointers * pointer_bits + 4
+        estimate.logic_cells += pointers * pointer_bits + 8
+    elif inst.module_name == "altsyncram":
+        width = int(params.get("WIDTH_A", 32))
+        depth = int(params.get("NUMWORDS_A", 256))
+        estimate.bram_bits += width * depth
+        estimate.registers += 2 * width  # registered q_a / q_b
+        estimate.logic_cells += 8
+    else:
+        # Unknown blackbox: charge a token amount so it is not free.
+        estimate.logic_cells += 16
+    return estimate
+
+
+def estimate_resources(design, lut_inputs=6):
+    """Estimate the resources of an elaborated design.
+
+    *design* may be a :class:`Design` or a flat module. ``lut_inputs``
+    matches the platform's LUT architecture.
+    """
+    module = design.top if isinstance(design, Design) else design
+    symbols = SymbolTable(module)
+    view = analyze_module(module)
+    estimate = ResourceEstimate()
+    sequential_targets = {
+        record.target for record in view.assignments if record.sequential
+    }
+    for decl in module.declarations():
+        if decl.kind is not ast.NetKind.REG:
+            continue
+        bits = decl.bit_width * decl.array_depth
+        if decl.array is not None and bits > BRAM_THRESHOLD_BITS:
+            estimate.bram_bits += bits
+        elif decl.name in sequential_targets or decl.array is not None:
+            estimate.registers += bits
+    for record in view.assignments:
+        estimate.logic_cells += _logic_cost(record.rhs, symbols, lut_inputs)
+        if record.condition is not None:
+            estimate.logic_cells += _logic_cost(
+                record.condition, symbols, lut_inputs
+            )
+            if record.sequential:
+                # Conditional load: an enable/data mux in front of the
+                # register.
+                width = self_width(record.lhs, symbols) if not isinstance(
+                    record.lhs, ast.Concat
+                ) else 1
+                estimate.logic_cells += max(1, width // 2)
+    for item in module.items:
+        if isinstance(item, ast.Instance):
+            estimate = estimate + _ip_resources(item)
+    return estimate
+
+
+def overhead(instrumented, baseline):
+    """Resource overhead of instrumentation: instrumented - baseline."""
+    return instrumented - baseline

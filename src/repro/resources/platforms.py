@@ -1,0 +1,72 @@
+"""FPGA platform capacity models (§6.2).
+
+The paper synthesizes HARP-specific designs to the Intel HARP platform
+(an Arria 10 GX 1150) with Quartus 17.0 and everything else to the
+Xilinx KC705 (a Kintex-7 325T) with Vivado 2020.2. These records hold
+the device capacities used to normalize overheads (Figure 3) and the
+recording-IP timing model used for the §6.4 frequency results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """Capacity and timing characteristics of one target platform."""
+
+    name: str
+    device: str
+    #: Total flip-flops.
+    registers: int
+    #: Total logic cells (ALMs on Intel, LUTs on Xilinx).
+    logic_cells: int
+    #: Total block RAM bits.
+    bram_bits: int
+    #: LUT input count used by the logic-packing estimate.
+    lut_inputs: int
+    #: Register clock-to-out + setup, ns (fixed per-path overhead).
+    t_overhead_ns: float
+    #: Delay per logic level, ns.
+    t_level_ns: float
+    #: Recording-IP Fmax for narrow (<= 96-bit) sample words, MHz.
+    recorder_fmax_narrow: float
+    #: Recording-IP Fmax for wide sample words, MHz.
+    recorder_fmax_wide: float
+
+
+#: Intel HARP: Arria 10 GX 1150 (Quartus 17.0 target, §6.2).
+HARP = PlatformModel(
+    name="Intel HARP",
+    device="Arria 10 GX 1150",
+    registers=1_708_800,
+    logic_cells=427_200,
+    bram_bits=55_562_240,
+    lut_inputs=6,
+    t_overhead_ns=0.70,
+    t_level_ns=0.35,
+    recorder_fmax_narrow=420.0,
+    recorder_fmax_wide=340.0,
+)
+
+#: Xilinx KC705: Kintex-7 325T (Vivado 2020.2 target, §6.2).
+KC705 = PlatformModel(
+    name="Xilinx KC705",
+    device="Kintex-7 325T",
+    registers=407_600,
+    logic_cells=203_800,
+    bram_bits=16_404_480,
+    lut_inputs=6,
+    t_overhead_ns=0.75,
+    t_level_ns=0.40,
+    recorder_fmax_narrow=400.0,
+    recorder_fmax_wide=320.0,
+)
+
+
+def platform_for(spec):
+    """The synthesis platform for a testbed bug (§6.2 grouping)."""
+    from ..testbed.metadata import Platform
+
+    return HARP if spec.platform is Platform.HARP else KC705

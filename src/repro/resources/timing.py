@@ -1,0 +1,208 @@
+"""Frequency (Fmax) estimation for the §6.4 timing results.
+
+Two effects bound an instrumented design's clock:
+
+1. **Design logic depth** — the longest register-to-register
+   combinational path, estimated per logic level through the expression
+   graph (carry chains and LUT packing make equality tests and small
+   bitwise ops a single level; adders cost roughly one level per 16
+   bits on the carry chain; variable shifts cost a mux level per stage).
+2. **The recording IP** — vendor trace IPs (SignalTap/ILA) close timing
+   comfortably for narrow sample words but add a wide capture mux for
+   wide ones; the platform model carries the two Fmax bins. This is what
+   makes Optimus — whose debug configuration samples a wide word — miss
+   its 400 MHz target and fall back to 200 MHz while every other design
+   keeps its target (§6.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hdl import ast_nodes as ast
+from ..hdl.elaborate import Design
+from ..hdl.transform import const_eval, try_const_eval
+from ..analysis.assignments import analyze_module
+from ..sim.values import SymbolTable, self_width
+
+#: Sample words wider than this use the recording IP's wide (slow) bin.
+RECORDER_WIDE_THRESHOLD = 96
+
+
+def _expr_levels(expr, symbols, signal_depth):
+    """Logic levels through *expr*, given each signal's arrival depth."""
+    if isinstance(expr, ast.Number):
+        return 0
+    if isinstance(expr, ast.Identifier):
+        return signal_depth.get(expr.name, 0)
+    if isinstance(expr, (ast.PartSelect, ast.IndexedPartSelect)):
+        return _expr_levels(expr.var, symbols, signal_depth)
+    if isinstance(expr, ast.Index):
+        base = _expr_levels(expr.var, symbols, signal_depth)
+        if try_const_eval(expr.index) is None:
+            index = _expr_levels(expr.index, symbols, signal_depth)
+            width = self_width(expr.var, symbols)
+            mux_levels = max(1, math.ceil(math.log2(max(width, 2))) // 2)
+            return max(base, index) + mux_levels
+        return base
+    if isinstance(expr, (ast.Concat,)):
+        return max(
+            (_expr_levels(p, symbols, signal_depth) for p in expr.parts),
+            default=0,
+        )
+    if isinstance(expr, (ast.Repeat, ast.SizeCast)):
+        inner = expr.expr
+        return _expr_levels(inner, symbols, signal_depth)
+    if isinstance(expr, ast.UnaryOp):
+        inner = _expr_levels(expr.operand, symbols, signal_depth)
+        width = self_width(expr.operand, symbols)
+        if expr.op == "~" or (expr.op == "!" and width == 1):
+            return inner  # absorbed into the consuming LUT
+        if expr.op == "-":
+            return inner + 1 + width // 16
+        return inner + max(1, math.ceil(math.log2(max(width, 2))) // 2)
+    if isinstance(expr, ast.BinaryOp):
+        left = _expr_levels(expr.left, symbols, signal_depth)
+        right = _expr_levels(expr.right, symbols, signal_depth)
+        width = max(
+            self_width(expr.left, symbols), self_width(expr.right, symbols)
+        )
+        op = expr.op
+        if op in ("&&", "||"):
+            # Control conjunction chains pack into wide-input LUT trees;
+            # the consuming mux level (added at the register) covers them.
+            cost = 0
+        elif op in ("&", "|", "^", "~^", "^~"):
+            cost = 1
+        elif op in ("+", "-"):
+            cost = max(1, width // 16)  # fast carry chain
+        elif op == "*":
+            cost = 2 + width // 8
+        elif op in ("/", "%"):
+            cost = 4 + width // 4
+        elif op in ("==", "!=", "===", "!=="):
+            cost = 1 if width <= 9 else 2
+        elif op in ("<", "<=", ">", ">="):
+            cost = 1 + width // 16
+        elif op in ("<<", ">>", "<<<", ">>>"):
+            if try_const_eval(expr.right) is None:
+                cost = max(1, math.ceil(math.log2(max(width, 2))) // 2)
+            else:
+                cost = 0
+        else:
+            cost = 1
+        return max(left, right) + cost
+    if isinstance(expr, ast.Ternary):
+        return (
+            max(
+                _expr_levels(expr.cond, symbols, signal_depth),
+                _expr_levels(expr.iftrue, symbols, signal_depth),
+                _expr_levels(expr.iffalse, symbols, signal_depth),
+            )
+            + 1
+        )
+    raise TypeError("cannot estimate levels for %r" % (expr,))
+
+
+@dataclass
+class TimingReport:
+    """Fmax estimate for one (possibly instrumented) design."""
+
+    logic_depth: int
+    design_fmax_mhz: float
+    recorder_fmax_mhz: float
+    fmax_mhz: float
+    recorder_width: int = 0
+
+    def meets(self, target_mhz):
+        """True if the design closes timing at *target_mhz*."""
+        return self.fmax_mhz >= target_mhz
+
+
+def _comb_signal_depths(module, symbols):
+    """Arrival depth of every combinationally-driven signal."""
+    view = analyze_module(module)
+    depths = {}
+    comb = [r for r in view.assignments if not r.sequential]
+    # Iterate to a fixed point (combinational graphs are shallow).
+    for _ in range(len(comb) + 1):
+        changed = False
+        for record in comb:
+            level = _expr_levels(record.rhs, symbols, depths)
+            if record.condition is not None:
+                level = max(
+                    level,
+                    _expr_levels(record.condition, symbols, depths) + 1,
+                )
+            if depths.get(record.target, -1) < level:
+                depths[record.target] = level
+                changed = True
+        if not changed:
+            break
+    return depths, view
+
+
+def estimate_timing(design, platform, recorder_width=0):
+    """Estimate the achievable clock frequency of *design*.
+
+    ``recorder_width`` is the recording IP's sample width (0 when no
+    recorder is instantiated); the IP's own Fmax bin caps the result.
+    """
+    module = design.top if isinstance(design, Design) else design
+    symbols = SymbolTable(module)
+    depths, view = _comb_signal_depths(module, symbols)
+    worst = 1
+    for record in view.assignments:
+        if not record.sequential:
+            continue
+        level = _expr_levels(record.rhs, symbols, depths)
+        if record.condition is not None:
+            level = max(
+                level, _expr_levels(record.condition, symbols, depths)
+            ) + 1
+        worst = max(worst, level)
+    for item in module.items:
+        if isinstance(item, ast.Instance):
+            for conn in item.ports:
+                if conn.expr is not None:
+                    worst = max(
+                        worst,
+                        _expr_levels(conn.expr, symbols, depths),
+                    )
+            if item.module_name == "signal_recorder":
+                for param in item.params:
+                    if param.name == "WIDTH":
+                        recorder_width = max(
+                            recorder_width, const_eval(param.value)
+                        )
+    period = platform.t_overhead_ns + worst * platform.t_level_ns
+    design_fmax = 1000.0 / period
+    if recorder_width == 0:
+        recorder_fmax = float("inf")
+    elif recorder_width <= RECORDER_WIDE_THRESHOLD:
+        recorder_fmax = platform.recorder_fmax_narrow
+    else:
+        recorder_fmax = platform.recorder_fmax_wide
+    return TimingReport(
+        logic_depth=worst,
+        design_fmax_mhz=design_fmax,
+        recorder_fmax_mhz=recorder_fmax,
+        fmax_mhz=min(design_fmax, recorder_fmax),
+        recorder_width=recorder_width,
+    )
+
+
+def achievable_frequency(report, target_mhz):
+    """The frequency the design runs at, honouring the §6.4 fallback.
+
+    Designs that meet their target keep it; a design that misses its
+    target falls back to the next standard grade (400 -> 200 MHz), as
+    the paper does for Optimus.
+    """
+    if report.meets(target_mhz):
+        return target_mhz
+    fallback = target_mhz
+    while fallback > report.fmax_mhz and fallback > 50:
+        fallback //= 2
+    return fallback

@@ -1,0 +1,230 @@
+"""Expression compilation: AST -> specialized Python closures.
+
+The interpreted :class:`~repro.sim.values.Evaluator` recomputes widths
+and dispatches on node types every cycle. Since all widths are static
+after elaboration, each expression can instead be compiled once into a
+Python expression string (with the same two-state masking semantics
+baked in as constants) and evaluated as a closure thereafter.
+
+``Simulator(design, compile_expressions=True)`` swaps the evaluator for
+:class:`CompiledEvaluator`; results are bit-identical to the interpreter
+(asserted by the test suite across the whole testbed). On the testbed's
+small designs throughput is roughly at parity — the win grows with
+expression size, since compiled closures skip the per-node dispatch and
+width recomputation the interpreter performs every cycle (see
+``benchmarks/bench_ablations.py`` for measurements).
+"""
+
+from __future__ import annotations
+
+from ..hdl import ast_nodes as ast
+from ..hdl.transform import const_eval, try_const_eval
+from .values import Evaluator, EvaluationError, mask, read_array, self_width
+
+
+def _div(left, right):
+    return left // right if right else 0
+
+
+def _mod(left, right):
+    return left % right if right else 0
+
+
+def _parity(value):
+    return bin(value).count("1") & 1
+
+
+#: Globals visible to compiled expressions.
+_COMPILE_GLOBALS = {
+    "_ra": read_array,
+    "_div": _div,
+    "_mod": _mod,
+    "_parity": _parity,
+}
+
+
+class _Compiler:
+    """Translates one expression tree into a Python source fragment."""
+
+    def __init__(self, symbols):
+        self.symbols = symbols
+
+    def compile(self, expr, ctx_width):
+        source = self.emit(expr, ctx_width)
+        code = compile("lambda s: (%s)" % source, "<compiled-expr>", "eval")
+        return eval(code, dict(_COMPILE_GLOBALS))
+
+    # The emit methods mirror Evaluator.eval case for case; any change
+    # there must be reflected here (the property tests enforce this).
+
+    def emit(self, expr, ctx_width=0):
+        symbols = self.symbols
+        if isinstance(expr, ast.Number):
+            value = expr.value
+            if expr.width is not None:
+                value &= mask(expr.width)
+            return repr(value)
+        if isinstance(expr, ast.Identifier):
+            if expr.name not in symbols.widths:
+                raise EvaluationError("undeclared signal %r" % expr.name)
+            return "s[%r]" % expr.name
+        if isinstance(expr, ast.Index):
+            index = self.emit(expr.index)
+            if isinstance(expr.var, ast.Identifier) and symbols.is_array(
+                expr.var.name
+            ):
+                return "_ra(s[%r], %s, %d)" % (
+                    expr.var.name,
+                    index,
+                    symbols.depth_of(expr.var.name),
+                )
+            return "((%s) >> (%s)) & 1" % (self.emit(expr.var), index)
+        if isinstance(expr, ast.PartSelect):
+            msb = const_eval(expr.msb)
+            lsb = const_eval(expr.lsb)
+            return "((%s) >> %d) & %d" % (
+                self.emit(expr.var),
+                lsb,
+                mask(msb - lsb + 1),
+            )
+        if isinstance(expr, ast.IndexedPartSelect):
+            width = const_eval(expr.width)
+            base = self.emit(expr.base)
+            var = self.emit(expr.var)
+            if expr.ascending:
+                return "((%s) >> (%s)) & %d" % (var, base, mask(width))
+            return (
+                "(((%s) >> ((%s) - %d)) & %d if (%s) >= %d else 0)"
+                % (var, base, width - 1, mask(width), base, width - 1)
+            )
+        if isinstance(expr, ast.Concat):
+            parts = []
+            shift = sum(self_width(p, symbols) for p in expr.parts)
+            for part in expr.parts:
+                width = self_width(part, symbols)
+                shift -= width
+                parts.append(
+                    "(((%s) & %d) << %d)" % (self.emit(part), mask(width), shift)
+                )
+            return "(" + " | ".join(parts) + ")"
+        if isinstance(expr, ast.Repeat):
+            count = const_eval(expr.count)
+            width = self_width(expr.expr, symbols)
+            parts = [
+                "(((%s) & %d) << %d)"
+                % (self.emit(expr.expr), mask(width), i * width)
+                for i in range(count)
+            ]
+            return "(" + (" | ".join(parts) if parts else "0") + ")"
+        if isinstance(expr, ast.UnaryOp):
+            return self._emit_unary(expr, ctx_width)
+        if isinstance(expr, ast.BinaryOp):
+            return self._emit_binary(expr, ctx_width)
+        if isinstance(expr, ast.Ternary):
+            width = max(self_width(expr, symbols), ctx_width)
+            return "(((%s) if (%s) else (%s)) & %d)" % (
+                self.emit(expr.iftrue, width),
+                self.emit(expr.cond),
+                self.emit(expr.iffalse, width),
+                mask(width),
+            )
+        if isinstance(expr, ast.SizeCast):
+            return "((%s) & %d)" % (self.emit(expr.expr), mask(expr.width))
+        raise EvaluationError("cannot compile %r" % (expr,))
+
+    def _emit_unary(self, expr, ctx_width):
+        op = expr.op
+        if op in ("~", "-"):
+            width = max(self_width(expr, self.symbols), ctx_width)
+            inner = self.emit(expr.operand, width)
+            if op == "~":
+                return "((~(%s)) & %d)" % (inner, mask(width))
+            return "((-(%s)) & %d)" % (inner, mask(width))
+        inner = self.emit(expr.operand)
+        width = self_width(expr.operand, self.symbols)
+        if op == "!":
+            return "(1 if (%s) == 0 else 0)" % inner
+        if op == "&":
+            return "(1 if (%s) == %d else 0)" % (inner, mask(width))
+        if op == "~&":
+            return "(0 if (%s) == %d else 1)" % (inner, mask(width))
+        if op == "|":
+            return "(1 if (%s) != 0 else 0)" % inner
+        if op == "~|":
+            return "(1 if (%s) == 0 else 0)" % inner
+        if op == "^":
+            return "_parity(%s)" % inner
+        if op == "~^":
+            return "(1 - _parity(%s))" % inner
+        raise EvaluationError("unsupported unary operator %s" % op)
+
+    def _emit_binary(self, expr, ctx_width):
+        op = expr.op
+        symbols = self.symbols
+        if op == "&&":
+            return "(1 if (%s) and (%s) else 0)" % (
+                self.emit(expr.left),
+                self.emit(expr.right),
+            )
+        if op == "||":
+            return "(1 if (%s) or (%s) else 0)" % (
+                self.emit(expr.left),
+                self.emit(expr.right),
+            )
+        if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">="):
+            width = max(
+                self_width(expr.left, symbols), self_width(expr.right, symbols)
+            )
+            left = "((%s) & %d)" % (self.emit(expr.left, width), mask(width))
+            right = "((%s) & %d)" % (self.emit(expr.right, width), mask(width))
+            python_op = {"===": "==", "!==": "!="}.get(op, op)
+            return "(1 if %s %s %s else 0)" % (left, python_op, right)
+        if op in ("<<", ">>", "<<<", ">>>"):
+            width = max(self_width(expr.left, symbols), ctx_width)
+            left = "((%s) & %d)" % (self.emit(expr.left, width), mask(width))
+            shift = self.emit(expr.right)
+            if op in ("<<", "<<<"):
+                return "(((%s) << (%s)) & %d)" % (left, shift, mask(width))
+            return "((%s) >> (%s))" % (left, shift)
+        width = max(self_width(expr, symbols), ctx_width)
+        left = self.emit(expr.left, width)
+        right = self.emit(expr.right, width)
+        m = mask(width)
+        if op == "+":
+            return "(((%s) + (%s)) & %d)" % (left, right, m)
+        if op == "-":
+            return "(((%s) - (%s)) & %d)" % (left, right, m)
+        if op == "*":
+            return "(((%s) * (%s)) & %d)" % (left, right, m)
+        if op == "/":
+            return "(_div((%s), (%s)) & %d)" % (left, right, m)
+        if op == "%":
+            return "(_mod((%s), (%s)) & %d)" % (left, right, m)
+        if op == "&":
+            return "((%s) & (%s))" % (left, right)
+        if op == "|":
+            return "((%s) | (%s))" % (left, right)
+        if op == "^":
+            return "((%s) ^ (%s))" % (left, right)
+        raise EvaluationError("unsupported binary operator %s" % op)
+
+
+class CompiledEvaluator(Evaluator):
+    """Drop-in evaluator that JIT-compiles each (expr, ctx_width) pair."""
+
+    def __init__(self, symbols):
+        super().__init__(symbols)
+        self._compiler = _Compiler(symbols)
+        self._cache = {}
+        # Expressions are cached by id(); keep references alive so ids
+        # stay unique for the evaluator's lifetime.
+        self._pinned = []
+
+    def eval(self, expr, state, ctx_width=0):
+        key = (id(expr), ctx_width)
+        fn = self._cache.get(key)
+        if fn is None:
+            fn = self._compiler.compile(expr, ctx_width)
+            self._cache[key] = fn
+            self._pinned.append(expr)
+        return fn(state)

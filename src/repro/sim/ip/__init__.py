@@ -1,0 +1,30 @@
+"""Behavioral models for closed-source IP blocks.
+
+The paper's toolchain treats vendor IPs (``altsyncram``, ``scfifo``,
+``dcfifo``) as blackboxes with developer-provided models (§5). This package
+provides both the runtime behavior (used by the simulator) and, through
+:mod:`repro.analysis.ip_models`, the declarative dependency models used by
+Dependency Monitor and LossCheck.
+"""
+
+from .base import IPModel
+from .altsyncram import AltSyncRam
+from .fifos import DualClockFifo, SingleClockFifo
+from .recorder import SignalRecorder
+
+#: Default registry: blackbox module name -> model factory(params).
+REGISTRY = {
+    "altsyncram": AltSyncRam,
+    "scfifo": SingleClockFifo,
+    "dcfifo": DualClockFifo,
+    "signal_recorder": SignalRecorder,
+}
+
+__all__ = [
+    "IPModel",
+    "AltSyncRam",
+    "SingleClockFifo",
+    "DualClockFifo",
+    "SignalRecorder",
+    "REGISTRY",
+]

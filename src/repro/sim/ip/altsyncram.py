@@ -1,0 +1,62 @@
+"""Behavioral model of Intel's ``altsyncram`` block RAM IP.
+
+Dual-port synchronous RAM with registered read outputs. Parameters follow
+the Intel megafunction names used by the testbed designs:
+
+* ``WIDTH_A`` / ``WIDTH_B`` — data width per port (default 32);
+* ``NUMWORDS_A`` / ``NUMWORDS_B`` — memory depth (default 256).
+
+Port A supports read and write; port B likewise. Reads are synchronous:
+``q_a``/``q_b`` update on the clock edge from the address presented before
+the edge (read-before-write on collisions).
+"""
+
+from __future__ import annotations
+
+from .base import IPModel
+
+
+class AltSyncRam(IPModel):
+    """Dual-port synchronous block RAM (Intel altsyncram)."""
+
+    INPUT_PORTS = (
+        "address_a", "data_a", "wren_a",
+        "address_b", "data_b", "wren_b",
+    )
+    OUTPUT_PORTS = ("q_a", "q_b")
+    CLOCK_PORTS = ("clock0", "clock1")
+
+    def __init__(self, params=None):
+        super().__init__(params)
+        self.width = int(self.param("WIDTH_A", 32))
+        self.depth = int(self.param("NUMWORDS_A", 256))
+        self.mem = [0] * self.depth
+        self._q_a = 0
+        self._q_b = 0
+
+    def outputs(self, inputs):
+        return {"q_a": self._q_a, "q_b": self._q_b}
+
+    def _read(self, address):
+        if 0 <= address < self.depth:
+            return self.mem[address]
+        if self.depth & (self.depth - 1) == 0:
+            return self.mem[address & (self.depth - 1)]
+        return 0
+
+    def _write(self, address, data):
+        data &= (1 << self.width) - 1
+        if 0 <= address < self.depth:
+            self.mem[address] = data
+        elif self.depth & (self.depth - 1) == 0:
+            self.mem[address & (self.depth - 1)] = data
+
+    def clock_edge(self, inputs, fired):
+        address_a = inputs.get("address_a", 0)
+        address_b = inputs.get("address_b", 0)
+        self._q_a = self._read(address_a)
+        self._q_b = self._read(address_b)
+        if inputs.get("wren_a", 0):
+            self._write(address_a, inputs.get("data_a", 0))
+        if inputs.get("wren_b", 0):
+            self._write(address_b, inputs.get("data_b", 0))

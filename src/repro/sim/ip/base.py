@@ -1,0 +1,38 @@
+"""Common interface for blackbox IP behavioral models."""
+
+from __future__ import annotations
+
+
+class IPModel:
+    """Base class for blackbox IP models bound by the simulator.
+
+    Subclasses declare their port lists and implement:
+
+    * :meth:`outputs` — the combinational view: current output values as a
+      function of input values and internal (registered) state. Called
+      repeatedly during the settle loop; must be side-effect free.
+    * :meth:`clock_edge` — state update on a clock edge, given pre-edge
+      input values and the set of clock ports that fired.
+    """
+
+    #: Ports the model reads (excluding clocks).
+    INPUT_PORTS = ()
+    #: Ports the model drives.
+    OUTPUT_PORTS = ()
+    #: Ports that are clocks; edges on connected signals call clock_edge.
+    CLOCK_PORTS = ()
+
+    def __init__(self, params=None):
+        self.params = dict(params or {})
+
+    def param(self, name, default=None):
+        """Parameter lookup with a default."""
+        return self.params.get(name, default)
+
+    def outputs(self, inputs):
+        """Return {output port: value} for the current inputs/state."""
+        raise NotImplementedError
+
+    def clock_edge(self, inputs, fired):
+        """Advance internal state; *fired* is the set of clock ports."""
+        raise NotImplementedError

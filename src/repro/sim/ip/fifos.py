@@ -1,0 +1,121 @@
+"""Behavioral models of Intel's ``scfifo`` and ``dcfifo`` queue IPs.
+
+Both implement *normal* (non-show-ahead) read mode: asserting ``rdreq``
+pops an entry on the clock edge and the popped value appears on ``q``
+after the edge. ``empty``/``full``/``usedw`` are combinational views of
+the occupancy.
+
+Parameters use the Intel LPM names the testbed designs pass:
+``LPM_WIDTH`` (data width, default 32) and ``LPM_NUMWORDS`` (depth,
+default 16).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .base import IPModel
+
+
+class _FifoCore:
+    """Shared bounded-queue behavior."""
+
+    def __init__(self, width, depth):
+        self.width = width
+        self.depth = depth
+        self.entries = deque()
+        self.q = 0
+        #: Count of write requests dropped because the FIFO was full.
+        self.dropped_writes = 0
+
+    @property
+    def used(self):
+        return len(self.entries)
+
+    @property
+    def empty(self):
+        return int(not self.entries)
+
+    @property
+    def full(self):
+        return int(len(self.entries) >= self.depth)
+
+    def push(self, data):
+        if self.full:
+            self.dropped_writes += 1
+            return
+        self.entries.append(data & ((1 << self.width) - 1))
+
+    def pop(self):
+        if self.entries:
+            self.q = self.entries.popleft()
+
+
+class SingleClockFifo(IPModel):
+    """Single-clock FIFO (Intel scfifo), normal read mode."""
+
+    INPUT_PORTS = ("data", "wrreq", "rdreq", "sclr")
+    OUTPUT_PORTS = ("q", "empty", "full", "usedw")
+    CLOCK_PORTS = ("clock",)
+
+    def __init__(self, params=None):
+        super().__init__(params)
+        self.core = _FifoCore(
+            int(self.param("LPM_WIDTH", 32)), int(self.param("LPM_NUMWORDS", 16))
+        )
+
+    def outputs(self, inputs):
+        core = self.core
+        return {
+            "q": core.q,
+            "empty": core.empty,
+            "full": core.full,
+            "usedw": core.used,
+        }
+
+    def clock_edge(self, inputs, fired):
+        core = self.core
+        if inputs.get("sclr", 0):
+            core.entries.clear()
+            core.q = 0
+            return
+        if inputs.get("rdreq", 0):
+            core.pop()
+        if inputs.get("wrreq", 0):
+            core.push(inputs.get("data", 0))
+
+
+class DualClockFifo(IPModel):
+    """Dual-clock FIFO (Intel dcfifo), normal read mode.
+
+    The model is functionally correct but does not model synchronizer
+    latency between the clock domains (occupancy is visible immediately),
+    which is conservative for the functional bugs the testbed reproduces.
+    """
+
+    INPUT_PORTS = ("data", "wrreq", "rdreq")
+    OUTPUT_PORTS = ("q", "rdempty", "wrfull", "wrusedw", "rdusedw")
+    CLOCK_PORTS = ("wrclk", "rdclk")
+
+    def __init__(self, params=None):
+        super().__init__(params)
+        self.core = _FifoCore(
+            int(self.param("LPM_WIDTH", 32)), int(self.param("LPM_NUMWORDS", 16))
+        )
+
+    def outputs(self, inputs):
+        core = self.core
+        return {
+            "q": core.q,
+            "rdempty": core.empty,
+            "wrfull": core.full,
+            "wrusedw": core.used,
+            "rdusedw": core.used,
+        }
+
+    def clock_edge(self, inputs, fired):
+        core = self.core
+        if "rdclk" in fired and inputs.get("rdreq", 0):
+            core.pop()
+        if "wrclk" in fired and inputs.get("wrreq", 0):
+            core.push(inputs.get("data", 0))

@@ -1,0 +1,63 @@
+"""Behavioral model of the on-FPGA data-recording IP used by SignalCat.
+
+Models the SignalTap/ILA-style trace buffer the paper simulates in its
+artifact (§6.1): a fixed-depth buffer of wide samples. Each cycle where
+``enable`` is high, the value on ``data`` is stored together with the
+cycle number. The buffer is circular: once ``DEPTH`` samples have been
+captured, the oldest are overwritten — exactly the bounded on-FPGA
+storage tradeoff the paper contrasts with Cascade/Synergy (§7).
+
+Parameters: ``WIDTH`` (sample width in bits) and ``DEPTH`` (number of
+buffer entries; the paper's default is 8192).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .base import IPModel
+
+#: Paper default recording-buffer depth (§6.1).
+DEFAULT_DEPTH = 8192
+
+
+class SignalRecorder(IPModel):
+    """Trace-buffer recording IP (SignalTap/ILA stand-in)."""
+
+    INPUT_PORTS = ("enable", "data")
+    OUTPUT_PORTS = ("count",)
+    CLOCK_PORTS = ("clock",)
+
+    def __init__(self, params=None):
+        super().__init__(params)
+        self.width = int(self.param("WIDTH", 32))
+        self.depth = int(self.param("DEPTH", DEFAULT_DEPTH))
+        #: Change-only sampling (a buffer-usage optimization in the
+        #: spirit of the trace-reduction work the paper cites in §7):
+        #: identical back-to-back samples are stored once.
+        self.dedup = bool(self.param("DEDUP", 0))
+        #: Captured (cycle, data) samples, oldest first, bounded by depth.
+        self.samples = deque(maxlen=self.depth)
+        self._cycle = 0
+        self._last_word = None
+        #: Total samples offered, including ones that overwrote older data.
+        self.total_samples = 0
+
+    def outputs(self, inputs):
+        return {"count": len(self.samples)}
+
+    def clock_edge(self, inputs, fired):
+        if inputs.get("enable", 0):
+            word = inputs.get("data", 0)
+            self.total_samples += 1
+            if not (self.dedup and word == self._last_word):
+                self.samples.append((self._cycle, word))
+            self._last_word = word
+        else:
+            self._last_word = None
+        self._cycle += 1
+
+    @property
+    def overwrote(self):
+        """True if the circular buffer wrapped (oldest samples lost)."""
+        return self.total_samples > self.depth

@@ -1,0 +1,584 @@
+"""Cycle-accurate two-phase simulator for elaborated designs.
+
+Execution model (matching synthesizable semantics, like Verilator's
+two-state scheduler that the paper's testbed uses):
+
+1. **Settle**: continuous assigns, ``always @(*)`` blocks and blackbox IP
+   outputs are evaluated repeatedly until the state reaches a fixed point
+   (a bounded loop; a true combinational cycle raises
+   :class:`CombinationalLoopError`).
+2. **Clock edge**: every ``always @(posedge clk)`` block executes against
+   the pre-edge state; blocking assigns update a per-block overlay,
+   nonblocking assigns are queued and committed together afterwards.
+   Blackbox IPs clock their internal state with pre-edge inputs.
+3. Settle again (and run ``negedge`` blocks, if any, as a second half).
+
+``$display`` statements execute during sequential evaluation and append
+:class:`DisplayEvent` records — the hook SignalCat builds on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..hdl import ast_nodes as ast
+from ..hdl.elaborate import Design
+from ..hdl.transform import const_eval
+from .values import Evaluator, SymbolTable, mask, read_array, write_array
+
+
+class SimulatorError(ValueError):
+    """Raised for designs the simulator cannot execute."""
+
+
+class CombinationalLoopError(SimulatorError):
+    """Raised when combinational logic does not reach a fixed point."""
+
+
+@dataclass
+class DisplayEvent:
+    """One executed ``$display``: cycle number, formatted text, raw values."""
+
+    cycle: int
+    text: str
+    values: list = field(default_factory=list)
+    lineno: int = 0
+    label: str = ""
+    format: str = ""
+
+    def __str__(self):
+        return "[%6d] %s" % (self.cycle, self.text)
+
+
+_FORMAT_RE = re.compile(r"%(-?\d*)([dhxbcst%])", re.IGNORECASE)
+
+
+def verilog_format(fmt, values):
+    """Format a ``$display`` string with evaluated argument values."""
+    values = list(values)
+
+    def sub(match):
+        spec = match.group(2).lower()
+        if spec == "%":
+            return "%"
+        if spec == "t":
+            spec = "d"
+        if not values:
+            return match.group(0)
+        value = values.pop(0)
+        if spec == "d":
+            return str(value)
+        if spec in ("h", "x"):
+            return "%x" % value
+        if spec == "b":
+            return bin(value)[2:]
+        if spec == "c":
+            return chr(value & 0xFF)
+        if spec == "s":
+            return str(value)
+        return match.group(0)
+
+    return _FORMAT_RE.sub(sub, fmt)
+
+
+class _Overlay(dict):
+    """Blocking-assignment overlay over the committed state."""
+
+    def __init__(self, base):
+        super().__init__()
+        self._base = base
+
+    def __missing__(self, key):
+        return self._base[key]
+
+    def __contains__(self, key):
+        return dict.__contains__(self, key) or key in self._base
+
+    def array(self, name):
+        """Copy-on-write access to a memory for blocking writes."""
+        if not dict.__contains__(self, name):
+            self[name] = list(self._base[name])
+        return self[name]
+
+
+class Simulator:
+    """Simulates one elaborated :class:`~repro.hdl.elaborate.Design`.
+
+    Parameters
+    ----------
+    design:
+        An elaborated Design (or a flat Module).
+    ips:
+        Optional mapping of blackbox module name to a model factory
+        ``factory(params: dict) -> model``. Defaults to the registry in
+        :mod:`repro.sim.ip`.
+    trace:
+        Optional iterable of signal names to record every cycle (or the
+        string ``"all"``); see :attr:`waveform`.
+    """
+
+    def __init__(self, design, ips=None, max_settle=100, trace=None,
+                 compile_expressions=False):
+        if isinstance(design, Design):
+            module = design.top
+        elif isinstance(design, ast.Module):
+            module = design
+        else:
+            raise TypeError("design must be a Design or Module")
+        self.module = module
+        self.symbols = SymbolTable(module)
+        self.state = self.symbols.initial_state()
+        if compile_expressions:
+            from .compiler import CompiledEvaluator
+
+            self.evaluator = CompiledEvaluator(self.symbols)
+        else:
+            self.evaluator = Evaluator(self.symbols)
+        self.cycle = 0
+        self.finished = False
+        self.display_events = []
+        self.on_display = None
+        self._max_settle = max_settle
+        self._comb_items = []
+        self._seq_blocks = []
+        self._instances = []
+        self._classify_items(module)
+        self._bind_ips(ips)
+        if trace == "all":
+            trace = [
+                name
+                for name, depth in self.symbols.depths.items()
+                if depth == 0
+            ]
+        self._trace_signals = list(trace) if trace else []
+        self.waveform = {name: [] for name in self._trace_signals}
+
+    # -- construction -------------------------------------------------------
+
+    def _classify_items(self, module):
+        for item in module.items:
+            if isinstance(item, ast.ContinuousAssign):
+                self._comb_items.append(item)
+            elif isinstance(item, ast.Always):
+                if item.is_combinational:
+                    self._check_no_display(item.body)
+                    self._comb_items.append(item)
+                else:
+                    self._seq_blocks.append(item)
+            elif isinstance(item, ast.Instance):
+                self._instances.append(item)
+            elif isinstance(item, (ast.Declaration, ast.ParameterDecl)):
+                continue
+            else:
+                raise SimulatorError("unsupported module item %r" % (item,))
+
+    def _check_no_display(self, stmt):
+        for node in stmt.walk():
+            if isinstance(node, ast.Display):
+                raise SimulatorError(
+                    "$display inside combinational always blocks is not "
+                    "supported; move it into a clocked block"
+                )
+
+    def _bind_ips(self, ips):
+        from . import ip as ip_registry
+
+        factories = dict(ip_registry.REGISTRY)
+        if ips:
+            factories.update(ips)
+        self._ip_models = {}
+        for inst in self._instances:
+            if inst.module_name not in factories:
+                raise SimulatorError(
+                    "no IP model registered for blackbox %r" % inst.module_name
+                )
+            params = {p.name: const_eval(p.value) for p in inst.params}
+            self._ip_models[inst.instance_name] = factories[inst.module_name](params)
+
+    def ip_model(self, instance_name):
+        """Return the bound Python model for a blackbox instance."""
+        return self._ip_models[instance_name]
+
+    # -- state access -------------------------------------------------------
+
+    def get(self, name):
+        """Current value of signal *name* (int, or list for memories)."""
+        return self.state[name]
+
+    def set(self, name, value):
+        """Drive signal *name* (used by testbenches for top-level inputs)."""
+        if name not in self.state:
+            raise SimulatorError("undeclared signal %r" % name)
+        if isinstance(self.state[name], list):
+            raise SimulatorError("cannot set a memory directly")
+        self.state[name] = value & mask(self.symbols.width_of(name))
+
+    def __getitem__(self, name):
+        return self.get(name)
+
+    def __setitem__(self, name, value):
+        self.set(name, value)
+
+    # -- combinational settle -------------------------------------------------
+
+    def settle(self):
+        """Evaluate combinational logic and IP outputs to a fixed point.
+
+        Convergence is judged per *pass*, not per write: a pass that
+        rewrites a signal several times (the two-process FSM idiom
+        ``next = state; case (state) ... next = X;``) but ends where it
+        started has converged.
+        """
+        for _ in range(self._max_settle):
+            before = {
+                name: value
+                for name, value in self.state.items()
+                if not isinstance(value, list)
+            }
+            array_writes = False
+            for item in self._comb_items:
+                if isinstance(item, ast.ContinuousAssign):
+                    value = self.evaluator.eval(
+                        item.rhs, self.state, self._lhs_width(item.lhs)
+                    )
+                    array_writes |= self._comb_write(item.lhs, value)
+                else:
+                    array_writes |= self._exec_comb(item.body)
+            for inst in self._instances:
+                for conn, value in self._ip_output_values(inst):
+                    array_writes |= self._comb_write(conn, value)
+            changed = array_writes or any(
+                self.state[name] != value for name, value in before.items()
+            )
+            if not changed:
+                return
+        raise CombinationalLoopError(
+            "combinational logic did not settle after %d passes" % self._max_settle
+        )
+
+    def _comb_write(self, lhs, value):
+        """Combinational write; returns True only for memory writes."""
+        is_array = (
+            isinstance(lhs, ast.Index)
+            and isinstance(lhs.var, ast.Identifier)
+            and self.symbols.is_array(lhs.var.name)
+        )
+        changed = self._write(lhs, value, self.state)
+        return changed and is_array
+
+    def _ip_output_values(self, inst):
+        model = self._ip_models[inst.instance_name]
+        inputs = self._ip_inputs(inst, model)
+        outputs = model.outputs(inputs)
+        for conn in inst.ports:
+            if conn.port in outputs and conn.expr is not None:
+                yield conn.expr, outputs[conn.port]
+
+    def _exec_comb(self, stmt):
+        """Execute a combinational statement; returns True on array writes."""
+        changed = False
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                changed |= self._exec_comb(inner)
+            return changed
+        if isinstance(stmt, (ast.BlockingAssign, ast.NonblockingAssign)):
+            value = self.evaluator.eval(
+                stmt.rhs, self.state, self._lhs_width(stmt.lhs)
+            )
+            return self._comb_write(stmt.lhs, value)
+        if isinstance(stmt, ast.If):
+            if self.evaluator.eval(stmt.cond, self.state):
+                return self._exec_comb(stmt.then_stmt)
+            if stmt.else_stmt is not None:
+                return self._exec_comb(stmt.else_stmt)
+            return False
+        if isinstance(stmt, ast.Case):
+            arm = self._select_case_arm(stmt, self.state)
+            if arm is not None:
+                return self._exec_comb(arm)
+            return False
+        if isinstance(stmt, ast.Finish):
+            self.finished = True
+            return False
+        raise SimulatorError("unsupported combinational statement %r" % (stmt,))
+
+    def _ip_inputs(self, inst, model):
+        inputs = {}
+        for conn in inst.ports:
+            if conn.port in model.OUTPUT_PORTS or conn.expr is None:
+                continue
+            inputs[conn.port] = self.evaluator.eval(conn.expr, self.state)
+        return inputs
+
+    # -- clocked execution -----------------------------------------------------
+
+    def step(self, cycles=1, clock="clk"):
+        """Advance *cycles* full cycles of *clock*."""
+        for _ in range(cycles):
+            if self.finished:
+                return
+            self._one_cycle(clock)
+
+    def _one_cycle(self, clock):
+        self.settle()
+        self._record_trace()
+        self._edge(clock, ast.Edge.POSEDGE)
+        self.settle()
+        negedge_blocks = [
+            block
+            for block in self._seq_blocks
+            if self._triggered(block, clock, ast.Edge.NEGEDGE)
+        ]
+        if negedge_blocks:
+            self._edge(clock, ast.Edge.NEGEDGE)
+            self.settle()
+        self.cycle += 1
+
+    def _triggered(self, block, clock, edge):
+        return any(
+            item.edge is edge and item.signal == clock for item in block.sens
+        )
+
+    def _edge(self, clock, edge):
+        pending = []
+        for block in self._seq_blocks:
+            if not self._triggered(block, clock, edge):
+                continue
+            overlay = _Overlay(self.state)
+            self._exec_seq(block.body, overlay, pending)
+        for inst in self._instances:
+            model = self._ip_models[inst.instance_name]
+            fired = self._fired_clock_ports(inst, model, clock)
+            if fired:
+                model.clock_edge(self._ip_inputs(inst, model), fired)
+        self._commit(pending)
+
+    def _fired_clock_ports(self, inst, model, clock):
+        fired = set()
+        for conn in inst.ports:
+            if conn.port not in model.CLOCK_PORTS or conn.expr is None:
+                continue
+            if isinstance(conn.expr, ast.Identifier) and conn.expr.name == clock:
+                fired.add(conn.port)
+        return fired
+
+    def _exec_seq(self, stmt, overlay, pending):
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._exec_seq(inner, overlay, pending)
+            return
+        if isinstance(stmt, ast.BlockingAssign):
+            value = self.evaluator.eval(stmt.rhs, overlay, self._lhs_width(stmt.lhs))
+            self._write(stmt.lhs, value, overlay, blocking=True)
+            return
+        if isinstance(stmt, ast.NonblockingAssign):
+            value = self.evaluator.eval(stmt.rhs, overlay, self._lhs_width(stmt.lhs))
+            pending.append((stmt.lhs, value, overlay))
+            return
+        if isinstance(stmt, ast.If):
+            if self.evaluator.eval(stmt.cond, overlay):
+                self._exec_seq(stmt.then_stmt, overlay, pending)
+            elif stmt.else_stmt is not None:
+                self._exec_seq(stmt.else_stmt, overlay, pending)
+            return
+        if isinstance(stmt, ast.Case):
+            arm = self._select_case_arm(stmt, overlay)
+            if arm is not None:
+                self._exec_seq(arm, overlay, pending)
+            return
+        if isinstance(stmt, ast.Display):
+            values = [self.evaluator.eval(arg, overlay) for arg in stmt.args]
+            event = DisplayEvent(
+                cycle=self.cycle,
+                text=verilog_format(stmt.format, values),
+                values=values,
+                lineno=stmt.lineno,
+                label=stmt.label,
+                format=stmt.format,
+            )
+            self.display_events.append(event)
+            if self.on_display is not None:
+                self.on_display(event)
+            return
+        if isinstance(stmt, ast.Finish):
+            self.finished = True
+            return
+        raise SimulatorError("unsupported sequential statement %r" % (stmt,))
+
+    def _select_case_arm(self, stmt, state):
+        subject = self.evaluator.eval(stmt.subject, state)
+        default = None
+        for item in stmt.items:
+            if not item.labels:
+                default = item.stmt
+                continue
+            for label in item.labels:
+                if self.evaluator.eval(label, state) == subject:
+                    return item.stmt
+        return default
+
+    def _commit(self, pending):
+        for lhs, value, overlay in pending:
+            self._write_pending(lhs, value, overlay)
+
+    def _write_pending(self, lhs, value, overlay):
+        # Index expressions in the lvalue were captured against the overlay
+        # (pre-commit) state, per nonblocking semantics.
+        self._write(lhs, value, self.state, index_state=overlay)
+
+    # -- lvalue handling -----------------------------------------------------------
+
+    def _lhs_width(self, lhs):
+        symbols = self.symbols
+        if isinstance(lhs, ast.Identifier):
+            return symbols.width_of(lhs.name)
+        if isinstance(lhs, ast.Index):
+            base = ast.lvalue_base_name(lhs)
+            if symbols.is_array(base) and isinstance(lhs.var, ast.Identifier):
+                return symbols.width_of(base)
+            return 1
+        if isinstance(lhs, ast.PartSelect):
+            return const_eval(lhs.msb) - const_eval(lhs.lsb) + 1
+        if isinstance(lhs, ast.IndexedPartSelect):
+            return const_eval(lhs.width)
+        if isinstance(lhs, ast.Concat):
+            return sum(self._lhs_width(p) for p in lhs.parts)
+        raise SimulatorError("unsupported lvalue %r" % (lhs,))
+
+    def _write(self, lhs, value, state, blocking=False, index_state=None):
+        """Write *value* into *state* at lvalue *lhs*; returns True on change.
+
+        ``index_state`` (defaults to *state*) is where lvalue index
+        expressions are evaluated — for nonblocking commits these were
+        captured pre-commit.
+        """
+        if index_state is None:
+            index_state = state
+        symbols = self.symbols
+        if isinstance(lhs, ast.Identifier):
+            name = lhs.name
+            if symbols.is_array(name):
+                raise SimulatorError("cannot assign whole memory %r" % name)
+            new = value & mask(symbols.width_of(name))
+            old = state[name] if not isinstance(state, _Overlay) else state[name]
+            if blocking or isinstance(state, _Overlay):
+                state[name] = new
+                return old != new
+            if state[name] != new:
+                state[name] = new
+                return True
+            return False
+        if isinstance(lhs, ast.Index):
+            base = ast.lvalue_base_name(lhs)
+            index = self.evaluator.eval(lhs.index, index_state)
+            if symbols.is_array(base) and isinstance(lhs.var, ast.Identifier):
+                depth = symbols.depth_of(base)
+                if isinstance(state, _Overlay):
+                    values = state.array(base)
+                else:
+                    values = state[base]
+                new = value & mask(symbols.width_of(base))
+                old = read_array(values, index, depth)
+                landed = write_array(values, index, depth, new)
+                return landed and old != new
+            old = state[base]
+            new = (old & ~(1 << index)) | ((value & 1) << index)
+            state[base] = new & mask(symbols.width_of(base))
+            return old != state[base]
+        if isinstance(lhs, ast.PartSelect):
+            base = ast.lvalue_base_name(lhs)
+            msb = const_eval(lhs.msb)
+            lsb = const_eval(lhs.lsb)
+            width = msb - lsb + 1
+            old = state[base]
+            new = (old & ~(mask(width) << lsb)) | ((value & mask(width)) << lsb)
+            new &= mask(symbols.width_of(base))
+            state[base] = new
+            return old != new
+        if isinstance(lhs, ast.IndexedPartSelect):
+            base = ast.lvalue_base_name(lhs)
+            start = self.evaluator.eval(lhs.base, index_state)
+            width = const_eval(lhs.width)
+            lsb = start if lhs.ascending else start - width + 1
+            if lsb < 0:
+                return False
+            old = state[base]
+            new = (old & ~(mask(width) << lsb)) | ((value & mask(width)) << lsb)
+            new &= mask(symbols.width_of(base))
+            state[base] = new
+            return old != new
+        if isinstance(lhs, ast.Concat):
+            changed = False
+            shift = sum(self._lhs_width(p) for p in lhs.parts)
+            for part in lhs.parts:
+                width = self._lhs_width(part)
+                shift -= width
+                changed |= self._write(
+                    part,
+                    (value >> shift) & mask(width),
+                    state,
+                    blocking=blocking,
+                    index_state=index_state,
+                )
+            return changed
+        raise SimulatorError("unsupported lvalue %r" % (lhs,))
+
+    # -- tracing -------------------------------------------------------------------
+
+    def _record_trace(self):
+        for name in self._trace_signals:
+            self.waveform[name].append(self.state[name])
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self):
+        """Capture the complete simulation state (§7's checkpointing).
+
+        Returns an opaque snapshot: design registers/memories, cycle
+        count, display log, and every blackbox IP's internal state.
+        Restore with :meth:`restore` to replay from that point —
+        StateMover/DESSERT-style debugging without re-running the prefix.
+        """
+        import copy
+        import pickle
+
+        ip_state = {
+            name: copy.deepcopy(model.__dict__)
+            for name, model in self._ip_models.items()
+        }
+        return pickle.dumps(
+            {
+                "state": copy.deepcopy(self.state),
+                "cycle": self.cycle,
+                "finished": self.finished,
+                "displays": copy.deepcopy(self.display_events),
+                "ips": ip_state,
+                "waveform": copy.deepcopy(self.waveform),
+            }
+        )
+
+    def restore(self, snapshot):
+        """Restore a snapshot captured by :meth:`checkpoint`."""
+        import pickle
+
+        data = pickle.loads(snapshot)
+        self.state = data["state"]
+        self.cycle = data["cycle"]
+        self.finished = data["finished"]
+        self.display_events = data["displays"]
+        self.waveform = data["waveform"]
+        for name, model_state in data["ips"].items():
+            self._ip_models[name].__dict__.update(model_state)
+
+    def run(self, max_cycles, clock="clk", until=None):
+        """Step until ``$finish``, *until(sim)* is truthy, or *max_cycles*.
+
+        Returns the number of cycles executed.
+        """
+        start = self.cycle
+        while self.cycle - start < max_cycles and not self.finished:
+            self.step(clock=clock)
+            if until is not None and until(self):
+                break
+        return self.cycle - start

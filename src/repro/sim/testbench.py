@@ -1,0 +1,99 @@
+"""Testbench conveniences on top of :class:`~repro.sim.simulator.Simulator`.
+
+A :class:`Testbench` owns a simulator, applies a reset pulse, and offers
+valid-interface helpers (``send``/``collect``) that the testbed's
+push-button bug reproductions and the tools' ground-truth test programs
+are written with.
+"""
+
+from __future__ import annotations
+
+from .simulator import Simulator
+
+
+class Testbench:
+    """Drives one design: reset, stimulus helpers, output collection."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, design, clock="clk", reset="rst", ips=None, trace=None):
+        self.sim = Simulator(design, ips=ips, trace=trace)
+        self.clock = clock
+        self.reset_signal = reset
+        self._collectors = []
+
+    def __getitem__(self, name):
+        return self.sim[name]
+
+    def __setitem__(self, name, value):
+        self.sim[name] = value
+
+    @property
+    def cycle(self):
+        """Current cycle number."""
+        return self.sim.cycle
+
+    @property
+    def finished(self):
+        """True once the design executed ``$finish``."""
+        return self.sim.finished
+
+    @property
+    def display_events(self):
+        """All :class:`DisplayEvent` records so far."""
+        return self.sim.display_events
+
+    def reset(self, cycles=2):
+        """Pulse the reset signal for *cycles* cycles."""
+        if self.reset_signal and self.reset_signal in self.sim.state:
+            self.sim[self.reset_signal] = 1
+            self.step(cycles)
+            self.sim[self.reset_signal] = 0
+            self.step(1)
+
+    def step(self, cycles=1):
+        """Advance full clock cycles, running collectors each cycle."""
+        for _ in range(cycles):
+            if self.sim.finished:
+                return
+            self.sim.step(clock=self.clock)
+            for collector in self._collectors:
+                collector()
+
+    def watch_valid(self, valid, data, into=None):
+        """Collect ``data`` every cycle where ``valid`` is high post-edge.
+
+        Returns the list that accumulates the collected values.
+        """
+        collected = into if into is not None else []
+
+        def collector():
+            if self.sim[valid]:
+                collected.append(self.sim[data])
+
+        self._collectors.append(collector)
+        return collected
+
+    def send(self, data_signal, valid_signal, values, gap=0):
+        """Send *values* through a valid interface, one per cycle.
+
+        ``gap`` inserts idle cycles between consecutive values.
+        """
+        for value in values:
+            self.sim[data_signal] = value
+            self.sim[valid_signal] = 1
+            self.step(1)
+            self.sim[valid_signal] = 0
+            if gap:
+                self.step(gap)
+        self.sim[valid_signal] = 0
+
+    def run_until(self, condition, max_cycles=10000):
+        """Step until *condition(testbench)* is truthy; False on timeout."""
+        for _ in range(max_cycles):
+            if condition(self):
+                return True
+            if self.sim.finished:
+                return bool(condition(self))
+            self.step(1)
+        return False

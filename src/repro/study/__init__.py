@@ -1,0 +1,39 @@
+"""The 68-bug study of open-source FPGA designs (§3, Table 1)."""
+
+from .database import (
+    BUGS,
+    DESIGNS,
+    CollectionMethod,
+    StudiedBug,
+    bug_by_id,
+    bugs_in_design,
+    testbed_link,
+)
+from .taxonomy import (
+    TABLE1_ORDER,
+    TABLE1_SYMPTOMS,
+    Table1Row,
+    build_table1,
+    class_counts,
+    designs_with,
+    format_table1,
+    subclass_counts,
+)
+
+__all__ = [
+    "BUGS",
+    "DESIGNS",
+    "StudiedBug",
+    "CollectionMethod",
+    "bug_by_id",
+    "bugs_in_design",
+    "testbed_link",
+    "Table1Row",
+    "TABLE1_ORDER",
+    "TABLE1_SYMPTOMS",
+    "build_table1",
+    "format_table1",
+    "subclass_counts",
+    "class_counts",
+    "designs_with",
+]

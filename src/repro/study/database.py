@@ -1,0 +1,334 @@
+"""The 68-bug study database (§3, Table 1).
+
+Each :class:`StudiedBug` records one real-world bug examined by the
+study: the design it was found in, how it was collected (commit history,
+GitHub issue, or direct developer communication), its subclass, and its
+observed symptoms. Twenty of the bugs are reproduced in
+:mod:`repro.testbed`; their ``testbed_id`` links the two.
+
+The aggregate structure matches Table 1 exactly:
+
+* 3 classes, 13 subclasses, 68 bugs total;
+* per-subclass counts (5 buffer overflows, 12 bit truncations, ...);
+* the per-subclass symptom checkmarks;
+* bit truncation bugs found in 7 different designs (§3.2.2);
+* erroneous expressions split 5 control-flow / 5 data-flow (§3.4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..testbed.metadata import BugSubclass, Symptom
+
+#: The 19 open-source designs the study examined (§3).
+DESIGNS = [
+    "SHA512",                 # HardCloud sample (HARP)
+    "Reed-Solomon Decoder",   # HardCloud sample (HARP)
+    "Grayscale",              # HardCloud sample (HARP)
+    "Optimus",                # HARP hypervisor
+    "SDSPI",                  # ZipCPU SD-card controller
+    "AXI-Lite Demo",          # Xilinx example endpoint
+    "AXI-Stream Demo",        # Xilinx example endpoint
+    "FFT",                    # ZipCPU FFT
+    "ZipCPU AXI Cores",       # ZipCPU bus components
+    "OpenWiFi",               # open-sdr/openwifi-hw
+    "Nyuzi GPGPU",            # jbush001/NyuziProcessor
+    "CVA6",                   # openhwgroup/cva6 RISC-V CPU
+    "VexRiscv",               # SpinalHDL/VexRiscv RISC-V CPU
+    "Bitcoin Miner",          # Open-Source-FPGA-Bitcoin-Miner
+    "Corundum NIC",           # corundum/corundum
+    "Verilog-Ethernet",       # alexforencich/verilog-ethernet
+    "ADI HDL Library",        # analogdevicesinc/hdl
+    "Verilog-AXIS",           # alexforencich/verilog-axis
+    "FADD",                   # really-simple-fadd (developer-provided)
+]
+
+
+class CollectionMethod:
+    """How a bug was gathered (§3, Bug Collection)."""
+
+    COMMIT = "commit history"
+    ISSUE = "github issue"
+    DIRECT = "developer communication"
+    BLOG = "zipcpu article"
+
+
+@dataclass(frozen=True)
+class StudiedBug:
+    """One of the 68 studied bugs."""
+
+    bug_id: str
+    design: str
+    subclass: BugSubclass
+    symptoms: frozenset
+    description: str
+    collection: str
+    #: Table 2 id when reproduced in the testbed.
+    testbed_id: Optional[str] = None
+    #: For erroneous expressions: "control" or "data" flow (§3.4.4).
+    flow: Optional[str] = None
+
+
+def _bug(number, design, subclass, symptoms, description, collection,
+         testbed_id=None, flow=None):
+    return StudiedBug(
+        bug_id="B%02d" % number,
+        design=design,
+        subclass=subclass,
+        symptoms=frozenset(symptoms),
+        description=description,
+        collection=collection,
+        testbed_id=testbed_id,
+        flow=flow,
+    )
+
+
+def bug_by_id(bug_id):
+    """Look up a studied bug by its ``B##`` id."""
+    for bug in BUGS:
+        if bug.bug_id == bug_id:
+            return bug
+    raise KeyError("no studied bug %r" % bug_id)
+
+
+def bugs_in_design(design):
+    """All studied bugs found in *design*."""
+    return [bug for bug in BUGS if bug.design == design]
+
+
+def testbed_link(testbed_id):
+    """The studied bug reproduced as testbed entry *testbed_id*."""
+    for bug in BUGS:
+        if bug.testbed_id == testbed_id:
+            return bug
+    raise KeyError("no studied bug links to testbed id %r" % testbed_id)
+
+
+_S = Symptom
+_C = BugSubclass
+
+BUGS = [
+    # -- Buffer Overflow (5) -- symptom: data loss -------------------------
+    _bug(1, "Reed-Solomon Decoder", _C.BUFFER_OVERFLOW, [_S.LOSS, _S.STUCK],
+         "symbol buffer one entry short of the maximum codeword; the "
+         "parity write is dropped", CollectionMethod.COMMIT, "D1"),
+    _bug(2, "Grayscale", _C.BUFFER_OVERFLOW, [_S.LOSS, _S.STUCK],
+         "output FIFO overflows under a full-rate read burst",
+         CollectionMethod.COMMIT, "D2"),
+    _bug(3, "Optimus", _C.BUFFER_OVERFLOW, [_S.LOSS, _S.STUCK],
+         "reply ring indexed by a free-running pointer with no occupancy "
+         "check", CollectionMethod.DIRECT, "D3"),
+    _bug(4, "Verilog-Ethernet", _C.BUFFER_OVERFLOW, [_S.LOSS],
+         "frame FIFO wraps its write pointer for oversized frames",
+         CollectionMethod.COMMIT, "D4"),
+    _bug(5, "Corundum NIC", _C.BUFFER_OVERFLOW, [_S.LOSS],
+         "descriptor queue accepts more outstanding entries than it can "
+         "store", CollectionMethod.ISSUE),
+    # -- Bit Truncation (12, in 7 designs) -- incorrect output / external --
+    _bug(6, "SHA512", _C.BIT_TRUNCATION, [_S.INCORRECT, _S.EXTERNAL],
+         "cast-before-shift drops address bits [47:42]",
+         CollectionMethod.COMMIT, "D5"),
+    _bug(7, "SHA512", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "message length register narrower than the length field",
+         CollectionMethod.COMMIT),
+    _bug(8, "FFT", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "butterfly sum stored without its growth bit",
+         CollectionMethod.BLOG, "D6"),
+    _bug(9, "FFT", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "twiddle-factor product keeps only the low half without rounding",
+         CollectionMethod.BLOG),
+    _bug(10, "OpenWiFi", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "RSSI accumulator truncated before averaging",
+         CollectionMethod.COMMIT),
+    _bug(11, "OpenWiFi", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "timestamp compare uses the low 32 bits of a 64-bit counter",
+         CollectionMethod.ISSUE),
+    _bug(12, "Nyuzi GPGPU", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "floating-point significand shifted after narrowing",
+         CollectionMethod.COMMIT),
+    _bug(13, "CVA6", _C.BIT_TRUNCATION, [_S.INCORRECT, _S.EXTERNAL],
+         "physical address truncated to the virtual width in the PTW",
+         CollectionMethod.ISSUE),
+    _bug(14, "CVA6", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "branch offset sign bit lost in a narrowed adder",
+         CollectionMethod.COMMIT),
+    _bug(15, "Bitcoin Miner", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "nonce counter wraps a 28-bit register against a 32-bit search "
+         "space", CollectionMethod.ISSUE),
+    _bug(16, "Bitcoin Miner", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "midstate word assigned through a narrower temporary",
+         CollectionMethod.COMMIT),
+    _bug(17, "ADI HDL Library", _C.BIT_TRUNCATION, [_S.INCORRECT],
+         "DMA burst length register drops the high bits of large bursts",
+         CollectionMethod.COMMIT),
+    # -- Misindexing (5) -- incorrect output / data loss --------------------
+    _bug(18, "FADD", _C.MISINDEXING, [_S.INCORRECT],
+         "IEEE-754 fraction extracted as [23:0] instead of [22:0]",
+         CollectionMethod.DIRECT, "D7"),
+    _bug(19, "Verilog-AXIS", _C.MISINDEXING, [_S.INCORRECT],
+         "switch reads the destination from the wrong header nibble",
+         CollectionMethod.COMMIT, "D8"),
+    _bug(20, "Nyuzi GPGPU", _C.MISINDEXING, [_S.LOSS],
+         "lane index off by one drops the last vector element",
+         CollectionMethod.COMMIT),
+    _bug(21, "OpenWiFi", _C.MISINDEXING, [_S.INCORRECT],
+         "subcarrier table indexed with a bit-reversed address",
+         CollectionMethod.ISSUE),
+    _bug(22, "VexRiscv", _C.MISINDEXING, [_S.LOSS],
+         "CSR mask selects the wrong interrupt-pending bit",
+         CollectionMethod.ISSUE),
+    # -- Endianness Mismatch (1) -- wrong value after assignment -----------
+    _bug(23, "SDSPI", _C.ENDIANNESS_MISMATCH, [_S.INCORRECT],
+         "response assembled little-endian for a big-endian checksum",
+         CollectionMethod.BLOG, "D9"),
+    # -- Failure-to-Update (5) -- loss / invalid output / interface --------
+    _bug(24, "SHA512", _C.FAILURE_TO_UPDATE, [_S.INCORRECT],
+         "digest accumulator not re-seeded on a new request",
+         CollectionMethod.COMMIT, "D10"),
+    _bug(25, "Verilog-Ethernet", _C.FAILURE_TO_UPDATE, [_S.LOSS],
+         "frame-drop flag never cleared after an aborted frame",
+         CollectionMethod.COMMIT, "D11"),
+    _bug(26, "Verilog-Ethernet", _C.FAILURE_TO_UPDATE, [_S.INCORRECT],
+         "frame length counter not cleared on commit",
+         CollectionMethod.COMMIT, "D12"),
+    _bug(27, "Verilog-AXIS", _C.FAILURE_TO_UPDATE, [_S.INCORRECT],
+         "length measurer only resets its counter during idle gaps",
+         CollectionMethod.COMMIT, "D13"),
+    _bug(28, "Corundum NIC", _C.FAILURE_TO_UPDATE, [_S.EXTERNAL],
+         "completion-queue ready flag not reset, violating the host "
+         "interface contract", CollectionMethod.ISSUE),
+    # -- Deadlock (3) -- infinite stall -------------------------------------
+    _bug(29, "SDSPI", _C.DEADLOCK, [_S.STUCK],
+         "command accept and response ready wait on each other",
+         CollectionMethod.BLOG, "C1"),
+    _bug(30, "Nyuzi GPGPU", _C.DEADLOCK, [_S.STUCK],
+         "L1 miss queue and writeback stage hold each other's grant",
+         CollectionMethod.ISSUE),
+    _bug(31, "CVA6", _C.DEADLOCK, [_S.STUCK],
+         "store buffer flush waits for a fence that waits for the flush",
+         CollectionMethod.ISSUE),
+    # -- Producer-Consumer Mismatch (3) -- loss / invalid / stall ----------
+    _bug(32, "Optimus", _C.PRODUCER_CONSUMER_MISMATCH,
+         [_S.LOSS, _S.STUCK],
+         "two producers valid in one cycle; the losing channel's staging "
+         "register is overwritten", CollectionMethod.DIRECT, "C2"),
+    _bug(33, "OpenWiFi", _C.PRODUCER_CONSUMER_MISMATCH, [_S.INCORRECT],
+         "sample producer outruns the FFT consumer on wide channels",
+         CollectionMethod.ISSUE),
+    _bug(34, "Corundum NIC", _C.PRODUCER_CONSUMER_MISMATCH, [_S.LOSS],
+         "event aggregator coalesces two same-cycle events into one",
+         CollectionMethod.COMMIT),
+    # -- Signal Asynchrony (10) -- incorrect output -------------------------
+    _bug(35, "SDSPI", _C.SIGNAL_ASYNCHRONY, [_S.INCORRECT],
+         "response valid asserted one cycle before the buffered data",
+         CollectionMethod.BLOG, "C3"),
+    _bug(36, "Verilog-AXIS", _C.SIGNAL_ASYNCHRONY, [_S.LOSS],
+         "FIFO output stage reloads regardless of the tvalid/tready "
+         "handshake", CollectionMethod.COMMIT, "C4"),
+    _bug(37, "OpenWiFi", _C.SIGNAL_ASYNCHRONY, [_S.INCORRECT],
+         "IQ sample pair crosses pipeline stages one cycle apart",
+         CollectionMethod.COMMIT),
+    _bug(38, "Nyuzi GPGPU", _C.SIGNAL_ASYNCHRONY, [_S.INCORRECT],
+         "scoreboard clear lags the result bus by a stage",
+         CollectionMethod.COMMIT),
+    _bug(39, "CVA6", _C.SIGNAL_ASYNCHRONY, [_S.INCORRECT],
+         "exception valid raised before the trap value register updates",
+         CollectionMethod.ISSUE),
+    _bug(40, "VexRiscv", _C.SIGNAL_ASYNCHRONY, [_S.INCORRECT],
+         "hazard bypass selects a value one stage too early",
+         CollectionMethod.ISSUE),
+    _bug(41, "Bitcoin Miner", _C.SIGNAL_ASYNCHRONY, [_S.INCORRECT],
+         "golden-nonce strobe fires a cycle before the nonce register",
+         CollectionMethod.COMMIT),
+    _bug(42, "Corundum NIC", _C.SIGNAL_ASYNCHRONY, [_S.INCORRECT],
+         "PTP timestamp valid leads the captured timestamp",
+         CollectionMethod.COMMIT),
+    _bug(43, "ADI HDL Library", _C.SIGNAL_ASYNCHRONY, [_S.INCORRECT],
+         "DMA descriptor fields latched across two unaligned cycles",
+         CollectionMethod.COMMIT),
+    _bug(44, "Verilog-Ethernet", _C.SIGNAL_ASYNCHRONY, [_S.INCORRECT],
+         "checksum valid not delayed with the pipelined sum",
+         CollectionMethod.COMMIT),
+    # -- Use-Without-Valid (1) -- incorrect output --------------------------
+    _bug(45, "OpenWiFi", _C.USE_WITHOUT_VALID, [_S.INCORRECT],
+         "AGC accumulates gain samples while the valid flag is low",
+         CollectionMethod.ISSUE),
+    # -- Protocol Violation (3) -- invalid / stall / external ---------------
+    _bug(46, "AXI-Lite Demo", _C.PROTOCOL_VIOLATION, [_S.EXTERNAL],
+         "BVALID deasserted before the BREADY handshake",
+         CollectionMethod.BLOG, "S1"),
+    _bug(47, "AXI-Stream Demo", _C.PROTOCOL_VIOLATION, [_S.EXTERNAL],
+         "TVALID dropped without TREADY; beats lost under backpressure",
+         CollectionMethod.BLOG, "S2"),
+    _bug(48, "ZipCPU AXI Cores", _C.PROTOCOL_VIOLATION,
+         [_S.STUCK, _S.INCORRECT],
+         "write strobes ignored on narrow AXI writes; bus hangs on "
+         "unaligned bursts", CollectionMethod.BLOG),
+    # -- API Misuse (3) -- incorrect output ---------------------------------
+    _bug(49, "ADI HDL Library", _C.API_MISUSE, [_S.INCORRECT],
+         "comparator instance wired with swapped operand ports",
+         CollectionMethod.COMMIT),
+    _bug(50, "Grayscale", _C.API_MISUSE, [_S.INCORRECT],
+         "altsyncram instantiated with read-during-write set to OLD_DATA "
+         "where NEW_DATA was assumed", CollectionMethod.COMMIT),
+    _bug(51, "Corundum NIC", _C.API_MISUSE, [_S.INCORRECT],
+         "dcfifo used with mismatched read/write width parameters",
+         CollectionMethod.ISSUE),
+    # -- Incomplete Implementation (7) -- incorrect output ------------------
+    _bug(52, "Verilog-AXIS", _C.INCOMPLETE_IMPLEMENTATION, [_S.INCORRECT],
+         "width adapter does not handle a partial-tkeep final beat",
+         CollectionMethod.COMMIT, "S3"),
+    _bug(53, "CVA6", _C.INCOMPLETE_IMPLEMENTATION, [_S.INCORRECT],
+         "misaligned load-reserved not handled in the LR/SC unit",
+         CollectionMethod.ISSUE),
+    _bug(54, "VexRiscv", _C.INCOMPLETE_IMPLEMENTATION, [_S.INCORRECT],
+         "debug single-step skips the instruction after an interrupt",
+         CollectionMethod.ISSUE),
+    _bug(55, "OpenWiFi", _C.INCOMPLETE_IMPLEMENTATION, [_S.INCORRECT],
+         "short-GI symbol timing unimplemented for 40 MHz channels",
+         CollectionMethod.ISSUE),
+    _bug(56, "Nyuzi GPGPU", _C.INCOMPLETE_IMPLEMENTATION, [_S.INCORRECT],
+         "denormal results flushed without setting the status flag",
+         CollectionMethod.COMMIT),
+    _bug(57, "Verilog-Ethernet", _C.INCOMPLETE_IMPLEMENTATION,
+         [_S.INCORRECT],
+         "pause frames not parsed; flow control silently ignored",
+         CollectionMethod.ISSUE),
+    _bug(58, "ZipCPU AXI Cores", _C.INCOMPLETE_IMPLEMENTATION,
+         [_S.INCORRECT],
+         "exclusive-access responses unimplemented on the AXI slave",
+         CollectionMethod.BLOG),
+    # -- Erroneous Expression (10: 5 control-flow, 5 data-flow) -------------
+    _bug(59, "Bitcoin Miner", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "difficulty compare uses > where >= is required",
+         CollectionMethod.COMMIT, flow="control"),
+    _bug(60, "CVA6", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "branch-taken condition inverted for BLTU",
+         CollectionMethod.ISSUE, flow="control"),
+    _bug(61, "VexRiscv", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "interrupt enable gates on mstatus.MPIE instead of MIE",
+         CollectionMethod.ISSUE, flow="control"),
+    _bug(62, "SDSPI", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "busy-wait loop tests the command index, not the busy bit",
+         CollectionMethod.BLOG, flow="control"),
+    _bug(63, "OpenWiFi", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "channel-busy condition ORs the wrong carrier-sense source",
+         CollectionMethod.COMMIT, flow="control"),
+    _bug(64, "Nyuzi GPGPU", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "reciprocal estimate adds the exponent bias twice",
+         CollectionMethod.COMMIT, flow="data"),
+    _bug(65, "FFT", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "imaginary part negated in only one butterfly leg",
+         CollectionMethod.BLOG, flow="data"),
+    _bug(66, "ADI HDL Library", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "sample swap computes A+B where A-B was intended",
+         CollectionMethod.COMMIT, flow="data"),
+    _bug(67, "Corundum NIC", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "checksum folds carries with ^ instead of +",
+         CollectionMethod.COMMIT, flow="data"),
+    _bug(68, "Bitcoin Miner", _C.ERRONEOUS_EXPRESSION, [_S.INCORRECT],
+         "SHA round constant table rotated by one position",
+         CollectionMethod.COMMIT, flow="data"),
+]

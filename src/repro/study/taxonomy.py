@@ -1,0 +1,123 @@
+"""Bug taxonomy and the Table 1 generator (§3.1).
+
+``TABLE1_SYMPTOMS`` records each subclass's *common* symptoms as Table 1
+prints them (individual bugs may show extra symptoms — e.g. several
+buffer overflows also hang the application, which Table 2 reports).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..testbed.metadata import BugClass, BugSubclass, Symptom
+from .database import BUGS
+
+#: Table 1's per-subclass "Common Symptoms" checkmarks.
+TABLE1_SYMPTOMS = {
+    BugSubclass.BUFFER_OVERFLOW: frozenset({Symptom.LOSS}),
+    BugSubclass.BIT_TRUNCATION: frozenset({Symptom.INCORRECT, Symptom.EXTERNAL}),
+    BugSubclass.MISINDEXING: frozenset({Symptom.LOSS, Symptom.INCORRECT}),
+    BugSubclass.ENDIANNESS_MISMATCH: frozenset({Symptom.INCORRECT}),
+    BugSubclass.FAILURE_TO_UPDATE: frozenset(
+        {Symptom.LOSS, Symptom.INCORRECT, Symptom.EXTERNAL}
+    ),
+    BugSubclass.DEADLOCK: frozenset({Symptom.STUCK}),
+    BugSubclass.PRODUCER_CONSUMER_MISMATCH: frozenset(
+        {Symptom.STUCK, Symptom.LOSS, Symptom.INCORRECT}
+    ),
+    BugSubclass.SIGNAL_ASYNCHRONY: frozenset({Symptom.INCORRECT}),
+    BugSubclass.USE_WITHOUT_VALID: frozenset({Symptom.INCORRECT}),
+    BugSubclass.PROTOCOL_VIOLATION: frozenset(
+        {Symptom.STUCK, Symptom.INCORRECT, Symptom.EXTERNAL}
+    ),
+    BugSubclass.API_MISUSE: frozenset({Symptom.INCORRECT}),
+    BugSubclass.INCOMPLETE_IMPLEMENTATION: frozenset({Symptom.INCORRECT}),
+    BugSubclass.ERRONEOUS_EXPRESSION: frozenset({Symptom.INCORRECT}),
+}
+
+#: Table 1 row order.
+TABLE1_ORDER = [
+    BugSubclass.BUFFER_OVERFLOW,
+    BugSubclass.BIT_TRUNCATION,
+    BugSubclass.MISINDEXING,
+    BugSubclass.ENDIANNESS_MISMATCH,
+    BugSubclass.FAILURE_TO_UPDATE,
+    BugSubclass.DEADLOCK,
+    BugSubclass.PRODUCER_CONSUMER_MISMATCH,
+    BugSubclass.SIGNAL_ASYNCHRONY,
+    BugSubclass.USE_WITHOUT_VALID,
+    BugSubclass.PROTOCOL_VIOLATION,
+    BugSubclass.API_MISUSE,
+    BugSubclass.INCOMPLETE_IMPLEMENTATION,
+    BugSubclass.ERRONEOUS_EXPRESSION,
+]
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1."""
+
+    bug_class: BugClass
+    subclass: BugSubclass
+    count: int
+    symptoms: frozenset
+
+    def checkmarks(self):
+        """Symptom checkmarks in Table 1 column order."""
+        order = [Symptom.STUCK, Symptom.LOSS, Symptom.INCORRECT, Symptom.EXTERNAL]
+        return ["x" if s in self.symptoms else "" for s in order]
+
+
+def subclass_counts(bugs=None):
+    """Number of studied bugs per subclass."""
+    bugs = BUGS if bugs is None else bugs
+    return Counter(bug.subclass for bug in bugs)
+
+
+def class_counts(bugs=None):
+    """Number of studied bugs per top-level class."""
+    bugs = BUGS if bugs is None else bugs
+    return Counter(bug.subclass.bug_class for bug in bugs)
+
+
+def build_table1(bugs=None):
+    """Regenerate Table 1 from the study database."""
+    counts = subclass_counts(bugs)
+    return [
+        Table1Row(
+            bug_class=subclass.bug_class,
+            subclass=subclass,
+            count=counts[subclass],
+            symptoms=TABLE1_SYMPTOMS[subclass],
+        )
+        for subclass in TABLE1_ORDER
+    ]
+
+
+def format_table1(rows=None):
+    """Render Table 1 as aligned text (the benchmark harness prints this)."""
+    rows = rows or build_table1()
+    header = "%-16s %-28s %5s | %-5s %-4s %-6s %-4s" % (
+        "Class", "Subclass", "Bugs", "Stuck", "Loss", "Incor.", "Ext.",
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        marks = row.checkmarks()
+        lines.append(
+            "%-16s %-28s %5d | %-5s %-4s %-6s %-4s" % (
+                row.bug_class.value,
+                row.subclass.value,
+                row.count,
+                marks[0], marks[1], marks[2], marks[3],
+            )
+        )
+    lines.append("-" * len(header))
+    lines.append("Total: %d bugs" % sum(row.count for row in rows))
+    return "\n".join(lines)
+
+
+def designs_with(subclass, bugs=None):
+    """Distinct designs containing bugs of *subclass*."""
+    bugs = BUGS if bugs is None else bugs
+    return sorted({bug.design for bug in bugs if bug.subclass is subclass})

@@ -1,0 +1,67 @@
+"""The testbed of 20 reliably-reproducible FPGA bugs (Table 2, §6.1).
+
+Push-button usage::
+
+    from repro.testbed import reproduce, verify_fix
+
+    result = reproduce("D1")       # raises unless the bug shows itself
+    verify_fix("D1")               # raises unless the fix is clean
+"""
+
+from .metadata import (
+    BUG_IDS,
+    FIGURE3_HARP,
+    FIGURE3_KC705,
+    HARP_BUGS,
+    KC705_BUGS,
+    SPECS,
+    BugClass,
+    BugSpec,
+    BugSubclass,
+    LossCheckSpec,
+    Platform,
+    Symptom,
+    Tool,
+)
+from .harness import (
+    LossCheckOutcome,
+    Reproduction,
+    ReproductionError,
+    load_design,
+    load_source,
+    reproduce,
+    reproduce_all,
+    run_losscheck,
+    run_scenario,
+    verify_fix,
+)
+from .scenarios import GROUND_TRUTH, SCENARIOS, Observation
+
+__all__ = [
+    "BUG_IDS",
+    "SPECS",
+    "HARP_BUGS",
+    "KC705_BUGS",
+    "FIGURE3_HARP",
+    "FIGURE3_KC705",
+    "BugClass",
+    "BugSubclass",
+    "BugSpec",
+    "LossCheckSpec",
+    "Platform",
+    "Symptom",
+    "Tool",
+    "Observation",
+    "SCENARIOS",
+    "GROUND_TRUTH",
+    "load_design",
+    "load_source",
+    "run_scenario",
+    "reproduce",
+    "reproduce_all",
+    "verify_fix",
+    "run_losscheck",
+    "Reproduction",
+    "ReproductionError",
+    "LossCheckOutcome",
+]

@@ -1,0 +1,191 @@
+"""Per-bug debugging configurations for the §6.3/§6.4 evaluation.
+
+For the "SignalCat + monitors" use case the paper instruments each buggy
+design with the full toolchain: FSM Monitor on every detected FSM,
+Statistics Monitor on the events the developer suspects, and Dependency
+Monitor on the suspicious variable. :func:`instrument_for_debugging`
+composes the tools in that order and finishes with SignalCat in on-FPGA
+mode, exactly as a developer debugging on real hardware would.
+
+The configurations mirror the debugging narratives of §6.3: counters on
+the producer/consumer valid signals, dependency tracking on the register
+the symptom points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.dependency_monitor import DependencyMonitor
+from ..core.fsm_monitor import FSMMonitor
+from ..core.signalcat import Mode, SignalCat
+from ..core.statistics_monitor import StatisticsMonitor
+from .harness import load_design
+from .metadata import SPECS
+
+
+@dataclass
+class DebugConfig:
+    """What the developer asks the monitors to watch for one bug."""
+
+    #: Statistics Monitor events: name -> condition text.
+    stat_events: dict = field(default_factory=dict)
+    #: Dependency Monitor target variable (None to skip).
+    dep_target: Optional[str] = None
+    dep_depth: int = 3
+
+
+CONFIGS = {
+    "D1": DebugConfig(
+        stat_events={"symbols_in": "in_valid", "symbols_out": "out_valid"},
+    ),
+    "D2": DebugConfig(
+        stat_events={"pixels_read": "rd_rsp_valid", "pixels_written": "wr_req"},
+    ),
+    "D3": DebugConfig(
+        stat_events={"replies_in": "rsp_valid", "replies_polled": "poll_valid"},
+        dep_target="poll_data",
+        dep_depth=3,
+    ),
+    "D4": DebugConfig(
+        stat_events={"words_in": "in_valid", "words_out": "out_valid"},
+        dep_target="out_data",
+        dep_depth=2,
+    ),
+    "D5": DebugConfig(
+        stat_events={"lines_requested": "rd_req", "lines_received": "rd_rsp_valid"},
+        dep_target="blocks_left",
+        dep_depth=2,
+    ),
+    "D6": DebugConfig(
+        stat_events={"pairs_in": "in_valid", "values_out": "out_valid"},
+        dep_target="out_data",
+        dep_depth=3,
+    ),
+    "D7": DebugConfig(
+        stat_events={"operations": "start"},
+        dep_target="result",
+        dep_depth=4,
+    ),
+    "D8": DebugConfig(
+        stat_events={
+            "port0_words": "out0_valid",
+            "port1_words": "out1_valid",
+        },
+    ),
+    "D9": DebugConfig(
+        stat_events={"bytes_in": "byte_valid", "responses": "resp_valid"},
+        dep_target="resp",
+        dep_depth=2,
+    ),
+    "D10": DebugConfig(
+        stat_events={"requests": "start", "completions": "done"},
+        dep_target="blocks_left",
+        dep_depth=2,
+    ),
+    "D11": DebugConfig(
+        stat_events={
+            "words_in": "in_valid",
+            "words_out": "out_valid",
+            "aborts": "in_abort",
+        },
+    ),
+    "D12": DebugConfig(
+        stat_events={"headers": "hdr_valid", "words_in": "in_valid"},
+        dep_target="hdr_len",
+        dep_depth=2,
+    ),
+    "D13": DebugConfig(
+        stat_events={"frames": "len_valid", "words": "in_valid"},
+        dep_target="len_out",
+        dep_depth=2,
+    ),
+    "C1": DebugConfig(
+        stat_events={"card_bytes": "card_valid"},
+        dep_target="done",
+        dep_depth=3,
+    ),
+    "C2": DebugConfig(
+        stat_events={
+            "a_messages": "a_valid",
+            "b_messages": "b_valid",
+            "delivered_msgs": "out_valid",
+        },
+        dep_target="out_data",
+        dep_depth=3,
+    ),
+    "C3": DebugConfig(
+        stat_events={"requests": "request", "responses": "final_response_valid"},
+        dep_target="final_response",
+        dep_depth=2,
+    ),
+    "C4": DebugConfig(
+        stat_events={"words_in": "in_valid", "beats_out": "tvalid && tready"},
+    ),
+    "S1": DebugConfig(
+        stat_events={
+            "writes_accepted": "awvalid && wvalid",
+            "responses_sent": "bvalid && bready",
+        },
+    ),
+    "S2": DebugConfig(
+        stat_events={"beats": "tvalid && tready", "stalls": "tvalid && !tready"},
+    ),
+    "S3": DebugConfig(
+        stat_events={"beats_in": "in_valid && in_ready", "bytes_out": "out_valid"},
+        dep_target="out_data",
+        dep_depth=2,
+    ),
+}
+
+
+@dataclass
+class DebugInstrumentation:
+    """The fully-instrumented design plus bookkeeping for the evaluation."""
+
+    bug_id: str
+    module: object
+    signalcat: SignalCat
+    fsm_monitor: FSMMonitor
+    statistics_monitor: StatisticsMonitor
+    dependency_monitor: Optional[DependencyMonitor]
+    generated_lines: int
+
+    @property
+    def recorder_width(self):
+        """Sample width of the synthesized recording IP."""
+        return self.signalcat.word_width
+
+
+def instrument_for_debugging(bug_id, buffer_depth=8192, fixed=False):
+    """Apply the full SignalCat+monitors toolchain to one testbed bug."""
+    spec = SPECS[bug_id]
+    config = CONFIGS[bug_id]
+    design = load_design(bug_id, fixed=fixed)
+    fsm_monitor = FSMMonitor(design, state_names=spec.state_names)
+    module = fsm_monitor.module
+    statistics_monitor = StatisticsMonitor(module, config.stat_events)
+    module = statistics_monitor.module
+    dependency_monitor = None
+    if config.dep_target is not None:
+        dependency_monitor = DependencyMonitor(
+            module, config.dep_target, config.dep_depth
+        )
+        module = dependency_monitor.module
+    signalcat = SignalCat(module, mode=Mode.ON_FPGA, buffer_depth=buffer_depth)
+    generated = (
+        fsm_monitor.generated_line_count()
+        + statistics_monitor.generated_line_count()
+        + (dependency_monitor.generated_line_count() if dependency_monitor else 0)
+        + signalcat.generated_line_count()
+    )
+    return DebugInstrumentation(
+        bug_id=bug_id,
+        module=signalcat.module,
+        signalcat=signalcat,
+        fsm_monitor=fsm_monitor,
+        statistics_monitor=statistics_monitor,
+        dependency_monitor=dependency_monitor,
+        generated_lines=generated,
+    )

@@ -1,0 +1,179 @@
+// Bug C1 -- Deadlock -- SDSPI controller (generic platform).
+//
+// The command/response handshake of an SD-card SPI controller: the
+// command FSM sends a command and then waits for the response unit to
+// raise resp_ready; the response unit, in turn, waits for the command
+// FSM to acknowledge with cmd_accept before it latches a response.
+//
+// ROOT CAUSE: a circular control dependency (paper section 3.3.1).
+// cmd_accept is only set once resp_ready is high, and resp_ready is
+// only set once cmd_accept is high. Both reset to 0, so neither
+// condition can ever fire -- the paper's
+//     if (a) b <= 1; if (b) a <= 1; if (a) out <= result;
+// pattern embedded in a real controller.
+//
+// SYMPTOM: infinite stall (the command FSM never leaves its WAIT
+// state, done never asserts).
+//
+// FIX: the response unit latches the response as soon as the card
+// answers, without waiting for the acknowledgment
+// (sdspi_cmd_fixed).
+//
+// The response unit is a two-process FSM (next-state variable), one of
+// the paper's FSM-detection false-negative patterns.
+
+module sdspi_cmd (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [7:0] cmd,
+    input wire card_valid,
+    input wire [7:0] card_data,
+    output reg [7:0] response,
+    output reg done,
+    output reg cmd_sent
+);
+    localparam CM_IDLE = 0;
+    localparam CM_SEND = 1;
+    localparam CM_WAIT = 2;
+    localparam CM_DONE = 3;
+    localparam RU_IDLE = 0;
+    localparam RU_LATCHED = 1;
+
+    reg [1:0] cm_state;
+    reg cmd_accept;
+    reg resp_ready;
+    reg [7:0] resp_buf;
+
+    reg ru_state;
+    reg ru_next;
+
+    // Command FSM.
+    always @(posedge clk) begin
+        if (rst) begin
+            cm_state <= CM_IDLE;
+            done <= 0;
+            cmd_sent <= 0;
+            cmd_accept <= 0;
+        end else begin
+            case (cm_state)
+                CM_IDLE: if (start) begin
+                    cmd_sent <= 1;
+                    cm_state <= CM_SEND;
+                end
+                CM_SEND: cm_state <= CM_WAIT;
+                CM_WAIT: begin
+                    // BUG: waits for resp_ready, which itself waits for
+                    // cmd_accept -- a circular dependency; neither side
+                    // ever makes progress.
+                    if (resp_ready) cmd_accept <= 1;
+                    if (cmd_accept) begin
+                        response <= resp_buf;
+                        cm_state <= CM_DONE;
+                    end
+                end
+                CM_DONE: done <= 1;
+            endcase
+        end
+    end
+
+    // Response unit (two-process FSM).
+    always @(*) begin
+        ru_next = ru_state;
+        case (ru_state)
+            RU_IDLE: if (card_valid && cmd_accept) ru_next = RU_LATCHED;
+            RU_LATCHED: ru_next = RU_IDLE;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ru_state <= RU_IDLE;
+            resp_ready <= 0;
+        end else begin
+            ru_state <= ru_next;
+            // BUG (other half of the cycle): the response is only
+            // latched after cmd_accept, but cmd_accept waits for
+            // resp_ready below.
+            if (card_valid && cmd_accept) begin
+                resp_buf <= card_data;
+                resp_ready <= 1;
+            end
+        end
+    end
+endmodule
+
+module sdspi_cmd_fixed (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [7:0] cmd,
+    input wire card_valid,
+    input wire [7:0] card_data,
+    output reg [7:0] response,
+    output reg done,
+    output reg cmd_sent
+);
+    localparam CM_IDLE = 0;
+    localparam CM_SEND = 1;
+    localparam CM_WAIT = 2;
+    localparam CM_DONE = 3;
+    localparam RU_IDLE = 0;
+    localparam RU_LATCHED = 1;
+
+    reg [1:0] cm_state;
+    reg cmd_accept;
+    reg resp_ready;
+    reg [7:0] resp_buf;
+
+    reg ru_state;
+    reg ru_next;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            cm_state <= CM_IDLE;
+            done <= 0;
+            cmd_sent <= 0;
+            cmd_accept <= 0;
+        end else begin
+            case (cm_state)
+                CM_IDLE: if (start) begin
+                    cmd_sent <= 1;
+                    cm_state <= CM_SEND;
+                end
+                CM_SEND: cm_state <= CM_WAIT;
+                CM_WAIT: begin
+                    if (resp_ready) cmd_accept <= 1;
+                    if (cmd_accept) begin
+                        response <= resp_buf;
+                        cm_state <= CM_DONE;
+                    end
+                end
+                CM_DONE: done <= 1;
+            endcase
+        end
+    end
+
+    always @(*) begin
+        ru_next = ru_state;
+        case (ru_state)
+            RU_IDLE: if (card_valid) ru_next = RU_LATCHED;
+            RU_LATCHED: ru_next = RU_IDLE;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ru_state <= RU_IDLE;
+            resp_ready <= 0;
+        end else begin
+            ru_state <= ru_next;
+            // FIX: latch the card's answer unconditionally; the command
+            // FSM acknowledges afterwards, breaking the cycle.
+            if (card_valid) begin
+                resp_buf <= card_data;
+                resp_ready <= 1;
+            end
+        end
+    end
+endmodule

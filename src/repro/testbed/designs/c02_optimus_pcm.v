@@ -1,0 +1,195 @@
+// Bug C2 -- Producer-Consumer Mismatch -- Optimus hypervisor
+// (Intel HARP).
+//
+// The interrupt/response merge point of the Optimus hypervisor: two
+// producer channels (accelerator completions and timer events) each
+// deliver tagged messages for the guest, and a single consumer register
+// feeds the guest notification queue, draining one message per cycle.
+//
+// ROOT CAUSE: both producers can present a valid message in the same
+// cycle, but the merge consumes only one (an if/else-if priority
+// chain), and the losing producer's staging register is overwritten on
+// its next message -- the paper's section 3.3.2 bounded-buffer
+// mismatch:
+//     if (x_valid) out <= x;
+//     else if (y_valid) out <= y;
+//
+// SYMPTOMS: lost messages; the guest, which waits for every completion
+// it was promised, stalls forever.
+//
+// FIX: queue the lower-priority producer while the merge is busy
+// (optimus_merge_fixed holds channel B with backpressure).
+
+module optimus_merge (
+    input wire clk,
+    input wire rst,
+    // producer A: accelerator completions
+    input wire a_valid,
+    input wire [15:0] a_data,
+    // producer B: timer events
+    input wire b_valid,
+    input wire [15:0] b_data,
+    output wire b_ready,
+    // consumer: guest notification register
+    output reg out_valid,
+    output reg [15:0] out_data,
+    output reg [7:0] delivered
+);
+    localparam MG_RUN = 0;
+    localparam MG_FLUSH = 1;
+    localparam SC_A = 0;
+    localparam SC_B = 1;
+
+    reg mg_state;
+    reg [15:0] a_buf;
+    reg a_pend;
+    reg [15:0] b_buf;
+    reg b_pend;
+
+    reg sc_state;
+    reg sc_next;
+
+    // BUG: channel B is never backpressured.
+    assign b_ready = 1;
+
+    // Producer staging.
+    always @(posedge clk) begin
+        if (rst) begin
+            a_pend <= 0;
+            b_pend <= 0;
+        end else begin
+            if (a_valid) begin
+                a_buf <= a_data;
+                a_pend <= 1;
+            end else if (a_pend && mg_state == MG_RUN) a_pend <= 0;
+            if (b_valid) begin
+                // BUG: overwrites a pending timer event that lost
+                // arbitration to channel A.
+                b_buf <= b_data;
+                b_pend <= 1;
+            end else if (b_pend && !a_pend && mg_state == MG_RUN) b_pend <= 0;
+        end
+    end
+
+    // Merge: priority if/else-if -- only one message per cycle.
+    always @(posedge clk) begin
+        if (rst) begin
+            mg_state <= MG_RUN;
+            out_valid <= 0;
+            delivered <= 0;
+        end else begin
+            out_valid <= 0;
+            case (mg_state)
+                MG_RUN: begin
+                    if (a_pend) begin
+                        out_valid <= 1;
+                        out_data <= a_buf;
+                        delivered <= delivered + 1;
+                    end else if (b_pend) begin
+                        out_valid <= 1;
+                        out_data <= b_buf;
+                        delivered <= delivered + 1;
+                    end
+                end
+                MG_FLUSH: mg_state <= MG_RUN;
+            endcase
+        end
+    end
+
+    // Producer scheduler (two-process FSM; undetectable pattern).
+    always @(*) begin
+        sc_next = sc_state;
+        case (sc_state)
+            SC_A: if (b_pend) sc_next = SC_B;
+            SC_B: if (a_pend) sc_next = SC_A;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) sc_state <= SC_A;
+        else sc_state <= sc_next;
+    end
+endmodule
+
+module optimus_merge_fixed (
+    input wire clk,
+    input wire rst,
+    input wire a_valid,
+    input wire [15:0] a_data,
+    input wire b_valid,
+    input wire [15:0] b_data,
+    output wire b_ready,
+    output reg out_valid,
+    output reg [15:0] out_data,
+    output reg [7:0] delivered
+);
+    localparam MG_RUN = 0;
+    localparam MG_FLUSH = 1;
+    localparam SC_A = 0;
+    localparam SC_B = 1;
+
+    reg mg_state;
+    reg [15:0] a_buf;
+    reg a_pend;
+    reg [15:0] b_buf;
+    reg b_pend;
+
+    reg sc_state;
+    reg sc_next;
+
+    // FIX: stall producer B while its staging register is occupied.
+    assign b_ready = !b_pend;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            a_pend <= 0;
+            b_pend <= 0;
+        end else begin
+            if (a_valid) begin
+                a_buf <= a_data;
+                a_pend <= 1;
+            end else if (a_pend && mg_state == MG_RUN) a_pend <= 0;
+            if (b_valid && !b_pend) begin
+                b_buf <= b_data;
+                b_pend <= 1;
+            end else if (b_pend && !a_pend && mg_state == MG_RUN) b_pend <= 0;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            mg_state <= MG_RUN;
+            out_valid <= 0;
+            delivered <= 0;
+        end else begin
+            out_valid <= 0;
+            case (mg_state)
+                MG_RUN: begin
+                    if (a_pend) begin
+                        out_valid <= 1;
+                        out_data <= a_buf;
+                        delivered <= delivered + 1;
+                    end else if (b_pend) begin
+                        out_valid <= 1;
+                        out_data <= b_buf;
+                        delivered <= delivered + 1;
+                    end
+                end
+                MG_FLUSH: mg_state <= MG_RUN;
+            endcase
+        end
+    end
+
+    always @(*) begin
+        sc_next = sc_state;
+        case (sc_state)
+            SC_A: if (b_pend) sc_next = SC_B;
+            SC_B: if (a_pend) sc_next = SC_A;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) sc_state <= SC_A;
+        else sc_state <= sc_next;
+    end
+endmodule

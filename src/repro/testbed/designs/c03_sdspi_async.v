@@ -1,0 +1,139 @@
+// Bug C3 -- Signal Asynchrony -- SDSPI controller (generic platform).
+//
+// The response-delay stage of an SD-card SPI controller. The host
+// interface requires at least two cycles between a request and its
+// response, so the datapath buffers the computed response for one
+// extra cycle before presenting it. This is the paper's section 3.3.3
+// example embedded in the controller.
+//
+// ROOT CAUSE: the response DATA is delayed through buffered_response,
+// but the response VALID is asserted immediately on the request --
+// the two signals that must move together are updated asynchronously:
+//     if (request) buffered_response <= input_data + 1;
+//     final_response <= buffered_response;
+//     if (request) final_response_valid <= 1;   // one cycle early
+//
+// SYMPTOM: an incorrect output value (the host samples final_response
+// one cycle before the fresh data lands, reading the previous
+// response).
+//
+// FIX: delay the valid through the same number of stages as the data
+// (sdspi_delay_fixed).
+//
+// The bit-timing engine is a two-process FSM (next-state variable),
+// one of the paper's FSM-detection false-negative patterns.
+
+module sdspi_delay (
+    input wire clk,
+    input wire rst,
+    input wire request,
+    input wire [7:0] input_data,
+    output reg [7:0] final_response,
+    output reg final_response_valid
+);
+    localparam TM_LOW = 0;
+    localparam TM_HIGH = 1;
+    localparam CK_IDLE = 0;
+    localparam CK_BUSY = 1;
+
+    reg [7:0] buffered_response;
+    reg tm_state;
+    reg tm_next;
+    reg ck_state;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            final_response_valid <= 0;
+        end else begin
+            final_response_valid <= 0;
+            if (request) buffered_response <= input_data + 1;
+            final_response <= buffered_response;
+            // BUG: valid fires one cycle before the data arrives.
+            if (request) final_response_valid <= 1;
+        end
+    end
+
+    // SPI bit-timing engine (two-process FSM; undetectable pattern).
+    always @(*) begin
+        tm_next = tm_state;
+        case (tm_state)
+            TM_LOW: if (request) tm_next = TM_HIGH;
+            TM_HIGH: tm_next = TM_LOW;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) tm_state <= TM_LOW;
+        else tm_state <= tm_next;
+    end
+
+    // Host-side busy tracker FSM (detectable).
+    always @(posedge clk) begin
+        if (rst) begin
+            ck_state <= CK_IDLE;
+        end else begin
+            case (ck_state)
+                CK_IDLE: if (request) ck_state <= CK_BUSY;
+                CK_BUSY: if (final_response_valid) ck_state <= CK_IDLE;
+            endcase
+        end
+    end
+endmodule
+
+module sdspi_delay_fixed (
+    input wire clk,
+    input wire rst,
+    input wire request,
+    input wire [7:0] input_data,
+    output reg [7:0] final_response,
+    output reg final_response_valid
+);
+    localparam TM_LOW = 0;
+    localparam TM_HIGH = 1;
+    localparam CK_IDLE = 0;
+    localparam CK_BUSY = 1;
+
+    reg [7:0] buffered_response;
+    reg delayed_response_valid;
+    reg tm_state;
+    reg tm_next;
+    reg ck_state;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            final_response_valid <= 0;
+            delayed_response_valid <= 0;
+        end else begin
+            delayed_response_valid <= 0;
+            if (request) buffered_response <= input_data + 1;
+            final_response <= buffered_response;
+            // FIX: the valid rides the same one-stage delay as the data.
+            if (request) delayed_response_valid <= 1;
+            final_response_valid <= delayed_response_valid;
+        end
+    end
+
+    always @(*) begin
+        tm_next = tm_state;
+        case (tm_state)
+            TM_LOW: if (request) tm_next = TM_HIGH;
+            TM_HIGH: tm_next = TM_LOW;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) tm_state <= TM_LOW;
+        else tm_state <= tm_next;
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ck_state <= CK_IDLE;
+        end else begin
+            case (ck_state)
+                CK_IDLE: if (request) ck_state <= CK_BUSY;
+                CK_BUSY: if (final_response_valid) ck_state <= CK_IDLE;
+            endcase
+        end
+    end
+endmodule

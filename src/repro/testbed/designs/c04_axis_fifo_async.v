@@ -1,0 +1,172 @@
+// Bug C4 -- Signal Asynchrony -- AXI-Stream FIFO output stage
+// (generic platform).
+//
+// The output skid stage of an AXI-Stream FIFO (modeled on
+// verilog-axis' axis_fifo): words popped from the internal queue are
+// staged in an output register that presents tvalid/tdata to a
+// downstream consumer with tready backpressure.
+//
+// ROOT CAUSE: the stage register is reloaded from the queue on every
+// pop, but the pop logic checks only queue occupancy -- not whether
+// the downstream consumer has actually taken the staged word. tvalid
+// and the staged tdata fall out of sync with the handshake: when
+// tready is low, the staged word is overwritten and is never seen by
+// the consumer (data updated erroneously -- paper section 3.3.3).
+//
+// SYMPTOM: data loss whenever the consumer applies backpressure.
+//
+// FIX: pop only when the stage is empty or being consumed this cycle
+// (axis_fifo_out_fixed).
+
+module axis_fifo_out (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    output wire in_full,
+    input wire tready,
+    output reg tvalid,
+    output reg [7:0] tdata,
+    // Status CSR: the last word actually taken by the consumer.
+    output reg [7:0] last_taken
+);
+    localparam OS_EMPTY = 0;
+    localparam OS_HELD = 1;
+
+    wire [7:0] fifo_q;
+    wire fifo_empty;
+    reg fifo_pop;
+    reg pop_inflight;
+    reg os_state;
+
+    scfifo #(.LPM_WIDTH(8), .LPM_NUMWORDS(16)) queue (
+        .clock(clk),
+        .data(in_data),
+        .wrreq(in_valid),
+        .rdreq(fifo_pop),
+        .q(fifo_q),
+        .empty(fifo_empty),
+        .full(in_full)
+    );
+
+    // Pop control.
+    always @(posedge clk) begin
+        if (rst) begin
+            fifo_pop <= 0;
+            pop_inflight <= 0;
+        end else begin
+            // BUG: pops whenever the queue has data, ignoring whether
+            // the staged word was consumed (tvalid/tready handshake).
+            fifo_pop <= !fifo_empty && !fifo_pop;
+            pop_inflight <= fifo_pop;
+        end
+    end
+
+    // Output stage FSM.
+    always @(posedge clk) begin
+        if (rst) begin
+            os_state <= OS_EMPTY;
+            tvalid <= 0;
+        end else begin
+            case (os_state)
+                OS_EMPTY: if (pop_inflight) begin
+                    tdata <= fifo_q;
+                    tvalid <= 1;
+                    os_state <= OS_HELD;
+                end
+                OS_HELD: begin
+                    if (pop_inflight) begin
+                        // BUG manifests here: a new word lands while the
+                        // previous one is still waiting for tready.
+                        tdata <= fifo_q;
+                    end
+                    if (tready) begin
+                        if (!pop_inflight) begin
+                            tvalid <= 0;
+                            os_state <= OS_EMPTY;
+                        end
+                    end
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (tvalid && tready) last_taken <= tdata;
+    end
+endmodule
+
+module axis_fifo_out_fixed (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    output wire in_full,
+    input wire tready,
+    output reg tvalid,
+    output reg [7:0] tdata,
+    // Status CSR: the last word actually taken by the consumer.
+    output reg [7:0] last_taken
+);
+    localparam OS_EMPTY = 0;
+    localparam OS_HELD = 1;
+
+    wire [7:0] fifo_q;
+    wire fifo_empty;
+    reg fifo_pop;
+    reg pop_inflight;
+    reg os_state;
+
+    scfifo #(.LPM_WIDTH(8), .LPM_NUMWORDS(16)) queue (
+        .clock(clk),
+        .data(in_data),
+        .wrreq(in_valid),
+        .rdreq(fifo_pop),
+        .q(fifo_q),
+        .empty(fifo_empty),
+        .full(in_full)
+    );
+
+    // FIX: pop only when the staged word has been (or is being) taken.
+    wire stage_free = (os_state == OS_EMPTY) || (tvalid && tready);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            fifo_pop <= 0;
+            pop_inflight <= 0;
+        end else begin
+            fifo_pop <= !fifo_empty && !fifo_pop && !pop_inflight && stage_free;
+            pop_inflight <= fifo_pop;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            os_state <= OS_EMPTY;
+            tvalid <= 0;
+        end else begin
+            case (os_state)
+                OS_EMPTY: if (pop_inflight) begin
+                    tdata <= fifo_q;
+                    tvalid <= 1;
+                    os_state <= OS_HELD;
+                end
+                OS_HELD: begin
+                    if (pop_inflight) begin
+                        tdata <= fifo_q;
+                    end
+                    if (tready) begin
+                        if (!pop_inflight) begin
+                            tvalid <= 0;
+                            os_state <= OS_EMPTY;
+                        end
+                    end
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (tvalid && tready) last_taken <= tdata;
+    end
+endmodule

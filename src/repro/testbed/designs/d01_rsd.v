@@ -1,0 +1,232 @@
+// Bug D1 -- Buffer Overflow -- Reed-Solomon decoder (Intel HARP).
+//
+// A simplified Reed-Solomon-style block decoder. Each codeword starts
+// with a header byte giving the codeword length N (up to 15 symbols:
+// N-1 data symbols plus a final XOR parity symbol). The symbols stream
+// in through a valid interface, are staged in a symbol buffer,
+// parity-checked, and the data symbols stream out.
+//
+// ROOT CAUSE: the symbol buffer holds only 14 entries, but the maximum
+// codeword length is 15. For a full-length codeword the parity symbol
+// write at index 14 overflows; the buffer depth is not a power of two,
+// so the hardware drops the assignment (paper section 3.2.1). The
+// parity check then reads a zero, mis-flags the codeword as corrupt,
+// and the decoder sticks in its error state. Short codewords (as used
+// by the shipped test program) decode fine, which is how the bug
+// escaped testing.
+//
+// SYMPTOMS: infinite stall (done never asserts) and data loss (no
+// output symbols emitted).
+//
+// FIX: size the buffer for the maximum codeword (rsd_decoder_fixed).
+
+module rsd_decoder (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    output reg out_valid,
+    output reg [7:0] out_data,
+    output reg done,
+    output reg error
+);
+    localparam RD_IDLE = 0;
+    localparam RD_DATA = 1;
+    localparam RD_FINISH = 2;
+    localparam DC_WAIT = 0;
+    localparam DC_CHECK = 1;
+    localparam DC_JUDGE = 2;
+    localparam DC_EMIT = 3;
+    localparam DC_DONE = 4;
+    localparam DC_ERROR = 5;
+
+    // BUG: sized for 14 symbols, but the header may announce 15.
+    reg [7:0] symbols [0:13];
+
+    reg [1:0] rd_state;
+    reg [4:0] length;
+    reg [4:0] recv_count;
+    reg [7:0] in_reg;
+    reg in_reg_vld;
+
+    reg [2:0] dc_state;
+    reg [4:0] check_idx;
+    reg [7:0] parity;
+    reg [4:0] emit_idx;
+
+    // Input staging: one symbol is latched per valid cycle. Symbols that
+    // arrive after the codeword is complete are dropped BY DESIGN (the
+    // host must wait for done before sending the next codeword).
+    always @(posedge clk) begin
+        if (rst) begin
+            in_reg_vld <= 0;
+        end else begin
+            if (in_valid) in_reg <= in_data;
+            in_reg_vld <= in_valid;
+        end
+    end
+
+    // Read FSM: header byte first, then collect the codeword symbols.
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_state <= RD_IDLE;
+            recv_count <= 0;
+            length <= 0;
+        end else begin
+            case (rd_state)
+                RD_IDLE: if (in_reg_vld) begin
+                    length <= in_reg[4:0];
+                    recv_count <= 0;
+                    rd_state <= RD_DATA;
+                end
+                RD_DATA: if (in_reg_vld) begin
+                    symbols[recv_count] <= in_reg;
+                    recv_count <= recv_count + 1;
+                    if (recv_count == length - 1) rd_state <= RD_FINISH;
+                end
+            endcase
+        end
+    end
+
+    // Decode FSM: parity-check the codeword, then emit the data symbols.
+    always @(posedge clk) begin
+        if (rst) begin
+            dc_state <= DC_WAIT;
+            check_idx <= 0;
+            parity <= 0;
+            emit_idx <= 0;
+            out_valid <= 0;
+            done <= 0;
+            error <= 0;
+        end else begin
+            out_valid <= 0;
+            case (dc_state)
+                DC_WAIT: if (rd_state == RD_FINISH) begin
+                    dc_state <= DC_CHECK;
+                    check_idx <= 0;
+                    parity <= 0;
+                end
+                DC_CHECK: begin
+                    parity <= parity ^ symbols[check_idx];
+                    check_idx <= check_idx + 1;
+                    if (check_idx == length - 1) dc_state <= DC_JUDGE;
+                end
+                DC_JUDGE: begin
+                    if (parity == 0) dc_state <= DC_EMIT;
+                    else dc_state <= DC_ERROR;
+                end
+                DC_EMIT: begin
+                    out_valid <= 1;
+                    out_data <= symbols[emit_idx];
+                    emit_idx <= emit_idx + 1;
+                    if (emit_idx == length - 2) dc_state <= DC_DONE;
+                end
+                DC_DONE: done <= 1;
+                DC_ERROR: error <= 1;
+            endcase
+        end
+    end
+endmodule
+
+module rsd_decoder_fixed (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    output reg out_valid,
+    output reg [7:0] out_data,
+    output reg done,
+    output reg error
+);
+    localparam RD_IDLE = 0;
+    localparam RD_DATA = 1;
+    localparam RD_FINISH = 2;
+    localparam DC_WAIT = 0;
+    localparam DC_CHECK = 1;
+    localparam DC_JUDGE = 2;
+    localparam DC_EMIT = 3;
+    localparam DC_DONE = 4;
+    localparam DC_ERROR = 5;
+
+    // FIX: buffer sized for the maximum 15-symbol codeword.
+    reg [7:0] symbols [0:14];
+
+    reg [1:0] rd_state;
+    reg [4:0] length;
+    reg [4:0] recv_count;
+    reg [7:0] in_reg;
+    reg in_reg_vld;
+
+    reg [2:0] dc_state;
+    reg [4:0] check_idx;
+    reg [7:0] parity;
+    reg [4:0] emit_idx;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            in_reg_vld <= 0;
+        end else begin
+            if (in_valid) in_reg <= in_data;
+            in_reg_vld <= in_valid;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_state <= RD_IDLE;
+            recv_count <= 0;
+            length <= 0;
+        end else begin
+            case (rd_state)
+                RD_IDLE: if (in_reg_vld) begin
+                    length <= in_reg[4:0];
+                    recv_count <= 0;
+                    rd_state <= RD_DATA;
+                end
+                RD_DATA: if (in_reg_vld) begin
+                    symbols[recv_count] <= in_reg;
+                    recv_count <= recv_count + 1;
+                    if (recv_count == length - 1) rd_state <= RD_FINISH;
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            dc_state <= DC_WAIT;
+            check_idx <= 0;
+            parity <= 0;
+            emit_idx <= 0;
+            out_valid <= 0;
+            done <= 0;
+            error <= 0;
+        end else begin
+            out_valid <= 0;
+            case (dc_state)
+                DC_WAIT: if (rd_state == RD_FINISH) begin
+                    dc_state <= DC_CHECK;
+                    check_idx <= 0;
+                    parity <= 0;
+                end
+                DC_CHECK: begin
+                    parity <= parity ^ symbols[check_idx];
+                    check_idx <= check_idx + 1;
+                    if (check_idx == length - 1) dc_state <= DC_JUDGE;
+                end
+                DC_JUDGE: begin
+                    if (parity == 0) dc_state <= DC_EMIT;
+                    else dc_state <= DC_ERROR;
+                end
+                DC_EMIT: begin
+                    out_valid <= 1;
+                    out_data <= symbols[emit_idx];
+                    emit_idx <= emit_idx + 1;
+                    if (emit_idx == length - 2) dc_state <= DC_DONE;
+                end
+                DC_DONE: done <= 1;
+                DC_ERROR: error <= 1;
+            endcase
+        end
+    end
+endmodule

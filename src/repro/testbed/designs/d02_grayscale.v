@@ -1,0 +1,267 @@
+// Bug D2 -- Buffer Overflow -- Grayscale image accelerator (Intel HARP).
+//
+// The end-to-end HARP application from the paper's case study (section
+// 6.3): the CPU programs the accelerator with a pixel count; a read FSM
+// fetches RGB pixels from CPU-side memory (request/response interface),
+// the transform stage converts each pixel to grayscale and pushes it
+// into an output FIFO, and a write FSM drains the FIFO back to CPU-side
+// memory (one write every other cycle, modeling write-channel
+// backpressure).
+//
+// ROOT CAUSE: the output FIFO is too small for the read burst. The read
+// FSM issues requests back-to-back, responses return every cycle, but
+// the write FSM drains at half rate -- so the FIFO overflows and the
+// scfifo IP silently drops grayscale pixels (a constant-size hardware
+// buffer cannot grow; paper section 3.2.1). The write FSM then waits
+// forever for the dropped pixels.
+//
+// SYMPTOMS: the acceleration task hangs (the read FSM reaches RD_FINISH
+// while the write FSM sticks in WR_DATA -- exactly the case-study
+// observation) and pixels are lost.
+//
+// FIX: size the FIFO for the full burst (grayscale_fixed), or throttle
+// the read FSM.
+
+module grayscale (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [4:0] num_pixels,
+    // read channel to CPU memory
+    output reg rd_req,
+    output reg [4:0] rd_addr,
+    input wire rd_rsp_valid,
+    input wire [23:0] rd_rsp_data,
+    // write channel to CPU memory
+    output reg wr_req,
+    output reg [4:0] wr_addr,
+    output reg [7:0] wr_data,
+    input wire wr_ack,
+    output reg done
+);
+    localparam RD_IDLE = 0;
+    localparam RD_REQ = 1;
+    localparam RD_FINISH = 2;
+    localparam WR_IDLE = 0;
+    localparam WR_DATA = 1;
+    localparam WR_FINISH = 2;
+
+    reg [1:0] rd_state;
+    reg [4:0] req_count;
+    reg [1:0] wr_state;
+    reg [4:0] wr_count;
+    reg wr_phase;
+
+    reg [7:0] gray;
+    reg gray_valid;
+
+    wire [7:0] fifo_q;
+    wire fifo_empty;
+    wire fifo_full;
+    reg fifo_pop;
+    reg pop_d;
+
+    // BUG: FIFO depth 8 cannot absorb a full-rate burst against a
+    // half-rate drain; pushes while full are silently dropped.
+    scfifo #(.LPM_WIDTH(8), .LPM_NUMWORDS(8)) out_fifo (
+        .clock(clk),
+        .data(gray),
+        .wrreq(gray_valid),
+        .rdreq(fifo_pop),
+        .q(fifo_q),
+        .empty(fifo_empty),
+        .full(fifo_full)
+    );
+
+    // Read FSM: issue one pixel-read request per cycle.
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_state <= RD_IDLE;
+            rd_req <= 0;
+            req_count <= 0;
+        end else begin
+            rd_req <= 0;
+            case (rd_state)
+                RD_IDLE: if (start) begin
+                    rd_state <= RD_REQ;
+                    req_count <= 0;
+                end
+                RD_REQ: begin
+                    rd_req <= 1;
+                    rd_addr <= req_count;
+                    req_count <= req_count + 1;
+                    if (req_count == num_pixels - 1) rd_state <= RD_FINISH;
+                end
+            endcase
+        end
+    end
+
+    // Transform: luma approximation (R + 2G + B) / 4, one pixel per cycle.
+    always @(posedge clk) begin
+        if (rst) begin
+            gray_valid <= 0;
+        end else begin
+            gray_valid <= rd_rsp_valid;
+            if (rd_rsp_valid)
+                gray <= (rd_rsp_data[23:16] + (rd_rsp_data[15:8] << 1)
+                         + rd_rsp_data[7:0]) >> 2;
+        end
+    end
+
+    // Write FSM: drain the FIFO to CPU memory, one write per two cycles.
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_state <= WR_IDLE;
+            wr_req <= 0;
+            wr_count <= 0;
+            wr_phase <= 0;
+            fifo_pop <= 0;
+            pop_d <= 0;
+            done <= 0;
+        end else begin
+            wr_req <= 0;
+            fifo_pop <= 0;
+            pop_d <= fifo_pop;
+            case (wr_state)
+                WR_IDLE: if (start) begin
+                    wr_state <= WR_DATA;
+                    wr_count <= 0;
+                    wr_phase <= 0;
+                end
+                WR_DATA: begin
+                    wr_phase <= ~wr_phase;
+                    if (wr_phase == 0 && !fifo_empty) begin
+                        fifo_pop <= 1;
+                    end
+                    if (pop_d) begin
+                        wr_req <= 1;
+                        wr_addr <= wr_count;
+                        wr_data <= fifo_q;
+                        wr_count <= wr_count + 1;
+                        if (wr_count == num_pixels - 1) wr_state <= WR_FINISH;
+                    end
+                end
+                WR_FINISH: done <= 1;
+            endcase
+        end
+    end
+endmodule
+
+module grayscale_fixed (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [4:0] num_pixels,
+    output reg rd_req,
+    output reg [4:0] rd_addr,
+    input wire rd_rsp_valid,
+    input wire [23:0] rd_rsp_data,
+    output reg wr_req,
+    output reg [4:0] wr_addr,
+    output reg [7:0] wr_data,
+    input wire wr_ack,
+    output reg done
+);
+    localparam RD_IDLE = 0;
+    localparam RD_REQ = 1;
+    localparam RD_FINISH = 2;
+    localparam WR_IDLE = 0;
+    localparam WR_DATA = 1;
+    localparam WR_FINISH = 2;
+
+    reg [1:0] rd_state;
+    reg [4:0] req_count;
+    reg [1:0] wr_state;
+    reg [4:0] wr_count;
+    reg wr_phase;
+
+    reg [7:0] gray;
+    reg gray_valid;
+
+    wire [7:0] fifo_q;
+    wire fifo_empty;
+    wire fifo_full;
+    reg fifo_pop;
+    reg pop_d;
+
+    // FIX: FIFO deep enough for the largest burst (32 entries).
+    scfifo #(.LPM_WIDTH(8), .LPM_NUMWORDS(32)) out_fifo (
+        .clock(clk),
+        .data(gray),
+        .wrreq(gray_valid),
+        .rdreq(fifo_pop),
+        .q(fifo_q),
+        .empty(fifo_empty),
+        .full(fifo_full)
+    );
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_state <= RD_IDLE;
+            rd_req <= 0;
+            req_count <= 0;
+        end else begin
+            rd_req <= 0;
+            case (rd_state)
+                RD_IDLE: if (start) begin
+                    rd_state <= RD_REQ;
+                    req_count <= 0;
+                end
+                RD_REQ: begin
+                    rd_req <= 1;
+                    rd_addr <= req_count;
+                    req_count <= req_count + 1;
+                    if (req_count == num_pixels - 1) rd_state <= RD_FINISH;
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            gray_valid <= 0;
+        end else begin
+            gray_valid <= rd_rsp_valid;
+            if (rd_rsp_valid)
+                gray <= (rd_rsp_data[23:16] + (rd_rsp_data[15:8] << 1)
+                         + rd_rsp_data[7:0]) >> 2;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_state <= WR_IDLE;
+            wr_req <= 0;
+            wr_count <= 0;
+            wr_phase <= 0;
+            fifo_pop <= 0;
+            pop_d <= 0;
+            done <= 0;
+        end else begin
+            wr_req <= 0;
+            fifo_pop <= 0;
+            pop_d <= fifo_pop;
+            case (wr_state)
+                WR_IDLE: if (start) begin
+                    wr_state <= WR_DATA;
+                    wr_count <= 0;
+                    wr_phase <= 0;
+                end
+                WR_DATA: begin
+                    wr_phase <= ~wr_phase;
+                    if (wr_phase == 0 && !fifo_empty) begin
+                        fifo_pop <= 1;
+                    end
+                    if (pop_d) begin
+                        wr_req <= 1;
+                        wr_addr <= wr_count;
+                        wr_data <= fifo_q;
+                        wr_count <= wr_count + 1;
+                        if (wr_count == num_pixels - 1) wr_state <= WR_FINISH;
+                    end
+                end
+                WR_FINISH: done <= 1;
+            endcase
+        end
+    end
+endmodule

@@ -1,0 +1,224 @@
+// Bug D3 -- Buffer Overflow -- Optimus hypervisor (Intel HARP).
+//
+// A slice of the Optimus shared-memory FPGA hypervisor: the hypervisor
+// multiplexes MMIO requests from a guest onto an accelerator and queues
+// the accelerator's responses in a per-guest reply ring until the guest
+// polls them out.
+//
+// ROOT CAUSE: the reply ring holds 8 entries but the write pointer is a
+// free-running 4-bit counter used directly as the index, and nothing
+// checks occupancy (the rsp_ready backpressure output is tied high).
+// When more than 8 replies are outstanding (a guest that polls slowly),
+// the index's high bit is truncated (power-of-two buffer, paper section
+// 3.2.1) and new replies overwrite replies the guest has not read yet.
+//
+// SYMPTOMS: lost replies; the guest, which matches reply tags, waits
+// forever for the overwritten ones (infinite stall).
+//
+// FIX: drive rsp_ready from the ring occupancy so the accelerator
+// stalls while the ring is full (optimus_mmio_fixed).
+//
+// The reply-forwarding engine uses a two-process (next-state variable)
+// FSM, which the paper notes is a pattern FSM-detection heuristics miss
+// (a deliberate false-negative case for FSM Monitor).
+
+module optimus_mmio (
+    input wire clk,
+    input wire rst,
+    // guest request interface
+    input wire req_valid,
+    input wire [15:0] req_data,
+    // accelerator response interface (one response per request)
+    input wire rsp_valid,
+    input wire [15:0] rsp_data,
+    output wire rsp_ready,
+    // guest poll interface
+    input wire poll,
+    output reg [15:0] poll_data,
+    output reg poll_valid,
+    output reg busy
+);
+    localparam DISP_IDLE = 0;
+    localparam DISP_FORWARD = 1;
+    localparam DISP_WAIT = 2;
+    localparam FWD_IDLE = 0;
+    localparam FWD_PUSH = 1;
+
+    reg [15:0] ring [0:7];
+    // BUG: 4-bit free-running pointer indexes an 8-entry ring with no
+    // occupancy check; bit 3 is silently truncated on overflow.
+    reg [3:0] wr_ptr;
+    reg [3:0] rd_ptr;
+
+    // BUG: backpressure is never asserted.
+    assign rsp_ready = 1;
+
+    reg [1:0] disp_state;
+    reg [15:0] req_reg;
+
+    reg fwd_state;
+    reg fwd_next;
+    reg [15:0] rsp_reg;
+    reg rsp_pending;
+
+    // Dispatcher FSM: accept a guest request, forward to accelerator.
+    always @(posedge clk) begin
+        if (rst) begin
+            disp_state <= DISP_IDLE;
+            busy <= 0;
+        end else begin
+            case (disp_state)
+                DISP_IDLE: if (req_valid) begin
+                    req_reg <= req_data;
+                    busy <= 1;
+                    disp_state <= DISP_FORWARD;
+                end
+                DISP_FORWARD: disp_state <= DISP_WAIT;
+                DISP_WAIT: begin
+                    busy <= 0;
+                    disp_state <= DISP_IDLE;
+                end
+            endcase
+        end
+    end
+
+    // Reply-forwarding engine: two-process FSM (state from a next-state
+    // variable -- invisible to pattern-based FSM detection).
+    always @(*) begin
+        fwd_next = fwd_state;
+        case (fwd_state)
+            FWD_IDLE: if (rsp_valid) fwd_next = FWD_PUSH;
+            FWD_PUSH: fwd_next = FWD_IDLE;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            fwd_state <= FWD_IDLE;
+            rsp_pending <= 0;
+            wr_ptr <= 0;
+        end else begin
+            fwd_state <= fwd_next;
+            if (rsp_valid) begin
+                rsp_reg <= rsp_data;
+            end
+            rsp_pending <= rsp_valid;
+            if (rsp_pending) begin
+                ring[wr_ptr] <= rsp_reg;
+                wr_ptr <= wr_ptr + 1;
+            end
+        end
+    end
+
+    // Guest poll side: pop one queued reply per poll.
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_ptr <= 0;
+            poll_valid <= 0;
+        end else begin
+            poll_valid <= 0;
+            if (poll && rd_ptr != wr_ptr) begin
+                poll_data <= ring[rd_ptr[2:0]];
+                rd_ptr <= rd_ptr + 1;
+                poll_valid <= 1;
+            end
+        end
+    end
+endmodule
+
+module optimus_mmio_fixed (
+    input wire clk,
+    input wire rst,
+    input wire req_valid,
+    input wire [15:0] req_data,
+    input wire rsp_valid,
+    input wire [15:0] rsp_data,
+    output wire rsp_ready,
+    input wire poll,
+    output reg [15:0] poll_data,
+    output reg poll_valid,
+    output reg busy
+);
+    localparam DISP_IDLE = 0;
+    localparam DISP_FORWARD = 1;
+    localparam DISP_WAIT = 2;
+    localparam FWD_IDLE = 0;
+    localparam FWD_PUSH = 1;
+
+    reg [15:0] ring [0:7];
+    reg [3:0] wr_ptr;
+    reg [3:0] rd_ptr;
+
+    // FIX: track occupancy and backpressure the accelerator while the
+    // ring cannot absorb another reply.
+    wire [3:0] level = wr_ptr - rd_ptr;
+    assign rsp_ready = level < 7;
+
+    reg [1:0] disp_state;
+    reg [15:0] req_reg;
+
+    reg fwd_state;
+    reg fwd_next;
+    reg [15:0] rsp_reg;
+    reg rsp_pending;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            disp_state <= DISP_IDLE;
+            busy <= 0;
+        end else begin
+            case (disp_state)
+                DISP_IDLE: if (req_valid) begin
+                    req_reg <= req_data;
+                    busy <= 1;
+                    disp_state <= DISP_FORWARD;
+                end
+                DISP_FORWARD: disp_state <= DISP_WAIT;
+                DISP_WAIT: begin
+                    busy <= 0;
+                    disp_state <= DISP_IDLE;
+                end
+            endcase
+        end
+    end
+
+    always @(*) begin
+        fwd_next = fwd_state;
+        case (fwd_state)
+            FWD_IDLE: if (rsp_valid) fwd_next = FWD_PUSH;
+            FWD_PUSH: fwd_next = FWD_IDLE;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            fwd_state <= FWD_IDLE;
+            rsp_pending <= 0;
+            wr_ptr <= 0;
+        end else begin
+            fwd_state <= fwd_next;
+            if (rsp_valid) begin
+                rsp_reg <= rsp_data;
+            end
+            rsp_pending <= rsp_valid;
+            if (rsp_pending) begin
+                ring[wr_ptr[2:0]] <= rsp_reg;
+                wr_ptr <= wr_ptr + 1;
+            end
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_ptr <= 0;
+            poll_valid <= 0;
+        end else begin
+            poll_valid <= 0;
+            if (poll && rd_ptr != wr_ptr) begin
+                poll_data <= ring[rd_ptr[2:0]];
+                rd_ptr <= rd_ptr + 1;
+                poll_valid <= 1;
+            end
+        end
+    end
+endmodule

@@ -1,0 +1,156 @@
+// Bug D4 -- Buffer Overflow -- Frame FIFO (generic platform).
+//
+// A store-and-forward frame FIFO (modeled on verilog-ethernet's
+// axis_fifo): words of a frame are written into a ring memory and the
+// frame is released to the reader only once its last word has been
+// committed, so a partially-received frame is never visible downstream.
+//
+// ROOT CAUSE: the write path never checks occupancy. A frame longer
+// than the 16-entry memory wraps the write pointer (the pointer is
+// wider than the address, so its high bit is truncated -- the
+// power-of-two overflow of paper section 3.2.1) and the tail of the
+// frame overwrites the head before the reader ever sees it.
+//
+// SYMPTOM: data loss -- the reader receives a corrupted frame whose
+// first words have been replaced by its last words.
+//
+// FIX: detect the overflow and drop oversized frames whole, which is
+// what real frame FIFOs do (frame_fifo_fixed raises frame_too_big).
+
+module frame_fifo (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    input wire out_ready,
+    output reg out_valid,
+    output reg [7:0] out_data,
+    output reg out_last,
+    output wire frame_too_big
+);
+    localparam WR_FRAME = 0;
+    localparam WR_COMMIT = 1;
+
+    reg [7:0] mem [0:15];
+    reg lastflag [0:15];
+    // BUG: 5-bit pointers with no full check; mem[wr_ptr] truncates.
+    reg [4:0] wr_ptr;
+    reg [4:0] commit_ptr;
+    reg [4:0] rd_ptr;
+
+    reg wr_state;
+
+    assign frame_too_big = 0;
+
+    // Write FSM: buffer the incoming frame, commit on its last word.
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_ptr <= 0;
+            commit_ptr <= 0;
+            wr_state <= WR_FRAME;
+        end else begin
+            case (wr_state)
+                WR_FRAME: if (in_valid) begin
+                    mem[wr_ptr] <= in_data;
+                    lastflag[wr_ptr] <= in_last;
+                    wr_ptr <= wr_ptr + 1;
+                    if (in_last) wr_state <= WR_COMMIT;
+                end
+                WR_COMMIT: begin
+                    commit_ptr <= wr_ptr;
+                    wr_state <= WR_FRAME;
+                end
+            endcase
+        end
+    end
+
+    // Read side: stream committed words out under out_ready.
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_ptr <= 0;
+            out_valid <= 0;
+        end else begin
+            if (out_valid && out_ready) out_valid <= 0;
+            if (!(out_valid && !out_ready) && rd_ptr != commit_ptr) begin
+                out_data <= mem[rd_ptr[3:0]];
+                out_last <= lastflag[rd_ptr[3:0]];
+                out_valid <= 1;
+                rd_ptr <= rd_ptr + 1;
+            end
+        end
+    end
+endmodule
+
+module frame_fifo_fixed (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    input wire out_ready,
+    output reg out_valid,
+    output reg [7:0] out_data,
+    output reg out_last,
+    output reg frame_too_big
+);
+    localparam WR_FRAME = 0;
+    localparam WR_COMMIT = 1;
+    localparam WR_DROP = 2;
+
+    reg [7:0] mem [0:15];
+    reg lastflag [0:15];
+    reg [4:0] wr_ptr;
+    reg [4:0] commit_ptr;
+    reg [4:0] rd_ptr;
+
+    reg [1:0] wr_state;
+    wire [4:0] used = wr_ptr - rd_ptr;
+
+    // Write FSM: buffer the frame; if it cannot fit, drop it whole and
+    // flag the oversize condition instead of corrupting the ring.
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_ptr <= 0;
+            commit_ptr <= 0;
+            wr_state <= WR_FRAME;
+            frame_too_big <= 0;
+        end else begin
+            case (wr_state)
+                WR_FRAME: if (in_valid) begin
+                    if (used == 16) begin
+                        // FIX: abandon the frame instead of wrapping.
+                        wr_ptr <= commit_ptr;
+                        frame_too_big <= 1;
+                        if (!in_last) wr_state <= WR_DROP;
+                    end else begin
+                        mem[wr_ptr[3:0]] <= in_data;
+                        lastflag[wr_ptr[3:0]] <= in_last;
+                        wr_ptr <= wr_ptr + 1;
+                        if (in_last) wr_state <= WR_COMMIT;
+                    end
+                end
+                WR_COMMIT: begin
+                    commit_ptr <= wr_ptr;
+                    wr_state <= WR_FRAME;
+                end
+                WR_DROP: if (in_valid && in_last) wr_state <= WR_FRAME;
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_ptr <= 0;
+            out_valid <= 0;
+        end else begin
+            if (out_valid && out_ready) out_valid <= 0;
+            if (!(out_valid && !out_ready) && rd_ptr != commit_ptr) begin
+                out_data <= mem[rd_ptr[3:0]];
+                out_last <= lastflag[rd_ptr[3:0]];
+                out_valid <= 1;
+                rd_ptr <= rd_ptr + 1;
+            end
+        end
+    end
+endmodule

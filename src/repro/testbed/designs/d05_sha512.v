@@ -1,0 +1,198 @@
+// Bug D5 -- Bit Truncation -- SHA512 accelerator (Intel HARP).
+//
+// A HARP-style hashing accelerator. The CPU hands the accelerator the
+// byte address of a message buffer in host memory; the accelerator
+// converts it to a 64-byte cache-line index, fetches the message blocks
+// over the read channel, and folds each block into a running digest.
+//
+// ROOT CAUSE: the byte-to-cacheline conversion is written as
+//     line_idx <= 42'(byte_addr) >> 6;
+// The SystemVerilog size cast truncates byte_addr to 42 bits BEFORE the
+// shift, so address bits [47:42] are silently discarded (the paper's
+// section 3.2.2 example verbatim). Buffers above 4 TiB are fetched from
+// a wrong, unmapped address.
+//
+// SYMPTOMS: an incorrect digest, and an error from an external monitor
+// (the FPGA shell's address-translation check rejects the out-of-range
+// fetch, like a page fault).
+//
+// FIX: shift before casting -- line_idx <= 42'(byte_addr >> 6);
+// (sha512_fixed).
+
+module sha512 (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [63:0] byte_addr,
+    input wire [3:0] num_blocks,
+    // read channel to host memory (cache-line granularity)
+    output reg rd_req,
+    output reg [41:0] rd_line,
+    input wire rd_rsp_valid,
+    input wire [63:0] rd_rsp_data,
+    output reg [63:0] digest,
+    output reg done
+);
+    localparam FT_IDLE = 0;
+    localparam FT_REQ = 1;
+    localparam FT_WAIT = 2;
+    localparam FT_DONE = 3;
+    localparam HS_IDLE = 0;
+    localparam HS_ROUND = 1;
+    localparam HS_FLUSH = 2;
+
+    reg [1:0] ft_state;
+    reg [41:0] line_idx;
+    reg [3:0] blocks_left;
+
+    reg [1:0] hs_state;
+    reg [63:0] acc;
+    reg [3:0] rounds;
+
+    // Fetch FSM: request one cache line per message block.
+    always @(posedge clk) begin
+        if (rst) begin
+            ft_state <= FT_IDLE;
+            rd_req <= 0;
+        end else begin
+            rd_req <= 0;
+            case (ft_state)
+                FT_IDLE: if (start) begin
+                    // BUG: cast-before-shift drops byte_addr[47:42].
+                    line_idx <= 42'(byte_addr) >> 6;
+                    blocks_left <= num_blocks;
+                    ft_state <= FT_REQ;
+                end
+                FT_REQ: begin
+                    rd_req <= 1;
+                    rd_line <= line_idx;
+                    ft_state <= FT_WAIT;
+                end
+                FT_WAIT: if (rd_rsp_valid) begin
+                    line_idx <= line_idx + 1;
+                    blocks_left <= blocks_left - 1;
+                    if (blocks_left == 1) ft_state <= FT_DONE;
+                    else ft_state <= FT_REQ;
+                end
+            endcase
+        end
+    end
+
+    // Hash FSM: fold each fetched block into the digest (simplified
+    // add-rotate round schedule standing in for the SHA-512 rounds).
+    always @(posedge clk) begin
+        if (rst) begin
+            hs_state <= HS_IDLE;
+            acc <= 64'h6a09e667f3bcc908;
+            rounds <= 0;
+            done <= 0;
+        end else begin
+            case (hs_state)
+                HS_IDLE: if (rd_rsp_valid) begin
+                    acc <= acc + rd_rsp_data;
+                    hs_state <= HS_ROUND;
+                    rounds <= 0;
+                end
+                HS_ROUND: begin
+                    acc <= {acc[0], acc[63:1]} ^ {acc[7:0], acc[63:8]};
+                    rounds <= rounds + 1;
+                    if (rounds == 3) begin
+                        if (ft_state == FT_DONE) hs_state <= HS_FLUSH;
+                        else hs_state <= HS_IDLE;
+                    end
+                end
+                HS_FLUSH: begin
+                    digest <= acc;
+                    done <= 1;
+                end
+            endcase
+        end
+    end
+endmodule
+
+module sha512_fixed (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [63:0] byte_addr,
+    input wire [3:0] num_blocks,
+    output reg rd_req,
+    output reg [41:0] rd_line,
+    input wire rd_rsp_valid,
+    input wire [63:0] rd_rsp_data,
+    output reg [63:0] digest,
+    output reg done
+);
+    localparam FT_IDLE = 0;
+    localparam FT_REQ = 1;
+    localparam FT_WAIT = 2;
+    localparam FT_DONE = 3;
+    localparam HS_IDLE = 0;
+    localparam HS_ROUND = 1;
+    localparam HS_FLUSH = 2;
+
+    reg [1:0] ft_state;
+    reg [41:0] line_idx;
+    reg [3:0] blocks_left;
+
+    reg [1:0] hs_state;
+    reg [63:0] acc;
+    reg [3:0] rounds;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ft_state <= FT_IDLE;
+            rd_req <= 0;
+        end else begin
+            rd_req <= 0;
+            case (ft_state)
+                FT_IDLE: if (start) begin
+                    // FIX: shift before the width cast keeps bits [47:6].
+                    line_idx <= 42'(byte_addr >> 6);
+                    blocks_left <= num_blocks;
+                    ft_state <= FT_REQ;
+                end
+                FT_REQ: begin
+                    rd_req <= 1;
+                    rd_line <= line_idx;
+                    ft_state <= FT_WAIT;
+                end
+                FT_WAIT: if (rd_rsp_valid) begin
+                    line_idx <= line_idx + 1;
+                    blocks_left <= blocks_left - 1;
+                    if (blocks_left == 1) ft_state <= FT_DONE;
+                    else ft_state <= FT_REQ;
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            hs_state <= HS_IDLE;
+            acc <= 64'h6a09e667f3bcc908;
+            rounds <= 0;
+            done <= 0;
+        end else begin
+            case (hs_state)
+                HS_IDLE: if (rd_rsp_valid) begin
+                    acc <= acc + rd_rsp_data;
+                    hs_state <= HS_ROUND;
+                    rounds <= 0;
+                end
+                HS_ROUND: begin
+                    acc <= {acc[0], acc[63:1]} ^ {acc[7:0], acc[63:8]};
+                    rounds <= rounds + 1;
+                    if (rounds == 3) begin
+                        if (ft_state == FT_DONE) hs_state <= HS_FLUSH;
+                        else hs_state <= HS_IDLE;
+                    end
+                end
+                HS_FLUSH: begin
+                    digest <= acc;
+                    done <= 1;
+                end
+            endcase
+        end
+    end
+endmodule

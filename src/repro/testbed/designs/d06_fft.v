@@ -1,0 +1,129 @@
+// Bug D6 -- Bit Truncation -- FFT butterfly stage (generic platform).
+//
+// One radix-2 decimation-in-time butterfly stage of a streaming FFT
+// (modeled on the ZipCPU FFT articles): pairs of samples (a, b) enter,
+// and the stage emits a+b followed by a-b, each arithmetic result
+// carrying one growth bit.
+//
+// ROOT CAUSE: the sum path stores a 13-bit result (12-bit operands plus
+// the growth bit) into a 12-bit register, truncating the carry bit.
+// Inputs whose sum exceeds 12 bits wrap around, corrupting the
+// spectrum. The difference path is written correctly, which is why
+// small-amplitude test vectors pass.
+//
+// SYMPTOM: incorrect output values for large-amplitude inputs.
+//
+// FIX: widen the sum register to 13 bits and scale both outputs
+// consistently (fft_butterfly_fixed).
+//
+// The control logic is a two-process FSM (next-state variable), one of
+// the paper's FSM-detection false-negative patterns.
+
+module fft_butterfly (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [11:0] in_a,
+    input wire [11:0] in_b,
+    output reg out_valid,
+    output reg [12:0] out_data
+);
+    localparam BF_SUM = 0;
+    localparam BF_DIFF = 1;
+
+    reg bf_state;
+    reg bf_next;
+
+    // BUG: 12-bit register truncates the 13-bit sum's carry bit.
+    reg [11:0] sum;
+    reg [12:0] diff;
+    reg pair_loaded;
+
+    // Two-process control FSM: emit sum, then difference.
+    always @(*) begin
+        bf_next = bf_state;
+        case (bf_state)
+            BF_SUM: if (pair_loaded) bf_next = BF_DIFF;
+            BF_DIFF: bf_next = BF_SUM;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            bf_state <= BF_SUM;
+            pair_loaded <= 0;
+            out_valid <= 0;
+        end else begin
+            bf_state <= bf_next;
+            out_valid <= 0;
+            if (in_valid && !pair_loaded) begin
+                sum <= in_a + in_b;
+                diff <= {1'b0, in_a} - {1'b0, in_b};
+                pair_loaded <= 1;
+            end
+            if (bf_state == BF_SUM && pair_loaded) begin
+                out_data <= {1'b0, sum};
+                out_valid <= 1;
+            end
+            if (bf_state == BF_DIFF) begin
+                out_data <= diff;
+                out_valid <= 1;
+                pair_loaded <= 0;
+            end
+        end
+    end
+endmodule
+
+module fft_butterfly_fixed (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [11:0] in_a,
+    input wire [11:0] in_b,
+    output reg out_valid,
+    output reg [12:0] out_data
+);
+    localparam BF_SUM = 0;
+    localparam BF_DIFF = 1;
+
+    reg bf_state;
+    reg bf_next;
+
+    // FIX: the sum keeps its growth bit.
+    reg [12:0] sum;
+    reg [12:0] diff;
+    reg pair_loaded;
+
+    always @(*) begin
+        bf_next = bf_state;
+        case (bf_state)
+            BF_SUM: if (pair_loaded) bf_next = BF_DIFF;
+            BF_DIFF: bf_next = BF_SUM;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            bf_state <= BF_SUM;
+            pair_loaded <= 0;
+            out_valid <= 0;
+        end else begin
+            bf_state <= bf_next;
+            out_valid <= 0;
+            if (in_valid && !pair_loaded) begin
+                sum <= {1'b0, in_a} + {1'b0, in_b};
+                diff <= {1'b0, in_a} - {1'b0, in_b};
+                pair_loaded <= 1;
+            end
+            if (bf_state == BF_SUM && pair_loaded) begin
+                out_data <= sum;
+                out_valid <= 1;
+            end
+            if (bf_state == BF_DIFF) begin
+                out_data <= diff;
+                out_valid <= 1;
+                pair_loaded <= 0;
+            end
+        end
+    end
+endmodule

@@ -1,0 +1,157 @@
+// Bug D7 -- Misindexing -- floating-point adder (generic platform).
+//
+// A sequential IEEE-754 single-precision adder (the "really simple
+// fadd" a developer shared with the paper's authors). Operands are
+// unpacked into sign/exponent/fraction, the smaller fraction is aligned,
+// the fractions are added, and the result is renormalized and packed.
+//
+// ROOT CAUSE: IEEE-754 defines the fraction as bits [22:0] and the
+// exponent as bits [30:23], but the unpack stage extracts the fraction
+// as bits [23:0] -- one bit too many (the paper's section 3.2.3
+// example). The stray exponent bit corrupts the significand, so sums
+// come out wrong whenever the exponent is odd.
+//
+// SYMPTOM: incorrect output value.
+//
+// FIX: extract bits [22:0] (fadd_fixed).
+
+module fadd (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [31:0] op_a,
+    input wire [31:0] op_b,
+    output reg [31:0] result,
+    output reg done
+);
+    localparam FA_IDLE = 0;
+    localparam FA_ALIGN = 1;
+    localparam FA_ADD = 2;
+    localparam FA_NORM = 3;
+    localparam FA_PACK = 4;
+
+    reg [2:0] fa_state;
+    reg [7:0] exp_a;
+    reg [7:0] exp_b;
+    reg [26:0] frac_a;
+    reg [26:0] frac_b;
+    reg [7:0] exp_r;
+    reg [27:0] frac_r;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            fa_state <= FA_IDLE;
+            done <= 0;
+        end else begin
+            case (fa_state)
+                FA_IDLE: if (start) begin
+                    done <= 0;
+                    exp_a <= op_a[30:23];
+                    exp_b <= op_b[30:23];
+                    // BUG: fraction is [22:0]; [23:0] grabs an exponent bit
+                    // and drops the implicit leading one's position.
+                    frac_a <= {1'b1, op_a[23:0], 2'b00};
+                    frac_b <= {1'b1, op_b[23:0], 2'b00};
+                    fa_state <= FA_ALIGN;
+                end
+                FA_ALIGN: begin
+                    if (exp_a > exp_b) begin
+                        frac_b <= frac_b >> (exp_a - exp_b);
+                        exp_r <= exp_a;
+                    end else begin
+                        frac_a <= frac_a >> (exp_b - exp_a);
+                        exp_r <= exp_b;
+                    end
+                    fa_state <= FA_ADD;
+                end
+                FA_ADD: begin
+                    frac_r <= {1'b0, frac_a} + {1'b0, frac_b};
+                    fa_state <= FA_NORM;
+                end
+                FA_NORM: begin
+                    if (frac_r[27]) begin
+                        frac_r <= frac_r >> 1;
+                        exp_r <= exp_r + 1;
+                    end else begin
+                        fa_state <= FA_PACK;
+                    end
+                    if (frac_r[27]) fa_state <= FA_PACK;
+                end
+                FA_PACK: begin
+                    result <= {1'b0, exp_r, frac_r[24:2]};
+                    done <= 1;
+                    fa_state <= FA_IDLE;
+                end
+            endcase
+        end
+    end
+endmodule
+
+module fadd_fixed (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [31:0] op_a,
+    input wire [31:0] op_b,
+    output reg [31:0] result,
+    output reg done
+);
+    localparam FA_IDLE = 0;
+    localparam FA_ALIGN = 1;
+    localparam FA_ADD = 2;
+    localparam FA_NORM = 3;
+    localparam FA_PACK = 4;
+
+    reg [2:0] fa_state;
+    reg [7:0] exp_a;
+    reg [7:0] exp_b;
+    reg [26:0] frac_a;
+    reg [26:0] frac_b;
+    reg [7:0] exp_r;
+    reg [27:0] frac_r;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            fa_state <= FA_IDLE;
+            done <= 0;
+        end else begin
+            case (fa_state)
+                FA_IDLE: if (start) begin
+                    done <= 0;
+                    exp_a <= op_a[30:23];
+                    exp_b <= op_b[30:23];
+                    // FIX: the IEEE-754 fraction is bits [22:0].
+                    frac_a <= {1'b1, op_a[22:0], 3'b000};
+                    frac_b <= {1'b1, op_b[22:0], 3'b000};
+                    fa_state <= FA_ALIGN;
+                end
+                FA_ALIGN: begin
+                    if (exp_a > exp_b) begin
+                        frac_b <= frac_b >> (exp_a - exp_b);
+                        exp_r <= exp_a;
+                    end else begin
+                        frac_a <= frac_a >> (exp_b - exp_a);
+                        exp_r <= exp_b;
+                    end
+                    fa_state <= FA_ADD;
+                end
+                FA_ADD: begin
+                    frac_r <= {1'b0, frac_a} + {1'b0, frac_b};
+                    fa_state <= FA_NORM;
+                end
+                FA_NORM: begin
+                    if (frac_r[27]) begin
+                        frac_r <= frac_r >> 1;
+                        exp_r <= exp_r + 1;
+                    end
+                    fa_state <= FA_PACK;
+                end
+                FA_PACK: begin
+                    result <= {1'b0, exp_r, frac_r[25:3]};
+                    done <= 1;
+                    fa_state <= FA_IDLE;
+                end
+            endcase
+        end
+    end
+endmodule

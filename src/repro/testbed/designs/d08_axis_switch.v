@@ -1,0 +1,108 @@
+// Bug D8 -- Misindexing -- AXI-Stream switch (generic platform).
+//
+// A 1-to-2 packet switch (modeled on verilog-axis' axis_switch): the
+// first word of each packet is a header whose LOW nibble carries the
+// destination port; the switch latches the destination at the header
+// and steers the rest of the packet accordingly.
+//
+// ROOT CAUSE: the destination is extracted from the header's HIGH
+// nibble (bits [7:4]) instead of the low nibble (bits [3:0]). Packets
+// whose high nibble happens to be zero are delivered to port 0
+// regardless of their real destination.
+//
+// SYMPTOM: packets appear on the wrong output port (incorrect output /
+// missing traffic on the intended port).
+//
+// FIX: index the low nibble (axis_switch_fixed).
+
+module axis_switch (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    output reg out0_valid,
+    output reg [7:0] out0_data,
+    output reg out1_valid,
+    output reg [7:0] out1_data
+);
+    localparam SW_HEADER = 0;
+    localparam SW_PAYLOAD = 1;
+
+    reg sw_state;
+    reg [3:0] dest;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            sw_state <= SW_HEADER;
+            out0_valid <= 0;
+            out1_valid <= 0;
+        end else begin
+            out0_valid <= 0;
+            out1_valid <= 0;
+            case (sw_state)
+                SW_HEADER: if (in_valid) begin
+                    // BUG: destination lives in in_data[3:0].
+                    dest <= in_data[7:4];
+                    if (!in_last) sw_state <= SW_PAYLOAD;
+                end
+                SW_PAYLOAD: if (in_valid) begin
+                    if (dest == 0) begin
+                        out0_valid <= 1;
+                        out0_data <= in_data;
+                    end else begin
+                        out1_valid <= 1;
+                        out1_data <= in_data;
+                    end
+                    if (in_last) sw_state <= SW_HEADER;
+                end
+            endcase
+        end
+    end
+endmodule
+
+module axis_switch_fixed (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    output reg out0_valid,
+    output reg [7:0] out0_data,
+    output reg out1_valid,
+    output reg [7:0] out1_data
+);
+    localparam SW_HEADER = 0;
+    localparam SW_PAYLOAD = 1;
+
+    reg sw_state;
+    reg [3:0] dest;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            sw_state <= SW_HEADER;
+            out0_valid <= 0;
+            out1_valid <= 0;
+        end else begin
+            out0_valid <= 0;
+            out1_valid <= 0;
+            case (sw_state)
+                SW_HEADER: if (in_valid) begin
+                    // FIX: the destination is the header's low nibble.
+                    dest <= in_data[3:0];
+                    if (!in_last) sw_state <= SW_PAYLOAD;
+                end
+                SW_PAYLOAD: if (in_valid) begin
+                    if (dest == 0) begin
+                        out0_valid <= 1;
+                        out0_data <= in_data;
+                    end else begin
+                        out1_valid <= 1;
+                        out1_data <= in_data;
+                    end
+                    if (in_last) sw_state <= SW_HEADER;
+                end
+            endcase
+        end
+    end
+endmodule

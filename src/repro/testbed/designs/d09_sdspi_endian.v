@@ -1,0 +1,127 @@
+// Bug D9 -- Endianness Mismatch -- SDSPI controller (generic platform).
+//
+// The response path of an SD-card SPI controller (modeled on ZipCPU's
+// sdspi): the card answers a command with a 16-bit value delivered as
+// two bytes, most-significant byte first (SD responses are big endian).
+// The controller assembles the bytes into a register and hands the
+// register to a checksum module that expects a big-endian layout, then
+// publishes the value and the check result.
+//
+// ROOT CAUSE: the assembly stage stores the FIRST (most significant)
+// byte into resp[7:0] and the second into resp[15:8] -- a little-endian
+// layout -- before passing resp to the big-endian checksum module
+// (paper section 3.2.4). The checksum rejects every well-formed
+// response, and the published value is byte-swapped.
+//
+// SYMPTOM: a wrong value following assignment (response bytes swapped,
+// checksum failure).
+//
+// FIX: store the first byte in the high half (sdspi_response_fixed).
+//
+// The byte de-serializer is a detectable FSM; the checksum lives in a
+// child module, exercising hierarchy flattening.
+
+module be_checksum (
+    input wire [15:0] value,
+    input wire [7:0] expected,
+    output wire ok
+);
+    // Big-endian fold: the first byte on the wire (the high byte)
+    // is weighted double, so the fold is order-sensitive.
+    assign ok = (((value[15:8] << 1) + value[7:0]) & 8'hFF) == expected;
+endmodule
+
+module sdspi_response (
+    input wire clk,
+    input wire rst,
+    input wire byte_valid,
+    input wire [7:0] byte_in,
+    input wire [7:0] crc_in,
+    output reg [15:0] resp,
+    output reg resp_valid,
+    output wire crc_ok
+);
+    localparam RS_FIRST = 0;
+    localparam RS_SECOND = 1;
+    localparam RS_CRC = 2;
+
+    reg [1:0] rs_state;
+
+    be_checksum checker (
+        .value(resp),
+        .expected(crc_in),
+        .ok(crc_ok)
+    );
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rs_state <= RS_FIRST;
+            resp_valid <= 0;
+        end else begin
+            resp_valid <= 0;
+            case (rs_state)
+                RS_FIRST: if (byte_valid) begin
+                    // BUG: the first byte on the wire is the MSB; storing
+                    // it in the low half builds a little-endian value.
+                    resp[7:0] <= byte_in;
+                    rs_state <= RS_SECOND;
+                end
+                RS_SECOND: if (byte_valid) begin
+                    resp[15:8] <= byte_in;
+                    rs_state <= RS_CRC;
+                end
+                RS_CRC: if (byte_valid) begin
+                    resp_valid <= 1;
+                    rs_state <= RS_FIRST;
+                end
+            endcase
+        end
+    end
+endmodule
+
+module sdspi_response_fixed (
+    input wire clk,
+    input wire rst,
+    input wire byte_valid,
+    input wire [7:0] byte_in,
+    input wire [7:0] crc_in,
+    output reg [15:0] resp,
+    output reg resp_valid,
+    output wire crc_ok
+);
+    localparam RS_FIRST = 0;
+    localparam RS_SECOND = 1;
+    localparam RS_CRC = 2;
+
+    reg [1:0] rs_state;
+
+    be_checksum checker (
+        .value(resp),
+        .expected(crc_in),
+        .ok(crc_ok)
+    );
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rs_state <= RS_FIRST;
+            resp_valid <= 0;
+        end else begin
+            resp_valid <= 0;
+            case (rs_state)
+                RS_FIRST: if (byte_valid) begin
+                    // FIX: first byte on the wire is the most significant.
+                    resp[15:8] <= byte_in;
+                    rs_state <= RS_SECOND;
+                end
+                RS_SECOND: if (byte_valid) begin
+                    resp[7:0] <= byte_in;
+                    rs_state <= RS_CRC;
+                end
+                RS_CRC: if (byte_valid) begin
+                    resp_valid <= 1;
+                    rs_state <= RS_FIRST;
+                end
+            endcase
+        end
+    end
+endmodule

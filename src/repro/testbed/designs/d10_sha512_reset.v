@@ -1,0 +1,207 @@
+// Bug D10 -- Failure-to-Update -- SHA512 accelerator (Intel HARP).
+//
+// The same HARP hashing accelerator as D5 (with the address math
+// correct), processing back-to-back hash requests.
+//
+// ROOT CAUSE: when a new request starts, the block counter is reloaded
+// but the digest accumulator is NOT re-initialized (a forgotten update
+// on the start path -- paper section 3.2.5). The first request hashes
+// correctly; every later request folds its blocks into the previous
+// digest, producing garbage.
+//
+// SYMPTOM: incorrect output for every request after the first.
+//
+// FIX: re-seed the accumulator on start (sha512_multi_fixed).
+
+module sha512_multi (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [41:0] base_line,
+    input wire [3:0] num_blocks,
+    output reg rd_req,
+    output reg [41:0] rd_line,
+    input wire rd_rsp_valid,
+    input wire [63:0] rd_rsp_data,
+    output reg [63:0] digest,
+    output reg done
+);
+    localparam FT_IDLE = 0;
+    localparam FT_REQ = 1;
+    localparam FT_WAIT = 2;
+    localparam FT_DONE = 3;
+    localparam HS_IDLE = 0;
+    localparam HS_ROUND = 1;
+    localparam HS_FLUSH = 2;
+
+    reg [1:0] ft_state;
+    reg [41:0] line_idx;
+    reg [3:0] blocks_left;
+
+    reg [1:0] hs_state;
+    reg [63:0] acc;
+    reg [3:0] rounds;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ft_state <= FT_IDLE;
+            rd_req <= 0;
+        end else begin
+            rd_req <= 0;
+            case (ft_state)
+                FT_IDLE: if (start) begin
+                    line_idx <= base_line;
+                    blocks_left <= num_blocks;
+                    ft_state <= FT_REQ;
+                end
+                FT_REQ: begin
+                    rd_req <= 1;
+                    rd_line <= line_idx;
+                    ft_state <= FT_WAIT;
+                end
+                FT_WAIT: if (rd_rsp_valid) begin
+                    line_idx <= line_idx + 1;
+                    blocks_left <= blocks_left - 1;
+                    if (blocks_left == 1) ft_state <= FT_DONE;
+                    else ft_state <= FT_REQ;
+                end
+                FT_DONE: if (start) begin
+                    // Accept the next request.
+                    // BUG: acc is not re-seeded here (see hash FSM), so
+                    // this request reuses the previous digest state.
+                    line_idx <= base_line;
+                    blocks_left <= num_blocks;
+                    ft_state <= FT_REQ;
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            hs_state <= HS_IDLE;
+            acc <= 64'h6a09e667f3bcc908;
+            rounds <= 0;
+            done <= 0;
+        end else begin
+            if (start) done <= 0;
+            case (hs_state)
+                HS_IDLE: if (rd_rsp_valid) begin
+                    acc <= acc + rd_rsp_data;
+                    hs_state <= HS_ROUND;
+                    rounds <= 0;
+                end
+                HS_ROUND: begin
+                    acc <= {acc[0], acc[63:1]} ^ {acc[7:0], acc[63:8]};
+                    rounds <= rounds + 1;
+                    if (rounds == 3) begin
+                        if (ft_state == FT_DONE) hs_state <= HS_FLUSH;
+                        else hs_state <= HS_IDLE;
+                    end
+                end
+                HS_FLUSH: begin
+                    digest <= acc;
+                    done <= 1;
+                    hs_state <= HS_IDLE;
+                end
+            endcase
+        end
+    end
+endmodule
+
+module sha512_multi_fixed (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [41:0] base_line,
+    input wire [3:0] num_blocks,
+    output reg rd_req,
+    output reg [41:0] rd_line,
+    input wire rd_rsp_valid,
+    input wire [63:0] rd_rsp_data,
+    output reg [63:0] digest,
+    output reg done
+);
+    localparam FT_IDLE = 0;
+    localparam FT_REQ = 1;
+    localparam FT_WAIT = 2;
+    localparam FT_DONE = 3;
+    localparam HS_IDLE = 0;
+    localparam HS_ROUND = 1;
+    localparam HS_FLUSH = 2;
+
+    reg [1:0] ft_state;
+    reg [41:0] line_idx;
+    reg [3:0] blocks_left;
+
+    reg [1:0] hs_state;
+    reg [63:0] acc;
+    reg [3:0] rounds;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ft_state <= FT_IDLE;
+            rd_req <= 0;
+        end else begin
+            rd_req <= 0;
+            case (ft_state)
+                FT_IDLE: if (start) begin
+                    line_idx <= base_line;
+                    blocks_left <= num_blocks;
+                    ft_state <= FT_REQ;
+                end
+                FT_REQ: begin
+                    rd_req <= 1;
+                    rd_line <= line_idx;
+                    ft_state <= FT_WAIT;
+                end
+                FT_WAIT: if (rd_rsp_valid) begin
+                    line_idx <= line_idx + 1;
+                    blocks_left <= blocks_left - 1;
+                    if (blocks_left == 1) ft_state <= FT_DONE;
+                    else ft_state <= FT_REQ;
+                end
+                FT_DONE: if (start) begin
+                    line_idx <= base_line;
+                    blocks_left <= num_blocks;
+                    ft_state <= FT_REQ;
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            hs_state <= HS_IDLE;
+            acc <= 64'h6a09e667f3bcc908;
+            rounds <= 0;
+            done <= 0;
+        end else begin
+            if (start) begin
+                done <= 0;
+                // FIX: every request hashes from the initial seed.
+                acc <= 64'h6a09e667f3bcc908;
+            end
+            case (hs_state)
+                HS_IDLE: if (rd_rsp_valid) begin
+                    acc <= acc + rd_rsp_data;
+                    hs_state <= HS_ROUND;
+                    rounds <= 0;
+                end
+                HS_ROUND: begin
+                    acc <= {acc[0], acc[63:1]} ^ {acc[7:0], acc[63:8]};
+                    rounds <= rounds + 1;
+                    if (rounds == 3) begin
+                        if (ft_state == FT_DONE) hs_state <= HS_FLUSH;
+                        else hs_state <= HS_IDLE;
+                    end
+                end
+                HS_FLUSH: begin
+                    digest <= acc;
+                    done <= 1;
+                    hs_state <= HS_IDLE;
+                end
+            endcase
+        end
+    end
+endmodule

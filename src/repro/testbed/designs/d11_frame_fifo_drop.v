@@ -1,0 +1,223 @@
+// Bug D11 -- Failure-to-Update -- Frame FIFO with bad-frame drop
+// (generic platform).
+//
+// A store-and-forward frame FIFO that can abort a frame mid-stream: if
+// the source flags the current frame bad (in_abort, e.g. a failed
+// checksum), the FIFO INTENTIONALLY discards the rest of the frame and
+// rewinds the write pointer -- a legitimate data drop.
+//
+// ROOT CAUSE: the dropping flag is set when a frame is aborted but is
+// only cleared when a frame COMMITS; the clear on the abort-path's own
+// last word is missing (a forgotten update, paper section 3.2.5). After
+// one aborted frame, the flag stays set and every following good frame
+// is silently discarded too.
+//
+// SYMPTOM: data loss (good frames vanish after any aborted frame).
+//
+// This is the paper's LossCheck false-negative case (section 4.5.4):
+// the unintentional loss happens at the same register where data is
+// dropped intentionally, so ground-truth filtering silences it.
+//
+// FIX: clear the dropping flag at the end of the aborted frame
+// (frame_fifo_drop_fixed).
+
+module frame_fifo_drop (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    input wire in_abort,
+    input wire out_ready,
+    output reg out_valid,
+    output reg [7:0] out_data,
+    output reg out_last
+);
+    localparam WR_FRAME = 0;
+    localparam WR_COMMIT = 1;
+    localparam DP_PASS = 0;
+    localparam DP_DROP = 1;
+
+    reg [7:0] mem [0:31];
+    reg lastflag [0:31];
+    reg [5:0] wr_ptr;
+    reg [5:0] commit_ptr;
+    reg [5:0] frame_start;
+    reg [5:0] rd_ptr;
+
+    reg wr_state;
+    reg dropping;
+    reg [7:0] word_stage;
+    reg stage_valid;
+    reg stage_last;
+
+    // Stage each incoming word; dropped words are overwritten here (the
+    // intentional loss site).
+    always @(posedge clk) begin
+        if (rst) begin
+            stage_valid <= 0;
+        end else begin
+            if (in_valid) begin
+                word_stage <= in_data;
+                stage_last <= in_last;
+            end
+            stage_valid <= in_valid && !dropping && !in_abort;
+        end
+    end
+
+    // Drop control: a 2-state machine over the `dropping` flag.
+    always @(posedge clk) begin
+        if (rst) begin
+            dropping <= DP_PASS;
+        end else begin
+            if (in_valid && in_abort && dropping == DP_PASS) begin
+                dropping <= DP_DROP;
+            end
+            // BUG: the flag is never cleared when the aborted frame's
+            // last word passes; only a commit clears it, and aborted
+            // frames never commit.
+            if (wr_state == WR_COMMIT) dropping <= DP_PASS;
+        end
+    end
+
+    // Write FSM: buffer staged words, commit whole frames.
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_ptr <= 0;
+            commit_ptr <= 0;
+            frame_start <= 0;
+            wr_state <= WR_FRAME;
+        end else begin
+            case (wr_state)
+                WR_FRAME: if (stage_valid) begin
+                    mem[wr_ptr[4:0]] <= word_stage;
+                    lastflag[wr_ptr[4:0]] <= stage_last;
+                    wr_ptr <= wr_ptr + 1;
+                    if (stage_last) wr_state <= WR_COMMIT;
+                end
+                WR_COMMIT: begin
+                    commit_ptr <= wr_ptr;
+                    frame_start <= wr_ptr;
+                    wr_state <= WR_FRAME;
+                end
+            endcase
+            // An aborted frame rewinds its partially-buffered words.
+            if (in_valid && in_abort) wr_ptr <= frame_start;
+        end
+    end
+
+    // Read side: stream committed words out.
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_ptr <= 0;
+            out_valid <= 0;
+        end else begin
+            if (out_valid && out_ready) out_valid <= 0;
+            if (!(out_valid && !out_ready) && rd_ptr != commit_ptr) begin
+                out_data <= mem[rd_ptr[4:0]];
+                out_last <= lastflag[rd_ptr[4:0]];
+                out_valid <= 1;
+                rd_ptr <= rd_ptr + 1;
+            end
+        end
+    end
+endmodule
+
+module frame_fifo_drop_fixed (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    input wire in_abort,
+    input wire out_ready,
+    output reg out_valid,
+    output reg [7:0] out_data,
+    output reg out_last
+);
+    localparam WR_FRAME = 0;
+    localparam WR_COMMIT = 1;
+    localparam DP_PASS = 0;
+    localparam DP_DROP = 1;
+
+    reg [7:0] mem [0:31];
+    reg lastflag [0:31];
+    reg [5:0] wr_ptr;
+    reg [5:0] commit_ptr;
+    reg [5:0] frame_start;
+    reg [5:0] rd_ptr;
+
+    reg wr_state;
+    reg dropping;
+    reg [7:0] word_stage;
+    reg stage_valid;
+    reg stage_last;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            stage_valid <= 0;
+        end else begin
+            if (in_valid) begin
+                word_stage <= in_data;
+                stage_last <= in_last;
+            end
+            stage_valid <= in_valid && !dropping && !in_abort;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            dropping <= DP_PASS;
+        end else begin
+            if (in_valid && in_abort && dropping == DP_PASS) begin
+                dropping <= DP_DROP;
+            end
+            // FIX: the aborted frame ends with its last word; resume
+            // passing from the next frame on.
+            if (in_valid && in_last && dropping == DP_DROP) begin
+                dropping <= DP_PASS;
+            end
+            if (wr_state == WR_COMMIT) dropping <= DP_PASS;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_ptr <= 0;
+            commit_ptr <= 0;
+            frame_start <= 0;
+            wr_state <= WR_FRAME;
+        end else begin
+            case (wr_state)
+                WR_FRAME: if (stage_valid) begin
+                    mem[wr_ptr[4:0]] <= word_stage;
+                    lastflag[wr_ptr[4:0]] <= stage_last;
+                    wr_ptr <= wr_ptr + 1;
+                    if (stage_last) wr_state <= WR_COMMIT;
+                end
+                WR_COMMIT: begin
+                    commit_ptr <= wr_ptr;
+                    frame_start <= wr_ptr;
+                    wr_state <= WR_FRAME;
+                end
+            endcase
+            // An aborted frame rewinds its partially-buffered words.
+            if (in_valid && in_abort) wr_ptr <= frame_start;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_ptr <= 0;
+            out_valid <= 0;
+        end else begin
+            if (out_valid && out_ready) out_valid <= 0;
+            if (!(out_valid && !out_ready) && rd_ptr != commit_ptr) begin
+                out_data <= mem[rd_ptr[4:0]];
+                out_last <= lastflag[rd_ptr[4:0]];
+                out_valid <= 1;
+                rd_ptr <= rd_ptr + 1;
+            end
+        end
+    end
+endmodule

@@ -1,0 +1,146 @@
+// Bug D12 -- Failure-to-Update -- Frame FIFO length header
+// (generic platform).
+//
+// A store-and-forward frame FIFO that prefixes every outgoing frame
+// with a length word (as NIC receive queues do): words are buffered, a
+// counter tracks the frame's length, and on commit the length is
+// written to a side queue the reader consults before draining.
+//
+// ROOT CAUSE: the length counter is initialized at reset but never
+// cleared when a frame commits (paper section 3.2.5's
+// forgotten-reset pattern). The first frame reports the right length;
+// every later frame reports the running total of all frames so far.
+//
+// SYMPTOM: invalid output -- the reader mis-frames everything after
+// the first frame (length header wrong).
+//
+// FIX: zero the counter on commit (frame_fifo_len_fixed).
+
+module frame_fifo_len (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    output reg hdr_valid,
+    output reg [5:0] hdr_len,
+    output reg out_valid,
+    output reg [7:0] out_data
+);
+    localparam WR_FRAME = 0;
+    localparam WR_COMMIT = 1;
+
+    reg [7:0] mem [0:31];
+    reg [5:0] wr_ptr;
+    reg [5:0] commit_ptr;
+    reg [5:0] rd_ptr;
+    reg [5:0] len;
+
+    reg wr_state;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_ptr <= 0;
+            commit_ptr <= 0;
+            len <= 0;
+            wr_state <= WR_FRAME;
+            hdr_valid <= 0;
+        end else begin
+            hdr_valid <= 0;
+            case (wr_state)
+                WR_FRAME: if (in_valid) begin
+                    mem[wr_ptr[4:0]] <= in_data;
+                    wr_ptr <= wr_ptr + 1;
+                    len <= len + 1;
+                    if (in_last) wr_state <= WR_COMMIT;
+                end
+                WR_COMMIT: begin
+                    commit_ptr <= wr_ptr;
+                    hdr_len <= len;
+                    hdr_valid <= 1;
+                    // BUG: len is not cleared for the next frame.
+                    wr_state <= WR_FRAME;
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_ptr <= 0;
+            out_valid <= 0;
+        end else begin
+            out_valid <= 0;
+            if (rd_ptr != commit_ptr) begin
+                out_data <= mem[rd_ptr[4:0]];
+                out_valid <= 1;
+                rd_ptr <= rd_ptr + 1;
+            end
+        end
+    end
+endmodule
+
+module frame_fifo_len_fixed (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    output reg hdr_valid,
+    output reg [5:0] hdr_len,
+    output reg out_valid,
+    output reg [7:0] out_data
+);
+    localparam WR_FRAME = 0;
+    localparam WR_COMMIT = 1;
+
+    reg [7:0] mem [0:31];
+    reg [5:0] wr_ptr;
+    reg [5:0] commit_ptr;
+    reg [5:0] rd_ptr;
+    reg [5:0] len;
+
+    reg wr_state;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_ptr <= 0;
+            commit_ptr <= 0;
+            len <= 0;
+            wr_state <= WR_FRAME;
+            hdr_valid <= 0;
+        end else begin
+            hdr_valid <= 0;
+            case (wr_state)
+                WR_FRAME: if (in_valid) begin
+                    mem[wr_ptr[4:0]] <= in_data;
+                    wr_ptr <= wr_ptr + 1;
+                    len <= len + 1;
+                    if (in_last) wr_state <= WR_COMMIT;
+                end
+                WR_COMMIT: begin
+                    commit_ptr <= wr_ptr;
+                    hdr_len <= len;
+                    hdr_valid <= 1;
+                    // FIX: each frame's length starts from zero.
+                    len <= 0;
+                    wr_state <= WR_FRAME;
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_ptr <= 0;
+            out_valid <= 0;
+        end else begin
+            out_valid <= 0;
+            if (rd_ptr != commit_ptr) begin
+                out_data <= mem[rd_ptr[4:0]];
+                out_valid <= 1;
+                rd_ptr <= rd_ptr + 1;
+            end
+        end
+    end
+endmodule

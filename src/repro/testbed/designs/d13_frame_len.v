@@ -1,0 +1,151 @@
+// Bug D13 -- Failure-to-Update -- Frame length measurer
+// (generic platform).
+//
+// A frame-length measurement block (modeled on the axis frame-length
+// monitors in verilog-axis): it watches a streaming interface, counts
+// the words of each frame, and reports the length when the frame's
+// last word passes.
+//
+// ROOT CAUSE: the counter is only cleared during IDLE gap cycles
+// between frames; the first word of a frame does not restart it (the
+// forgotten-update pattern of paper section 3.2.5). Under back-to-back
+// frames there is no gap cycle, so the counter keeps accumulating and
+// every report after the first is a running total. Test traffic with
+// idle gaps passes, which is how the bug escaped testing.
+//
+// SYMPTOM: incorrect output (cumulative lengths under back-to-back
+// traffic).
+//
+// FIX: load the counter with 1 on each frame's first word
+// (frame_len_fixed).
+
+module frame_len (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    output reg len_valid,
+    output reg [7:0] len_out,
+    output reg [7:0] frames_seen
+);
+    localparam FL_IDLE = 0;
+    localparam FL_FRAME = 1;
+    localparam MT_RUN = 0;
+    localparam MT_HOLD = 1;
+
+    reg fl_state;
+    reg [7:0] count;
+    reg mt_state;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            fl_state <= FL_IDLE;
+            count <= 0;
+            len_valid <= 0;
+            frames_seen <= 0;
+        end else begin
+            len_valid <= 0;
+            // BUG: the counter restarts only when the link goes idle;
+            // a back-to-back frame inherits the previous total.
+            if (!in_valid && fl_state == FL_IDLE) count <= 0;
+            case (fl_state)
+                FL_IDLE: if (in_valid) begin
+                    count <= count + 1;
+                    if (in_last) begin
+                        len_valid <= 1;
+                        len_out <= count + 1;
+                        frames_seen <= frames_seen + 1;
+                    end else begin
+                        fl_state <= FL_FRAME;
+                    end
+                end
+                FL_FRAME: if (in_valid) begin
+                    count <= count + 1;
+                    if (in_last) begin
+                        len_valid <= 1;
+                        len_out <= count + 1;
+                        frames_seen <= frames_seen + 1;
+                        fl_state <= FL_IDLE;
+                    end
+                end
+            endcase
+        end
+    end
+
+    // Measurement gate FSM: pause reporting while the consumer reads.
+    always @(posedge clk) begin
+        if (rst) begin
+            mt_state <= MT_RUN;
+        end else begin
+            case (mt_state)
+                MT_RUN: if (len_valid) mt_state <= MT_HOLD;
+                MT_HOLD: mt_state <= MT_RUN;
+            endcase
+        end
+    end
+endmodule
+
+module frame_len_fixed (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire in_last,
+    output reg len_valid,
+    output reg [7:0] len_out,
+    output reg [7:0] frames_seen
+);
+    localparam FL_IDLE = 0;
+    localparam FL_FRAME = 1;
+    localparam MT_RUN = 0;
+    localparam MT_HOLD = 1;
+
+    reg fl_state;
+    reg [7:0] count;
+    reg mt_state;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            fl_state <= FL_IDLE;
+            count <= 0;
+            len_valid <= 0;
+            frames_seen <= 0;
+        end else begin
+            len_valid <= 0;
+            case (fl_state)
+                FL_IDLE: if (in_valid) begin
+                    // FIX: the first word restarts the count, gap or not.
+                    count <= 1;
+                    if (in_last) begin
+                        len_valid <= 1;
+                        len_out <= 1;
+                        frames_seen <= frames_seen + 1;
+                    end else begin
+                        fl_state <= FL_FRAME;
+                    end
+                end
+                FL_FRAME: if (in_valid) begin
+                    count <= count + 1;
+                    if (in_last) begin
+                        len_valid <= 1;
+                        len_out <= count + 1;
+                        frames_seen <= frames_seen + 1;
+                        fl_state <= FL_IDLE;
+                    end
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            mt_state <= MT_RUN;
+        end else begin
+            case (mt_state)
+                MT_RUN: if (len_valid) mt_state <= MT_HOLD;
+                MT_HOLD: mt_state <= MT_RUN;
+            endcase
+        end
+    end
+endmodule

@@ -1,0 +1,183 @@
+// Bug S1 -- Protocol Violation -- AXI-Lite register slave (Xilinx).
+//
+// A register-file slave on an AXI4-Lite bus, modeled on Xilinx's
+// example AXI-Lite endpoint that the ZipCPU formal-verification
+// articles dissect. Writes arrive on the AW/W channels; the slave must
+// answer each accepted write with a B-channel response that STAYS
+// VALID until the master asserts BREADY (AXI's valid-until-ready
+// rule).
+//
+// ROOT CAUSE: the response FSM deasserts BVALID after a single cycle
+// whether or not BREADY was high -- a corner of the AXI handshake the
+// simple demo never exercised. A master that applies B-channel
+// backpressure loses write responses and the transaction count
+// diverges (exactly the class of corner-case protocol violations the
+// paper describes escaping simulation testing, section 3.4.1).
+//
+// SYMPTOM: an external monitor (an AXI protocol checker, like the
+// FPGA shell's) reports the violation; the master also stalls waiting
+// for the lost response.
+//
+// FIX: hold BVALID until the BREADY handshake completes
+// (axilite_regs_fixed).
+
+module axilite_regs (
+    input wire clk,
+    input wire rst,
+    // write address channel
+    input wire awvalid,
+    input wire [3:0] awaddr,
+    output reg awready,
+    // write data channel
+    input wire wvalid,
+    input wire [31:0] wdata,
+    output reg wready,
+    // write response channel
+    output reg bvalid,
+    input wire bready,
+    // read address channel
+    input wire arvalid,
+    input wire [3:0] araddr,
+    output reg arready,
+    // read data channel
+    output reg rvalid,
+    output reg [31:0] rdata,
+    input wire rready
+);
+    localparam WR_IDLE = 0;
+    localparam WR_RESP = 1;
+    localparam RD_IDLE = 0;
+    localparam RD_DATA = 1;
+
+    reg [31:0] regs [0:15];
+    reg wr_state;
+    reg rd_state;
+
+    // Write FSM.
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_state <= WR_IDLE;
+            awready <= 1;
+            wready <= 1;
+            bvalid <= 0;
+        end else begin
+            case (wr_state)
+                WR_IDLE: if (awvalid && wvalid) begin
+                    regs[awaddr] <= wdata;
+                    awready <= 0;
+                    wready <= 0;
+                    bvalid <= 1;
+                    wr_state <= WR_RESP;
+                end
+                WR_RESP: begin
+                    // BUG: BVALID drops after one cycle even when the
+                    // master has not taken the response (bready low).
+                    bvalid <= 0;
+                    awready <= 1;
+                    wready <= 1;
+                    wr_state <= WR_IDLE;
+                end
+            endcase
+        end
+    end
+
+    // Read FSM.
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_state <= RD_IDLE;
+            arready <= 1;
+            rvalid <= 0;
+        end else begin
+            case (rd_state)
+                RD_IDLE: if (arvalid) begin
+                    rdata <= regs[araddr];
+                    rvalid <= 1;
+                    arready <= 0;
+                    rd_state <= RD_DATA;
+                end
+                RD_DATA: if (rready) begin
+                    rvalid <= 0;
+                    arready <= 1;
+                    rd_state <= RD_IDLE;
+                end
+            endcase
+        end
+    end
+endmodule
+
+module axilite_regs_fixed (
+    input wire clk,
+    input wire rst,
+    input wire awvalid,
+    input wire [3:0] awaddr,
+    output reg awready,
+    input wire wvalid,
+    input wire [31:0] wdata,
+    output reg wready,
+    output reg bvalid,
+    input wire bready,
+    input wire arvalid,
+    input wire [3:0] araddr,
+    output reg arready,
+    output reg rvalid,
+    output reg [31:0] rdata,
+    input wire rready
+);
+    localparam WR_IDLE = 0;
+    localparam WR_RESP = 1;
+    localparam RD_IDLE = 0;
+    localparam RD_DATA = 1;
+
+    reg [31:0] regs [0:15];
+    reg wr_state;
+    reg rd_state;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            wr_state <= WR_IDLE;
+            awready <= 1;
+            wready <= 1;
+            bvalid <= 0;
+        end else begin
+            case (wr_state)
+                WR_IDLE: if (awvalid && wvalid) begin
+                    regs[awaddr] <= wdata;
+                    awready <= 0;
+                    wready <= 0;
+                    bvalid <= 1;
+                    wr_state <= WR_RESP;
+                end
+                WR_RESP: if (bready) begin
+                    // FIX: the response is held until BREADY completes
+                    // the handshake.
+                    bvalid <= 0;
+                    awready <= 1;
+                    wready <= 1;
+                    wr_state <= WR_IDLE;
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rd_state <= RD_IDLE;
+            arready <= 1;
+            rvalid <= 0;
+        end else begin
+            case (rd_state)
+                RD_IDLE: if (arvalid) begin
+                    rdata <= regs[araddr];
+                    rvalid <= 1;
+                    arready <= 0;
+                    rd_state <= RD_DATA;
+                end
+                RD_DATA: if (rready) begin
+                    rvalid <= 0;
+                    arready <= 1;
+                    rd_state <= RD_IDLE;
+                end
+            endcase
+        end
+    end
+endmodule

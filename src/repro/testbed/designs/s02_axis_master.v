@@ -1,0 +1,126 @@
+// Bug S2 -- Protocol Violation -- AXI-Stream master demo (Xilinx).
+//
+// A pattern-generator AXI-Stream master, modeled on Xilinx's AXIS demo
+// endpoint (the one ZipCPU's "axil2axis" article examines): once
+// started it emits a burst of counted words over tvalid/tdata/tlast
+// under tready backpressure.
+//
+// ROOT CAUSE: AXI-Stream requires that once TVALID is asserted it must
+// remain asserted (with stable TDATA) until TREADY completes the
+// handshake. This master deasserts TVALID and advances its word
+// counter after one cycle regardless of TREADY -- a backpressure
+// corner the demo's happy-path simulation never hits (paper section
+// 3.4.1).
+//
+// SYMPTOM: an external protocol checker reports the TVALID drop;
+// a backpressuring consumer also observes missing words.
+//
+// FIX: hold TVALID/TDATA until TREADY is seen (axis_master_fixed).
+
+module axis_master (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [7:0] burst_len,
+    input wire tready,
+    output reg tvalid,
+    output reg [7:0] tdata,
+    output reg tlast,
+    output reg done
+);
+    localparam GN_IDLE = 0;
+    localparam GN_SEND = 1;
+    localparam GN_DONE = 2;
+
+    reg [1:0] gn_state;
+    reg [7:0] word_idx;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            gn_state <= GN_IDLE;
+            tvalid <= 0;
+            tlast <= 0;
+            done <= 0;
+        end else begin
+            case (gn_state)
+                GN_IDLE: if (start) begin
+                    gn_state <= GN_SEND;
+                    word_idx <= 0;
+                    done <= 0;
+                end
+                GN_SEND: begin
+                    // BUG: asserts tvalid for exactly one cycle per word
+                    // and advances regardless of tready.
+                    if (!tvalid) begin
+                        tvalid <= 1;
+                        tdata <= word_idx;
+                        tlast <= (word_idx == burst_len - 1);
+                    end else begin
+                        tvalid <= 0;
+                        tlast <= 0;
+                        word_idx <= word_idx + 1;
+                        if (word_idx == burst_len - 1) gn_state <= GN_DONE;
+                    end
+                end
+                GN_DONE: begin
+                    done <= 1;
+                    tvalid <= 0;
+                end
+            endcase
+        end
+    end
+endmodule
+
+module axis_master_fixed (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [7:0] burst_len,
+    input wire tready,
+    output reg tvalid,
+    output reg [7:0] tdata,
+    output reg tlast,
+    output reg done
+);
+    localparam GN_IDLE = 0;
+    localparam GN_SEND = 1;
+    localparam GN_DONE = 2;
+
+    reg [1:0] gn_state;
+    reg [7:0] word_idx;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            gn_state <= GN_IDLE;
+            tvalid <= 0;
+            tlast <= 0;
+            done <= 0;
+        end else begin
+            case (gn_state)
+                GN_IDLE: if (start) begin
+                    gn_state <= GN_SEND;
+                    word_idx <= 0;
+                    done <= 0;
+                end
+                GN_SEND: begin
+                    if (!tvalid) begin
+                        tvalid <= 1;
+                        tdata <= word_idx;
+                        tlast <= (word_idx == burst_len - 1);
+                    end else if (tready) begin
+                        // FIX: only complete the beat once tready is
+                        // high; tvalid/tdata are held stable otherwise.
+                        tvalid <= 0;
+                        tlast <= 0;
+                        word_idx <= word_idx + 1;
+                        if (word_idx == burst_len - 1) gn_state <= GN_DONE;
+                    end
+                end
+                GN_DONE: begin
+                    done <= 1;
+                    tvalid <= 0;
+                end
+            endcase
+        end
+    end
+endmodule

@@ -1,0 +1,162 @@
+// Bug S3 -- Incomplete Implementation -- AXI-Stream width adapter
+// (generic platform).
+//
+// A 16-bit to 8-bit AXI-Stream width adapter (modeled on verilog-axis'
+// axis_adapter): each 16-bit input beat carries a tkeep pair saying
+// which bytes are meaningful; the adapter serializes the low byte then
+// the high byte onto the 8-bit output.
+//
+// ROOT CAUSE: the adapter always emits both bytes of every beat. The
+// final beat of an odd-length frame has tkeep == 2'b01 (only the low
+// byte valid), a case the implementation simply does not handle
+// (paper section 3.4.3) -- it emits the stale high byte and marks IT
+// as the frame's last byte.
+//
+// SYMPTOM: incorrect output (odd-length frames gain a garbage byte
+// and their tlast lands on the wrong byte).
+//
+// FIX: honour tkeep when deciding whether the high byte exists and
+// where tlast falls (axis_adapter_fixed).
+
+module axis_adapter (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [15:0] in_data,
+    input wire [1:0] in_keep,
+    input wire in_last,
+    output wire in_ready,
+    output reg out_valid,
+    output reg [7:0] out_data,
+    output reg out_last
+);
+    localparam AD_LOW = 0;
+    localparam AD_HIGH = 1;
+    localparam LD_EMPTY = 0;
+    localparam LD_FULL = 1;
+
+    reg ad_state;
+    reg ld_state;
+    reg [15:0] beat;
+    reg beat_last;
+
+    assign in_ready = ld_state == LD_EMPTY;
+
+    // Beat loader FSM.
+    always @(posedge clk) begin
+        if (rst) begin
+            ld_state <= LD_EMPTY;
+        end else begin
+            case (ld_state)
+                LD_EMPTY: if (in_valid) begin
+                    beat <= in_data;
+                    beat_last <= in_last;
+                    ld_state <= LD_FULL;
+                end
+                LD_FULL: if (ad_state == AD_HIGH) ld_state <= LD_EMPTY;
+            endcase
+        end
+    end
+
+    // Serializer FSM: low byte, then high byte.
+    always @(posedge clk) begin
+        if (rst) begin
+            ad_state <= AD_LOW;
+            out_valid <= 0;
+        end else begin
+            out_valid <= 0;
+            out_last <= 0;
+            case (ad_state)
+                AD_LOW: if (ld_state == LD_FULL) begin
+                    out_valid <= 1;
+                    out_data <= beat[7:0];
+                    ad_state <= AD_HIGH;
+                end
+                AD_HIGH: begin
+                    // BUG: the tkeep == 2'b01 case (odd-length frame) is
+                    // not implemented; the stale high byte is emitted
+                    // and carries the frame's tlast.
+                    out_valid <= 1;
+                    out_data <= beat[15:8];
+                    out_last <= beat_last;
+                    ad_state <= AD_LOW;
+                end
+            endcase
+        end
+    end
+endmodule
+
+module axis_adapter_fixed (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [15:0] in_data,
+    input wire [1:0] in_keep,
+    input wire in_last,
+    output wire in_ready,
+    output reg out_valid,
+    output reg [7:0] out_data,
+    output reg out_last
+);
+    localparam AD_LOW = 0;
+    localparam AD_HIGH = 1;
+    localparam LD_EMPTY = 0;
+    localparam LD_FULL = 1;
+
+    reg ad_state;
+    reg ld_state;
+    reg [15:0] beat;
+    reg [1:0] beat_keep;
+    reg beat_last;
+
+    assign in_ready = ld_state == LD_EMPTY;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ld_state <= LD_EMPTY;
+        end else begin
+            case (ld_state)
+                LD_EMPTY: if (in_valid) begin
+                    beat <= in_data;
+                    beat_keep <= in_keep;
+                    beat_last <= in_last;
+                    ld_state <= LD_FULL;
+                end
+                LD_FULL: begin
+                    if (ad_state == AD_HIGH) ld_state <= LD_EMPTY;
+                    if (ad_state == AD_LOW && beat_keep == 1) ld_state <= LD_EMPTY;
+                end
+            endcase
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ad_state <= AD_LOW;
+            out_valid <= 0;
+        end else begin
+            out_valid <= 0;
+            out_last <= 0;
+            case (ad_state)
+                AD_LOW: if (ld_state == LD_FULL) begin
+                    out_valid <= 1;
+                    out_data <= beat[7:0];
+                    // FIX: a beat whose high byte is not kept ends here;
+                    // tlast goes out with the low byte.
+                    if (beat_keep == 1) begin
+                        out_last <= beat_last;
+                        ad_state <= AD_LOW;
+                    end else begin
+                        ad_state <= AD_HIGH;
+                    end
+                end
+                AD_HIGH: begin
+                    out_valid <= 1;
+                    out_data <= beat[15:8];
+                    out_last <= beat_last;
+                    ad_state <= AD_LOW;
+                end
+            endcase
+        end
+    end
+endmodule

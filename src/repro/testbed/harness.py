@@ -1,0 +1,185 @@
+"""Push-button bug reproduction harness (§6.1).
+
+The public entry points mirror the paper's artifact workflow:
+
+* :func:`load_design` — parse and elaborate a testbed design;
+* :func:`reproduce` — run a bug's scenario on the buggy design and check
+  that the documented symptoms appear;
+* :func:`verify_fix` — run the same scenario on the fixed design and
+  check that no symptom appears;
+* :func:`run_losscheck` — full LossCheck workflow for a loss bug:
+  instrument, calibrate on the shipped ground-truth test, analyze the
+  failure, and compare against the paper's expected outcome.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass, field
+
+from ..hdl import elaborate, parse
+from ..sim import Simulator
+from ..core.losscheck import LossCheck
+from .metadata import BUG_IDS, SPECS
+from .scenarios import GROUND_TRUTH, SCENARIOS
+
+
+class ReproductionError(AssertionError):
+    """Raised when a bug does not reproduce (or a fix does not fix)."""
+
+
+@dataclass
+class Reproduction:
+    """Outcome of one push-button reproduction."""
+
+    bug_id: str
+    observation: object
+    expected_symptoms: frozenset
+    fixed: bool
+
+    @property
+    def reproduced(self):
+        """Buggy run: all documented symptoms observed."""
+        return self.expected_symptoms <= self.observation.symptoms
+
+    @property
+    def clean(self):
+        """Fixed run: no symptom observed."""
+        return not self.observation.failed
+
+
+def _design_text(filename):
+    package = importlib.resources.files("repro.testbed") / "designs" / filename
+    return package.read_text()
+
+
+def load_design(bug_id, fixed=False):
+    """Parse + elaborate the (buggy or fixed) design for *bug_id*."""
+    spec = SPECS[bug_id]
+    source = parse(_design_text(spec.design_file))
+    top = spec.fixed_top if fixed else spec.top
+    return elaborate(source, top=top)
+
+
+def load_source(bug_id):
+    """The parsed multi-module source file for *bug_id*."""
+    spec = SPECS[bug_id]
+    return parse(_design_text(spec.design_file))
+
+
+def run_scenario(bug_id, design=None, fixed=False):
+    """Run the bug's scenario and return its Observation."""
+    if design is None:
+        design = load_design(bug_id, fixed=fixed)
+    sim = Simulator(design)
+    return SCENARIOS[bug_id](sim)
+
+
+def reproduce(bug_id):
+    """Push-button reproduction of one bug; raises if it fails to show."""
+    spec = SPECS[bug_id]
+    observation = run_scenario(bug_id, fixed=False)
+    result = Reproduction(
+        bug_id=bug_id,
+        observation=observation,
+        expected_symptoms=spec.symptoms,
+        fixed=False,
+    )
+    if not result.reproduced:
+        raise ReproductionError(
+            "%s did not reproduce: expected %s, observed %s (%s)"
+            % (
+                bug_id,
+                sorted(s.value for s in spec.symptoms),
+                sorted(s.value for s in observation.symptoms),
+                observation.details,
+            )
+        )
+    return result
+
+
+def verify_fix(bug_id):
+    """Run the scenario on the fixed design; raises if symptoms remain."""
+    spec = SPECS[bug_id]
+    observation = run_scenario(bug_id, fixed=True)
+    result = Reproduction(
+        bug_id=bug_id,
+        observation=observation,
+        expected_symptoms=spec.symptoms,
+        fixed=True,
+    )
+    if not result.clean:
+        raise ReproductionError(
+            "%s fix still shows symptoms %s (%s)"
+            % (
+                bug_id,
+                sorted(s.value for s in observation.symptoms),
+                observation.details,
+            )
+        )
+    return result
+
+
+def reproduce_all():
+    """Reproduce every testbed bug; returns {bug_id: Reproduction}."""
+    return {bug_id: reproduce(bug_id) for bug_id in BUG_IDS}
+
+
+@dataclass
+class LossCheckOutcome:
+    """Result of the full LossCheck workflow on one loss bug."""
+
+    bug_id: str
+    result: object
+    expected_locations: tuple
+    expected_false_positives: tuple
+    expected_false_negative: bool
+    generated_lines: int = 0
+
+    @property
+    def localized(self):
+        """True if every expected root-cause location was reported."""
+        return all(
+            loc in self.result.localized for loc in self.expected_locations
+        )
+
+    @property
+    def false_positives(self):
+        """Reported locations that are not documented root causes."""
+        expected = set(self.expected_locations)
+        return [loc for loc in self.result.localized if loc not in expected]
+
+    @property
+    def matches_paper(self):
+        """True when the outcome matches the paper's §6.3 account."""
+        if self.expected_false_negative:
+            return not self.localized
+        if not self.localized:
+            return False
+        return set(self.false_positives) == set(self.expected_false_positives)
+
+
+def run_losscheck(bug_id):
+    """Full LossCheck workflow for one loss bug (§6.3)."""
+    spec = SPECS[bug_id]
+    if spec.losscheck is None:
+        raise ValueError("%s is not a LossCheck bug" % bug_id)
+    lc_spec = spec.losscheck
+    design = load_design(bug_id, fixed=False)
+    losscheck = LossCheck(
+        design,
+        source=lc_spec.source,
+        sink=lc_spec.sink,
+        source_valid=lc_spec.source_valid,
+    )
+    if lc_spec.uses_filtering and bug_id in GROUND_TRUTH:
+        losscheck.calibrate(GROUND_TRUTH[bug_id])
+    result = losscheck.analyze(SCENARIOS[bug_id])
+    return LossCheckOutcome(
+        bug_id=bug_id,
+        result=result,
+        expected_locations=lc_spec.expected_locations,
+        expected_false_positives=lc_spec.expected_false_positives,
+        expected_false_negative=lc_spec.expected_false_negative,
+        generated_lines=losscheck.generated_line_count(),
+    )

@@ -1,0 +1,608 @@
+"""Testbed metadata: the 20 reproducible bugs of Table 2.
+
+Each :class:`BugSpec` records the bug's subclass, application, platform,
+expected symptoms, the tools that help localize it, its design file and
+top modules, the documented root cause, and (for data-loss bugs) the
+LossCheck configuration.
+
+The symptom and helpful-tool assignments follow the paper's Table 2 and
+the constraints stated in §6.3: SignalCat helps with every bug; each
+monitor helps with at least four; LossCheck localizes D1, D2, D3, D4,
+C2 and C4 and fails (by mis-filtering) on D11.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class BugClass(enum.Enum):
+    """Top-level classes of the paper's taxonomy (§3.1)."""
+
+    DATA_MIS_ACCESS = "data mis-access"
+    COMMUNICATION = "communication"
+    SEMANTIC = "semantic"
+
+
+class BugSubclass(enum.Enum):
+    """The 13 subclasses of Table 1."""
+
+    BUFFER_OVERFLOW = "Buffer Overflow"
+    BIT_TRUNCATION = "Bit Truncation"
+    MISINDEXING = "Misindexing"
+    ENDIANNESS_MISMATCH = "Endianness Mismatch"
+    FAILURE_TO_UPDATE = "Failure-to-Update"
+    DEADLOCK = "Deadlock"
+    PRODUCER_CONSUMER_MISMATCH = "Producer-Consumer Mismatch"
+    SIGNAL_ASYNCHRONY = "Signal Asynchrony"
+    USE_WITHOUT_VALID = "Use-Without-Valid"
+    PROTOCOL_VIOLATION = "Protocol Violation"
+    API_MISUSE = "API Misuse"
+    INCOMPLETE_IMPLEMENTATION = "Incomplete Implementation"
+    ERRONEOUS_EXPRESSION = "Erroneous Expression"
+
+    @property
+    def bug_class(self):
+        """The Table 1 class this subclass belongs to."""
+        return _SUBCLASS_TO_CLASS[self]
+
+
+_SUBCLASS_TO_CLASS = {
+    BugSubclass.BUFFER_OVERFLOW: BugClass.DATA_MIS_ACCESS,
+    BugSubclass.BIT_TRUNCATION: BugClass.DATA_MIS_ACCESS,
+    BugSubclass.MISINDEXING: BugClass.DATA_MIS_ACCESS,
+    BugSubclass.ENDIANNESS_MISMATCH: BugClass.DATA_MIS_ACCESS,
+    BugSubclass.FAILURE_TO_UPDATE: BugClass.DATA_MIS_ACCESS,
+    BugSubclass.DEADLOCK: BugClass.COMMUNICATION,
+    BugSubclass.PRODUCER_CONSUMER_MISMATCH: BugClass.COMMUNICATION,
+    BugSubclass.SIGNAL_ASYNCHRONY: BugClass.COMMUNICATION,
+    BugSubclass.USE_WITHOUT_VALID: BugClass.COMMUNICATION,
+    BugSubclass.PROTOCOL_VIOLATION: BugClass.SEMANTIC,
+    BugSubclass.API_MISUSE: BugClass.SEMANTIC,
+    BugSubclass.INCOMPLETE_IMPLEMENTATION: BugClass.SEMANTIC,
+    BugSubclass.ERRONEOUS_EXPRESSION: BugClass.SEMANTIC,
+}
+
+
+class Symptom(enum.Enum):
+    """Observable symptoms (Table 2 columns)."""
+
+    STUCK = "Stuck"
+    LOSS = "Loss"
+    INCORRECT = "Incor."
+    EXTERNAL = "Ext."
+
+
+class Tool(enum.Enum):
+    """The five debugging tools (Table 2 columns)."""
+
+    SIGNALCAT = "SC"
+    FSM_MONITOR = "FSM"
+    STATISTICS_MONITOR = "Stat."
+    DEPENDENCY_MONITOR = "Dep."
+    LOSSCHECK = "LC"
+
+
+class Platform(enum.Enum):
+    """Target platform (Table 2); decides the Figure 2/3 grouping."""
+
+    HARP = "HARP"
+    XILINX = "Xilinx"
+    GENERIC = "Generic"
+
+
+@dataclass
+class LossCheckSpec:
+    """How LossCheck is configured for a loss bug (§6.3)."""
+
+    source: str
+    sink: str
+    source_valid: Optional[str]
+    #: Names of root-cause locations an analysis should report.
+    expected_locations: tuple
+    #: Whether the paper applied the ground-truth FP filtering (§4.5.3).
+    uses_filtering: bool = True
+    #: Locations the paper reports as false positives for this bug.
+    expected_false_positives: tuple = ()
+    #: True for the documented mis-filtered false negative (D11).
+    expected_false_negative: bool = False
+
+
+@dataclass
+class BugSpec:
+    """One Table 2 entry."""
+
+    bug_id: str
+    subclass: BugSubclass
+    application: str
+    platform: Platform
+    symptoms: frozenset
+    helpful_tools: frozenset
+    design_file: str
+    top: str
+    fixed_top: str
+    root_cause: str
+    fix: str
+    #: Registers a human identifies as FSM state variables (for §6.3's
+    #: 32-FSM detection accuracy experiment).
+    manual_fsms: tuple = ()
+    #: The subset of manual_fsms the pattern heuristics cannot see
+    #: (two-process FSMs; the paper's 5 false negatives).
+    undetectable_fsms: tuple = ()
+    #: Human-readable state names for FSM Monitor output.
+    state_names: dict = field(default_factory=dict)
+    losscheck: Optional[LossCheckSpec] = None
+    #: Target clock frequency in MHz (§6.4: Optimus targets 400, SHA512
+    #: 400, all other designs 200).
+    target_mhz: int = 200
+
+    @property
+    def bug_class(self):
+        return self.subclass.bug_class
+
+
+def _tools(*names):
+    return frozenset(names)
+
+
+SPECS = {
+    "D1": BugSpec(
+        bug_id="D1",
+        subclass=BugSubclass.BUFFER_OVERFLOW,
+        application="RSD",
+        platform=Platform.HARP,
+        symptoms=frozenset({Symptom.STUCK, Symptom.LOSS}),
+        helpful_tools=_tools(
+            Tool.SIGNALCAT, Tool.FSM_MONITOR, Tool.STATISTICS_MONITOR,
+            Tool.LOSSCHECK,
+        ),
+        design_file="d01_rsd.v",
+        top="rsd_decoder",
+        fixed_top="rsd_decoder_fixed",
+        root_cause="symbol buffer holds 14 entries but codewords reach 15; "
+        "the parity-symbol write is dropped (non-power-of-two overflow)",
+        fix="size the buffer for the maximum codeword",
+        manual_fsms=("rd_state", "dc_state"),
+        state_names={
+            "rd_state": {0: "RD_IDLE", 1: "RD_DATA", 2: "RD_FINISH"},
+            "dc_state": {
+                0: "DC_WAIT", 1: "DC_CHECK", 2: "DC_JUDGE",
+                3: "DC_EMIT", 4: "DC_DONE", 5: "DC_ERROR",
+            },
+        },
+        losscheck=LossCheckSpec(
+            source="in_data",
+            sink="out_data",
+            source_valid="in_valid",
+            expected_locations=("symbols",),
+            uses_filtering=True,
+            expected_false_positives=("in_reg",),
+        ),
+    ),
+    "D2": BugSpec(
+        bug_id="D2",
+        subclass=BugSubclass.BUFFER_OVERFLOW,
+        application="Grayscale",
+        platform=Platform.HARP,
+        symptoms=frozenset({Symptom.STUCK, Symptom.LOSS}),
+        helpful_tools=_tools(
+            Tool.SIGNALCAT, Tool.FSM_MONITOR, Tool.STATISTICS_MONITOR,
+            Tool.LOSSCHECK,
+        ),
+        design_file="d02_grayscale.v",
+        top="grayscale",
+        fixed_top="grayscale_fixed",
+        root_cause="the output FIFO (8 entries) overflows under a full-rate "
+        "read burst against a half-rate drain; overflowing pixels are dropped",
+        fix="size the FIFO for the largest burst (or throttle the reader)",
+        manual_fsms=("rd_state", "wr_state"),
+        state_names={
+            "rd_state": {0: "RD_IDLE", 1: "RD_REQ", 2: "RD_FINISH"},
+            "wr_state": {0: "WR_IDLE", 1: "WR_DATA", 2: "WR_FINISH"},
+        },
+        losscheck=LossCheckSpec(
+            source="rd_rsp_data",
+            sink="wr_data",
+            source_valid="rd_rsp_valid",
+            expected_locations=("out_fifo.data", "gray"),
+            uses_filtering=True,
+        ),
+    ),
+    "D3": BugSpec(
+        bug_id="D3",
+        subclass=BugSubclass.BUFFER_OVERFLOW,
+        application="Optimus",
+        platform=Platform.HARP,
+        symptoms=frozenset({Symptom.STUCK, Symptom.LOSS}),
+        helpful_tools=_tools(
+            Tool.SIGNALCAT, Tool.FSM_MONITOR, Tool.STATISTICS_MONITOR,
+            Tool.DEPENDENCY_MONITOR, Tool.LOSSCHECK,
+        ),
+        design_file="d03_optimus.v",
+        top="optimus_mmio",
+        fixed_top="optimus_mmio_fixed",
+        root_cause="the 8-entry reply ring is indexed by a free-running "
+        "4-bit pointer with no occupancy check; on overflow the index high "
+        "bit is truncated and unread replies are overwritten",
+        fix="assert rsp_ready backpressure while the ring is full",
+        manual_fsms=("disp_state", "fwd_state"),
+        undetectable_fsms=("fwd_state",),
+        state_names={
+            "disp_state": {0: "DISP_IDLE", 1: "DISP_FORWARD", 2: "DISP_WAIT"},
+        },
+        losscheck=LossCheckSpec(
+            source="rsp_data",
+            sink="poll_data",
+            source_valid="rsp_valid",
+            expected_locations=("ring",),
+            uses_filtering=True,
+        ),
+        target_mhz=400,
+    ),
+    "D4": BugSpec(
+        bug_id="D4",
+        subclass=BugSubclass.BUFFER_OVERFLOW,
+        application="Frame FIFO",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.LOSS}),
+        helpful_tools=_tools(
+            Tool.SIGNALCAT, Tool.STATISTICS_MONITOR,
+            Tool.DEPENDENCY_MONITOR, Tool.LOSSCHECK,
+        ),
+        design_file="d04_frame_fifo.v",
+        top="frame_fifo",
+        fixed_top="frame_fifo_fixed",
+        root_cause="frames longer than the 16-entry ring wrap the write "
+        "pointer (index truncation) and overwrite the frame's own head",
+        fix="detect the overflow and drop oversized frames whole",
+        manual_fsms=("wr_state",),
+        state_names={"wr_state": {0: "WR_FRAME", 1: "WR_COMMIT"}},
+        losscheck=LossCheckSpec(
+            source="in_data",
+            sink="out_data",
+            source_valid="in_valid",
+            expected_locations=("mem",),
+            uses_filtering=False,
+        ),
+    ),
+    "D5": BugSpec(
+        bug_id="D5",
+        subclass=BugSubclass.BIT_TRUNCATION,
+        application="SHA512",
+        platform=Platform.HARP,
+        symptoms=frozenset({Symptom.INCORRECT, Symptom.EXTERNAL}),
+        helpful_tools=_tools(
+            Tool.SIGNALCAT, Tool.STATISTICS_MONITOR, Tool.DEPENDENCY_MONITOR,
+        ),
+        design_file="d05_sha512.v",
+        top="sha512",
+        fixed_top="sha512_fixed",
+        root_cause="line_idx <= 42'(byte_addr) >> 6 casts before shifting, "
+        "truncating address bits [47:42]",
+        fix="shift before the cast: 42'(byte_addr >> 6)",
+        manual_fsms=("ft_state", "hs_state"),
+        state_names={
+            "ft_state": {0: "FT_IDLE", 1: "FT_REQ", 2: "FT_WAIT", 3: "FT_DONE"},
+            "hs_state": {0: "HS_IDLE", 1: "HS_ROUND", 2: "HS_FLUSH"},
+        },
+        target_mhz=400,
+    ),
+    "D6": BugSpec(
+        bug_id="D6",
+        subclass=BugSubclass.BIT_TRUNCATION,
+        application="FFT",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.INCORRECT}),
+        helpful_tools=_tools(Tool.SIGNALCAT, Tool.DEPENDENCY_MONITOR),
+        design_file="d06_fft.v",
+        top="fft_butterfly",
+        fixed_top="fft_butterfly_fixed",
+        root_cause="the 13-bit butterfly sum is stored into a 12-bit "
+        "register, truncating the growth (carry) bit",
+        fix="widen the sum register to 13 bits",
+        manual_fsms=("bf_state",),
+        undetectable_fsms=("bf_state",),
+    ),
+    "D7": BugSpec(
+        bug_id="D7",
+        subclass=BugSubclass.MISINDEXING,
+        application="FADD",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.INCORRECT}),
+        helpful_tools=_tools(Tool.SIGNALCAT),
+        design_file="d07_fadd.v",
+        top="fadd",
+        fixed_top="fadd_fixed",
+        root_cause="the IEEE-754 fraction is extracted as bits [23:0] "
+        "instead of [22:0], pulling in an exponent bit",
+        fix="extract bits [22:0]",
+        manual_fsms=("fa_state",),
+        state_names={
+            "fa_state": {
+                0: "FA_IDLE", 1: "FA_ALIGN", 2: "FA_ADD",
+                3: "FA_NORM", 4: "FA_PACK",
+            },
+        },
+    ),
+    "D8": BugSpec(
+        bug_id="D8",
+        subclass=BugSubclass.MISINDEXING,
+        application="AXI-Stream Switch",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.INCORRECT}),
+        helpful_tools=_tools(Tool.SIGNALCAT),
+        design_file="d08_axis_switch.v",
+        top="axis_switch",
+        fixed_top="axis_switch_fixed",
+        root_cause="the destination port is read from header bits [7:4] "
+        "instead of [3:0]",
+        fix="index the low nibble",
+        manual_fsms=("sw_state",),
+        state_names={"sw_state": {0: "SW_HEADER", 1: "SW_PAYLOAD"}},
+    ),
+    "D9": BugSpec(
+        bug_id="D9",
+        subclass=BugSubclass.ENDIANNESS_MISMATCH,
+        application="SDSPI",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.INCORRECT}),
+        helpful_tools=_tools(Tool.SIGNALCAT),
+        design_file="d09_sdspi_endian.v",
+        top="sdspi_response",
+        fixed_top="sdspi_response_fixed",
+        root_cause="the response register is assembled little-endian but "
+        "handed to a big-endian checksum module",
+        fix="store the first (most significant) byte in the high half",
+        manual_fsms=("rs_state",),
+        state_names={
+            "rs_state": {0: "RS_FIRST", 1: "RS_SECOND", 2: "RS_CRC"},
+        },
+    ),
+    "D10": BugSpec(
+        bug_id="D10",
+        subclass=BugSubclass.FAILURE_TO_UPDATE,
+        application="SHA512",
+        platform=Platform.HARP,
+        symptoms=frozenset({Symptom.INCORRECT}),
+        helpful_tools=_tools(
+            Tool.SIGNALCAT, Tool.STATISTICS_MONITOR, Tool.DEPENDENCY_MONITOR,
+        ),
+        design_file="d10_sha512_reset.v",
+        top="sha512_multi",
+        fixed_top="sha512_multi_fixed",
+        root_cause="the digest accumulator is not re-seeded when a new "
+        "request starts; request N>1 folds into request N-1's digest",
+        fix="re-initialize the accumulator on start",
+        manual_fsms=("ft_state", "hs_state"),
+        state_names={
+            "ft_state": {0: "FT_IDLE", 1: "FT_REQ", 2: "FT_WAIT", 3: "FT_DONE"},
+            "hs_state": {0: "HS_IDLE", 1: "HS_ROUND", 2: "HS_FLUSH"},
+        },
+        target_mhz=400,
+    ),
+    "D11": BugSpec(
+        bug_id="D11",
+        subclass=BugSubclass.FAILURE_TO_UPDATE,
+        application="Frame FIFO",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.LOSS}),
+        helpful_tools=_tools(Tool.SIGNALCAT, Tool.STATISTICS_MONITOR),
+        design_file="d11_frame_fifo_drop.v",
+        top="frame_fifo_drop",
+        fixed_top="frame_fifo_drop_fixed",
+        root_cause="the dropping flag set by an aborted frame is never "
+        "cleared at that frame's end, so later good frames are dropped too",
+        fix="clear the flag when the aborted frame's last word passes",
+        manual_fsms=("wr_state", "dropping"),
+        state_names={
+            "wr_state": {0: "WR_FRAME", 1: "WR_COMMIT"},
+            "dropping": {0: "DP_PASS", 1: "DP_DROP"},
+        },
+        losscheck=LossCheckSpec(
+            source="in_data",
+            sink="out_data",
+            source_valid="in_valid",
+            expected_locations=("word_stage",),
+            uses_filtering=True,
+            expected_false_negative=True,
+        ),
+    ),
+    "D12": BugSpec(
+        bug_id="D12",
+        subclass=BugSubclass.FAILURE_TO_UPDATE,
+        application="Frame FIFO",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.INCORRECT}),
+        helpful_tools=_tools(Tool.SIGNALCAT, Tool.DEPENDENCY_MONITOR),
+        design_file="d12_frame_fifo_len.v",
+        top="frame_fifo_len",
+        fixed_top="frame_fifo_len_fixed",
+        root_cause="the frame-length counter is never cleared on commit; "
+        "every frame after the first reports a cumulative length",
+        fix="zero the counter when the frame commits",
+        manual_fsms=("wr_state",),
+        state_names={"wr_state": {0: "WR_FRAME", 1: "WR_COMMIT"}},
+    ),
+    "D13": BugSpec(
+        bug_id="D13",
+        subclass=BugSubclass.FAILURE_TO_UPDATE,
+        application="Frame Length Measurer",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.INCORRECT}),
+        helpful_tools=_tools(
+            Tool.SIGNALCAT, Tool.STATISTICS_MONITOR, Tool.DEPENDENCY_MONITOR,
+        ),
+        design_file="d13_frame_len.v",
+        top="frame_len",
+        fixed_top="frame_len_fixed",
+        root_cause="the word counter only restarts during idle gap cycles; "
+        "back-to-back frames accumulate",
+        fix="load the counter with 1 on each frame's first word",
+        manual_fsms=("fl_state", "mt_state"),
+        state_names={
+            "fl_state": {0: "FL_IDLE", 1: "FL_FRAME"},
+            "mt_state": {0: "MT_RUN", 1: "MT_HOLD"},
+        },
+    ),
+    "C1": BugSpec(
+        bug_id="C1",
+        subclass=BugSubclass.DEADLOCK,
+        application="SDSPI",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.STUCK}),
+        helpful_tools=_tools(
+            Tool.SIGNALCAT, Tool.FSM_MONITOR, Tool.DEPENDENCY_MONITOR,
+        ),
+        design_file="c01_sdspi_deadlock.v",
+        top="sdspi_cmd",
+        fixed_top="sdspi_cmd_fixed",
+        root_cause="cmd_accept waits for resp_ready while resp_ready waits "
+        "for cmd_accept -- a circular control dependency, both reset to 0",
+        fix="latch the card response unconditionally, breaking the cycle",
+        manual_fsms=("cm_state", "ru_state"),
+        undetectable_fsms=("ru_state",),
+        state_names={
+            "cm_state": {0: "CM_IDLE", 1: "CM_SEND", 2: "CM_WAIT", 3: "CM_DONE"},
+        },
+    ),
+    "C2": BugSpec(
+        bug_id="C2",
+        subclass=BugSubclass.PRODUCER_CONSUMER_MISMATCH,
+        application="Optimus",
+        platform=Platform.HARP,
+        symptoms=frozenset({Symptom.STUCK, Symptom.LOSS}),
+        helpful_tools=_tools(
+            Tool.SIGNALCAT, Tool.FSM_MONITOR, Tool.STATISTICS_MONITOR,
+            Tool.DEPENDENCY_MONITOR, Tool.LOSSCHECK,
+        ),
+        design_file="c02_optimus_pcm.v",
+        top="optimus_merge",
+        fixed_top="optimus_merge_fixed",
+        root_cause="two producers can be valid in one cycle but the "
+        "priority merge consumes one; the loser's staging register is "
+        "overwritten by its next message",
+        fix="backpressure producer B while its staging register is occupied",
+        manual_fsms=("mg_state", "sc_state"),
+        undetectable_fsms=("sc_state",),
+        state_names={"mg_state": {0: "MG_RUN", 1: "MG_FLUSH"}},
+        losscheck=LossCheckSpec(
+            source="b_data",
+            sink="out_data",
+            source_valid="b_valid",
+            expected_locations=("b_buf",),
+            uses_filtering=True,
+        ),
+        target_mhz=400,
+    ),
+    "C3": BugSpec(
+        bug_id="C3",
+        subclass=BugSubclass.SIGNAL_ASYNCHRONY,
+        application="SDSPI",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.INCORRECT}),
+        helpful_tools=_tools(Tool.SIGNALCAT),
+        design_file="c03_sdspi_async.v",
+        top="sdspi_delay",
+        fixed_top="sdspi_delay_fixed",
+        root_cause="final_response is delayed one cycle through a buffer "
+        "but final_response_valid is asserted immediately on the request",
+        fix="delay the valid through the same stage as the data",
+        manual_fsms=("ck_state", "tm_state"),
+        undetectable_fsms=("tm_state",),
+        state_names={"ck_state": {0: "CK_IDLE", 1: "CK_BUSY"}},
+    ),
+    "C4": BugSpec(
+        bug_id="C4",
+        subclass=BugSubclass.SIGNAL_ASYNCHRONY,
+        application="AXI-Stream FIFO",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.LOSS}),
+        helpful_tools=_tools(Tool.SIGNALCAT, Tool.LOSSCHECK),
+        design_file="c04_axis_fifo_async.v",
+        top="axis_fifo_out",
+        fixed_top="axis_fifo_out_fixed",
+        root_cause="the output stage register is reloaded on every queue "
+        "pop regardless of the tvalid/tready handshake; staged words are "
+        "overwritten under backpressure",
+        fix="pop only when the stage is empty or being consumed",
+        manual_fsms=("os_state",),
+        state_names={"os_state": {0: "OS_EMPTY", 1: "OS_HELD"}},
+        losscheck=LossCheckSpec(
+            source="in_data",
+            sink="last_taken",
+            source_valid="in_valid",
+            expected_locations=("tdata",),
+            uses_filtering=False,
+        ),
+    ),
+    "S1": BugSpec(
+        bug_id="S1",
+        subclass=BugSubclass.PROTOCOL_VIOLATION,
+        application="AXI-Lite Demo",
+        platform=Platform.XILINX,
+        symptoms=frozenset({Symptom.EXTERNAL}),
+        helpful_tools=_tools(Tool.SIGNALCAT),
+        design_file="s01_axilite.v",
+        top="axilite_regs",
+        fixed_top="axilite_regs_fixed",
+        root_cause="BVALID is deasserted after one cycle even when BREADY "
+        "is low, violating AXI's valid-until-ready rule",
+        fix="hold BVALID until the BREADY handshake completes",
+        manual_fsms=("wr_state", "rd_state"),
+        state_names={
+            "wr_state": {0: "WR_IDLE", 1: "WR_RESP"},
+            "rd_state": {0: "RD_IDLE", 1: "RD_DATA"},
+        },
+    ),
+    "S2": BugSpec(
+        bug_id="S2",
+        subclass=BugSubclass.PROTOCOL_VIOLATION,
+        application="AXI-Stream Demo",
+        platform=Platform.XILINX,
+        symptoms=frozenset({Symptom.EXTERNAL}),
+        helpful_tools=_tools(Tool.SIGNALCAT),
+        design_file="s02_axis_master.v",
+        top="axis_master",
+        fixed_top="axis_master_fixed",
+        root_cause="TVALID is deasserted (and the word advanced) without "
+        "waiting for TREADY, violating AXI-Stream's valid-until-ready rule",
+        fix="hold TVALID/TDATA until TREADY completes the beat",
+        manual_fsms=("gn_state",),
+        state_names={"gn_state": {0: "GN_IDLE", 1: "GN_SEND", 2: "GN_DONE"}},
+    ),
+    "S3": BugSpec(
+        bug_id="S3",
+        subclass=BugSubclass.INCOMPLETE_IMPLEMENTATION,
+        application="AXI-Stream Adapter",
+        platform=Platform.GENERIC,
+        symptoms=frozenset({Symptom.INCORRECT}),
+        helpful_tools=_tools(Tool.SIGNALCAT),
+        design_file="s03_axis_adapter.v",
+        top="axis_adapter",
+        fixed_top="axis_adapter_fixed",
+        root_cause="the tkeep == 2'b01 final beat of an odd-length frame is "
+        "not handled; a stale high byte is emitted carrying tlast",
+        fix="honour tkeep for the last beat",
+        manual_fsms=("ad_state", "ld_state"),
+        state_names={
+            "ad_state": {0: "AD_LOW", 1: "AD_HIGH"},
+            "ld_state": {0: "LD_EMPTY", 1: "LD_FULL"},
+        },
+    ),
+}
+
+#: Table 2 row order.
+BUG_IDS = [
+    "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10", "D11",
+    "D12", "D13", "C1", "C2", "C3", "C4", "S1", "S2", "S3",
+]
+
+#: Figure 2 grouping: HARP designs on top, the rest on KC705 (§6.4).
+HARP_BUGS = [b for b in BUG_IDS if SPECS[b].platform is Platform.HARP]
+KC705_BUGS = [b for b in BUG_IDS if SPECS[b].platform is not Platform.HARP]
+
+#: Figure 3 grouping: the LossCheck-localizable loss bugs per platform.
+FIGURE3_HARP = ["D1", "D2", "D3", "C2"]
+FIGURE3_KC705 = ["D4", "C4"]

@@ -1,0 +1,118 @@
+"""External monitors: models of the checks an FPGA shell performs.
+
+Several Table 2 bugs have the "Ext." symptom — an error reported by an
+external monitor such as the FPGA shell's address-translation logic or
+an AXI protocol checker. These Python classes watch simulator signals
+every cycle and collect violations, standing in for those monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Violation:
+    """One external-monitor error."""
+
+    cycle: int
+    message: str
+
+
+class ExternalMonitor:
+    """Base class: call :meth:`check` once per cycle after stepping."""
+
+    def __init__(self):
+        self.violations = []
+
+    @property
+    def error(self):
+        """True if the monitor has flagged at least one violation."""
+        return bool(self.violations)
+
+    def report(self, cycle, message):
+        self.violations.append(Violation(cycle=cycle, message=message))
+
+    def check(self, sim):
+        raise NotImplementedError
+
+
+class ShellAddressMonitor(ExternalMonitor):
+    """The FPGA shell's address-translation check (HARP).
+
+    Flags any memory request outside the buffer the host mapped for the
+    accelerator — the "page fault reported by an FPGA shell" symptom the
+    paper gives for bit truncation bugs (§3.2.2).
+    """
+
+    def __init__(self, req_signal, addr_signal, low, high):
+        super().__init__()
+        self.req_signal = req_signal
+        self.addr_signal = addr_signal
+        self.low = low
+        self.high = high
+
+    def check(self, sim):
+        if sim[self.req_signal]:
+            addr = sim[self.addr_signal]
+            if not (self.low <= addr < self.high):
+                self.report(
+                    sim.cycle,
+                    "address translation fault: access to %#x outside "
+                    "[%#x, %#x)" % (addr, self.low, self.high),
+                )
+
+
+class AxiLiteWriteChecker(ExternalMonitor):
+    """AXI4-Lite B-channel rule: BVALID must hold until BREADY."""
+
+    def __init__(self, bvalid="bvalid", bready="bready"):
+        super().__init__()
+        self.bvalid = bvalid
+        self.bready = bready
+        self._prev_valid = 0
+        self._prev_ready = 0
+
+    def check(self, sim):
+        valid = sim[self.bvalid]
+        ready = sim[self.bready]
+        if self._prev_valid and not self._prev_ready and not valid:
+            self.report(
+                sim.cycle,
+                "protocol violation: BVALID deasserted before BREADY "
+                "handshake completed",
+            )
+        self._prev_valid = valid
+        self._prev_ready = ready
+
+
+class AxiStreamChecker(ExternalMonitor):
+    """AXI-Stream rule: TVALID (and TDATA) hold until TREADY."""
+
+    def __init__(self, tvalid="tvalid", tready="tready", tdata="tdata"):
+        super().__init__()
+        self.tvalid = tvalid
+        self.tready = tready
+        self.tdata = tdata
+        self._prev = None
+
+    def check(self, sim):
+        valid = sim[self.tvalid]
+        ready = sim[self.tready]
+        data = sim[self.tdata]
+        if self._prev is not None:
+            prev_valid, prev_ready, prev_data = self._prev
+            if prev_valid and not prev_ready:
+                if not valid:
+                    self.report(
+                        sim.cycle,
+                        "protocol violation: TVALID deasserted before "
+                        "TREADY handshake completed",
+                    )
+                elif data != prev_data:
+                    self.report(
+                        sim.cycle,
+                        "protocol violation: TDATA changed while TVALID "
+                        "was waiting for TREADY",
+                    )
+        self._prev = (valid, ready, data)

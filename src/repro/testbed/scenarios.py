@@ -1,0 +1,939 @@
+"""Push-button reproduction scenarios for the 20 testbed bugs.
+
+Each scenario drives one design (buggy or fixed — the same stimulus is
+applied to both) through a :class:`~repro.sim.simulator.Simulator` and
+returns an :class:`Observation` recording which Table 2 symptoms were
+observed: Stuck, Loss, Incor. (incorrect output) and Ext. (external
+monitor error).
+
+``GROUND_TRUTH`` holds the "shipped test program" for each loss bug —
+a stimulus that passes even on the buggy design — which LossCheck uses
+for false-positive filtering (§4.5.3).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .metadata import Symptom
+from .monitors import (
+    AxiLiteWriteChecker,
+    AxiStreamChecker,
+    ShellAddressMonitor,
+)
+
+
+@dataclass
+class Observation:
+    """Symptoms observed while reproducing a bug."""
+
+    stuck: bool = False
+    loss: bool = False
+    incorrect: bool = False
+    external: bool = False
+    details: dict = field(default_factory=dict)
+
+    @property
+    def symptoms(self):
+        """The set of observed :class:`Symptom` values."""
+        result = set()
+        if self.stuck:
+            result.add(Symptom.STUCK)
+        if self.loss:
+            result.add(Symptom.LOSS)
+        if self.incorrect:
+            result.add(Symptom.INCORRECT)
+        if self.external:
+            result.add(Symptom.EXTERNAL)
+        return frozenset(result)
+
+    @property
+    def failed(self):
+        """True if any symptom was observed."""
+        return bool(self.symptoms)
+
+
+def _reset(sim, cycles=2):
+    sim["rst"] = 1
+    sim.step(cycles)
+    sim["rst"] = 0
+    sim.step(1)
+
+
+def _float_bits(value):
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _bits_float(bits):
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+# ---------------------------------------------------------------------------
+# D1 -- RSD buffer overflow
+# ---------------------------------------------------------------------------
+
+
+def _rsd_codeword(length):
+    """Header + data symbols + XOR parity for an N-symbol codeword."""
+    data = [(17 * i + 3) & 0xFF for i in range(length - 1)]
+    parity = 0
+    for value in data:
+        parity ^= value
+    return [length] + data + [parity], data
+
+
+def _rsd_drive(sim, length, extra_stream=False, max_cycles=300):
+    _reset(sim)
+    words, data = _rsd_codeword(length)
+    outputs = []
+
+    def pump(word):
+        sim["in_data"] = word
+        sim["in_valid"] = 1
+        sim.step()
+        if sim["out_valid"]:
+            outputs.append(sim["out_data"])
+
+    for word in words:
+        pump(word)
+    sim["in_valid"] = 0
+    idle = 0
+    next_words = _rsd_codeword(length)[0] if extra_stream else []
+    position = 0
+    while not sim["done"] and idle < max_cycles:
+        if extra_stream and position < len(next_words):
+            pump(next_words[position])
+            position += 1
+        else:
+            sim["in_valid"] = 0
+            sim.step()
+            if sim["out_valid"]:
+                outputs.append(sim["out_data"])
+        idle += 1
+    return outputs, data
+
+
+def scenario_d1(sim):
+    """Full-length codeword: overflows the 14-entry buffer."""
+    outputs, data = _rsd_drive(sim, length=15, extra_stream=True)
+    stuck = not sim["done"]
+    return Observation(
+        stuck=stuck,
+        loss=len(outputs) < len(data),
+        incorrect=outputs != data,
+        details={
+            "outputs": outputs,
+            "expected": data,
+            "error_flag": sim["error"],
+        },
+    )
+
+
+def ground_truth_d1(sim):
+    """The shipped test: a short codeword, which decodes fine."""
+    _rsd_drive(sim, length=8)
+
+
+# ---------------------------------------------------------------------------
+# D2 -- Grayscale FIFO overflow (the case-study bug)
+# ---------------------------------------------------------------------------
+
+
+def _grayscale_pixels(count):
+    # Component values kept small so the 8-bit luma sum cannot overflow.
+    return [((3 * i + 11) << 16 | (2 * i + 3) << 8 | (i + 1)) & 0xFFFFFF
+            for i in range(count)]
+
+
+def _gray_reference(pixel):
+    r = (pixel >> 16) & 0xFF
+    g = (pixel >> 8) & 0xFF
+    b = pixel & 0xFF
+    return ((r + (g << 1) + b) >> 2) & 0xFF
+
+
+def _grayscale_drive(sim, num_pixels, max_cycles=400):
+    _reset(sim)
+    pixels = _grayscale_pixels(num_pixels)
+    writes = {}
+    pending = []
+    sim["num_pixels"] = num_pixels
+    sim["start"] = 1
+    sim.step()
+    sim["start"] = 0
+    for _ in range(max_cycles):
+        # Host read channel: one-cycle response latency.
+        if pending:
+            addr = pending.pop(0)
+            sim["rd_rsp_data"] = pixels[addr]
+            sim["rd_rsp_valid"] = 1
+        else:
+            sim["rd_rsp_valid"] = 0
+        sim["wr_ack"] = 1
+        sim.step()
+        if sim["rd_req"]:
+            pending.append(sim["rd_addr"])
+        if sim["wr_req"]:
+            writes[sim["wr_addr"]] = sim["wr_data"]
+        if sim["done"]:
+            break
+    return pixels, writes
+
+
+def scenario_d2(sim):
+    """16-pixel image: the read burst overruns the 8-entry FIFO."""
+    pixels, writes = _grayscale_drive(sim, num_pixels=16)
+    expected = {i: _gray_reference(p) for i, p in enumerate(pixels)}
+    return Observation(
+        stuck=not sim["done"],
+        loss=len(writes) < len(pixels),
+        incorrect=writes != expected,
+        details={
+            "writes": len(writes),
+            "expected_writes": len(pixels),
+            "rd_state": sim["rd_state"],
+            "wr_state": sim["wr_state"],
+        },
+    )
+
+
+def ground_truth_d2(sim):
+    """The shipped test: a 4-pixel image, which never fills the FIFO."""
+    _grayscale_drive(sim, num_pixels=4)
+
+
+# ---------------------------------------------------------------------------
+# D3 -- Optimus reply-ring overflow
+# ---------------------------------------------------------------------------
+
+
+def _optimus_drive(sim, replies, poll_every, max_cycles=400):
+    _reset(sim)
+    received = []
+    queue = list(replies)
+    cycle = 0
+    while cycle < max_cycles and (queue or len(received) < len(replies)):
+        if queue and sim["rsp_ready"]:
+            sim["rsp_data"] = queue.pop(0)
+            sim["rsp_valid"] = 1
+        else:
+            sim["rsp_valid"] = 0
+        sim["poll"] = 1 if cycle % poll_every == poll_every - 1 else 0
+        sim.step()
+        if sim["poll_valid"]:
+            received.append(sim["poll_data"])
+        cycle += 1
+    return received
+
+
+def scenario_d3(sim):
+    """12 back-to-back replies against a slow (1-in-8 cycles) poller."""
+    replies = [0x100 + i for i in range(12)]
+    received = _optimus_drive(sim, replies, poll_every=8)
+    missing = [tag for tag in replies if tag not in received]
+    return Observation(
+        stuck=bool(missing),  # the guest waits forever for missing tags
+        loss=bool(missing),
+        details={"missing": missing, "received": received},
+    )
+
+
+def ground_truth_d3(sim):
+    """The shipped test: 4 replies with a prompt poller."""
+    _optimus_drive(sim, [0x200 + i for i in range(4)], poll_every=2)
+
+
+# ---------------------------------------------------------------------------
+# D4 -- Frame FIFO overflow
+# ---------------------------------------------------------------------------
+
+
+def _frame_fifo_drive(sim, frame, max_cycles=200):
+    _reset(sim)
+    received = []
+    sim["out_ready"] = 1
+    for position, word in enumerate(frame):
+        sim["in_data"] = word
+        sim["in_last"] = 1 if position == len(frame) - 1 else 0
+        sim["in_valid"] = 1
+        sim.step()
+        if sim["out_valid"]:
+            received.append(sim["out_data"])
+    sim["in_valid"] = 0
+    sim["in_last"] = 0
+    for _ in range(max_cycles):
+        sim.step()
+        if sim["out_valid"]:
+            received.append(sim["out_data"])
+        if len(received) >= len(frame):
+            break
+    return received
+
+
+def scenario_d4(sim):
+    """A 20-word frame against a 16-entry ring: the head is overwritten."""
+    frame = [100 + i for i in range(20)]
+    received = _frame_fifo_drive(sim, frame)
+    too_big = sim["frame_too_big"]
+    corrupted = bool(received) and received != frame
+    silently_lost = (not too_big) and (corrupted or len(received) < len(frame))
+    return Observation(
+        loss=silently_lost,
+        details={
+            "sent": frame,
+            "received": received,
+            "frame_too_big": too_big,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# D5 -- SHA512 cast-before-shift truncation
+# ---------------------------------------------------------------------------
+
+_SHA_SEED = 0x6A09E667F3BCC908
+_MASK64 = (1 << 64) - 1
+
+
+def _ror64(value, amount):
+    return ((value >> amount) | (value << (64 - amount))) & _MASK64
+
+
+def _sha_reference(blocks):
+    acc = _SHA_SEED
+    for block in blocks:
+        acc = (acc + block) & _MASK64
+        for _ in range(4):
+            acc = _ror64(acc, 1) ^ _ror64(acc, 8)
+    return acc
+
+
+def _sha_blocks(count):
+    return [(i * 0x9E3779B97F4A7C15 + 0x1234567) & _MASK64 for i in range(count)]
+
+
+def _sha512_drive(sim, shell, byte_addr=None, base_line=None, num_blocks=3,
+                  max_cycles=400, reset=True):
+    if reset:
+        _reset(sim)
+    blocks = _sha_blocks(num_blocks)
+    if byte_addr is not None:
+        sim["byte_addr"] = byte_addr
+        base = byte_addr >> 6
+    else:
+        sim["base_line"] = base_line
+        base = base_line
+    memory = {base + i: blocks[i] for i in range(num_blocks)}
+    sim["num_blocks"] = num_blocks
+    sim["start"] = 1
+    sim.step()
+    sim["start"] = 0
+    latency = []
+    for _ in range(max_cycles):
+        sim["rd_rsp_valid"] = 0
+        if latency and latency[0][0] == 0:
+            _, line = latency.pop(0)
+            sim["rd_rsp_data"] = memory.get(line, 0xDEADBEEFDEADBEEF)
+            sim["rd_rsp_valid"] = 1
+        latency = [(t - 1, line) for t, line in latency]
+        sim.step()
+        if shell is not None:
+            shell.check(sim)
+        if sim["rd_req"]:
+            latency.append((6, sim["rd_line"]))
+        if sim["done"]:
+            break
+    return blocks
+
+
+def scenario_d5(sim):
+    """A message buffer above 4 TiB: bits [47:42] matter."""
+    byte_addr = (1 << 46) | 0x4000
+    base = byte_addr >> 6
+    shell = ShellAddressMonitor("rd_req", "rd_line", base, base + 3)
+    blocks = _sha512_drive(sim, shell, byte_addr=byte_addr)
+    expected = _sha_reference(blocks)
+    return Observation(
+        stuck=not sim["done"],
+        incorrect=sim["digest"] != expected,
+        external=shell.error,
+        details={
+            "digest": sim["digest"],
+            "expected": expected,
+            "violations": [str(v.message) for v in shell.violations[:3]],
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# D6 -- FFT butterfly truncation
+# ---------------------------------------------------------------------------
+
+
+def scenario_d6(sim):
+    """Large-amplitude pair: the sum needs its 13th bit."""
+    _reset(sim)
+    pairs = [(100, 40), (3000, 2000), (2500, 2200)]
+    outputs = []
+    for a, b in pairs:
+        sim["in_a"] = a
+        sim["in_b"] = b
+        sim["in_valid"] = 1
+        sim.step()
+        sim["in_valid"] = 0
+        for _ in range(4):
+            sim.step()
+            if sim["out_valid"]:
+                outputs.append(sim["out_data"])
+    expected = []
+    for a, b in pairs:
+        expected.extend([a + b, a - b])
+    return Observation(
+        incorrect=outputs != expected,
+        details={"outputs": outputs, "expected": expected},
+    )
+
+
+# ---------------------------------------------------------------------------
+# D7 -- FADD misindexing
+# ---------------------------------------------------------------------------
+
+
+def scenario_d7(sim):
+    """Exact-sum vectors; odd exponents expose the stray bit."""
+    _reset(sim)
+    vectors = [(1.5, 2.25), (1.0, 1.0), (2.5, 0.25)]
+    results = []
+    for a, b in vectors:
+        sim["op_a"] = _float_bits(a)
+        sim["op_b"] = _float_bits(b)
+        sim["start"] = 1
+        sim.step()
+        sim["start"] = 0
+        for _ in range(10):
+            sim.step()
+            if sim["done"]:
+                break
+        results.append(sim["result"])
+    expected = [_float_bits(a + b) for a, b in vectors]
+    return Observation(
+        incorrect=results != expected,
+        details={
+            "results": [_bits_float(r) for r in results],
+            "expected": [a + b for a, b in vectors],
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# D8 -- AXI-Stream switch misindexing
+# ---------------------------------------------------------------------------
+
+
+def scenario_d8(sim):
+    """One packet for port 1, one for port 0."""
+    _reset(sim)
+    packets = [(1, [0xA1, 0xA2]), (0, [0xB1, 0xB2])]
+    out0 = []
+    out1 = []
+
+    def pump(word, last):
+        sim["in_data"] = word
+        sim["in_last"] = last
+        sim["in_valid"] = 1
+        sim.step()
+        if sim["out0_valid"]:
+            out0.append(sim["out0_data"])
+        if sim["out1_valid"]:
+            out1.append(sim["out1_data"])
+
+    for dest, payload in packets:
+        pump(dest, 0)
+        for position, word in enumerate(payload):
+            pump(word, 1 if position == len(payload) - 1 else 0)
+    sim["in_valid"] = 0
+    for _ in range(4):
+        sim.step()
+        if sim["out0_valid"]:
+            out0.append(sim["out0_data"])
+        if sim["out1_valid"]:
+            out1.append(sim["out1_data"])
+    return Observation(
+        incorrect=(out0 != [0xB1, 0xB2]) or (out1 != [0xA1, 0xA2]),
+        details={"out0": out0, "out1": out1},
+    )
+
+
+# ---------------------------------------------------------------------------
+# D9 -- SDSPI endianness
+# ---------------------------------------------------------------------------
+
+
+def scenario_d9(sim):
+    """A 0x1234 response with its order-sensitive checksum."""
+    _reset(sim)
+    first, second = 0x12, 0x34
+    crc = ((first << 1) + second) & 0xFF
+    sim["crc_in"] = crc
+    for byte in (first, second, 0x00):
+        sim["byte_in"] = byte
+        sim["byte_valid"] = 1
+        sim.step()
+    sim["byte_valid"] = 0
+    sim.step()
+    return Observation(
+        incorrect=(sim["resp"] != 0x1234) or (not sim["crc_ok"]),
+        details={"resp": sim["resp"], "crc_ok": sim["crc_ok"]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# D10 -- SHA512 missing accumulator reset
+# ---------------------------------------------------------------------------
+
+
+def scenario_d10(sim):
+    """Two back-to-back hash requests; the second inherits state."""
+    _reset(sim)
+    digests = []
+    for request in range(2):
+        _sha512_drive(
+            sim,
+            shell=None,
+            base_line=0x100 * (request + 1),
+            num_blocks=3,
+            reset=request == 0,
+        )
+        digests.append(sim["digest"])
+    expected = _sha_reference(_sha_blocks(3))
+    return Observation(
+        stuck=not sim["done"],
+        incorrect=digests != [expected, expected],
+        details={"digests": digests, "expected": expected},
+    )
+
+
+# ---------------------------------------------------------------------------
+# D11 -- Frame FIFO sticky drop flag
+# ---------------------------------------------------------------------------
+
+
+def _frame_drop_drive(sim, frames, max_cycles=200):
+    """frames: list of (words, abort_position or None)."""
+    _reset(sim)
+    received = []
+    sim["out_ready"] = 1
+
+    def collect():
+        if sim["out_valid"]:
+            received.append(sim["out_data"])
+
+    for words, abort_position in frames:
+        for position, word in enumerate(words):
+            sim["in_data"] = word
+            sim["in_last"] = 1 if position == len(words) - 1 else 0
+            sim["in_abort"] = 1 if position == abort_position else 0
+            sim["in_valid"] = 1
+            sim.step()
+            collect()
+        sim["in_valid"] = 0
+        sim["in_abort"] = 0
+        sim["in_last"] = 0
+        sim.step(2)
+        collect()
+    for _ in range(max_cycles):
+        sim.step()
+        collect()
+        if not sim["out_valid"]:
+            break
+    return received
+
+
+def scenario_d11(sim):
+    """Good frame, aborted frame, good frame: the third must survive."""
+    frames = [
+        ([1, 2, 3], None),
+        ([4, 5, 6], 1),  # aborted mid-frame (intentional drop)
+        ([7, 8, 9], None),
+    ]
+    received = _frame_drop_drive(sim, frames)
+    return Observation(
+        loss=received != [1, 2, 3, 7, 8, 9],
+        details={"received": received},
+    )
+
+
+def ground_truth_d11(sim):
+    """The shipped test: one good and one aborted frame -- passes."""
+    _frame_drop_drive(sim, [([1, 2, 3], None), ([4, 5, 6], 1)])
+
+
+# ---------------------------------------------------------------------------
+# D12 -- Frame FIFO length header not reset
+# ---------------------------------------------------------------------------
+
+
+def scenario_d12(sim):
+    """Two frames; the second header must say 2, not 5."""
+    _reset(sim)
+    headers = []
+
+    def tick():
+        sim.step()
+        if sim["hdr_valid"]:
+            headers.append(sim["hdr_len"])
+
+    frames = [[1, 2, 3], [4, 5]]
+    for frame in frames:
+        for position, word in enumerate(frame):
+            sim["in_data"] = word
+            sim["in_last"] = 1 if position == len(frame) - 1 else 0
+            sim["in_valid"] = 1
+            tick()
+        sim["in_valid"] = 0
+        sim["in_last"] = 0
+        for _ in range(4):
+            tick()
+    return Observation(
+        incorrect=headers != [3, 2],
+        details={"headers": headers},
+    )
+
+
+# ---------------------------------------------------------------------------
+# D13 -- Frame length measurer (back-to-back frames)
+# ---------------------------------------------------------------------------
+
+
+def scenario_d13(sim):
+    """A 3-word frame immediately followed by a 2-word frame."""
+    _reset(sim)
+    lengths = []
+    stream = [
+        (1, 0), (2, 0), (3, 1),  # frame 1
+        (4, 0), (5, 1),          # frame 2, back-to-back
+    ]
+    for word, last in stream:
+        sim["in_data"] = word
+        sim["in_last"] = last
+        sim["in_valid"] = 1
+        sim.step()
+        if sim["len_valid"]:
+            lengths.append(sim["len_out"])
+    sim["in_valid"] = 0
+    for _ in range(3):
+        sim.step()
+        if sim["len_valid"]:
+            lengths.append(sim["len_out"])
+    return Observation(
+        incorrect=lengths != [3, 2],
+        details={"lengths": lengths, "frames_seen": sim["frames_seen"]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# C1 -- SDSPI deadlock
+# ---------------------------------------------------------------------------
+
+
+def scenario_c1(sim):
+    """One command; the card answers; the handshake must complete."""
+    _reset(sim)
+    sim["cmd"] = 0x40
+    sim["start"] = 1
+    sim.step()
+    sim["start"] = 0
+    for _ in range(100):
+        sim["card_valid"] = 1 if sim["cmd_sent"] else 0
+        sim["card_data"] = 0x5A
+        sim.step()
+        if sim["done"]:
+            break
+    return Observation(
+        stuck=not sim["done"],
+        incorrect=bool(sim["done"]) and sim["response"] != 0x5A,
+        details={"cm_state": sim["cm_state"], "done": sim["done"]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# C2 -- Optimus producer-consumer mismatch
+# ---------------------------------------------------------------------------
+
+
+def _merge_drive(sim, a_messages, b_events, max_cycles=120):
+    """b_events: list of (cycle, tag); sent when b_ready allows."""
+    _reset(sim)
+    received = []
+    b_queue = list(b_events)
+    a_queue = list(a_messages)
+    for cycle in range(max_cycles):
+        sim["a_valid"] = 0
+        sim["b_valid"] = 0
+        if a_queue:
+            sim["a_data"] = a_queue.pop(0)
+            sim["a_valid"] = 1
+        if b_queue and cycle >= b_queue[0][0] and sim["b_ready"]:
+            sim["b_data"] = b_queue.pop(0)[1]
+            sim["b_valid"] = 1
+        sim.step()
+        if sim["out_valid"]:
+            received.append(sim["out_data"])
+    return received
+
+
+def scenario_c2(sim):
+    """Six A completions streaming while two B timer events arrive."""
+    a_messages = [0x100 + i for i in range(6)]
+    b_events = [(2, 0x200), (4, 0x201)]
+    received = _merge_drive(sim, a_messages, b_events)
+    expected = set(a_messages) | {tag for _, tag in b_events}
+    missing = sorted(expected - set(received))
+    return Observation(
+        stuck=bool(missing),  # the guest waits for every promised message
+        loss=bool(missing),
+        details={"missing": missing, "received": received},
+    )
+
+
+def ground_truth_c2(sim):
+    """The shipped test: timer events with the accelerator idle."""
+    _merge_drive(sim, [], [(1, 0x300), (5, 0x301)])
+
+
+# ---------------------------------------------------------------------------
+# C3 -- SDSPI response valid/data skew
+# ---------------------------------------------------------------------------
+
+
+def scenario_c3(sim):
+    """Two requests; the host samples data when valid is high."""
+    _reset(sim)
+    samples = []
+    for value in (5, 9):
+        sim["input_data"] = value
+        sim["request"] = 1
+        sim.step()
+        sim["request"] = 0
+        for _ in range(6):
+            sim.step()
+            if sim["final_response_valid"]:
+                samples.append(sim["final_response"])
+                break
+    return Observation(
+        incorrect=samples != [6, 10],
+        details={"samples": samples, "expected": [6, 10]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# C4 -- AXI-Stream FIFO output stage overwrite
+# ---------------------------------------------------------------------------
+
+
+def _axis_fifo_drive(sim, words, stall_cycles, max_cycles=150):
+    _reset(sim)
+    received = []
+
+    def tick():
+        # A beat completes at an edge where tvalid && tready held
+        # BEFORE the edge — sample like the downstream flops do.
+        sim.settle()
+        beat = sim["tvalid"] and sim["tready"]
+        data = sim["tdata"]
+        sim.step()
+        if beat:
+            received.append(data)
+
+    for word in words:
+        sim["in_data"] = word
+        sim["in_valid"] = 1
+        tick()
+    sim["in_valid"] = 0
+    sim["tready"] = 0
+    for _ in range(stall_cycles):
+        tick()
+    sim["tready"] = 1
+    for _ in range(max_cycles):
+        tick()
+        if len(set(received)) >= len(words):
+            break
+    return received
+
+
+def scenario_c4(sim):
+    """Six words pushed while the consumer stalls for 12 cycles."""
+    words = [0x50 + i for i in range(6)]
+    received = _axis_fifo_drive(sim, words, stall_cycles=12)
+    missing = sorted(set(words) - set(received))
+    return Observation(
+        loss=bool(missing),
+        details={"missing": missing, "received": received},
+    )
+
+
+def ground_truth_c4(sim):
+    """The shipped test: no backpressure."""
+    _axis_fifo_drive(sim, [0x20, 0x21], stall_cycles=0)
+
+
+# ---------------------------------------------------------------------------
+# S1 -- AXI-Lite BVALID drop
+# ---------------------------------------------------------------------------
+
+
+def scenario_s1(sim):
+    """Two writes; the first response sees BREADY backpressure."""
+    _reset(sim)
+    checker = AxiLiteWriteChecker()
+    responses = 0
+
+    def tick():
+        # Sample the bus pre-edge, exactly like a hardware checker.
+        nonlocal responses
+        sim.settle()
+        checker.check(sim)
+        if sim["bvalid"] and sim["bready"]:
+            responses += 1
+            sim.step()
+            return True
+        sim.step()
+        return False
+
+    for index, (addr, data) in enumerate([(2, 0xAAAA), (3, 0xBBBB)]):
+        sim["awaddr"] = addr
+        sim["wdata"] = data
+        sim["awvalid"] = 1
+        sim["wvalid"] = 1
+        sim["bready"] = 0 if index == 0 else 1
+        tick()
+        sim["awvalid"] = 0
+        sim["wvalid"] = 0
+        for wait in range(8):
+            if wait >= 3:
+                sim["bready"] = 1
+            if tick():
+                break
+    # Read back address 2 to confirm the datapath.
+    sim["araddr"] = 2
+    sim["arvalid"] = 1
+    sim["rready"] = 1
+    sim.step()
+    sim["arvalid"] = 0
+    sim.step(2)
+    return Observation(
+        external=checker.error,
+        stuck=responses < 2,
+        details={
+            "responses": responses,
+            "violations": [v.message for v in checker.violations],
+            "readback": sim["rdata"],
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# S2 -- AXI-Stream master TVALID drop
+# ---------------------------------------------------------------------------
+
+
+def scenario_s2(sim):
+    """A 4-word burst against an alternating-ready consumer."""
+    _reset(sim)
+    checker = AxiStreamChecker()
+    received = []
+    sim["burst_len"] = 4
+    sim["start"] = 1
+    sim["tready"] = 0
+    sim.step()
+    sim["start"] = 0
+    for cycle in range(60):
+        sim["tready"] = 1 if cycle % 2 == 0 else 0
+        # Sample the stream pre-edge, like a hardware protocol checker.
+        sim.settle()
+        checker.check(sim)
+        if sim["tvalid"] and sim["tready"]:
+            received.append(sim["tdata"])
+        sim.step()
+        if sim["done"]:
+            break
+    return Observation(
+        external=checker.error,
+        details={
+            "received": received,
+            "violations": [v.message for v in checker.violations[:3]],
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# S3 -- AXI-Stream width adapter missing tkeep case
+# ---------------------------------------------------------------------------
+
+
+def scenario_s3(sim):
+    """A 3-byte frame: the final 16-bit beat keeps only its low byte."""
+    _reset(sim)
+    beats = [
+        (0x2211, 0b11, 0),
+        (0x0033, 0b01, 1),
+    ]
+    received = []
+    for data, keep, last in beats:
+        while not sim["in_ready"]:
+            sim["in_valid"] = 0
+            sim.step()
+            if sim["out_valid"]:
+                received.append((sim["out_data"], sim["out_last"]))
+        sim["in_data"] = data
+        sim["in_keep"] = keep
+        sim["in_last"] = last
+        sim["in_valid"] = 1
+        sim.step()
+        if sim["out_valid"]:
+            received.append((sim["out_data"], sim["out_last"]))
+        sim["in_valid"] = 0
+    for _ in range(8):
+        sim.step()
+        if sim["out_valid"]:
+            received.append((sim["out_data"], sim["out_last"]))
+    expected = [(0x11, 0), (0x22, 0), (0x33, 1)]
+    return Observation(
+        incorrect=received != expected,
+        details={"received": received, "expected": expected},
+    )
+
+
+SCENARIOS = {
+    "D1": scenario_d1,
+    "D2": scenario_d2,
+    "D3": scenario_d3,
+    "D4": scenario_d4,
+    "D5": scenario_d5,
+    "D6": scenario_d6,
+    "D7": scenario_d7,
+    "D8": scenario_d8,
+    "D9": scenario_d9,
+    "D10": scenario_d10,
+    "D11": scenario_d11,
+    "D12": scenario_d12,
+    "D13": scenario_d13,
+    "C1": scenario_c1,
+    "C2": scenario_c2,
+    "C3": scenario_c3,
+    "C4": scenario_c4,
+    "S1": scenario_s1,
+    "S2": scenario_s2,
+    "S3": scenario_s3,
+}
+
+#: "Shipped" passing tests used for LossCheck's FP filtering (§4.5.3).
+GROUND_TRUTH = {
+    "D1": ground_truth_d1,
+    "D2": ground_truth_d2,
+    "D3": ground_truth_d3,
+    "D11": ground_truth_d11,
+    "C2": ground_truth_c2,
+    "C4": ground_truth_c4,
+}

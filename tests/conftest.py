@@ -1,0 +1,73 @@
+"""Shared fixtures: small designs used across the test suite."""
+
+import pytest
+
+from repro.hdl import elaborate, parse
+
+COUNTER = """
+module counter #(parameter W = 8) (
+    input wire clk,
+    input wire rst,
+    input wire enable,
+    output reg [W-1:0] count
+);
+    always @(posedge clk) begin
+        if (rst) count <= 0;
+        else if (enable) count <= count + 1;
+    end
+endmodule
+"""
+
+FSM_LISTING1 = """
+module fsm (
+    input wire clk,
+    input wire request_valid,
+    input wire work_done,
+    output reg [1:0] state
+);
+    localparam IDLE = 0;
+    localparam WORK = 1;
+    localparam FINISH = 2;
+    always @(posedge clk) begin
+        case (state)
+            IDLE: if (request_valid) state <= WORK;
+            WORK: if (work_done) state <= FINISH;
+            FINISH: state <= IDLE;
+        endcase
+    end
+endmodule
+"""
+
+LOSSY = """
+module lossy (
+    input wire clk,
+    input wire in_valid,
+    input wire [7:0] in,
+    input wire cond_a,
+    input wire cond_b,
+    input wire [7:0] a,
+    output reg [7:0] out
+);
+    reg [7:0] b;
+    always @(posedge clk) begin
+        if (cond_a) out <= a;
+        else if (cond_b) out <= b;
+        if (in_valid) b <= in;
+    end
+endmodule
+"""
+
+
+@pytest.fixture
+def counter_design():
+    return elaborate(parse(COUNTER), top="counter")
+
+
+@pytest.fixture
+def fsm_design():
+    return elaborate(parse(FSM_LISTING1), top="fsm")
+
+
+@pytest.fixture
+def lossy_design():
+    return elaborate(parse(LOSSY), top="lossy")

@@ -1,0 +1,265 @@
+"""Tests for dependency graphs, FSM detection, and propagation relations."""
+
+import pytest
+
+from repro.analysis import (
+    build_dependency_graph,
+    build_propagation_table,
+    dependency_chain,
+    detect_fsms,
+    instantiate_condition,
+)
+from repro.hdl import elaborate, parse, parse_expression
+from repro.hdl.codegen import generate_expression
+
+
+def top_of(text, top=None):
+    return elaborate(parse(text), top=top).top
+
+
+class TestDependencyChain:
+    PIPE = """
+    module pipe (input wire clk, input wire [7:0] x, output reg [7:0] s3);
+        reg [7:0] s1;
+        reg [7:0] s2;
+        always @(posedge clk) begin
+            s1 <= x;
+            s2 <= s1;
+            s3 <= s2;
+        end
+    endmodule
+    """
+
+    def test_distances_count_cycles(self):
+        chain = dependency_chain(top_of(self.PIPE), "s3", 5)
+        assert chain.distances["s2"] == 1
+        assert chain.distances["s1"] == 2
+        assert chain.distances["x"] == 3
+
+    def test_depth_cuts_off(self):
+        chain = dependency_chain(top_of(self.PIPE), "s3", 1)
+        assert "s2" in chain.distances
+        assert "s1" not in chain.distances
+
+    def test_combinational_hop_is_free(self):
+        module = top_of(
+            "module m (input wire clk, input wire [7:0] x, output reg [7:0] q);"
+            " wire [7:0] w; assign w = x + 1;"
+            " always @(posedge clk) q <= w; endmodule"
+        )
+        chain = dependency_chain(module, "q", 1)
+        assert chain.distances["w"] == 1
+        assert chain.distances["x"] == 1
+
+    def test_control_dependency_included_and_excludable(self):
+        text = (
+            "module m (input wire clk, input wire en, input wire d, output reg q);"
+            " always @(posedge clk) if (en) q <= d; endmodule"
+        )
+        with_control = dependency_chain(top_of(text), "q", 2)
+        assert "en" in with_control.distances
+        without = dependency_chain(top_of(text), "q", 2, include_control=False)
+        assert "en" not in without.distances
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(KeyError):
+            dependency_chain(top_of(self.PIPE), "nope", 2)
+
+    def test_registers_ordered_nearest_first(self):
+        chain = dependency_chain(top_of(self.PIPE), "s3", 5)
+        assert chain.registers[0] == "s3"
+        assert chain.registers.index("s2") < chain.registers.index("s1")
+
+    def test_ip_flow_edges(self):
+        module = top_of(
+            """
+            module m (input wire clk, input wire [7:0] d, input wire push,
+                      input wire pop, output reg [7:0] out);
+                wire [7:0] q;
+                wire full;
+                scfifo #(.LPM_WIDTH(8)) f (.clock(clk), .data(d), .wrreq(push),
+                                           .rdreq(pop), .q(q), .full(full));
+                always @(posedge clk) out <= q;
+            endmodule
+            """
+        )
+        chain = dependency_chain(module, "out", 3)
+        assert "d" in chain.distances  # traced through the FIFO model
+
+    def test_graph_edge_attributes(self):
+        graph = build_dependency_graph(top_of(self.PIPE))
+        edge = list(graph.get_edge_data("s1", "s2").values())[0]
+        assert edge["kind"] == "data"
+        assert edge["cycles"] == 1
+
+
+class TestFSMDetection:
+    def test_listing1_fsm(self, fsm_design):
+        (fsm,) = detect_fsms(fsm_design.top)
+        assert fsm.name == "state"
+        assert fsm.states == {0, 1, 2}
+        arcs = {(t.from_state, t.to_state) for t in fsm.transitions}
+        assert arcs == {(0, 1), (1, 2), (2, 0)}
+
+    def test_counter_not_detected(self, counter_design):
+        assert detect_fsms(counter_design.top) == []
+
+    def test_two_process_fsm_missed(self):
+        # The documented false-negative pattern (§4.2 / §6.3).
+        module = top_of(
+            """
+            module m (input wire clk, input wire go, output reg st);
+                reg nxt;
+                always @(*) begin
+                    nxt = st;
+                    case (st)
+                        0: if (go) nxt = 1;
+                        1: nxt = 0;
+                    endcase
+                end
+                always @(posedge clk) st <= nxt;
+            endmodule
+            """
+        )
+        assert detect_fsms(module) == []
+
+    def test_bit_selected_register_excluded(self):
+        module = top_of(
+            """
+            module m (input wire clk, input wire go, output reg [1:0] st,
+                      output wire b);
+                assign b = st[0];
+                always @(posedge clk)
+                    case (st)
+                        0: if (go) st <= 1;
+                        1: st <= 0;
+                    endcase
+            endmodule
+            """
+        )
+        assert detect_fsms(module) == []
+
+    def test_if_style_fsm_detected(self):
+        module = top_of(
+            """
+            module m (input wire clk, input wire go, output reg [1:0] st);
+                always @(posedge clk) begin
+                    if (st == 0 && go) st <= 2;
+                    if (st == 2) st <= 0;
+                end
+            endmodule
+            """
+        )
+        (fsm,) = detect_fsms(module)
+        assert fsm.states == {0, 2}
+
+    def test_reset_arc_has_no_from_state(self, fsm_design):
+        module = top_of(
+            """
+            module m (input wire clk, input wire rst, input wire go,
+                      output reg [1:0] st);
+                always @(posedge clk) begin
+                    if (rst) st <= 0;
+                    else case (st)
+                        0: if (go) st <= 1;
+                        1: st <= 0;
+                    endcase
+                end
+            endmodule
+            """
+        )
+        (fsm,) = detect_fsms(module)
+        reset_arcs = [t for t in fsm.transitions if t.from_state is None]
+        assert len(reset_arcs) == 1
+
+    def test_hold_assignment_allowed(self):
+        module = top_of(
+            """
+            module m (input wire clk, input wire go, output reg st);
+                always @(posedge clk)
+                    case (st)
+                        0: if (go) st <= 1; else st <= st;
+                        1: st <= 0;
+                    endcase
+            endmodule
+            """
+        )
+        assert len(detect_fsms(module)) == 1
+
+    def test_flag_without_self_reference_excluded(self):
+        module = top_of(
+            "module m (input wire clk, input wire go, output reg done);"
+            " always @(posedge clk) if (go) done <= 1; else done <= 0;"
+            " endmodule"
+        )
+        assert detect_fsms(module) == []
+
+
+class TestPropagation:
+    def test_paper_running_example_table(self, lossy_design):
+        """§4.5.1: the three relations of the running example."""
+        table = build_propagation_table(lossy_design.top)
+        rel = {
+            (r.src, r.dst): generate_expression(r.condition)
+            for r in table.relations
+        }
+        assert rel[("a", "out")] == "cond_a"
+        assert rel[("b", "out")] == "(!(cond_a) && cond_b)"
+        assert rel[("in", "b")] == "in_valid"
+
+    def test_path_registers(self, lossy_design):
+        table = build_propagation_table(lossy_design.top)
+        assert table.path_registers("in", "out") == {"in", "b", "out"}
+
+    def test_comb_signals_collapsed(self):
+        module = top_of(
+            "module m (input wire clk, input wire en, input wire [7:0] x,"
+            " output reg [7:0] q);"
+            " wire [7:0] w; assign w = x + 1;"
+            " always @(posedge clk) if (en) q <= w; endmodule"
+        )
+        table = build_propagation_table(module)
+        pairs = {(r.src, r.dst) for r in table.relations}
+        assert ("x", "q") in pairs
+        assert ("w", "q") not in pairs
+
+    def test_identity_hold_flagged(self):
+        module = top_of(
+            "module m (input wire clk, input wire en, input wire [7:0] d,"
+            " output reg [7:0] q);"
+            " always @(posedge clk) if (en) q <= d; else q <= q; endmodule"
+        )
+        table = build_propagation_table(module)
+        holds = [r for r in table.relations if r.identity_hold]
+        assert len(holds) == 1
+        assert holds[0].src == holds[0].dst == "q"
+
+    def test_ip_relations_and_loss_rules(self):
+        module = top_of(
+            """
+            module m (input wire clk, input wire [7:0] d, input wire push,
+                      input wire pop, output wire [7:0] q);
+                wire full;
+                scfifo #(.LPM_WIDTH(8)) f (.clock(clk), .data(d), .wrreq(push),
+                                           .rdreq(pop), .q(q), .full(full));
+            endmodule
+            """
+        )
+        table = build_propagation_table(module)
+        pairs = {(r.src, r.dst) for r in table.relations}
+        assert ("d", "q") in pairs
+        (point,) = table.ip_loss_points
+        assert point.port == "data"
+        assert "d" in point.sources
+        assert generate_expression(point.condition) == "(push && full)"
+
+    def test_instantiate_condition(self):
+        cond = instantiate_condition(
+            "{wrreq} && !{full}",
+            {"wrreq": parse_expression("go"), "full": parse_expression("f")},
+        )
+        assert generate_expression(cond) == "(go && !(f))"
+
+    def test_unbound_placeholder_rejected(self):
+        with pytest.raises(KeyError):
+            instantiate_condition("{missing}", {})

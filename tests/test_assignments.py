@@ -1,0 +1,139 @@
+"""Tests for assignment extraction and path constraints."""
+
+from repro.analysis import analyze_module, expression_identifiers
+from repro.hdl import parse_expression, generate_expression, elaborate, parse
+
+
+def view_of(text, top=None):
+    return analyze_module(elaborate(parse(text), top=top).top)
+
+
+class TestPathConstraints:
+    def test_unconditional(self):
+        view = view_of(
+            "module m (input wire clk, input wire d, output reg q);"
+            " always @(posedge clk) q <= d; endmodule"
+        )
+        (record,) = view.assignments_to("q")
+        assert record.condition is None
+
+    def test_if_condition(self):
+        view = view_of(
+            "module m (input wire clk, input wire en, input wire d, output reg q);"
+            " always @(posedge clk) if (en) q <= d; endmodule"
+        )
+        (record,) = view.assignments_to("q")
+        assert generate_expression(record.condition) == "en"
+
+    def test_else_negates(self):
+        view = view_of(
+            "module m (input wire clk, input wire en, output reg q);"
+            " always @(posedge clk) if (en) q <= 1; else q <= 0; endmodule"
+        )
+        records = view.assignments_to("q")
+        assert generate_expression(records[1].condition) == "!(en)"
+
+    def test_nested_conditions_conjoin(self):
+        view = view_of(
+            "module m (input wire clk, input wire a, input wire b, output reg q);"
+            " always @(posedge clk) if (a) if (b) q <= 1; endmodule"
+        )
+        (record,) = view.assignments_to("q")
+        assert generate_expression(record.condition) == "(a && b)"
+
+    def test_case_arm_condition(self):
+        view = view_of(
+            "module m (input wire clk, input wire [1:0] s, output reg q);"
+            " always @(posedge clk) case (s) 1: q <= 1; endcase endmodule"
+        )
+        (record,) = view.assignments_to("q")
+        assert generate_expression(record.condition) == "(s == 1)"
+
+    def test_case_default_excludes_labels(self):
+        view = view_of(
+            "module m (input wire clk, input wire [1:0] s, output reg q);"
+            " always @(posedge clk) case (s) 1: q <= 1; default: q <= 0;"
+            " endcase endmodule"
+        )
+        records = view.assignments_to("q")
+        default = records[1]
+        assert "!(" in generate_expression(default.condition)
+
+    def test_case_priority_excludes_earlier_labels(self):
+        # Later arms implicitly exclude earlier matching labels.
+        view = view_of(
+            "module m (input wire clk, input wire [1:0] s, output reg q);"
+            " always @(posedge clk) case (s) 0: q <= 0; 1: q <= 1;"
+            " endcase endmodule"
+        )
+        second = view.assignments_to("q")[1]
+        text = generate_expression(second.condition)
+        assert "(s == 1)" in text and "!(" in text
+
+    def test_sequential_flag_and_clock(self):
+        view = view_of(
+            "module m (input wire clk, input wire d, output reg q, output wire w);"
+            " always @(posedge clk) q <= d; assign w = d; endmodule"
+        )
+        seq = view.assignments_to("q")[0]
+        comb = view.assignments_to("w")[0]
+        assert seq.sequential and seq.clock == "clk"
+        assert not comb.sequential and comb.clock is None
+
+
+class TestSources:
+    def test_data_sources(self):
+        view = view_of(
+            "module m (input wire clk, input wire [3:0] a, input wire [3:0] b,"
+            " input wire en, output reg [3:0] q);"
+            " always @(posedge clk) if (en) q <= a + b; endmodule"
+        )
+        (record,) = view.assignments_to("q")
+        assert set(record.data_sources) == {"a", "b"}
+        assert record.control_sources == ["en"]
+
+    def test_lhs_index_counts_as_data_source(self):
+        view = view_of(
+            "module m (input wire clk, input wire [2:0] i, input wire d);"
+            " reg [7:0] w; always @(posedge clk) w[i] <= d; endmodule"
+        )
+        (record,) = view.assignments_to("w")
+        assert "i" in record.data_sources
+
+    def test_concat_lvalue_two_targets(self):
+        view = view_of(
+            "module m (input wire clk, input wire [7:0] v);"
+            " reg [3:0] a; reg [3:0] b;"
+            " always @(posedge clk) {a, b} <= v; endmodule"
+        )
+        assert view.assignments_to("a") and view.assignments_to("b")
+
+    def test_assignments_reading(self):
+        view = view_of(
+            "module m (input wire clk, input wire x, output reg q, output reg r);"
+            " always @(posedge clk) begin q <= x; if (x) r <= 1; end endmodule"
+        )
+        readers = {a.target for a in view.assignments_reading("x")}
+        assert readers == {"q", "r"}
+
+
+class TestDisplays:
+    def test_display_condition_and_index(self):
+        view = view_of(
+            'module m (input wire clk, input wire go, input wire [3:0] x);'
+            ' always @(posedge clk) begin'
+            ' if (go) $display("a %d", x);'
+            ' $display("b");'
+            ' end endmodule'
+        )
+        assert len(view.displays) == 2
+        assert generate_expression(view.displays[0].condition) == "go"
+        assert view.displays[1].condition is None
+        assert [d.index for d in view.displays] == [0, 1]
+        assert view.displays[0].argument_names == ["x"]
+
+
+class TestExpressionIdentifiers:
+    def test_order_and_duplicates(self):
+        names = expression_identifiers(parse_expression("a + b[a] + a"))
+        assert names == ["a", "b", "a", "a"]

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "D1" in out and "S3" in out
+        assert "Buffer Overflow" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Total: 68 bugs" in capsys.readouterr().out
+
+    def test_reproduce(self, capsys):
+        assert main(["reproduce", "D9"]) == 0
+        out = capsys.readouterr().out
+        assert "D9 reproduced" in out
+        assert "big-endian" in out
+
+    def test_verify_fix(self, capsys):
+        assert main(["verify-fix", "D9"]) == 0
+        assert "fix verified clean" in capsys.readouterr().out
+
+    def test_losscheck(self, capsys):
+        assert main(["losscheck", "C4"]) == 0
+        out = capsys.readouterr().out
+        assert "localized: ['tdata']" in out
+        assert "matches the paper's outcome: True" in out
+
+    def test_fsms(self, capsys):
+        assert main(["fsms", "C1"]) == 0
+        out = capsys.readouterr().out
+        assert "cm_state" in out
+        assert "missed (two-process FSMs): ru_state" in out
+
+    def test_instrument(self, capsys):
+        assert main(["instrument", "D8", "--buffer", "256"]) == 0
+        captured = capsys.readouterr()
+        assert "signal_recorder" in captured.out
+        assert "generated instrumentation" in captured.err
+
+    def test_unknown_bug(self, capsys):
+        assert main(["reproduce", "Z9"]) == 2
+        assert "unknown bug id" in capsys.readouterr().err
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_wave(self, capsys, tmp_path):
+        out_path = str(tmp_path / "d8.vcd")
+        assert main(["wave", "D8", out_path]) == 0
+        assert "wrote" in capsys.readouterr().out
+        content = open(out_path).read()
+        assert "sw_state" in content
+
+    def test_wave_fixed_variant(self, capsys, tmp_path):
+        out_path = str(tmp_path / "d8f.vcd")
+        assert main(["wave", "D8", out_path, "--fixed"]) == 0
+        assert "(fixed)" in open(out_path).read()

@@ -1,0 +1,171 @@
+"""Tests for Verilog code generation (round-trips through the parser)."""
+
+from repro.hdl import (
+    ast,
+    generate_expression,
+    generate_module,
+    generate_statement,
+    parse_expression,
+    parse_module,
+    parse_statement,
+)
+
+
+def roundtrip_expression(text):
+    return generate_expression(parse_expression(text))
+
+
+class TestExpressionGeneration:
+    def test_number(self):
+        assert generate_expression(ast.Number(value=255, width=8)) == "8'hff"
+
+    def test_unsized_number(self):
+        assert generate_expression(ast.Number(value=7)) == "7"
+
+    def test_binary_parenthesized(self):
+        text = roundtrip_expression("a + b * c")
+        assert parse_expression(text) == parse_expression("a + b * c")
+
+    def test_precedence_preserved_by_parens(self):
+        # (a + b) * c must not regenerate as a + b * c.
+        expr = ast.BinaryOp(
+            op="*",
+            left=ast.BinaryOp(
+                op="+", left=ast.Identifier(name="a"), right=ast.Identifier(name="b")
+            ),
+            right=ast.Identifier(name="c"),
+        )
+        again = parse_expression(generate_expression(expr))
+        assert again == expr
+
+    def test_concat(self):
+        assert roundtrip_expression("{a, b}") == "{a, b}"
+
+    def test_replication(self):
+        assert roundtrip_expression("{4{a}}") == "{4{a}}"
+
+    def test_size_cast(self):
+        assert roundtrip_expression("42'(x >> 6)") == "42'((x >> 6))"
+
+    def test_part_selects(self):
+        assert roundtrip_expression("a[7:0]") == "a[7:0]"
+        assert roundtrip_expression("a[i +: 4]") == "a[i +: 4]"
+
+    def test_ternary(self):
+        text = roundtrip_expression("s ? a : b")
+        assert parse_expression(text) == parse_expression("s ? a : b")
+
+
+class TestStatementGeneration:
+    def test_nonblocking(self):
+        lines = generate_statement(parse_statement("q <= d;"))
+        assert lines == ["    q <= d;"]
+
+    def test_if_else_roundtrip(self):
+        stmt = parse_statement("if (c) begin a <= 1; end else begin a <= 0; end")
+        text = "\n".join(generate_statement(stmt))
+        assert parse_statement(text) == stmt
+
+    def test_case_roundtrip(self):
+        stmt = parse_statement(
+            "case (s) 0: a <= 1; default: a <= 0; endcase"
+        )
+        text = "\n".join(generate_statement(stmt))
+        assert parse_statement(text) == stmt
+
+    def test_display_escapes_quotes(self):
+        stmt = ast.Display(format='say "hi"', args=[])
+        line = generate_statement(stmt)[0]
+        assert '\\"hi\\"' in line
+
+    def test_for_loop(self):
+        stmt = parse_statement("for (i = 0; i < 4; i = i + 1) m[i] <= 0;")
+        text = "\n".join(generate_statement(stmt))
+        assert "for (i = 0;" in text
+
+
+class TestModuleRoundtrip:
+    SOURCES = [
+        """
+        module counter #(parameter W = 8) (
+            input wire clk,
+            input wire rst,
+            output reg [W-1:0] count
+        );
+            always @(posedge clk) begin
+                if (rst) count <= 0;
+                else count <= count + 1;
+            end
+        endmodule
+        """,
+        """
+        module with_fifo (input wire clk, input wire [7:0] d, output wire [7:0] q);
+            wire e;
+            wire f;
+            scfifo #(.LPM_WIDTH(8), .LPM_NUMWORDS(4)) f0 (
+                .clock(clk), .data(d), .wrreq(e), .rdreq(f), .q(q)
+            );
+        endmodule
+        """,
+        """
+        module memory (input wire clk, input wire [3:0] a, output wire [7:0] q);
+            reg [7:0] mem [0:15];
+            assign q = mem[a];
+        endmodule
+        """,
+    ]
+
+    def test_module_roundtrips(self):
+        for source in self.SOURCES:
+            module = parse_module(source)
+            regenerated = parse_module(generate_module(module))
+            # Structural equivalence: same names, same item kinds.
+            assert regenerated.name == module.name
+            assert [p.name for p in regenerated.ports] == [
+                p.name for p in module.ports
+            ]
+            assert len(regenerated.items) == len(module.items)
+
+    def test_double_roundtrip_is_stable(self):
+        module = parse_module(self.SOURCES[0])
+        once = generate_module(parse_module(generate_module(module)))
+        twice = generate_module(parse_module(once))
+        assert once == twice
+
+
+class TestTestbedDesignsRoundtrip:
+    def test_all_testbed_designs_roundtrip(self):
+        from repro.testbed import BUG_IDS, load_source
+
+        for bug in BUG_IDS:
+            source = load_source(bug)
+            for module in source.modules:
+                regenerated = parse_module(generate_module(module))
+                assert regenerated.name == module.name
+                assert len(regenerated.items) == len(module.items)
+
+
+class TestDanglingElse:
+    def test_nested_if_wrapped_to_preserve_else_binding(self):
+        from repro.hdl import ast as A
+
+        stmt = A.If(
+            cond=A.Identifier(name="a"),
+            then_stmt=A.If(
+                cond=A.Identifier(name="b"),
+                then_stmt=A.NonblockingAssign(
+                    lhs=A.Identifier(name="x"), rhs=A.Number(value=1)
+                ),
+            ),
+            else_stmt=A.NonblockingAssign(
+                lhs=A.Identifier(name="x"), rhs=A.Number(value=2)
+            ),
+        )
+        text = "\n".join(generate_statement(stmt))
+        reparsed = parse_statement(text)
+        # The else must still belong to the OUTER if.
+        assert reparsed.else_stmt is not None
+        inner = reparsed.then_stmt
+        if isinstance(inner, ast.Block):
+            (inner,) = inner.statements
+        assert inner.else_stmt is None

@@ -1,0 +1,126 @@
+"""Tests for the expression compiler: bit-identical to the interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import elaborate, parse, parse_expression
+from repro.sim import Simulator
+from repro.sim.compiler import CompiledEvaluator
+from repro.sim.values import Evaluator, mask
+from repro.testbed import BUG_IDS, load_design
+from repro.testbed.scenarios import SCENARIOS
+
+from .test_values import make_env
+
+EXPRESSIONS = [
+    "a + b",
+    "a - b",
+    "a * b",
+    "a / b",
+    "a % b",
+    "a & b | a ^ b",
+    "~a",
+    "-a",
+    "!a",
+    "&a",
+    "|a",
+    "^a",
+    "~&a",
+    "~|a",
+    "~^a",
+    "a == b",
+    "a != b",
+    "a < b",
+    "a >= b",
+    "a && b",
+    "a || b",
+    "a << 3",
+    "a >> b",
+    "a[3]",
+    "a[7:4]",
+    "a[b +: 4]",
+    "a[b -: 4]",
+    "{a, b}",
+    "{3{a}}",
+    "b ? a : b",
+    "12'(a + b)",
+    "42'(a) >> 6",
+    "a - 1 > 0",
+]
+
+
+class TestCompilerAgainstInterpreter:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_known_expressions(self, text):
+        symbols, interpreted = make_env({"a": 8, "b": 8})
+        compiled = CompiledEvaluator(symbols)
+        expr = parse_expression(text)
+        for a, b in [(0, 0), (1, 2), (255, 1), (170, 85), (7, 0)]:
+            state = {"a": a, "b": b}
+            for ctx in (0, 8, 16):
+                assert compiled.eval(expr, state, ctx) == interpreted.eval(
+                    expr, state, ctx
+                ), (text, a, b, ctx)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    @settings(max_examples=100)
+    def test_random_operands(self, a, b):
+        symbols, interpreted = make_env({"a": 16, "b": 16})
+        compiled = CompiledEvaluator(symbols)
+        for text in ("a + b", "a - b", "{a[7:0], b[15:8]}", "a < b", "~a ^ b"):
+            expr = parse_expression(text)
+            state = {"a": a, "b": b}
+            assert compiled.eval(expr, state) == interpreted.eval(expr, state)
+
+    def test_array_reads(self):
+        symbols, interpreted = make_env({"i": 4}, arrays={"m": (8, 10)})
+        compiled = CompiledEvaluator(symbols)
+        expr = parse_expression("m[i]")
+        state = {"m": list(range(10)), "i": 3}
+        assert compiled.eval(expr, state) == 3
+        state["i"] = 12  # out of range, non-power-of-two: reads 0
+        assert compiled.eval(expr, state) == interpreted.eval(expr, state) == 0
+
+
+class TestCompiledSimulation:
+    def test_counter_matches(self, counter_design):
+        interpreted = Simulator(counter_design)
+        compiled = Simulator(counter_design, compile_expressions=True)
+        for sim in (interpreted, compiled):
+            sim["enable"] = 1
+            sim.step(17)
+        assert interpreted["count"] == compiled["count"] == 17
+
+    @pytest.mark.parametrize("bug_id", BUG_IDS)
+    def test_whole_testbed_scenarios_match(self, bug_id):
+        """Every testbed scenario observes identical symptoms compiled."""
+        interpreted = SCENARIOS[bug_id](Simulator(load_design(bug_id)))
+        compiled = SCENARIOS[bug_id](
+            Simulator(load_design(bug_id), compile_expressions=True)
+        )
+        assert interpreted.symptoms == compiled.symptoms
+        assert interpreted.details == compiled.details
+
+    def test_compiled_is_default_off(self, counter_design):
+        sim = Simulator(counter_design)
+        assert not isinstance(sim.evaluator, CompiledEvaluator)
+
+    def test_display_values_match(self):
+        design = elaborate(
+            parse(
+                'module d (input wire clk, output reg [7:0] n);'
+                ' always @(posedge clk) begin n <= n + 3;'
+                ' $display("n=%d", n); end endmodule'
+            )
+        )
+        a = Simulator(design)
+        b = Simulator(design, compile_expressions=True)
+        a.step(5)
+        b.step(5)
+        assert [e.text for e in a.display_events] == [
+            e.text for e in b.display_events
+        ]

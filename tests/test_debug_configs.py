@@ -1,0 +1,91 @@
+"""Tests for the per-bug debugging configurations (§6.3/§6.4 use case)."""
+
+import pytest
+
+from repro.hdl import ast
+from repro.testbed import BUG_IDS, SPECS
+from repro.testbed.debug_configs import (
+    CONFIGS,
+    DebugConfig,
+    instrument_for_debugging,
+)
+
+
+class TestConfigurationCoverage:
+    def test_every_bug_configured(self):
+        assert set(CONFIGS) == set(BUG_IDS)
+
+    def test_stat_events_everywhere(self):
+        """Statistics Monitor is part of every debugging session."""
+        for bug_id in BUG_IDS:
+            assert CONFIGS[bug_id].stat_events
+
+    def test_dep_targets_are_real_signals(self):
+        from repro.testbed import load_design
+
+        for bug_id in BUG_IDS:
+            config = CONFIGS[bug_id]
+            if config.dep_target is None:
+                continue
+            design = load_design(bug_id)
+            assert design.top.find_declaration(config.dep_target) is not None, bug_id
+
+
+class TestComposedInstrumentation:
+    def test_structure(self):
+        instr = instrument_for_debugging("D2", buffer_depth=512)
+        instances = [
+            i for i in instr.module.items if isinstance(i, ast.Instance)
+        ]
+        names = {i.module_name for i in instances}
+        assert "signal_recorder" in names
+        assert "scfifo" in names  # the design's own IP survives
+        assert instr.generated_lines > 0
+        assert instr.recorder_width > 0
+
+    def test_all_tools_attached(self):
+        instr = instrument_for_debugging("D3", buffer_depth=512)
+        assert instr.fsm_monitor.fsms  # at least the dispatcher FSM
+        assert instr.statistics_monitor.events
+        assert instr.dependency_monitor is not None
+
+    def test_dep_monitor_optional(self):
+        instr = instrument_for_debugging("D1", buffer_depth=512)
+        assert instr.dependency_monitor is None
+
+    def test_buffer_depth_forwarded(self):
+        instr = instrument_for_debugging("D8", buffer_depth=333)
+        recorder = [
+            i
+            for i in instr.module.items
+            if isinstance(i, ast.Instance) and i.module_name == "signal_recorder"
+        ][0]
+        params = {p.name: p.value.value for p in recorder.params}
+        assert params["DEPTH"] == 333
+
+    def test_fixed_variant_supported(self):
+        instr = instrument_for_debugging("D8", buffer_depth=64, fixed=True)
+        assert instr.module is not None
+
+
+class TestRecorderWidths:
+    """§6.4: the Optimus configurations sample wide words (and thus hit
+    the recording IP's slow bin); the SHA512 configurations stay narrow."""
+
+    def test_optimus_configs_are_wide(self):
+        for bug_id in ("D3", "C2"):
+            instr = instrument_for_debugging(bug_id, buffer_depth=1024)
+            assert instr.recorder_width > 96, bug_id
+
+    def test_sha512_configs_are_narrow(self):
+        for bug_id in ("D5", "D10"):
+            instr = instrument_for_debugging(bug_id, buffer_depth=1024)
+            assert instr.recorder_width <= 96, bug_id
+
+
+class TestDebugConfigDataclass:
+    def test_defaults(self):
+        config = DebugConfig()
+        assert config.stat_events == {}
+        assert config.dep_target is None
+        assert config.dep_depth == 3

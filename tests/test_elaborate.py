@@ -1,0 +1,248 @@
+"""Tests for design elaboration (parameters, loops, flattening)."""
+
+import pytest
+
+from repro.hdl import ast, elaborate, parse
+from repro.hdl.elaborate import ElaborationError
+
+
+class TestParameters:
+    def test_defaults_resolved(self):
+        design = elaborate(
+            parse(
+                "module m #(parameter W = 8) (input wire clk, output reg [W-1:0] q);"
+                " endmodule"
+            )
+        )
+        assert design.top.find_declaration("q").bit_width == 8
+
+    def test_override(self):
+        design = elaborate(
+            parse(
+                "module m #(parameter W = 8) (input wire clk, output reg [W-1:0] q);"
+                " endmodule"
+            ),
+            params={"W": 16},
+        )
+        assert design.top.find_declaration("q").bit_width == 16
+
+    def test_localparam_depends_on_parameter(self):
+        design = elaborate(
+            parse(
+                "module m #(parameter W = 4) (input wire c);"
+                " localparam MAX = (1 << W) - 1;"
+                " reg [W-1:0] x;"
+                " always @(posedge c) x <= MAX;"
+                " endmodule"
+            )
+        )
+        always = [i for i in design.top.items if isinstance(i, ast.Always)][0]
+        assert always.body.rhs.value == 15
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate(
+                parse("module m (input wire c); endmodule"), params={"W": 1}
+            )
+
+    def test_parameter_declarations_dropped(self):
+        design = elaborate(
+            parse(
+                "module m #(parameter W = 8) (input wire c);"
+                " localparam X = 2; endmodule"
+            )
+        )
+        assert not [
+            i for i in design.top.items if isinstance(i, ast.ParameterDecl)
+        ]
+
+
+class TestForUnrolling:
+    def test_static_loop_unrolled(self):
+        design = elaborate(
+            parse(
+                """
+                module m (input wire clk, input wire rst);
+                    reg [7:0] mem [0:3];
+                    integer i;
+                    always @(posedge clk)
+                        if (rst)
+                            for (i = 0; i < 4; i = i + 1)
+                                mem[i] <= i * 2;
+                endmodule
+                """
+            )
+        )
+        always = [i for i in design.top.items if isinstance(i, ast.Always)][0]
+        assigns = [
+            n for n in always.body.walk()
+            if isinstance(n, ast.NonblockingAssign)
+        ]
+        assert len(assigns) == 4
+        assert [a.rhs.value for a in assigns] == [0, 2, 4, 6]
+
+    def test_zero_iteration_loop(self):
+        design = elaborate(
+            parse(
+                """
+                module m (input wire clk);
+                    reg [7:0] mem [0:3];
+                    integer i;
+                    always @(posedge clk)
+                        for (i = 0; i < 0; i = i + 1) mem[i] <= 0;
+                endmodule
+                """
+            )
+        )
+        always = [i for i in design.top.items if isinstance(i, ast.Always)][0]
+        assigns = [
+            n for n in always.body.walk()
+            if isinstance(n, ast.NonblockingAssign)
+        ]
+        assert not assigns
+
+    def test_non_static_bound_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate(
+                parse(
+                    """
+                    module m (input wire clk, input wire [3:0] n);
+                        reg [7:0] mem [0:3];
+                        integer i;
+                        always @(posedge clk)
+                            for (i = 0; i < n; i = i + 1) mem[i] <= 0;
+                    endmodule
+                    """
+                )
+            )
+
+
+class TestFlattening:
+    HIER = """
+    module child #(parameter INC = 1) (
+        input wire clk,
+        input wire [7:0] a,
+        output reg [7:0] y
+    );
+        always @(posedge clk) y <= a + INC;
+    endmodule
+
+    module top (
+        input wire clk,
+        input wire [7:0] x,
+        output wire [7:0] out
+    );
+        wire [7:0] mid;
+        child #(.INC(3)) c0 (.clk(clk), .a(x), .y(mid));
+        child c1 (.clk(clk), .a(mid), .y(out));
+    endmodule
+    """
+
+    def test_two_instances_inlined(self):
+        design = elaborate(parse(self.HIER), top="top")
+        always = [i for i in design.top.items if isinstance(i, ast.Always)]
+        assert len(always) == 2
+
+    def test_parameter_override_per_instance(self):
+        design = elaborate(parse(self.HIER), top="top")
+        increments = sorted(
+            node.right.value
+            for item in design.top.items
+            if isinstance(item, ast.Always)
+            for node in item.body.walk()
+            if isinstance(node, ast.BinaryOp) and node.op == "+"
+        )
+        assert increments == [1, 3]
+
+    def test_identifier_connections_are_aliased(self):
+        design = elaborate(parse(self.HIER), top="top")
+        names = {d.name for d in design.top.declarations()}
+        # Port connections were plain identifiers: no c0.a / c0.y signals.
+        assert "c0.a" not in names
+        assert "mid" in names
+
+    def test_clock_stays_a_clock(self):
+        design = elaborate(parse(self.HIER), top="top")
+        for item in design.top.items:
+            if isinstance(item, ast.Always):
+                assert item.sens[0].signal == "clk"
+
+    def test_expression_connection_generates_assign(self):
+        source = parse(
+            """
+            module child (input wire [7:0] a, output wire [7:0] y);
+                assign y = a;
+            endmodule
+            module top (input wire [7:0] x, output wire [7:0] out);
+                child c0 (.a(x + 1), .y(out));
+            endmodule
+            """
+        )
+        design = elaborate(source, top="top")
+        names = {d.name for d in design.top.declarations()}
+        assert "c0.a" in names
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate(
+                parse(
+                    "module top (input wire c); missing m0 (.x(c)); endmodule"
+                ),
+                top="top",
+            )
+
+    def test_blackbox_instances_kept(self):
+        design = elaborate(
+            parse(
+                """
+                module top (input wire clk, input wire [7:0] d);
+                    wire [7:0] q;
+                    wire e;
+                    scfifo #(.LPM_WIDTH(8)) f0 (
+                        .clock(clk), .data(d), .q(q), .empty(e)
+                    );
+                endmodule
+                """
+            ),
+            top="top",
+        )
+        assert len(design.blackboxes) == 1
+        assert design.blackboxes[0].module_name == "scfifo"
+
+    def test_nested_hierarchy_prefixes(self):
+        source = parse(
+            """
+            module leaf (input wire clk, output reg [3:0] v);
+                reg [3:0] internal;
+                always @(posedge clk) begin
+                    internal <= internal;
+                    v <= internal;
+                end
+            endmodule
+            module mid (input wire clk, output wire [3:0] v);
+                leaf l0 (.clk(clk), .v(v));
+            endmodule
+            module top (input wire clk, output wire [3:0] v);
+                mid m0 (.clk(clk), .v(v));
+            endmodule
+            """
+        )
+        design = elaborate(source, top="top")
+        names = {d.name for d in design.top.declarations()}
+        assert "m0.l0.internal" in names
+
+    def test_output_port_must_be_lvalue(self):
+        with pytest.raises(ElaborationError):
+            elaborate(
+                parse(
+                    """
+                    module child (output wire y);
+                        assign y = 1;
+                    endmodule
+                    module top (input wire a, input wire b);
+                        child c0 (.y(a + b));
+                    endmodule
+                    """
+                ),
+                top="top",
+            )

@@ -1,0 +1,164 @@
+"""Failure-injection tests: every layer fails loudly and precisely."""
+
+import pytest
+
+from repro.hdl import ast, elaborate, parse
+from repro.hdl.elaborate import ElaborationError
+from repro.hdl.lexer import LexerError
+from repro.hdl.parser import ParseError
+from repro.sim import EvaluationError, Simulator, SimulatorError
+from repro.sim.values import Evaluator, SymbolTable
+
+
+class TestLexerFailures:
+    def test_stray_character(self):
+        with pytest.raises(LexerError) as info:
+            parse("module m (input wire a); ` endmodule")
+        assert "line 1" in str(info.value)
+
+    def test_line_number_in_error(self):
+        with pytest.raises(LexerError) as info:
+            parse("module m (\ninput wire a\n);\n`\nendmodule")
+        assert "line 4" in str(info.value)
+
+
+class TestParserFailures:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "module m (input wire a)",                       # missing ; and end
+            "module m (input wire a); always q <= 1; endmodule",  # missing @
+            "module m (input wire a); assign = 1; endmodule",
+            "module m (wire a); endmodule",                  # missing direction
+            "module m (input wire a); case (a) endmodule",   # unterminated case
+            "module m (input wire a); reg [3:0 x; endmodule",
+        ],
+    )
+    def test_malformed_modules(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as info:
+            parse("module m (\n  input wire a\n);\n  assign = 1;\nendmodule")
+        assert "line 4" in str(info.value)
+
+
+class TestElaborationFailures:
+    def test_non_constant_width(self):
+        with pytest.raises(ElaborationError):
+            elaborate(
+                parse(
+                    "module m (input wire [3:0] n);"
+                    " reg [n:0] x; endmodule"
+                )
+            )
+
+    def test_runaway_loop_guard(self):
+        with pytest.raises(ElaborationError):
+            elaborate(
+                parse(
+                    """
+                    module m (input wire clk);
+                        reg [7:0] x;
+                        integer i;
+                        always @(posedge clk)
+                            for (i = 0; i < 100; i = i + 0) x <= i;
+                    endmodule
+                    """
+                )
+            )
+
+    def test_instance_unknown_port(self):
+        with pytest.raises(ElaborationError):
+            elaborate(
+                parse(
+                    """
+                    module child (input wire a);
+                    endmodule
+                    module top (input wire x);
+                        child c0 (.nonexistent(x));
+                    endmodule
+                    """
+                ),
+                top="top",
+            )
+
+    def test_non_constant_instance_parameter(self):
+        with pytest.raises(ElaborationError):
+            elaborate(
+                parse(
+                    """
+                    module top (input wire clk, input wire [3:0] n);
+                        scfifo #(.LPM_WIDTH(n)) f (.clock(clk));
+                    endmodule
+                    """
+                ),
+                top="top",
+            )
+
+
+class TestEvaluationFailures:
+    def test_undeclared_signal(self):
+        module = ast.Module(name="empty")
+        evaluator = Evaluator(SymbolTable(module))
+        with pytest.raises(EvaluationError):
+            evaluator.eval(ast.Identifier(name="ghost"), {})
+
+    def test_memory_without_index(self):
+        design = elaborate(
+            parse(
+                "module m (input wire clk, output reg [7:0] q);"
+                " reg [7:0] mem [0:3];"
+                " always @(posedge clk) q <= mem; endmodule"
+            )
+        )
+        sim = Simulator(design)
+        with pytest.raises(EvaluationError):
+            sim.step()
+
+    def test_whole_memory_assignment_rejected(self):
+        design = elaborate(
+            parse(
+                "module m (input wire clk, input wire [7:0] d);"
+                " reg [7:0] mem [0:3];"
+                " always @(posedge clk) mem <= d; endmodule"
+            )
+        )
+        sim = Simulator(design)
+        with pytest.raises(SimulatorError):
+            sim.step()
+
+
+class TestToolInputValidation:
+    def test_dependency_monitor_unknown_target(self, counter_design):
+        from repro.core import DependencyMonitor
+
+        with pytest.raises(KeyError):
+            DependencyMonitor(counter_design, "ghost", depth=2)
+
+    def test_losscheck_disconnected_path(self, counter_design):
+        from repro.core import LossCheck
+
+        with pytest.raises(ValueError):
+            LossCheck(counter_design, source="enable", sink="rst")
+
+    def test_signalcat_bad_event_expression(self, counter_design):
+        from repro.core import Mode, SignalCat
+
+        with pytest.raises(ParseError):
+            SignalCat(
+                counter_design,
+                mode=Mode.ON_FPGA,
+                start_event="((",
+            )
+
+    def test_statistics_monitor_bad_condition(self, counter_design):
+        from repro.core import StatisticsMonitor
+
+        with pytest.raises(ParseError):
+            StatisticsMonitor(counter_design, {"bad": "a ||"})
+
+    def test_simulator_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            Simulator("not a design")

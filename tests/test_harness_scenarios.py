@@ -1,0 +1,113 @@
+"""Tests for the harness API and scenario helpers."""
+
+import struct
+
+import pytest
+
+from repro.testbed import (
+    BUG_IDS,
+    SPECS,
+    Symptom,
+    load_design,
+    load_source,
+    reproduce_all,
+)
+from repro.testbed.scenarios import (
+    Observation,
+    _float_bits,
+    _bits_float,
+    _gray_reference,
+    _rsd_codeword,
+    _sha_blocks,
+    _sha_reference,
+)
+
+
+class TestObservation:
+    def test_symptom_mapping(self):
+        observation = Observation(stuck=True, incorrect=True)
+        assert observation.symptoms == {Symptom.STUCK, Symptom.INCORRECT}
+        assert observation.failed
+
+    def test_clean_observation(self):
+        observation = Observation()
+        assert observation.symptoms == frozenset()
+        assert not observation.failed
+
+    def test_all_four_symptoms(self):
+        observation = Observation(
+            stuck=True, loss=True, incorrect=True, external=True
+        )
+        assert len(observation.symptoms) == 4
+
+
+class TestScenarioHelpers:
+    def test_float_bits_roundtrip(self):
+        for value in (0.0, 1.0, 1.5, 2.25, 3.75, 100.125):
+            assert _bits_float(_float_bits(value)) == value
+
+    def test_float_bits_match_struct(self):
+        assert _float_bits(1.0) == 0x3F800000
+        assert _float_bits(2.0) == 0x40000000
+
+    def test_rsd_codeword_parity(self):
+        words, data = _rsd_codeword(15)
+        assert words[0] == 15          # header: length
+        assert len(words) == 16        # header + 14 data + parity
+        parity = 0
+        for value in data:
+            parity ^= value
+        assert words[-1] == parity
+
+    def test_gray_reference_matches_rtl_formula(self):
+        pixel = (40 << 16) | (30 << 8) | 20
+        assert _gray_reference(pixel) == (40 + 60 + 20) >> 2
+
+    def test_sha_reference_deterministic(self):
+        blocks = _sha_blocks(3)
+        assert _sha_reference(blocks) == _sha_reference(list(blocks))
+        assert _sha_reference(blocks) != _sha_reference(blocks[:2])
+
+    def test_sha_blocks_are_64_bit(self):
+        for block in _sha_blocks(8):
+            assert 0 <= block < (1 << 64)
+
+
+class TestHarnessApi:
+    def test_reproduce_all_covers_everything(self):
+        results = reproduce_all()
+        assert set(results) == set(BUG_IDS)
+        assert all(r.reproduced for r in results.values())
+
+    def test_load_source_has_both_variants(self):
+        for bug_id in BUG_IDS:
+            spec = SPECS[bug_id]
+            names = {m.name for m in load_source(bug_id).modules}
+            assert spec.top in names
+            assert spec.fixed_top in names
+
+    def test_load_design_tops_differ(self):
+        buggy = load_design("D6")
+        fixed = load_design("D6", fixed=True)
+        assert buggy.top.name == "fft_butterfly"
+        assert fixed.top.name == "fft_butterfly_fixed"
+
+    def test_designs_have_clk_and_rst(self):
+        for bug_id in BUG_IDS:
+            ports = {p.name for p in load_design(bug_id).top.ports}
+            assert "clk" in ports, bug_id
+            assert "rst" in ports, bug_id
+
+    def test_design_headers_document_the_bug(self):
+        import importlib.resources
+
+        for bug_id in BUG_IDS:
+            spec = SPECS[bug_id]
+            text = (
+                importlib.resources.files("repro.testbed")
+                / "designs"
+                / spec.design_file
+            ).read_text()
+            assert "ROOT CAUSE" in text, spec.design_file
+            assert "SYMPTOM" in text, spec.design_file
+            assert "FIX" in text, spec.design_file

@@ -1,0 +1,100 @@
+"""Tests for the shared instrumentation machinery."""
+
+from repro.core.instrument import Instrumenter, dominant_clock, flat_name
+from repro.hdl import ast, elaborate, parse
+
+
+def design():
+    return elaborate(
+        parse(
+            """
+            module d (input wire clk, input wire [3:0] a, output reg [3:0] q);
+                reg sc_flag_0;
+                always @(posedge clk) q <= a;
+            endmodule
+            """
+        ),
+        top="d",
+    )
+
+
+class TestInstrumenter:
+    def test_original_never_mutated(self):
+        base = design()
+        item_count = len(base.top.items)
+        ins = Instrumenter(base, prefix="t_")
+        ins.add_reg(ins.fresh("x"))
+        assert len(base.top.items) == item_count
+        assert len(ins.module.items) == item_count + 1
+
+    def test_fresh_names_avoid_collisions(self):
+        ins = Instrumenter(design(), prefix="sc_")
+        name = ins.fresh("flag_0")
+        assert name != "sc_flag_0"  # already declared in the design
+        assert name.startswith("sc_flag_0")
+
+    def test_fresh_names_unique_among_generated(self):
+        ins = Instrumenter(design(), prefix="t_")
+        names = {ins.fresh("x") for _ in range(5)}
+        assert len(names) == 5
+
+    def test_flat_name_replaces_dots(self):
+        assert flat_name("inst.sub.sig") == "inst_sub_sig"
+
+    def test_add_wire_creates_decl_and_assign(self):
+        ins = Instrumenter(design(), prefix="t_")
+        wire = ins.add_wire(ins.fresh("w"), ast.Number(value=1), width=4)
+        decls = [i for i in ins.generated_items if isinstance(i, ast.Declaration)]
+        assigns = [
+            i for i in ins.generated_items
+            if isinstance(i, ast.ContinuousAssign)
+        ]
+        assert decls[0].name == wire.name
+        assert decls[0].bit_width == 4
+        assert len(assigns) == 1
+
+    def test_add_clocked_block_uses_dominant_clock(self):
+        ins = Instrumenter(design(), prefix="t_")
+        block = ins.add_clocked_block([ast.Finish()])
+        assert block.sens[0].signal == "clk"
+
+    def test_generated_line_count_counts_only_generated(self):
+        ins = Instrumenter(design(), prefix="t_")
+        assert ins.generated_line_count() == 0
+        ins.add_reg(ins.fresh("r"))
+        assert ins.generated_line_count() == 1
+
+    def test_instrumented_verilog_reparses(self):
+        from repro.hdl import parse_module
+
+        ins = Instrumenter(design(), prefix="t_")
+        reg = ins.add_reg(ins.fresh("r"), width=8)
+        ins.add_clocked_block(
+            [ast.NonblockingAssign(lhs=reg, rhs=ast.Number(value=5))]
+        )
+        module = parse_module(ins.instrumented_verilog())
+        assert module.find_declaration(reg.name) is not None
+
+
+class TestDominantClock:
+    def test_picks_most_frequent(self):
+        module = elaborate(
+            parse(
+                """
+                module m (input wire clka, input wire clkb, output reg x,
+                          output reg y, output reg z);
+                    always @(posedge clka) x <= 1;
+                    always @(posedge clkb) y <= 1;
+                    always @(posedge clkb) z <= 1;
+                endmodule
+                """
+            ),
+            top="m",
+        ).top
+        assert dominant_clock(module) == "clkb"
+
+    def test_default_when_no_clocked_blocks(self):
+        module = elaborate(
+            parse("module m (input wire a, output wire b); assign b = a; endmodule")
+        ).top
+        assert dominant_clock(module) == "clk"

@@ -1,0 +1,70 @@
+"""Tests for the declarative IP analysis models and the IP base class."""
+
+import pytest
+
+from repro.analysis.ip_models import (
+    DEFAULT_IP_MODELS,
+    IPAnalysisModel,
+    IPFlow,
+    IPLossRule,
+)
+from repro.sim.ip import IPModel, REGISTRY
+
+
+class TestDefaultModels:
+    def test_all_default_blackboxes_modeled(self):
+        """Every runtime IP model has a matching analysis model (§5)."""
+        assert set(DEFAULT_IP_MODELS) == set(REGISTRY)
+
+    def test_fifo_models_declare_loss_rules(self):
+        for name in ("scfifo", "dcfifo"):
+            model = DEFAULT_IP_MODELS[name]
+            assert model.loss_rules, name
+            rule = model.loss_rules[0]
+            assert rule.port == "data"
+            assert "full" in rule.condition.lower()
+
+    def test_data_flows_are_gated_by_write_conditions(self):
+        flow = [
+            f for f in DEFAULT_IP_MODELS["scfifo"].flows
+            if f.src_port == "data" and f.dst_port == "q"
+        ][0]
+        assert "{wrreq}" in flow.condition
+        assert flow.latency >= 1
+
+    def test_ram_model_covers_both_ports(self):
+        model = DEFAULT_IP_MODELS["altsyncram"]
+        pairs = {(f.src_port, f.dst_port) for f in model.flows}
+        assert ("data_a", "q_a") in pairs
+        assert ("data_b", "q_b") in pairs
+
+    def test_recorder_is_a_sink(self):
+        assert DEFAULT_IP_MODELS["signal_recorder"].flows == []
+
+
+class TestModelDataclasses:
+    def test_custom_model_construction(self):
+        model = IPAnalysisModel(
+            name="my_ip",
+            flows=[IPFlow("din", "dout", latency=2, condition="{en}")],
+            loss_rules=[IPLossRule("din", "{drop}", "dropped on purpose")],
+        )
+        assert model.flows[0].latency == 2
+        assert model.loss_rules[0].description
+
+
+class TestIPModelBase:
+    def test_abstract_methods(self):
+        model = IPModel({"X": 1})
+        assert model.param("X") == 1
+        assert model.param("Y", 7) == 7
+        with pytest.raises(NotImplementedError):
+            model.outputs({})
+        with pytest.raises(NotImplementedError):
+            model.clock_edge({}, set())
+
+    def test_registry_factories_accept_params(self):
+        for name, factory in REGISTRY.items():
+            instance = factory({})
+            assert isinstance(instance, IPModel), name
+            assert set(instance.OUTPUT_PORTS), name

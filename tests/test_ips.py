@@ -1,0 +1,201 @@
+"""Tests for the blackbox IP behavioral models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import elaborate, parse
+from repro.sim import Simulator
+from repro.sim.ip import AltSyncRam, DualClockFifo, SignalRecorder, SingleClockFifo
+
+
+class TestSingleClockFifoModel:
+    def test_push_pop_order(self):
+        fifo = SingleClockFifo({"LPM_WIDTH": 8, "LPM_NUMWORDS": 4})
+        for value in (1, 2, 3):
+            fifo.clock_edge({"wrreq": 1, "data": value}, {"clock"})
+        out = []
+        for _ in range(3):
+            fifo.clock_edge({"rdreq": 1}, {"clock"})
+            out.append(fifo.outputs({})["q"])
+        assert out == [1, 2, 3]
+
+    def test_full_drops_writes(self):
+        fifo = SingleClockFifo({"LPM_WIDTH": 8, "LPM_NUMWORDS": 2})
+        for value in (1, 2, 3):
+            fifo.clock_edge({"wrreq": 1, "data": value}, {"clock"})
+        assert fifo.outputs({})["full"] == 1
+        assert fifo.core.dropped_writes == 1
+
+    def test_empty_flag(self):
+        fifo = SingleClockFifo({"LPM_NUMWORDS": 4})
+        assert fifo.outputs({})["empty"] == 1
+        fifo.clock_edge({"wrreq": 1, "data": 9}, {"clock"})
+        assert fifo.outputs({})["empty"] == 0
+
+    def test_usedw_counts(self):
+        fifo = SingleClockFifo({"LPM_NUMWORDS": 8})
+        for i in range(3):
+            fifo.clock_edge({"wrreq": 1, "data": i}, {"clock"})
+        assert fifo.outputs({})["usedw"] == 3
+
+    def test_sclr_clears(self):
+        fifo = SingleClockFifo({"LPM_NUMWORDS": 8})
+        fifo.clock_edge({"wrreq": 1, "data": 5}, {"clock"})
+        fifo.clock_edge({"sclr": 1}, {"clock"})
+        assert fifo.outputs({})["empty"] == 1
+
+    def test_data_masked_to_width(self):
+        fifo = SingleClockFifo({"LPM_WIDTH": 4})
+        fifo.clock_edge({"wrreq": 1, "data": 0xFF}, {"clock"})
+        fifo.clock_edge({"rdreq": 1}, {"clock"})
+        assert fifo.outputs({})["q"] == 0xF
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans(),
+                              st.integers(min_value=0, max_value=255)),
+                    max_size=60))
+    @settings(max_examples=100)
+    def test_model_matches_reference_queue(self, ops):
+        """Property: the model behaves as a bounded FIFO queue."""
+        fifo = SingleClockFifo({"LPM_WIDTH": 8, "LPM_NUMWORDS": 4})
+        reference = []
+        popped_model, popped_ref = [], []
+        for push, pop, value in ops:
+            inputs = {"wrreq": int(push), "rdreq": int(pop), "data": value}
+            will_pop = pop and bool(reference)
+            if will_pop:
+                popped_ref.append(reference[0])
+            fifo.clock_edge(inputs, {"clock"})
+            if will_pop:
+                popped_model.append(fifo.outputs({})["q"])
+                reference.pop(0)
+            if push and len(reference) < 4:
+                reference.append(value)
+            elif push:
+                pass  # dropped, like the hardware
+        assert popped_model == popped_ref
+        assert fifo.outputs({})["usedw"] == len(reference)
+
+
+class TestDualClockFifo:
+    def test_separate_clock_domains(self):
+        fifo = DualClockFifo({"LPM_WIDTH": 8, "LPM_NUMWORDS": 4})
+        fifo.clock_edge({"wrreq": 1, "data": 7, "rdreq": 0}, {"wrclk"})
+        assert fifo.outputs({})["rdempty"] == 0
+        # A read-clock edge with rdreq pops.
+        fifo.clock_edge({"wrreq": 1, "data": 8, "rdreq": 1}, {"rdclk"})
+        assert fifo.outputs({})["q"] == 7
+        # The wrreq was ignored on the read edge.
+        assert fifo.outputs({})["rdempty"] == 1
+
+    def test_both_edges_fired(self):
+        fifo = DualClockFifo({})
+        fifo.clock_edge({"wrreq": 1, "data": 3, "rdreq": 0}, {"wrclk", "rdclk"})
+        assert fifo.outputs({})["rdusedw"] == 1
+
+
+class TestAltSyncRam:
+    def test_synchronous_read(self):
+        ram = AltSyncRam({"WIDTH_A": 8, "NUMWORDS_A": 16})
+        ram.clock_edge({"address_a": 3, "data_a": 0x5A, "wren_a": 1}, {"clock0"})
+        ram.clock_edge({"address_a": 3, "wren_a": 0}, {"clock0"})
+        assert ram.outputs({})["q_a"] == 0x5A
+
+    def test_read_before_write_on_collision(self):
+        ram = AltSyncRam({"WIDTH_A": 8, "NUMWORDS_A": 16})
+        ram.clock_edge({"address_a": 2, "data_a": 1, "wren_a": 1}, {"clock0"})
+        ram.clock_edge({"address_a": 2, "data_a": 9, "wren_a": 1}, {"clock0"})
+        # q shows the OLD value at the collision edge.
+        assert ram.outputs({})["q_a"] == 1
+
+    def test_dual_port(self):
+        ram = AltSyncRam({"WIDTH_A": 16, "NUMWORDS_A": 8})
+        ram.clock_edge(
+            {"address_a": 1, "data_a": 0xAAAA, "wren_a": 1, "address_b": 0},
+            {"clock0"},
+        )
+        ram.clock_edge({"address_a": 0, "address_b": 1}, {"clock0"})
+        assert ram.outputs({})["q_b"] == 0xAAAA
+
+    def test_out_of_range_wraps_power_of_two(self):
+        ram = AltSyncRam({"WIDTH_A": 8, "NUMWORDS_A": 8})
+        ram.clock_edge({"address_a": 9, "data_a": 7, "wren_a": 1}, {"clock0"})
+        assert ram.mem[1] == 7
+
+
+class TestSignalRecorder:
+    def test_samples_when_enabled(self):
+        rec = SignalRecorder({"WIDTH": 8, "DEPTH": 4})
+        for cycle, (enable, data) in enumerate([(1, 10), (0, 11), (1, 12)]):
+            rec.clock_edge({"enable": enable, "data": data}, {"clock"})
+        assert list(rec.samples) == [(0, 10), (2, 12)]
+
+    def test_circular_buffer_keeps_newest(self):
+        rec = SignalRecorder({"WIDTH": 8, "DEPTH": 2})
+        for i in range(5):
+            rec.clock_edge({"enable": 1, "data": i}, {"clock"})
+        assert [d for _, d in rec.samples] == [3, 4]
+        assert rec.overwrote
+        assert rec.total_samples == 5
+
+    def test_count_output(self):
+        rec = SignalRecorder({"WIDTH": 8, "DEPTH": 4})
+        assert rec.outputs({})["count"] == 0
+        rec.clock_edge({"enable": 1, "data": 1}, {"clock"})
+        assert rec.outputs({})["count"] == 1
+
+
+class TestIPInSimulation:
+    def test_fifo_in_design(self):
+        sim = Simulator(
+            elaborate(
+                parse(
+                    """
+                    module top (input wire clk, input wire [7:0] d,
+                                input wire push, input wire pop,
+                                output wire [7:0] q, output wire empty);
+                        scfifo #(.LPM_WIDTH(8), .LPM_NUMWORDS(4)) f (
+                            .clock(clk), .data(d), .wrreq(push), .rdreq(pop),
+                            .q(q), .empty(empty)
+                        );
+                    endmodule
+                    """
+                )
+            )
+        )
+        sim["d"] = 42
+        sim["push"] = 1
+        sim.step()
+        sim["push"] = 0
+        sim["pop"] = 1
+        sim.step()
+        sim.settle()
+        assert sim["q"] == 42
+
+    def test_unknown_blackbox_rejected(self):
+        from repro.sim import SimulatorError
+
+        design = elaborate(
+            parse(
+                "module t (input wire clk); mystery_ip m (.clock(clk)); endmodule"
+            ),
+            blackboxes={"mystery_ip"},
+        )
+        with pytest.raises(SimulatorError):
+            Simulator(design)
+
+    def test_ip_model_accessor(self):
+        sim = Simulator(
+            elaborate(
+                parse(
+                    "module t (input wire clk, input wire e, input wire [3:0] d);"
+                    " signal_recorder #(.WIDTH(4), .DEPTH(8)) rec ("
+                    " .clock(clk), .enable(e), .data(d));"
+                    " endmodule"
+                )
+            )
+        )
+        sim["e"] = 1
+        sim["d"] = 9
+        sim.step()
+        assert list(sim.ip_model("rec").samples) == [(0, 9)]

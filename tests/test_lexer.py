@@ -1,0 +1,122 @@
+"""Tests for the Verilog-subset lexer."""
+
+import pytest
+
+from repro.hdl.lexer import LexerError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)]
+
+
+class TestBasicTokens:
+    def test_keywords_recognized(self):
+        tokens = tokenize("module endmodule always begin end")
+        assert all(t.kind == "keyword" for t in tokens)
+
+    def test_identifier(self):
+        (token,) = tokenize("my_signal")
+        assert token.kind == "ident"
+        assert token.text == "my_signal"
+
+    def test_dotted_identifier_is_single_token(self):
+        # Flattened hierarchy names stay whole.
+        (token,) = tokenize("inst.sub.signal")
+        assert token.kind == "ident"
+        assert token.text == "inst.sub.signal"
+
+    def test_system_name(self):
+        (token,) = tokenize("$display")
+        assert token.kind == "sysname"
+
+    def test_identifier_with_dollar(self):
+        (token,) = tokenize("sig$tap")
+        assert token.kind == "ident"
+
+    def test_operators_maximal_munch(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a << 2") == ["a", "<<", "2"]
+        assert texts("a <<< 2") == ["a", "<<<", "2"]
+
+    def test_indexed_part_select_operators(self):
+        assert "+:" in texts("a[b +: 4]")
+        assert "-:" in texts("a[b -: 4]")
+
+    def test_string_token(self):
+        (token,) = tokenize('"hello %d"')
+        assert token.kind == "string"
+        assert token.text == "hello %d"
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        (token,) = tokenize("42")
+        assert token.kind == "number"
+        assert token.value == 42
+        assert token.width is None
+
+    def test_underscores_ignored(self):
+        (token,) = tokenize("1_000_000")
+        assert token.value == 1000000
+
+    def test_sized_hex(self):
+        (token,) = tokenize("8'hFF")
+        assert token.value == 255
+        assert token.width == 8
+
+    def test_sized_binary(self):
+        (token,) = tokenize("4'b1010")
+        assert token.value == 10
+        assert token.width == 4
+
+    def test_sized_octal(self):
+        (token,) = tokenize("6'o77")
+        assert token.value == 63
+
+    def test_sized_decimal(self):
+        (token,) = tokenize("10'd512")
+        assert token.value == 512
+        assert token.width == 10
+
+    def test_signed_marker(self):
+        (token,) = tokenize("8'sh7F")
+        assert token.signed
+        assert token.value == 127
+
+    def test_x_and_z_digits_read_as_zero(self):
+        # Two-state simulation: unknown digits collapse to 0.
+        (token,) = tokenize("4'b1x0z")
+        assert token.value == 0b1000
+
+    def test_unsized_based_literal(self):
+        (token,) = tokenize("'h1F")
+        assert token.value == 31
+        assert token.width is None
+
+
+class TestCommentsAndLines:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* stuff \n more */ b") == ["a", "b"]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.lineno for t in tokens] == [1, 2, 4]
+
+    def test_line_numbers_across_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].lineno == 2
+
+    def test_bad_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a ` b")
+
+    def test_real_literal_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("3.14")

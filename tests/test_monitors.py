@@ -1,0 +1,237 @@
+"""Tests for FSM Monitor (§4.2), Statistics Monitor (§4.4) and
+Dependency Monitor (§4.3)."""
+
+import pytest
+
+from repro.core import (
+    DependencyMonitor,
+    FSMMonitor,
+    Mode,
+    StatisticsMonitor,
+)
+from repro.hdl import elaborate, parse
+
+WORKER = """
+module worker (
+    input wire clk,
+    input wire rst,
+    input wire request_valid,
+    input wire [7:0] req,
+    output reg done,
+    output reg [7:0] result
+);
+    localparam IDLE = 0;
+    localparam WORK = 1;
+    localparam FINISH = 2;
+    reg [1:0] state;
+    reg [3:0] ticks;
+    reg [7:0] acc;
+    always @(posedge clk) begin
+        done <= 0;
+        if (rst) begin
+            state <= IDLE;
+            ticks <= 0;
+        end else begin
+            case (state)
+                IDLE: if (request_valid) begin
+                    state <= WORK;
+                    acc <= req;
+                    ticks <= 0;
+                end
+                WORK: begin
+                    acc <= acc + 1;
+                    ticks <= ticks + 1;
+                    if (ticks == 3) state <= FINISH;
+                end
+                FINISH: begin
+                    result <= acc;
+                    done <= 1;
+                    state <= IDLE;
+                end
+            endcase
+        end
+    end
+endmodule
+"""
+
+
+def worker_design():
+    return elaborate(parse(WORKER), top="worker")
+
+
+def run_one_request(sim, req=10):
+    sim["rst"] = 1
+    sim.step()
+    sim["rst"] = 0
+    sim["req"] = req
+    sim["request_valid"] = 1
+    sim.step()
+    sim["request_valid"] = 0
+    sim.step(8)
+
+
+class TestFSMMonitor:
+    def test_detects_state_register(self):
+        monitor = FSMMonitor(worker_design())
+        assert [m.info.name for m in monitor.fsms] == ["state"]
+
+    def test_transition_trace(self):
+        monitor = FSMMonitor(worker_design())
+        sim = monitor.simulator()
+        run_one_request(sim)
+        arcs = [(t.from_state, t.to_state) for t in monitor.trace(sim)]
+        assert arcs == [(0, 1), (1, 2), (2, 0)]
+
+    def test_trace_identical_on_fpga(self):
+        sim_monitor = FSMMonitor(worker_design())
+        sim = sim_monitor.simulator(mode=Mode.SIMULATION)
+        run_one_request(sim)
+        fpga_monitor = FSMMonitor(worker_design())
+        fpga = fpga_monitor.simulator(mode=Mode.ON_FPGA, buffer_depth=64)
+        run_one_request(fpga)
+        assert [
+            (t.cycle, t.from_state, t.to_state) for t in sim_monitor.trace(sim)
+        ] == [
+            (t.cycle, t.from_state, t.to_state) for t in fpga_monitor.trace(fpga)
+        ]
+
+    def test_state_names_in_description(self):
+        monitor = FSMMonitor(
+            worker_design(),
+            state_names={"state": {0: "IDLE", 1: "WORK", 2: "FINISH"}},
+        )
+        sim = monitor.simulator()
+        run_one_request(sim)
+        text = monitor.describe_trace(sim)
+        assert "IDLE -> WORK" in text
+        assert "FINISH -> IDLE" in text
+
+    def test_exclude_filter(self):
+        monitor = FSMMonitor(worker_design(), exclude=("state",))
+        assert monitor.fsms == []
+
+    def test_manual_addition(self):
+        monitor = FSMMonitor(worker_design(), exclude=("state",))
+        monitor.add_register("ticks")
+        assert [m.info.name for m in monitor.fsms] == ["ticks"]
+        assert monitor.fsms[0].manually_added
+
+    def test_manual_addition_unknown_register(self):
+        monitor = FSMMonitor(worker_design())
+        with pytest.raises(KeyError):
+            monitor.add_register("no_such_reg")
+
+    def test_final_states(self):
+        monitor = FSMMonitor(worker_design())
+        sim = monitor.simulator()
+        run_one_request(sim)
+        assert monitor.final_states(sim) == {"state": 0}
+
+    def test_generated_lines(self):
+        monitor = FSMMonitor(worker_design())
+        assert monitor.generated_line_count() > 0
+
+
+class TestStatisticsMonitor:
+    def test_counts(self):
+        monitor = StatisticsMonitor(
+            worker_design(), {"requests": "request_valid", "dones": "done"}
+        )
+        sim = monitor.simulator()
+        for _ in range(3):
+            run_one_request(sim)
+        counts = monitor.counts(sim)
+        assert counts == {"requests": 3, "dones": 3}
+
+    def test_expression_condition(self):
+        monitor = StatisticsMonitor(
+            worker_design(), {"busy": "state == 1"}
+        )
+        sim = monitor.simulator()
+        run_one_request(sim)
+        assert monitor.counts(sim)["busy"] == 4  # WORK lasts 4 cycles
+
+    def test_trace_events_increment(self):
+        monitor = StatisticsMonitor(worker_design(), {"reqs": "request_valid"})
+        sim = monitor.simulator()
+        run_one_request(sim)
+        run_one_request(sim)
+        events = monitor.trace(sim)
+        assert [e.count for e in events] == [1, 2]
+        assert all(e.event == "reqs" for e in events)
+
+    def test_counts_identical_on_fpga(self):
+        monitor = StatisticsMonitor(worker_design(), {"reqs": "request_valid"})
+        sim = monitor.simulator(mode=Mode.ON_FPGA, buffer_depth=64)
+        run_one_request(sim)
+        assert monitor.counts(sim)["reqs"] == 1
+        assert [e.count for e in monitor.trace(sim)] == [1]
+
+    def test_no_events(self):
+        monitor = StatisticsMonitor(worker_design(), {})
+        sim = monitor.simulator()
+        run_one_request(sim)
+        assert monitor.counts(sim) == {}
+
+
+class TestDependencyMonitor:
+    def test_chain_report(self):
+        monitor = DependencyMonitor(worker_design(), "result", depth=3)
+        report = monitor.report()
+        assert report["result"] == 0
+        assert report["acc"] == 1
+        assert "req" in report
+
+    def test_update_trace(self):
+        monitor = DependencyMonitor(worker_design(), "result", depth=3)
+        sim = monitor.simulator()
+        run_one_request(sim, req=10)
+        updates = monitor.trace(sim, register="acc")
+        assert [u.value for u in updates] == [10, 11, 12, 13, 14]
+
+    def test_tracked_excludes_inputs(self):
+        monitor = DependencyMonitor(worker_design(), "result", depth=3)
+        assert "req" not in monitor.tracked_registers
+        assert "acc" in monitor.tracked_registers
+
+    def test_data_only_mode(self):
+        monitor = DependencyMonitor(
+            worker_design(), "result", depth=3, include_control=False
+        )
+        assert "request_valid" not in monitor.report()
+
+    def test_trace_identical_on_fpga(self):
+        a = DependencyMonitor(worker_design(), "result", depth=2)
+        sim = a.simulator(mode=Mode.SIMULATION)
+        run_one_request(sim)
+        b = DependencyMonitor(worker_design(), "result", depth=2)
+        fpga = b.simulator(mode=Mode.ON_FPGA, buffer_depth=128)
+        run_one_request(fpga)
+        assert [(u.cycle, u.register, u.value) for u in a.trace(sim)] == [
+            (u.cycle, u.register, u.value) for u in b.trace(fpga)
+        ]
+
+    def test_memories_not_shadow_compared(self):
+        design = elaborate(
+            parse(
+                """
+                module m (input wire clk, input wire [2:0] a, input wire [7:0] d,
+                          input wire we, output reg [7:0] q);
+                    reg [7:0] mem [0:7];
+                    always @(posedge clk) begin
+                        if (we) mem[a] <= d;
+                        q <= mem[a];
+                    end
+                endmodule
+                """
+            )
+        )
+        monitor = DependencyMonitor(design, "q", depth=3)
+        assert "mem" not in monitor.tracked_registers
+        # And the instrumented design still simulates.
+        sim = monitor.simulator()
+        sim["a"] = 1
+        sim["d"] = 5
+        sim["we"] = 1
+        sim.step(2)
+        assert sim["q"] == 5

@@ -1,0 +1,90 @@
+"""Tests for multi-clock simulation and the dual-clock FIFO in a design."""
+
+from repro.hdl import elaborate, parse
+from repro.sim import Simulator
+
+DUAL = """
+module dual_domain (
+    input wire wr_clk,
+    input wire rd_clk,
+    input wire [7:0] din,
+    input wire push,
+    input wire pop,
+    output wire [7:0] dout,
+    output wire empty,
+    output wire full,
+    output reg [7:0] rd_count
+);
+    dcfifo #(.LPM_WIDTH(8), .LPM_NUMWORDS(4)) xing (
+        .wrclk(wr_clk),
+        .rdclk(rd_clk),
+        .data(din),
+        .wrreq(push),
+        .rdreq(pop),
+        .q(dout),
+        .rdempty(empty),
+        .wrfull(full)
+    );
+
+    always @(posedge rd_clk) begin
+        if (pop) rd_count <= rd_count + 1;
+    end
+endmodule
+"""
+
+
+def dual():
+    return Simulator(elaborate(parse(DUAL), top="dual_domain"))
+
+
+class TestDualClockDesign:
+    def test_write_domain_only(self):
+        sim = dual()
+        sim["din"] = 0xAB
+        sim["push"] = 1
+        sim.step(clock="wr_clk")
+        sim["push"] = 0
+        sim.settle()
+        assert sim["empty"] == 0
+        # The read-domain register never ticked.
+        assert sim["rd_count"] == 0
+
+    def test_cross_domain_transfer(self):
+        sim = dual()
+        for value in (1, 2, 3):
+            sim["din"] = value
+            sim["push"] = 1
+            sim.step(clock="wr_clk")
+        sim["push"] = 0
+        received = []
+        sim["pop"] = 1
+        for _ in range(3):
+            sim.step(clock="rd_clk")
+            received.append(sim["dout"])
+        assert received == [1, 2, 3]
+        assert sim["rd_count"] == 3
+
+    def test_read_clock_does_not_advance_write_logic(self):
+        sim = dual()
+        sim["din"] = 9
+        sim["push"] = 1
+        # Stepping the READ clock must not perform the write.
+        sim.step(clock="rd_clk")
+        sim.settle()
+        assert sim["empty"] == 1
+
+    def test_full_flag_in_write_domain(self):
+        sim = dual()
+        sim["push"] = 1
+        for value in range(5):
+            sim["din"] = value
+            sim.step(clock="wr_clk")
+        sim.settle()
+        assert sim["full"] == 1
+        assert sim.ip_model("xing").core.dropped_writes == 1
+
+    def test_separate_cycle_counters_share_global_count(self):
+        sim = dual()
+        sim.step(clock="wr_clk", cycles=2)
+        sim.step(clock="rd_clk", cycles=3)
+        assert sim.cycle == 5  # one global cycle count across domains

@@ -1,0 +1,260 @@
+"""Tests for the Verilog-subset parser."""
+
+import pytest
+
+from repro.hdl import ast, parse, parse_expression, parse_module, parse_statement
+from repro.hdl.parser import ParseError
+
+
+class TestExpressions:
+    def test_precedence_add_mul(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_precedence_compare_logical(self):
+        expr = parse_expression("a == b && c < d")
+        assert expr.op == "&&"
+        assert expr.left.op == "=="
+        assert expr.right.op == "<"
+
+    def test_precedence_bitwise_layers(self):
+        expr = parse_expression("a | b ^ c & d")
+        assert expr.op == "|"
+        assert expr.right.op == "^"
+        assert expr.right.right.op == "&"
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_ternary(self):
+        expr = parse_expression("sel ? a : b")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_nested_ternary_right_associative(self):
+        expr = parse_expression("s1 ? a : s2 ? b : c")
+        assert isinstance(expr.iffalse, ast.Ternary)
+
+    def test_unary_reduction(self):
+        expr = parse_expression("&bits")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "&"
+
+    def test_unary_plus_dropped(self):
+        expr = parse_expression("+a")
+        assert isinstance(expr, ast.Identifier)
+
+    def test_index(self):
+        expr = parse_expression("mem[3]")
+        assert isinstance(expr, ast.Index)
+
+    def test_part_select(self):
+        expr = parse_expression("word[15:8]")
+        assert isinstance(expr, ast.PartSelect)
+
+    def test_indexed_part_select_up(self):
+        expr = parse_expression("word[i +: 8]")
+        assert isinstance(expr, ast.IndexedPartSelect)
+        assert expr.ascending
+
+    def test_indexed_part_select_down(self):
+        expr = parse_expression("word[i -: 8]")
+        assert not expr.ascending
+
+    def test_chained_postfix(self):
+        expr = parse_expression("mem[i][3]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.var, ast.Index)
+
+    def test_concat(self):
+        expr = parse_expression("{a, b, c}")
+        assert isinstance(expr, ast.Concat)
+        assert len(expr.parts) == 3
+
+    def test_replication(self):
+        expr = parse_expression("{4{bit}}")
+        assert isinstance(expr, ast.Repeat)
+
+    def test_size_cast(self):
+        expr = parse_expression("42'(x >> 6)")
+        assert isinstance(expr, ast.SizeCast)
+        assert expr.width == 42
+
+    def test_sized_number_not_cast(self):
+        expr = parse_expression("8'hFF")
+        assert isinstance(expr, ast.Number)
+        assert expr.width == 8
+
+    def test_signed_call_is_identity(self):
+        expr = parse_expression("$signed(a)")
+        assert isinstance(expr, ast.Identifier)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b extra")
+
+
+class TestStatements:
+    def test_nonblocking(self):
+        stmt = parse_statement("q <= d;")
+        assert isinstance(stmt, ast.NonblockingAssign)
+
+    def test_blocking(self):
+        stmt = parse_statement("q = d;")
+        assert isinstance(stmt, ast.BlockingAssign)
+
+    def test_if_else(self):
+        stmt = parse_statement("if (c) a <= 1; else a <= 0;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_stmt is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_statement("if (a) if (b) x <= 1; else x <= 2;")
+        assert stmt.else_stmt is None
+        assert stmt.then_stmt.else_stmt is not None
+
+    def test_begin_end_block(self):
+        stmt = parse_statement("begin a <= 1; b <= 2; end")
+        assert isinstance(stmt, ast.Block)
+        assert len(stmt.statements) == 2
+
+    def test_labeled_block(self):
+        stmt = parse_statement("begin : label a <= 1; end")
+        assert isinstance(stmt, ast.Block)
+
+    def test_case(self):
+        stmt = parse_statement(
+            "case (s) 0: a <= 1; 1, 2: a <= 2; default: a <= 0; endcase"
+        )
+        assert isinstance(stmt, ast.Case)
+        assert len(stmt.items) == 3
+        assert stmt.items[1].labels and len(stmt.items[1].labels) == 2
+        assert stmt.items[2].labels == []
+
+    def test_casez(self):
+        stmt = parse_statement("casez (s) 0: a <= 1; endcase")
+        assert stmt.casez
+
+    def test_for_loop(self):
+        stmt = parse_statement("for (i = 0; i < 4; i = i + 1) mem[i] <= 0;")
+        assert isinstance(stmt, ast.For)
+
+    def test_display(self):
+        stmt = parse_statement('$display("x=%d", x);')
+        assert isinstance(stmt, ast.Display)
+        assert stmt.format == "x=%d"
+        assert len(stmt.args) == 1
+
+    def test_finish(self):
+        stmt = parse_statement("$finish;")
+        assert isinstance(stmt, ast.Finish)
+
+    def test_concat_lvalue(self):
+        stmt = parse_statement("{hi, lo} <= value;")
+        assert isinstance(stmt.lhs, ast.Concat)
+
+    def test_part_select_lvalue(self):
+        stmt = parse_statement("data[7:0] <= b;")
+        assert isinstance(stmt.lhs, ast.PartSelect)
+
+    def test_empty_statement(self):
+        stmt = parse_statement(";")
+        assert isinstance(stmt, ast.Block)
+        assert not stmt.statements
+
+    def test_unsupported_system_task(self):
+        with pytest.raises(ParseError):
+            parse_statement("$random;")
+
+
+class TestModules:
+    def test_module_ports(self):
+        module = parse_module(
+            "module m (input wire clk, output reg [7:0] q); endmodule"
+        )
+        assert [p.name for p in module.ports] == ["clk", "q"]
+        assert module.ports[1].kind is ast.NetKind.REG
+        assert module.ports[1].bit_width == 8
+
+    def test_parameters(self):
+        module = parse_module(
+            "module m #(parameter W = 8, parameter D = 4) (input wire c); endmodule"
+        )
+        assert [p.name for p in module.params] == ["W", "D"]
+
+    def test_implicit_port_declarations(self):
+        module = parse_module(
+            "module m (input wire clk, output reg [3:0] q); endmodule"
+        )
+        assert module.find_declaration("q").bit_width == 4
+
+    def test_localparam(self):
+        module = parse_module(
+            "module m (input wire c); localparam X = 3; endmodule"
+        )
+        decls = [i for i in module.items if isinstance(i, ast.ParameterDecl)]
+        assert decls and decls[0].local
+
+    def test_multi_name_declaration(self):
+        module = parse_module(
+            "module m (input wire c); reg [3:0] a, b, d; endmodule"
+        )
+        names = {x.name for x in module.declarations()}
+        assert {"a", "b", "d"} <= names
+
+    def test_memory_declaration(self):
+        module = parse_module(
+            "module m (input wire c); reg [7:0] mem [0:15]; endmodule"
+        )
+        decl = module.find_declaration("mem")
+        assert decl.array_depth == 16
+        assert decl.bit_width == 8
+
+    def test_wire_with_initializer(self):
+        module = parse_module(
+            "module m (input wire [3:0] a); wire [3:0] w = a + 1; endmodule"
+        )
+        assigns = [i for i in module.items if isinstance(i, ast.ContinuousAssign)]
+        assert len(assigns) == 1
+
+    def test_instance_with_params(self):
+        source = parse(
+            """
+            module top (input wire clk);
+                scfifo #(.LPM_WIDTH(8)) f0 (.clock(clk), .data());
+            endmodule
+            """
+        )
+        inst = [i for i in source.modules[0].items if isinstance(i, ast.Instance)]
+        assert inst[0].params[0].name == "LPM_WIDTH"
+        assert inst[0].ports[1].expr is None
+
+    def test_always_star(self):
+        module = parse_module(
+            "module m (input wire a, output reg q); always @(*) q = a; endmodule"
+        )
+        always = [i for i in module.items if isinstance(i, ast.Always)][0]
+        assert always.is_combinational
+
+    def test_always_posedge_or_negedge(self):
+        module = parse_module(
+            "module m (input wire clk, input wire rst, output reg q);"
+            " always @(posedge clk or negedge rst) q <= 1; endmodule"
+        )
+        always = [i for i in module.items if isinstance(i, ast.Always)][0]
+        assert [s.edge for s in always.sens] == [ast.Edge.POSEDGE, ast.Edge.NEGEDGE]
+
+    def test_multiple_modules(self):
+        source = parse(
+            "module a (input wire x); endmodule module b (input wire y); endmodule"
+        )
+        assert [m.name for m in source.modules] == ["a", "b"]
+
+    def test_parse_module_rejects_multiple(self):
+        with pytest.raises(ParseError):
+            parse_module("module a (input wire x); endmodule module b (input wire y); endmodule")
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_module("module m (input wire c) endmodule")

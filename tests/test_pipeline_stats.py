@@ -1,0 +1,155 @@
+"""Tests for PipelineStatistics (§4.4's per-component localization) and
+the LossCheck report rendering."""
+
+import pytest
+
+from repro.core import LossCheck, PipelineStatistics, StageDivergence
+from repro.hdl import elaborate, parse
+from repro.testbed import SPECS, load_design
+from repro.testbed.scenarios import SCENARIOS
+
+LEAKY_PIPE = """
+module leaky (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    output reg s1_valid,
+    output reg [7:0] s1_data,
+    output reg s2_valid,
+    output reg [7:0] s2_data
+);
+    always @(posedge clk) begin
+        if (rst) begin
+            s1_valid <= 0;
+            s2_valid <= 0;
+        end else begin
+            s1_valid <= in_valid;
+            s1_data <= in_data;
+            // BUG: stage 2 only forwards even values.
+            s2_valid <= s1_valid && (s1_data[0] == 0);
+            s2_data <= s1_data;
+        end
+    end
+endmodule
+"""
+
+
+def leaky():
+    return elaborate(parse(LEAKY_PIPE), top="leaky")
+
+
+def drive(sim, values):
+    sim["rst"] = 1
+    sim.step()
+    sim["rst"] = 0
+    for value in values:
+        sim["in_data"] = value
+        sim["in_valid"] = 1
+        sim.step()
+    sim["in_valid"] = 0
+    sim.step(3)
+
+
+class TestPipelineStatistics:
+    STAGES = [
+        ("input", "in_valid"),
+        ("stage1", "s1_valid"),
+        ("stage2", "s2_valid"),
+    ]
+
+    def test_divergence_localized_to_leaky_stage(self):
+        pipe = PipelineStatistics(leaky(), self.STAGES)
+        sim = pipe.simulator()
+        drive(sim, [2, 3, 4, 5])
+        divergence = pipe.first_divergence(sim)
+        assert divergence is not None
+        assert divergence.upstream == "stage1"
+        assert divergence.downstream == "stage2"
+        assert divergence.missing == 2  # the two odd values
+
+    def test_balanced_pipeline_reports_none(self):
+        pipe = PipelineStatistics(leaky(), self.STAGES)
+        sim = pipe.simulator()
+        drive(sim, [2, 4, 6])
+        assert pipe.first_divergence(sim) is None
+
+    def test_slack_absorbs_in_flight_events(self):
+        pipe = PipelineStatistics(leaky(), self.STAGES, slack=1)
+        sim = pipe.simulator()
+        drive(sim, [2, 3, 4])  # one odd value: within slack
+        assert pipe.first_divergence(sim) is None
+
+    def test_report_text(self):
+        pipe = PipelineStatistics(leaky(), self.STAGES)
+        sim = pipe.simulator()
+        drive(sim, [1, 2])
+        text = pipe.report(sim)
+        assert "input" in text and "stage2" in text
+        assert "missing" in text
+
+    def test_requires_two_stages(self):
+        with pytest.raises(ValueError):
+            PipelineStatistics(leaky(), [("only", "in_valid")])
+
+    def test_stage_divergence_str(self):
+        divergence = StageDivergence("a", "b", 10, 7)
+        assert "3 missing" in str(divergence)
+
+    def test_on_grayscale_bug(self):
+        """§4.4 in anger: localize D2's loss to the FIFO boundary."""
+        pipe = PipelineStatistics(
+            load_design("D2"),
+            [
+                ("pixels_read", "rd_rsp_valid"),
+                ("pixels_transformed", "gray_valid"),
+                ("pixels_written", "wr_req"),
+            ],
+        )
+        sim = pipe.simulator()
+        SCENARIOS["D2"](sim)
+        divergence = pipe.first_divergence(sim)
+        assert divergence is not None
+        # All pixels reach the transform; they vanish before the writer
+        # (the FIFO between the two drops the overflow).
+        assert divergence.upstream == "pixels_transformed"
+        assert divergence.downstream == "pixels_written"
+        assert divergence.missing >= 1
+
+
+class TestLossCheckReport:
+    def test_report_lists_localizations(self):
+        spec = SPECS["C2"].losscheck
+        lc = LossCheck(
+            load_design("C2"),
+            source=spec.source,
+            sink=spec.sink,
+            source_valid=spec.source_valid,
+        )
+        result = lc.analyze(SCENARIOS["C2"])
+        text = result.report()
+        assert "potential data loss at b_buf" in text
+        assert "first at cycle" in text
+        assert result.first_warning_cycle("b_buf") is not None
+
+    def test_report_mentions_suppressions(self):
+        from repro.testbed import GROUND_TRUTH
+
+        spec = SPECS["D11"].losscheck
+        lc = LossCheck(
+            load_design("D11"),
+            source=spec.source,
+            sink=spec.sink,
+            source_valid=spec.source_valid,
+        )
+        lc.calibrate(GROUND_TRUTH["D11"])
+        result = lc.analyze(SCENARIOS["D11"])
+        assert "suppressed word_stage" in result.report()
+
+    def test_clean_report(self, lossy_design):
+        lc = LossCheck(
+            lossy_design, source="in", sink="out", source_valid="in_valid"
+        )
+        result = lc.analyze(lambda sim: sim.step(5))
+        assert result.report() == "no potential data loss observed"
+        assert result.first_warning_cycle("b") is None

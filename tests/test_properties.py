@@ -1,0 +1,294 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+* parser/codegen round-trips over randomly generated expression ASTs;
+* the simulator against a Python golden model of a datapath;
+* LossCheck against an oracle implementing §4.5.2's Equations 1 and 2
+  directly, over random stimulus streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LossCheck
+from repro.hdl import ast, elaborate, parse, parse_expression
+from repro.hdl.codegen import generate_expression
+from repro.sim import Simulator, mask
+
+# ---------------------------------------------------------------------------
+# Random expression ASTs round-trip through codegen + parser.
+# ---------------------------------------------------------------------------
+
+_identifiers = st.sampled_from(["a", "b", "c", "sig", "x0"])
+_numbers = st.integers(min_value=0, max_value=1 << 16).map(
+    lambda v: ast.Number(value=v)
+)
+_binops = st.sampled_from(["+", "-", "&", "|", "^", "<<", ">>", "==", "<", "&&"])
+_unops = st.sampled_from(["~", "!", "-", "&", "|", "^"])
+
+
+def _expressions():
+    leaves = st.one_of(_numbers, _identifiers.map(lambda n: ast.Identifier(name=n)))
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(_binops, children, children).map(
+                lambda t: ast.BinaryOp(op=t[0], left=t[1], right=t[2])
+            ),
+            st.tuples(_unops, children).map(
+                lambda t: ast.UnaryOp(op=t[0], operand=t[1])
+            ),
+            st.tuples(children, children, children).map(
+                lambda t: ast.Ternary(cond=t[0], iftrue=t[1], iffalse=t[2])
+            ),
+            st.lists(children, min_size=2, max_size=4).map(
+                lambda parts: ast.Concat(parts=parts)
+            ),
+            st.tuples(st.integers(min_value=1, max_value=64), children).map(
+                lambda t: ast.SizeCast(width=t[0], expr=t[1])
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+class TestExpressionRoundtrip:
+    @given(_expressions())
+    @settings(max_examples=300)
+    def test_codegen_parses_back_to_same_ast(self, expr):
+        text = generate_expression(expr)
+        assert parse_expression(text) == expr
+
+
+# ---------------------------------------------------------------------------
+# Simulator vs a Python golden model of a small datapath.
+# ---------------------------------------------------------------------------
+
+_DATAPATH = """
+module datapath (
+    input wire clk,
+    input wire rst,
+    input wire en,
+    input wire [7:0] d,
+    output reg [7:0] acc,
+    output reg [7:0] last,
+    output reg [15:0] total
+);
+    always @(posedge clk) begin
+        if (rst) begin
+            acc <= 0;
+            total <= 0;
+        end else if (en) begin
+            acc <= (acc ^ d) + 1;
+            last <= d;
+            total <= total + d;
+        end
+    end
+endmodule
+"""
+
+
+class TestSimulatorGoldenModel:
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(), st.booleans(),
+                st.integers(min_value=0, max_value=255),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_model(self, stimulus):
+        sim = Simulator(elaborate(parse(_DATAPATH), top="datapath"))
+        acc = last = total = 0
+        for rst, en, d in stimulus:
+            sim["rst"] = int(rst)
+            sim["en"] = int(en)
+            sim["d"] = d
+            sim.step()
+            if rst:
+                acc, total = 0, 0
+            elif en:
+                acc = ((acc ^ d) + 1) & 0xFF
+                last = d
+                total = (total + d) & 0xFFFF
+        assert sim["acc"] == acc
+        assert sim["last"] == last
+        assert sim["total"] == total
+
+
+# ---------------------------------------------------------------------------
+# LossCheck vs a direct implementation of Equations 1 and 2.
+# ---------------------------------------------------------------------------
+
+_LOSSY = """
+module lossy (
+    input wire clk,
+    input wire in_valid,
+    input wire [7:0] in,
+    input wire cond_a,
+    input wire cond_b,
+    input wire [7:0] a,
+    output reg [7:0] out
+);
+    reg [7:0] b;
+    always @(posedge clk) begin
+        if (cond_a) out <= a;
+        else if (cond_b) out <= b;
+        if (in_valid) b <= in;
+    end
+endmodule
+"""
+
+
+def _oracle_warning_cycles(stimulus):
+    """Equations 1 and 2 computed directly for register b.
+
+    A_k = in_valid; V_k = in_valid; P_k = !cond_a && cond_b.
+    N_k = V_{k-1} | (N_{k-1} & ~P_{k-1}); Loss_k = A_k & ~P_k & N_k.
+    The instrumentation reports Loss_k at cycle k+1 (registered shadows).
+    """
+    warnings = []
+    n = 0
+    prev_v = prev_p = 0
+    for cycle, (in_valid, cond_a, cond_b, _value) in enumerate(stimulus):
+        a_k = int(in_valid)
+        v_k = int(in_valid)
+        p_k = int((not cond_a) and cond_b)
+        n = prev_v | (n & (1 - prev_p))  # N_k from cycle k-1 statuses
+        if a_k and not p_k and n:
+            warnings.append(cycle + 1)
+        prev_v, prev_p = v_k, p_k
+    return warnings
+
+
+class TestLossCheckOracle:
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(), st.booleans(), st.booleans(),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_equation_oracle(self, stimulus):
+        lc = LossCheck(
+            elaborate(parse(_LOSSY), top="lossy"),
+            source="in",
+            sink="out",
+            source_valid="in_valid",
+        )
+
+        def drive(sim):
+            for in_valid, cond_a, cond_b, value in stimulus:
+                sim["in_valid"] = int(in_valid)
+                sim["cond_a"] = int(cond_a)
+                sim["cond_b"] = int(cond_b)
+                sim["in"] = value
+                sim.step()
+            sim["in_valid"] = 0
+            sim.step()
+
+        result = lc.analyze(drive)
+        observed = [w.cycle for w in result.warnings if w.location == "b"]
+        expected = [c for c in _oracle_warning_cycles(stimulus)]
+        assert observed == expected
+
+
+# ---------------------------------------------------------------------------
+# Random statement trees round-trip through codegen + parser.
+# ---------------------------------------------------------------------------
+
+from repro.hdl.codegen import generate_statement
+from repro.hdl import parse_statement
+
+_small_exprs = st.one_of(
+    st.sampled_from(["a", "b", "c"]).map(lambda n: ast.Identifier(name=n)),
+    st.integers(min_value=0, max_value=255).map(lambda v: ast.Number(value=v)),
+    st.tuples(
+        st.sampled_from(["+", "&", "=="]),
+        st.sampled_from(["a", "b"]).map(lambda n: ast.Identifier(name=n)),
+        st.integers(min_value=0, max_value=15).map(lambda v: ast.Number(value=v)),
+    ).map(lambda t: ast.BinaryOp(op=t[0], left=t[1], right=t[2])),
+)
+
+_assigns = st.tuples(
+    st.sampled_from(["q", "r", "s"]).map(lambda n: ast.Identifier(name=n)),
+    _small_exprs,
+    st.booleans(),
+).map(
+    lambda t: ast.BlockingAssign(lhs=t[0], rhs=t[1])
+    if t[2]
+    else ast.NonblockingAssign(lhs=t[0], rhs=t[1])
+)
+
+
+def _statements():
+    def extend(children):
+        return st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(
+                lambda stmts: ast.Block(statements=stmts)
+            ),
+            st.tuples(_small_exprs, children, st.none() | children).map(
+                lambda t: ast.If(cond=t[0], then_stmt=t[1], else_stmt=t[2])
+            ),
+            st.tuples(
+                _small_exprs,
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=7), children
+                    ),
+                    min_size=1,
+                    max_size=3,
+                ),
+            ).map(
+                lambda t: ast.Case(
+                    subject=t[0],
+                    items=[
+                        ast.CaseItem(labels=[ast.Number(value=v)], stmt=s)
+                        for v, s in t[1]
+                    ],
+                )
+            ),
+        )
+
+    return st.recursive(_assigns, extend, max_leaves=8)
+
+
+def _normalize(stmt):
+    """Collapse singleton begin/end blocks (codegen inserts them to avoid
+    the dangling-else hazard) so comparisons are structural-modulo-braces."""
+    if isinstance(stmt, ast.Block):
+        inner = [_normalize(s) for s in stmt.statements]
+        if len(inner) == 1:
+            return inner[0]
+        return ast.Block(statements=inner)
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            cond=stmt.cond,
+            then_stmt=_normalize(stmt.then_stmt),
+            else_stmt=(
+                _normalize(stmt.else_stmt) if stmt.else_stmt is not None else None
+            ),
+        )
+    if isinstance(stmt, ast.Case):
+        return ast.Case(
+            subject=stmt.subject,
+            items=[
+                ast.CaseItem(labels=item.labels, stmt=_normalize(item.stmt))
+                for item in stmt.items
+            ],
+            casez=stmt.casez,
+        )
+    return stmt
+
+
+class TestStatementRoundtrip:
+    @given(_statements())
+    @settings(max_examples=200)
+    def test_codegen_parses_back_to_equivalent_ast(self, stmt):
+        text = "\n".join(generate_statement(stmt))
+        assert _normalize(parse_statement(text)) == _normalize(stmt)

@@ -1,0 +1,140 @@
+"""Tests for the resource estimator and the Figure 2/3 properties."""
+
+import pytest
+
+from repro.hdl import elaborate, parse
+from repro.resources import (
+    HARP,
+    KC705,
+    ResourceEstimate,
+    estimate_resources,
+    platform_for,
+)
+from repro.testbed import BUG_IDS, SPECS, load_design
+from repro.testbed.metadata import Platform
+from repro.testbed.debug_configs import instrument_for_debugging
+
+
+def estimate_text(text, top=None):
+    return estimate_resources(elaborate(parse(text), top=top))
+
+
+class TestRegisterCounting:
+    def test_sequential_register_bits(self):
+        est = estimate_text(
+            "module m (input wire clk, output reg [7:0] q);"
+            " always @(posedge clk) q <= q; endmodule"
+        )
+        assert est.registers == 8
+
+    def test_wires_not_counted(self):
+        est = estimate_text(
+            "module m (input wire [7:0] a, output wire [7:0] w);"
+            " assign w = a; endmodule"
+        )
+        assert est.registers == 0
+
+    def test_small_memory_counts_as_registers(self):
+        est = estimate_text(
+            "module m (input wire clk, input wire [2:0] a, input wire [7:0] d);"
+            " reg [7:0] mem [0:7];"
+            " always @(posedge clk) mem[a] <= d; endmodule"
+        )
+        assert est.registers == 64
+        assert est.bram_bits == 0
+
+    def test_large_memory_becomes_bram(self):
+        est = estimate_text(
+            "module m (input wire clk, input wire [7:0] a, input wire [31:0] d);"
+            " reg [31:0] mem [0:255];"
+            " always @(posedge clk) mem[a] <= d; endmodule"
+        )
+        assert est.bram_bits == 32 * 256
+
+
+class TestIPResources:
+    def test_recorder_bram_scales_with_depth(self):
+        def recorder(depth):
+            return estimate_text(
+                "module m (input wire clk, input wire e, input wire [31:0] d);"
+                " signal_recorder #(.WIDTH(32), .DEPTH(%d)) r ("
+                " .clock(clk), .enable(e), .data(d)); endmodule" % depth
+            )
+
+        small = recorder(1024)
+        big = recorder(8192)
+        assert big.bram_bits == 8 * small.bram_bits - 0 or True
+        assert big.bram_bits == 32 * 8192
+        assert small.bram_bits == 32 * 1024
+        # Registers barely move with depth (only the address counter).
+        assert abs(big.registers - small.registers) <= 8
+
+    def test_fifo_capacity(self):
+        est = estimate_text(
+            "module m (input wire clk, input wire [15:0] d);"
+            " wire [15:0] q;"
+            " scfifo #(.LPM_WIDTH(16), .LPM_NUMWORDS(64)) f ("
+            " .clock(clk), .data(d), .q(q)); endmodule"
+        )
+        assert est.bram_bits == 16 * 64
+
+
+class TestEstimateArithmetic:
+    def test_addition_and_subtraction(self):
+        a = ResourceEstimate(registers=10, logic_cells=20, bram_bits=30)
+        b = ResourceEstimate(registers=1, logic_cells=2, bram_bits=3)
+        assert (a + b).registers == 11
+        assert (a - b).logic_cells == 18
+
+    def test_normalized(self):
+        est = ResourceEstimate(registers=KC705.registers // 2)
+        assert est.normalized(KC705)["registers"] == pytest.approx(0.5)
+
+
+class TestFigure2Properties:
+    """The structural claims behind Figure 2 (§6.4)."""
+
+    @pytest.mark.parametrize("bug_id", ["D1", "D7", "C2", "S1"])
+    def test_bram_grows_linearly_with_buffer_size(self, bug_id):
+        base = estimate_resources(load_design(bug_id))
+        overheads = []
+        for depth in (1024, 2048, 4096, 8192):
+            instr = instrument_for_debugging(bug_id, buffer_depth=depth)
+            overheads.append(
+                (estimate_resources(instr.module) - base).bram_bits
+            )
+        # Doubling the buffer doubles the recording BRAM.
+        for prev, cur in zip(overheads, overheads[1:]):
+            assert cur == pytest.approx(2 * prev, rel=0.05)
+
+    @pytest.mark.parametrize("bug_id", ["D1", "D7", "C2", "S1"])
+    def test_registers_and_logic_stable_across_buffer_sizes(self, bug_id):
+        base = estimate_resources(load_design(bug_id))
+        values = []
+        for depth in (1024, 8192):
+            instr = instrument_for_debugging(bug_id, buffer_depth=depth)
+            over = estimate_resources(instr.module) - base
+            values.append((over.registers, over.logic_cells))
+        (regs_small, logic_small), (regs_big, logic_big) = values
+        assert abs(regs_big - regs_small) <= 8
+        assert abs(logic_big - logic_small) <= 8
+
+    def test_platform_mapping(self):
+        for bug_id in BUG_IDS:
+            plat = platform_for(SPECS[bug_id])
+            if SPECS[bug_id].platform is Platform.HARP:
+                assert plat is HARP
+            else:
+                assert plat is KC705
+
+    def test_overheads_are_small_fractions_of_the_device(self):
+        """Figure 3's property: instrumentation uses a few percent at most."""
+        for bug_id in BUG_IDS:
+            spec = SPECS[bug_id]
+            plat = platform_for(spec)
+            base = estimate_resources(load_design(bug_id))
+            instr = instrument_for_debugging(bug_id, buffer_depth=8192)
+            over = estimate_resources(instr.module) - base
+            norm = over.normalized(plat)
+            assert norm["registers"] < 0.05
+            assert norm["logic"] < 0.05

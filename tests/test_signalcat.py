@@ -1,0 +1,191 @@
+"""Tests for SignalCat (§4.1): unified simulation/on-FPGA logging."""
+
+import pytest
+
+from repro.core import Mode, SignalCat
+from repro.hdl import ast, elaborate, parse
+
+PKTCOUNT = """
+module pktcount (
+    input wire clk,
+    input wire pkt_valid,
+    input wire [7:0] pkt,
+    output reg [15:0] count
+);
+    always @(posedge clk) begin
+        if (pkt_valid) begin
+            count <= count + 1;
+            $display("packet %h arrived, total %d", pkt, count);
+        end
+    end
+endmodule
+"""
+
+TWO_STATEMENTS = """
+module two (
+    input wire clk,
+    input wire a,
+    input wire b,
+    input wire [3:0] x
+);
+    always @(posedge clk) begin
+        if (a) $display("A fired x=%d", x);
+        if (b) $display("B fired");
+    end
+endmodule
+"""
+
+
+def pktcount_design():
+    return elaborate(parse(PKTCOUNT), top="pktcount")
+
+
+def drive_packets(sim, values=(0xAA, 0xBB, 0xCC)):
+    for value in values:
+        sim["pkt"] = value
+        sim["pkt_valid"] = 1
+        sim.step()
+        sim["pkt_valid"] = 0
+        sim.step()
+
+
+class TestSimulationMode:
+    def test_log_from_native_displays(self):
+        sc = SignalCat(pktcount_design(), mode=Mode.SIMULATION)
+        log = sc.run(drive_packets)
+        assert [e.text for e in log] == [
+            "packet aa arrived, total 0",
+            "packet bb arrived, total 1",
+            "packet cc arrived, total 2",
+        ]
+
+    def test_statement_index_resolved(self):
+        sc = SignalCat(pktcount_design(), mode=Mode.SIMULATION)
+        log = sc.run(drive_packets)
+        assert all(e.statement_index == 0 for e in log)
+
+    def test_no_instrumentation_in_sim_mode(self):
+        sc = SignalCat(pktcount_design(), mode=Mode.SIMULATION)
+        assert sc.generated_line_count() == 0
+
+
+class TestOnFpgaMode:
+    def test_logs_identical_across_modes(self):
+        """The paper's core claim: one interface, both contexts."""
+        sim_log = SignalCat(pktcount_design(), mode=Mode.SIMULATION).run(
+            drive_packets
+        )
+        fpga_log = SignalCat(
+            pktcount_design(), mode=Mode.ON_FPGA, buffer_depth=64
+        ).run(drive_packets)
+        assert [(e.cycle, e.text) for e in sim_log] == [
+            (e.cycle, e.text) for e in fpga_log
+        ]
+
+    def test_displays_removed_from_design(self):
+        sc = SignalCat(pktcount_design(), mode=Mode.ON_FPGA)
+        displays = [
+            n
+            for item in sc.module.items
+            if isinstance(item, ast.Always)
+            for n in item.body.walk()
+            if isinstance(n, ast.Display)
+        ]
+        assert displays == []
+
+    def test_recorder_instantiated(self):
+        sc = SignalCat(pktcount_design(), mode=Mode.ON_FPGA, buffer_depth=128)
+        instances = [
+            i for i in sc.module.items if isinstance(i, ast.Instance)
+        ]
+        assert instances[0].module_name == "signal_recorder"
+        params = {p.name: p.value.value for p in instances[0].params}
+        assert params["DEPTH"] == 128
+        # 1 flag bit + 8-bit pkt + 16-bit count.
+        assert params["WIDTH"] == 25
+        assert sc.word_width == 25
+
+    def test_multiple_statements_flags(self):
+        design = elaborate(parse(TWO_STATEMENTS), top="two")
+        sc = SignalCat(design, mode=Mode.ON_FPGA, buffer_depth=32)
+
+        def drive(sim):
+            sim["x"] = 7
+            sim["a"] = 1
+            sim.step()
+            sim["a"] = 0
+            sim["b"] = 1
+            sim.step()
+            sim["a"] = 1  # both in the same cycle
+            sim.step()
+
+        log = sc.run(drive)
+        texts = [e.text for e in log]
+        assert texts == [
+            "A fired x=7",
+            "B fired",
+            "A fired x=7",
+            "B fired",
+        ]
+        assert [e.statement_index for e in log] == [0, 1, 0, 1]
+
+    def test_circular_buffer_drops_oldest(self):
+        sc = SignalCat(pktcount_design(), mode=Mode.ON_FPGA, buffer_depth=2)
+        log = sc.run(drive_packets)
+        assert [e.text for e in log] == [
+            "packet bb arrived, total 1",
+            "packet cc arrived, total 2",
+        ]
+
+    def test_generated_lines_counted(self):
+        sc = SignalCat(pktcount_design(), mode=Mode.ON_FPGA)
+        assert sc.generated_line_count() > 5
+        assert "signal_recorder" in sc.generated_verilog()
+
+    def test_no_displays_no_recorder(self):
+        design = elaborate(
+            parse(
+                "module quiet (input wire clk, output reg q);"
+                " always @(posedge clk) q <= ~q; endmodule"
+            )
+        )
+        sc = SignalCat(design, mode=Mode.ON_FPGA)
+        assert not [i for i in sc.module.items if isinstance(i, ast.Instance)]
+        assert sc.run(lambda sim: sim.step(3)) == []
+
+
+class TestStartStopEvents:
+    def test_start_event_gates_recording(self):
+        sc = SignalCat(
+            pktcount_design(),
+            mode=Mode.ON_FPGA,
+            buffer_depth=64,
+            start_event="count >= 1",
+        )
+        log = sc.run(drive_packets)
+        # The first packet (count still 0) is not recorded.
+        assert [e.text for e in log] == [
+            "packet bb arrived, total 1",
+            "packet cc arrived, total 2",
+        ]
+
+    def test_stop_event_ends_recording(self):
+        sc = SignalCat(
+            pktcount_design(),
+            mode=Mode.ON_FPGA,
+            buffer_depth=64,
+            start_event="1",
+            stop_event="count >= 2",
+        )
+        log = sc.run(drive_packets)
+        assert [e.text for e in log] == [
+            "packet aa arrived, total 0",
+            "packet bb arrived, total 1",
+        ]
+
+    def test_format_log(self):
+        sc = SignalCat(pktcount_design(), mode=Mode.SIMULATION)
+        log = sc.run(drive_packets)
+        text = sc.format_log(log)
+        assert "packet aa arrived" in text
+        assert text.count("\n") == 2

@@ -1,0 +1,367 @@
+"""Tests for the cycle-accurate simulator."""
+
+import pytest
+
+from repro.hdl import elaborate, parse
+from repro.sim import (
+    CombinationalLoopError,
+    Simulator,
+    SimulatorError,
+    verilog_format,
+)
+
+
+def build(text, top=None, **kwargs):
+    return Simulator(elaborate(parse(text), top=top), **kwargs)
+
+
+class TestSequentialBasics:
+    def test_counter(self, counter_design):
+        sim = Simulator(counter_design)
+        sim["rst"] = 1
+        sim.step()
+        sim["rst"] = 0
+        sim["enable"] = 1
+        sim.step(5)
+        assert sim["count"] == 5
+
+    def test_counter_wraps_at_width(self, counter_design):
+        sim = Simulator(counter_design)
+        sim["enable"] = 1
+        sim.step(256)
+        assert sim["count"] == 0
+
+    def test_reset_dominates(self, counter_design):
+        sim = Simulator(counter_design)
+        sim["enable"] = 1
+        sim.step(3)
+        sim["rst"] = 1
+        sim.step()
+        assert sim["count"] == 0
+
+    def test_nonblocking_swap(self):
+        sim = build(
+            """
+            module swap (input wire clk, output reg [3:0] a, output reg [3:0] b);
+                always @(posedge clk) begin
+                    a <= b;
+                    b <= a;
+                end
+            endmodule
+            """
+        )
+        sim.state["a"] = 1
+        sim.state["b"] = 2
+        sim.step()
+        assert (sim["a"], sim["b"]) == (2, 1)
+
+    def test_blocking_within_block_sequences(self):
+        sim = build(
+            """
+            module blk (input wire clk, output reg [7:0] y);
+                reg [7:0] t;
+                always @(posedge clk) begin
+                    t = 5;
+                    y <= t + 1;
+                end
+            endmodule
+            """
+        )
+        sim.step()
+        assert sim["y"] == 6
+
+    def test_last_nonblocking_assignment_wins(self):
+        sim = build(
+            """
+            module last (input wire clk, output reg [3:0] y);
+                always @(posedge clk) begin
+                    y <= 1;
+                    y <= 2;
+                end
+            endmodule
+            """
+        )
+        sim.step()
+        assert sim["y"] == 2
+
+    def test_fsm_listing1(self, fsm_design):
+        """The paper's Listing 1 FSM walks IDLE -> WORK -> FINISH -> IDLE."""
+        sim = Simulator(fsm_design)
+        sim["request_valid"] = 1
+        sim.step()
+        assert sim["state"] == 1
+        sim["work_done"] = 1
+        sim.step()
+        assert sim["state"] == 2
+        sim.step()
+        assert sim["state"] == 0
+
+
+class TestCombinational:
+    def test_continuous_assign_chain(self):
+        sim = build(
+            """
+            module chain (input wire [7:0] x, output wire [7:0] z);
+                wire [7:0] y;
+                assign y = x + 1;
+                assign z = y * 2;
+            endmodule
+            """
+        )
+        sim["x"] = 3
+        sim.settle()
+        assert sim["z"] == 8
+
+    def test_always_star(self):
+        sim = build(
+            """
+            module mux (input wire s, input wire [3:0] a, input wire [3:0] b,
+                        output reg [3:0] y);
+                always @(*) begin
+                    if (s) y = a;
+                    else y = b;
+                end
+            endmodule
+            """
+        )
+        sim["a"] = 5
+        sim["b"] = 9
+        sim.settle()
+        assert sim["y"] == 9
+        sim["s"] = 1
+        sim.settle()
+        assert sim["y"] == 5
+
+    def test_two_process_fsm_settles(self):
+        # next = state; case ... next = X — rewrites within a pass but
+        # converges; must NOT be reported as a combinational loop.
+        sim = build(
+            """
+            module twop (input wire clk, input wire go, output reg st);
+                reg nxt;
+                always @(*) begin
+                    nxt = st;
+                    case (st)
+                        0: if (go) nxt = 1;
+                        1: nxt = 0;
+                    endcase
+                end
+                always @(posedge clk) st <= nxt;
+            endmodule
+            """
+        )
+        sim["go"] = 1
+        sim.step()
+        assert sim["st"] == 1
+        sim.step()
+        assert sim["st"] == 0
+
+    def test_true_combinational_loop_detected(self):
+        sim = build(
+            """
+            module osc (input wire clk, output wire a);
+                assign a = ~a;
+            endmodule
+            """
+        )
+        with pytest.raises(CombinationalLoopError):
+            sim.settle()
+
+    def test_display_in_comb_block_rejected(self):
+        with pytest.raises(SimulatorError):
+            build(
+                """
+                module bad (input wire a, output reg q);
+                    always @(*) begin
+                        q = a;
+                        $display("no");
+                    end
+                endmodule
+                """
+            )
+
+
+class TestLvalues:
+    def test_bit_write(self):
+        sim = build(
+            """
+            module bits (input wire clk, input wire [2:0] i, input wire v,
+                         output reg [7:0] w);
+                always @(posedge clk) w[i] <= v;
+            endmodule
+            """
+        )
+        sim["i"] = 3
+        sim["v"] = 1
+        sim.step()
+        assert sim["w"] == 0b1000
+
+    def test_part_select_write(self):
+        sim = build(
+            """
+            module parts (input wire clk, input wire [7:0] b, output reg [15:0] w);
+                always @(posedge clk) w[15:8] <= b;
+            endmodule
+            """
+        )
+        sim["b"] = 0xAB
+        sim.step()
+        assert sim["w"] == 0xAB00
+
+    def test_concat_lvalue_write(self):
+        sim = build(
+            """
+            module cc (input wire clk, input wire [7:0] v,
+                       output reg [3:0] hi, output reg [3:0] lo);
+                always @(posedge clk) {hi, lo} <= v;
+            endmodule
+            """
+        )
+        sim["v"] = 0xA5
+        sim.step()
+        assert (sim["hi"], sim["lo"]) == (0xA, 0x5)
+
+    def test_memory_write_read(self):
+        sim = build(
+            """
+            module mem (input wire clk, input wire [3:0] wa, input wire [7:0] wd,
+                        input wire we, input wire [3:0] ra, output wire [7:0] rd);
+                reg [7:0] store [0:15];
+                always @(posedge clk) if (we) store[wa] <= wd;
+                assign rd = store[ra];
+            endmodule
+            """
+        )
+        sim["wa"] = 5
+        sim["wd"] = 77
+        sim["we"] = 1
+        sim.step()
+        sim["ra"] = 5
+        sim.settle()
+        assert sim["rd"] == 77
+
+    def test_nonblocking_index_uses_pre_commit_value(self):
+        # ptr and mem[ptr] written in the same block: the index must be
+        # the pre-edge ptr.
+        sim = build(
+            """
+            module ptrw (input wire clk, input wire [7:0] d);
+                reg [7:0] mem [0:7];
+                reg [2:0] ptr;
+                always @(posedge clk) begin
+                    mem[ptr] <= d;
+                    ptr <= ptr + 1;
+                end
+            endmodule
+            """
+        )
+        sim["d"] = 11
+        sim.step()
+        sim["d"] = 22
+        sim.step()
+        assert sim.get("mem")[0] == 11
+        assert sim.get("mem")[1] == 22
+
+
+class TestDisplayAndFinish:
+    def test_display_event_recorded(self):
+        sim = build(
+            """
+            module say (input wire clk, input wire go);
+                always @(posedge clk) if (go) $display("got %d and %h", 10, 255);
+            endmodule
+            """
+        )
+        sim["go"] = 1
+        sim.step()
+        assert sim.display_events[0].text == "got 10 and ff"
+
+    def test_display_reads_pre_edge_values(self):
+        sim = build(
+            """
+            module pre (input wire clk, output reg [3:0] n);
+                always @(posedge clk) begin
+                    n <= n + 1;
+                    $display("n=%d", n);
+                end
+            endmodule
+            """
+        )
+        sim.step(3)
+        assert [e.text for e in sim.display_events] == ["n=0", "n=1", "n=2"]
+
+    def test_finish_stops_stepping(self):
+        sim = build(
+            """
+            module fin (input wire clk);
+                reg [3:0] n;
+                always @(posedge clk) begin
+                    n <= n + 1;
+                    if (n == 2) $finish;
+                end
+            endmodule
+            """
+        )
+        sim.step(10)
+        assert sim.finished
+        assert sim["n"] == 3
+
+    @pytest.mark.parametrize(
+        "fmt,values,expected",
+        [
+            ("%d", [42], "42"),
+            ("%h", [255], "ff"),
+            ("%x", [255], "ff"),
+            ("%b", [5], "101"),
+            ("%c", [65], "A"),
+            ("a %% b", [], "a % b"),
+            ("%d-%h", [1, 16], "1-10"),
+            ("%t", [7], "7"),
+        ],
+    )
+    def test_verilog_format(self, fmt, values, expected):
+        assert verilog_format(fmt, values) == expected
+
+
+class TestTraceAndRun:
+    def test_waveform_capture(self, counter_design):
+        sim = Simulator(counter_design, trace=["count"])
+        sim["enable"] = 1
+        sim.step(4)
+        assert sim.waveform["count"] == [0, 1, 2, 3]
+
+    def test_trace_all(self, counter_design):
+        sim = Simulator(counter_design, trace="all")
+        assert "count" in sim.waveform
+
+    def test_run_until(self, counter_design):
+        sim = Simulator(counter_design)
+        sim["enable"] = 1
+        cycles = sim.run(100, until=lambda s: s["count"] == 7)
+        assert cycles == 7
+
+    def test_set_unknown_signal_rejected(self, counter_design):
+        sim = Simulator(counter_design)
+        with pytest.raises(SimulatorError):
+            sim["nonexistent"] = 1
+
+    def test_set_masks_to_width(self, counter_design):
+        sim = Simulator(counter_design)
+        sim["enable"] = 0xFF
+        assert sim["enable"] == 1
+
+
+class TestNegedge:
+    def test_negedge_block_runs_second_half(self):
+        sim = build(
+            """
+            module dual (input wire clk, output reg [3:0] p, output reg [3:0] n);
+                always @(posedge clk) p <= p + 1;
+                always @(negedge clk) n <= p;
+            endmodule
+            """
+        )
+        sim.step()
+        # negedge sees the post-posedge value of p.
+        assert sim["p"] == 1
+        assert sim["n"] == 1

@@ -1,0 +1,154 @@
+"""Tests for the 68-bug study database and Table 1 (§3)."""
+
+from collections import Counter
+
+from repro.study import (
+    BUGS,
+    DESIGNS,
+    TABLE1_ORDER,
+    build_table1,
+    class_counts,
+    designs_with,
+    format_table1,
+    subclass_counts,
+)
+from repro.testbed import BUG_IDS, SPECS
+from repro.testbed.metadata import BugClass, BugSubclass, Symptom
+
+
+class TestTable1Counts:
+    """Table 1's per-subclass bug counts."""
+
+    EXPECTED = {
+        BugSubclass.BUFFER_OVERFLOW: 5,
+        BugSubclass.BIT_TRUNCATION: 12,
+        BugSubclass.MISINDEXING: 5,
+        BugSubclass.ENDIANNESS_MISMATCH: 1,
+        BugSubclass.FAILURE_TO_UPDATE: 5,
+        BugSubclass.DEADLOCK: 3,
+        BugSubclass.PRODUCER_CONSUMER_MISMATCH: 3,
+        BugSubclass.SIGNAL_ASYNCHRONY: 10,
+        BugSubclass.USE_WITHOUT_VALID: 1,
+        BugSubclass.PROTOCOL_VIOLATION: 3,
+        BugSubclass.API_MISUSE: 3,
+        BugSubclass.INCOMPLETE_IMPLEMENTATION: 7,
+        BugSubclass.ERRONEOUS_EXPRESSION: 10,
+    }
+
+    def test_sixty_eight_bugs(self):
+        assert len(BUGS) == 68
+
+    def test_per_subclass_counts(self):
+        assert dict(subclass_counts()) == self.EXPECTED
+
+    def test_class_totals(self):
+        counts = class_counts()
+        assert counts[BugClass.DATA_MIS_ACCESS] == 28
+        assert counts[BugClass.COMMUNICATION] == 17
+        assert counts[BugClass.SEMANTIC] == 23
+
+    def test_thirteen_subclasses_in_order(self):
+        assert len(TABLE1_ORDER) == 13
+        rows = build_table1()
+        assert [r.subclass for r in rows] == TABLE1_ORDER
+
+    def test_three_classes(self):
+        rows = build_table1()
+        assert {r.bug_class for r in rows} == {
+            BugClass.DATA_MIS_ACCESS,
+            BugClass.COMMUNICATION,
+            BugClass.SEMANTIC,
+        }
+
+
+class TestTable1Symptoms:
+    def test_buffer_overflow_is_loss(self):
+        row = [r for r in build_table1() if r.subclass is BugSubclass.BUFFER_OVERFLOW][0]
+        assert row.symptoms == {Symptom.LOSS}
+
+    def test_deadlock_is_stuck(self):
+        row = [r for r in build_table1() if r.subclass is BugSubclass.DEADLOCK][0]
+        assert row.symptoms == {Symptom.STUCK}
+
+    def test_bit_truncation_incorrect_and_external(self):
+        row = [r for r in build_table1() if r.subclass is BugSubclass.BIT_TRUNCATION][0]
+        assert row.symptoms == {Symptom.INCORRECT, Symptom.EXTERNAL}
+
+    def test_checkmark_rendering(self):
+        row = [r for r in build_table1() if r.subclass is BugSubclass.DEADLOCK][0]
+        assert row.checkmarks() == ["x", "", "", ""]
+
+    def test_formatted_table_lists_all_rows(self):
+        text = format_table1()
+        for subclass in TABLE1_ORDER:
+            assert subclass.value in text
+        assert "Total: 68 bugs" in text
+
+
+class TestStudyStructure:
+    def test_nineteen_designs(self):
+        assert len(DESIGNS) == 19
+        assert {b.design for b in BUGS} == set(DESIGNS)
+
+    def test_bit_truncation_spans_seven_designs(self):
+        """§3.2.2: 12 bit truncation bugs in 7 different FPGA designs."""
+        assert len(designs_with(BugSubclass.BIT_TRUNCATION)) == 7
+
+    def test_erroneous_expression_flow_split(self):
+        """§3.4.4: 5 control-flow and 5 data-flow erroneous expressions."""
+        flows = Counter(
+            b.flow for b in BUGS
+            if b.subclass is BugSubclass.ERRONEOUS_EXPRESSION
+        )
+        assert flows == {"control": 5, "data": 5}
+
+    def test_unique_bug_ids(self):
+        assert len({b.bug_id for b in BUGS}) == 68
+
+    def test_every_bug_has_symptoms_and_description(self):
+        for bug in BUGS:
+            assert bug.symptoms
+            assert len(bug.description) > 10
+            assert bug.collection
+
+
+class TestTestbedLinkage:
+    def test_all_testbed_bugs_in_study(self):
+        linked = {b.testbed_id for b in BUGS if b.testbed_id}
+        assert linked == set(BUG_IDS)
+
+    def test_linked_subclasses_agree(self):
+        for bug in BUGS:
+            if bug.testbed_id:
+                assert bug.subclass is SPECS[bug.testbed_id].subclass
+
+    def test_linked_each_testbed_bug_once(self):
+        linked = [b.testbed_id for b in BUGS if b.testbed_id]
+        assert len(linked) == len(set(linked)) == 20
+
+
+class TestLookupHelpers:
+    def test_bug_by_id(self):
+        from repro.study import bug_by_id
+
+        bug = bug_by_id("B01")
+        assert bug.design == "Reed-Solomon Decoder"
+        import pytest
+        with pytest.raises(KeyError):
+            bug_by_id("B99")
+
+    def test_bugs_in_design(self):
+        from repro.study import bugs_in_design
+
+        optimus = bugs_in_design("Optimus")
+        assert {b.testbed_id for b in optimus} == {"D3", "C2"}
+        assert bugs_in_design("No Such Design") == []
+
+    def test_testbed_link(self):
+        from repro.study import testbed_link
+
+        bug = testbed_link("D11")
+        assert bug.subclass is BugSubclass.FAILURE_TO_UPDATE
+        import pytest
+        with pytest.raises(KeyError):
+            testbed_link("Z1")

@@ -1,0 +1,130 @@
+"""Tests for the 20-bug testbed (Table 2, §6.1): push-button
+reproduction, fix verification, and metadata invariants."""
+
+import pytest
+
+from repro.testbed import (
+    BUG_IDS,
+    GROUND_TRUTH,
+    SPECS,
+    BugClass,
+    Platform,
+    Symptom,
+    Tool,
+    load_design,
+    reproduce,
+    run_scenario,
+    verify_fix,
+)
+from repro.sim import Simulator
+
+
+@pytest.mark.parametrize("bug_id", BUG_IDS)
+class TestPushButtonReproduction:
+    def test_bug_reproduces(self, bug_id):
+        result = reproduce(bug_id)
+        assert result.reproduced
+        assert SPECS[bug_id].symptoms <= result.observation.symptoms
+
+    def test_fix_is_clean(self, bug_id):
+        result = verify_fix(bug_id)
+        assert result.clean
+
+
+@pytest.mark.parametrize("bug_id", sorted(GROUND_TRUTH))
+class TestGroundTruthTests:
+    def test_shipped_test_passes_on_buggy_design(self, bug_id):
+        """§4.5.3: the ground-truth test escaped the bug in testing, so
+        it must run without tripping the failure on the buggy design."""
+        sim = Simulator(load_design(bug_id, fixed=False))
+        GROUND_TRUTH[bug_id](sim)  # must not raise
+
+
+class TestTable2Invariants:
+    def test_twenty_bugs(self):
+        assert len(BUG_IDS) == 20
+
+    def test_id_prefixes_match_classes(self):
+        for bug_id in BUG_IDS:
+            spec = SPECS[bug_id]
+            prefix = bug_id[0]
+            expected = {
+                "D": BugClass.DATA_MIS_ACCESS,
+                "C": BugClass.COMMUNICATION,
+                "S": BugClass.SEMANTIC,
+            }[prefix]
+            assert spec.bug_class is expected
+
+    def test_class_counts(self):
+        prefixes = [bug_id[0] for bug_id in BUG_IDS]
+        assert prefixes.count("D") == 13
+        assert prefixes.count("C") == 4
+        assert prefixes.count("S") == 3
+
+    def test_signalcat_helps_every_bug(self):
+        """§6.3: 'SignalCat is useful for debugging every bug'."""
+        for bug_id in BUG_IDS:
+            assert Tool.SIGNALCAT in SPECS[bug_id].helpful_tools
+
+    def test_each_monitor_helps_at_least_four_bugs(self):
+        """§6.3: 'Each of the 3 monitors assists with at least four bugs'."""
+        for tool in (
+            Tool.FSM_MONITOR,
+            Tool.STATISTICS_MONITOR,
+            Tool.DEPENDENCY_MONITOR,
+        ):
+            helped = [
+                b for b in BUG_IDS if tool in SPECS[b].helpful_tools
+            ]
+            assert len(helped) >= 4, tool
+
+    def test_losscheck_bugs(self):
+        """LossCheck is listed for exactly the six localizable loss bugs."""
+        helped = {b for b in BUG_IDS if Tool.LOSSCHECK in SPECS[b].helpful_tools}
+        assert helped == {"D1", "D2", "D3", "D4", "C2", "C4"}
+
+    def test_seven_loss_bugs(self):
+        """§6.3: 7 bugs exhibit data loss."""
+        loss = {b for b in BUG_IDS if Symptom.LOSS in SPECS[b].symptoms}
+        assert loss == {"D1", "D2", "D3", "D4", "D11", "C2", "C4"}
+
+    def test_platform_grouping(self):
+        """Figure 2: six HARP designs on Intel, the rest on KC705."""
+        harp = [b for b in BUG_IDS if SPECS[b].platform is Platform.HARP]
+        assert harp == ["D1", "D2", "D3", "D5", "D10", "C2"]
+
+    def test_target_frequencies(self):
+        """§6.4: Optimus and SHA512 target 400 MHz, the rest 200 MHz."""
+        for bug_id in BUG_IDS:
+            spec = SPECS[bug_id]
+            if spec.application in ("Optimus", "SHA512"):
+                assert spec.target_mhz == 400
+            else:
+                assert spec.target_mhz == 200
+
+    def test_every_bug_has_fix_metadata(self):
+        for bug_id in BUG_IDS:
+            spec = SPECS[bug_id]
+            assert spec.root_cause
+            assert spec.fix
+            assert spec.top != spec.fixed_top
+
+    def test_loss_specs_on_loss_bugs_only(self):
+        for bug_id in BUG_IDS:
+            spec = SPECS[bug_id]
+            if spec.losscheck is not None:
+                assert Symptom.LOSS in spec.symptoms
+
+
+class TestScenarioSymmetry:
+    def test_same_stimulus_applied_to_both_variants(self):
+        """run_scenario works against either design variant."""
+        buggy = run_scenario("D8", fixed=False)
+        fixed = run_scenario("D8", fixed=True)
+        assert buggy.incorrect and not fixed.incorrect
+
+    def test_case_study_fsm_states(self):
+        """§6.3 case study: read FSM in RD_FINISH, write FSM in WR_DATA."""
+        observation = run_scenario("D2", fixed=False)
+        assert observation.details["rd_state"] == 2  # RD_FINISH
+        assert observation.details["wr_state"] == 1  # WR_DATA

@@ -1,0 +1,134 @@
+"""Tests for the Testbench helper and the VCD waveform writer."""
+
+import pytest
+
+from repro.hdl import elaborate, parse
+from repro.sim import Simulator, Testbench, dump_vcd, write_vcd
+
+STREAMER = """
+module streamer (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    output reg out_valid,
+    output reg [7:0] out_data
+);
+    always @(posedge clk) begin
+        if (rst) out_valid <= 0;
+        else begin
+            out_valid <= in_valid;
+            out_data <= in_data + 1;
+        end
+    end
+endmodule
+"""
+
+
+def streamer():
+    return elaborate(parse(STREAMER), top="streamer")
+
+
+class TestTestbench:
+    def test_reset_pulse(self):
+        tb = Testbench(streamer())
+        tb["in_valid"] = 1
+        tb.reset()
+        assert tb["out_valid"] == 0 or tb.cycle >= 3  # reset consumed cycles
+        assert tb.cycle == 3  # two reset cycles + one release cycle
+
+    def test_send_and_collect(self):
+        tb = Testbench(streamer())
+        collected = tb.watch_valid("out_valid", "out_data")
+        tb.reset()
+        tb.send("in_data", "in_valid", [1, 2, 3])
+        tb.step(2)
+        assert collected == [2, 3, 4]
+
+    def test_send_with_gap(self):
+        tb = Testbench(streamer())
+        collected = tb.watch_valid("out_valid", "out_data")
+        tb.reset()
+        tb.send("in_data", "in_valid", [5, 6], gap=2)
+        tb.step(2)
+        assert collected == [6, 7]
+
+    def test_run_until(self):
+        tb = Testbench(streamer())
+        tb.reset()
+        tb["in_valid"] = 1
+        tb["in_data"] = 9
+        assert tb.run_until(lambda t: t["out_valid"] == 1, max_cycles=5)
+
+    def test_run_until_timeout(self):
+        tb = Testbench(streamer())
+        tb.reset()
+        assert not tb.run_until(lambda t: t["out_valid"] == 1, max_cycles=5)
+
+    def test_missing_reset_signal_is_noop(self):
+        design = elaborate(
+            parse(
+                "module nr (input wire clk, output reg q);"
+                " always @(posedge clk) q <= ~q; endmodule"
+            )
+        )
+        tb = Testbench(design, reset="rst")
+        tb.reset()
+        assert tb.cycle == 0
+
+    def test_display_events_passthrough(self):
+        design = elaborate(
+            parse(
+                'module d (input wire clk);'
+                ' always @(posedge clk) $display("tick"); endmodule'
+            )
+        )
+        tb = Testbench(design, reset=None)
+        tb.step(2)
+        assert len(tb.display_events) == 2
+
+
+class TestVCD:
+    def test_header_and_vars(self):
+        text = dump_vcd({"a": [0, 1], "b": [3, 3]}, {"a": 1, "b": 4})
+        assert "$timescale" in text
+        assert "$var wire 1" in text
+        assert "$var wire 4" in text
+        assert "$enddefinitions" in text
+
+    def test_only_changes_emitted(self):
+        text = dump_vcd({"a": [0, 0, 1, 1, 0]}, {"a": 1})
+        # a changes at cycles 0 (initial), 2, and 4.
+        assert text.count("\n0") + text.count("\n1") >= 3
+        assert "#2" in text and "#4" in text
+        assert "#3" not in text
+
+    def test_multibit_binary_format(self):
+        text = dump_vcd({"bus": [5]}, {"bus": 4})
+        assert "b101 " in text
+
+    def test_write_from_simulator(self, tmp_path):
+        sim = Simulator(streamer(), trace="all")
+        sim["in_valid"] = 1
+        sim["in_data"] = 7
+        sim.step(3)
+        path = write_vcd(sim, str(tmp_path / "trace.vcd"), comment="unit test")
+        content = open(path).read()
+        assert "out_data" in content
+        assert "$comment" in content
+
+    def test_write_without_trace_rejected(self, tmp_path):
+        sim = Simulator(streamer())
+        with pytest.raises(ValueError):
+            write_vcd(sim, str(tmp_path / "x.vcd"))
+
+    def test_many_signals_get_unique_ids(self):
+        waveform = {"sig%03d" % i: [i] for i in range(200)}
+        widths = {name: 16 for name in waveform}
+        text = dump_vcd(waveform, widths)
+        ids = [
+            line.split()[3]
+            for line in text.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(set(ids)) == 200

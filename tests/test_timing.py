@@ -1,0 +1,129 @@
+"""Tests for the timing model and the §6.4 frequency results."""
+
+import pytest
+
+from repro.hdl import elaborate, parse
+from repro.resources import (
+    HARP,
+    KC705,
+    achievable_frequency,
+    estimate_timing,
+    platform_for,
+)
+from repro.testbed import BUG_IDS, SPECS, load_design
+from repro.testbed.debug_configs import instrument_for_debugging
+
+
+def timing_of(text, platform=KC705, top=None):
+    return estimate_timing(elaborate(parse(text), top=top), platform)
+
+
+class TestDepthModel:
+    def test_shallow_logic_is_fast(self):
+        report = timing_of(
+            "module m (input wire clk, input wire d, output reg q);"
+            " always @(posedge clk) q <= d; endmodule"
+        )
+        assert report.logic_depth <= 2
+        assert report.fmax_mhz > 300
+
+    def test_wide_adder_deepens_path(self):
+        narrow = timing_of(
+            "module m (input wire clk, input wire [7:0] a, output reg [7:0] q);"
+            " always @(posedge clk) q <= q + a; endmodule"
+        )
+        wide = timing_of(
+            "module m (input wire clk, input wire [63:0] a, output reg [63:0] q);"
+            " always @(posedge clk) q <= q + a; endmodule"
+        )
+        assert wide.logic_depth > narrow.logic_depth
+        assert wide.fmax_mhz < narrow.fmax_mhz
+
+    def test_comb_chain_accumulates(self):
+        chained = timing_of(
+            "module m (input wire clk, input wire [31:0] a, input wire [31:0] b,"
+            " output reg [31:0] q);"
+            " wire [31:0] s1; wire [31:0] s2;"
+            " assign s1 = a + b; assign s2 = s1 + a;"
+            " always @(posedge clk) q <= s2 + b; endmodule"
+        )
+        single = timing_of(
+            "module m (input wire clk, input wire [31:0] a, input wire [31:0] b,"
+            " output reg [31:0] q);"
+            " always @(posedge clk) q <= a + b; endmodule"
+        )
+        assert chained.logic_depth > single.logic_depth
+
+    def test_no_recorder_no_cap(self):
+        report = timing_of(
+            "module m (input wire clk, input wire d, output reg q);"
+            " always @(posedge clk) q <= d; endmodule"
+        )
+        assert report.recorder_fmax_mhz == float("inf")
+
+    def test_recorder_width_caps_fmax(self):
+        narrow = timing_of(
+            "module m (input wire clk, input wire e, input wire [31:0] d);"
+            " signal_recorder #(.WIDTH(32), .DEPTH(64)) r ("
+            " .clock(clk), .enable(e), .data(d)); endmodule",
+            platform=HARP,
+        )
+        wide = timing_of(
+            "module m (input wire clk, input wire e, input wire [127:0] d);"
+            " signal_recorder #(.WIDTH(128), .DEPTH(64)) r ("
+            " .clock(clk), .enable(e), .data(d)); endmodule",
+            platform=HARP,
+        )
+        assert narrow.recorder_fmax_mhz == HARP.recorder_fmax_narrow
+        assert wide.recorder_fmax_mhz == HARP.recorder_fmax_wide
+        assert wide.fmax_mhz <= narrow.fmax_mhz
+
+
+class TestAchievableFrequency:
+    def test_meeting_target_keeps_it(self):
+        report = timing_of(
+            "module m (input wire clk, input wire d, output reg q);"
+            " always @(posedge clk) q <= d; endmodule"
+        )
+        assert achievable_frequency(report, 200) == 200
+
+    def test_missing_target_halves(self):
+        report = timing_of(
+            "module m (input wire clk, input wire e, input wire [127:0] d);"
+            " signal_recorder #(.WIDTH(128), .DEPTH(64)) r ("
+            " .clock(clk), .enable(e), .data(d)); endmodule",
+            platform=HARP,
+        )
+        assert achievable_frequency(report, 400) == 200
+
+
+class TestPaperFrequencyResults:
+    """§6.4: 18 of 20 instrumented designs keep their target frequency;
+    the two Optimus rows (D3, C2) fall from 400 to 200 MHz."""
+
+    def test_every_base_design_meets_its_target(self):
+        for bug_id in BUG_IDS:
+            spec = SPECS[bug_id]
+            report = estimate_timing(load_design(bug_id), platform_for(spec))
+            assert report.meets(spec.target_mhz), (bug_id, report)
+
+    def test_instrumented_frequency_outcomes(self):
+        outcomes = {}
+        for bug_id in BUG_IDS:
+            spec = SPECS[bug_id]
+            instr = instrument_for_debugging(bug_id, buffer_depth=8192)
+            report = estimate_timing(instr.module, platform_for(spec))
+            outcomes[bug_id] = achievable_frequency(report, spec.target_mhz)
+        dropped = {
+            b for b in BUG_IDS if outcomes[b] != SPECS[b].target_mhz
+        }
+        assert dropped == {"D3", "C2"}
+        assert outcomes["D3"] == 200
+        assert outcomes["C2"] == 200
+
+    def test_sha512_keeps_400(self):
+        for bug_id in ("D5", "D10"):
+            spec = SPECS[bug_id]
+            instr = instrument_for_debugging(bug_id, buffer_depth=8192)
+            report = estimate_timing(instr.module, platform_for(spec))
+            assert achievable_frequency(report, 400) == 400

@@ -1,0 +1,133 @@
+"""Tests for expression transforms and constant evaluation."""
+
+import pytest
+
+from repro.hdl import ast, parse_expression, parse_statement
+from repro.hdl.transform import (
+    NotConstantError,
+    const_eval,
+    fold_constants,
+    map_expression,
+    map_statement,
+    rename_identifiers,
+    substitute,
+    try_const_eval,
+)
+
+
+class TestConstEval:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 << 4) - 1", 15),
+            ("10 / 3", 3),
+            ("10 % 3", 1),
+            ("1 && 0", 0),
+            ("1 || 0", 1),
+            ("5 > 3", 1),
+            ("5 <= 3", 0),
+            ("~0 & 15", -1 & 15),
+            ("1 ? 10 : 20", 10),
+            ("0 ? 10 : 20", 20),
+            ("8'hFF ^ 8'h0F", 0xF0),
+        ],
+    )
+    def test_constant_expressions(self, text, value):
+        assert const_eval(parse_expression(text)) == value
+
+    def test_environment_lookup(self):
+        expr = parse_expression("W - 1")
+        assert const_eval(expr, {"W": 8}) == 7
+
+    def test_size_cast_masks(self):
+        assert const_eval(parse_expression("4'(255)")) == 15
+
+    def test_non_constant_raises(self):
+        with pytest.raises(NotConstantError):
+            const_eval(parse_expression("some_signal + 1"))
+
+    def test_try_const_eval_returns_none(self):
+        assert try_const_eval(parse_expression("x + 1")) is None
+        assert try_const_eval(parse_expression("2 + 2")) == 4
+
+
+class TestFoldConstants:
+    def test_parameter_folded(self):
+        expr = fold_constants(parse_expression("W - 1"), {"W": 8})
+        assert isinstance(expr, ast.Number)
+        assert expr.value == 7
+
+    def test_partial_fold(self):
+        expr = fold_constants(parse_expression("x + (W - 1)"), {"W": 8})
+        assert isinstance(expr, ast.BinaryOp)
+        assert isinstance(expr.right, ast.Number)
+
+    def test_signals_untouched(self):
+        expr = fold_constants(parse_expression("a + b"), {})
+        assert expr == parse_expression("a + b")
+
+
+class TestSubstituteAndRename:
+    def test_substitute(self):
+        expr = substitute(parse_expression("a + b"), {"a": 5})
+        assert isinstance(expr.left, ast.Number)
+        assert expr.left.value == 5
+
+    def test_rename(self):
+        expr = rename_identifiers(parse_expression("a + b"), {"a": "inst.a"})
+        assert expr.left.name == "inst.a"
+        assert expr.right.name == "b"
+
+    def test_rename_inside_selects(self):
+        expr = rename_identifiers(parse_expression("mem[idx]"), {"mem": "m", "idx": "i"})
+        assert expr.var.name == "m"
+        assert expr.index.name == "i"
+
+
+class TestMapStatement:
+    def test_expressions_rewritten_everywhere(self):
+        stmt = parse_statement("if (en) begin q <= d; m[i] = x; end")
+        renamed = map_statement(
+            stmt, lambda e: rename_identifiers(e, {"en": "enable"})
+        )
+        assert renamed.cond.name == "enable"
+
+    def test_statement_dropped(self):
+        stmt = parse_statement('begin a <= 1; $display("x"); b <= 2; end')
+        result = map_statement(
+            stmt,
+            lambda e: e,
+            lambda s: None if isinstance(s, ast.Display) else s,
+        )
+        assert len(result.statements) == 2
+
+    def test_statement_spliced(self):
+        stmt = parse_statement("begin a <= 1; end")
+
+        def duplicate(node):
+            if isinstance(node, ast.NonblockingAssign):
+                return [node, node]
+            return node
+
+        result = map_statement(stmt, lambda e: e, duplicate)
+        assert len(result.statements) == 2
+
+    def test_case_arms_rewritten(self):
+        stmt = parse_statement("case (s) 0: q <= a; endcase")
+        result = map_statement(
+            stmt, lambda e: rename_identifiers(e, {"a": "aa", "s": "ss"})
+        )
+        assert result.subject.name == "ss"
+        assert result.items[0].stmt.rhs.name == "aa"
+
+
+class TestMapExpression:
+    def test_identity(self):
+        expr = parse_expression("{a, b[3:0]} + (c ? d : 4'(e))")
+        assert map_expression(expr, lambda n: n) == expr
+
+    def test_walk_finds_all_identifiers(self):
+        expr = parse_expression("{a, b[c +: 2]} + (d ? e : f)")
+        names = {n.name for n in expr.walk() if isinstance(n, ast.Identifier)}
+        assert names == {"a", "b", "c", "d", "e", "f"}

@@ -1,0 +1,266 @@
+"""Tests for two-state value semantics and width rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import ast, elaborate, parse, parse_expression
+from repro.sim.values import (
+    Evaluator,
+    SymbolTable,
+    mask,
+    read_array,
+    self_width,
+    write_array,
+)
+
+
+def make_env(widths, arrays=None):
+    """Build a SymbolTable + Evaluator from {name: width} declarations."""
+    items = []
+    for name, width in widths.items():
+        items.append(
+            ast.Declaration(
+                kind=ast.NetKind.REG,
+                name=name,
+                width=ast.Width(
+                    msb=ast.Number(value=width - 1), lsb=ast.Number(value=0)
+                ),
+            )
+        )
+    for name, (width, depth) in (arrays or {}).items():
+        items.append(
+            ast.Declaration(
+                kind=ast.NetKind.REG,
+                name=name,
+                width=ast.Width(
+                    msb=ast.Number(value=width - 1), lsb=ast.Number(value=0)
+                ),
+                array=ast.Width(
+                    msb=ast.Number(value=0), lsb=ast.Number(value=depth - 1)
+                ),
+            )
+        )
+    module = ast.Module(name="env", items=items)
+    symbols = SymbolTable(module)
+    return symbols, Evaluator(symbols)
+
+
+class TestSelfWidth:
+    def test_identifier(self):
+        symbols, _ = make_env({"a": 8})
+        assert self_width(parse_expression("a"), symbols) == 8
+
+    def test_unsized_number_is_32(self):
+        symbols, _ = make_env({})
+        assert self_width(parse_expression("7"), symbols) == 32
+
+    def test_sized_number(self):
+        symbols, _ = make_env({})
+        assert self_width(parse_expression("4'd7"), symbols) == 4
+
+    def test_bit_select_is_one(self):
+        symbols, _ = make_env({"a": 8, "i": 3})
+        assert self_width(parse_expression("a[i]"), symbols) == 1
+
+    def test_array_element_width(self):
+        symbols, _ = make_env({"i": 4}, arrays={"m": (8, 16)})
+        assert self_width(parse_expression("m[i]"), symbols) == 8
+
+    def test_part_select(self):
+        symbols, _ = make_env({"a": 16})
+        assert self_width(parse_expression("a[11:4]"), symbols) == 8
+
+    def test_concat_sums(self):
+        symbols, _ = make_env({"a": 8, "b": 4})
+        assert self_width(parse_expression("{a, b}"), symbols) == 12
+
+    def test_replication(self):
+        symbols, _ = make_env({"a": 3})
+        assert self_width(parse_expression("{4{a}}"), symbols) == 12
+
+    def test_comparison_is_one_bit(self):
+        symbols, _ = make_env({"a": 8, "b": 8})
+        assert self_width(parse_expression("a == b"), symbols) == 1
+
+    def test_arith_takes_max(self):
+        symbols, _ = make_env({"a": 8, "b": 12})
+        assert self_width(parse_expression("a + b"), symbols) == 12
+
+    def test_shift_takes_left(self):
+        symbols, _ = make_env({"a": 8, "b": 12})
+        assert self_width(parse_expression("a << b"), symbols) == 8
+
+    def test_size_cast(self):
+        symbols, _ = make_env({"a": 64})
+        assert self_width(parse_expression("42'(a)"), symbols) == 42
+
+
+class TestEvaluation:
+    def test_truncation_bug_semantics(self):
+        """The paper's section 3.2.2 example: cast-before-shift loses bits."""
+        symbols, ev = make_env({"right": 64})
+        state = {"right": 0x0000FC00000000C0}
+        buggy = ev.eval(parse_expression("42'(right) >> 6"), state, 42)
+        fixed = ev.eval(parse_expression("42'(right >> 6)"), state, 42)
+        assert fixed == (state["right"] >> 6) & mask(42)
+        assert buggy != fixed
+
+    def test_unsigned_wraparound_compare(self):
+        """a - 1 > 0 with a == 0 wraps like hardware, not like Python."""
+        symbols, ev = make_env({"a": 8})
+        assert ev.eval(parse_expression("a - 1 > 0"), {"a": 0}) == 1
+
+    def test_addition_carry_kept_for_wider_context(self):
+        symbols, ev = make_env({"a": 8, "b": 8})
+        state = {"a": 255, "b": 1}
+        assert ev.eval(parse_expression("a + b"), state, ctx_width=9) == 256
+
+    def test_addition_carry_lost_at_self_width(self):
+        symbols, ev = make_env({"a": 8, "b": 8})
+        state = {"a": 255, "b": 1}
+        assert ev.eval(parse_expression("a + b"), state, ctx_width=8) == 0
+
+    def test_division_by_zero_is_zero(self):
+        symbols, ev = make_env({"a": 8, "b": 8})
+        assert ev.eval(parse_expression("a / b"), {"a": 5, "b": 0}) == 0
+        assert ev.eval(parse_expression("a % b"), {"a": 5, "b": 0}) == 0
+
+    def test_reduction_operators(self):
+        symbols, ev = make_env({"a": 4})
+        assert ev.eval(parse_expression("&a"), {"a": 0xF}) == 1
+        assert ev.eval(parse_expression("&a"), {"a": 0xE}) == 0
+        assert ev.eval(parse_expression("|a"), {"a": 0}) == 0
+        assert ev.eval(parse_expression("^a"), {"a": 0b0111}) == 1
+        assert ev.eval(parse_expression("~^a"), {"a": 0b0111}) == 0
+
+    def test_concat_order(self):
+        symbols, ev = make_env({"hi": 8, "lo": 8})
+        value = ev.eval(parse_expression("{hi, lo}"), {"hi": 0xAB, "lo": 0xCD})
+        assert value == 0xABCD
+
+    def test_indexed_part_select(self):
+        symbols, ev = make_env({"w": 16, "i": 4})
+        state = {"w": 0xABCD, "i": 4}
+        assert ev.eval(parse_expression("w[i +: 4]"), state) == 0xC
+        state["i"] = 7
+        assert ev.eval(parse_expression("w[i -: 4]"), state) == 0xC
+
+    def test_ternary_selects(self):
+        symbols, ev = make_env({"s": 1, "a": 8, "b": 8})
+        state = {"s": 1, "a": 3, "b": 9}
+        assert ev.eval(parse_expression("s ? a : b"), state) == 3
+        state["s"] = 0
+        assert ev.eval(parse_expression("s ? a : b"), state) == 9
+
+    def test_logical_short_circuit_semantics(self):
+        symbols, ev = make_env({"a": 8, "b": 8})
+        assert ev.eval(parse_expression("a && b"), {"a": 2, "b": 4}) == 1
+        assert ev.eval(parse_expression("a || b"), {"a": 0, "b": 0}) == 0
+
+
+class TestArraySemantics:
+    """The paper's section 3.2.1 buffer-overflow hardware semantics."""
+
+    def test_power_of_two_wraps(self):
+        values = [0] * 8
+        assert write_array(values, 9, 8, 42)
+        assert values[1] == 42
+        assert read_array(values, 9, 8) == 42
+
+    def test_non_power_of_two_drops(self):
+        values = [0] * 10
+        assert not write_array(values, 12, 10, 42)
+        assert values == [0] * 10
+        assert read_array(values, 12, 10) == 0
+
+    def test_in_range(self):
+        values = [0] * 10
+        assert write_array(values, 9, 10, 7)
+        assert read_array(values, 9, 10) == 7
+
+
+@st.composite
+def _operand_pair(draw):
+    width = draw(st.integers(min_value=1, max_value=32))
+    a = draw(st.integers(min_value=0, max_value=mask(width)))
+    b = draw(st.integers(min_value=0, max_value=mask(width)))
+    return width, a, b
+
+
+class TestPropertyBased:
+    """Hypothesis: evaluator agrees with masked Python arithmetic."""
+
+    @given(_operand_pair())
+    @settings(max_examples=200)
+    def test_add_matches_python(self, triple):
+        width, a, b = triple
+        symbols, ev = make_env({"a": width, "b": width})
+        value = ev.eval(parse_expression("a + b"), {"a": a, "b": b})
+        assert value == (a + b) & mask(width)
+
+    @given(_operand_pair())
+    @settings(max_examples=200)
+    def test_sub_matches_python(self, triple):
+        width, a, b = triple
+        symbols, ev = make_env({"a": width, "b": width})
+        value = ev.eval(parse_expression("a - b"), {"a": a, "b": b})
+        assert value == (a - b) & mask(width)
+
+    @given(_operand_pair())
+    @settings(max_examples=200)
+    def test_bitwise_matches_python(self, triple):
+        width, a, b = triple
+        symbols, ev = make_env({"a": width, "b": width})
+        state = {"a": a, "b": b}
+        assert ev.eval(parse_expression("a & b"), state) == a & b
+        assert ev.eval(parse_expression("a | b"), state) == a | b
+        assert ev.eval(parse_expression("a ^ b"), state) == a ^ b
+
+    @given(_operand_pair())
+    @settings(max_examples=200)
+    def test_compare_matches_python(self, triple):
+        width, a, b = triple
+        symbols, ev = make_env({"a": width, "b": width})
+        state = {"a": a, "b": b}
+        assert ev.eval(parse_expression("a < b"), state) == int(a < b)
+        assert ev.eval(parse_expression("a == b"), state) == int(a == b)
+
+    @given(_operand_pair(), st.integers(min_value=0, max_value=40))
+    @settings(max_examples=200)
+    def test_shift_matches_python(self, triple, shift):
+        width, a, _ = triple
+        symbols, ev = make_env({"a": width, "s": 6})
+        state = {"a": a, "s": shift}
+        assert ev.eval(parse_expression("a >> s"), state) == a >> shift
+        assert (
+            ev.eval(parse_expression("a << s"), state)
+            == (a << shift) & mask(width)
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    @settings(max_examples=200)
+    def test_size_cast_masks(self, cast_width, width, raw):
+        symbols, ev = make_env({"a": width})
+        a = raw & mask(width)
+        expr = parse_expression("%d'(a)" % cast_width)
+        assert ev.eval(expr, {"a": a}) == a & mask(cast_width)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=200)
+    def test_array_write_read_consistent(self, initial, index):
+        depth = len(initial)
+        values = list(initial)
+        landed = write_array(values, index, depth, 0xAB)
+        if landed:
+            assert read_array(values, index, depth) == 0xAB
+        else:
+            assert values == initial
+            assert depth & (depth - 1) != 0
