@@ -2,12 +2,18 @@
 
 Every benchmark regenerates its table/figure data, writes the rendered
 output under ``results/`` (so the artifacts survive pytest's capture),
-and times the computation with pytest-benchmark.
+and times the computation with pytest-benchmark. Next to each rendered
+``.txt`` artifact, :func:`emit` also writes a machine-readable
+``.json`` twin in the ``repro.obs`` run-report schema, so downstream
+tooling can diff artifacts without re-parsing fixed-width tables.
 """
 
+import json
 import os
 
 import pytest
+
+from repro.obs import SCHEMA
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 
@@ -27,6 +33,19 @@ def emit(results_dir):
         path = os.path.join(results_dir, name)
         with open(path, "w") as handle:
             handle.write(text if text.endswith("\n") else text + "\n")
+        base, _ = os.path.splitext(name)
+        with open(os.path.join(results_dir, base + ".json"), "w") as handle:
+            json.dump(
+                {
+                    "schema": SCHEMA,
+                    "label": "artifact:%s" % base,
+                    "meta": {"source": name},
+                    "lines": text.rstrip("\n").split("\n"),
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
         print("\n=== %s ===" % name)
         print(text)
         return path

@@ -20,6 +20,9 @@ Subpackages
 ``repro.resources``
     Synthesis resource/timing estimation for the overhead evaluation
     (Figures 2 and 3).
+``repro.obs``
+    Observability for the stack itself: metrics registry, tracing
+    spans, and JSON run reports, gated on ``repro.obs.enabled``.
 """
 
 __version__ = "1.0.0"

@@ -9,11 +9,17 @@ Mirrors the paper artifact's README commands::
     python -m repro losscheck D2         # full LossCheck workflow
     python -m repro fsms D2              # FSM detection report
     python -m repro instrument D2        # emit the instrumented Verilog
+    python -m repro profile D2           # span tree + metrics for one run
+
+Global flags: ``--version`` prints the package version; ``--quiet``
+suppresses stdout (the exit status still reports success/failure).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import sys
 
 
@@ -116,6 +122,40 @@ def _cmd_instrument(args):
     return 0
 
 
+def _cmd_profile(args):
+    import os
+
+    from . import obs
+    from .testbed import reproduce
+    from .testbed.debug_configs import instrument_for_debugging
+
+    obs.reset()
+    with obs.observed():
+        with obs.span("profile", bug=args.bug_id):
+            result = reproduce(args.bug_id)
+            instrument_for_debugging(args.bug_id, buffer_depth=args.buffer)
+        report = obs.build_report(
+            "profile:%s" % args.bug_id,
+            meta={
+                "bug": args.bug_id,
+                "reproduced": result.reproduced,
+                "symptoms": sorted(
+                    s.value for s in result.observation.symptoms
+                ),
+            },
+        )
+    print(obs.render_span_tree(report["spans"]))
+    print()
+    print(obs.render_metrics_table(report["metrics"]))
+    output = args.output
+    if output is None:
+        os.makedirs("results", exist_ok=True)
+        output = os.path.join("results", "profile_%s.json" % args.bug_id)
+    obs.write_report(report, output)
+    print("wrote %s" % output)
+    return 0
+
+
 def _cmd_wave(args):
     from .sim import Simulator, write_vcd
     from .testbed import load_design
@@ -138,9 +178,20 @@ def _cmd_wave(args):
 
 def build_parser():
     """The argparse command tree."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ASPLOS'22 FPGA-debugging reproduction: testbed and tools",
+    )
+    parser.add_argument(
+        "--version", action="version", version="repro %s" % __version__
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress stdout; rely on the exit status",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -167,6 +218,22 @@ def build_parser():
         "--buffer", type=int, default=8192, help="recording buffer entries"
     )
     instrument.set_defaults(func=_cmd_instrument)
+    profile = sub.add_parser(
+        "profile",
+        help="reproduce + instrument one bug with observability on; "
+        "print the span tree and metrics, write a JSON run report",
+    )
+    profile.add_argument("bug_id", metavar="BUG")
+    profile.add_argument(
+        "--buffer", type=int, default=8192, help="recording buffer entries"
+    )
+    profile.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="report path (default: results/profile_<BUG>.json)",
+    )
+    profile.set_defaults(func=_cmd_profile)
     wave = sub.add_parser(
         "wave", help="run a bug's scenario and dump a VCD waveform"
     )
@@ -183,6 +250,9 @@ def main(argv=None):
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     try:
+        if args.quiet:
+            with contextlib.redirect_stdout(io.StringIO()):
+                return args.func(args)
         return args.func(args)
     except KeyError as exc:
         print("error: unknown bug id %s" % exc, file=sys.stderr)

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from ..hdl import ast_nodes as ast
 from ..analysis.assignments import analyze_module
 from ..analysis.depgraph import dependency_chain
-from .instrument import Instrumenter
+from .. import obs
+from .instrument import Instrumenter, record_pass_metrics
 from .signalcat import Mode, SignalCat
 
 _LABEL_PREFIX = "dep:"
@@ -51,18 +52,20 @@ class DependencyMonitor:
     """
 
     def __init__(self, design, target, depth, include_control=True, ip_models=None):
-        self.instrumenter = Instrumenter(design, prefix="dep_")
-        self.module = self.instrumenter.module
-        self.target = target
-        self.depth = depth
-        self.chain = dependency_chain(
-            self.instrumenter.original,
-            target,
-            depth,
-            include_control=include_control,
-            ip_models=ip_models,
-        )
-        self._instrument()
+        with obs.span("pass:dependency_monitor"):
+            self.instrumenter = Instrumenter(design, prefix="dep_")
+            self.module = self.instrumenter.module
+            self.target = target
+            self.depth = depth
+            self.chain = dependency_chain(
+                self.instrumenter.original,
+                target,
+                depth,
+                include_control=include_control,
+                ip_models=ip_models,
+            )
+            self._instrument()
+        record_pass_metrics("dependency_monitor", self.instrumenter)
 
     @property
     def tracked_registers(self):

@@ -19,7 +19,8 @@ from typing import Optional
 
 from ..hdl import ast_nodes as ast
 from ..analysis.fsm_detect import DetectedFSM, detect_fsms
-from .instrument import Instrumenter, flat_name
+from .. import obs
+from .instrument import Instrumenter, flat_name, record_pass_metrics
 from .signalcat import Mode, SignalCat
 
 _LABEL_PREFIX = "fsm:"
@@ -69,20 +70,24 @@ class FSMMonitor:
     """
 
     def __init__(self, design, state_names=None, exclude=(), extra=()):
-        self.instrumenter = Instrumenter(design, prefix="fsmmon_")
-        self.module = self.instrumenter.module
-        state_names = state_names or {}
-        excluded = set(exclude)
-        self.fsms = []
-        for info in detect_fsms(self.instrumenter.original):
-            if info.name in excluded:
-                continue
-            self.fsms.append(
-                MonitoredFSM(info=info, state_names=state_names.get(info.name, {}))
-            )
-        for name in extra:
-            self.add_register(name, state_names.get(name, {}))
-        self._instrument()
+        with obs.span("pass:fsm_monitor"):
+            self.instrumenter = Instrumenter(design, prefix="fsmmon_")
+            self.module = self.instrumenter.module
+            state_names = state_names or {}
+            excluded = set(exclude)
+            self.fsms = []
+            for info in detect_fsms(self.instrumenter.original):
+                if info.name in excluded:
+                    continue
+                self.fsms.append(
+                    MonitoredFSM(
+                        info=info, state_names=state_names.get(info.name, {})
+                    )
+                )
+            for name in extra:
+                self.add_register(name, state_names.get(name, {}))
+            self._instrument()
+        record_pass_metrics("fsm_monitor", self.instrumenter)
 
     def add_register(self, name, state_names=None):
         """Monitor *name* even though the heuristics did not flag it."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import copy
 
+from .. import obs
 from ..hdl import ast_nodes as ast
 from ..hdl.codegen import generate_module, generate_statement, _generate_item
 from ..hdl.elaborate import Design
@@ -141,6 +142,30 @@ class Instrumenter:
     def instrumented_verilog(self):
         """Render the full instrumented module."""
         return generate_module(self.module)
+
+
+def record_pass_metrics(tool_name, instrumenter):
+    """Publish one pass's generated-LoC and resource-overhead gauges.
+
+    Called by each tool at the end of its instrumentation pass. The
+    resource deltas reuse :mod:`repro.resources` estimates (instrumented
+    module minus the original), so the gauges track the same
+    registers/BRAM overheads the paper's Figure 2 reports. No-op (and
+    free) unless :data:`repro.obs.enabled` is set, since estimation
+    walks the whole AST.
+    """
+    if not obs.enabled:
+        return
+    from ..resources import estimate_resources
+
+    prefix = "pass.%s" % tool_name
+    obs.gauge(prefix + ".generated_loc").set(instrumenter.generated_line_count())
+    delta = estimate_resources(instrumenter.module) - estimate_resources(
+        instrumenter.original
+    )
+    obs.gauge(prefix + ".added_registers").set(delta.registers)
+    obs.gauge(prefix + ".added_bram_bits").set(delta.bram_bits)
+    obs.gauge(prefix + ".added_logic_cells").set(delta.logic_cells)
 
 
 def display_statement(fmt, args, label=""):

@@ -29,7 +29,8 @@ from ..hdl import ast_nodes as ast
 from ..analysis.assignments import analyze_module
 from ..analysis.propagation import build_propagation_table
 from ..sim.simulator import Simulator
-from .instrument import Instrumenter, flat_name
+from .. import obs
+from .instrument import Instrumenter, flat_name, record_pass_metrics
 from .signalcat import Mode, SignalCat
 
 _LABEL_PREFIX = "losscheck:"
@@ -124,24 +125,26 @@ class LossCheck:
     """
 
     def __init__(self, design, source, sink, source_valid=None, ip_models=None):
-        self.instrumenter = Instrumenter(design, prefix="lc_")
-        self.module = self.instrumenter.module
-        self.source = source
-        self.sink = sink
-        self.source_valid = source_valid
-        self.table = build_propagation_table(
-            self.instrumenter.original, ip_models=ip_models
-        )
-        self.path = self.table.path_registers(source, sink)
-        if sink not in self.path or source not in self.path:
-            raise ValueError(
-                "no propagation path from %r to %r" % (source, sink)
+        with obs.span("pass:losscheck"):
+            self.instrumenter = Instrumenter(design, prefix="lc_")
+            self.module = self.instrumenter.module
+            self.source = source
+            self.sink = sink
+            self.source_valid = source_valid
+            self.table = build_propagation_table(
+                self.instrumenter.original, ip_models=ip_models
             )
-        self._view = analyze_module(self.instrumenter.original)
-        self.monitored = self._select_monitored()
-        self._valid_regs = {}
-        self.filtered = set()
-        self._instrument()
+            self.path = self.table.path_registers(source, sink)
+            if sink not in self.path or source not in self.path:
+                raise ValueError(
+                    "no propagation path from %r to %r" % (source, sink)
+                )
+            self._view = analyze_module(self.instrumenter.original)
+            self.monitored = self._select_monitored()
+            self._valid_regs = {}
+            self.filtered = set()
+            self._instrument()
+        record_pass_metrics("losscheck", self.instrumenter)
 
     # -- static selection ---------------------------------------------------
 

@@ -30,7 +30,8 @@ from ..hdl.transform import map_statement
 from ..analysis.assignments import analyze_module
 from ..sim.simulator import Simulator, verilog_format
 from ..sim.values import SymbolTable, mask, self_width
-from .instrument import Instrumenter
+from .. import obs
+from .instrument import Instrumenter, record_pass_metrics
 
 #: Paper default recording-buffer size (§6.1): 8,192 entries.
 DEFAULT_BUFFER_DEPTH = 8192
@@ -111,24 +112,26 @@ class SignalCat:
         stop_delay=0,
         dedup=False,
     ):
-        self.mode = mode
-        self.buffer_depth = buffer_depth
-        self.stop_delay = stop_delay
-        self.dedup = dedup
-        self.instrumenter = Instrumenter(design, prefix="sc_")
-        self.module = self.instrumenter.module
-        self._layouts = []
-        self.word_width = 0
-        base_module = (
-            design.top if isinstance(design, Design) else design
-        )
-        self.displays = analyze_module(base_module).displays
-        if mode is Mode.ON_FPGA:
-            self._start = parse_expression(start_event) if start_event else None
-            self._stop = parse_expression(stop_event) if stop_event else None
-            self._synthesize()
-        else:
-            self._start = self._stop = None
+        with obs.span("pass:signalcat"):
+            self.mode = mode
+            self.buffer_depth = buffer_depth
+            self.stop_delay = stop_delay
+            self.dedup = dedup
+            self.instrumenter = Instrumenter(design, prefix="sc_")
+            self.module = self.instrumenter.module
+            self._layouts = []
+            self.word_width = 0
+            base_module = (
+                design.top if isinstance(design, Design) else design
+            )
+            self.displays = analyze_module(base_module).displays
+            if mode is Mode.ON_FPGA:
+                self._start = parse_expression(start_event) if start_event else None
+                self._stop = parse_expression(stop_event) if stop_event else None
+                self._synthesize()
+            else:
+                self._start = self._stop = None
+        record_pass_metrics("signalcat", self.instrumenter)
 
     # -- static synthesis (on-FPGA mode) ------------------------------------
 

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 from ..hdl import ast_nodes as ast
 from ..hdl.parser import parse_expression
-from .instrument import Instrumenter
+from .. import obs
+from .instrument import Instrumenter, record_pass_metrics
 from .signalcat import Mode, SignalCat
 
 _LABEL_PREFIX = "stat:"
@@ -43,15 +44,17 @@ class StatisticsMonitor:
     """
 
     def __init__(self, design, events):
-        self.instrumenter = Instrumenter(design, prefix="stat_")
-        self.module = self.instrumenter.module
-        self.events = {}
-        for name, condition in events.items():
-            if isinstance(condition, str):
-                condition = parse_expression(condition)
-            self.events[name] = condition
-        self._counters = {}
-        self._instrument()
+        with obs.span("pass:statistics_monitor"):
+            self.instrumenter = Instrumenter(design, prefix="stat_")
+            self.module = self.instrumenter.module
+            self.events = {}
+            for name, condition in events.items():
+                if isinstance(condition, str):
+                    condition = parse_expression(condition)
+                self.events[name] = condition
+            self._counters = {}
+            self._instrument()
+        record_pass_metrics("statistics_monitor", self.instrumenter)
 
     def _instrument(self):
         ins = self.instrumenter

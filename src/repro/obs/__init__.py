@@ -1,0 +1,133 @@
+"""repro.obs: tracing, metrics, and run reports for the stack itself.
+
+The paper's tools (SignalCat, the monitors, LossCheck) give a *design
+under test* visibility into its runtime behavior; this package does the
+same for the reproduction stack: where do cycles go in the simulator,
+how long does each instrumentation pass take, how much logic does it
+add. Every hook is compiled in permanently but gated on the module-level
+:data:`enabled` flag, so the disabled cost is one attribute load and a
+branch — cheap enough to leave in the simulator's settle loop.
+
+Usage::
+
+    from repro import obs
+
+    obs.enabled = True            # or: with obs.observed(): ...
+    with obs.span("simulate", bug="D1"):
+        sim.step(1000)
+    obs.counter("sim.cycles").inc(1000)
+    print(obs.render_span_tree(obs.spans()))
+    obs.write_report(obs.build_report("my-run"), "results/run.json")
+
+Call sites inside hot loops must guard with ``if obs.enabled:`` before
+touching any metric; ``obs.span(...)`` self-gates by returning the
+shared no-op span when disabled.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import NULL_SPAN, Span, Tracer, max_depth, walk
+from .report import (
+    SCHEMA,
+    build_report as _build_report,
+    render_metrics_table,
+    render_span_tree,
+    write_report,
+)
+
+#: Master switch. False by default so tests and benchmarks measure the
+#: uninstrumented stack; flipped by ``python -m repro profile`` and by
+#: :func:`observed`.
+enabled = False
+
+#: Process-wide collectors. One registry/tracer per process keeps the
+#: call sites trivial; :func:`reset` starts a fresh observation window.
+registry = MetricsRegistry()
+tracer = Tracer()
+
+
+def counter(name):
+    """Get-or-create the counter *name*."""
+    return registry.counter(name)
+
+
+def gauge(name):
+    """Get-or-create the gauge *name*."""
+    return registry.gauge(name)
+
+
+def histogram(name):
+    """Get-or-create the histogram *name*."""
+    return registry.histogram(name)
+
+
+def span(name, **attrs):
+    """A context-managed tracing span (no-op while disabled)."""
+    if not enabled:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def spans():
+    """Snapshot of all completed root span trees."""
+    return tracer.snapshot()
+
+
+def metrics():
+    """Snapshot of all registered metrics."""
+    return registry.snapshot()
+
+
+def reset():
+    """Drop all collected spans and metrics (a fresh observation window)."""
+    registry.reset()
+    tracer.reset()
+
+
+@contextmanager
+def observed(flag=True):
+    """Temporarily set :data:`enabled` (used by the CLI and tests)."""
+    global enabled
+    previous = enabled
+    enabled = flag
+    try:
+        yield
+    finally:
+        enabled = previous
+
+
+def build_report(label, meta=None):
+    """One JSON-ready run report from the process-wide collectors."""
+    return _build_report(label, tracer, registry, meta=meta)
+
+
+__all__ = [
+    "enabled",
+    "observed",
+    "reset",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "spans",
+    "metrics",
+    "registry",
+    "tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "walk",
+    "max_depth",
+    "SCHEMA",
+    "build_report",
+    "write_report",
+    "render_span_tree",
+    "render_metrics_table",
+]

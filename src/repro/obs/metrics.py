@@ -1,0 +1,146 @@
+"""Metric primitives: counters, gauges, and histograms.
+
+The registry is deliberately tiny — the observability layer is compiled
+into every hot path (simulator settle loop, instrumentation passes) and
+must cost nothing when :data:`repro.obs.enabled` is ``False``, so all
+the gating happens at the call sites; the primitives themselves stay
+allocation-free on the update paths.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """Monotonically increasing count (cycles, events, evaluations)."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def snapshot(self):
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (generated LoC, added registers, BRAM bits)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def snapshot(self):
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Distribution summary with power-of-two buckets.
+
+    ``observe(n)`` files *n* under the bucket whose upper bound is the
+    smallest power of two ``>= n`` (0 gets its own bucket) — cheap, and
+    plenty of resolution for the distributions we care about (settle
+    iterations per cycle, samples per recording window).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.buckets = {}
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bound = 0 if value <= 0 else 1 << max(0, int(value - 1).bit_length())
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store for all metrics of one process."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get(self, name, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                "metric %r already registered as %s, not %s"
+                % (name, metric.kind, cls.kind)
+            )
+        return metric
+
+    def counter(self, name):
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        return self._get(name, Gauge)
+
+    def histogram(self, name):
+        return self._get(name, Histogram)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    def get(self, name):
+        """The registered metric named *name*, or None."""
+        return self._metrics.get(name)
+
+    def snapshot(self):
+        """All metrics as JSON-ready dicts, in registration order."""
+        return [metric.snapshot() for metric in self._metrics.values()]
+
+    def reset(self):
+        self._metrics.clear()

@@ -1,0 +1,100 @@
+"""Structured run reports: JSON serialization plus terminal rendering.
+
+A run report bundles the tracer's span trees and the registry's metric
+snapshots under a versioned schema, so benchmark artifacts, the
+``profile`` CLI command and the testbed harness all speak one format::
+
+    {
+      "schema": "repro.obs/v1",
+      "label": "profile:D1",
+      "meta": {...},
+      "spans": [...],
+      "metrics": [...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracing import walk
+
+#: Version tag stamped on every serialized report/artifact.
+SCHEMA = "repro.obs/v1"
+
+
+def build_report(label, tracer, registry, meta=None):
+    """Assemble one JSON-ready report dict from live collectors."""
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "meta": dict(meta) if meta else {},
+        "spans": tracer.snapshot(),
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_report(report, path):
+    """Serialize *report* to *path* as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def _format_duration(seconds):
+    if seconds is None:
+        return "?"
+    if seconds >= 1.0:
+        return "%.2f s" % seconds
+    if seconds >= 1e-3:
+        return "%.2f ms" % (seconds * 1e3)
+    return "%.0f us" % (seconds * 1e6)
+
+
+def render_span_tree(spans):
+    """Indented span tree with wall-clock timings, one span per line."""
+    if not spans:
+        return "(no spans recorded)"
+    rows = []
+    for depth, node in walk(spans):
+        attrs = node.get("attrs", {})
+        note = (
+            " (%s)" % ", ".join("%s=%s" % kv for kv in sorted(attrs.items()))
+            if attrs
+            else ""
+        )
+        rows.append(
+            (
+                "%s%s%s" % ("  " * depth, node["name"], note),
+                _format_duration(node.get("duration_s")),
+            )
+        )
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(
+        "%-*s  %s" % (width, label, duration) for label, duration in rows
+    )
+
+
+def render_metrics_table(metrics):
+    """Fixed-width metrics table: name, kind, value/summary."""
+    if not metrics:
+        return "(no metrics recorded)"
+    rows = []
+    for snap in metrics:
+        if snap["kind"] == "histogram":
+            value = "n=%d mean=%.2f min=%s max=%s" % (
+                snap["count"],
+                snap["mean"],
+                snap["min"],
+                snap["max"],
+            )
+        else:
+            value = str(snap["value"])
+        rows.append((snap["name"], snap["kind"], value))
+    name_width = max(len(name) for name, _, _ in rows)
+    lines = ["%-*s  %-9s %s" % (name_width, "metric", "kind", "value")]
+    lines.append("-" * (name_width + 2 + 9 + 6))
+    for name, kind, value in rows:
+        lines.append("%-*s  %-9s %s" % (name_width, name, kind, value))
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Hierarchical wall-clock tracing spans.
+
+A span measures one phase of work (parse, elaborate, an instrumentation
+pass, a simulation run). Spans nest: entering a span while another is
+open makes it a child, so a ``reproduce()`` run yields a tree like::
+
+    profile:D1
+      reproduce
+        load_design
+          parse
+          elaborate
+        simulate
+
+When :data:`repro.obs.enabled` is ``False`` the call sites hand out the
+shared :data:`NULL_SPAN` instead, which swallows everything at zero
+allocation cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed phase; also its own context manager."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "children", "_tracer")
+
+    def __init__(self, name, tracer, attrs=None):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.start = None
+        self.duration = None
+        self.children = []
+        self._tracer = tracer
+
+    def set(self, **attrs):
+        """Attach key/value annotations to this span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self):
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.duration = time.perf_counter() - self.start
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def snapshot(self):
+        """This span (and its subtree) as a JSON-ready dict."""
+        node = {
+            "name": self.name,
+            "duration_s": self.duration,
+        }
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [child.snapshot() for child in self.children]
+        return node
+
+
+class _NullSpan:
+    """Do-nothing span handed out while observation is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+#: Shared no-op span; ``with obs.span(...)`` resolves to this when disabled.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects root spans and maintains the open-span stack."""
+
+    def __init__(self):
+        self.roots = []
+        self._stack = []
+
+    def span(self, name, **attrs):
+        """A new span, parented under the currently open span (if any)."""
+        return Span(name, self, attrs)
+
+    def _push(self, span):
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span):
+        # Tolerate out-of-order exits (a caller leaking an open span must
+        # not corrupt every span recorded afterwards).
+        if span in self._stack:
+            while self._stack and self._stack.pop() is not span:
+                pass
+
+    @property
+    def current(self):
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def snapshot(self):
+        """All completed root spans as JSON-ready dicts."""
+        return [root.snapshot() for root in self.roots]
+
+    def reset(self):
+        self.roots = []
+        self._stack = []
+
+
+def walk(snapshots):
+    """Yield ``(depth, node)`` over span snapshot trees, pre-order."""
+    stack = [(0, node) for node in reversed(snapshots)]
+    while stack:
+        depth, node = stack.pop()
+        yield depth, node
+        for child in reversed(node.get("children", ())):
+            stack.append((depth + 1, child))
+
+
+def max_depth(snapshots):
+    """Deepest nesting level across the snapshot trees (roots are 1)."""
+    deepest = 0
+    for depth, _ in walk(snapshots):
+        deepest = max(deepest, depth + 1)
+    return deepest

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ... import obs
 from .base import IPModel
 
 #: Paper default recording-buffer depth (§6.1).
@@ -50,7 +51,14 @@ class SignalRecorder(IPModel):
         if inputs.get("enable", 0):
             word = inputs.get("data", 0)
             self.total_samples += 1
-            if not (self.dedup and word == self._last_word):
+            if self.dedup and word == self._last_word:
+                if obs.enabled:
+                    obs.counter("sim.recorder.dedup_drops").inc()
+            else:
+                if obs.enabled:
+                    obs.counter("sim.recorder.samples").inc()
+                    if len(self.samples) == self.depth:
+                        obs.counter("sim.recorder.overwrites").inc()
                 self.samples.append((self._cycle, word))
             self._last_word = word
         else:

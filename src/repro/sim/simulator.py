@@ -22,6 +22,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..hdl import ast_nodes as ast
 from ..hdl.elaborate import Design
 from ..hdl.transform import const_eval
@@ -54,6 +55,18 @@ class DisplayEvent:
 _FORMAT_RE = re.compile(r"%(-?\d*)([dhxbcst%])", re.IGNORECASE)
 
 
+def _pad(text, width_spec):
+    """Apply a ``%5d``-style width: right-justify, ``-`` left, ``0`` zero."""
+    if not width_spec:
+        return text
+    width = int(width_spec)
+    if width < 0:
+        return text.ljust(-width)
+    if width_spec[0] == "0":
+        return text.rjust(width, "0")
+    return text.rjust(width)
+
+
 def verilog_format(fmt, values):
     """Format a ``$display`` string with evaluated argument values."""
     values = list(values)
@@ -68,15 +81,15 @@ def verilog_format(fmt, values):
             return match.group(0)
         value = values.pop(0)
         if spec == "d":
-            return str(value)
+            return _pad(str(value), match.group(1))
         if spec in ("h", "x"):
-            return "%x" % value
+            return _pad("%x" % value, match.group(1))
         if spec == "b":
-            return bin(value)[2:]
+            return _pad(bin(value)[2:], match.group(1))
         if spec == "c":
             return chr(value & 0xFF)
         if spec == "s":
-            return str(value)
+            return _pad(str(value), match.group(1))
         return match.group(0)
 
     return _FORMAT_RE.sub(sub, fmt)
@@ -230,7 +243,9 @@ class Simulator:
         ``next = state; case (state) ... next = X;``) but ends where it
         started has converged.
         """
-        for _ in range(self._max_settle):
+        before = {}
+        array_writes = False
+        for iteration in range(1, self._max_settle + 1):
             before = {
                 name: value
                 for name, value in self.state.items()
@@ -252,9 +267,28 @@ class Simulator:
                 self.state[name] != value for name, value in before.items()
             )
             if not changed:
+                if obs.enabled:
+                    obs.histogram("sim.settle_iterations").observe(iteration)
+                    if self._comb_items:
+                        obs.counter("sim.comb_evals").inc(
+                            iteration * len(self._comb_items)
+                        )
+                    if self._instances:
+                        obs.counter("sim.ip_calls").inc(
+                            iteration * len(self._instances)
+                        )
                 return
+        unstable = sorted(
+            name
+            for name, value in before.items()
+            if self.state[name] != value
+        )
+        if array_writes:
+            unstable.append("<memory writes>")
         raise CombinationalLoopError(
-            "combinational logic did not settle after %d passes" % self._max_settle
+            "combinational logic did not settle after %d passes; "
+            "still changing: %s"
+            % (self._max_settle, ", ".join(unstable) or "<none observed>")
         )
 
     def _comb_write(self, lhs, value):
@@ -334,6 +368,8 @@ class Simulator:
             self._edge(clock, ast.Edge.NEGEDGE)
             self.settle()
         self.cycle += 1
+        if obs.enabled:
+            obs.counter("sim.cycles").inc()
 
     def _triggered(self, block, clock, edge):
         return any(
@@ -352,6 +388,8 @@ class Simulator:
             fired = self._fired_clock_ports(inst, model, clock)
             if fired:
                 model.clock_edge(self._ip_inputs(inst, model), fired)
+                if obs.enabled:
+                    obs.counter("sim.ip_calls").inc()
         self._commit(pending)
 
     def _fired_clock_ports(self, inst, model, clock):
@@ -398,6 +436,8 @@ class Simulator:
                 format=stmt.format,
             )
             self.display_events.append(event)
+            if obs.enabled:
+                obs.counter("sim.display_events").inc()
             if self.on_display is not None:
                 self.on_display(event)
             return

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import obs
 from ..core.dependency_monitor import DependencyMonitor
 from ..core.fsm_monitor import FSMMonitor
 from ..core.signalcat import Mode, SignalCat
@@ -163,23 +164,33 @@ def instrument_for_debugging(bug_id, buffer_depth=8192, fixed=False):
     spec = SPECS[bug_id]
     config = CONFIGS[bug_id]
     design = load_design(bug_id, fixed=fixed)
-    fsm_monitor = FSMMonitor(design, state_names=spec.state_names)
-    module = fsm_monitor.module
-    statistics_monitor = StatisticsMonitor(module, config.stat_events)
-    module = statistics_monitor.module
-    dependency_monitor = None
-    if config.dep_target is not None:
-        dependency_monitor = DependencyMonitor(
-            module, config.dep_target, config.dep_depth
+    with obs.span("instrument", bug=bug_id):
+        fsm_monitor = FSMMonitor(design, state_names=spec.state_names)
+        module = fsm_monitor.module
+        statistics_monitor = StatisticsMonitor(module, config.stat_events)
+        module = statistics_monitor.module
+        dependency_monitor = None
+        if config.dep_target is not None:
+            dependency_monitor = DependencyMonitor(
+                module, config.dep_target, config.dep_depth
+            )
+            module = dependency_monitor.module
+        signalcat = SignalCat(
+            module, mode=Mode.ON_FPGA, buffer_depth=buffer_depth
         )
-        module = dependency_monitor.module
-    signalcat = SignalCat(module, mode=Mode.ON_FPGA, buffer_depth=buffer_depth)
     generated = (
         fsm_monitor.generated_line_count()
         + statistics_monitor.generated_line_count()
         + (dependency_monitor.generated_line_count() if dependency_monitor else 0)
         + signalcat.generated_line_count()
     )
+    if obs.enabled:
+        from ..resources import estimate_resources
+
+        obs.gauge("instrument.generated_loc").set(generated)
+        delta = estimate_resources(signalcat.module) - estimate_resources(design)
+        obs.gauge("instrument.added_registers").set(delta.registers)
+        obs.gauge("instrument.added_bram_bits").set(delta.bram_bits)
     return DebugInstrumentation(
         bug_id=bug_id,
         module=signalcat.module,

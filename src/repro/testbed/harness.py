@@ -17,6 +17,7 @@ from __future__ import annotations
 import importlib.resources
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..hdl import elaborate, parse
 from ..sim import Simulator
 from ..core.losscheck import LossCheck
@@ -36,6 +37,8 @@ class Reproduction:
     observation: object
     expected_symptoms: frozenset
     fixed: bool
+    #: Structured obs run report (only populated while ``obs.enabled``).
+    report: dict = field(default=None, repr=False)
 
     @property
     def reproduced(self):
@@ -56,9 +59,13 @@ def _design_text(filename):
 def load_design(bug_id, fixed=False):
     """Parse + elaborate the (buggy or fixed) design for *bug_id*."""
     spec = SPECS[bug_id]
-    source = parse(_design_text(spec.design_file))
-    top = spec.fixed_top if fixed else spec.top
-    return elaborate(source, top=top)
+    with obs.span("load_design", bug=bug_id, fixed=fixed):
+        text = _design_text(spec.design_file)
+        with obs.span("parse"):
+            source = parse(text)
+        top = spec.fixed_top if fixed else spec.top
+        with obs.span("elaborate"):
+            return elaborate(source, top=top)
 
 
 def load_source(bug_id):
@@ -72,18 +79,38 @@ def run_scenario(bug_id, design=None, fixed=False):
     if design is None:
         design = load_design(bug_id, fixed=fixed)
     sim = Simulator(design)
-    return SCENARIOS[bug_id](sim)
+    with obs.span("simulate", bug=bug_id) as span:
+        observation = SCENARIOS[bug_id](sim)
+        span.set(cycles=sim.cycle)
+    return observation
 
 
 def reproduce(bug_id):
-    """Push-button reproduction of one bug; raises if it fails to show."""
+    """Push-button reproduction of one bug; raises if it fails to show.
+
+    While :data:`repro.obs.enabled` is set, the returned
+    :class:`Reproduction` carries a structured run report (span tree +
+    metrics snapshot) under ``result.report``.
+    """
     spec = SPECS[bug_id]
-    observation = run_scenario(bug_id, fixed=False)
+    with obs.span("reproduce", bug=bug_id):
+        observation = run_scenario(bug_id, fixed=False)
     result = Reproduction(
         bug_id=bug_id,
         observation=observation,
         expected_symptoms=spec.symptoms,
         fixed=False,
+        report=(
+            obs.build_report(
+                "reproduce:%s" % bug_id,
+                meta={
+                    "bug": bug_id,
+                    "symptoms": sorted(s.value for s in observation.symptoms),
+                },
+            )
+            if obs.enabled
+            else None
+        ),
     )
     if not result.reproduced:
         raise ReproductionError(

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -63,3 +65,58 @@ class TestCli:
         out_path = str(tmp_path / "d8f.vcd")
         assert main(["wave", "D8", out_path, "--fixed"]) == 0
         assert "(fixed)" in open(out_path).read()
+
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro %s" % __version__ in capsys.readouterr().out
+
+    def test_quiet_suppresses_stdout(self, capsys):
+        assert main(["--quiet", "list"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_short_flag_keeps_exit_status(self, capsys):
+        assert main(["-q", "reproduce", "Z9"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "unknown bug id" in captured.err
+
+
+class TestProfile:
+    def test_profile_prints_spans_and_metrics(self, capsys, tmp_path):
+        out_path = str(tmp_path / "profile_D1.json")
+        assert main(["profile", "D1", "--buffer", "256", "-o", out_path]) == 0
+        out = capsys.readouterr().out
+        for span_name in ("profile", "parse", "elaborate", "simulate",
+                          "instrument"):
+            assert span_name in out
+        assert "sim.cycles" in out
+        assert "pass.signalcat.generated_loc" in out
+
+    def test_profile_report_json(self, capsys, tmp_path):
+        from repro import obs
+
+        out_path = str(tmp_path / "profile_D1.json")
+        assert main(["profile", "D1", "--buffer", "256", "-o", out_path]) == 0
+        report = json.loads(open(out_path).read())
+        assert report["schema"] == obs.SCHEMA
+        assert report["meta"]["reproduced"] is True
+        # The acceptance bar: >= 3 levels of span nesting and >= 8 metrics.
+        assert obs.max_depth(report["spans"]) >= 3
+        assert len(report["metrics"]) >= 8
+
+    def test_profile_default_output_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "D1", "--buffer", "256"]) == 0
+        report = json.loads((tmp_path / "results" / "profile_D1.json").read_text())
+        assert report["label"] == "profile:D1"
+
+    def test_profile_leaves_obs_disabled(self, capsys, tmp_path):
+        from repro import obs
+
+        out_path = str(tmp_path / "p.json")
+        assert main(["profile", "D1", "--buffer", "256", "-o", out_path]) == 0
+        assert obs.enabled is False

@@ -1,0 +1,102 @@
+"""Edge-case tests for ``verilog_format`` and ``DisplayEvent``."""
+
+from repro.sim.simulator import DisplayEvent, verilog_format
+
+
+class TestBasicSpecifiers:
+    def test_decimal(self):
+        assert verilog_format("count=%d", [42]) == "count=42"
+
+    def test_hex_lower_and_x_alias(self):
+        assert verilog_format("%h", [255]) == "ff"
+        assert verilog_format("%x", [255]) == "ff"
+        assert verilog_format("%H", [255]) == "ff"
+
+    def test_binary(self):
+        assert verilog_format("%b", [5]) == "101"
+        assert verilog_format("%b", [0]) == "0"
+
+    def test_char_masks_to_byte(self):
+        assert verilog_format("%c", [0x141]) == "A"
+
+    def test_string(self):
+        assert verilog_format("%s", ["ready"]) == "ready"
+
+    def test_time_is_decimal(self):
+        assert verilog_format("t=%t", [7]) == "t=7"
+
+    def test_multiple_arguments_in_order(self):
+        assert verilog_format("%d:%h:%b", [10, 10, 2]) == "10:a:10"
+
+
+class TestWidthPadding:
+    def test_width_padded_decimal_right_justifies(self):
+        assert verilog_format("[%6d]", [42]) == "[    42]"
+
+    def test_width_narrower_than_value_is_ignored(self):
+        assert verilog_format("%2d", [12345]) == "12345"
+
+    def test_negative_width_left_justifies(self):
+        assert verilog_format("[%-6d]", [42]) == "[42    ]"
+
+    def test_zero_padded_decimal(self):
+        assert verilog_format("%08d", [42]) == "00000042"
+
+    def test_width_padded_hex(self):
+        assert verilog_format("%8h", [0xBEEF]) == "    beef"
+        assert verilog_format("%08h", [0xBEEF]) == "0000beef"
+
+    def test_width_padded_binary(self):
+        assert verilog_format("%08b", [5]) == "00000101"
+        assert verilog_format("%4b", [1]) == "   1"
+
+
+class TestLiteralPercent:
+    def test_literal_percent_consumes_no_argument(self):
+        assert verilog_format("100%% of %d", [7]) == "100% of 7"
+
+    def test_only_percent(self):
+        assert verilog_format("%%", []) == "%"
+
+
+class TestMissingArguments:
+    def test_missing_argument_leaves_specifier_verbatim(self):
+        assert verilog_format("a=%d b=%d", [1]) == "a=1 b=%d"
+
+    def test_no_arguments_at_all(self):
+        assert verilog_format("%d %h %b", []) == "%d %h %b"
+
+    def test_extra_arguments_ignored(self):
+        assert verilog_format("%d", [1, 2, 3]) == "1"
+
+
+class TestNonSpecifierText:
+    def test_plain_text_unchanged(self):
+        assert verilog_format("hello world", []) == "hello world"
+
+    def test_lone_percent_without_specifier_unchanged(self):
+        # '% ' does not match any specifier and passes through.
+        assert verilog_format("50% done", []) == "50% done"
+
+
+class TestDisplayEvent:
+    def test_str_pads_cycle_number(self):
+        event = DisplayEvent(cycle=7, text="fired")
+        assert str(event) == "[     7] fired"
+
+    def test_defaults(self):
+        event = DisplayEvent(cycle=0, text="")
+        assert event.values == []
+        assert event.lineno == 0
+        assert event.label == ""
+        assert event.format == ""
+
+    def test_carries_raw_values_and_format(self):
+        event = DisplayEvent(
+            cycle=3,
+            text="n=  5",
+            values=[5],
+            label="stat:n",
+            format="n=%3d",
+        )
+        assert verilog_format(event.format, event.values) == event.text

@@ -1,0 +1,242 @@
+"""Tests for the observability layer (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Each test gets a fresh observation window and the default gate."""
+    obs.reset()
+    yield
+    obs.reset()
+    obs.enabled = False
+
+
+class TestCounters:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = obs.counter("sim.cycles")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_get_or_create_returns_same_instance(self):
+        assert obs.counter("x") is obs.counter("x")
+
+    def test_kind_conflict_rejected(self):
+        obs.counter("x")
+        with pytest.raises(TypeError):
+            obs.gauge("x")
+
+    def test_snapshot(self):
+        obs.counter("events").inc(3)
+        snap = obs.metrics()
+        assert {"name": "events", "kind": "counter", "value": 3} in snap
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        gauge = obs.gauge("pass.loc")
+        gauge.set(10)
+        gauge.set(7)
+        assert gauge.value == 7
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        hist = obs.histogram("settle")
+        for value in (1, 1, 2, 8):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 12
+        assert hist.min == 1
+        assert hist.max == 8
+        assert hist.mean == 3.0
+
+    def test_power_of_two_buckets(self):
+        hist = obs.histogram("settle")
+        for value in (0, 1, 2, 3, 4, 5):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # 0 -> "0", 1 -> "1", 2 -> "2", 3..4 -> "4", 5 -> "8"
+        assert snap["buckets"] == {"0": 1, "1": 1, "2": 1, "4": 2, "8": 1}
+
+    def test_empty_histogram_mean(self):
+        assert obs.histogram("empty").mean == 0.0
+
+
+class TestSpans:
+    def test_disabled_spans_are_noops(self):
+        assert not obs.enabled
+        assert obs.span("anything") is NULL_SPAN
+        with obs.span("anything") as span:
+            span.set(key="value")
+        assert obs.spans() == []
+
+    def test_nesting(self):
+        with obs.observed():
+            with obs.span("outer"):
+                with obs.span("middle"):
+                    with obs.span("inner"):
+                        pass
+                with obs.span("sibling"):
+                    pass
+        roots = obs.spans()
+        assert len(roots) == 1
+        outer = roots[0]
+        assert outer["name"] == "outer"
+        assert [c["name"] for c in outer["children"]] == ["middle", "sibling"]
+        assert outer["children"][0]["children"][0]["name"] == "inner"
+        assert obs.max_depth(roots) == 3
+
+    def test_durations_recorded_and_nested_within_parent(self):
+        with obs.observed():
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        outer = obs.spans()[0]
+        inner = outer["children"][0]
+        assert outer["duration_s"] >= inner["duration_s"] >= 0
+
+    def test_attrs_and_exception_annotation(self):
+        with obs.observed():
+            with pytest.raises(ValueError):
+                with obs.span("work", bug="D1"):
+                    raise ValueError("boom")
+        snap = obs.spans()[0]
+        assert snap["attrs"]["bug"] == "D1"
+        assert snap["attrs"]["error"] == "ValueError"
+        assert snap["duration_s"] is not None
+
+    def test_tracer_isolated_instances(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert [s["name"] for s in tracer.snapshot()] == ["a"]
+        assert obs.spans() == []
+
+
+class TestReport:
+    def test_report_round_trips_through_json(self):
+        with obs.observed():
+            with obs.span("phase", bug="D1"):
+                obs.counter("sim.cycles").inc(100)
+                obs.histogram("sim.settle_iterations").observe(2)
+        report = obs.build_report("unit", meta={"k": "v"})
+        decoded = json.loads(json.dumps(report))
+        assert decoded["schema"] == obs.SCHEMA
+        assert decoded["label"] == "unit"
+        assert decoded["meta"] == {"k": "v"}
+        assert decoded["spans"][0]["name"] == "phase"
+        names = {m["name"] for m in decoded["metrics"]}
+        assert {"sim.cycles", "sim.settle_iterations"} <= names
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.json"
+        obs.counter("n").inc()
+        obs.write_report(obs.build_report("unit"), str(path))
+        assert json.loads(path.read_text())["metrics"][0]["value"] == 1
+
+    def test_render_span_tree_indents_children(self):
+        with obs.observed():
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        text = obs.render_span_tree(obs.spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+
+    def test_render_metrics_table(self):
+        obs.counter("sim.cycles").inc(5)
+        obs.histogram("settle").observe(1)
+        text = obs.render_metrics_table(obs.metrics())
+        assert "sim.cycles" in text and "counter" in text and "5" in text
+        assert "n=1" in text
+
+    def test_empty_renders(self):
+        assert "no spans" in obs.render_span_tree([])
+        assert "no metrics" in obs.render_metrics_table([])
+
+
+class TestRegistryReset:
+    def test_reset_clears_metrics_and_spans(self):
+        with obs.observed():
+            obs.counter("a").inc()
+            with obs.span("s"):
+                pass
+        obs.reset()
+        assert obs.metrics() == []
+        assert obs.spans() == []
+
+    def test_registry_len_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        assert len(registry) == 1
+        assert "a" in registry
+        assert registry.get("a").kind == "counter"
+        assert registry.get("missing") is None
+
+
+class TestSimulatorIntegration:
+    def test_simulator_metrics_collected_when_enabled(self, counter_design):
+        from repro.sim import Simulator
+
+        with obs.observed():
+            sim = Simulator(counter_design)
+            sim["rst"] = 1
+            sim.step(2)
+            sim["rst"] = 0
+            sim["enable"] = 1
+            sim.step(10)
+        assert obs.registry.get("sim.cycles").value == 12
+        settle = obs.registry.get("sim.settle_iterations")
+        assert settle.count > 0
+
+    def test_simulator_metrics_silent_when_disabled(self, counter_design):
+        from repro.sim import Simulator
+
+        sim = Simulator(counter_design)
+        sim.step(5)
+        assert obs.metrics() == []
+
+    def test_pass_gauges_recorded(self, fsm_design):
+        from repro.core import FSMMonitor
+
+        with obs.observed():
+            FSMMonitor(fsm_design)
+        assert obs.registry.get("pass.fsm_monitor.generated_loc").value > 0
+        roots = obs.spans()
+        assert roots[0]["name"] == "pass:fsm_monitor"
+
+    def test_reproduce_attaches_report(self):
+        from repro.testbed import reproduce
+
+        with obs.observed():
+            result = reproduce("D1")
+        assert result.report is not None
+        assert result.report["schema"] == obs.SCHEMA
+        span_names = [s["name"] for s in result.report["spans"]]
+        assert "reproduce" in span_names
+
+    def test_reproduce_no_report_by_default(self):
+        from repro.testbed import reproduce
+
+        assert reproduce("D1").report is None
+
+    def test_recorder_wraps_and_dedup_drops(self):
+        from repro.sim.ip.recorder import SignalRecorder
+
+        with obs.observed():
+            recorder = SignalRecorder({"WIDTH": 8, "DEPTH": 2, "DEDUP": 1})
+            for word in (1, 2, 3, 3):
+                recorder.clock_edge({"enable": 1, "data": word}, {"clock"})
+        assert obs.registry.get("sim.recorder.samples").value == 3
+        assert obs.registry.get("sim.recorder.overwrites").value == 1
+        assert obs.registry.get("sim.recorder.dedup_drops").value == 1

@@ -167,6 +167,25 @@ class TestCombinational:
         with pytest.raises(CombinationalLoopError):
             sim.settle()
 
+    def test_combinational_loop_error_names_unstable_signals(self):
+        sim = build(
+            """
+            module osc (input wire clk, output wire a, output wire b,
+                        output wire stable);
+                assign a = ~b;
+                assign b = a;
+                assign stable = 1;
+            endmodule
+            """
+        )
+        with pytest.raises(CombinationalLoopError) as excinfo:
+            sim.settle()
+        message = str(excinfo.value)
+        assert "still changing" in message
+        assert "a" in message.split("still changing:")[1]
+        assert "b" in message.split("still changing:")[1]
+        assert "stable" not in message.split("still changing:")[1]
+
     def test_display_in_comb_block_rejected(self):
         with pytest.raises(SimulatorError):
             build(
