@@ -156,6 +156,67 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_fuzz(args):
+    import os
+
+    from . import obs
+    from .fuzz import ORACLE_NAMES, CampaignConfig, run_campaign
+
+    oracles = (
+        tuple(args.oracle) if args.oracle else ORACLE_NAMES
+    )
+    config = CampaignConfig(
+        cases=args.cases,
+        seed=args.seed,
+        jobs=args.jobs,
+        cycles=args.cycles,
+        oracles=oracles,
+        time_budget=args.time_budget,
+        output_dir=args.output_dir or os.path.join("results", "fuzz"),
+    )
+
+    def progress(result):
+        if result.status not in ("ok", "invalid"):
+            print(
+                "case %d: %s%s %s"
+                % (
+                    result.index,
+                    result.status,
+                    " (%s)" % result.oracle if result.oracle else "",
+                    result.detail[:100],
+                )
+            )
+
+    obs.reset()
+    with obs.observed():
+        report = run_campaign(config, progress=progress)
+        run_report = obs.build_report("fuzz", meta=report.to_meta())
+    counts = report.counts
+    print(
+        "fuzz: %d cases in %.1fs — %d ok, %d invalid, %d oracle failures, "
+        "%d crashes, %d timeouts (%d unique buckets)"
+        % (
+            len(report.results),
+            report.elapsed,
+            counts["ok"],
+            counts["invalid"],
+            counts["oracle_fail"],
+            counts["crash"],
+            counts["timeout"],
+            len(report.buckets),
+        )
+    )
+    for signature, path in report.reproducers.items():
+        print("  reproducer %s -> %s" % (signature[:60], path))
+    os.makedirs(config.output_dir, exist_ok=True)
+    output = args.report or os.path.join(
+        config.output_dir, "report_seed%d.json" % config.seed
+    )
+    obs.write_report(run_report, output)
+    print("wrote %s" % output)
+    return 1 if report.failures else 0
+
+
 def _cmd_wave(args):
     from .sim import Simulator, write_vcd
     from .testbed import load_design
@@ -234,6 +295,45 @@ def build_parser():
         help="report path (default: results/profile_<BUG>.json)",
     )
     profile.set_defaults(func=_cmd_profile)
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run a differential/metamorphic fuzz campaign over the stack",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=200, help="number of cases (default 200)"
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    fuzz.add_argument(
+        "--cycles", type=int, default=48, help="simulated cycles per case"
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="stop enqueueing cases after SECONDS of wall clock",
+    )
+    fuzz.add_argument(
+        "--oracle",
+        action="append",
+        choices=["roundtrip", "differential", "metamorphic"],
+        help="restrict to one oracle (repeatable; default: all three)",
+    )
+    fuzz.add_argument(
+        "--output-dir",
+        default=None,
+        help="reproducer directory (default results/fuzz)",
+    )
+    fuzz.add_argument(
+        "--report",
+        default=None,
+        help="run-report path (default <output-dir>/report_seed<SEED>.json)",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
     wave = sub.add_parser(
         "wave", help="run a bug's scenario and dump a VCD waveform"
     )

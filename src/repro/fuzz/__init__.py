@@ -1,0 +1,63 @@
+"""repro.fuzz — differential fuzzing & metamorphic testing for the HDL stack.
+
+The debugging tools this repo reproduces are only trustworthy if the
+stack under them is: the parser and code generator must be inverses, the
+two simulator backends must agree bit-for-bit, and no instrumentation
+pass may perturb the design it observes. This package checks those
+properties automatically::
+
+    python -m repro fuzz --seed 0 --cases 200 --jobs 4
+
+Pieces:
+
+* :mod:`~repro.fuzz.generator` — seeded random-but-valid Verilog designs
+  covering the simulator's dialect (FSMs, memories, IP blocks, hierarchy);
+* :mod:`~repro.fuzz.mutator` — semantics-preserving and -perturbing AST
+  mutations over generated and testbed designs;
+* :mod:`~repro.fuzz.oracles` — the round-trip, differential, and
+  metamorphic correctness oracles;
+* :mod:`~repro.fuzz.runner` — the parallel campaign driver with crash
+  bucketing and reproducer saving;
+* :mod:`~repro.fuzz.reducer` — delta-debugging minimization of failures.
+"""
+
+from .generator import GeneratedDesign, GeneratorConfig, generate_design
+from .mutator import MutationResult, mutate_source, mutation_names
+from .oracles import (
+    ORACLE_NAMES,
+    ORACLES,
+    OracleOutcome,
+    differential_oracle,
+    metamorphic_oracle,
+    roundtrip_oracle,
+)
+from .reducer import ddmin, reduce_source
+from .runner import (
+    CampaignConfig,
+    CampaignReport,
+    CaseResult,
+    crash_signature,
+    run_campaign,
+)
+
+__all__ = [
+    "GeneratedDesign",
+    "GeneratorConfig",
+    "generate_design",
+    "MutationResult",
+    "mutate_source",
+    "mutation_names",
+    "ORACLE_NAMES",
+    "ORACLES",
+    "OracleOutcome",
+    "roundtrip_oracle",
+    "differential_oracle",
+    "metamorphic_oracle",
+    "ddmin",
+    "reduce_source",
+    "CampaignConfig",
+    "CampaignReport",
+    "CaseResult",
+    "crash_signature",
+    "run_campaign",
+]

@@ -1,0 +1,668 @@
+"""Random-but-valid Verilog design generation for fuzz campaigns.
+
+The generator builds an AST directly (so every emitted design is within
+the subset :mod:`repro.hdl.parser` accepts) and renders it through
+:mod:`repro.hdl.codegen`, which means every generated case also
+exercises the parse/codegen round-trip. Designs are seeded and
+size-bounded: the same ``(seed, config)`` pair always produces the same
+module, which is what makes campaign runs reproducible across
+``--jobs`` settings.
+
+Structural guarantees (what makes a generated design *valid*):
+
+* combinational signals are defined in strict dependency order, so the
+  settle loop always converges (no combinational cycles);
+* every ``always @(*)`` register is assigned a default before any
+  conditional assignment (the two-process FSM idiom);
+* shift amounts come from narrow operands only, so compiled expressions
+  cannot allocate astronomically wide intermediate integers;
+* memories are only referenced through an index, clocked registers are
+  written by exactly one ``always`` block, and blackbox IP outputs feed
+  dedicated wires that nothing else drives.
+
+Generated designs cover the constructs the paper's testbed uses:
+edge-triggered and combinational ``always`` blocks, continuous assigns,
+FSM ``case`` idioms, memories with indexed reads/writes, ``$display``
+statements, ``for`` loops (unrolled during elaboration), submodule
+instantiation (flattened during elaboration), and the scfifo /
+altsyncram vendor IPs the simulator models.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..hdl import ast_nodes as ast
+from ..hdl.codegen import generate_source
+
+
+@dataclass
+class GeneratorConfig:
+    """Size bounds and feature probabilities for one generated design."""
+
+    max_inputs: int = 4
+    max_seq_regs: int = 5
+    max_wires: int = 5
+    max_seq_statements: int = 6
+    max_expr_depth: int = 3
+    #: Probability of including an FSM (state register + case idiom).
+    fsm_prob: float = 0.7
+    #: Probability of declaring a memory array with indexed access.
+    memory_prob: float = 0.5
+    #: Probability of an ``always @(*)`` block (vs assigns only).
+    comb_always_prob: float = 0.5
+    #: Probability of instantiating a vendor IP (scfifo / altsyncram).
+    ip_prob: float = 0.4
+    #: Probability of generating and instantiating a helper submodule.
+    submodule_prob: float = 0.25
+    #: Probability of a ``$display`` statement in a clocked block.
+    display_prob: float = 0.5
+    #: Probability of a ``for`` loop writing a memory.
+    for_loop_prob: float = 0.2
+    #: Widths drawn for data signals.
+    width_pool: tuple = (1, 1, 2, 3, 4, 5, 8, 8, 12, 16)
+
+
+@dataclass
+class GeneratedDesign:
+    """One generated case: Verilog text plus the metadata the runner needs."""
+
+    seed: int
+    text: str
+    top: str
+    #: Names of the top module's non-clock input ports (stimulus targets).
+    inputs: list = field(default_factory=list)
+
+
+@dataclass
+class _Sig:
+    name: str
+    width: int
+
+
+_BINARY_OPS = ("+", "-", "*", "&", "|", "^", "+", "&", "|")
+_COMPARE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_UNARY_OPS = ("~", "-", "&", "|", "^", "!")
+
+
+def _num(value, width=None):
+    return ast.Number(value=value, width=width)
+
+
+def _ident(name):
+    return ast.Identifier(name=name)
+
+
+class _DesignBuilder:
+    """Builds one random module tree from a seeded RNG."""
+
+    def __init__(self, seed, config):
+        self.rng = random.Random(seed)
+        self.config = config
+        self.seed = seed
+        #: Scalars readable from any expression (inputs, regs, IP outputs).
+        self.readable = []
+        #: Memories: name -> (width, depth).
+        self.memories = {}
+        self.fresh_counter = 0
+
+    # -- expressions --------------------------------------------------------
+
+    def _pick_signal(self, narrow=None):
+        pool = self.readable
+        if narrow is not None:
+            narrow_pool = [s for s in pool if s.width <= narrow]
+            if narrow_pool:
+                pool = narrow_pool
+        return self.rng.choice(pool)
+
+    def expr(self, depth=None):
+        """A random expression over the readable signals."""
+        rng = self.rng
+        if depth is None:
+            depth = rng.randint(1, self.config.max_expr_depth)
+        if depth <= 0 or rng.random() < 0.3:
+            return self._leaf()
+        kind = rng.random()
+        if kind < 0.45:
+            return ast.BinaryOp(
+                op=rng.choice(_BINARY_OPS),
+                left=self.expr(depth - 1),
+                right=self.expr(depth - 1),
+            )
+        if kind < 0.55:
+            op = rng.choice(_UNARY_OPS)
+            return ast.UnaryOp(op=op, operand=self.expr(depth - 1))
+        if kind < 0.65:
+            return ast.Ternary(
+                cond=self.cond(depth - 1),
+                iftrue=self.expr(depth - 1),
+                iffalse=self.expr(depth - 1),
+            )
+        if kind < 0.73:
+            parts = [self.expr(depth - 1) for _ in range(rng.randint(2, 3))]
+            return ast.Concat(parts=parts)
+        if kind < 0.78:
+            return ast.Repeat(
+                count=_num(rng.randint(2, 3)), expr=self._leaf()
+            )
+        if kind < 0.84:
+            return ast.SizeCast(
+                width=rng.randint(1, 16), expr=self.expr(depth - 1)
+            )
+        if kind < 0.92:
+            # Shift by a narrow amount only: wide shift counts would make
+            # compiled closures allocate gigantic Python integers.
+            shift = (
+                _num(rng.randint(0, 7))
+                if rng.random() < 0.6
+                else _ident(self._pick_signal(narrow=3).name)
+            )
+            return ast.BinaryOp(
+                op=rng.choice(("<<", ">>", ">>", "<<")),
+                left=self.expr(depth - 1),
+                right=shift,
+            )
+        if kind < 0.96 and self.rng.random() < 0.8:
+            return ast.BinaryOp(
+                op=rng.choice(("/", "%")),
+                left=self.expr(depth - 1),
+                right=self.expr(depth - 1),
+            )
+        return self._select()
+
+    def _leaf(self):
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.55:
+            return _ident(self._pick_signal().name)
+        if roll < 0.75:
+            width = rng.choice(self.config.width_pool)
+            return _num(rng.randrange(1 << width), width=width)
+        if roll < 0.85 and self.memories:
+            name = rng.choice(sorted(self.memories))
+            width, depth = self.memories[name]
+            return ast.Index(
+                var=_ident(name), index=self.expr(0)
+            )
+        return _num(rng.randrange(256))
+
+    def _select(self):
+        """A bit/part select over a declared multi-bit signal."""
+        rng = self.rng
+        wide = [s for s in self.readable if s.width >= 2]
+        if not wide:
+            return self._leaf()
+        sig = rng.choice(wide)
+        roll = rng.random()
+        if roll < 0.4:
+            lsb = rng.randrange(sig.width)
+            msb = rng.randrange(lsb, sig.width)
+            return ast.PartSelect(
+                var=_ident(sig.name), msb=_num(msb), lsb=_num(lsb)
+            )
+        if roll < 0.7:
+            width = rng.randint(1, min(4, sig.width))
+            return ast.IndexedPartSelect(
+                var=_ident(sig.name),
+                base=_num(rng.randrange(sig.width)),
+                width=_num(width),
+                ascending=rng.random() < 0.5,
+            )
+        return ast.Index(var=_ident(sig.name), index=self.expr(0))
+
+    def cond(self, depth=1):
+        """A random 1-bit condition."""
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35:
+            narrow = [s for s in self.readable if s.width == 1]
+            if narrow:
+                return _ident(rng.choice(narrow).name)
+        if roll < 0.7 or depth <= 0:
+            return ast.BinaryOp(
+                op=rng.choice(_COMPARE_OPS),
+                left=self.expr(max(depth - 1, 0)),
+                right=self.expr(max(depth - 1, 0)),
+            )
+        if roll < 0.85:
+            return ast.BinaryOp(
+                op=rng.choice(("&&", "||")),
+                left=self.cond(depth - 1),
+                right=self.cond(depth - 1),
+            )
+        return ast.UnaryOp(op=rng.choice(("!", "|", "&", "^")), operand=self.expr(0))
+
+    # -- statements ---------------------------------------------------------
+
+    def _fresh(self, prefix):
+        self.fresh_counter += 1
+        return "%s%d" % (prefix, self.fresh_counter)
+
+    def seq_statement(self, writable, depth=2):
+        """A random statement for a clocked block writing only *writable*."""
+        rng = self.rng
+        roll = rng.random()
+        if depth > 0 and roll < 0.2:
+            stmt = ast.If(
+                cond=self.cond(),
+                then_stmt=self.seq_block(writable, depth - 1),
+            )
+            if rng.random() < 0.5:
+                stmt.else_stmt = self.seq_block(writable, depth - 1)
+            return stmt
+        if depth > 0 and roll < 0.3:
+            subject = _ident(self._pick_signal(narrow=4).name)
+            labels = rng.sample(range(8), rng.randint(2, 3))
+            items = [
+                ast.CaseItem(
+                    labels=[_num(label, width=3)],
+                    stmt=self.seq_block(writable, depth - 1),
+                )
+                for label in labels
+            ]
+            if rng.random() < 0.7:
+                items.append(
+                    ast.CaseItem(
+                        labels=[], stmt=self.seq_block(writable, depth - 1)
+                    )
+                )
+            return ast.Case(subject=subject, items=items, casez=False)
+        if self.memories and roll < 0.45:
+            name = rng.choice(sorted(self.memories))
+            return ast.NonblockingAssign(
+                lhs=ast.Index(var=_ident(name), index=self.expr(1)),
+                rhs=self.expr(),
+            )
+        if roll < 0.55 and rng.random() < self.config.display_prob:
+            return ast.Display(
+                format="gen%d: %%d %%d" % rng.randrange(10),
+                args=[self.expr(1), self.expr(1)],
+            )
+        target = rng.choice(writable)
+        return ast.NonblockingAssign(lhs=_ident(target.name), rhs=self.expr())
+
+    def seq_block(self, writable, depth):
+        statements = [
+            self.seq_statement(writable, depth)
+            for _ in range(self.rng.randint(1, 2))
+        ]
+        return ast.Block(statements=statements)
+
+    # -- module assembly ----------------------------------------------------
+
+    def build(self):
+        rng = self.rng
+        config = self.config
+        items = []
+        ports = [
+            ast.Port(
+                direction=ast.PortDirection.INPUT,
+                kind=ast.NetKind.WIRE,
+                name="clk",
+            ),
+            ast.Port(
+                direction=ast.PortDirection.INPUT,
+                kind=ast.NetKind.WIRE,
+                name="rst",
+            ),
+        ]
+        self.readable.append(_Sig("rst", 1))
+        input_names = ["rst"]
+        for index in range(rng.randint(1, config.max_inputs)):
+            width = rng.choice(config.width_pool)
+            name = "in%d" % index
+            ports.append(
+                ast.Port(
+                    direction=ast.PortDirection.INPUT,
+                    kind=ast.NetKind.WIRE,
+                    name=name,
+                    width=(
+                        ast.Width(msb=_num(width - 1), lsb=_num(0))
+                        if width > 1
+                        else None
+                    ),
+                )
+            )
+            self.readable.append(_Sig(name, width))
+            input_names.append(name)
+
+        def declare(kind, name, width, array_depth=None):
+            items.append(
+                ast.Declaration(
+                    kind=kind,
+                    name=name,
+                    width=(
+                        ast.Width(msb=_num(width - 1), lsb=_num(0))
+                        if width > 1
+                        else None
+                    ),
+                    array=(
+                        ast.Width(msb=_num(array_depth - 1), lsb=_num(0))
+                        if array_depth
+                        else None
+                    ),
+                )
+            )
+
+        # Sequential registers (including an optional FSM state register).
+        seq_regs = []
+        for index in range(rng.randint(1, config.max_seq_regs)):
+            width = rng.choice(config.width_pool)
+            name = "r%d" % index
+            declare(ast.NetKind.REG, name, width)
+            sig = _Sig(name, width)
+            seq_regs.append(sig)
+            self.readable.append(sig)
+        fsm_state = None
+        if rng.random() < config.fsm_prob:
+            declare(ast.NetKind.REG, "state", 2)
+            fsm_state = _Sig("state", 2)
+            self.readable.append(fsm_state)
+            for value, label in enumerate(("S_IDLE", "S_RUN", "S_WAIT", "S_DONE")):
+                items.append(
+                    ast.ParameterDecl(name=label, value=_num(value), local=True)
+                )
+
+        # Memory array, written by clocked logic, read through indexes.
+        if rng.random() < config.memory_prob:
+            width = rng.choice(config.width_pool)
+            depth = rng.choice((4, 8, 16))
+            declare(ast.NetKind.REG, "mem", width, array_depth=depth)
+            self.memories["mem"] = (width, depth)
+
+        # Vendor IP instance: outputs land on dedicated wires.
+        ip_kind = None
+        if rng.random() < config.ip_prob:
+            ip_kind = rng.choice(("scfifo", "altsyncram"))
+            if ip_kind == "scfifo":
+                width = rng.choice((4, 8, 16))
+                declare(ast.NetKind.WIRE, "fifo_q", width)
+                declare(ast.NetKind.WIRE, "fifo_empty", 1)
+                declare(ast.NetKind.WIRE, "fifo_full", 1)
+                items.append(
+                    ast.Instance(
+                        module_name="scfifo",
+                        instance_name="u_fifo",
+                        params=[
+                            ast.ParamOverride(name="LPM_WIDTH", value=_num(width)),
+                            ast.ParamOverride(
+                                name="LPM_NUMWORDS", value=_num(rng.choice((4, 8)))
+                            ),
+                        ],
+                        ports=[
+                            ast.PortConnection(port="clock", expr=_ident("clk")),
+                            ast.PortConnection(port="data", expr=self.expr(1)),
+                            ast.PortConnection(port="wrreq", expr=self.cond(0)),
+                            ast.PortConnection(port="rdreq", expr=self.cond(0)),
+                            ast.PortConnection(port="q", expr=_ident("fifo_q")),
+                            ast.PortConnection(
+                                port="empty", expr=_ident("fifo_empty")
+                            ),
+                            ast.PortConnection(
+                                port="full", expr=_ident("fifo_full")
+                            ),
+                        ],
+                    )
+                )
+                self.readable.extend(
+                    [_Sig("fifo_q", width), _Sig("fifo_empty", 1), _Sig("fifo_full", 1)]
+                )
+            else:
+                width = rng.choice((4, 8))
+                depth = rng.choice((16, 32))
+                declare(ast.NetKind.WIRE, "ram_q", width)
+                items.append(
+                    ast.Instance(
+                        module_name="altsyncram",
+                        instance_name="u_ram",
+                        params=[
+                            ast.ParamOverride(name="WIDTH_A", value=_num(width)),
+                            ast.ParamOverride(name="NUMWORDS_A", value=_num(depth)),
+                        ],
+                        ports=[
+                            ast.PortConnection(port="clock0", expr=_ident("clk")),
+                            ast.PortConnection(port="address_a", expr=self.expr(1)),
+                            ast.PortConnection(port="data_a", expr=self.expr(1)),
+                            ast.PortConnection(port="wren_a", expr=self.cond(0)),
+                            ast.PortConnection(port="q_a", expr=_ident("ram_q")),
+                        ],
+                    )
+                )
+                self.readable.append(_Sig("ram_q", width))
+
+        # Helper submodule (flattened during elaboration).
+        helper = None
+        if rng.random() < config.submodule_prob:
+            helper = self._build_helper()
+            width = helper["width"]
+            declare(ast.NetKind.WIRE, "sub_y", width)
+            items.append(
+                ast.Instance(
+                    module_name=helper["module"].name,
+                    instance_name="u_sub",
+                    params=[],
+                    ports=[
+                        ast.PortConnection(
+                            port="a", expr=_ident(self._pick_signal().name)
+                        ),
+                        ast.PortConnection(
+                            port="b", expr=_ident(self._pick_signal().name)
+                        ),
+                        ast.PortConnection(port="y", expr=_ident("sub_y")),
+                    ],
+                )
+            )
+            self.readable.append(_Sig("sub_y", width))
+
+        # Combinational wires, defined in strict dependency order.
+        for index in range(rng.randint(0, config.max_wires)):
+            width = rng.choice(config.width_pool)
+            name = "w%d" % index
+            declare(ast.NetKind.WIRE, name, width)
+            items.append(
+                ast.ContinuousAssign(lhs=_ident(name), rhs=self.expr())
+            )
+            self.readable.append(_Sig(name, width))
+
+        # Optional always @(*) block: default assignment first, then a
+        # conditional override (two-process style; never a latch loop).
+        if rng.random() < config.comb_always_prob:
+            width = rng.choice(config.width_pool)
+            declare(ast.NetKind.REG, "c0", width)
+            statements = [
+                ast.BlockingAssign(lhs=_ident("c0"), rhs=self.expr(1))
+            ]
+            if rng.random() < 0.5:
+                statements.append(
+                    ast.If(
+                        cond=self.cond(),
+                        then_stmt=ast.BlockingAssign(
+                            lhs=_ident("c0"), rhs=self.expr(1)
+                        ),
+                    )
+                )
+            else:
+                statements.append(
+                    ast.Case(
+                        subject=_ident(self._pick_signal(narrow=4).name),
+                        items=[
+                            ast.CaseItem(
+                                labels=[_num(0)],
+                                stmt=ast.BlockingAssign(
+                                    lhs=_ident("c0"), rhs=self.expr(1)
+                                ),
+                            ),
+                            ast.CaseItem(
+                                labels=[],
+                                stmt=ast.BlockingAssign(
+                                    lhs=_ident("c0"), rhs=self.expr(1)
+                                ),
+                            ),
+                        ],
+                    )
+                )
+            items.append(
+                ast.Always(
+                    sens=[ast.SensItem(edge=ast.Edge.STAR)],
+                    body=ast.Block(statements=statements),
+                )
+            )
+            self.readable.append(_Sig("c0", width))
+
+        # Output ports: one clocked reg, one combinational wire.
+        out_width = rng.choice(config.width_pool)
+        ports.append(
+            ast.Port(
+                direction=ast.PortDirection.OUTPUT,
+                kind=ast.NetKind.REG,
+                name="out_r",
+                width=(
+                    ast.Width(msb=_num(out_width - 1), lsb=_num(0))
+                    if out_width > 1
+                    else None
+                ),
+            )
+        )
+        out_reg = _Sig("out_r", out_width)
+        wire_width = rng.choice(config.width_pool)
+        ports.append(
+            ast.Port(
+                direction=ast.PortDirection.OUTPUT,
+                kind=ast.NetKind.WIRE,
+                name="out_w",
+                width=(
+                    ast.Width(msb=_num(wire_width - 1), lsb=_num(0))
+                    if wire_width > 1
+                    else None
+                ),
+            )
+        )
+        items.append(
+            ast.ContinuousAssign(lhs=_ident("out_w"), rhs=self.expr())
+        )
+
+        # The main clocked block: reset, FSM transitions, then random
+        # statements over this block's private write set.
+        writable = seq_regs + [out_reg]
+        reset_assigns = [
+            ast.NonblockingAssign(lhs=_ident(sig.name), rhs=_num(0))
+            for sig in writable
+        ]
+        body_statements = []
+        if fsm_state is not None:
+            reset_assigns.append(
+                ast.NonblockingAssign(lhs=_ident("state"), rhs=_ident("S_IDLE"))
+            )
+            body_statements.append(self._fsm_case())
+        for _ in range(rng.randint(1, config.max_seq_statements)):
+            body_statements.append(self.seq_statement(writable))
+        if self.memories and rng.random() < config.for_loop_prob:
+            declare(ast.NetKind.INTEGER, "i", 32)
+            name = rng.choice(sorted(self.memories))
+            body_statements.append(
+                ast.For(
+                    init=ast.BlockingAssign(lhs=_ident("i"), rhs=_num(0)),
+                    cond=ast.BinaryOp(op="<", left=_ident("i"), right=_num(4)),
+                    step=ast.BlockingAssign(
+                        lhs=_ident("i"),
+                        rhs=ast.BinaryOp(op="+", left=_ident("i"), right=_num(1)),
+                    ),
+                    body=ast.NonblockingAssign(
+                        lhs=ast.Index(var=_ident(name), index=_ident("i")),
+                        rhs=self.expr(1),
+                    ),
+                )
+            )
+        items.append(
+            ast.Always(
+                sens=[ast.SensItem(edge=ast.Edge.POSEDGE, signal="clk")],
+                body=ast.Block(
+                    statements=[
+                        ast.If(
+                            cond=_ident("rst"),
+                            then_stmt=ast.Block(statements=reset_assigns),
+                            else_stmt=ast.Block(statements=body_statements),
+                        )
+                    ]
+                ),
+            )
+        )
+
+        top = ast.Module(
+            name="fuzz_top_%d" % (self.seed & 0xFFFF),
+            ports=ports,
+            items=items,
+        )
+        modules = [helper["module"]] if helper else []
+        modules.append(top)
+        return ast.Source(modules=modules), input_names
+
+    def _fsm_case(self):
+        """The FSM idiom: case (state) with input-guarded transitions."""
+        rng = self.rng
+        labels = ("S_IDLE", "S_RUN", "S_WAIT", "S_DONE")
+        arms = []
+        for index, label in enumerate(labels):
+            target = labels[(index + rng.randint(1, 3)) % len(labels)]
+            move = ast.NonblockingAssign(lhs=_ident("state"), rhs=_ident(target))
+            stmt = (
+                ast.If(cond=self.cond(), then_stmt=move)
+                if rng.random() < 0.7
+                else move
+            )
+            arms.append(ast.CaseItem(labels=[_ident(label)], stmt=stmt))
+        arms.append(
+            ast.CaseItem(
+                labels=[],
+                stmt=ast.NonblockingAssign(lhs=_ident("state"), rhs=_ident("S_IDLE")),
+            )
+        )
+        return ast.Case(subject=_ident("state"), items=arms)
+
+    def _build_helper(self):
+        """A tiny pure-combinational helper module to exercise flattening."""
+        rng = self.rng
+        width = rng.choice((4, 8))
+        saved_readable = self.readable
+        self.readable = [_Sig("a", width), _Sig("b", width)]
+        rhs = self.expr(2)
+        self.readable = saved_readable
+        module = ast.Module(
+            name="fuzz_helper",
+            ports=[
+                ast.Port(
+                    direction=ast.PortDirection.INPUT,
+                    kind=ast.NetKind.WIRE,
+                    name="a",
+                    width=ast.Width(msb=_num(width - 1), lsb=_num(0)),
+                ),
+                ast.Port(
+                    direction=ast.PortDirection.INPUT,
+                    kind=ast.NetKind.WIRE,
+                    name="b",
+                    width=ast.Width(msb=_num(width - 1), lsb=_num(0)),
+                ),
+                ast.Port(
+                    direction=ast.PortDirection.OUTPUT,
+                    kind=ast.NetKind.WIRE,
+                    name="y",
+                    width=ast.Width(msb=_num(width - 1), lsb=_num(0)),
+                ),
+            ],
+            items=[ast.ContinuousAssign(lhs=_ident("y"), rhs=rhs)],
+        )
+        return {"module": module, "width": width}
+
+
+def generate_design(seed, config=None):
+    """Generate one seeded random design; returns :class:`GeneratedDesign`."""
+    builder = _DesignBuilder(seed, config or GeneratorConfig())
+    source, input_names = builder.build()
+    return GeneratedDesign(
+        seed=seed,
+        text=generate_source(source),
+        top=source.modules[-1].name,
+        inputs=input_names,
+    )

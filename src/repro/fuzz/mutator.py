@@ -1,0 +1,318 @@
+"""AST mutation operators for fuzzing the HDL stack with realistic bugs.
+
+Two families, following the mutation-based tool-bug-detection literature:
+
+* **semantics-preserving** mutations rewrite a design without changing
+  its cycle-accurate behavior (commutative operand swaps, double
+  negation, if/else inversion, block wrapping, signal renames). Any
+  oracle violation on a preserving mutant is a stack bug by
+  construction.
+* **semantics-perturbing** mutations inject the paper's bug classes
+  (erroneous expressions, off-by-one misindexing, bit truncation,
+  blocking/nonblocking races, dropped statements). They broaden the
+  input distribution beyond what the generator emits — the oracles must
+  still hold on the perturbed design, because instrumentation
+  invariance and backend equivalence are properties of the *tools*, not
+  of design correctness.
+
+Entry point: :func:`mutate_source`.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass
+
+from ..hdl import ast_nodes as ast
+from ..hdl import parse
+from ..hdl.codegen import generate_source
+
+#: Perturbing operator substitutions (never introduces shifts, whose
+#: width semantics would allow huge intermediate values).
+_FLIP_OPS = {
+    "+": "-", "-": "+", "*": "+",
+    "&": "|", "|": "&", "^": "&",
+    "==": "!=", "!=": "==",
+    "<": "<=", "<=": "<", ">": ">=", ">=": ">",
+    "&&": "||", "||": "&&",
+}
+
+_COMMUTATIVE_OPS = frozenset(["+", "*", "&", "|", "^", "==", "!="])
+
+
+@dataclass
+class MutationResult:
+    """One applied mutation: new source text plus what was done."""
+
+    text: str
+    name: str
+    preserving: bool
+    description: str
+
+
+def _walk_statements(stmt, blocks):
+    """Collect every Block node reachable from *stmt*."""
+    for node in stmt.walk():
+        if isinstance(node, ast.Block) and node.statements:
+            blocks.append(node)
+
+
+def _candidates(source):
+    """Collect (name, preserving, apply) mutation closures over *source*.
+
+    ``apply`` mutates the (already copied) tree in place and returns a
+    short human-readable description.
+    """
+    cands = []
+    exprs = []
+    ifs = []
+    ternaries = []
+    numbers = []
+    indexes = []
+    blocks = []
+    nonblocking = []
+    assigns = []
+
+    for module in source.modules:
+        for item in module.items:
+            if isinstance(item, (ast.ContinuousAssign,)):
+                assigns.append(item)
+            if isinstance(item, ast.Always):
+                _walk_statements(item.body, blocks)
+            for node in item.walk():
+                if isinstance(node, ast.BinaryOp):
+                    exprs.append(node)
+                elif isinstance(node, ast.If):
+                    ifs.append(node)
+                elif isinstance(node, ast.Ternary):
+                    ternaries.append(node)
+                elif isinstance(node, ast.Number) and not isinstance(
+                    item, (ast.Declaration, ast.ParameterDecl)
+                ):
+                    numbers.append(node)
+                elif isinstance(node, ast.Index):
+                    indexes.append(node)
+                elif isinstance(node, ast.NonblockingAssign):
+                    nonblocking.append(node)
+
+    # -- semantics-preserving ------------------------------------------------
+
+    for node in exprs:
+        if node.op in _COMMUTATIVE_OPS:
+            def swap(node=node):
+                node.left, node.right = node.right, node.left
+                return "swapped operands of commutative %r" % node.op
+            cands.append(("swap_commutative", True, swap))
+
+    for node in ifs:
+        def double_negate(node=node):
+            node.cond = ast.UnaryOp(
+                op="!", operand=ast.UnaryOp(op="!", operand=node.cond)
+            )
+            return "double-negated an if condition"
+        cands.append(("double_negate_cond", True, double_negate))
+        if node.else_stmt is not None:
+            def invert(node=node):
+                node.cond = ast.UnaryOp(op="!", operand=node.cond)
+                node.then_stmt, node.else_stmt = node.else_stmt, node.then_stmt
+                return "negated an if condition and swapped its branches"
+            cands.append(("invert_if_else", True, invert))
+
+    for block in blocks:
+        for index in range(len(block.statements)):
+            def wrap(block=block, index=index):
+                block.statements[index] = ast.Block(
+                    statements=[block.statements[index]]
+                )
+                return "wrapped a statement in begin/end"
+            cands.append(("wrap_block", True, wrap))
+
+    regs = [
+        decl.name
+        for module in source.modules
+        for decl in module.declarations()
+        if decl.kind is ast.NetKind.REG
+        and decl.array is None
+        and decl.name not in {p.name for p in module.ports}
+    ]
+    for name in regs:
+        def rename(name=name, source=source):
+            replacement = name + "_renamed"
+            for module in source.modules:
+                if module.find_declaration(name) is None:
+                    continue
+                for item in module.items:
+                    if isinstance(item, ast.Declaration) and item.name == name:
+                        item.name = replacement
+                    for node in item.walk():
+                        if isinstance(node, ast.Identifier) and node.name == name:
+                            node.name = replacement
+                return "renamed register %s -> %s" % (name, replacement)
+            return "rename skipped"
+        cands.append(("rename_register", True, rename))
+
+    # -- semantics-perturbing ------------------------------------------------
+
+    for node in exprs:
+        if node.op in _FLIP_OPS:
+            def flip(node=node):
+                old = node.op
+                node.op = _FLIP_OPS[old]
+                return "flipped operator %r -> %r" % (old, node.op)
+            cands.append(("flip_binop", False, flip))
+
+    for node in numbers:
+        def tweak(node=node):
+            old = node.value
+            delta = 1 if old == 0 else random.Random(old).choice((1, -1))
+            node.value = old + delta
+            if node.width is not None:
+                node.value &= (1 << node.width) - 1
+            return "tweaked constant %d -> %d" % (old, node.value)
+        cands.append(("tweak_constant", False, tweak))
+
+    for node in ifs:
+        def negate(node=node):
+            node.cond = ast.UnaryOp(op="!", operand=node.cond)
+            return "negated an if condition (branches kept)"
+        cands.append(("negate_condition", False, negate))
+
+    for node in ternaries:
+        def swap_arms(node=node):
+            node.iftrue, node.iffalse = node.iffalse, node.iftrue
+            return "swapped ternary arms"
+        cands.append(("swap_ternary_arms", False, swap_arms))
+
+    for node in indexes:
+        def off_by_one(node=node):
+            node.index = ast.BinaryOp(
+                op="+", left=node.index, right=ast.Number(value=1)
+            )
+            return "off-by-one index (misindexing)"
+        cands.append(("off_by_one_index", False, off_by_one))
+
+    for node in nonblocking:
+        def make_blocking(node=node, source=source):
+            for module in source.modules:
+                for item in module.items:
+                    if not isinstance(item, ast.Always):
+                        continue
+                    replaced = _replace_nonblocking(item.body, node)
+                    if replaced:
+                        return "nonblocking -> blocking assignment (race)"
+            return "assignment left unchanged"
+        cands.append(("nonblocking_to_blocking", False, make_blocking))
+
+    for block in blocks:
+        if len(block.statements) > 1:
+            for index in range(len(block.statements)):
+                def drop(block=block, index=index):
+                    del block.statements[index]
+                    return "dropped a statement (incomplete implementation)"
+                cands.append(("drop_statement", False, drop))
+
+    for node in assigns:
+        def truncate(node=node):
+            node.rhs = ast.SizeCast(width=2, expr=node.rhs)
+            return "truncated an assign rhs to 2 bits (bit truncation)"
+        cands.append(("truncate_assign", False, truncate))
+
+    return cands
+
+
+def _replace_nonblocking(stmt, target):
+    """Swap *target* for a BlockingAssign inside *stmt*; True on success."""
+    if isinstance(stmt, ast.Block):
+        for index, inner in enumerate(stmt.statements):
+            if inner is target:
+                stmt.statements[index] = ast.BlockingAssign(
+                    lhs=target.lhs, rhs=target.rhs, lineno=target.lineno
+                )
+                return True
+            if _replace_nonblocking(inner, target):
+                return True
+        return False
+    if isinstance(stmt, ast.If):
+        if stmt.then_stmt is target:
+            stmt.then_stmt = ast.BlockingAssign(
+                lhs=target.lhs, rhs=target.rhs, lineno=target.lineno
+            )
+            return True
+        if _replace_nonblocking(stmt.then_stmt, target):
+            return True
+        if stmt.else_stmt is not None:
+            if stmt.else_stmt is target:
+                stmt.else_stmt = ast.BlockingAssign(
+                    lhs=target.lhs, rhs=target.rhs, lineno=target.lineno
+                )
+                return True
+            return _replace_nonblocking(stmt.else_stmt, target)
+        return False
+    if isinstance(stmt, ast.Case):
+        for item in stmt.items:
+            if item.stmt is target:
+                item.stmt = ast.BlockingAssign(
+                    lhs=target.lhs, rhs=target.rhs, lineno=target.lineno
+                )
+                return True
+            if _replace_nonblocking(item.stmt, target):
+                return True
+    return False
+
+
+def mutation_names(preserving=None):
+    """All operator names, optionally filtered by family."""
+    names = []
+    seen = set()
+    for name, is_preserving, _ in _candidates(parse(_PROBE)):
+        if preserving is not None and is_preserving != preserving:
+            continue
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+_PROBE = """
+module probe (input wire clk, input wire a, output reg [3:0] q);
+    reg [3:0] t;
+    reg [3:0] m [0:3];
+    wire [3:0] w;
+    assign w = (t + 1);
+    always @(posedge clk) begin
+        if (a) begin
+            q <= (a ? t : w);
+            m[t] <= 2;
+        end
+        else begin
+            t <= (q & 3);
+            q <= 0;
+        end
+    end
+endmodule
+"""
+
+
+def mutate_source(text, seed, preserving=None):
+    """Apply one random mutation to Verilog *text*.
+
+    ``preserving`` selects the family: True for semantics-preserving
+    only, False for perturbing only, None for either. Returns a
+    :class:`MutationResult`, or None when no operator applies.
+    """
+    rng = random.Random(seed)
+    source = copy.deepcopy(parse(text))
+    cands = _candidates(source)
+    if preserving is not None:
+        cands = [c for c in cands if c[1] == preserving]
+    if not cands:
+        return None
+    name, is_preserving, apply_fn = rng.choice(cands)
+    description = apply_fn()
+    return MutationResult(
+        text=generate_source(source),
+        name=name,
+        preserving=is_preserving,
+        description=description,
+    )

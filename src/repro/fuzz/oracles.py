@@ -1,0 +1,356 @@
+"""Correctness oracles: what a fuzz case must satisfy to pass.
+
+Three oracle families, each checking a different layer of the stack:
+
+* **round-trip** — ``parse(codegen(parse(src)))`` must be AST-equal to
+  ``parse(src)``: the parser and code generator are inverses over the
+  supported subset. Violations are parser/codegen bugs.
+* **differential** — the interpreted :class:`~repro.sim.values.Evaluator`
+  and the :class:`~repro.sim.compiler.CompiledEvaluator` backends must
+  produce bit-identical per-cycle state traces, ``$display`` logs, and
+  termination behavior under the same stimulus. Violations are simulator
+  backend bugs.
+* **metamorphic** — applying any instrumentation pass (SignalCat, FSM
+  Monitor, Dependency Monitor, Statistics Monitor, LossCheck) must leave
+  every *original* signal cycle-identical and every original ``$display``
+  event unchanged: instrumentation never perturbs the design it observes
+  (the property the paper's tools depend on). Violations are
+  instrumentation bugs.
+
+All oracles take Verilog source text, so reducer output can be re-run
+through the same predicate unchanged. Outcomes are ``pass``, ``fail``
+(with a first-divergence detail string), or ``inapplicable`` (the design
+lacks what the oracle needs, e.g. LossCheck without a dataflow path).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.dependency_monitor import DependencyMonitor
+from ..core.fsm_monitor import FSMMonitor
+from ..core.losscheck import LossCheck
+from ..core.signalcat import Mode, SignalCat
+from ..core.statistics_monitor import StatisticsMonitor
+from ..core.instrument import dominant_clock
+from ..hdl import ast_nodes as ast
+from ..hdl import elaborate, parse
+from ..hdl.ast_nodes import ast_diff
+from ..hdl.codegen import generate_source
+from ..sim import Simulator
+
+PASS = "pass"
+FAIL = "fail"
+INAPPLICABLE = "inapplicable"
+
+#: Oracle registry: name -> callable(text, top, seed, cycles).
+ORACLE_NAMES = ("roundtrip", "differential", "metamorphic")
+
+_RESET_HIGH = frozenset(["rst", "reset"])
+_RESET_LOW = frozenset(["rst_n", "resetn", "rstn", "nreset"])
+
+
+@dataclass
+class OracleOutcome:
+    """Verdict of one oracle on one case."""
+
+    oracle: str
+    status: str
+    detail: str = ""
+
+    @property
+    def failed(self):
+        return self.status == FAIL
+
+
+# ---------------------------------------------------------------------------
+# Stimulus
+# ---------------------------------------------------------------------------
+
+
+def build_stimulus(module, seed, cycles, clock):
+    """A deterministic per-cycle input schedule for *module*.
+
+    Reset-like ports are held active for the first two cycles and
+    released; every other non-clock input gets a fresh seeded random
+    value each cycle. Returns ``[{name: value}, ...]`` of length
+    *cycles*.
+    """
+    rng = random.Random(seed)
+    inputs = [
+        (port.name, port.bit_width)
+        for port in module.ports
+        if port.direction is ast.PortDirection.INPUT and port.name != clock
+    ]
+    schedule = []
+    for cycle in range(cycles):
+        vector = {}
+        for name, width in inputs:
+            if name in _RESET_HIGH:
+                vector[name] = 1 if cycle < 2 else 0
+            elif name in _RESET_LOW:
+                vector[name] = 0 if cycle < 2 else 1
+            else:
+                vector[name] = rng.randrange(1 << min(width, 32))
+        schedule.append(vector)
+    return schedule
+
+
+def simulate_trace(design, stimulus, clock, signals=None, **sim_kwargs):
+    """Run *design* under *stimulus*; returns (per-cycle snapshots, sim).
+
+    Each snapshot maps signal name to value (memories copied). When
+    *signals* is given, snapshots are restricted to those names.
+    """
+    sim = Simulator(design, **sim_kwargs)
+    trace = []
+    for vector in stimulus:
+        for name, value in vector.items():
+            sim.set(name, value)
+        sim.step(clock=clock)
+        snapshot = {}
+        for name, value in sim.state.items():
+            if signals is not None and name not in signals:
+                continue
+            snapshot[name] = list(value) if isinstance(value, list) else value
+        trace.append(snapshot)
+    return trace, sim
+
+
+def _first_trace_divergence(trace_a, trace_b, label_a, label_b):
+    """Readable first mismatch between two traces, or None."""
+    for cycle, (snap_a, snap_b) in enumerate(zip(trace_a, trace_b)):
+        names = sorted(set(snap_a) & set(snap_b))
+        for name in names:
+            if snap_a[name] != snap_b[name]:
+                return "cycle %d signal %s: %s=%r %s=%r" % (
+                    cycle, name, label_a, snap_a[name], label_b, snap_b[name]
+                )
+    if len(trace_a) != len(trace_b):
+        return "trace length %s=%d %s=%d" % (
+            label_a, len(trace_a), label_b, len(trace_b)
+        )
+    return None
+
+
+def _display_log(sim, unlabeled_only=False):
+    events = sim.display_events
+    if unlabeled_only:
+        events = [e for e in events if not e.label]
+    return [(e.cycle, e.text) for e in events]
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+
+def roundtrip_oracle(text, top=None, seed=0, cycles=0):
+    """parse -> codegen -> parse must reproduce the same AST."""
+    first = parse(text)
+    regenerated = generate_source(first)
+    second = parse(regenerated)
+    diff = ast_diff(first, second)
+    if diff is None:
+        return OracleOutcome(oracle="roundtrip", status=PASS)
+    return OracleOutcome(oracle="roundtrip", status=FAIL, detail=diff)
+
+
+def differential_oracle(text, top=None, seed=0, cycles=48,
+                        compiled_factory=None):
+    """Interpreted and compiled evaluators must be bit-identical.
+
+    ``compiled_factory`` (tests only) swaps in an alternative evaluator
+    class for the second simulation, to verify the oracle itself catches
+    a divergent backend.
+    """
+    design = elaborate(parse(text), top=top)
+    clock = dominant_clock(design.top)
+    stimulus = build_stimulus(design.top, seed, cycles, clock)
+    trace_interp, sim_interp = simulate_trace(design, stimulus, clock)
+    if compiled_factory is None:
+        trace_comp, sim_comp = simulate_trace(
+            design, stimulus, clock, compile_expressions=True
+        )
+    else:
+        sim_comp = Simulator(design)
+        sim_comp.evaluator = compiled_factory(sim_comp.symbols)
+        trace_comp = []
+        for vector in stimulus:
+            for name, value in vector.items():
+                sim_comp.set(name, value)
+            sim_comp.step(clock=clock)
+            trace_comp.append(
+                {
+                    name: list(v) if isinstance(v, list) else v
+                    for name, v in sim_comp.state.items()
+                }
+            )
+    divergence = _first_trace_divergence(
+        trace_interp, trace_comp, "interpreted", "compiled"
+    )
+    if divergence is None and _display_log(sim_interp) != _display_log(sim_comp):
+        divergence = "display logs differ: %r != %r" % (
+            _display_log(sim_interp)[:3], _display_log(sim_comp)[:3]
+        )
+    if divergence is None and sim_interp.finished != sim_comp.finished:
+        divergence = "finished flags differ: interpreted=%r compiled=%r" % (
+            sim_interp.finished, sim_comp.finished
+        )
+    if divergence is None:
+        return OracleOutcome(oracle="differential", status=PASS)
+    return OracleOutcome(oracle="differential", status=FAIL, detail=divergence)
+
+
+def _pick_dependency_target(module):
+    """A clocked register to trace for the Dependency Monitor pass."""
+    for item in module.items:
+        if isinstance(item, ast.Always) and not item.is_combinational:
+            for node in item.body.walk():
+                if isinstance(node, ast.NonblockingAssign) and isinstance(
+                    node.lhs, ast.Identifier
+                ):
+                    return node.lhs.name
+    return None
+
+
+def _pick_statistics_event(module, clock):
+    """A 1-bit-ish condition to count with the Statistics Monitor pass."""
+    for port in module.ports:
+        if port.direction is ast.PortDirection.INPUT and port.name != clock:
+            return "%s != 0" % port.name
+    return None
+
+
+def _pick_loss_endpoints(module):
+    """(source, sink) guesses for LossCheck on an arbitrary design."""
+    source = None
+    for port in module.ports:
+        if port.direction is ast.PortDirection.INPUT and port.bit_width > 1:
+            source = port.name
+            break
+    sink = _pick_dependency_target(module)
+    if source is None or sink is None or source == sink:
+        return None
+    return source, sink
+
+
+def default_tools(design, losscheck=None):
+    """The instrumentation-pass factories the metamorphic oracle applies.
+
+    Returns ``[(name, factory)]`` where ``factory()`` builds the pass
+    over *design* and exposes the instrumented module as ``.module``.
+    Factories may raise ValueError/KeyError for designs the pass does
+    not apply to (reported as ``inapplicable``, not failures).
+    """
+    module = design.top
+    clock = dominant_clock(module)
+    tools = [
+        ("signalcat", lambda: SignalCat(design, mode=Mode.SIMULATION)),
+        # On-FPGA mode replaces the original $display statements with the
+        # recorder IP, so only the signal trace is comparable.
+        (
+            "signalcat_fpga",
+            lambda: SignalCat(design, mode=Mode.ON_FPGA, buffer_depth=64),
+            False,
+        ),
+        ("fsm_monitor", lambda: FSMMonitor(design)),
+    ]
+    target = _pick_dependency_target(module)
+    if target is not None:
+        tools.append(
+            (
+                "dependency_monitor",
+                lambda: DependencyMonitor(design, target=target, depth=2),
+            )
+        )
+    event = _pick_statistics_event(module, clock)
+    if event is not None:
+        tools.append(
+            (
+                "statistics_monitor",
+                lambda: StatisticsMonitor(design, events={"fuzz_event": event}),
+            )
+        )
+    endpoints = losscheck or _pick_loss_endpoints(module)
+    if endpoints is not None:
+        source, sink = endpoints
+        tools.append(
+            (
+                "losscheck",
+                lambda: LossCheck(design, source=source, sink=sink),
+            )
+        )
+    return tools
+
+
+def metamorphic_oracle(text, top=None, seed=0, cycles=48, tools=None,
+                       losscheck=None):
+    """Instrumentation must not change any original signal or display.
+
+    Simulates the plain design, then each instrumented variant, under
+    identical stimulus; every signal declared in the *original* module
+    must match cycle-for-cycle, and the original (unlabeled) ``$display``
+    events must be reproduced exactly. Tool-generated signals (prefixed
+    ``sc_``/``fsmmon_``/...) and labeled monitor displays are excluded —
+    they are the instrumentation's own additions.
+    """
+    design = elaborate(parse(text), top=top)
+    module = design.top
+    clock = dominant_clock(module)
+    stimulus = build_stimulus(module, seed, cycles, clock)
+    base_signals = {decl.name for decl in module.declarations()}
+    baseline_trace, baseline_sim = simulate_trace(
+        design, stimulus, clock, signals=base_signals
+    )
+    baseline_displays = _display_log(baseline_sim, unlabeled_only=True)
+    if tools is None:
+        tools = default_tools(design, losscheck=losscheck)
+    applied = 0
+    for entry in tools:
+        name, factory = entry[0], entry[1]
+        compare_displays = entry[2] if len(entry) > 2 else True
+        try:
+            tool = factory()
+        except (KeyError, ValueError):
+            continue
+        applied += 1
+        try:
+            instr_trace, instr_sim = simulate_trace(
+                tool.module, stimulus, clock, signals=base_signals
+            )
+        except Exception as exc:
+            return OracleOutcome(
+                oracle="metamorphic",
+                status=FAIL,
+                detail="pass %s broke simulation: %s: %s"
+                % (name, type(exc).__name__, exc),
+            )
+        divergence = _first_trace_divergence(
+            baseline_trace, instr_trace, "plain", name
+        )
+        if divergence is None and compare_displays:
+            instr_displays = _display_log(instr_sim, unlabeled_only=True)
+            if instr_displays != baseline_displays:
+                divergence = "original $display log changed under %s" % name
+        if divergence is not None:
+            return OracleOutcome(
+                oracle="metamorphic",
+                status=FAIL,
+                detail="pass %s perturbed the design: %s" % (name, divergence),
+            )
+    if not applied:
+        return OracleOutcome(
+            oracle="metamorphic",
+            status=INAPPLICABLE,
+            detail="no instrumentation pass applies to this design",
+        )
+    return OracleOutcome(oracle="metamorphic", status=PASS)
+
+
+ORACLES = {
+    "roundtrip": roundtrip_oracle,
+    "differential": differential_oracle,
+    "metamorphic": metamorphic_oracle,
+}

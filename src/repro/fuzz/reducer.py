@@ -1,0 +1,110 @@
+"""Delta-debugging reducer: shrink a failing case to a minimal reproducer.
+
+Implements line-granularity ddmin (Zeller & Hildebrandt, "Simplifying
+and Isolating Failure-Inducing Input"): repeatedly try removing chunks
+of lines, keeping any removal under which the failure predicate still
+holds, until the result is 1-minimal (no single line can be removed).
+
+The predicate receives candidate source *text* and returns True when the
+candidate still exhibits the original failure. Candidates are routinely
+syntactically invalid — the predicate must treat "does not even parse"
+as False, which the campaign runner's signature-matching predicate does
+by catching everything.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+def _chunks(items, n):
+    """Split *items* into *n* contiguous chunks (first ones larger)."""
+    size, extra = divmod(len(items), n)
+    result = []
+    start = 0
+    for index in range(n):
+        end = start + size + (1 if index < extra else 0)
+        if end > start:
+            result.append(items[start:end])
+        start = end
+    return result
+
+
+def ddmin(items, predicate):
+    """Minimal sublist of *items* still satisfying *predicate*.
+
+    *predicate* takes a list of items. Assumes ``predicate(items)`` is
+    True; returns a 1-minimal sublist (removing any single remaining
+    item breaks the predicate).
+    """
+    granularity = 2
+    while len(items) >= 2:
+        chunks = _chunks(items, granularity)
+        reduced = False
+        for index in range(len(chunks)):
+            complement = [
+                item
+                for chunk_index, chunk in enumerate(chunks)
+                for item in chunk
+                if chunk_index != index
+            ]
+            if predicate(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def _combination_pass(items, predicate, k):
+    """Greedily remove any *k* (possibly non-adjacent) items at once.
+
+    ddmin only removes contiguous chunks, so it leaves paired-delimiter
+    residue in line-based source reduction: ``module foo (`` / ``);`` or
+    ``begin`` / ``end`` survive because removing either alone breaks the
+    parse. Trying small non-adjacent combinations sweeps those out.
+    """
+    improved = True
+    while improved:
+        improved = False
+        for combo in itertools.combinations(range(len(items)), k):
+            dropped = set(combo)
+            candidate = [
+                item for index, item in enumerate(items)
+                if index not in dropped
+            ]
+            if predicate(candidate):
+                items = candidate
+                improved = True
+                break
+    return items
+
+
+def reduce_source(text, predicate, max_checks=2000):
+    """Shrink Verilog *text* line-by-line while *predicate* keeps holding.
+
+    *predicate* maps candidate source text to True (failure reproduces) /
+    False. ``max_checks`` bounds the number of predicate invocations (a
+    reduction budget, since each check may run a full simulation).
+    Returns the reduced text; the input must satisfy the predicate.
+    """
+    checks = [0]
+
+    def line_predicate(lines):
+        if checks[0] >= max_checks:
+            return False
+        checks[0] += 1
+        return predicate("\n".join(lines) + "\n")
+
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not line_predicate(lines):
+        raise ValueError("reduction predicate does not hold on the input")
+    reduced = ddmin(lines, line_predicate)
+    for k in (2, 3):
+        if len(reduced) > k:
+            reduced = _combination_pass(reduced, line_predicate, k)
+    return "\n".join(reduced) + "\n"

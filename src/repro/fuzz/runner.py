@@ -1,0 +1,447 @@
+"""Fuzz campaign runner: generate, mutate, check, bucket, reduce.
+
+Orchestrates a whole campaign:
+
+1. derive a deterministic :class:`CaseSpec` per case index from the
+   campaign seed (independent of ``--jobs``, so a campaign replays
+   identically whatever the parallelism);
+2. execute cases in worker processes (``multiprocessing.Pool``) with a
+   per-case wall-clock timeout, or inline when ``jobs == 1``;
+3. classify every outcome: ``ok``, ``invalid`` (the stack rejected the
+   design with one of its own documented error types — expected for
+   perturbing mutants), ``oracle_fail``, ``crash``, or ``timeout``;
+4. bucket failures by a deduplicated signature (exception type plus the
+   in-package stack frames for crashes; oracle name plus normalized
+   divergence for oracle failures);
+5. delta-debug one reproducer per bucket down to a minimal source file
+   and save it under ``results/fuzz/``.
+
+Campaign counters feed :mod:`repro.obs` (gated on ``obs.enabled`` like
+every other call site), so ``python -m repro fuzz`` emits a standard
+``repro.obs/v1`` run report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import re
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..hdl.elaborate import ElaborationError
+from ..hdl.lexer import LexerError
+from ..hdl.parser import ParseError
+from ..hdl.transform import NotConstantError
+from ..sim.simulator import SimulatorError
+from ..sim.values import EvaluationError
+from .generator import generate_design
+from .mutator import mutate_source
+from .oracles import FAIL, ORACLE_NAMES, ORACLES
+from .reducer import reduce_source
+
+#: Error types the stack itself documents: raising one of these on a
+#: fuzzed design is a *rejection*, not a bug.
+KNOWN_ERRORS = (
+    ParseError,
+    LexerError,
+    NotConstantError,
+    ElaborationError,
+    SimulatorError,
+    EvaluationError,
+)
+
+OK = "ok"
+INVALID = "invalid"
+ORACLE_FAIL = "oracle_fail"
+CRASH = "crash"
+TIMEOUT = "timeout"
+
+
+@dataclass
+class CampaignConfig:
+    """Everything that determines a campaign (and its replay)."""
+
+    cases: int = 200
+    seed: int = 0
+    jobs: int = 1
+    cycles: int = 48
+    oracles: tuple = ORACLE_NAMES
+    case_timeout: float = 30.0
+    time_budget: float = None
+    output_dir: str = os.path.join("results", "fuzz")
+    reduce: bool = True
+    reduce_checks: int = 400
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one fuzz case."""
+
+    index: int
+    case_seed: int
+    kind: str
+    origin: str
+    mutation: str = None
+    status: str = OK
+    oracle: str = None
+    detail: str = ""
+    signature: str = None
+    text: str = None
+    duration: float = 0.0
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign outcome."""
+
+    config: CampaignConfig
+    results: list = field(default_factory=list)
+    buckets: dict = field(default_factory=dict)
+    reproducers: dict = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def counts(self):
+        tally = {OK: 0, INVALID: 0, ORACLE_FAIL: 0, CRASH: 0, TIMEOUT: 0}
+        for result in self.results:
+            tally[result.status] += 1
+        return tally
+
+    @property
+    def failures(self):
+        return [
+            r for r in self.results if r.status in (ORACLE_FAIL, CRASH)
+        ]
+
+    def to_meta(self):
+        """JSON-ready summary for the obs run report."""
+        return {
+            "cases": len(self.results),
+            "requested_cases": self.config.cases,
+            "seed": self.config.seed,
+            "jobs": self.config.jobs,
+            "oracles": list(self.config.oracles),
+            "counts": self.counts,
+            "buckets": {
+                signature: [r.index for r in results]
+                for signature, results in self.buckets.items()
+            },
+            "reproducers": dict(self.reproducers),
+            "elapsed_seconds": round(self.elapsed, 3),
+        }
+
+
+class CaseTimeout(Exception):
+    """Raised inside a worker when a case exceeds its wall-clock budget."""
+
+
+# ---------------------------------------------------------------------------
+# Case derivation (deterministic, jobs-independent)
+# ---------------------------------------------------------------------------
+
+
+def _testbed_corpus():
+    """Unique (label, text, top) seed designs from the bug testbed."""
+    from ..testbed.harness import _design_text
+    from ..testbed.metadata import BUG_IDS, SPECS
+
+    corpus = []
+    seen = set()
+    for bug_id in BUG_IDS:
+        spec = SPECS[bug_id]
+        if spec.design_file in seen:
+            continue
+        seen.add(spec.design_file)
+        corpus.append((bug_id, _design_text(spec.design_file), spec.top))
+    return corpus
+
+
+def case_spec(campaign_seed, index):
+    """The deterministic recipe for case *index* of a campaign.
+
+    Returns ``(case_seed, kind, origin_seed_or_bug_index)`` where kind is
+    ``generated`` (fresh design), ``mutant`` (mutated fresh design), or
+    ``testbed_mutant`` (mutated testbed design).
+    """
+    case_seed = (campaign_seed * 1_000_003 + index * 7_919) & 0x7FFFFFFF
+    rng = random.Random(case_seed)
+    roll = rng.random()
+    if roll < 0.55:
+        return case_seed, "generated", rng.randrange(1 << 30)
+    if roll < 0.85:
+        return case_seed, "mutant", rng.randrange(1 << 30)
+    return case_seed, "testbed_mutant", rng.randrange(1 << 30)
+
+
+def _build_case(campaign_seed, index):
+    """Materialize (kind, origin, mutation, text, top) for one case."""
+    case_seed, kind, origin_seed = case_spec(campaign_seed, index)
+    if kind == "generated":
+        design = generate_design(origin_seed)
+        return case_seed, kind, "seed=%d" % origin_seed, None, design.text, design.top
+    if kind == "mutant":
+        design = generate_design(origin_seed)
+        mutation = mutate_source(design.text, origin_seed ^ 0x5BF03635)
+        if mutation is None:
+            return case_seed, "generated", "seed=%d" % origin_seed, None, design.text, design.top
+        return (
+            case_seed,
+            kind,
+            "seed=%d" % origin_seed,
+            mutation.name,
+            mutation.text,
+            design.top,
+        )
+    corpus = _testbed_corpus()
+    label, text, top = corpus[origin_seed % len(corpus)]
+    mutation = mutate_source(text, origin_seed ^ 0x2545F491)
+    if mutation is None:
+        return case_seed, kind, label, None, text, top
+    return case_seed, kind, label, mutation.name, mutation.text, top
+
+
+# ---------------------------------------------------------------------------
+# Failure signatures
+# ---------------------------------------------------------------------------
+
+_PACKAGE_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def crash_signature(exc):
+    """Deduplicated signature for an unexpected exception.
+
+    Exception type plus the chain of in-package stack frames — two
+    crashes with the same signature are the same bug for bucketing
+    purposes, whatever design triggered them.
+    """
+    frames = []
+    extracted = traceback.extract_tb(exc.__traceback__)
+    for frame in extracted:
+        if _PACKAGE_DIR in os.path.abspath(frame.filename):
+            frames.append(
+                "%s:%s" % (os.path.basename(frame.filename), frame.name)
+            )
+    if not frames and extracted:
+        # Crash entirely outside the package: fall back to the
+        # innermost frame so distinct crashes still bucket apart.
+        frame = extracted[-1]
+        frames = ["%s:%s" % (os.path.basename(frame.filename), frame.name)]
+    return "%s@%s" % (type(exc).__name__, "<-".join(reversed(frames)) or "?")
+
+
+def oracle_signature(oracle, detail):
+    """Deduplicated signature for an oracle violation.
+
+    Numbers in the divergence detail (cycle counts, values) vary per
+    stimulus, so they are normalized away before bucketing.
+    """
+    normalized = re.sub(r"\d+", "#", detail)[:120]
+    return "%s:%s" % (oracle, normalized)
+
+
+def bucket_id(signature):
+    """Short stable id for a signature (used in reproducer filenames)."""
+    return hashlib.sha1(signature.encode("utf-8")).hexdigest()[:10]
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+
+_HAS_ALARM = hasattr(signal, "SIGALRM")
+
+
+def _alarm_handler(signum, frame):
+    raise CaseTimeout()
+
+
+def run_case(args):
+    """Execute one case end to end (top-level so Pool can pickle it).
+
+    *args* is ``(campaign_seed, index, oracles, cycles, timeout)``.
+    Returns a :class:`CaseResult`; failing cases carry their source text
+    back for bucketing and reduction.
+    """
+    campaign_seed, index, oracles, cycles, timeout = args
+    started = time.time()
+    result = CaseResult(index=index, case_seed=0, kind="?", origin="?")
+    old_handler = None
+    if _HAS_ALARM and timeout:
+        old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        case_seed, kind, origin, mutation, text, top = _build_case(
+            campaign_seed, index
+        )
+        result = CaseResult(
+            index=index,
+            case_seed=case_seed,
+            kind=kind,
+            origin=origin,
+            mutation=mutation,
+        )
+        for oracle in oracles:
+            outcome = ORACLES[oracle](text, top=top, seed=case_seed, cycles=cycles)
+            if outcome.status == FAIL:
+                result.status = ORACLE_FAIL
+                result.oracle = oracle
+                result.detail = outcome.detail
+                result.signature = oracle_signature(oracle, outcome.detail)
+                result.text = text
+                break
+    except CaseTimeout:
+        result.status = TIMEOUT
+        result.detail = "exceeded %.1fs case budget" % timeout
+        result.signature = "timeout"
+    except KNOWN_ERRORS as exc:
+        result.status = INVALID
+        result.detail = "%s: %s" % (type(exc).__name__, exc)
+    except Exception as exc:
+        result.status = CRASH
+        result.detail = "%s: %s" % (type(exc).__name__, exc)
+        result.signature = crash_signature(exc)
+        result.text = locals().get("text")
+    finally:
+        if old_handler is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, old_handler)
+    result.duration = time.time() - started
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Campaign
+# ---------------------------------------------------------------------------
+
+
+def _record_result(result):
+    if not obs.enabled:
+        return
+    obs.counter("fuzz.cases").inc()
+    obs.counter("fuzz.%s" % result.status).inc()
+    obs.histogram("fuzz.case_ms").observe(int(result.duration * 1000))
+
+
+def _reduction_predicate(result, config):
+    """True iff candidate text reproduces *result*'s exact failure."""
+    oracles = (result.oracle,) if result.oracle else config.oracles
+
+    def predicate(text):
+        try:
+            for oracle in oracles:
+                outcome = ORACLES[oracle](
+                    text, seed=result.case_seed, cycles=config.cycles
+                )
+                if (
+                    outcome.status == FAIL
+                    and result.status == ORACLE_FAIL
+                    and oracle_signature(oracle, outcome.detail)
+                    == result.signature
+                ):
+                    return True
+            return False
+        except KNOWN_ERRORS:
+            return False
+        except Exception as exc:
+            return (
+                result.status == CRASH
+                and crash_signature(exc) == result.signature
+            )
+
+    return predicate
+
+
+def _save_reproducer(result, config, reduced_text=None):
+    """Write the (reduced) failing source under the campaign output dir."""
+    os.makedirs(config.output_dir, exist_ok=True)
+    name = "case%05d_%s.v" % (result.index, bucket_id(result.signature))
+    path = os.path.join(config.output_dir, name)
+    header = [
+        "// repro.fuzz reproducer",
+        "// campaign seed: %d  case: %d  case seed: %d"
+        % (config.seed, result.index, result.case_seed),
+        "// kind: %s (%s)%s"
+        % (
+            result.kind,
+            result.origin,
+            " mutation=%s" % result.mutation if result.mutation else "",
+        ),
+        "// status: %s%s"
+        % (result.status, " oracle=%s" % result.oracle if result.oracle else ""),
+        "// detail: %s" % result.detail.replace("\n", " ")[:200],
+        "// signature: %s" % result.signature,
+    ]
+    body = reduced_text if reduced_text is not None else result.text
+    with open(path, "w") as handle:
+        handle.write("\n".join(header) + "\n" + (body or ""))
+    return path
+
+
+def run_campaign(config, progress=None):
+    """Run a full campaign; returns a :class:`CampaignReport`.
+
+    *progress* (optional) is called with each :class:`CaseResult` as it
+    arrives — the CLI uses it for live status lines.
+    """
+    started = time.time()
+    report = CampaignReport(config=config)
+    work = [
+        (config.seed, index, tuple(config.oracles), config.cycles,
+         config.case_timeout)
+        for index in range(config.cases)
+    ]
+
+    def consume(result):
+        report.results.append(result)
+        _record_result(result)
+        if progress is not None:
+            progress(result)
+        if config.time_budget is not None:
+            return (time.time() - started) < config.time_budget
+        return True
+
+    with obs.span("fuzz:campaign", cases=config.cases, seed=config.seed):
+        if config.jobs <= 1:
+            for item in work:
+                if not consume(run_case(item)):
+                    break
+        else:
+            import multiprocessing
+
+            with multiprocessing.Pool(config.jobs) as pool:
+                for result in pool.imap_unordered(run_case, work):
+                    if not consume(result):
+                        pool.terminate()
+                        break
+            report.results.sort(key=lambda r: r.index)
+
+        for result in report.failures:
+            report.buckets.setdefault(result.signature, []).append(result)
+        if obs.enabled:
+            obs.gauge("fuzz.buckets").set(len(report.buckets))
+
+        with obs.span("fuzz:reduce", buckets=len(report.buckets)):
+            for signature, results in report.buckets.items():
+                exemplar = results[0]
+                if exemplar.text is None:
+                    continue
+                reduced = None
+                if config.reduce:
+                    try:
+                        reduced = reduce_source(
+                            exemplar.text,
+                            _reduction_predicate(exemplar, config),
+                            max_checks=config.reduce_checks,
+                        )
+                    except ValueError:
+                        reduced = None
+                path = _save_reproducer(exemplar, config, reduced)
+                report.reproducers[signature] = path
+
+    report.elapsed = time.time() - started
+    return report

@@ -10,6 +10,7 @@ Typical usage::
 """
 
 from . import ast_nodes as ast
+from .ast_nodes import ast_diff, ast_equal
 from .codegen import (
     generate_expression,
     generate_module,
@@ -32,6 +33,8 @@ from .transform import (
 
 __all__ = [
     "ast",
+    "ast_equal",
+    "ast_diff",
     "parse",
     "parse_module",
     "parse_expression",

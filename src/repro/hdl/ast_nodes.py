@@ -89,7 +89,9 @@ class Number(Expression):
 
     def __str__(self):
         if self.width is not None:
-            return "%d'h%x" % (self.width, self.value)
+            return "%d'%sh%x" % (self.width, "s" if self.signed else "", self.value)
+        if self.signed:
+            return "'sd%d" % self.value
         return str(self.value)
 
 
@@ -470,3 +472,59 @@ def lvalue_base_names(expr):
             names.extend(lvalue_base_names(part))
         return names
     return [lvalue_base_name(expr)]
+
+
+# ---------------------------------------------------------------------------
+# Structural equality
+# ---------------------------------------------------------------------------
+
+
+def _compared_fields(node):
+    """Dataclass fields that participate in equality (compare=True)."""
+    return [f for f in fields(node) if f.compare]
+
+
+def ast_diff(a, b, path="<root>"):
+    """First structural difference between two AST values, or None.
+
+    Compares node types and every ``compare=True`` dataclass field
+    (``lineno`` and friends are ignored, matching ``==``), recursing into
+    nested nodes and lists. Returns a human-readable one-line description
+    of the first divergence, e.g.
+    ``"<root>.modules[0].items[3].rhs.op: '+' != '-'"``.
+    """
+    if isinstance(a, Node) or isinstance(b, Node):
+        if type(a) is not type(b):
+            return "%s: node type %s != %s" % (
+                path,
+                type(a).__name__,
+                type(b).__name__,
+            )
+        for f in _compared_fields(a):
+            diff = ast_diff(
+                getattr(a, f.name), getattr(b, f.name), "%s.%s" % (path, f.name)
+            )
+            if diff is not None:
+                return diff
+        return None
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return "%s: length %d != %d" % (path, len(a), len(b))
+        for index, (left, right) in enumerate(zip(a, b)):
+            diff = ast_diff(left, right, "%s[%d]" % (path, index))
+            if diff is not None:
+                return diff
+        return None
+    if a != b:
+        return "%s: %r != %r" % (path, a, b)
+    return None
+
+
+def ast_equal(a, b):
+    """True when two AST values are structurally equal.
+
+    Equivalent to ``a == b`` for well-formed trees but tolerant of
+    mixed list/tuple containers; use :func:`ast_diff` for a readable
+    first-difference report when this returns False.
+    """
+    return ast_diff(a, b) is None

@@ -13,7 +13,12 @@ _INDENT = "    "
 
 
 def _escape(text):
-    return text.replace("\\", "\\\\").replace('"', '\\"')
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
 
 
 def generate_expression(expr):

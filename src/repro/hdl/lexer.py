@@ -46,6 +46,32 @@ _TOKEN_RE = re.compile(
 
 _BASE_RADIX = {"b": 2, "o": 8, "d": 10, "h": 16}
 
+_STRING_ESCAPES = {"n": "\n", "t": "\t", "\\": "\\", '"': '"'}
+
+
+def _unescape_string(text):
+    """Resolve ``\\"``-style escapes in a string literal's contents.
+
+    Verilog semantics: ``\\n``/``\\t`` are newline/tab, ``\\\\`` and
+    ``\\"`` are the literal character, and an unknown ``\\x`` is just
+    ``x``. The AST stores the *unescaped* text; codegen re-escapes on
+    output, so parse/codegen round-trips are exact.
+    """
+    if "\\" not in text:
+        return text
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            escaped = text[i + 1]
+            out.append(_STRING_ESCAPES.get(escaped, escaped))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
 
 class LexerError(ValueError):
     """Raised when the input contains a character outside the subset."""
@@ -109,7 +135,7 @@ def tokenize(text):
                 raise LexerError("line %d: real literals unsupported" % lineno)
             tokens.append(Token("number", raw, lineno, int(raw.replace("_", ""))))
         elif kind == "string":
-            tokens.append(Token("string", raw[1:-1], lineno))
+            tokens.append(Token("string", _unescape_string(raw[1:-1]), lineno))
         elif kind == "ident":
             if raw.startswith("$"):
                 tokens.append(Token("sysname", raw, lineno))

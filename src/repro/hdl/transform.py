@@ -206,8 +206,11 @@ def const_eval(expr, env=None):
             "+": lambda: left + right,
             "-": lambda: left - right,
             "*": lambda: left * right,
-            "/": lambda: left // right,
-            "%": lambda: left % right,
+            # Division by zero yields 0, matching the simulator's
+            # two-state semantics (so constant folding never diverges
+            # from runtime evaluation).
+            "/": lambda: left // right if right else 0,
+            "%": lambda: left % right if right else 0,
             "<<": lambda: left << right,
             ">>": lambda: left >> right,
             "<": lambda: int(left < right),

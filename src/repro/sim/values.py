@@ -25,6 +25,8 @@ class EvaluationError(ValueError):
 
 def mask(width):
     """Bit mask for *width* bits."""
+    if width < 0:
+        raise EvaluationError("negative width %d (reversed part select?)" % width)
     return (1 << width) - 1
 
 
