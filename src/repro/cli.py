@@ -10,9 +10,17 @@ Mirrors the paper artifact's README commands::
     python -m repro fsms D2              # FSM detection report
     python -m repro instrument D2        # emit the instrumented Verilog
     python -m repro profile D2           # span tree + metrics for one run
+    python -m repro fuzz --cases 500     # differential fuzz campaign
+    python -m repro faults --seed 1      # fault-injection campaign
 
 Global flags: ``--version`` prints the package version; ``--quiet``
 suppresses stdout (the exit status still reports success/failure).
+
+Exit codes are distinct per failure stage so scripts and CI can tell
+them apart: 0 success, 1 command-specific failure (e.g. fuzz oracle
+failures), 2 usage/unknown bug, 3 parse, 4 elaborate, 5 simulate,
+6 tool pass, 130 interrupted. ``fuzz``, ``faults``, and ``profile``
+flush their partial reports before exiting on Ctrl-C.
 """
 
 from __future__ import annotations
@@ -21,6 +29,39 @@ import argparse
 import contextlib
 import io
 import sys
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_PARSE = 3
+EXIT_ELABORATE = 4
+EXIT_SIMULATE = 5
+EXIT_TOOL = 6
+EXIT_INTERRUPT = 130
+
+_STAGE_NAMES = {
+    EXIT_PARSE: "parse",
+    EXIT_ELABORATE: "elaborate",
+    EXIT_SIMULATE: "simulate",
+    EXIT_TOOL: "tool pass",
+}
+
+
+def classify_failure(exc):
+    """Map a stack exception to the CLI's stage-specific exit code."""
+    from .hdl.elaborate import ElaborationError
+    from .hdl.lexer import LexerError
+    from .hdl.parser import ParseError
+    from .sim.simulator import SimulatorError
+    from .sim.values import EvaluationError
+
+    if isinstance(exc, (LexerError, ParseError)):
+        return EXIT_PARSE
+    if isinstance(exc, ElaborationError):
+        return EXIT_ELABORATE
+    if isinstance(exc, (SimulatorError, EvaluationError)):
+        return EXIT_SIMULATE
+    return EXIT_TOOL
 
 
 def _cmd_list(args):
@@ -130,20 +171,23 @@ def _cmd_profile(args):
     from .testbed.debug_configs import instrument_for_debugging
 
     obs.reset()
+    result = None
+    interrupted = False
     with obs.observed():
-        with obs.span("profile", bug=args.bug_id):
-            result = reproduce(args.bug_id)
-            instrument_for_debugging(args.bug_id, buffer_depth=args.buffer)
-        report = obs.build_report(
-            "profile:%s" % args.bug_id,
-            meta={
-                "bug": args.bug_id,
-                "reproduced": result.reproduced,
-                "symptoms": sorted(
-                    s.value for s in result.observation.symptoms
-                ),
-            },
-        )
+        try:
+            with obs.span("profile", bug=args.bug_id):
+                result = reproduce(args.bug_id)
+                instrument_for_debugging(args.bug_id, buffer_depth=args.buffer)
+        except KeyboardInterrupt:
+            # Still flush the partial span tree + metrics below.
+            interrupted = True
+        meta = {"bug": args.bug_id, "interrupted": interrupted}
+        if result is not None:
+            meta["reproduced"] = result.reproduced
+            meta["symptoms"] = sorted(
+                s.value for s in result.observation.symptoms
+            )
+        report = obs.build_report("profile:%s" % args.bug_id, meta=meta)
     print(obs.render_span_tree(report["spans"]))
     print()
     print(obs.render_metrics_table(report["metrics"]))
@@ -153,7 +197,7 @@ def _cmd_profile(args):
         output = os.path.join("results", "profile_%s.json" % args.bug_id)
     obs.write_report(report, output)
     print("wrote %s" % output)
-    return 0
+    return EXIT_INTERRUPT if interrupted else 0
 
 
 def _cmd_fuzz(args):
@@ -194,7 +238,7 @@ def _cmd_fuzz(args):
     counts = report.counts
     print(
         "fuzz: %d cases in %.1fs — %d ok, %d invalid, %d oracle failures, "
-        "%d crashes, %d timeouts (%d unique buckets)"
+        "%d crashes, %d timeouts (%d unique buckets)%s"
         % (
             len(report.results),
             report.elapsed,
@@ -204,6 +248,7 @@ def _cmd_fuzz(args):
             counts["crash"],
             counts["timeout"],
             len(report.buckets),
+            " [interrupted]" if report.interrupted else "",
         )
     )
     for signature, path in report.reproducers.items():
@@ -214,7 +259,103 @@ def _cmd_fuzz(args):
     )
     obs.write_report(run_report, output)
     print("wrote %s" % output)
-    return 1 if report.failures else 0
+    if report.interrupted:
+        return EXIT_INTERRUPT
+    return EXIT_FAILURE if report.failures else EXIT_OK
+
+
+def _cmd_faults(args):
+    import os
+
+    from . import obs
+    from .faults import (
+        FaultCampaignConfig,
+        TOOL_NAMES,
+        run_fault_campaign,
+        write_detection_report,
+    )
+    from .testbed import BUG_IDS
+
+    bugs = tuple(args.bug) if args.bug else tuple(BUG_IDS)
+    for bug_id in bugs:
+        if bug_id not in BUG_IDS:
+            raise KeyError(bug_id)
+    config = FaultCampaignConfig(
+        bugs=bugs,
+        faults_per_bug=args.faults_per_bug,
+        seed=args.seed,
+        events_per_fault=args.events_per_fault,
+        kinds=tuple(args.kind) if args.kind else None,
+        case_timeout=args.timeout,
+        retries=args.retries,
+        output_dir=args.output_dir or os.path.join("results", "faults"),
+        journal_path=args.journal,
+        resume=not args.fresh,
+    )
+
+    def progress(record):
+        if record["status"] != "ok":
+            print(
+                "case %s: %s %s"
+                % (
+                    record["case"],
+                    record["status"],
+                    record.get("error", "")[:100],
+                )
+            )
+
+    obs.reset()
+    with obs.observed():
+        report = run_fault_campaign(config, progress=progress)
+        run_report = obs.build_report("faults", meta=report.to_meta())
+    taxonomy = report.taxonomy_counts()
+    print(
+        "faults: %d cases in %.1fs — %d ok, %d timeout, %d injection, "
+        "%d design, %d tool, %d crash%s%s"
+        % (
+            len(report.records),
+            report.elapsed,
+            taxonomy["ok"],
+            taxonomy["timeout"],
+            taxonomy["injection_error"],
+            taxonomy["design_error"],
+            taxonomy["tool_error"],
+            taxonomy["crash"],
+            " (%d resumed from journal)" % report.resumed
+            if report.resumed
+            else "",
+            " [interrupted]" if report.interrupted else "",
+        )
+    )
+    summary = report.tool_summary()
+    for tool in TOOL_NAMES:
+        counts = summary[tool]
+        rate = counts["detection_rate"]
+        print(
+            "  %-10s detected %d of %d effectful faults (rate %s)"
+            % (
+                tool,
+                counts["detected"],
+                counts["effectful"],
+                "n/a" if rate is None else "%.2f" % rate,
+            )
+        )
+    loss_designs = report.losscheck_loss_designs()
+    print(
+        "losscheck caught injected data-loss faults on: %s"
+        % (", ".join(loss_designs) or "-")
+    )
+    detection_path = args.report or os.path.join(
+        config.output_dir, "detection_seed%d.json" % config.seed
+    )
+    write_detection_report(report, detection_path)
+    print("wrote %s" % detection_path)
+    obs_path = args.obs_report or os.path.join(
+        config.output_dir, "report_seed%d.json" % config.seed
+    )
+    obs.write_report(run_report, obs_path)
+    print("wrote %s" % obs_path)
+    return EXIT_INTERRUPT if report.interrupted else EXIT_OK
 
 
 def _cmd_wave(args):
@@ -334,6 +475,81 @@ def build_parser():
         help="run-report path (default <output-dir>/report_seed<SEED>.json)",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+    faults = sub.add_parser(
+        "faults",
+        help="run a deterministic fault-injection campaign and score "
+        "which debugging tools detect each fault",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    faults.add_argument(
+        "--bug",
+        action="append",
+        metavar="BUG",
+        help="restrict to one testbed bug (repeatable; default: all 20)",
+    )
+    faults.add_argument(
+        "--faults-per-bug",
+        type=int,
+        default=8,
+        help="fault schedules per bug (default 8)",
+    )
+    faults.add_argument(
+        "--events-per-fault",
+        type=int,
+        default=1,
+        help="events per schedule (default 1: single-fault model)",
+    )
+    faults.add_argument(
+        "--kind",
+        action="append",
+        choices=[
+            "seu_reg", "seu_mem", "stuck0", "stuck1", "glitch",
+            "fifo_drop", "fifo_dup", "ram_seu", "rec_overflow",
+        ],
+        help="restrict sampling to one fault kind (repeatable)",
+    )
+    faults.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-case wall-clock watchdog in seconds (default 30)",
+    )
+    faults.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries (with backoff) per timed-out case (default 2)",
+    )
+    faults.add_argument(
+        "--output-dir",
+        default=None,
+        help="journal/report directory (default results/faults)",
+    )
+    faults.add_argument(
+        "--journal",
+        default=None,
+        help="journal path (default <output-dir>/journal_seed<SEED>.jsonl)",
+    )
+    faults.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore and discard an existing journal instead of resuming",
+    )
+    faults.add_argument(
+        "--report",
+        default=None,
+        help="detection-report path "
+        "(default <output-dir>/detection_seed<SEED>.json)",
+    )
+    faults.add_argument(
+        "--obs-report",
+        default=None,
+        help="obs run-report path "
+        "(default <output-dir>/report_seed<SEED>.json)",
+    )
+    faults.set_defaults(func=_cmd_faults)
     wave = sub.add_parser(
         "wave", help="run a bug's scenario and dump a VCD waveform"
     )
@@ -354,9 +570,18 @@ def main(argv=None):
             with contextlib.redirect_stdout(io.StringIO()):
                 return args.func(args)
         return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
     except KeyError as exc:
         print("error: unknown bug id %s" % exc, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except ValueError as exc:
+        code = classify_failure(exc)
+        print(
+            "error (%s): %s" % (_STAGE_NAMES[code], exc), file=sys.stderr
+        )
+        return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,119 @@
+"""repro.faults: deterministic fault injection and resilience evaluation.
+
+The testbed reproduces 20 curated bugs; real FPGAs additionally suffer
+soft errors (SEUs), stuck-at nets, timing glitches, and flaky vendor IP.
+This package injects those faults into the simulator deterministically
+and measures which of the paper's debugging tools notice:
+
+* :mod:`repro.faults.models` — fault kinds expressed as ``(cycle,
+  target, kind)`` schedules, plus seeded deterministic sampling;
+* :mod:`repro.faults.injector` — the injection engine hooked into the
+  simulator, with checkpoint/rollback what-if replays;
+* :mod:`repro.faults.scoring` — differential detection scoring of
+  SignalCat, the three monitors, and LossCheck on faulted vs golden
+  executions;
+* :mod:`repro.faults.campaign` — the resilient campaign runner:
+  per-case watchdogs, retry with backoff, known-error taxonomy, and a
+  crash-safe JSONL journal that makes ``python -m repro faults``
+  resumable.
+"""
+
+from .models import (
+    DATA_LOSS_KINDS,
+    FIFO_DROP,
+    FIFO_DUP,
+    GLITCH,
+    IP_KINDS,
+    KINDS,
+    RAM_SEU,
+    REC_OVERFLOW,
+    SEU_MEM,
+    SEU_REG,
+    SIGNAL_KINDS,
+    STUCK0,
+    STUCK1,
+    FaultEvent,
+    FaultModelError,
+    FaultSchedule,
+    FaultTargets,
+    fault_targets,
+    sample_event,
+    sample_schedule,
+)
+from .injector import (
+    AppliedFault,
+    FaultInjector,
+    InjectionError,
+    WhatIfOutcome,
+    inject,
+    what_if,
+)
+from .scoring import (
+    DETECTED,
+    FALSE_SILENCE,
+    MASKED,
+    MISSED,
+    SENSITIVE,
+    TOOL_NAMES,
+    CaseScore,
+    DetectionScorer,
+    ToolVerdict,
+    is_data_loss_fault,
+)
+from .campaign import (
+    SCHEMA,
+    TAXONOMY,
+    FaultCampaignConfig,
+    FaultCampaignReport,
+    case_key,
+    case_seed,
+    run_fault_campaign,
+    write_detection_report,
+)
+
+__all__ = [
+    "KINDS",
+    "SIGNAL_KINDS",
+    "IP_KINDS",
+    "DATA_LOSS_KINDS",
+    "SEU_REG",
+    "SEU_MEM",
+    "STUCK0",
+    "STUCK1",
+    "GLITCH",
+    "FIFO_DROP",
+    "FIFO_DUP",
+    "RAM_SEU",
+    "REC_OVERFLOW",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultTargets",
+    "FaultModelError",
+    "fault_targets",
+    "sample_event",
+    "sample_schedule",
+    "FaultInjector",
+    "InjectionError",
+    "AppliedFault",
+    "WhatIfOutcome",
+    "inject",
+    "what_if",
+    "DetectionScorer",
+    "CaseScore",
+    "ToolVerdict",
+    "TOOL_NAMES",
+    "DETECTED",
+    "MISSED",
+    "FALSE_SILENCE",
+    "SENSITIVE",
+    "MASKED",
+    "is_data_loss_fault",
+    "SCHEMA",
+    "TAXONOMY",
+    "FaultCampaignConfig",
+    "FaultCampaignReport",
+    "case_key",
+    "case_seed",
+    "run_fault_campaign",
+    "write_detection_report",
+]

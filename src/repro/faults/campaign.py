@@ -1,0 +1,342 @@
+"""Resilient fault-injection campaigns with crash-safe resume.
+
+A campaign sweeps deterministic fault schedules over testbed bugs and
+scores tool detection for each (:mod:`repro.faults.scoring`). Campaigns
+are engineered to degrade gracefully rather than die:
+
+* every case runs under a wall-clock watchdog
+  (:func:`repro.runtime.time_limit`);
+* timed-out cases are retried with exponential backoff before being
+  recorded as ``timeout``;
+* failures are classified into a known-error taxonomy instead of
+  aborting the sweep;
+* every finished case is appended to a JSONL journal (flushed + fsynced
+  per record), so an interrupted ``python -m repro faults`` resumes
+  exactly where it stopped, reusing journaled results instead of
+  re-running completed cases.
+
+Determinism: case seeds derive from ``(campaign seed, bug id, index)``
+via CRC32 — not Python's salted ``hash`` — and journal records carry no
+wall-clock data, so two runs with the same seed produce byte-identical
+journals and reports.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..runtime import JsonlJournal, TimeLimitExceeded, retry_with_backoff, time_limit
+from ..sim.simulator import SimulatorError
+from ..sim.values import EvaluationError
+from ..testbed.metadata import BUG_IDS
+from .injector import InjectionError
+from .models import DATA_LOSS_KINDS, sample_schedule
+from .scoring import (
+    DETECTED,
+    FALSE_SILENCE,
+    MASKED,
+    MISSED,
+    SENSITIVE,
+    TOOL_NAMES,
+    DetectionScorer,
+)
+
+SCHEMA = "repro.faults/v1"
+
+#: Known-error taxonomy for campaign cases.
+OK = "ok"
+TIMEOUT = "timeout"
+INJECTION_ERROR = "injection_error"
+DESIGN_ERROR = "design_error"
+TOOL_ERROR = "tool_error"
+CRASH = "crash"
+
+TAXONOMY = (OK, TIMEOUT, INJECTION_ERROR, DESIGN_ERROR, TOOL_ERROR, CRASH)
+
+#: Per-tool outcome labels aggregated by the report.
+OUTCOMES = (DETECTED, MISSED, FALSE_SILENCE, SENSITIVE, MASKED)
+
+
+@dataclass
+class FaultCampaignConfig:
+    """Everything that determines a campaign (and its replay/resume)."""
+
+    bugs: tuple = tuple(BUG_IDS)
+    faults_per_bug: int = 8
+    seed: int = 0
+    #: Events per injected schedule (1 = classic single-fault model).
+    events_per_fault: int = 1
+    #: Restrict sampling to these fault kinds (None = all applicable).
+    kinds: tuple = None
+    cycle_range: tuple = (5, 60)
+    case_timeout: float = 30.0
+    retries: int = 2
+    backoff: float = 0.25
+    output_dir: str = "results/faults"
+    journal_path: str = None
+    resume: bool = True
+
+    def resolved_journal_path(self):
+        import os
+
+        if self.journal_path is not None:
+            return self.journal_path
+        return os.path.join(self.output_dir, "journal_seed%d.jsonl" % self.seed)
+
+
+def case_key(bug_id, index):
+    return "%s#%d" % (bug_id, index)
+
+
+def case_seed(campaign_seed, bug_id, index):
+    """Deterministic per-case seed, independent of execution order."""
+    tag = zlib.crc32(bug_id.encode("utf-8")) & 0xFFFFFFFF
+    return (campaign_seed * 1_000_003 + tag * 31 + index * 7_919) & 0x7FFFFFFF
+
+
+@dataclass
+class FaultCampaignReport:
+    """Aggregated campaign outcome, rebuilt purely from journal records."""
+
+    config: FaultCampaignConfig
+    records: list = field(default_factory=list)
+    resumed: int = 0
+    interrupted: bool = False
+    elapsed: float = 0.0
+
+    # -- aggregation --------------------------------------------------------
+
+    def taxonomy_counts(self):
+        counts = {status: 0 for status in TAXONOMY}
+        for record in self.records:
+            counts[record["status"]] = counts.get(record["status"], 0) + 1
+        return counts
+
+    def tool_summary(self):
+        """Per-tool outcome counts and detection rate over scored cases."""
+        summary = {
+            tool: {outcome: 0 for outcome in OUTCOMES} for tool in TOOL_NAMES
+        }
+        for record in self.records:
+            if record["status"] != OK:
+                continue
+            for tool, reading in record.get("tools", {}).items():
+                outcome = reading.get("outcome")
+                if tool in summary and outcome in summary[tool]:
+                    summary[tool][outcome] += 1
+        for tool, counts in summary.items():
+            effectful = (
+                counts[DETECTED] + counts[MISSED] + counts[FALSE_SILENCE]
+            )
+            counts["effectful"] = effectful
+            counts["detection_rate"] = (
+                round(counts[DETECTED] / effectful, 4) if effectful else None
+            )
+        return summary
+
+    def losscheck_loss_designs(self):
+        """Bugs where LossCheck caught an injected data-loss fault."""
+        designs = set()
+        for record in self.records:
+            if record["status"] != OK or not record.get("effect"):
+                continue
+            reading = record.get("tools", {}).get("losscheck")
+            if not reading or reading.get("outcome") != DETECTED:
+                continue
+            kinds = {
+                event.get("kind")
+                for event in record.get("fault", {}).get("events", [])
+            }
+            if kinds & set(DATA_LOSS_KINDS):
+                designs.add(record["bug"])
+        return sorted(designs)
+
+    def to_report(self):
+        """The deterministic ``repro.faults/v1`` detection report."""
+        return {
+            "schema": SCHEMA,
+            "seed": self.config.seed,
+            "bugs": list(self.config.bugs),
+            "faults_per_bug": self.config.faults_per_bug,
+            "events_per_fault": self.config.events_per_fault,
+            "kinds": list(self.config.kinds) if self.config.kinds else None,
+            "cases": len(self.records),
+            "interrupted": self.interrupted,
+            "taxonomy": self.taxonomy_counts(),
+            "tools": self.tool_summary(),
+            "losscheck_loss_designs": self.losscheck_loss_designs(),
+            "records": sorted(
+                self.records, key=lambda record: record["case"]
+            ),
+        }
+
+    def to_meta(self):
+        """Compact summary for the ``repro.obs/v1`` run report."""
+        return {
+            "seed": self.config.seed,
+            "bugs": list(self.config.bugs),
+            "cases": len(self.records),
+            "resumed": self.resumed,
+            "interrupted": self.interrupted,
+            "taxonomy": self.taxonomy_counts(),
+            "tools": {
+                tool: counts["detection_rate"]
+                for tool, counts in self.tool_summary().items()
+            },
+            "losscheck_loss_designs": self.losscheck_loss_designs(),
+            "elapsed_seconds": round(self.elapsed, 3),
+        }
+
+
+def _classify_error(exc):
+    if isinstance(exc, TimeLimitExceeded):
+        return TIMEOUT
+    if isinstance(exc, InjectionError):
+        return INJECTION_ERROR
+    if isinstance(exc, (SimulatorError, EvaluationError)):
+        return DESIGN_ERROR
+    return CRASH
+
+
+def _run_case(config, scorers, bug_id, index, sleep):
+    """Execute one campaign case; always returns a journal record."""
+    seed = case_seed(config.seed, bug_id, index)
+    base = {
+        "case": case_key(bug_id, index),
+        "bug": bug_id,
+        "index": index,
+        "case_seed": seed,
+    }
+
+    def attempt():
+        with time_limit(config.case_timeout):
+            scorer = scorers.get(bug_id)
+            if scorer is None:
+                scorer = DetectionScorer(bug_id)
+                scorers[bug_id] = scorer
+            schedule = sample_schedule(
+                scorer.module,
+                seed,
+                events=config.events_per_fault,
+                cycle_range=config.cycle_range,
+                kinds=config.kinds,
+            )
+            return scorer.score(schedule)
+
+    def on_retry(attempt_number, exc):
+        if obs.enabled:
+            obs.counter("faults.retries").inc()
+
+    try:
+        score, attempts = retry_with_backoff(
+            attempt,
+            retries=config.retries,
+            base_delay=config.backoff,
+            retry_on=(TimeLimitExceeded,),
+            sleep=sleep,
+            on_retry=on_retry,
+        )
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        status = _classify_error(exc)
+        record = dict(base)
+        record["status"] = status
+        record["error"] = "%s: %s" % (type(exc).__name__, str(exc)[:200])
+        record["attempts"] = (
+            config.retries + 1 if status == TIMEOUT else 1
+        )
+        return record
+    record = dict(base)
+    record.update(score.to_dict())
+    record["status"] = OK
+    record["attempts"] = attempts
+    return record
+
+
+def _record_obs(record):
+    if not obs.enabled:
+        return
+    obs.counter("faults.cases").inc()
+    obs.counter("faults.%s" % record["status"]).inc()
+    if record.get("effect"):
+        obs.counter("faults.effectful").inc()
+
+
+def run_fault_campaign(config, progress=None, sleep=time.sleep):
+    """Run (or resume) a campaign; returns a :class:`FaultCampaignReport`.
+
+    *progress* (optional) receives each journal record as it is written;
+    *sleep* is injectable for tests. ``KeyboardInterrupt`` stops the
+    sweep but still returns the partial report (journaled cases are
+    never lost).
+    """
+    import os
+
+    started = time.time()
+    journal = JsonlJournal(config.resolved_journal_path())
+    completed = {}
+    if config.resume:
+        for record in journal.load():
+            completed[record["case"]] = record
+    elif os.path.exists(journal.path):
+        # A fresh run must not append after stale records.
+        os.remove(journal.path)
+    records = []
+    resumed = 0
+    scorers = {}
+    interrupted = False
+    with obs.span(
+        "faults:campaign",
+        seed=config.seed,
+        bugs=len(config.bugs),
+        faults_per_bug=config.faults_per_bug,
+    ):
+        try:
+            for bug_id in config.bugs:
+                with obs.span("faults:bug", bug=bug_id):
+                    for index in range(config.faults_per_bug):
+                        key = case_key(bug_id, index)
+                        if key in completed:
+                            records.append(completed[key])
+                            resumed += 1
+                            if obs.enabled:
+                                obs.counter("faults.resumed").inc()
+                            continue
+                        record = _run_case(
+                            config, scorers, bug_id, index, sleep
+                        )
+                        journal.append(record)
+                        records.append(record)
+                        _record_obs(record)
+                        if progress is not None:
+                            progress(record)
+        except KeyboardInterrupt:
+            # Journaled work survives; report covers finished cases.
+            interrupted = True
+        finally:
+            journal.close()
+    return FaultCampaignReport(
+        config=config,
+        records=records,
+        resumed=resumed,
+        interrupted=interrupted,
+        elapsed=time.time() - started,
+    )
+
+
+def write_detection_report(report, path):
+    """Write the deterministic detection report as pretty-printed JSON."""
+    import json
+    import os
+
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report.to_report(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,230 @@
+"""Deterministic fault-injection engine over the cycle-accurate simulator.
+
+A :class:`FaultInjector` attaches to a live
+:class:`~repro.sim.simulator.Simulator` through its ``cycle_hooks`` and
+``forced`` extension points and realizes a :class:`FaultSchedule` at
+exact cycle boundaries:
+
+* SEUs mutate committed state once, at the start of the target cycle;
+* stuck-at faults install an entry in ``Simulator.forced`` (reasserted
+  after every settle pass, so combinational logic cannot heal the net)
+  and schedule their own release;
+* glitches are a one-cycle force of the bit-flipped current value;
+* IP faults call the ``inject_*`` helpers on the bound behavioral model.
+
+Because injection happens at cycle granularity against a deterministic
+simulator, a ``(design, stimulus, schedule)`` triple replays
+bit-identically — the property the campaign journal relies on.
+
+:func:`what_if` layers the simulator's existing ``checkpoint()`` /
+``restore()`` underneath an injection for StateMover-style what-if
+replays: snapshot, inject-and-run, observe, roll back to the golden
+timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.values import mask
+from .models import (
+    FIFO_DROP,
+    FIFO_DUP,
+    GLITCH,
+    RAM_SEU,
+    REC_OVERFLOW,
+    SEU_MEM,
+    SEU_REG,
+    STUCK0,
+    STUCK1,
+    FaultSchedule,
+)
+
+
+class InjectionError(ValueError):
+    """Raised when a fault event cannot be realized on the simulator."""
+
+
+@dataclass
+class AppliedFault:
+    """Bookkeeping for one realized fault event."""
+
+    cycle: int
+    event: object
+    detail: str = ""
+
+
+@dataclass
+class WhatIfOutcome:
+    """Result of one :func:`what_if` inject-and-rollback replay."""
+
+    value: object
+    applied: list = field(default_factory=list)
+    cycles: int = 0
+
+
+class FaultInjector:
+    """Realizes a :class:`FaultSchedule` against a live simulator.
+
+    Attach before the first ``step()``; events scheduled for cycles the
+    simulator has already passed are applied at the next cycle boundary
+    (so an injector attached mid-run still realizes its whole schedule).
+    """
+
+    def __init__(self, sim, schedule, strict=True):
+        if not isinstance(schedule, FaultSchedule):
+            schedule = FaultSchedule(events=list(schedule))
+        self.sim = sim
+        self.schedule = schedule
+        self.strict = strict
+        #: Realized events, in application order.
+        self.applied = []
+        #: Events that could not be realized (non-strict mode only).
+        self.skipped = []
+        self._queue = sorted(schedule.events)
+        self._releases = {}
+        self._installed = set()
+        sim.cycle_hooks.append(self._on_cycle)
+
+    def detach(self):
+        """Remove the injector and lift any still-active forces."""
+        try:
+            self.sim.cycle_hooks.remove(self._on_cycle)
+        except ValueError:
+            pass
+        for name in self._installed:
+            self.sim.forced.pop(name, None)
+        self._releases.clear()
+        self._installed.clear()
+
+    @property
+    def done(self):
+        """True when every scheduled event has been applied or skipped."""
+        return not self._queue
+
+    # -- hook ---------------------------------------------------------------
+
+    def _on_cycle(self, sim):
+        cycle = sim.cycle
+        for release_cycle in sorted(self._releases):
+            if release_cycle > cycle:
+                break
+            for name in self._releases.pop(release_cycle):
+                sim.forced.pop(name, None)
+        while self._queue and self._queue[0].cycle <= cycle:
+            event = self._queue.pop(0)
+            try:
+                detail = self._apply(event, sim)
+            except InjectionError:
+                if self.strict:
+                    raise
+                self.skipped.append(event)
+                continue
+            self.applied.append(
+                AppliedFault(cycle=cycle, event=event, detail=detail)
+            )
+
+    # -- realization --------------------------------------------------------
+
+    def _signal_width(self, sim, name):
+        try:
+            return sim.symbols.width_of(name)
+        except Exception:
+            raise InjectionError("no signal %r in design" % name)
+
+    def _apply(self, event, sim):
+        kind = event.kind
+        if kind == SEU_REG:
+            width = self._signal_width(sim, event.target)
+            if isinstance(sim.state.get(event.target), list):
+                raise InjectionError(
+                    "%r is a memory; use seu_mem" % event.target
+                )
+            flipped = sim.state[event.target] ^ (1 << (event.bit % width))
+            sim.state[event.target] = flipped & mask(width)
+            return "-> %d" % sim.state[event.target]
+        if kind == SEU_MEM:
+            words = sim.state.get(event.target)
+            if not isinstance(words, list) or not words:
+                raise InjectionError("%r is not a memory" % event.target)
+            width = self._signal_width(sim, event.target)
+            index = event.index % len(words)
+            words[index] ^= 1 << (event.bit % width)
+            words[index] &= mask(width)
+            return "[%d] -> %d" % (index, words[index])
+        if kind in (STUCK0, STUCK1):
+            width = self._signal_width(sim, event.target)
+            value = 0 if kind == STUCK0 else mask(width)
+            sim.forced[event.target] = value
+            self._installed.add(event.target)
+            if event.duration:
+                self._releases.setdefault(
+                    sim.cycle + event.duration, []
+                ).append(event.target)
+            return "= %d" % value
+        if kind == GLITCH:
+            width = self._signal_width(sim, event.target)
+            current = sim.state.get(event.target)
+            if isinstance(current, list):
+                raise InjectionError("cannot glitch memory %r" % event.target)
+            value = (current ^ (1 << (event.bit % width))) & mask(width)
+            sim.forced[event.target] = value
+            self._installed.add(event.target)
+            self._releases.setdefault(sim.cycle + 1, []).append(event.target)
+            return "= %d for 1 cycle" % value
+        if kind in (FIFO_DROP, FIFO_DUP):
+            model = self._ip(sim, event.target)
+            core = getattr(model, "core", None)
+            if core is None or not hasattr(core, "inject_drop"):
+                raise InjectionError("%r is not a FIFO" % event.target)
+            if kind == FIFO_DROP:
+                value = core.inject_drop(event.index)
+            else:
+                value = core.inject_duplicate(event.index)
+            return "noop (empty)" if value is None else "entry %d" % value
+        if kind == RAM_SEU:
+            model = self._ip(sim, event.target)
+            if not hasattr(model, "inject_bitflip"):
+                raise InjectionError("%r is not an altsyncram" % event.target)
+            word = model.inject_bitflip(event.index, event.bit)
+            return "[%d] -> %d" % (event.index % model.depth, word)
+        if kind == REC_OVERFLOW:
+            model = self._ip(sim, event.target)
+            if not hasattr(model, "inject_overflow"):
+                raise InjectionError("%r is not a recorder" % event.target)
+            lost = model.inject_overflow(keep=event.index)
+            return "lost %d samples" % lost
+        raise InjectionError("unknown fault kind %r" % kind)
+
+    def _ip(self, sim, name):
+        try:
+            return sim.ip_model(name)
+        except KeyError:
+            raise InjectionError("no IP instance %r in design" % name)
+
+
+def inject(sim, schedule, strict=True):
+    """Attach a :class:`FaultInjector` for *schedule* and return it."""
+    return FaultInjector(sim, schedule, strict=strict)
+
+
+def what_if(sim, schedule, run, strict=True):
+    """Inject-and-rollback replay against a golden timeline (§7 style).
+
+    Checkpoints *sim*, attaches an injector for *schedule*, executes
+    ``run(sim)`` (e.g. ``lambda s: s.run(200)``), captures the returned
+    value, then restores the checkpoint and detaches — leaving *sim*
+    exactly as it was. Returns a :class:`WhatIfOutcome` carrying the
+    run's return value, the applied-fault log, and the faulted cycle
+    count reached.
+    """
+    snapshot = sim.checkpoint()
+    injector = FaultInjector(sim, schedule, strict=strict)
+    try:
+        value = run(sim)
+        cycles = sim.cycle
+    finally:
+        injector.detach()
+        sim.restore(snapshot)
+    return WhatIfOutcome(value=value, applied=list(injector.applied),
+                         cycles=cycles)

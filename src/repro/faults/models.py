@@ -1,0 +1,300 @@
+"""Fault models: what can go wrong in a deployed FPGA design.
+
+Real FPGAs suffer classes of failure the Table 2 testbed never
+exercises: radiation-induced single-event upsets (SEUs) in configuration
+and user state, stuck-at nets from marginal routing or damaged cells,
+single-cycle glitches from timing violations, and misbehaving vendor IP.
+Each model here is expressed as a :class:`FaultEvent` — a ``(cycle,
+target, kind)`` schedule entry — so that a whole fault scenario is plain
+data: deterministic, journal-serializable, and replayable.
+
+Supported kinds
+---------------
+
+=================  ========================================================
+``seu_reg``        flip one bit of a scalar register at a cycle boundary
+``seu_mem``        flip one bit of one memory word
+``stuck0``         force a net to all-zeros for *duration* cycles (0 = rest
+                   of the run)
+``stuck1``         force a net to all-ones, same duration semantics
+``glitch``         single-cycle bit-flip force, released the next cycle
+``fifo_drop``      an scfifo/dcfifo silently loses one queued entry
+``fifo_dup``       an scfifo/dcfifo duplicates one queued entry
+``ram_seu``        flip one stored bit inside an altsyncram
+``rec_overflow``   the SignalCat recording buffer wraps, losing samples
+=================  ========================================================
+
+:func:`fault_targets` discovers what a design exposes to each kind;
+:func:`sample_schedule` draws a deterministic schedule from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..analysis.assignments import analyze_module
+from ..hdl import ast_nodes as ast
+from ..sim.values import SymbolTable
+
+SEU_REG = "seu_reg"
+SEU_MEM = "seu_mem"
+STUCK0 = "stuck0"
+STUCK1 = "stuck1"
+GLITCH = "glitch"
+FIFO_DROP = "fifo_drop"
+FIFO_DUP = "fifo_dup"
+RAM_SEU = "ram_seu"
+REC_OVERFLOW = "rec_overflow"
+
+#: Every supported fault kind, in documentation order.
+KINDS = (
+    SEU_REG, SEU_MEM, STUCK0, STUCK1, GLITCH,
+    FIFO_DROP, FIFO_DUP, RAM_SEU, REC_OVERFLOW,
+)
+
+#: Kinds that target a net/register of the design itself.
+SIGNAL_KINDS = (SEU_REG, STUCK0, STUCK1, GLITCH)
+
+#: Kinds that target a blackbox IP instance.
+IP_KINDS = (FIFO_DROP, FIFO_DUP, RAM_SEU, REC_OVERFLOW)
+
+#: Kinds that model data loss or corruption on the datapath — the ones
+#: LossCheck is designed to localize.
+DATA_LOSS_KINDS = (SEU_MEM, STUCK0, STUCK1, GLITCH, FIFO_DROP, RAM_SEU)
+
+
+class FaultModelError(ValueError):
+    """Raised for a fault event the target design cannot realize."""
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault: ``(cycle, target, kind)`` plus parameters."""
+
+    cycle: int
+    kind: str
+    target: str
+    #: Bit position for SEU/glitch kinds (taken modulo the target width).
+    bit: int = 0
+    #: Memory word / FIFO position / recorder keep-count, kind-dependent.
+    index: int = 0
+    #: Stuck-at hold time in cycles; 0 means until the end of the run.
+    duration: int = 0
+
+    def describe(self):
+        """Compact human-readable rendering for logs and reports."""
+        extra = ""
+        if self.kind in (SEU_REG, GLITCH):
+            extra = "[%d]" % self.bit
+        elif self.kind in (SEU_MEM, RAM_SEU):
+            extra = "[%d].bit%d" % (self.index, self.bit)
+        elif self.kind in (STUCK0, STUCK1):
+            extra = "x%s" % (self.duration or "inf")
+        elif self.kind in (FIFO_DROP, FIFO_DUP):
+            extra = "@%d" % self.index
+        return "%s(%s%s)@%d" % (self.kind, self.target, extra, self.cycle)
+
+    def to_dict(self):
+        """JSON-ready form for the campaign journal."""
+        return {
+            "cycle": self.cycle,
+            "kind": self.kind,
+            "target": self.target,
+            "bit": self.bit,
+            "index": self.index,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            cycle=data["cycle"],
+            kind=data["kind"],
+            target=data["target"],
+            bit=data.get("bit", 0),
+            index=data.get("index", 0),
+            duration=data.get("duration", 0),
+        )
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered set of fault events injected into one execution."""
+
+    events: list = field(default_factory=list)
+    label: str = ""
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self):
+        return len(self.events)
+
+    def describe(self):
+        return "+".join(event.describe() for event in self.events) or "<none>"
+
+    def to_dict(self):
+        return {
+            "label": self.label,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            label=data.get("label", ""),
+            events=[FaultEvent.from_dict(e) for e in data.get("events", [])],
+        )
+
+
+@dataclass
+class FaultTargets:
+    """What one design exposes to each fault kind."""
+
+    #: Sequentially-assigned scalar registers: ``[(name, width)]``.
+    registers: list = field(default_factory=list)
+    #: All non-input scalar nets (stuck-at/glitch candidates).
+    nets: list = field(default_factory=list)
+    #: Memories: ``[(name, width, depth)]``.
+    memories: list = field(default_factory=list)
+    #: FIFO IP instances: ``[instance_name]``.
+    fifos: list = field(default_factory=list)
+    #: altsyncram IP instances.
+    rams: list = field(default_factory=list)
+    #: signal_recorder IP instances.
+    recorders: list = field(default_factory=list)
+
+    def kinds_available(self):
+        """The fault kinds this design can realize at least once."""
+        kinds = []
+        if self.registers:
+            kinds.append(SEU_REG)
+        if self.memories:
+            kinds.append(SEU_MEM)
+        if self.nets:
+            kinds.extend((STUCK0, STUCK1, GLITCH))
+        if self.fifos:
+            kinds.extend((FIFO_DROP, FIFO_DUP))
+        if self.rams:
+            kinds.append(RAM_SEU)
+        if self.recorders:
+            kinds.append(REC_OVERFLOW)
+        return tuple(kinds)
+
+
+#: Blackbox module names backing each IP fault kind.
+_FIFO_MODULES = ("scfifo", "dcfifo")
+_RAM_MODULES = ("altsyncram",)
+_RECORDER_MODULES = ("signal_recorder",)
+
+
+def fault_targets(module):
+    """Discover the fault surface of a flat elaborated *module*.
+
+    Registers are the sequentially-assigned scalars (SEU candidates);
+    nets are every declared scalar except input ports (stuck-at/glitch
+    candidates — forcing an input the testbench re-drives would fight
+    the stimulus); memories and IP instances come from declarations.
+    """
+    symbols = SymbolTable(module)
+    view = analyze_module(module)
+    inputs = {
+        port.name
+        for port in module.ports
+        if port.direction is ast.PortDirection.INPUT
+    }
+    sequential = sorted(
+        {
+            record.target
+            for record in view.assignments
+            if record.sequential and not symbols.is_array(record.target)
+        }
+    )
+    targets = FaultTargets()
+    for name in sequential:
+        targets.registers.append((name, symbols.width_of(name)))
+    for name in sorted(symbols.widths):
+        if symbols.is_array(name) or name in inputs:
+            continue
+        targets.nets.append((name, symbols.width_of(name)))
+    for name in sorted(symbols.widths):
+        if symbols.is_array(name):
+            targets.memories.append(
+                (name, symbols.width_of(name), symbols.depth_of(name))
+            )
+    for item in module.items:
+        if not isinstance(item, ast.Instance):
+            continue
+        if item.module_name in _FIFO_MODULES:
+            targets.fifos.append(item.instance_name)
+        elif item.module_name in _RAM_MODULES:
+            targets.rams.append(item.instance_name)
+        elif item.module_name in _RECORDER_MODULES:
+            targets.recorders.append(item.instance_name)
+    return targets
+
+
+def sample_event(targets, rng, cycle_range=(5, 60), kinds=None):
+    """Draw one deterministic :class:`FaultEvent` from *targets*.
+
+    *rng* is a :class:`random.Random`; the draw consumes a fixed number
+    of variates per kind so schedules replay bit-identically for a seed.
+    Returns None when the design exposes none of the requested *kinds*.
+    """
+    available = targets.kinds_available()
+    if kinds is not None:
+        available = tuple(k for k in available if k in kinds)
+    if not available:
+        return None
+    kind = available[rng.randrange(len(available))]
+    cycle = rng.randrange(cycle_range[0], max(cycle_range[1], cycle_range[0] + 1))
+    if kind == SEU_REG:
+        name, width = targets.registers[rng.randrange(len(targets.registers))]
+        return FaultEvent(cycle=cycle, kind=kind, target=name,
+                          bit=rng.randrange(width))
+    if kind == SEU_MEM:
+        name, width, depth = targets.memories[
+            rng.randrange(len(targets.memories))
+        ]
+        return FaultEvent(cycle=cycle, kind=kind, target=name,
+                          bit=rng.randrange(width),
+                          index=rng.randrange(depth))
+    if kind in (STUCK0, STUCK1):
+        name, _width = targets.nets[rng.randrange(len(targets.nets))]
+        return FaultEvent(cycle=cycle, kind=kind, target=name,
+                          duration=rng.choice((0, 4, 16)))
+    if kind == GLITCH:
+        name, width = targets.nets[rng.randrange(len(targets.nets))]
+        return FaultEvent(cycle=cycle, kind=kind, target=name,
+                          bit=rng.randrange(width))
+    if kind in (FIFO_DROP, FIFO_DUP):
+        name = targets.fifos[rng.randrange(len(targets.fifos))]
+        return FaultEvent(cycle=cycle, kind=kind, target=name,
+                          index=rng.randrange(8))
+    if kind == RAM_SEU:
+        name = targets.rams[rng.randrange(len(targets.rams))]
+        return FaultEvent(cycle=cycle, kind=kind, target=name,
+                          bit=rng.randrange(32), index=rng.randrange(256))
+    if kind == REC_OVERFLOW:
+        name = targets.recorders[rng.randrange(len(targets.recorders))]
+        return FaultEvent(cycle=cycle, kind=kind, target=name)
+    raise FaultModelError("unknown fault kind %r" % kind)
+
+
+def sample_schedule(module, seed, events=1, cycle_range=(5, 60), kinds=None):
+    """Deterministically sample a :class:`FaultSchedule` for *module*.
+
+    The same ``(module, seed, events, cycle_range, kinds)`` always
+    produces the identical schedule — the backbone of the campaign
+    runner's replay and resume guarantees.
+    """
+    targets = fault_targets(module)
+    rng = random.Random(seed)
+    drawn = []
+    for _ in range(events):
+        event = sample_event(targets, rng, cycle_range=cycle_range, kinds=kinds)
+        if event is not None:
+            drawn.append(event)
+    drawn.sort()
+    return FaultSchedule(events=drawn, label="seed=%d" % seed)

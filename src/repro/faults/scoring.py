@@ -1,0 +1,335 @@
+"""Detection scoring: which debugging tools notice an injected fault?
+
+The paper evaluates its five tools against 20 curated bugs; this module
+turns the stack into its own robustness benchmark by asking the
+complementary question the paper never ran: *when a fault the testbed
+does not document strikes at runtime, which tool's output changes?*
+
+Scoring is differential, mirroring the fuzz layer's oracles: every tool
+is run on a **golden** (fault-free) execution and on the **faulted**
+execution of the same stimulus, and a tool *detects* the fault when its
+observable output — SignalCat's log, the FSM transition trace, the
+statistics counters, the dependency-update trace, LossCheck's warning
+stream — diverges between the two. The architectural outcome (symptoms
+plus scenario details) decides whether the fault had any effect at all.
+
+Per-tool outcomes for one fault:
+
+``detected``       effectful fault, tool output diverged
+``missed``         effectful fault, tool silent (not expected to help)
+``false_silence``  effectful fault, tool silent *although Table 2 lists
+                   it as helpful for this bug* — the damning case
+``sensitive``      architecturally masked fault, tool still diverged
+``masked``         masked fault, tool silent (correct silence)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..core.dependency_monitor import DependencyMonitor
+from ..core.fsm_monitor import FSMMonitor
+from ..core.losscheck import LossCheck
+from ..core.statistics_monitor import StatisticsMonitor
+from ..sim import Simulator
+from ..testbed.debug_configs import CONFIGS, DebugConfig
+from ..testbed.harness import load_design
+from ..testbed.metadata import SPECS, Tool
+from ..testbed.scenarios import GROUND_TRUTH, SCENARIOS
+from .injector import FaultInjector
+from .models import DATA_LOSS_KINDS
+
+#: Scored tools, in report order.
+TOOL_NAMES = ("signalcat", "fsm", "stat", "dep", "losscheck")
+
+_TOOL_ENUM = {
+    "signalcat": Tool.SIGNALCAT,
+    "fsm": Tool.FSM_MONITOR,
+    "stat": Tool.STATISTICS_MONITOR,
+    "dep": Tool.DEPENDENCY_MONITOR,
+    "losscheck": Tool.LOSSCHECK,
+}
+
+DETECTED = "detected"
+MISSED = "missed"
+FALSE_SILENCE = "false_silence"
+SENSITIVE = "sensitive"
+MASKED = "masked"
+
+
+def _digest(payload):
+    """Short stable digest of a (nested, deterministic) Python value."""
+    return hashlib.sha1(repr(payload).encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class ToolVerdict:
+    """One tool's differential reading for one fault."""
+
+    tool: str
+    detected: bool
+    golden: str
+    faulted: str
+    error: str = ""
+
+
+@dataclass
+class CaseScore:
+    """Scored outcome of one injected fault on one bug."""
+
+    bug_id: str
+    schedule: object
+    #: True when the architectural outcome diverged from golden.
+    effect: bool
+    #: Number of schedule events actually realized before the run ended.
+    applied: int
+    verdicts: dict = field(default_factory=dict)
+
+    def classification(self, tool):
+        """The per-tool outcome label (None when the tool wasn't run)."""
+        verdict = self.verdicts.get(tool)
+        if verdict is None:
+            return None
+        helpful = _TOOL_ENUM[tool] in SPECS[self.bug_id].helpful_tools
+        if self.effect:
+            if verdict.detected:
+                return DETECTED
+            return FALSE_SILENCE if helpful else MISSED
+        return SENSITIVE if verdict.detected else MASKED
+
+    def classifications(self):
+        return {
+            tool: self.classification(tool)
+            for tool in self.verdicts
+        }
+
+    def to_dict(self):
+        """Deterministic JSON form for the campaign journal."""
+        return {
+            "bug": self.bug_id,
+            "fault": self.schedule.to_dict(),
+            "effect": self.effect,
+            "applied": self.applied,
+            "tools": {
+                tool: {
+                    "detected": verdict.detected,
+                    "outcome": self.classification(tool),
+                    "golden": verdict.golden,
+                    "faulted": verdict.faulted,
+                    "error": verdict.error,
+                }
+                for tool, verdict in sorted(self.verdicts.items())
+            },
+        }
+
+
+class DetectionScorer:
+    """Caches instrumented tools + golden baselines for one testbed bug.
+
+    Construction instruments the bug's design with each tool
+    independently (FSM Monitor on detected FSMs, Statistics Monitor on
+    the bug's configured events, Dependency Monitor on the configured
+    target, LossCheck when the bug has a loss spec) and calibrates
+    LossCheck on the shipped ground-truth test. A tool whose
+    instrumentation pass fails is dropped with the error recorded —
+    scoring degrades to the surviving tools instead of failing the bug.
+    """
+
+    def __init__(self, bug_id):
+        self.bug_id = bug_id
+        self.spec = SPECS[bug_id]
+        self.config = CONFIGS.get(bug_id, DebugConfig())
+        self.scenario = SCENARIOS[bug_id]
+        with obs.span("faults:instrument", bug=bug_id):
+            self.design = load_design(bug_id)
+            self.tools = {}
+            self.tool_errors = {}
+            self._build_tools()
+        self._golden = None
+
+    @property
+    def module(self):
+        """The uninstrumented flat module (fault-target surface)."""
+        return self.design.top
+
+    def _build_tools(self):
+        def build(name, factory):
+            try:
+                self.tools[name] = factory()
+            except Exception as exc:  # degrade to the remaining tools
+                self.tool_errors[name] = "%s: %s" % (type(exc).__name__, exc)
+                if obs.enabled:
+                    obs.counter("faults.tool_build_errors").inc()
+
+        build("fsm", lambda: FSMMonitor(
+            self.design, state_names=self.spec.state_names
+        ))
+        if self.config.stat_events:
+            build("stat", lambda: StatisticsMonitor(
+                self.design, self.config.stat_events
+            ))
+        if self.config.dep_target is not None:
+            build("dep", lambda: DependencyMonitor(
+                self.design, self.config.dep_target, self.config.dep_depth
+            ))
+        if self.spec.losscheck is not None:
+            build("losscheck", self._build_losscheck)
+
+    def _build_losscheck(self):
+        lc_spec = self.spec.losscheck
+        losscheck = LossCheck(
+            self.design,
+            source=lc_spec.source,
+            sink=lc_spec.sink,
+            source_valid=lc_spec.source_valid,
+        )
+        if lc_spec.uses_filtering and self.bug_id in GROUND_TRUTH:
+            losscheck.calibrate(GROUND_TRUTH[self.bug_id])
+        return losscheck
+
+    # -- execution ----------------------------------------------------------
+
+    def golden(self):
+        """Readings of the fault-free execution (computed once, cached)."""
+        if self._golden is None:
+            self._golden = self._execute(None)
+        return self._golden
+
+    def _run_design(self, module_or_design, schedule):
+        """One scenario execution, optionally faulted.
+
+        Returns ``(sim, observation, applied)``.
+        """
+        sim = Simulator(module_or_design)
+        injector = None
+        if schedule is not None:
+            injector = FaultInjector(sim, schedule)
+        observation = self.scenario(sim)
+        applied = len(injector.applied) if injector else 0
+        return sim, observation, applied
+
+    def _execute(self, schedule):
+        """All tool readings for one (optionally faulted) execution.
+
+        Returns ``(readings, applied)`` where readings maps
+        ``"__arch__"`` and each available tool name to a deterministic
+        reading tuple. A tool whose *run* fails under the fault yields an
+        ``("error", ...)`` reading — divergence from golden then counts
+        as detection-by-crash.
+        """
+        readings = {}
+        sim, observation, applied = self._run_design(self.design, schedule)
+        readings["__arch__"] = self._observe_architecture(sim, observation)
+        readings["signalcat"] = tuple(
+            (e.cycle, e.label, e.text) for e in sim.display_events
+        )
+        for name, reader in (
+            ("fsm", self._read_fsm),
+            ("stat", self._read_stat),
+            ("dep", self._read_dep),
+            ("losscheck", self._read_losscheck),
+        ):
+            tool = self.tools.get(name)
+            if tool is None:
+                continue
+            try:
+                tool_sim, _observation, tool_applied = self._run_design(
+                    tool.module, schedule
+                )
+                readings[name] = reader(tool, tool_sim)
+                applied = max(applied, tool_applied)
+            except Exception as exc:
+                readings[name] = ("error", type(exc).__name__, str(exc)[:200])
+        return readings, applied
+
+    def _observe_architecture(self, sim, observation):
+        """Deterministic summary of the architectural outcome.
+
+        The scenario's Observation (symptoms plus details) is the
+        paper's definition of externally visible behavior; the cycle
+        count and finish flag add hang/early-exit visibility.
+        """
+        return (
+            tuple(sorted(s.value for s in observation.symptoms)),
+            tuple(sorted(
+                (key, str(value)) for key, value in observation.details.items()
+            )),
+            sim.cycle,
+            sim.finished,
+        )
+
+    def _read_fsm(self, tool, sim):
+        trace = tuple(
+            (e.cycle, e.fsm, e.from_state, e.to_state)
+            for e in tool.trace(sim)
+        )
+        finals = tuple(sorted(tool.final_states(sim).items()))
+        return (trace, finals)
+
+    def _read_stat(self, tool, sim):
+        counts = tuple(sorted(tool.counts(sim).items()))
+        trace = tuple((e.cycle, e.event, e.count) for e in tool.trace(sim))
+        return (counts, trace)
+
+    def _read_dep(self, tool, sim):
+        return tuple(
+            (e.cycle, e.register, e.value) for e in tool.trace(sim)
+        )
+
+    def _read_losscheck(self, tool, sim):
+        warnings = [(w.cycle, w.location) for w in tool._warnings_from(sim)]
+        localized = []
+        for _cycle, location in warnings:
+            if location in tool.filtered or location in localized:
+                continue
+            localized.append(location)
+        return (tuple(warnings), tuple(localized))
+
+    # -- scoring ------------------------------------------------------------
+
+    def score(self, schedule):
+        """Run *schedule* against every tool and score the detections."""
+        golden, _ = self.golden()
+        faulted, applied = self._execute(schedule)
+        # The scenario Observation drives effect: reuse the architectural
+        # channel plus every native display divergence the design itself
+        # produced (a wrong $display IS an incorrect output).
+        effect = (
+            golden["__arch__"] != faulted["__arch__"]
+            or golden["signalcat"] != faulted["signalcat"]
+        )
+        verdicts = {}
+        for tool in TOOL_NAMES:
+            if tool not in golden or tool not in faulted:
+                continue
+            golden_digest = _digest(golden[tool])
+            faulted_digest = _digest(faulted[tool])
+            error = ""
+            if isinstance(faulted[tool], tuple) and faulted[tool][:1] == ("error",):
+                error = "%s: %s" % (faulted[tool][1], faulted[tool][2])
+            verdicts[tool] = ToolVerdict(
+                tool=tool,
+                detected=golden_digest != faulted_digest,
+                golden=golden_digest,
+                faulted=faulted_digest,
+                error=error,
+            )
+        if obs.enabled:
+            obs.counter("faults.scored_cases").inc()
+            for tool, verdict in verdicts.items():
+                if verdict.detected:
+                    obs.counter("faults.detected.%s" % tool).inc()
+        return CaseScore(
+            bug_id=self.bug_id,
+            schedule=schedule,
+            effect=effect,
+            applied=applied,
+            verdicts=verdicts,
+        )
+
+
+def is_data_loss_fault(schedule):
+    """True when any event in *schedule* is a data-loss/corruption kind."""
+    return any(event.kind in DATA_LOSS_KINDS for event in schedule)

@@ -27,12 +27,12 @@ import hashlib
 import os
 import random
 import re
-import signal
 import time
 import traceback
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..runtime import TimeLimitExceeded, time_limit
 from ..hdl.elaborate import ElaborationError
 from ..hdl.lexer import LexerError
 from ..hdl.parser import ParseError
@@ -104,6 +104,9 @@ class CampaignReport:
     buckets: dict = field(default_factory=dict)
     reproducers: dict = field(default_factory=dict)
     elapsed: float = 0.0
+    #: True when the campaign was cut short by Ctrl-C; the report still
+    #: covers every case that completed before the interrupt.
+    interrupted: bool = False
 
     @property
     def counts(self):
@@ -133,11 +136,13 @@ class CampaignReport:
             },
             "reproducers": dict(self.reproducers),
             "elapsed_seconds": round(self.elapsed, 3),
+            "interrupted": self.interrupted,
         }
 
 
-class CaseTimeout(Exception):
-    """Raised inside a worker when a case exceeds its wall-clock budget."""
+#: Raised inside a worker when a case exceeds its wall-clock budget.
+#: (Alias kept for callers; the limit itself lives in :mod:`repro.runtime`.)
+CaseTimeout = TimeLimitExceeded
 
 
 # ---------------------------------------------------------------------------
@@ -253,13 +258,6 @@ def bucket_id(signature):
 # Worker
 # ---------------------------------------------------------------------------
 
-_HAS_ALARM = hasattr(signal, "SIGALRM")
-
-
-def _alarm_handler(signum, frame):
-    raise CaseTimeout()
-
-
 def run_case(args):
     """Execute one case end to end (top-level so Pool can pickle it).
 
@@ -270,31 +268,30 @@ def run_case(args):
     campaign_seed, index, oracles, cycles, timeout = args
     started = time.time()
     result = CaseResult(index=index, case_seed=0, kind="?", origin="?")
-    old_handler = None
-    if _HAS_ALARM and timeout:
-        old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        case_seed, kind, origin, mutation, text, top = _build_case(
-            campaign_seed, index
-        )
-        result = CaseResult(
-            index=index,
-            case_seed=case_seed,
-            kind=kind,
-            origin=origin,
-            mutation=mutation,
-        )
-        for oracle in oracles:
-            outcome = ORACLES[oracle](text, top=top, seed=case_seed, cycles=cycles)
-            if outcome.status == FAIL:
-                result.status = ORACLE_FAIL
-                result.oracle = oracle
-                result.detail = outcome.detail
-                result.signature = oracle_signature(oracle, outcome.detail)
-                result.text = text
-                break
-    except CaseTimeout:
+        with time_limit(timeout):
+            case_seed, kind, origin, mutation, text, top = _build_case(
+                campaign_seed, index
+            )
+            result = CaseResult(
+                index=index,
+                case_seed=case_seed,
+                kind=kind,
+                origin=origin,
+                mutation=mutation,
+            )
+            for oracle in oracles:
+                outcome = ORACLES[oracle](
+                    text, top=top, seed=case_seed, cycles=cycles
+                )
+                if outcome.status == FAIL:
+                    result.status = ORACLE_FAIL
+                    result.oracle = oracle
+                    result.detail = outcome.detail
+                    result.signature = oracle_signature(oracle, outcome.detail)
+                    result.text = text
+                    break
+    except TimeLimitExceeded:
         result.status = TIMEOUT
         result.detail = "exceeded %.1fs case budget" % timeout
         result.signature = "timeout"
@@ -306,10 +303,6 @@ def run_case(args):
         result.detail = "%s: %s" % (type(exc).__name__, exc)
         result.signature = crash_signature(exc)
         result.text = locals().get("text")
-    finally:
-        if old_handler is not None:
-            signal.setitimer(signal.ITIMER_REAL, 0)
-            signal.signal(signal.SIGALRM, old_handler)
     result.duration = time.time() - started
     return result
 
@@ -406,19 +399,24 @@ def run_campaign(config, progress=None):
         return True
 
     with obs.span("fuzz:campaign", cases=config.cases, seed=config.seed):
-        if config.jobs <= 1:
-            for item in work:
-                if not consume(run_case(item)):
-                    break
-        else:
-            import multiprocessing
-
-            with multiprocessing.Pool(config.jobs) as pool:
-                for result in pool.imap_unordered(run_case, work):
-                    if not consume(result):
-                        pool.terminate()
+        try:
+            if config.jobs <= 1:
+                for item in work:
+                    if not consume(run_case(item)):
                         break
-            report.results.sort(key=lambda r: r.index)
+            else:
+                import multiprocessing
+
+                with multiprocessing.Pool(config.jobs) as pool:
+                    for result in pool.imap_unordered(run_case, work):
+                        if not consume(result):
+                            pool.terminate()
+                            break
+                report.results.sort(key=lambda r: r.index)
+        except KeyboardInterrupt:
+            # Degrade to a partial report: keep every finished case and
+            # still bucket/reduce below, so Ctrl-C loses no findings.
+            report.interrupted = True
 
         for result in report.failures:
             report.buckets.setdefault(result.signature, []).append(result)

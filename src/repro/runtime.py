@@ -1,0 +1,146 @@
+"""Shared runtime-resilience utilities for long-running campaigns.
+
+Both campaign runners (:mod:`repro.fuzz.runner` and
+:mod:`repro.faults.campaign`) execute thousands of cases against designs
+that may hang, crash, or fail transiently. This module concentrates the
+machinery they share:
+
+* :func:`time_limit` — a wall-clock watchdog built on ``SIGALRM`` (a
+  no-op on platforms without it, e.g. Windows);
+* :func:`retry_with_backoff` — bounded retries with exponential backoff
+  for transiently failing work;
+* :class:`JsonlJournal` — crash-safe incremental journaling: one JSON
+  record per line, flushed and fsynced per append, tolerant of a torn
+  final line when reloading after a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+
+
+class TimeLimitExceeded(Exception):
+    """Raised inside :func:`time_limit` when the wall-clock budget runs out."""
+
+
+HAS_ALARM = hasattr(signal, "SIGALRM")
+
+
+@contextmanager
+def time_limit(seconds):
+    """Raise :class:`TimeLimitExceeded` after *seconds* of wall clock.
+
+    Uses ``setitimer``/``SIGALRM``, so it interrupts pure-Python loops
+    (the simulator's settle loop, a runaway scenario) that a cooperative
+    check would never reach. Nested limits restore the outer handler and
+    remaining budget. A falsy *seconds* — or a platform without
+    ``SIGALRM`` — disables the limit entirely.
+    """
+    if not seconds or not HAS_ALARM:
+        yield
+        return
+
+    def handler(signum, frame):
+        raise TimeLimitExceeded("exceeded %.1fs wall-clock budget" % seconds)
+
+    old_handler = signal.signal(signal.SIGALRM, handler)
+    old_delay, old_interval = signal.setitimer(signal.ITIMER_REAL, seconds)
+    started = time.monotonic()
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
+        if old_delay:
+            remaining = max(0.001, old_delay - (time.monotonic() - started))
+            signal.setitimer(signal.ITIMER_REAL, remaining, old_interval)
+
+
+def retry_with_backoff(
+    func,
+    retries=2,
+    base_delay=0.5,
+    factor=2.0,
+    retry_on=(TimeLimitExceeded,),
+    sleep=time.sleep,
+    on_retry=None,
+):
+    """Call *func()* with up to *retries* retries on *retry_on* failures.
+
+    Waits ``base_delay * factor**attempt`` seconds between attempts
+    (exponential backoff). *on_retry*, when given, is called with
+    ``(attempt_number, exception)`` before each wait — campaign runners
+    use it for progress lines and metrics. The final failure propagates.
+
+    Returns ``(result, attempts)`` where *attempts* counts executions.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return func(), attempt
+        except retry_on as exc:
+            if attempt > retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(base_delay * (factor ** (attempt - 1)))
+
+
+class JsonlJournal:
+    """Append-only JSON-lines journal with crash-safe incremental writes.
+
+    Every :meth:`append` writes one compact JSON record, flushes, and
+    fsyncs, so an interrupted campaign loses at most the record being
+    written when the process died. :meth:`load` skips a torn final line,
+    letting a resumed campaign trust everything it reads.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = None
+
+    def load(self):
+        """All intact records currently in the journal (oldest first)."""
+        records = []
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    # Torn write from a crash mid-append: drop the tail.
+                    break
+        return records
+
+    def append(self, record):
+        """Durably append one JSON-serializable *record*."""
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a")
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

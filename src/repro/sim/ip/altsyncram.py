@@ -51,6 +51,14 @@ class AltSyncRam(IPModel):
         elif self.depth & (self.depth - 1) == 0:
             self.mem[address & (self.depth - 1)] = data
 
+    # -- fault injection (repro.faults) -------------------------------------
+
+    def inject_bitflip(self, address, bit):
+        """SEU fault model: flip one stored bit. Returns the new word."""
+        address %= self.depth
+        self.mem[address] ^= 1 << (bit % self.width)
+        return self.mem[address]
+
     def clock_edge(self, inputs, fired):
         address_a = inputs.get("address_a", 0)
         address_b = inputs.get("address_b", 0)

@@ -50,6 +50,36 @@ class _FifoCore:
         if self.entries:
             self.q = self.entries.popleft()
 
+    # -- fault injection (repro.faults) ---------------------------------
+
+    def inject_drop(self, position=0):
+        """Silently lose one queued entry (flaky-IP fault model).
+
+        Returns the dropped value, or None when the queue was empty.
+        """
+        if not self.entries:
+            return None
+        position %= len(self.entries)
+        self.entries.rotate(-position)
+        value = self.entries.popleft()
+        self.entries.rotate(position)
+        return value
+
+    def inject_duplicate(self, position=0):
+        """Duplicate one queued entry in place (flaky-IP fault model).
+
+        Returns the duplicated value, or None when the queue was empty
+        or the duplicate would not fit.
+        """
+        if not self.entries or self.full:
+            return None
+        position %= len(self.entries)
+        self.entries.rotate(-position)
+        value = self.entries[0]
+        self.entries.appendleft(value)
+        self.entries.rotate(position)
+        return value
+
 
 class SingleClockFifo(IPModel):
     """Single-clock FIFO (Intel scfifo), normal read mode."""

@@ -65,6 +65,21 @@ class SignalRecorder(IPModel):
             self._last_word = None
         self._cycle += 1
 
+    def inject_overflow(self, keep=0):
+        """Fault model: the circular buffer wraps, losing old samples.
+
+        Discards all but the newest *keep* samples and accounts for them
+        as overwritten, so :attr:`overwrote` reports the wrap. Returns
+        the number of samples lost.
+        """
+        lost = max(0, len(self.samples) - max(0, keep))
+        for _ in range(lost):
+            self.samples.popleft()
+        if lost:
+            # A wrap by definition: account the lost samples as overwrites.
+            self.total_samples = max(self.total_samples, self.depth + lost)
+        return lost
+
     @property
     def overwrote(self):
         """True if the circular buffer wrapped (oldest samples lost)."""

@@ -152,6 +152,14 @@ class Simulator:
         self.finished = False
         self.display_events = []
         self.on_display = None
+        #: Callables invoked with ``self`` at the start of every cycle,
+        #: before the pre-edge settle. The fault-injection engine
+        #: (:mod:`repro.faults`) and the harness watchdog attach here.
+        self.cycle_hooks = []
+        #: Nets forced to a fixed value (stuck-at faults): name -> value.
+        #: Reapplied after every settle pass so combinational logic cannot
+        #: overwrite the forced value; managed by :mod:`repro.faults`.
+        self.forced = {}
         self._max_settle = max_settle
         self._comb_items = []
         self._seq_blocks = []
@@ -263,6 +271,8 @@ class Simulator:
             for inst in self._instances:
                 for conn, value in self._ip_output_values(inst):
                     array_writes |= self._comb_write(conn, value)
+            if self.forced:
+                self._apply_forced()
             changed = array_writes or any(
                 self.state[name] != value for name, value in before.items()
             )
@@ -354,7 +364,17 @@ class Simulator:
                 return
             self._one_cycle(clock)
 
+    def _apply_forced(self):
+        """Reassert stuck-at forces over whatever the design computed."""
+        for name, value in self.forced.items():
+            self.state[name] = value & mask(self.symbols.width_of(name))
+
     def _one_cycle(self, clock):
+        if self.cycle_hooks:
+            for hook in list(self.cycle_hooks):
+                hook(self)
+        if self.forced:
+            self._apply_forced()
         self.settle()
         self._record_trace()
         self._edge(clock, ast.Edge.POSEDGE)
@@ -595,6 +615,7 @@ class Simulator:
                 "displays": copy.deepcopy(self.display_events),
                 "ips": ip_state,
                 "waveform": copy.deepcopy(self.waveform),
+                "forced": dict(self.forced),
             }
         )
 
@@ -608,6 +629,7 @@ class Simulator:
         self.finished = data["finished"]
         self.display_events = data["displays"]
         self.waveform = data["waveform"]
+        self.forced = dict(data.get("forced", {}))
         for name, model_state in data["ips"].items():
             self._ip_models[name].__dict__.update(model_state)
 

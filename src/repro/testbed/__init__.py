@@ -27,6 +27,7 @@ from .harness import (
     LossCheckOutcome,
     Reproduction,
     ReproductionError,
+    ScenarioHang,
     load_design,
     load_source,
     reproduce,
@@ -63,5 +64,6 @@ __all__ = [
     "run_losscheck",
     "Reproduction",
     "ReproductionError",
+    "ScenarioHang",
     "LossCheckOutcome",
 ]

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..hdl import elaborate, parse
+from ..runtime import TimeLimitExceeded, time_limit
 from ..sim import Simulator
 from ..core.losscheck import LossCheck
 from .metadata import BUG_IDS, SPECS
@@ -27,6 +28,15 @@ from .scenarios import GROUND_TRUTH, SCENARIOS
 
 class ReproductionError(AssertionError):
     """Raised when a bug does not reproduce (or a fix does not fix)."""
+
+
+class ScenarioHang(RuntimeError):
+    """Raised when a scenario overruns its wall-clock watchdog.
+
+    The message names the cycle the simulator had reached and the value
+    of every detected FSM state register — the first things a debugger
+    wants from a hung design.
+    """
 
 
 @dataclass
@@ -74,27 +84,56 @@ def load_source(bug_id):
     return parse(_design_text(spec.design_file))
 
 
-def run_scenario(bug_id, design=None, fixed=False):
-    """Run the bug's scenario and return its Observation."""
+def _hang_diagnostic(bug_id, design, sim, seconds):
+    """Describe where a hung scenario was stuck: cycle + FSM states."""
+    states = []
+    try:
+        from ..analysis import detect_fsms
+
+        for fsm in detect_fsms(design.top):
+            states.append("%s=%s" % (fsm.name, sim.state.get(fsm.name)))
+    except Exception:
+        pass
+    return (
+        "%s scenario exceeded its %.1fs watchdog at cycle %d"
+        " (FSM states: %s)"
+        % (bug_id, seconds, sim.cycle, ", ".join(states) or "none detected")
+    )
+
+
+def run_scenario(bug_id, design=None, fixed=False, watchdog=None):
+    """Run the bug's scenario and return its Observation.
+
+    *watchdog* (seconds, default off) bounds the wall-clock time of the
+    simulation; an overrun raises :class:`ScenarioHang` whose message
+    names the current cycle and the detected FSM states.
+    """
     if design is None:
         design = load_design(bug_id, fixed=fixed)
     sim = Simulator(design)
-    with obs.span("simulate", bug=bug_id) as span:
-        observation = SCENARIOS[bug_id](sim)
-        span.set(cycles=sim.cycle)
+    try:
+        with time_limit(watchdog):
+            with obs.span("simulate", bug=bug_id) as span:
+                observation = SCENARIOS[bug_id](sim)
+                span.set(cycles=sim.cycle)
+    except TimeLimitExceeded:
+        raise ScenarioHang(
+            _hang_diagnostic(bug_id, design, sim, watchdog)
+        ) from None
     return observation
 
 
-def reproduce(bug_id):
+def reproduce(bug_id, watchdog=None):
     """Push-button reproduction of one bug; raises if it fails to show.
 
     While :data:`repro.obs.enabled` is set, the returned
     :class:`Reproduction` carries a structured run report (span tree +
-    metrics snapshot) under ``result.report``.
+    metrics snapshot) under ``result.report``. *watchdog* bounds the
+    simulation wall-clock as in :func:`run_scenario`.
     """
     spec = SPECS[bug_id]
     with obs.span("reproduce", bug=bug_id):
-        observation = run_scenario(bug_id, fixed=False)
+        observation = run_scenario(bug_id, fixed=False, watchdog=watchdog)
     result = Reproduction(
         bug_id=bug_id,
         observation=observation,
@@ -125,10 +164,10 @@ def reproduce(bug_id):
     return result
 
 
-def verify_fix(bug_id):
+def verify_fix(bug_id, watchdog=None):
     """Run the scenario on the fixed design; raises if symptoms remain."""
     spec = SPECS[bug_id]
-    observation = run_scenario(bug_id, fixed=True)
+    observation = run_scenario(bug_id, fixed=True, watchdog=watchdog)
     result = Reproduction(
         bug_id=bug_id,
         observation=observation,

@@ -1,0 +1,210 @@
+"""Checkpoint/restore round-trips: IP state, forces, and mid-run snapshots.
+
+Complements the basic checkpointing tests in test_extensions.py with the
+state the fault-injection layer depends on: blackbox IP internals
+(scfifo, altsyncram, signal_recorder), stuck-at forces, and snapshots
+taken from inside a cycle (via ``cycle_hooks``) rather than between
+steps.
+"""
+
+import pytest
+
+from repro.hdl import elaborate, parse
+from repro.sim import Simulator
+
+FIFO_TOP = """
+module top (input wire clk, input wire [7:0] d,
+            input wire push, input wire pop,
+            output wire [7:0] q, output wire empty);
+    scfifo #(.LPM_WIDTH(8), .LPM_NUMWORDS(4)) f (
+        .clock(clk), .data(d), .wrreq(push), .rdreq(pop),
+        .q(q), .empty(empty)
+    );
+endmodule
+"""
+
+RAM_TOP = """
+module top (input wire clk, input wire [3:0] addr,
+            input wire [7:0] d, input wire we,
+            output wire [7:0] q);
+    altsyncram #(.WIDTH_A(8), .NUMWORDS_A(16)) ram (
+        .clock0(clk), .address_a(addr), .data_a(d), .wren_a(we), .q_a(q)
+    );
+endmodule
+"""
+
+REC_TOP = """
+module top (input wire clk, input wire e, input wire [3:0] d);
+    signal_recorder #(.WIDTH(4), .DEPTH(4)) rec (
+        .clock(clk), .enable(e), .data(d)
+    );
+endmodule
+"""
+
+COMB_TOP = """
+module top (input wire clk, input wire [7:0] a,
+            output wire [7:0] double, output reg [7:0] acc);
+    assign double = a + a;
+    always @(posedge clk) acc <= acc + double;
+endmodule
+"""
+
+
+class TestFifoCheckpoint:
+    def test_fifo_contents_round_trip(self):
+        sim = Simulator(elaborate(parse(FIFO_TOP)))
+        sim["push"] = 1
+        for value in (10, 20, 30):
+            sim["d"] = value
+            sim.step()
+        sim["push"] = 0
+        snapshot = sim.checkpoint()
+        core = sim.ip_model("f").core
+        assert list(core.entries) == [10, 20, 30]
+        sim["pop"] = 1
+        sim.step(3)
+        assert list(core.entries) == []
+        sim.restore(snapshot)
+        assert list(sim.ip_model("f").core.entries) == [10, 20, 30]
+        sim["pop"] = 1
+        sim.step()
+        sim.settle()
+        assert sim["q"] == 10
+
+    def test_restore_rewinds_dropped_write_count(self):
+        sim = Simulator(elaborate(parse(FIFO_TOP)))
+        snapshot = sim.checkpoint()
+        sim["push"] = 1
+        for value in range(6):  # depth 4: two writes dropped
+            sim["d"] = value
+            sim.step()
+        assert sim.ip_model("f").core.dropped_writes == 2
+        sim.restore(snapshot)
+        assert sim.ip_model("f").core.dropped_writes == 0
+
+
+class TestRamCheckpoint:
+    def test_memory_round_trip(self):
+        sim = Simulator(elaborate(parse(RAM_TOP)))
+        sim["we"] = 1
+        for addr, value in ((1, 0x11), (2, 0x22)):
+            sim["addr"] = addr
+            sim["d"] = value
+            sim.step()
+        sim["we"] = 0
+        snapshot = sim.checkpoint()
+        ram = sim.ip_model("ram")
+        assert ram.mem[1] == 0x11 and ram.mem[2] == 0x22
+        ram.inject_bitflip(1, 0)
+        sim["we"] = 1
+        sim["addr"] = 3
+        sim["d"] = 0x33
+        sim.step()
+        assert ram.mem[1] == 0x10 and ram.mem[3] == 0x33
+        sim.restore(snapshot)
+        assert ram.mem[1] == 0x11
+        assert ram.mem[2] == 0x22
+        assert ram.mem[3] == 0
+
+    def test_registered_read_output_round_trip(self):
+        sim = Simulator(elaborate(parse(RAM_TOP)))
+        sim["we"] = 1
+        sim["addr"] = 5
+        sim["d"] = 0x55
+        sim.step()
+        sim["we"] = 0
+        sim["addr"] = 5
+        sim.step()
+        sim.settle()
+        assert sim["q"] == 0x55
+        snapshot = sim.checkpoint()
+        sim["we"] = 1
+        sim["d"] = 0xAA
+        sim.step()
+        sim.restore(snapshot)
+        sim.settle()
+        assert sim["q"] == 0x55
+
+
+class TestRecorderCheckpoint:
+    def test_samples_and_overwrite_state_round_trip(self):
+        sim = Simulator(elaborate(parse(REC_TOP)))
+        sim["e"] = 1
+        for value in (1, 2, 3):
+            sim["d"] = value
+            sim.step()
+        snapshot = sim.checkpoint()
+        rec = sim.ip_model("rec")
+        assert [data for _cycle, data in rec.samples] == [1, 2, 3]
+        for value in (4, 5, 6):  # depth 4: wraps, sets overwrote
+            sim["d"] = value
+            sim.step()
+        assert rec.overwrote is True
+        assert rec.total_samples == 6
+        sim.restore(snapshot)
+        rec = sim.ip_model("rec")
+        assert [data for _cycle, data in rec.samples] == [1, 2, 3]
+        assert rec.overwrote is False
+        assert rec.total_samples == 3
+
+
+class TestForcedStateCheckpoint:
+    def test_forces_round_trip(self, counter_design):
+        sim = Simulator(counter_design)
+        sim["enable"] = 1
+        sim.step(3)
+        sim.forced["count"] = 9
+        snapshot = sim.checkpoint()
+        sim.step()
+        assert sim["count"] == 9
+        del sim.forced["count"]
+        sim.step(2)
+        assert sim["count"] == 11
+        sim.restore(snapshot)
+        assert sim.forced == {"count": 9}
+        sim.step()
+        assert sim["count"] == 9
+
+    def test_restore_clears_later_forces(self, counter_design):
+        sim = Simulator(counter_design)
+        snapshot = sim.checkpoint()
+        sim.forced["count"] = 5
+        sim.restore(snapshot)
+        assert sim.forced == {}
+
+
+class TestMidCycleCheckpoint:
+    def test_snapshot_from_cycle_hook_replays_identically(self):
+        """A checkpoint captured inside a cycle (before settle) replays."""
+        sim = Simulator(elaborate(parse(COMB_TOP)))
+        sim["a"] = 3
+        captured = {}
+
+        def hook(s):
+            if s.cycle == 4 and "snap" not in captured:
+                captured["snap"] = s.checkpoint()
+
+        sim.cycle_hooks.append(hook)
+        sim.step(8)
+        final = sim["acc"]
+        sim.restore(captured["snap"])
+        assert sim.cycle == 4
+        sim.cycle_hooks.remove(hook)
+        # Re-run the same suffix: 8 steps fired the hook at cycle 4,
+        # so 4 cycles remained after the snapshot.
+        sim.step(4)
+        assert sim["acc"] == final
+
+    def test_restore_resettles_combinational_logic(self):
+        sim = Simulator(elaborate(parse(COMB_TOP)))
+        sim["a"] = 3
+        sim.settle()
+        assert sim["double"] == 6
+        snapshot = sim.checkpoint()
+        sim["a"] = 10
+        sim.settle()
+        assert sim["double"] == 20
+        sim.restore(snapshot)
+        assert sim["double"] == 6
+        sim.settle()
+        assert sim["double"] == 6

@@ -120,3 +120,80 @@ class TestProfile:
         out_path = str(tmp_path / "p.json")
         assert main(["profile", "D1", "--buffer", "256", "-o", out_path]) == 0
         assert obs.enabled is False
+
+
+class TestFaultsCommand:
+    def test_faults_campaign_writes_reports(self, capsys, tmp_path):
+        assert main([
+            "faults", "--bug", "D2", "--faults-per-bug", "2",
+            "--output-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults: 2 cases" in out
+        assert "losscheck caught injected data-loss faults on:" in out
+        detection = json.loads(
+            (tmp_path / "detection_seed0.json").read_text()
+        )
+        assert detection["schema"] == "repro.faults/v1"
+        assert detection["cases"] == 2
+        run_report = json.loads((tmp_path / "report_seed0.json").read_text())
+        assert run_report["schema"] == "repro.obs/v1"
+        assert run_report["meta"]["cases"] == 2
+
+    def test_faults_resumes_from_journal(self, capsys, tmp_path):
+        args = [
+            "faults", "--bug", "D2", "--faults-per-bug", "2",
+            "--output-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "(2 resumed from journal)" in capsys.readouterr().out
+
+    def test_faults_determinism_across_runs(self, capsys, tmp_path):
+        for run in ("a", "b"):
+            assert main([
+                "faults", "--bug", "C4", "--faults-per-bug", "2",
+                "--seed", "5", "--output-dir", str(tmp_path / run),
+            ]) == 0
+        first = (tmp_path / "a" / "journal_seed5.jsonl").read_bytes()
+        second = (tmp_path / "b" / "journal_seed5.jsonl").read_bytes()
+        assert first == second
+        assert (
+            json.loads((tmp_path / "a" / "detection_seed5.json").read_text())
+            == json.loads((tmp_path / "b" / "detection_seed5.json").read_text())
+        )
+
+    def test_faults_unknown_bug(self, capsys, tmp_path):
+        assert main([
+            "faults", "--bug", "Z9", "--output-dir", str(tmp_path),
+        ]) == 2
+        assert "unknown bug id" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_stage_classification(self):
+        from repro.cli import (
+            EXIT_ELABORATE,
+            EXIT_PARSE,
+            EXIT_SIMULATE,
+            EXIT_TOOL,
+            classify_failure,
+        )
+        from repro.hdl.elaborate import ElaborationError
+        from repro.hdl.lexer import LexerError
+        from repro.hdl.parser import ParseError
+        from repro.sim.simulator import CombinationalLoopError
+        from repro.sim.values import EvaluationError
+
+        assert classify_failure(ParseError("x")) == EXIT_PARSE
+        assert classify_failure(LexerError("x")) == EXIT_PARSE
+        assert classify_failure(ElaborationError("x")) == EXIT_ELABORATE
+        assert classify_failure(CombinationalLoopError("x")) == EXIT_SIMULATE
+        assert classify_failure(EvaluationError("x")) == EXIT_SIMULATE
+        assert classify_failure(ValueError("tool broke")) == EXIT_TOOL
+
+    def test_tool_pass_failure_exit_code(self, capsys):
+        # S1 has no LossCheck spec: the tool pass refuses -> exit 6.
+        assert main(["losscheck", "S1"]) == 6
+        assert "error (tool pass)" in capsys.readouterr().err

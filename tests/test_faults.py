@@ -1,0 +1,358 @@
+"""Tests for repro.faults: models, injector, scoring, and campaigns."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    DATA_LOSS_KINDS,
+    FIFO_DROP,
+    GLITCH,
+    SEU_REG,
+    STUCK0,
+    FaultCampaignConfig,
+    FaultEvent,
+    FaultSchedule,
+    DetectionScorer,
+    FaultInjector,
+    InjectionError,
+    case_seed,
+    fault_targets,
+    is_data_loss_fault,
+    run_fault_campaign,
+    sample_schedule,
+    what_if,
+    write_detection_report,
+)
+from repro.hdl import elaborate, parse
+from repro.runtime import HAS_ALARM
+from repro.sim import Simulator
+from repro.testbed import load_design
+
+FIFO_TOP = """
+module top (input wire clk, input wire [7:0] d,
+            input wire push, input wire pop,
+            output wire [7:0] q, output wire empty);
+    scfifo #(.LPM_WIDTH(8), .LPM_NUMWORDS(4)) f (
+        .clock(clk), .data(d), .wrreq(push), .rdreq(pop),
+        .q(q), .empty(empty)
+    );
+endmodule
+"""
+
+LOSS_BUGS = ("D1", "D2", "D3", "D4", "C2", "C4", "D11")
+
+
+class TestFaultModels:
+    def test_event_round_trip_and_describe(self):
+        event = FaultEvent(cycle=7, kind=SEU_REG, target="count", bit=2)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+        assert event.describe() == "seu_reg(count[2])@7"
+
+    def test_schedule_round_trip(self):
+        schedule = FaultSchedule(
+            events=[FaultEvent(cycle=3, kind=STUCK0, target="busy")],
+            label="x",
+        )
+        again = FaultSchedule.from_dict(schedule.to_dict())
+        assert again.events == schedule.events
+        assert again.label == "x"
+
+    def test_fault_targets_discovers_surface(self):
+        design = load_design("D2")
+        targets = fault_targets(design.top)
+        register_names = [name for name, _width in targets.registers]
+        assert "rd_state" in register_names
+        net_names = [name for name, _width in targets.nets]
+        assert "clk" not in net_names  # inputs are not forced
+        assert "out_fifo" in targets.fifos
+
+    def test_sample_schedule_deterministic(self):
+        module = load_design("D2").top
+        first = sample_schedule(module, 42, events=3)
+        second = sample_schedule(module, 42, events=3)
+        assert first.events == second.events
+        other = sample_schedule(module, 43, events=3)
+        assert first.events != other.events
+
+    def test_sample_schedule_respects_kinds(self):
+        module = load_design("D2").top
+        for seed in range(10):
+            schedule = sample_schedule(
+                module, seed, events=2, kinds=(FIFO_DROP,)
+            )
+            assert all(e.kind == FIFO_DROP for e in schedule)
+
+    def test_is_data_loss_fault(self):
+        loss = FaultSchedule(
+            events=[FaultEvent(cycle=1, kind=FIFO_DROP, target="f")]
+        )
+        benign = FaultSchedule(
+            events=[FaultEvent(cycle=1, kind=SEU_REG, target="r")]
+        )
+        assert is_data_loss_fault(loss)
+        assert not is_data_loss_fault(benign)
+        assert FIFO_DROP in DATA_LOSS_KINDS
+
+
+class TestFaultInjector:
+    def test_seu_flips_register_at_exact_cycle(self, counter_design):
+        sim = Simulator(counter_design)
+        schedule = [FaultEvent(cycle=3, kind=SEU_REG, target="count", bit=2)]
+        injector = FaultInjector(sim, schedule)
+        sim.step(3)
+        assert sim["count"] == 0  # enable low: not yet injected
+        sim.step()
+        assert sim["count"] == 4  # bit 2 flipped at cycle 3
+        assert len(injector.applied) == 1
+        assert injector.applied[0].cycle == 3
+        assert injector.done
+
+    def test_stuck0_pins_register_until_release(self, counter_design):
+        sim = Simulator(counter_design)
+        sim["enable"] = 1
+        FaultInjector(sim, [
+            FaultEvent(cycle=2, kind=STUCK0, target="count", duration=3),
+        ])
+        sim.step(5)
+        assert sim["count"] == 0  # held at zero through cycle 4
+        sim.step(4)
+        assert sim["count"] == 4  # released: counting resumed from 0
+
+    def test_indefinite_stuck_lifted_by_detach(self, counter_design):
+        sim = Simulator(counter_design)
+        sim["enable"] = 1
+        injector = FaultInjector(sim, [
+            FaultEvent(cycle=0, kind=STUCK0, target="count"),
+        ])
+        sim.step(4)
+        assert sim["count"] == 0
+        injector.detach()
+        assert "count" not in sim.forced
+        sim.step(2)
+        assert sim["count"] == 2
+
+    def test_glitch_forces_for_one_cycle(self, counter_design):
+        sim = Simulator(counter_design)
+        injector = FaultInjector(sim, [
+            FaultEvent(cycle=2, kind=GLITCH, target="count", bit=0),
+        ])
+        sim.step(3)
+        assert sim["count"] == 1
+        assert "count" in sim.forced
+        sim.step()
+        assert "count" not in sim.forced  # released after one cycle
+        assert injector.applied[0].cycle == 2
+
+    def test_fifo_drop_loses_one_entry(self):
+        sim = Simulator(elaborate(parse(FIFO_TOP)))
+        sim["push"] = 1
+        for value in (10, 20, 30):
+            sim["d"] = value
+            sim.step()
+        sim["push"] = 0
+        FaultInjector(sim, [
+            FaultEvent(cycle=sim.cycle, kind=FIFO_DROP, target="f"),
+        ])
+        sim.step()
+        assert list(sim.ip_model("f").core.entries) == [20, 30]
+
+    def test_unknown_target_raises_in_strict_mode(self, counter_design):
+        sim = Simulator(counter_design)
+        FaultInjector(sim, [
+            FaultEvent(cycle=1, kind=SEU_REG, target="missing"),
+        ])
+        with pytest.raises(InjectionError):
+            sim.step(2)
+
+    def test_non_strict_mode_skips_bad_events(self, counter_design):
+        sim = Simulator(counter_design)
+        injector = FaultInjector(sim, [
+            FaultEvent(cycle=1, kind=SEU_REG, target="missing"),
+        ], strict=False)
+        sim.step(3)
+        assert injector.applied == []
+        assert len(injector.skipped) == 1
+
+    def test_what_if_rolls_back_to_golden_timeline(self, counter_design):
+        sim = Simulator(counter_design)
+        sim["enable"] = 1
+        sim.step(5)
+        outcome = what_if(
+            sim,
+            [FaultEvent(cycle=6, kind=STUCK0, target="count")],
+            run=lambda s: (s.step(5), s["count"])[1],
+        )
+        assert outcome.value == 0  # faulted future saw the stuck counter
+        assert outcome.cycles == 10
+        assert len(outcome.applied) == 1
+        # The golden timeline is untouched.
+        assert sim.cycle == 5
+        assert sim["count"] == 5
+        assert sim.forced == {}
+        sim.step(5)
+        assert sim["count"] == 10
+
+
+class TestDetectionScorer:
+    def test_empty_schedule_has_no_effect(self):
+        scorer = DetectionScorer("D2")
+        score = scorer.score(FaultSchedule(events=[]))
+        assert score.effect is False
+        assert score.applied == 0
+        assert all(
+            outcome == "masked"
+            for outcome in score.classifications().values()
+        )
+
+    def test_effectful_fault_is_scored(self):
+        scorer = DetectionScorer("D2")
+        # Pin the read-request line: the DMA engine visibly misbehaves.
+        schedule = FaultSchedule(events=[
+            FaultEvent(cycle=5, kind=STUCK0, target="rd_req"),
+        ])
+        score = scorer.score(schedule)
+        assert score.effect is True
+        outcomes = set(score.classifications().values())
+        assert outcomes & {"detected", "missed", "false_silence"}
+
+    def test_score_serializes_deterministically(self):
+        scorer = DetectionScorer("D2")
+        schedule = sample_schedule(scorer.module, 7)
+        first = scorer.score(schedule).to_dict()
+        second = scorer.score(schedule).to_dict()
+        assert first == second
+        json.dumps(first)  # journal-serializable
+
+
+class TestFaultCampaign:
+    def test_case_seed_is_order_independent(self):
+        assert case_seed(0, "D1", 2) == case_seed(0, "D1", 2)
+        assert case_seed(0, "D1", 2) != case_seed(0, "D2", 2)
+        assert case_seed(0, "D1", 2) != case_seed(1, "D1", 2)
+
+    def test_campaign_is_bit_deterministic(self, tmp_path):
+        reports = []
+        journals = []
+        for run in ("one", "two"):
+            config = FaultCampaignConfig(
+                bugs=("D2", "C4"),
+                faults_per_bug=3,
+                output_dir=str(tmp_path / run),
+            )
+            report = run_fault_campaign(config, sleep=lambda s: None)
+            reports.append(report.to_report())
+            journals.append(
+                open(config.resolved_journal_path(), "rb").read()
+            )
+        assert journals[0] == journals[1]
+        assert reports[0] == reports[1]
+
+    def test_interrupt_preserves_journal_and_resume_completes(
+        self, tmp_path
+    ):
+        config = FaultCampaignConfig(
+            bugs=("D2", "C4"),
+            faults_per_bug=3,
+            output_dir=str(tmp_path),
+        )
+        seen = []
+
+        def interrupt_after_two(record):
+            seen.append(record)
+            if len(seen) == 2:
+                raise KeyboardInterrupt()
+
+        partial = run_fault_campaign(
+            config, progress=interrupt_after_two, sleep=lambda s: None
+        )
+        assert partial.interrupted is True
+        assert len(partial.records) == 2
+        resumed = run_fault_campaign(config, sleep=lambda s: None)
+        assert resumed.interrupted is False
+        assert resumed.resumed == 2
+        assert len(resumed.records) == 6
+        # The resumed journal matches an uninterrupted run bit-for-bit.
+        fresh_config = FaultCampaignConfig(
+            bugs=("D2", "C4"),
+            faults_per_bug=3,
+            output_dir=str(tmp_path / "fresh"),
+        )
+        fresh = run_fault_campaign(fresh_config, sleep=lambda s: None)
+        assert (
+            open(config.resolved_journal_path(), "rb").read()
+            == open(fresh_config.resolved_journal_path(), "rb").read()
+        )
+        assert resumed.to_report() == fresh.to_report()
+
+    def test_fresh_run_discards_stale_journal(self, tmp_path):
+        config = FaultCampaignConfig(
+            bugs=("D2",), faults_per_bug=2, output_dir=str(tmp_path)
+        )
+        run_fault_campaign(config, sleep=lambda s: None)
+        config.resume = False
+        report = run_fault_campaign(config, sleep=lambda s: None)
+        assert report.resumed == 0
+        journal_lines = open(config.resolved_journal_path()).readlines()
+        assert len(journal_lines) == 2  # not appended after stale records
+
+    def test_unknown_bug_recorded_as_crash(self, tmp_path):
+        config = FaultCampaignConfig(
+            bugs=("NOPE",), faults_per_bug=1, output_dir=str(tmp_path)
+        )
+        report = run_fault_campaign(config, sleep=lambda s: None)
+        assert report.taxonomy_counts()["crash"] == 1
+        assert report.records[0]["status"] == "crash"
+        assert "KeyError" in report.records[0]["error"]
+
+    def test_losscheck_catches_data_loss_on_three_designs(self, tmp_path):
+        """Acceptance: LossCheck flags injected data-loss faults on >= 3
+        testbed designs with the default seed and sampling parameters."""
+        config = FaultCampaignConfig(
+            bugs=LOSS_BUGS, output_dir=str(tmp_path)
+        )
+        report = run_fault_campaign(config, sleep=lambda s: None)
+        loss_designs = report.losscheck_loss_designs()
+        assert len(loss_designs) >= 3
+        detection = report.to_report()
+        assert detection["schema"] == "repro.faults/v1"
+        assert detection["losscheck_loss_designs"] == loss_designs
+
+    def test_write_detection_report(self, tmp_path):
+        config = FaultCampaignConfig(
+            bugs=("D2",), faults_per_bug=2, output_dir=str(tmp_path)
+        )
+        report = run_fault_campaign(config, sleep=lambda s: None)
+        path = str(tmp_path / "detection.json")
+        write_detection_report(report, path)
+        loaded = json.load(open(path))
+        assert loaded["schema"] == "repro.faults/v1"
+        assert loaded["cases"] == 2
+        assert set(loaded["tools"]) == {
+            "signalcat", "fsm", "stat", "dep", "losscheck",
+        }
+
+
+class TestHarnessWatchdog:
+    def test_default_off_runs_normally(self):
+        from repro.testbed import run_scenario
+
+        observation = run_scenario("D9")
+        assert observation is not None
+
+    @pytest.mark.skipif(not HAS_ALARM, reason="platform lacks SIGALRM")
+    def test_hung_scenario_aborts_with_diagnostic(self, monkeypatch):
+        from repro.testbed import ScenarioHang, run_scenario
+        from repro.testbed.scenarios import SCENARIOS
+
+        def hang_forever(sim):
+            sim.step(5)
+            while True:
+                pass
+
+        monkeypatch.setitem(SCENARIOS, "D2", hang_forever)
+        with pytest.raises(ScenarioHang) as excinfo:
+            run_scenario("D2", watchdog=0.2)
+        message = str(excinfo.value)
+        assert "watchdog at cycle 5" in message
+        assert "rd_state" in message  # names the detected FSM states

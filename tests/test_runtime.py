@@ -1,0 +1,148 @@
+"""Tests for the shared runtime-resilience utilities (repro.runtime)."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    HAS_ALARM,
+    JsonlJournal,
+    TimeLimitExceeded,
+    retry_with_backoff,
+    time_limit,
+)
+
+
+class TestTimeLimit:
+    def test_disabled_when_falsy(self):
+        with time_limit(None):
+            total = sum(range(1000))
+        assert total == 499500
+        with time_limit(0):
+            pass
+
+    @pytest.mark.skipif(not HAS_ALARM, reason="platform lacks SIGALRM")
+    def test_interrupts_pure_python_loop(self):
+        with pytest.raises(TimeLimitExceeded):
+            with time_limit(0.05):
+                while True:
+                    pass
+
+    @pytest.mark.skipif(not HAS_ALARM, reason="platform lacks SIGALRM")
+    def test_fast_body_completes(self):
+        with time_limit(5.0):
+            value = 1 + 1
+        assert value == 2
+
+    @pytest.mark.skipif(not HAS_ALARM, reason="platform lacks SIGALRM")
+    def test_nested_limits_restore_outer_budget(self):
+        # The inner limit expires; the outer one must still be armed
+        # afterwards and fire on the remaining loop.
+        with pytest.raises(TimeLimitExceeded):
+            with time_limit(10.0):
+                with pytest.raises(TimeLimitExceeded):
+                    with time_limit(0.05):
+                        while True:
+                            pass
+                # Outer budget shrank but survives the inner limit; a
+                # second inner limit still interrupts.
+                with time_limit(0.05):
+                    while True:
+                        pass
+
+
+class TestRetryWithBackoff:
+    def test_first_try_success(self):
+        result, attempts = retry_with_backoff(lambda: 42, sleep=lambda s: None)
+        assert result == 42
+        assert attempts == 1
+
+    def test_retries_then_succeeds_with_exponential_delays(self):
+        calls = {"n": 0}
+        delays = []
+        notified = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TimeLimitExceeded("slow")
+            return "done"
+
+        result, attempts = retry_with_backoff(
+            flaky,
+            retries=3,
+            base_delay=0.5,
+            factor=2.0,
+            sleep=delays.append,
+            on_retry=lambda attempt, exc: notified.append(attempt),
+        )
+        assert result == "done"
+        assert attempts == 3
+        assert delays == [0.5, 1.0]
+        assert notified == [1, 2]
+
+    def test_exhausted_retries_raise(self):
+        calls = {"n": 0}
+
+        def always_slow():
+            calls["n"] += 1
+            raise TimeLimitExceeded("slow")
+
+        with pytest.raises(TimeLimitExceeded):
+            retry_with_backoff(always_slow, retries=2, sleep=lambda s: None)
+        assert calls["n"] == 3  # initial try + 2 retries
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            retry_with_backoff(broken, retries=5, sleep=lambda s: None)
+        assert calls["n"] == 1
+
+
+class TestJsonlJournal:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JsonlJournal(path) as journal:
+            journal.append({"case": "A#0", "status": "ok"})
+            journal.append({"case": "A#1", "status": "timeout"})
+        loaded = JsonlJournal(path).load()
+        assert loaded == [
+            {"case": "A#0", "status": "ok"},
+            {"case": "A#1", "status": "timeout"},
+        ]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert JsonlJournal(str(tmp_path / "absent.jsonl")).load() == []
+
+    def test_records_are_deterministic_lines(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JsonlJournal(path) as journal:
+            journal.append({"b": 2, "a": 1})
+        line = open(path).read().strip()
+        assert line == '{"a":1,"b":2}'
+        assert json.loads(line) == {"a": 1, "b": 2}
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JsonlJournal(path) as journal:
+            journal.append({"case": "A#0"})
+            journal.append({"case": "A#1"})
+        with open(path, "a") as handle:
+            handle.write('{"case": "A#2", "sta')  # crash mid-append
+        loaded = JsonlJournal(path).load()
+        assert [record["case"] for record in loaded] == ["A#0", "A#1"]
+
+    def test_append_after_reload_continues_file(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JsonlJournal(path) as journal:
+            journal.append({"case": "A#0"})
+        with JsonlJournal(path) as journal:
+            journal.append({"case": "A#1"})
+        assert [r["case"] for r in JsonlJournal(path).load()] == [
+            "A#0", "A#1",
+        ]
