@@ -12,6 +12,7 @@ Mirrors the paper artifact's README commands::
     python -m repro profile D2           # span tree + metrics for one run
     python -m repro fuzz --cases 500     # differential fuzz campaign
     python -m repro faults --seed 1      # fault-injection campaign
+    python -m repro check design.v       # recovering parse + lint + passes
 
 Global flags: ``--version`` prints the package version; ``--quiet``
 suppresses stdout (the exit status still reports success/failure).
@@ -358,6 +359,46 @@ def _cmd_faults(args):
     return EXIT_INTERRUPT if report.interrupted else EXIT_OK
 
 
+def _cmd_check(args):
+    """Recovering frontend + lint over files or testbed bug IDs.
+
+    Exit codes follow the ``repro check`` contract (distinct from the
+    run-one-bug commands): 0 clean, 1 any error/warning finding,
+    3 unrecoverable parse (nothing survived recovery).
+    """
+    from . import obs
+    from .diag import (
+        build_check_report,
+        check_targets,
+        render_check_report,
+        render_check_result,
+    )
+
+    obs.reset()
+    with obs.observed():
+        try:
+            results = check_targets(
+                args.targets, run_tools=not args.no_tools
+            )
+        except OSError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return EXIT_USAGE
+    if args.json:
+        rendered = render_check_report(build_check_report(results))
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(rendered)
+            print("wrote %s" % args.output)
+        else:
+            sys.stdout.write(rendered)
+    else:
+        for result in results:
+            sys.stdout.write(
+                render_check_result(result, verbose=args.verbose)
+            )
+    return max(result.exit_code for result in results)
+
+
 def _cmd_wave(args):
     from .sim import Simulator, write_vcd
     from .testbed import load_design
@@ -461,8 +502,8 @@ def build_parser():
     fuzz.add_argument(
         "--oracle",
         action="append",
-        choices=["roundtrip", "differential", "metamorphic"],
-        help="restrict to one oracle (repeatable; default: all three)",
+        choices=["roundtrip", "differential", "metamorphic", "lint"],
+        help="restrict to one oracle (repeatable; default: all four)",
     )
     fuzz.add_argument(
         "--output-dir",
@@ -550,6 +591,40 @@ def build_parser():
         "(default <output-dir>/report_seed<SEED>.json)",
     )
     faults.set_defaults(func=_cmd_faults)
+    check = sub.add_parser(
+        "check",
+        help="recovering parse + lint + instrumentation passes over "
+        "Verilog files or testbed bug IDs",
+    )
+    check.add_argument(
+        "targets",
+        metavar="TARGET",
+        nargs="+",
+        help="a .v file path or a testbed bug ID (e.g. D2)",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the byte-deterministic repro.diag/v1 JSON report",
+    )
+    check.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the JSON report here instead of stdout",
+    )
+    check.add_argument(
+        "--no-tools",
+        action="store_true",
+        help="skip the instrumentation passes (parse + lint only)",
+    )
+    check.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print per-module elaboration/pass status",
+    )
+    check.set_defaults(func=_cmd_check)
     wave = sub.add_parser(
         "wave", help="run a bug's scenario and dump a VCD waveform"
     )

@@ -1,0 +1,81 @@
+"""repro.diag: structured diagnostics for the whole frontend.
+
+The shared :class:`Diagnostic` model (severity, stable rule code,
+``file:line:col`` span, message, optional fix hint) plus the
+:class:`DiagnosticSink` threaded through lexer, parser, elaboration and
+the lint pass, so one run reports *every* defect in a design instead of
+dying on the first — the property the paper's debugging workflow (and
+our fuzz/fault campaigns) depend on.
+
+Layout:
+
+* :mod:`repro.diag.model` — Diagnostic / Severity / SourceSpan / sink;
+* :mod:`repro.diag.codes` — the append-only rule-code registry;
+* :mod:`repro.diag.lint` — static lint keyed to the paper's Table 1 bug
+  subclasses;
+* :mod:`repro.diag.check` — the ``python -m repro check`` pipeline and
+  its byte-deterministic ``repro.diag/v1`` report.
+
+``lint`` and ``check`` import the HDL frontend, which itself imports
+this package for the model — so they are loaded lazily (PEP 562) to
+keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from .codes import RULES, describe, is_registered
+from .model import (
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    SourceSpan,
+    diagnostic_from_exception,
+    error_code,
+)
+
+#: Version tag stamped on every serialized check report.
+SCHEMA = "repro.diag/v1"
+
+_LAZY = {
+    "check_text": "check",
+    "check_file": "check",
+    "check_targets": "check",
+    "build_check_report": "check",
+    "render_check_report": "check",
+    "render_check_result": "check",
+    "CheckResult": "check",
+    "lint_source": "lint",
+    "lint_module": "lint",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module("." + _LAZY[name], __name__)
+        return getattr(module, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+__all__ = [
+    "SCHEMA",
+    "RULES",
+    "describe",
+    "is_registered",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Severity",
+    "SourceSpan",
+    "diagnostic_from_exception",
+    "error_code",
+    "check_text",
+    "check_file",
+    "check_targets",
+    "build_check_report",
+    "render_check_report",
+    "render_check_result",
+    "CheckResult",
+    "lint_source",
+    "lint_module",
+]

@@ -1,0 +1,232 @@
+"""The ``python -m repro check`` pipeline.
+
+One run takes a design (a ``.v`` file or a testbed bug ID), pushes it
+through the *recovering* frontend — tokenize, parse with panic-mode
+recovery, lint, per-module elaboration — and then exercises the
+instrumentation passes on every module that elaborated cleanly. Broken
+modules are skipped with an ``L0001`` note instead of aborting the run:
+the paper's premise is that debugging tools must keep working on
+partially-broken designs.
+
+The report is the ``repro.diag/v1`` schema and is byte-deterministic:
+diagnostics are sorted by (file, line, col, code, message), module
+entries by name, and JSON is rendered with sorted keys and no
+wall-clock data — CI diffs two fresh runs to enforce this.
+
+Exit-code contract (mirrors the CLI's stage-specific codes):
+
+* 0 — clean (note-severity diagnostics allowed);
+* 1 — findings (any error- or warning-severity diagnostic);
+* 3 — unrecoverable parse (not a single module survived recovery).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..hdl import elaborate, parse
+from ..hdl.elaborate import ElaborationError
+from ..hdl.lexer import LexerError
+from ..hdl.parser import ParseError
+from .lint import lint_module
+from .model import DiagnosticSink, Severity, SourceSpan, diagnostic_from_exception
+
+#: Version tag stamped on every serialized report.
+SCHEMA = "repro.diag/v1"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_UNRECOVERABLE = 3
+
+
+@dataclass
+class ModuleReport:
+    """Per-module outcome: did it elaborate, which passes ran."""
+
+    name: str
+    elaborated: bool = False
+    tools: list = field(default_factory=list)
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "elaborated": self.elaborated,
+            "tools": sorted(self.tools),
+        }
+
+
+@dataclass
+class CheckResult:
+    """Everything one check run learned about one target."""
+
+    target: str
+    filename: str
+    sink: DiagnosticSink
+    modules: list = field(default_factory=list)
+
+    @property
+    def parse_failed(self):
+        """True when recovery salvaged nothing at all."""
+        return not self.modules and self.sink.has_errors
+
+    @property
+    def exit_code(self):
+        if self.parse_failed:
+            return EXIT_UNRECOVERABLE
+        counts = self.sink.counts()
+        if counts["error"] or counts["warning"]:
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+    @property
+    def status(self):
+        return {
+            EXIT_CLEAN: "clean",
+            EXIT_FINDINGS: "findings",
+            EXIT_UNRECOVERABLE: "unrecoverable-parse",
+        }[self.exit_code]
+
+
+def _run_tool_passes(design):
+    """Instantiate every applicable instrumentation pass over *design*.
+
+    Returns the names of the passes that built successfully. Passes
+    raising ValueError/KeyError are inapplicable to this design (e.g.
+    LossCheck without a dataflow path), not failures.
+    """
+    from ..fuzz.oracles import default_tools
+
+    ran = []
+    for entry in default_tools(design):
+        name, factory = entry[0], entry[1]
+        try:
+            factory()
+        except (ValueError, KeyError):
+            continue
+        ran.append(name)
+    return ran
+
+
+def check_text(text, filename="<input>", target=None, run_tools=True):
+    """Run the full check pipeline over Verilog source *text*."""
+    sink = DiagnosticSink()
+    result = CheckResult(
+        target=target or filename, filename=filename, sink=sink
+    )
+    with obs.span("check", target=result.target):
+        source = parse(text, filename=filename, sink=sink)
+        for module in source.modules:
+            report = ModuleReport(name=module.name)
+            result.modules.append(report)
+            lint_module(module, source=source, sink=sink, filename=filename)
+            try:
+                design = elaborate(source, top=module.name)
+            except (ElaborationError, ParseError, LexerError) as exc:
+                sink.emit(diagnostic_from_exception(exc, filename))
+                sink.note(
+                    "L0001",
+                    "module %r skipped by tool passes "
+                    "(did not elaborate cleanly)" % module.name,
+                    SourceSpan(file=filename, line=module.lineno)
+                    if hasattr(module, "lineno")
+                    else SourceSpan(file=filename),
+                )
+                continue
+            report.elaborated = True
+            if run_tools:
+                report.tools = _run_tool_passes(design)
+        result.modules.sort(key=lambda m: m.name)
+    return result
+
+
+def check_file(path, run_tools=True):
+    """Check one ``.v`` file on disk."""
+    with open(path, "r") as handle:
+        text = handle.read()
+    return check_text(text, filename=str(path), target=str(path),
+                      run_tools=run_tools)
+
+
+def _resolve_target(target):
+    """A target is a testbed bug ID (``D1``) or a path to a ``.v`` file."""
+    from ..testbed.harness import _design_text
+    from ..testbed.metadata import SPECS
+
+    key = target.upper()
+    if key in SPECS:
+        spec = SPECS[key]
+        return _design_text(spec.design_file), spec.design_file, key
+    with open(target, "r") as handle:
+        return handle.read(), str(target), str(target)
+
+
+def check_targets(targets, run_tools=True):
+    """Check several targets; returns the list of :class:`CheckResult`."""
+    results = []
+    for target in targets:
+        text, filename, label = _resolve_target(target)
+        results.append(
+            check_text(text, filename=filename, target=label,
+                       run_tools=run_tools)
+        )
+    return results
+
+
+def build_check_report(results):
+    """The ``repro.diag/v1`` report dict for one or more check results."""
+    if isinstance(results, CheckResult):
+        results = [results]
+    reports = []
+    for result in results:
+        counts = result.sink.counts()
+        reports.append(
+            {
+                "target": result.target,
+                "filename": result.filename,
+                "status": result.status,
+                "exit_code": result.exit_code,
+                "counts": counts,
+                "modules": [m.to_dict() for m in result.modules],
+                "diagnostics": [d.to_dict() for d in result.sink.sorted()],
+            }
+        )
+    return {"schema": SCHEMA, "reports": reports}
+
+
+def render_check_report(report):
+    """Byte-deterministic JSON rendering of a report dict."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_check_result(result, verbose=False):
+    """Human-readable rendering: one line per diagnostic plus a summary."""
+    lines = []
+    for diagnostic in result.sink.sorted():
+        lines.append(diagnostic.format())
+    counts = result.sink.counts()
+    summary = "%s: %s — %d error%s, %d warning%s, %d note%s" % (
+        result.target,
+        result.status,
+        counts["error"],
+        "" if counts["error"] == 1 else "s",
+        counts["warning"],
+        "" if counts["warning"] == 1 else "s",
+        counts["note"],
+        "" if counts["note"] == 1 else "s",
+    )
+    lines.append(summary)
+    if verbose:
+        for module in result.modules:
+            lines.append(
+                "  module %s: %s%s"
+                % (
+                    module.name,
+                    "elaborated" if module.elaborated else "skipped",
+                    (", passes: " + ", ".join(sorted(module.tools)))
+                    if module.tools
+                    else "",
+                )
+            )
+    return "\n".join(lines) + "\n"

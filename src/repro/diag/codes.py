@@ -1,0 +1,68 @@
+"""The rule-code registry: every diagnostic carries a stable code.
+
+Codes are grouped by the stage that emits them, mirroring the CLI's
+stage-specific exit codes:
+
+* ``P01xx`` — lexical errors (bad characters, unsupported literals);
+* ``P02xx`` — syntax errors from the recursive-descent parser;
+* ``E02xx`` — elaboration errors (parameters, widths, hierarchy);
+* ``L03xx`` — lint findings keyed to the paper's Table 1 bug subclasses
+  (width mismatch, truncation, missing FSM default, blocking-assign
+  misuse, dead/multiply-driven signals, unconnected ports).
+
+Codes are append-only: a code, once shipped, keeps its meaning forever,
+because the fuzz campaign's crash buckets and the fault campaign's
+error taxonomy key on them.
+"""
+
+from __future__ import annotations
+
+#: code -> one-line human description (also the docs registry).
+RULES = {
+    # -- lexer (P01xx) ------------------------------------------------------
+    "P0101": "unexpected character outside the supported Verilog subset",
+    "P0102": "real literals are not supported (two-state integer subset)",
+    # -- parser (P02xx) -----------------------------------------------------
+    "P0201": "unexpected token (expected something else here)",
+    "P0202": "unexpected token in module body",
+    "P0203": "unexpected token in expression",
+    "P0204": "expected a port direction (input/output/inout)",
+    "P0205": "initializer only allowed on wire declarations",
+    "P0206": "for-loop init/step must be blocking assignments",
+    "P0207": "unsupported system task",
+    "P0208": "expected an assignment statement",
+    "P0209": "trailing input after a complete construct",
+    "P0210": "missing endmodule before end of input",
+    "P0211": "too many syntax errors; giving up on this file",
+    # -- elaboration (E02xx) ------------------------------------------------
+    "E0201": "width or array bound is not a compile-time constant",
+    "E0202": "instance references an unknown module",
+    "E0203": "instance connects to an unknown port",
+    "E0204": "instance parameter override is not constant",
+    "E0205": "for-loop bounds are not static",
+    "E0206": "for-loop exceeds the unroll limit",
+    "E0207": "instance output port must connect to an lvalue",
+    "E0208": "module has no such parameter",
+    "E0209": "unsupported module item during elaboration",
+    # -- lint (L03xx) -------------------------------------------------------
+    "L0301": "signal is used but never declared",
+    "L0302": "signal is declared but never read",
+    "L0303": "signal is driven from multiple processes",
+    "L0304": "constant value does not fit the assignment target",
+    "L0305": "assignment silently truncates a wider expression",
+    "L0306": "case statement on an FSM state register has no default arm",
+    "L0307": "blocking assignment inside an edge-triggered always block",
+    "L0308": "instance leaves declared ports unconnected",
+    # -- check pipeline notes (L00xx) ---------------------------------------
+    "L0001": "module skipped by tool passes (did not elaborate cleanly)",
+}
+
+
+def describe(code):
+    """One-line description for *code* ('' when unregistered)."""
+    return RULES.get(code, "")
+
+
+def is_registered(code):
+    """True when *code* is in the registry (lint-oracle well-formedness)."""
+    return code in RULES

@@ -1,0 +1,466 @@
+"""Static lint keyed to the paper's bug taxonomy (Table 1).
+
+The paper's studied bugs cluster into a handful of HDL-level subclasses
+— buffer/width sizing mistakes, dropped or duplicated signals, FSM arms
+that silently swallow states, mis-scheduled assignments — and most of
+them are *visible in the source* before a single cycle is simulated.
+Each lint rule targets one such subclass:
+
+========  ==============================================================
+L0301     signal used but never declared (error)
+L0302     signal declared but never read (dead logic / dropped wiring)
+L0303     signal driven from multiple processes (races, last-write-wins)
+L0304     constant does not fit its assignment target (D-class sizing)
+L0305     assignment silently truncates a wider expression
+L0306     case over an FSM state register without a default arm
+L0307     blocking assignment inside an edge-triggered always block
+L0308     instance leaves declared ports unconnected
+========  ==============================================================
+
+Lint runs on the *parsed* per-module AST (pre-elaboration), so it still
+works on modules whose elaboration fails, and on sources that only
+partially parsed after panic-mode recovery. Everything except L0301 is
+warning severity: the testbed's deliberately buggy designs must lint
+without *errors* (they are valid Verilog) while their defects surface
+as warnings.
+"""
+
+from __future__ import annotations
+
+from ..hdl import ast_nodes as ast
+from ..hdl.transform import NotConstantError, const_eval
+from .model import DiagnosticSink, SourceSpan
+
+#: Reduction / comparison / logical operators whose result is 1 bit.
+_BOOL_BINOPS = frozenset(
+    ["==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||"]
+)
+_BOOL_UNOPS = frozenset(["!", "&", "|", "^", "~&", "~|", "~^"])
+_SHIFT_OPS = frozenset(["<<", ">>", "<<<", ">>>"])
+
+
+def _span(filename, node):
+    return SourceSpan(
+        file=filename,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col", 0),
+    )
+
+
+class _ModuleLinter:
+    def __init__(self, module, source, sink, filename):
+        self.module = module
+        self.source = source
+        self.sink = sink
+        self.filename = filename
+        self.env = self._param_env()
+        self.widths = {}   # name -> bit width (int) or None when unknown
+        self.arrays = set()  # names declared as memories
+        self.integers = set()
+        self.declared = set(self.env)
+        for port in module.ports:
+            self.declared.add(port.name)
+        for decl in module.declarations():
+            self.declared.add(decl.name)
+            self.widths[decl.name] = self._width_bits(decl.width)
+            if decl.kind is ast.NetKind.INTEGER:
+                self.widths[decl.name] = 32
+                self.integers.add(decl.name)
+            if decl.array is not None:
+                self.arrays.add(decl.name)
+        for port in module.ports:
+            if port.name not in self.widths:
+                self.widths[port.name] = self._width_bits(port.width)
+        self.reads = set()
+        self.writes = set()
+
+    def _param_env(self):
+        env = {}
+        for param in self.module.params:
+            try:
+                env[param.name] = const_eval(param.value, env)
+            except NotConstantError:
+                env[param.name] = 0
+        for item in self.module.items:
+            if isinstance(item, ast.ParameterDecl):
+                try:
+                    env[item.name] = const_eval(item.value, env)
+                except NotConstantError:
+                    env[item.name] = 0
+        return env
+
+    def _width_bits(self, width):
+        if width is None:
+            return 1
+        try:
+            msb = const_eval(width.msb, self.env)
+            lsb = const_eval(width.lsb, self.env)
+        except NotConstantError:
+            return None
+        return abs(msb - lsb) + 1
+
+    # -- expression width inference ----------------------------------------
+
+    def expr_width(self, expr):
+        """Bit width of *expr*, or None when it cannot be determined.
+
+        Unlike the simulator's ``self_width`` (which follows the LRM and
+        gives unsized literals 32 bits), an unsized :class:`Number` here
+        is as wide as its value: ``count + 1`` must not flag every
+        counter increment as a truncation.
+        """
+        if isinstance(expr, ast.Number):
+            if expr.width is not None:
+                return expr.width
+            return max(1, expr.value.bit_length())
+        if isinstance(expr, ast.Identifier):
+            return self.widths.get(expr.name)
+        if isinstance(expr, ast.SizeCast):
+            return expr.width
+        if isinstance(expr, ast.Index):
+            base = self._base_name(expr.var)
+            if base in self.arrays:
+                return self.widths.get(base)
+            return 1
+        if isinstance(expr, ast.PartSelect):
+            try:
+                msb = const_eval(expr.msb, self.env)
+                lsb = const_eval(expr.lsb, self.env)
+            except NotConstantError:
+                return None
+            return abs(msb - lsb) + 1
+        if isinstance(expr, ast.IndexedPartSelect):
+            try:
+                return const_eval(expr.width, self.env)
+            except NotConstantError:
+                return None
+        if isinstance(expr, ast.Concat):
+            total = 0
+            for part in expr.parts:
+                width = self.expr_width(part)
+                if width is None:
+                    return None
+                total += width
+            return total
+        if isinstance(expr, ast.Repeat):
+            try:
+                count = const_eval(expr.count, self.env)
+            except NotConstantError:
+                return None
+            width = self.expr_width(expr.expr)
+            return None if width is None else count * width
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op in _BOOL_UNOPS:
+                return 1
+            return self.expr_width(expr.operand)
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op in _BOOL_BINOPS:
+                return 1
+            if expr.op in _SHIFT_OPS:
+                return self.expr_width(expr.left)
+            left = self.expr_width(expr.left)
+            right = self.expr_width(expr.right)
+            if left is None or right is None:
+                return None
+            return max(left, right)
+        if isinstance(expr, ast.Ternary):
+            left = self.expr_width(expr.iftrue)
+            right = self.expr_width(expr.iffalse)
+            if left is None or right is None:
+                return None
+            return max(left, right)
+        return None
+
+    @staticmethod
+    def _base_name(expr):
+        while isinstance(
+            expr, (ast.Index, ast.PartSelect, ast.IndexedPartSelect)
+        ):
+            expr = expr.var
+        if isinstance(expr, ast.Identifier):
+            return expr.name
+        return None
+
+    def lvalue_width(self, lvalue):
+        if isinstance(lvalue, ast.Identifier):
+            return self.widths.get(lvalue.name)
+        return self.expr_width(lvalue)
+
+    # -- read/write collection ---------------------------------------------
+
+    def _read_expr(self, expr):
+        if expr is None:
+            return
+        for node in expr.walk():
+            if isinstance(node, ast.Identifier):
+                self.reads.add(node.name)
+
+    def _write_lvalue(self, lvalue):
+        for name in ast.lvalue_base_names(lvalue):
+            self.writes.add(name)
+        # Indices and slice bounds inside the lvalue are *reads*.
+        for node in lvalue.walk():
+            if isinstance(node, ast.Index):
+                self._read_expr(node.index)
+            elif isinstance(node, ast.PartSelect):
+                self._read_expr(node.msb)
+                self._read_expr(node.lsb)
+            elif isinstance(node, ast.IndexedPartSelect):
+                self._read_expr(node.base)
+                self._read_expr(node.width)
+
+    # -- the rules ----------------------------------------------------------
+
+    def run(self):
+        self._scan_items()
+        self._check_undeclared_and_unused()
+        self._check_multiple_drivers()
+
+    def _scan_items(self):
+        module = self.module
+        for item in module.items:
+            if isinstance(item, ast.ContinuousAssign):
+                self._write_lvalue(item.lhs)
+                self._read_expr(item.rhs)
+                self._check_assign_width(item.lhs, item.rhs, item)
+            elif isinstance(item, ast.Always):
+                edge_triggered = any(
+                    sens.edge in (ast.Edge.POSEDGE, ast.Edge.NEGEDGE)
+                    for sens in item.sens
+                )
+                for sens in item.sens:
+                    if sens.signal:
+                        self.reads.add(sens.signal)
+                self._scan_statement(item.body, edge_triggered)
+            elif isinstance(item, ast.Instance):
+                self._check_instance(item)
+
+    def _scan_statement(self, stmt, edge_triggered):
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._scan_statement(inner, edge_triggered)
+        elif isinstance(stmt, (ast.NonblockingAssign, ast.BlockingAssign)):
+            self._write_lvalue(stmt.lhs)
+            self._read_expr(stmt.rhs)
+            self._check_assign_width(stmt.lhs, stmt.rhs, stmt)
+            if (
+                edge_triggered
+                and isinstance(stmt, ast.BlockingAssign)
+                and self._base_name(stmt.lhs) not in self.integers
+            ):
+                self.sink.warning(
+                    "L0307",
+                    "blocking assignment to %r inside an edge-triggered "
+                    "always block" % (self._base_name(stmt.lhs) or "?"),
+                    _span(self.filename, stmt),
+                    hint="use '<=' for clocked state updates",
+                )
+        elif isinstance(stmt, ast.If):
+            self._read_expr(stmt.cond)
+            self._scan_statement(stmt.then_stmt, edge_triggered)
+            self._scan_statement(stmt.else_stmt, edge_triggered)
+        elif isinstance(stmt, ast.Case):
+            self._read_expr(stmt.subject)
+            for arm in stmt.items:
+                for label in arm.labels:
+                    self._read_expr(label)
+                self._scan_statement(arm.stmt, edge_triggered)
+            self._check_case_default(stmt)
+        elif isinstance(stmt, ast.For):
+            # For-loop control assignments are elaboration-time, so the
+            # blocking-in-edge-triggered rule does not apply to them.
+            self._write_lvalue(stmt.init.lhs)
+            self._read_expr(stmt.init.rhs)
+            self._read_expr(stmt.cond)
+            self._write_lvalue(stmt.step.lhs)
+            self._read_expr(stmt.step.rhs)
+            self._scan_statement(stmt.body, edge_triggered)
+        elif isinstance(stmt, ast.Display):
+            for arg in stmt.args:
+                self._read_expr(arg)
+
+    def _check_assign_width(self, lhs, rhs, stmt):
+        lhs_width = self.lvalue_width(lhs)
+        if lhs_width is None:
+            return
+        if isinstance(rhs, ast.Number):
+            needed = max(1, rhs.value.bit_length())
+            if needed > lhs_width:
+                self.sink.warning(
+                    "L0304",
+                    "constant %d needs %d bits but %r is %d bits wide"
+                    % (
+                        rhs.value,
+                        needed,
+                        self._base_name(lhs) or "target",
+                        lhs_width,
+                    ),
+                    _span(self.filename, stmt),
+                    hint="widen the target or mask the constant",
+                )
+            return
+        rhs_width = self.expr_width(rhs)
+        if rhs_width is not None and rhs_width > lhs_width:
+            self.sink.warning(
+                "L0305",
+                "assignment to %r silently truncates %d bits to %d"
+                % (self._base_name(lhs) or "target", rhs_width, lhs_width),
+                _span(self.filename, stmt),
+                hint="add an explicit part-select or widen the target",
+            )
+
+    def _check_case_default(self, stmt):
+        if any(not arm.labels for arm in stmt.items):
+            return
+        subject = self._base_name(stmt.subject)
+        if subject is None:
+            return
+        # FSM heuristic: the case subject is itself reassigned inside the
+        # arms — the state-transition pattern every testbed FSM uses.
+        assigns_subject = False
+        for arm in stmt.items:
+            if arm.stmt is None:
+                continue
+            for node in arm.stmt.walk():
+                if isinstance(
+                    node, (ast.NonblockingAssign, ast.BlockingAssign)
+                ) and subject in ast.lvalue_base_names(node.lhs):
+                    assigns_subject = True
+                    break
+            if assigns_subject:
+                break
+        if assigns_subject:
+            self.sink.warning(
+                "L0306",
+                "case over FSM state register %r has no default arm"
+                % subject,
+                _span(self.filename, stmt),
+                hint="add 'default:' to recover from unreachable states",
+            )
+
+    def _check_instance(self, inst):
+        for conn in inst.ports:
+            self._read_expr(conn.expr)
+            if conn.expr is not None:
+                # Output connections also drive their nets; without the
+                # child's directions we conservatively count identifier
+                # connections as both read and written.
+                base = self._base_name(conn.expr)
+                if base is not None:
+                    self.writes.add(base)
+        if self.source is None:
+            return
+        try:
+            child = self.source.find_module(inst.module_name)
+        except KeyError:
+            return  # blackbox or unknown module: elaboration's problem
+        connected = {conn.port for conn in inst.ports if conn.expr is not None}
+        missing = sorted(
+            port.name for port in child.ports if port.name not in connected
+        )
+        if missing:
+            self.sink.warning(
+                "L0308",
+                "instance %r of %s leaves port%s %s unconnected"
+                % (
+                    inst.instance_name,
+                    inst.module_name,
+                    "" if len(missing) == 1 else "s",
+                    ", ".join(missing),
+                ),
+                _span(self.filename, inst),
+                hint="connect or explicitly tie off every port",
+            )
+
+    def _check_undeclared_and_unused(self):
+        for name in sorted(self.reads | self.writes):
+            if name in self.declared or "." in name:
+                continue
+            self.sink.error(
+                "L0301",
+                "signal %r is used but never declared" % name,
+                _span(self.filename, self.module),
+                hint="declare it as reg/wire or fix the typo",
+            )
+        port_names = {port.name for port in self.module.ports}
+        for decl in self.module.declarations():
+            if decl.name in port_names or decl.name in self.reads:
+                continue
+            self.sink.warning(
+                "L0302",
+                "signal %r is declared but never read" % decl.name,
+                _span(self.filename, decl),
+                hint="dead logic, or wiring that was dropped",
+            )
+
+    def _check_multiple_drivers(self):
+        # A "driver site" is one always block, one continuous assign, or
+        # one instance connection. Partial-select drives from several
+        # sites are legitimate (per-bit assigns), so a signal is flagged
+        # only when >1 site drives it and at least one drive covers the
+        # whole signal.
+        sites = {}       # name -> list of (site descr, whole-signal?)
+        spans = {}
+
+        def record(lvalue, site, node):
+            for name in ast.lvalue_base_names(lvalue):
+                whole = isinstance(lvalue, ast.Identifier)
+                sites.setdefault(name, []).append((site, whole))
+                spans.setdefault(name, _span(self.filename, node))
+
+        for index, item in enumerate(self.module.items):
+            if isinstance(item, ast.ContinuousAssign):
+                record(item.lhs, ("assign", index), item)
+            elif isinstance(item, ast.Always):
+                per_block = {}  # name -> (whole?, first node)
+                for node in item.body.walk() if item.body else []:
+                    if isinstance(
+                        node, (ast.NonblockingAssign, ast.BlockingAssign)
+                    ):
+                        whole = isinstance(node.lhs, ast.Identifier)
+                        for name in ast.lvalue_base_names(node.lhs):
+                            prev = per_block.get(name)
+                            if prev is None:
+                                per_block[name] = (whole, node)
+                            elif whole and not prev[0]:
+                                per_block[name] = (whole, prev[1])
+                for name, (whole, node) in per_block.items():
+                    sites.setdefault(name, []).append(
+                        (("always", index), whole)
+                    )
+                    spans.setdefault(name, _span(self.filename, node))
+
+        for name, drivers in sorted(sites.items()):
+            distinct = {site for site, _ in drivers}
+            if len(distinct) < 2:
+                continue
+            if not any(whole for _, whole in drivers):
+                continue
+            if name in self.integers:
+                continue
+            self.sink.warning(
+                "L0303",
+                "signal %r is driven from %d places"
+                % (name, len(distinct)),
+                spans.get(name, SourceSpan(file=self.filename)),
+                hint="merge the drivers into one process",
+            )
+
+
+def lint_module(module, source=None, sink=None, filename="<input>"):
+    """Lint one parsed module; returns the sink used."""
+    if sink is None:
+        sink = DiagnosticSink()
+    _ModuleLinter(module, source, sink, filename).run()
+    return sink
+
+
+def lint_source(source, sink=None, filename="<input>"):
+    """Lint every module in a parsed source; returns the sink used."""
+    if sink is None:
+        sink = DiagnosticSink()
+    for module in source.modules:
+        _ModuleLinter(module, source, sink, filename).run()
+    return sink

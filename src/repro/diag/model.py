@@ -1,0 +1,214 @@
+"""Structured diagnostics: severity, source span, message, rule code.
+
+One :class:`Diagnostic` is one finding. A :class:`DiagnosticSink` is the
+collector threaded through the whole frontend (lexer, parser,
+elaboration, lint): call sites :meth:`~DiagnosticSink.emit` into it and
+keep going, so a single run reports *every* defect instead of dying on
+the first.
+
+Formatting follows the classic compiler convention so editors and CI
+annotators can parse it::
+
+    counter.v:14:9: error[P0201]: expected ';', got 'endmodule'
+
+:mod:`repro.obs` counters (``diag.emitted``, ``diag.error`` /
+``diag.warning`` / ``diag.note``) are incremented per emission while
+``obs.enabled`` is set, like every other instrumented subsystem.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .. import obs
+from .codes import describe
+
+
+class Severity(enum.Enum):
+    """How bad a finding is. Order: note < warning < error."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self):
+        return {"note": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A position in source text: file, 1-based line and column.
+
+    ``line == 0`` means "whole file" (no position information); columns
+    are 0 when only the line is known (e.g. findings anchored to AST
+    nodes, which record lines but not columns for synthesized code).
+    """
+
+    file: str = "<input>"
+    line: int = 0
+    col: int = 0
+
+    def __str__(self):
+        return "%s:%d:%d" % (self.file, self.line, self.col)
+
+    def to_dict(self):
+        return {"file": self.file, "line": self.line, "col": self.col}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding with a stable rule code.
+
+    ``hint`` optionally suggests the fix (shown after the message).
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    span: SourceSpan = field(default_factory=SourceSpan)
+    hint: str = ""
+
+    def format(self):
+        """The canonical one-line rendering (file:line:col: sev[CODE]: msg)."""
+        text = "%s: %s[%s]: %s" % (
+            self.span, self.severity.value, self.code, self.message
+        )
+        if self.hint:
+            text += " (hint: %s)" % self.hint
+        return text
+
+    def __str__(self):
+        return self.format()
+
+    def to_dict(self):
+        """JSON-ready dict (stable key set, no wall-clock data)."""
+        entry = {
+            "severity": self.severity.value,
+            "code": self.code,
+            "message": self.message,
+            "span": self.span.to_dict(),
+        }
+        if self.hint:
+            entry["hint"] = self.hint
+        return entry
+
+    def sort_key(self):
+        return (
+            self.span.file,
+            self.span.line,
+            self.span.col,
+            self.code,
+            self.message,
+        )
+
+
+class DiagnosticSink:
+    """Collects diagnostics across a whole frontend run.
+
+    The sink is deliberately dumb — append, count, sort — so every layer
+    can share one instance without coupling. ``max_errors`` bounds
+    cascade noise from panic-mode recovery: once the error count passes
+    it, :attr:`overflowed` is set and the parser gives up on the file.
+    """
+
+    def __init__(self, max_errors=50):
+        self.diagnostics = []
+        self.max_errors = max_errors
+        self.overflowed = False
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self):
+        return len(self.diagnostics)
+
+    def emit(self, diagnostic):
+        """Record one :class:`Diagnostic` (and bump obs counters)."""
+        self.diagnostics.append(diagnostic)
+        if (
+            diagnostic.severity is Severity.ERROR
+            and self.error_count > self.max_errors
+        ):
+            self.overflowed = True
+        if obs.enabled:
+            obs.counter("diag.emitted").inc()
+            obs.counter("diag.%s" % diagnostic.severity.value).inc()
+        return diagnostic
+
+    def error(self, code, message, span=None, hint=""):
+        """Shorthand: emit an error-severity diagnostic."""
+        return self.emit(
+            Diagnostic(Severity.ERROR, code, message, span or SourceSpan(), hint)
+        )
+
+    def warning(self, code, message, span=None, hint=""):
+        """Shorthand: emit a warning-severity diagnostic."""
+        return self.emit(
+            Diagnostic(Severity.WARNING, code, message, span or SourceSpan(), hint)
+        )
+
+    def note(self, code, message, span=None, hint=""):
+        """Shorthand: emit a note-severity diagnostic."""
+        return self.emit(
+            Diagnostic(Severity.NOTE, code, message, span or SourceSpan(), hint)
+        )
+
+    @property
+    def error_count(self):
+        return sum(
+            1 for d in self.diagnostics if d.severity is Severity.ERROR
+        )
+
+    @property
+    def has_errors(self):
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def counts(self):
+        """{severity value: count} over all collected diagnostics."""
+        tally = {"error": 0, "warning": 0, "note": 0}
+        for diagnostic in self.diagnostics:
+            tally[diagnostic.severity.value] += 1
+        return tally
+
+    def sorted(self):
+        """Diagnostics in deterministic (file, line, col, code) order."""
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def errors(self):
+        """Only the error-severity diagnostics, in emission order."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+
+def diagnostic_from_exception(exc, filename="<input>"):
+    """Best-effort :class:`Diagnostic` for a raised frontend error.
+
+    Frontend exceptions carry ``code`` and (when they were produced by a
+    sink-threaded run) ``diagnostics``; exceptions from legacy paths
+    degrade to a whole-file span.
+    """
+    diagnostics = getattr(exc, "diagnostics", None)
+    if diagnostics:
+        return diagnostics[0]
+    code = getattr(exc, "code", None) or "P0201"
+    return Diagnostic(
+        Severity.ERROR,
+        code,
+        str(exc),
+        SourceSpan(file=filename),
+        hint=describe(code),
+    )
+
+
+def error_code(exc):
+    """The stable bucketing key for an exception: rule code or type name.
+
+    The fuzz campaign's invalid-case bucketing and the fault campaign's
+    error taxonomy both key on this instead of message prefixes, so two
+    differently-worded messages for the same defect land in one bucket.
+    """
+    code = getattr(exc, "code", None)
+    if code:
+        return code
+    return type(exc).__name__

@@ -28,6 +28,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..diag.model import error_code
 from ..runtime import JsonlJournal, TimeLimitExceeded, retry_with_backoff, time_limit
 from ..sim.simulator import SimulatorError
 from ..sim.values import EvaluationError
@@ -246,6 +247,9 @@ def _run_case(config, scorers, bug_id, index, sleep):
         record = dict(base)
         record["status"] = status
         record["error"] = "%s: %s" % (type(exc).__name__, str(exc)[:200])
+        # Stable bucketing key: frontend exceptions carry a rule code
+        # (P/E-codes); everything else buckets on the type name.
+        record["error_code"] = error_code(exc)
         record["attempts"] = (
             config.retries + 1 if status == TIMEOUT else 1
         )

@@ -16,6 +16,10 @@ Three oracle families, each checking a different layer of the stack:
   event unchanged: instrumentation never perturbs the design it observes
   (the property the paper's tools depend on). Violations are
   instrumentation bugs.
+* **lint** — ``repro check`` must yield a *well-formed* verdict on any
+  input: no crash, only registered rule codes, sane spans, agreement
+  with the strict parser about validity, and a byte-deterministic
+  report. Violations are diagnostics bugs.
 
 All oracles take Verilog source text, so reducer output can be re-run
 through the same predicate unchanged. Outcomes are ``pass``, ``fail``
@@ -45,7 +49,7 @@ FAIL = "fail"
 INAPPLICABLE = "inapplicable"
 
 #: Oracle registry: name -> callable(text, top, seed, cycles).
-ORACLE_NAMES = ("roundtrip", "differential", "metamorphic")
+ORACLE_NAMES = ("roundtrip", "differential", "metamorphic", "lint")
 
 _RESET_HIGH = frozenset(["rst", "reset"])
 _RESET_LOW = frozenset(["rst_n", "resetn", "rstn", "nreset"])
@@ -349,8 +353,82 @@ def metamorphic_oracle(text, top=None, seed=0, cycles=48, tools=None,
     return OracleOutcome(oracle="metamorphic", status=PASS)
 
 
+def lint_oracle(text, top=None, seed=0, cycles=48):
+    """``repro check`` must produce a well-formed, deterministic verdict.
+
+    Whatever the fuzzer feeds it, the recovering frontend must (a) not
+    crash, (b) emit only registered rule codes with sane spans, (c) agree
+    with the strict parser about validity — an input the strict parse
+    accepts must check with zero parse-stage errors and vice versa — and
+    (d) be byte-deterministic: two runs render identical reports.
+    """
+    from ..diag import is_registered
+    from ..diag.check import (
+        build_check_report,
+        check_text,
+        render_check_report,
+    )
+    from ..hdl.lexer import LexerError
+    from ..hdl.parser import ParseError
+
+    result = check_text(text, run_tools=False)
+    for diagnostic in result.sink.diagnostics:
+        if not is_registered(diagnostic.code):
+            return OracleOutcome(
+                oracle="lint",
+                status=FAIL,
+                detail="unregistered rule code %r" % diagnostic.code,
+            )
+        if diagnostic.span.line < 0 or diagnostic.span.col < 0:
+            return OracleOutcome(
+                oracle="lint",
+                status=FAIL,
+                detail="negative span %s on %s"
+                % (diagnostic.span, diagnostic.code),
+            )
+        if not diagnostic.message:
+            return OracleOutcome(
+                oracle="lint",
+                status=FAIL,
+                detail="empty message on %s" % diagnostic.code,
+            )
+    try:
+        parse(text)
+        strict_ok = True
+    except (LexerError, ParseError):
+        strict_ok = False
+    recovered_errors = any(
+        d.severity.value == "error" and d.code.startswith("P")
+        for d in result.sink.diagnostics
+    )
+    if strict_ok and recovered_errors:
+        return OracleOutcome(
+            oracle="lint",
+            status=FAIL,
+            detail="recovering parse reports errors on input the strict "
+            "parse accepts",
+        )
+    if not strict_ok and not recovered_errors:
+        return OracleOutcome(
+            oracle="lint",
+            status=FAIL,
+            detail="strict parse rejects input the recovering parse "
+            "accepts",
+        )
+    rendered = render_check_report(build_check_report(result))
+    again = render_check_report(build_check_report(check_text(text, run_tools=False)))
+    if rendered != again:
+        return OracleOutcome(
+            oracle="lint",
+            status=FAIL,
+            detail="check report is not byte-deterministic",
+        )
+    return OracleOutcome(oracle="lint", status=PASS)
+
+
 ORACLES = {
     "roundtrip": roundtrip_oracle,
     "differential": differential_oracle,
     "metamorphic": metamorphic_oracle,
+    "lint": lint_oracle,
 }

@@ -32,6 +32,7 @@ import traceback
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..diag.model import error_code
 from ..runtime import TimeLimitExceeded, time_limit
 from ..hdl.elaborate import ElaborationError
 from ..hdl.lexer import LexerError
@@ -297,7 +298,12 @@ def run_case(args):
         result.signature = "timeout"
     except KNOWN_ERRORS as exc:
         result.status = INVALID
-        result.detail = "%s: %s" % (type(exc).__name__, exc)
+        # Bucket rejections on the stable rule code, not the (wording-
+        # sensitive) message: two phrasings of one defect are one bucket.
+        result.detail = "%s[%s]: %s" % (
+            type(exc).__name__, error_code(exc), exc
+        )
+        result.signature = "invalid:%s" % error_code(exc)
     except Exception as exc:
         result.status = CRASH
         result.detail = "%s: %s" % (type(exc).__name__, exc)

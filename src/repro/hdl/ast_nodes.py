@@ -208,6 +208,7 @@ class NonblockingAssign(Statement):
     lhs: Expression
     rhs: Expression
     lineno: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -217,6 +218,7 @@ class BlockingAssign(Statement):
     lhs: Expression
     rhs: Expression
     lineno: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -243,6 +245,8 @@ class Case(Statement):
     subject: Expression
     items: list
     casez: bool = False
+    lineno: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -263,6 +267,7 @@ class Display(Statement):
     args: list = field(default_factory=list)
     lineno: int = field(default=0, compare=False)
     label: str = ""
+    col: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -308,6 +313,7 @@ class Declaration(ModuleItem):
     array: Optional[Width] = None
     signed: bool = False
     lineno: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
     @property
     def bit_width(self):
@@ -338,6 +344,7 @@ class ContinuousAssign(ModuleItem):
     lhs: Expression
     rhs: Expression
     lineno: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -355,6 +362,7 @@ class Always(ModuleItem):
     sens: list
     body: Statement
     lineno: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
     @property
     def is_combinational(self):
@@ -387,6 +395,7 @@ class Instance(ModuleItem):
     params: list = field(default_factory=list)
     ports: list = field(default_factory=list)
     lineno: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass

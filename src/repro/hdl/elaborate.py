@@ -39,7 +39,17 @@ _MAX_UNROLL = 65536
 
 
 class ElaborationError(ValueError):
-    """Raised when a design cannot be elaborated (bad params, loops, ...)."""
+    """Raised when a design cannot be elaborated (bad params, loops, ...).
+
+    ``code`` is the stable ``E02xx`` rule code and ``diagnostics`` the
+    structured findings (used by ``repro check`` and for fuzz/fault
+    error bucketing).
+    """
+
+    def __init__(self, message, code="E0209", diagnostics=None):
+        super().__init__(message)
+        self.code = code
+        self.diagnostics = list(diagnostics or [])
 
 
 @dataclass
@@ -63,7 +73,8 @@ def _resolve_params(module, overrides):
     for name, value in (overrides or {}).items():
         if name not in env:
             raise ElaborationError(
-                "module %s has no parameter %r" % (module.name, name)
+                "module %s has no parameter %r" % (module.name, name),
+                code="E0208",
             )
         env[name] = value
     for item in module.items:
@@ -80,7 +91,9 @@ def _resolve_width(width, env, context):
         msb = const_eval(width.msb, env)
         lsb = const_eval(width.lsb, env)
     except NotConstantError as exc:
-        raise ElaborationError("%s: non-constant width (%s)" % (context, exc))
+        raise ElaborationError(
+            "%s: non-constant width (%s)" % (context, exc), code="E0201"
+        )
     return ast.Width(msb=ast.Number(value=msb), lsb=ast.Number(value=lsb))
 
 
@@ -90,7 +103,9 @@ def _unroll_for(stmt, env):
     try:
         value = const_eval(stmt.init.rhs, env)
     except NotConstantError as exc:
-        raise ElaborationError("for-loop init must be constant: %s" % exc)
+        raise ElaborationError(
+            "for-loop init must be constant: %s" % exc, code="E0205"
+        )
     statements = []
     iterations = 0
     while True:
@@ -100,17 +115,23 @@ def _unroll_for(stmt, env):
             if not const_eval(stmt.cond, loop_env):
                 break
         except NotConstantError as exc:
-            raise ElaborationError("for-loop condition must be static: %s" % exc)
+            raise ElaborationError(
+                "for-loop condition must be static: %s" % exc, code="E0205"
+            )
         body = map_statement(stmt.body, lambda e: fold_constants(e, loop_env))
         body = _expand_statement(body, loop_env)
         statements.append(body)
         try:
             value = const_eval(stmt.step.rhs, loop_env)
         except NotConstantError as exc:
-            raise ElaborationError("for-loop step must be static: %s" % exc)
+            raise ElaborationError(
+                "for-loop step must be static: %s" % exc, code="E0205"
+            )
         iterations += 1
         if iterations > _MAX_UNROLL:
-            raise ElaborationError("for-loop exceeds %d iterations" % _MAX_UNROLL)
+            raise ElaborationError(
+                "for-loop exceeds %d iterations" % _MAX_UNROLL, code="E0206"
+            )
     return statements
 
 
@@ -236,7 +257,9 @@ class _Elaborator:
             elif isinstance(item, ast.Instance):
                 self._inline_instance(item, env, prefix, fix_expr)
             else:
-                raise ElaborationError("unsupported module item %r" % (item,))
+                raise ElaborationError(
+                    "unsupported module item %r" % (item,), code="E0209"
+                )
 
     def _inline_instance(self, inst, env, prefix, fix_expr):
         child_prefix = prefix + inst.instance_name + "."
@@ -247,7 +270,8 @@ class _Elaborator:
             except NotConstantError as exc:
                 raise ElaborationError(
                     "instance %s: non-constant parameter %s (%s)"
-                    % (inst.instance_name, override.name, exc)
+                    % (inst.instance_name, override.name, exc),
+                    code="E0204",
                 )
         if inst.module_name in self._blackboxes:
             self._blackbox_instance(inst, overrides, child_prefix, fix_expr)
@@ -255,7 +279,9 @@ class _Elaborator:
         if inst.module_name not in self._modules:
             raise ElaborationError(
                 "instance %s references unknown module %s (declare it or "
-                "register it as a blackbox IP)" % (inst.instance_name, inst.module_name)
+                "register it as a blackbox IP)"
+                % (inst.instance_name, inst.module_name),
+                code="E0202",
             )
         child = self._modules[inst.module_name]
         child_env = _resolve_params(child, overrides)
@@ -265,7 +291,9 @@ class _Elaborator:
         for conn in inst.ports:
             if conn.port not in ports:
                 raise ElaborationError(
-                    "instance %s: unknown port %s" % (inst.instance_name, conn.port)
+                    "instance %s: unknown port %s"
+                    % (inst.instance_name, conn.port),
+                    code="E0203",
                 )
             if conn.expr is None:
                 continue
@@ -284,7 +312,8 @@ class _Elaborator:
                 if not _is_lvalue(outer):
                     raise ElaborationError(
                         "instance %s: output port %s must connect to an lvalue"
-                        % (inst.instance_name, conn.port)
+                        % (inst.instance_name, conn.port),
+                        code="E0207",
                     )
                 assigns.append(ast.ContinuousAssign(lhs=outer, rhs=inner))
         self._inline(child, child_env, child_prefix, alias=alias)

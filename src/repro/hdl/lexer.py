@@ -1,14 +1,25 @@
 """Tokenizer for the synthesizable Verilog subset.
 
 Produces a flat list of :class:`Token` objects. Comments (``//`` and
-``/* */``) and whitespace are skipped; line numbers are tracked for
-diagnostics and for mapping instrumentation back to source.
+``/* */``) and whitespace are skipped; line *and column* numbers are
+tracked for diagnostics and for mapping instrumentation back to source.
+
+Error handling has two modes:
+
+* legacy (no sink): the first bad character raises :class:`LexerError`,
+  whose message uses the canonical ``file:line:col:`` prefix and whose
+  ``code``/``diagnostics`` attributes carry the structured finding;
+* recovering (``sink=`` given): bad characters are reported as
+  :class:`repro.diag.Diagnostic` records into the sink and skipped, so
+  one run surfaces every lexical defect.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+
+from ..diag.model import DiagnosticSink, SourceSpan
 
 KEYWORDS = frozenset(
     [
@@ -74,7 +85,16 @@ def _unescape_string(text):
 
 
 class LexerError(ValueError):
-    """Raised when the input contains a character outside the subset."""
+    """Raised when the input contains a character outside the subset.
+
+    ``code`` is the stable rule code (``P01xx``) and ``diagnostics``
+    the structured findings collected before the raise.
+    """
+
+    def __init__(self, message, code="P0101", diagnostics=None):
+        super().__init__(message)
+        self.code = code
+        self.diagnostics = list(diagnostics or [])
 
 
 @dataclass
@@ -83,7 +103,8 @@ class Token:
 
     ``kind`` is one of ``keyword``, ``ident``, ``sysname`` (``$display``),
     ``number`` (with ``value``/``width``/``signed`` filled in), ``string``,
-    or ``op``.
+    or ``op``. ``col`` is the 1-based column of the token's first
+    character on its line.
     """
 
     kind: str
@@ -92,6 +113,7 @@ class Token:
     value: int = 0
     width: object = None
     signed: bool = False
+    col: int = 0
 
     def __repr__(self):
         return "Token(%s, %r, line %d)" % (self.kind, self.text, self.lineno)
@@ -112,38 +134,62 @@ def _parse_sized_number(text):
     return value, width, signed
 
 
-def tokenize(text):
+def tokenize(text, filename="<input>", sink=None):
     """Tokenize *text*, returning a list of :class:`Token`.
 
-    Raises :class:`LexerError` on characters outside the supported subset.
+    With no *sink*, raises :class:`LexerError` at the first character
+    outside the supported subset (message prefixed ``file:line:col:``).
+    With a :class:`~repro.diag.DiagnosticSink`, every bad character is
+    reported into the sink and skipped, and the (partial) token list is
+    returned.
     """
+    strict = sink is None
+    if strict:
+        sink = DiagnosticSink()
     tokens = []
     lineno = 1
+    line_start = 0
     for match in _TOKEN_RE.finditer(text):
         kind = match.lastgroup
         raw = match.group()
-        if kind in ("ws", "comment"):
-            lineno += raw.count("\n")
-            continue
+        col = match.start() - line_start + 1
+
+        def fail(code, message):
+            span = SourceSpan(file=filename, line=lineno, col=col)
+            diagnostic = sink.error(code, message, span)
+            if strict:
+                raise LexerError(
+                    diagnostic.format(), code=code, diagnostics=[diagnostic]
+                )
+
         if kind == "bad":
-            raise LexerError("line %d: unexpected character %r" % (lineno, raw))
-        if kind == "sized":
+            fail("P0101", "unexpected character %r" % raw)
+        elif kind == "sized":
             value, width, signed = _parse_sized_number(raw)
-            tokens.append(Token("number", raw, lineno, value, width, signed))
-        elif kind in ("number", "real"):
-            if kind == "real":
-                raise LexerError("line %d: real literals unsupported" % lineno)
-            tokens.append(Token("number", raw, lineno, int(raw.replace("_", ""))))
+            tokens.append(
+                Token("number", raw, lineno, value, width, signed, col=col)
+            )
+        elif kind == "real":
+            fail("P0102", "real literal %r unsupported" % raw)
+        elif kind == "number":
+            tokens.append(
+                Token("number", raw, lineno, int(raw.replace("_", "")), col=col)
+            )
         elif kind == "string":
-            tokens.append(Token("string", _unescape_string(raw[1:-1]), lineno))
+            tokens.append(
+                Token("string", _unescape_string(raw[1:-1]), lineno, col=col)
+            )
         elif kind == "ident":
             if raw.startswith("$"):
-                tokens.append(Token("sysname", raw, lineno))
+                tokens.append(Token("sysname", raw, lineno, col=col))
             elif raw in KEYWORDS:
-                tokens.append(Token("keyword", raw, lineno))
+                tokens.append(Token("keyword", raw, lineno, col=col))
             else:
-                tokens.append(Token("ident", raw, lineno))
-        else:
-            tokens.append(Token("op", raw, lineno))
-        lineno += raw.count("\n")
+                tokens.append(Token("ident", raw, lineno, col=col))
+        elif kind not in ("ws", "comment"):
+            tokens.append(Token("op", raw, lineno, col=col))
+        newlines = raw.count("\n")
+        if newlines:
+            lineno += newlines
+            line_start = match.start() + raw.rfind("\n") + 1
     return tokens

@@ -7,17 +7,41 @@ combinational), if/case/casez/for statements, blocking and nonblocking
 assignments, ``$display``/``$finish``, module instantiation with named
 connections, and the SystemVerilog size-cast ``N'(expr)``.
 
+Error handling is *recovering*: every syntax error becomes a
+:class:`repro.diag.Diagnostic` (stable ``P02xx`` rule code, span with
+file/line/column) and the parser re-synchronizes at the next ``;``,
+``end``, ``endcase`` or ``endmodule`` — panic-mode recovery — so a
+single run reports every error in a file. With no caller-provided sink,
+:func:`parse` keeps its historical contract and raises
+:class:`ParseError` (carrying all collected diagnostics) once parsing
+finishes with errors; with a :class:`~repro.diag.DiagnosticSink` it
+returns the partial AST and leaves the reporting to the caller.
+
 Entry point: :func:`parse` (text -> :class:`repro.hdl.ast_nodes.Source`).
 """
 
 from __future__ import annotations
 
+from ..diag.model import DiagnosticSink, SourceSpan
 from . import ast_nodes as ast
 from .lexer import Token, tokenize
 
 
 class ParseError(ValueError):
-    """Raised on input the subset grammar does not accept."""
+    """Raised on input the subset grammar does not accept.
+
+    ``code`` is the stable rule code of the first error and
+    ``diagnostics`` every structured finding from the recovering run.
+    """
+
+    def __init__(self, message, code="P0201", diagnostics=None):
+        super().__init__(message)
+        self.code = code
+        self.diagnostics = list(diagnostics or [])
+
+
+class _Recover(Exception):
+    """Internal: unwind to the nearest synchronization point."""
 
 
 _UNARY_OPS = frozenset(["~", "!", "-", "+", "&", "|", "^", "~&", "~|", "~^"])
@@ -38,9 +62,20 @@ _BINARY_LEVELS = [
 
 
 class _Parser:
-    def __init__(self, tokens):
+    def __init__(self, tokens, filename="<input>", sink=None, eof_line=None):
         self._tokens = tokens
         self._pos = 0
+        self._filename = filename
+        self._sink = sink if sink is not None else DiagnosticSink()
+        if tokens:
+            last = tokens[-1]
+            self._eof_token = Token(
+                "eof", "<eof>", last.lineno, col=last.col + len(last.text)
+            )
+        else:
+            # Empty token list (blank or comment-only input): the EOF
+            # token still points at the last real source line, not 0.
+            self._eof_token = Token("eof", "<eof>", eof_line or 1, col=1)
 
     # -- token helpers ----------------------------------------------------
 
@@ -48,7 +83,7 @@ class _Parser:
         index = self._pos + ahead
         if index < len(self._tokens):
             return self._tokens[index]
-        return Token("eof", "<eof>", self._tokens[-1].lineno if self._tokens else 0)
+        return self._eof_token
 
     def _next(self):
         token = self._peek()
@@ -67,18 +102,82 @@ class _Parser:
     def _expect(self, kind, text=None):
         token = self._peek()
         if not self._at(kind, text):
-            raise ParseError(
-                "line %d: expected %s, got %r"
-                % (token.lineno, text or kind, token.text)
+            self._error(
+                "P0201",
+                "expected %r, got %r" % (text or kind, token.text),
+                token,
             )
         return self._next()
+
+    # -- diagnostics and recovery -----------------------------------------
+
+    def _span(self, token):
+        return SourceSpan(file=self._filename, line=token.lineno, col=token.col)
+
+    def _emit_error(self, code, message, token, hint=""):
+        """Record an error diagnostic without unwinding."""
+        return self._sink.error(code, message, self._span(token), hint=hint)
+
+    def _error(self, code, message, token=None, hint=""):
+        """Record an error diagnostic and unwind to the nearest sync point."""
+        self._emit_error(code, message, token or self._peek(), hint=hint)
+        raise _Recover()
+
+    def _sync(self, stop_before=()):
+        """Panic-mode resync: skip tokens until after a ``;`` (consumed),
+        before a keyword in *stop_before*, or end of input."""
+        while not self._at("eof"):
+            token = self._peek()
+            if token.kind == "keyword" and token.text in stop_before:
+                return
+            self._next()
+            if token.kind == "op" and token.text == ";":
+                return
+
+    def _recovering(self, parse_fn, stop_before):
+        """Run *parse_fn*; on a syntax error, resync and return None.
+
+        Guarantees forward progress: if the failed attempt consumed no
+        tokens, one token is skipped before resynchronizing, so
+        recovery loops always terminate.
+        """
+        before = self._pos
+        try:
+            return parse_fn()
+        except _Recover:
+            if self._pos == before and not self._at("eof"):
+                self._next()
+            self._sync(stop_before=stop_before)
+            return None
+
+    def _give_up(self):
+        """True once the sink overflowed its error budget."""
+        return self._sink.overflowed
 
     # -- top level ---------------------------------------------------------
 
     def parse_source(self):
         modules = []
-        while not self._at("eof"):
-            modules.append(self.parse_module())
+
+        def sync_to_module():
+            while not self._at("eof") and not self._at("keyword", "module"):
+                self._next()
+
+        while not self._at("eof") and not self._give_up():
+            before = self._pos
+            try:
+                modules.append(self.parse_module())
+            except _Recover:
+                if self._pos == before and not self._at("eof"):
+                    self._next()
+                sync_to_module()
+        if self._give_up():
+            self._sink.note(
+                "P0211",
+                "too many syntax errors (%d); giving up on the rest of %s"
+                % (self._sink.error_count, self._filename),
+                self._span(self._peek()),
+            )
         return ast.Source(modules=modules)
 
     def parse_module(self):
@@ -87,7 +186,7 @@ class _Parser:
         params = []
         if self._accept("op", "#"):
             self._expect("op", "(")
-            while not self._at("op", ")"):
+            while not self._at("op", ")") and not self._at("eof"):
                 self._accept("keyword", "parameter")
                 pname = self._expect("ident").text
                 self._expect("op", "=")
@@ -99,7 +198,7 @@ class _Parser:
             self._expect("op", ")")
         ports = []
         self._expect("op", "(")
-        while not self._at("op", ")"):
+        while not self._at("op", ")") and not self._at("eof"):
             ports.append(self._parse_port())
             if not self._accept("op", ","):
                 break
@@ -107,8 +206,20 @@ class _Parser:
         self._expect("op", ";")
         items = []
         while not self._at("keyword", "endmodule"):
-            items.extend(self._parse_item())
-        self._expect("keyword", "endmodule")
+            if self._at("eof") or self._give_up():
+                self._emit_error(
+                    "P0210",
+                    "missing 'endmodule' before end of input "
+                    "(module %r)" % name,
+                    self._peek(),
+                )
+                break
+            parsed = self._recovering(
+                self._parse_item, stop_before=("endmodule",)
+            )
+            if parsed is not None:
+                items.extend(parsed)
+        self._accept("keyword", "endmodule")
         return self._with_port_declarations(
             ast.Module(name=name, params=params, ports=ports, items=items)
         )
@@ -135,8 +246,11 @@ class _Parser:
     def _parse_port(self):
         token = self._next()
         if token.text not in ("input", "output", "inout"):
-            raise ParseError(
-                "line %d: expected port direction, got %r" % (token.lineno, token.text)
+            self._error(
+                "P0204",
+                "expected port direction, got %r" % token.text,
+                token,
+                hint="ports are declared 'input wire x' / 'output reg y'",
             )
         direction = ast.PortDirection(token.text)
         kind = ast.NetKind.WIRE
@@ -174,12 +288,15 @@ class _Parser:
                 return [self._parse_always()]
         if token.kind == "ident":
             return [self._parse_instance()]
-        raise ParseError(
-            "line %d: unexpected token %r in module body" % (token.lineno, token.text)
+        self._error(
+            "P0202",
+            "unexpected token %r in module body" % token.text,
+            token,
         )
 
     def _parse_declaration(self):
-        lineno = self._peek().lineno
+        start = self._peek()
+        lineno, col = start.lineno, start.col
         kind = ast.NetKind(self._next().text)
         signed = bool(self._accept("keyword", "signed"))
         width = None if kind is ast.NetKind.INTEGER else self._parse_optional_width()
@@ -194,18 +311,24 @@ class _Parser:
                 array=array,
                 signed=signed,
                 lineno=lineno,
+                col=col,
             )
             items.append(decl)
             if self._accept("op", "="):
                 if kind is not ast.NetKind.WIRE:
-                    raise ParseError(
-                        "line %d: initializer only allowed on wire" % lineno
+                    self._error(
+                        "P0205",
+                        "initializer only allowed on wire, not %s %s"
+                        % (kind.value, name),
+                        start,
+                        hint="initialize regs inside an always block",
                     )
                 items.append(
                     ast.ContinuousAssign(
                         lhs=ast.Identifier(name=name),
                         rhs=self.parse_expression(),
                         lineno=lineno,
+                        col=col,
                     )
                 )
             if not self._accept("op", ","):
@@ -228,15 +351,17 @@ class _Parser:
         return items
 
     def _parse_continuous_assign(self):
-        lineno = self._expect("keyword", "assign").lineno
+        token = self._expect("keyword", "assign")
         lhs = self.parse_expression()
         self._expect("op", "=")
         rhs = self.parse_expression()
         self._expect("op", ";")
-        return ast.ContinuousAssign(lhs=lhs, rhs=rhs, lineno=lineno)
+        return ast.ContinuousAssign(
+            lhs=lhs, rhs=rhs, lineno=token.lineno, col=token.col
+        )
 
     def _parse_always(self):
-        lineno = self._expect("keyword", "always").lineno
+        token = self._expect("keyword", "always")
         self._expect("op", "@")
         self._expect("op", "(")
         sens = []
@@ -259,15 +384,17 @@ class _Parser:
                     break
         self._expect("op", ")")
         body = self.parse_statement()
-        return ast.Always(sens=sens, body=body, lineno=lineno)
+        return ast.Always(
+            sens=sens, body=body, lineno=token.lineno, col=token.col
+        )
 
     def _parse_instance(self):
-        lineno = self._peek().lineno
+        start = self._peek()
         module_name = self._expect("ident").text
         params = []
         if self._accept("op", "#"):
             self._expect("op", "(")
-            while not self._at("op", ")"):
+            while not self._at("op", ")") and not self._at("eof"):
                 self._expect("op", ".")
                 pname = self._expect("ident").text
                 self._expect("op", "(")
@@ -281,7 +408,7 @@ class _Parser:
         instance_name = self._expect("ident").text
         ports = []
         self._expect("op", "(")
-        while not self._at("op", ")"):
+        while not self._at("op", ")") and not self._at("eof"):
             self._expect("op", ".")
             port_name = self._expect("ident").text
             self._expect("op", "(")
@@ -299,7 +426,8 @@ class _Parser:
             instance_name=instance_name,
             params=params,
             ports=ports,
-            lineno=lineno,
+            lineno=start.lineno,
+            col=start.col,
         )
 
     # -- statements ----------------------------------------------------------
@@ -327,8 +455,15 @@ class _Parser:
         if self._accept("op", ":"):
             self._expect("ident")
         statements = []
-        while not self._at("keyword", "end"):
-            statements.append(self.parse_statement())
+        terminators = ("end", "endmodule", "endcase")
+        while not (
+            self._peek().kind == "keyword" and self._peek().text in terminators
+        ):
+            if self._at("eof") or self._give_up():
+                break
+            stmt = self._recovering(self.parse_statement, terminators)
+            if stmt is not None:
+                statements.append(stmt)
         self._expect("keyword", "end")
         return ast.Block(statements=statements)
 
@@ -344,26 +479,49 @@ class _Parser:
         return ast.If(cond=cond, then_stmt=then_stmt, else_stmt=else_stmt)
 
     def _parse_case(self):
-        casez = self._next().text == "casez"
+        start = self._next()
+        casez = start.text == "casez"
         self._expect("op", "(")
         subject = self.parse_expression()
         self._expect("op", ")")
         items = []
-        while not self._at("keyword", "endcase"):
+
+        def parse_arm():
             if self._accept("keyword", "default"):
                 self._accept("op", ":")
-                items.append(ast.CaseItem(labels=[], stmt=self.parse_statement()))
-                continue
+                return ast.CaseItem(labels=[], stmt=self.parse_statement())
             labels = [self.parse_expression()]
             while self._accept("op", ","):
                 labels.append(self.parse_expression())
             self._expect("op", ":")
-            items.append(ast.CaseItem(labels=labels, stmt=self.parse_statement()))
-        self._expect("keyword", "endcase")
-        return ast.Case(subject=subject, items=items, casez=casez)
+            return ast.CaseItem(labels=labels, stmt=self.parse_statement())
+
+        while not self._at("keyword", "endcase"):
+            if (
+                self._at("eof")
+                or self._at("keyword", "endmodule")
+                or self._give_up()
+            ):
+                self._emit_error(
+                    "P0201",
+                    "expected 'endcase', got %r" % self._peek().text,
+                    self._peek(),
+                )
+                break
+            arm = self._recovering(parse_arm, ("endcase", "endmodule"))
+            if arm is not None:
+                items.append(arm)
+        self._accept("keyword", "endcase")
+        return ast.Case(
+            subject=subject,
+            items=items,
+            casez=casez,
+            lineno=start.lineno,
+            col=start.col,
+        )
 
     def _parse_for(self):
-        self._expect("keyword", "for")
+        token = self._expect("keyword", "for")
         self._expect("op", "(")
         init = self._parse_assignment(terminated=False)
         self._expect("op", ";")
@@ -375,7 +533,12 @@ class _Parser:
         if not isinstance(init, ast.BlockingAssign) or not isinstance(
             step, ast.BlockingAssign
         ):
-            raise ParseError("for loop init/step must be blocking assignments")
+            self._error(
+                "P0206",
+                "for loop init/step must be blocking assignments",
+                token,
+                hint="use 'i = 0' / 'i = i + 1', not '<='",
+            )
         return ast.For(init=init, cond=cond, step=step, body=body)
 
     def _parse_system_call(self):
@@ -387,8 +550,11 @@ class _Parser:
             self._expect("op", ";")
             return ast.Finish()
         if name not in ("$display", "$write"):
-            raise ParseError(
-                "line %d: unsupported system task %s" % (token.lineno, name)
+            self._error(
+                "P0207",
+                "unsupported system task %s" % name,
+                token,
+                hint="only $display/$write/$finish/$stop are simulated",
             )
         self._expect("op", "(")
         fmt = self._expect("string")
@@ -397,21 +563,29 @@ class _Parser:
             args.append(self.parse_expression())
         self._expect("op", ")")
         self._expect("op", ";")
-        return ast.Display(format=fmt.text, args=args, lineno=token.lineno)
+        return ast.Display(
+            format=fmt.text, args=args, lineno=token.lineno, col=token.col
+        )
 
     def _parse_assignment(self, terminated=True):
-        lineno = self._peek().lineno
+        start = self._peek()
         lhs = self._parse_primary()
         if self._accept("op", "<="):
             rhs = self.parse_expression()
-            stmt = ast.NonblockingAssign(lhs=lhs, rhs=rhs, lineno=lineno)
+            stmt = ast.NonblockingAssign(
+                lhs=lhs, rhs=rhs, lineno=start.lineno, col=start.col
+            )
         elif self._accept("op", "="):
             rhs = self.parse_expression()
-            stmt = ast.BlockingAssign(lhs=lhs, rhs=rhs, lineno=lineno)
+            stmt = ast.BlockingAssign(
+                lhs=lhs, rhs=rhs, lineno=start.lineno, col=start.col
+            )
         else:
             token = self._peek()
-            raise ParseError(
-                "line %d: expected assignment, got %r" % (token.lineno, token.text)
+            self._error(
+                "P0208",
+                "expected assignment, got %r" % token.text,
+                token,
             )
         if terminated:
             self._expect("op", ";")
@@ -484,8 +658,10 @@ class _Parser:
             return self._parse_postfix(expr)
         if self._at("op", "{"):
             return self._parse_concat()
-        raise ParseError(
-            "line %d: unexpected token %r in expression" % (token.lineno, token.text)
+        self._error(
+            "P0203",
+            "unexpected token %r in expression" % token.text,
+            token,
         )
 
     def _parse_concat(self):
@@ -530,32 +706,82 @@ class _Parser:
         return expr
 
 
-def parse(text):
-    """Parse Verilog source *text* into a :class:`repro.hdl.ast_nodes.Source`."""
-    return _Parser(tokenize(text)).parse_source()
+def _raise_from_sink(sink):
+    """Raise :class:`ParseError` for the first collected error."""
+    first = sink.errors()[0]
+    raise ParseError(
+        first.format(), code=first.code, diagnostics=sink.diagnostics
+    )
 
 
-def parse_module(text):
+def _source_lines(text):
+    return text.count("\n") + 1
+
+
+def parse(text, filename="<input>", sink=None):
+    """Parse Verilog source *text* into a :class:`repro.hdl.ast_nodes.Source`.
+
+    With no *sink*, raises :class:`LexerError`/:class:`ParseError` on
+    bad input (after collecting *all* errors via panic-mode recovery;
+    the exception carries them on ``.diagnostics``). With a
+    :class:`~repro.diag.DiagnosticSink`, records every error in the
+    sink and returns the partial AST instead of raising.
+    """
+    strict = sink is None
+    if strict:
+        sink = DiagnosticSink()
+        tokens = tokenize(text, filename=filename)
+    else:
+        tokens = tokenize(text, filename=filename, sink=sink)
+    parser = _Parser(
+        tokens, filename=filename, sink=sink, eof_line=_source_lines(text)
+    )
+    source = parser.parse_source()
+    if strict and sink.has_errors:
+        _raise_from_sink(sink)
+    return source
+
+
+def parse_module(text, filename="<input>"):
     """Parse source containing exactly one module and return it."""
-    source = parse(text)
+    source = parse(text, filename=filename)
     if len(source.modules) != 1:
-        raise ParseError("expected exactly one module, got %d" % len(source.modules))
+        raise ParseError(
+            "expected exactly one module, got %d" % len(source.modules),
+            code="P0209",
+        )
     return source.modules[0]
 
 
-def parse_expression(text):
+def _parse_fragment(text, filename, parse_fn_name):
+    """Shared driver for the standalone expression/statement helpers."""
+    sink = DiagnosticSink()
+    parser = _Parser(
+        tokenize(text, filename=filename, sink=sink),
+        filename=filename,
+        sink=sink,
+        eof_line=_source_lines(text),
+    )
+    try:
+        node = getattr(parser, parse_fn_name)()
+    except _Recover:
+        node = None
+    if sink.has_errors:
+        _raise_from_sink(sink)
+    if not parser._at("eof"):
+        raise ParseError(
+            "trailing input after %s: %r"
+            % (parse_fn_name.replace("parse_", ""), parser._peek().text),
+            code="P0209",
+        )
+    return node
+
+
+def parse_expression(text, filename="<input>"):
     """Parse a standalone expression (used by tools and tests)."""
-    parser = _Parser(tokenize(text))
-    expr = parser.parse_expression()
-    if not parser._at("eof"):
-        raise ParseError("trailing input after expression: %r" % parser._peek().text)
-    return expr
+    return _parse_fragment(text, filename, "parse_expression")
 
 
-def parse_statement(text):
+def parse_statement(text, filename="<input>"):
     """Parse a standalone procedural statement (used by tools and tests)."""
-    parser = _Parser(tokenize(text))
-    stmt = parser.parse_statement()
-    if not parser._at("eof"):
-        raise ParseError("trailing input after statement: %r" % parser._peek().text)
-    return stmt
+    return _parse_fragment(text, filename, "parse_statement")

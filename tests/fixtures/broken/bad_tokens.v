@@ -1,0 +1,16 @@
+// Fixture: lexical garbage plus structural damage; the lexer must
+// report every bad character and the parser must still recover.
+module garbage (
+  input wire clk,
+  output reg q
+);
+  reg ` x;                    // error: bad character (P0101)
+  always @(posedge clk)
+    q <= 1.5;                 // error: real literal (P0102)
+endmodule
+
+module truncated (
+  input wire a,
+  output wire b
+);
+  assign b = a;

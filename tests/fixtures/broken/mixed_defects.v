@@ -1,0 +1,27 @@
+// Fixture: one syntax error plus lint-visible defects in the module
+// that parses — recovery must salvage `fsm` and lint must flag it.
+module syntax_bad (
+  input wire x,
+  output wire y
+);
+  assign y = x &&;            // error: missing operand (P0203)
+endmodule
+
+module fsm (
+  input wire clk,
+  input wire rst,
+  output reg [1:0] state
+);
+  reg [7:0] wide;
+  reg unused_reg;             // lint: never read (L0302)
+  always @(posedge clk) begin
+    if (rst)
+      state = 0;              // lint: blocking in edge-triggered (L0307)
+    else
+      case (state)
+        2'b00: state <= 2'b01;
+        2'b01: state <= 2'b10;
+        2'b10: state <= wide; // lint: truncation (L0305)
+      endcase                 // lint: no default (L0306)
+  end
+endmodule

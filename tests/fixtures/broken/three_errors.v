@@ -1,0 +1,17 @@
+// Fixture: three distinct syntax errors in one file; `repro check`
+// must report all of them in a single run (panic-mode recovery).
+module broken (
+  input wire clk,
+  input wire rst,
+  output reg [3:0] count
+);
+  reg [3:0] next;
+  assign = next;              // error 1: missing lvalue (P0203)
+  always @(posedge clk) begin
+    if (rst)
+      count <= 0;
+    else
+      count <= ;              // error 2: missing rhs (P0203)
+    next <= count + 1
+  end                         // error 3: missing ';' (P0201)
+endmodule

@@ -1,0 +1,444 @@
+"""repro.diag: the diagnostics model, recovering frontend, lint, check."""
+
+import json
+import os
+
+import pytest
+
+from repro.diag import (
+    Diagnostic,
+    DiagnosticSink,
+    RULES,
+    SCHEMA,
+    Severity,
+    SourceSpan,
+    build_check_report,
+    check_targets,
+    check_text,
+    diagnostic_from_exception,
+    error_code,
+    is_registered,
+    lint_source,
+    render_check_report,
+)
+from repro.hdl import parse
+from repro.hdl.elaborate import ElaborationError, elaborate
+from repro.hdl.lexer import LexerError, tokenize
+from repro.hdl.parser import ParseError, parse_expression
+from repro.testbed.metadata import BUG_IDS
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "broken")
+
+
+# ---------------------------------------------------------------------------
+# Model
+# ---------------------------------------------------------------------------
+
+
+class TestModel:
+    def test_severity_order(self):
+        assert Severity.NOTE.rank < Severity.WARNING.rank < Severity.ERROR.rank
+
+    def test_format_convention(self):
+        diagnostic = Diagnostic(
+            Severity.ERROR,
+            "P0201",
+            "expected ';'",
+            SourceSpan("counter.v", 14, 9),
+            hint="add it",
+        )
+        assert diagnostic.format() == (
+            "counter.v:14:9: error[P0201]: expected ';' (hint: add it)"
+        )
+
+    def test_to_dict_omits_empty_hint(self):
+        diagnostic = Diagnostic(Severity.NOTE, "L0001", "skipped")
+        assert "hint" not in diagnostic.to_dict()
+
+    def test_sink_counts_and_sorting(self):
+        sink = DiagnosticSink()
+        sink.warning("L0305", "later", SourceSpan("a.v", 9, 1))
+        sink.error("P0201", "earlier", SourceSpan("a.v", 2, 5))
+        sink.note("L0001", "other file", SourceSpan("b.v", 1, 1))
+        assert sink.counts() == {"error": 1, "warning": 1, "note": 1}
+        assert [d.span.line for d in sink.sorted()] == [2, 9, 1]
+        assert sink.has_errors and sink.error_count == 1
+
+    def test_sink_overflow(self):
+        sink = DiagnosticSink(max_errors=3)
+        for index in range(5):
+            sink.error("P0201", "e%d" % index)
+        assert sink.overflowed
+
+    def test_every_emitted_code_is_registered(self):
+        for code in RULES:
+            assert is_registered(code)
+        assert not is_registered("X9999")
+
+    def test_error_code_prefers_rule_code(self):
+        assert error_code(ParseError("m", code="P0203")) == "P0203"
+        assert error_code(KeyError("x")) == "KeyError"
+
+    def test_diagnostic_from_exception_uses_attached(self):
+        with pytest.raises(ParseError) as info:
+            parse("module m (input wire a); assign = 1; endmodule")
+        diagnostic = diagnostic_from_exception(info.value)
+        assert diagnostic.code == info.value.code
+        assert diagnostic.span.line == 1
+
+
+# ---------------------------------------------------------------------------
+# Recovering lexer/parser
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveringFrontend:
+    def test_lexer_sink_mode_skips_bad_chars(self):
+        sink = DiagnosticSink()
+        tokens = tokenize("wire ` x;", sink=sink)
+        assert [t.text for t in tokens] == ["wire", "x", ";"]
+        assert [d.code for d in sink.diagnostics] == ["P0101"]
+        assert sink.diagnostics[0].span.col == 6
+
+    def test_lexer_tracks_columns(self):
+        tokens = tokenize("module m;\n  wire w;")
+        cols = {t.text: t.col for t in tokens}
+        assert cols["module"] == 1 and cols["m"] == 8
+        assert cols["wire"] == 3 and cols["w"] == 8
+
+    def test_one_run_reports_many_errors(self):
+        sink = DiagnosticSink()
+        source = parse(
+            "module m (input wire clk, output reg [3:0] q);\n"
+            "  assign = 1;\n"
+            "  always @(posedge clk) begin\n"
+            "    q <= ;\n"
+            "    q <= 2;\n"
+            "  end\n"
+            "endmodule\n",
+            sink=sink,
+        )
+        assert sink.error_count >= 2
+        # Recovery salvaged the module and the good statement.
+        assert [m.name for m in source.modules] == ["m"]
+
+    def test_strict_mode_carries_all_diagnostics(self):
+        with pytest.raises(ParseError) as info:
+            parse("module m (input wire a);\n assign = 1;\n assign = 2;\n endmodule")
+        assert len(info.value.diagnostics) >= 2
+        assert all(d.code.startswith("P") for d in info.value.diagnostics)
+
+    def test_recovery_salvages_sibling_module(self):
+        sink = DiagnosticSink()
+        source = parse(
+            "module bad (input wire a);\n  assign = 1;\nendmodule\n"
+            "module good (input wire b, output wire c);\n"
+            "  assign c = b;\nendmodule\n",
+            sink=sink,
+        )
+        names = [m.name for m in source.modules]
+        assert "good" in names and sink.has_errors
+
+    def test_eof_token_carries_last_source_line(self):
+        # Regression: the fabricated EOF token used to claim lineno 0.
+        with pytest.raises(ParseError) as info:
+            parse("module m (\n  input wire a\n);")
+        spans = [d.span for d in info.value.diagnostics]
+        assert spans and all(s.line >= 1 for s in spans)
+        assert spans[-1].line == 3
+
+    def test_eof_line_on_blank_input(self):
+        with pytest.raises(ParseError) as info:
+            parse_expression("// only a comment\n")
+        assert info.value.diagnostics[0].span.line >= 1
+
+    def test_filename_threads_through(self):
+        with pytest.raises(ParseError) as info:
+            parse("module m (input wire a); assign = 1; endmodule",
+                  filename="dut.v")
+        assert str(info.value).startswith("dut.v:1:")
+
+    def test_cascade_terminates(self):
+        # Dense garbage must terminate (overflow note, no infinite loop).
+        sink = DiagnosticSink(max_errors=5)
+        parse("module m (input wire a);\n" + "= ; ] ) (\n" * 40 + "endmodule",
+              sink=sink)
+        assert sink.overflowed
+        assert any(d.code == "P0211" for d in sink.diagnostics)
+
+    def test_elaboration_errors_carry_codes(self):
+        with pytest.raises(ElaborationError) as info:
+            elaborate(
+                parse("module m (input wire [3:0] n); reg [n:0] x; endmodule")
+            )
+        assert info.value.code == "E0201"
+        with pytest.raises(ElaborationError) as info:
+            elaborate(
+                parse(
+                    "module top (input wire x); child c0 (.a(x)); endmodule"
+                ),
+                top="top",
+            )
+        assert info.value.code == "E0202"
+
+
+# ---------------------------------------------------------------------------
+# Lint
+# ---------------------------------------------------------------------------
+
+
+def _lint_codes(text):
+    sink = lint_source(parse(text))
+    return [d.code for d in sink.sorted()]
+
+
+class TestLint:
+    def test_undeclared_signal_is_error(self):
+        sink = lint_source(
+            parse(
+                "module m (input wire a, output wire b);\n"
+                "  assign b = a & ghost;\nendmodule"
+            )
+        )
+        errors = sink.errors()
+        assert [d.code for d in errors] == ["L0301"]
+        assert "ghost" in errors[0].message
+
+    def test_unused_signal(self):
+        assert "L0302" in _lint_codes(
+            "module m (input wire a, output wire b);\n"
+            "  wire dead;\n  assign b = a;\nendmodule"
+        )
+
+    def test_multiply_driven(self):
+        assert "L0303" in _lint_codes(
+            "module m (input wire a, input wire b, output reg q);\n"
+            "  always @(*) q = a;\n  always @(*) q = b;\nendmodule"
+        )
+
+    def test_per_bit_assigns_not_flagged(self):
+        assert "L0303" not in _lint_codes(
+            "module m (input wire a, input wire b, output wire [1:0] q);\n"
+            "  assign q[0] = a;\n  assign q[1] = b;\nendmodule"
+        )
+
+    def test_constant_does_not_fit(self):
+        assert "L0304" in _lint_codes(
+            "module m (input wire clk, output reg [3:0] q);\n"
+            "  always @(posedge clk) q <= 31;\nendmodule"
+        )
+
+    def test_silent_truncation(self):
+        assert "L0305" in _lint_codes(
+            "module m (input wire [7:0] w, output wire [3:0] n);\n"
+            "  assign n = w;\nendmodule"
+        )
+
+    def test_counter_increment_not_flagged(self):
+        # Unsized literals must not inflate to 32 bits (LRM width rules
+        # would flag every counter in the testbed).
+        assert "L0305" not in _lint_codes(
+            "module m (input wire clk, output reg [3:0] q);\n"
+            "  always @(posedge clk) q <= q + 1;\nendmodule"
+        )
+
+    def test_fsm_case_missing_default(self):
+        codes = _lint_codes(
+            "module m (input wire clk, output reg [1:0] s);\n"
+            "  always @(posedge clk)\n"
+            "    case (s)\n"
+            "      2'b00: s <= 2'b01;\n"
+            "      2'b01: s <= 2'b00;\n"
+            "    endcase\nendmodule"
+        )
+        assert "L0306" in codes
+
+    def test_non_fsm_case_not_flagged(self):
+        assert "L0306" not in _lint_codes(
+            "module m (input wire [1:0] sel, output reg q);\n"
+            "  always @(*)\n"
+            "    case (sel)\n"
+            "      2'b00: q = 1'b0;\n"
+            "      2'b01: q = 1'b1;\n"
+            "    endcase\nendmodule"
+        )
+
+    def test_blocking_in_edge_triggered(self):
+        assert "L0307" in _lint_codes(
+            "module m (input wire clk, output reg q);\n"
+            "  always @(posedge clk) q = 1'b1;\nendmodule"
+        )
+
+    def test_loop_variable_exempt_from_blocking_rule(self):
+        assert "L0307" not in _lint_codes(
+            "module m (input wire clk, output reg [3:0] q);\n"
+            "  integer i;\n"
+            "  always @(posedge clk)\n"
+            "    for (i = 0; i < 4; i = i + 1) q[i] <= 1'b0;\nendmodule"
+        )
+
+    def test_unconnected_instance_port(self):
+        codes = _lint_codes(
+            "module child (input wire a, input wire b, output wire y);\n"
+            "  assign y = a & b;\nendmodule\n"
+            "module top (input wire x, output wire z);\n"
+            "  child c0 (.a(x), .y(z));\nendmodule"
+        )
+        assert "L0308" in codes
+
+
+# ---------------------------------------------------------------------------
+# check pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestCheck:
+    def test_all_testbed_bugs_have_no_error_diagnostics(self):
+        # The 20 designs are deliberately buggy but syntactically valid:
+        # their defects surface as warnings, never as errors.
+        for result in check_targets(BUG_IDS, run_tools=False):
+            errors = result.sink.errors()
+            assert not errors, "%s: %s" % (
+                result.target,
+                [d.format() for d in errors],
+            )
+            assert all(m.elaborated for m in result.modules), result.target
+
+    def test_testbed_tool_passes_run(self):
+        (result,) = check_targets(["D2"])
+        assert all(m.tools for m in result.modules)
+
+    @pytest.mark.parametrize(
+        "fixture,codes",
+        [
+            ("three_errors.v", {"P0203", "P0201"}),
+            ("bad_tokens.v", {"P0101", "P0102", "P0210"}),
+            ("mixed_defects.v", {"P0203"}),
+        ],
+    )
+    def test_broken_fixture_reports_many_errors_in_one_run(
+        self, fixture, codes
+    ):
+        result = check_text(
+            open(os.path.join(FIXTURES, fixture)).read(), filename=fixture
+        )
+        errors = result.sink.errors()
+        assert len(errors) >= 3 or fixture == "mixed_defects.v"
+        assert codes <= {d.code for d in result.sink.diagnostics}
+        for diagnostic in errors:
+            assert is_registered(diagnostic.code)
+            assert diagnostic.span.line >= 1
+            assert diagnostic.span.col >= 1
+
+    def test_mixed_fixture_lints_salvaged_module(self):
+        result = check_text(
+            open(os.path.join(FIXTURES, "mixed_defects.v")).read(),
+            filename="mixed_defects.v",
+        )
+        codes = {d.code for d in result.sink.diagnostics}
+        # One parse error plus >=3 lint findings, all in one run.
+        assert {"P0203", "L0302", "L0305", "L0306", "L0307"} <= codes
+        fsm = [m for m in result.modules if m.name == "fsm"]
+        assert fsm and fsm[0].elaborated and fsm[0].tools
+
+    def test_broken_module_skipped_with_note(self):
+        result = check_text(
+            "module top (input wire x, output wire y);\n"
+            "  mystery u0 (.p(x), .q(y));\nendmodule\n"
+            "module standalone (input wire a, output wire b);\n"
+            "  assign b = a;\nendmodule\n"
+        )
+        by_name = {m.name: m for m in result.modules}
+        assert not by_name["top"].elaborated
+        assert by_name["standalone"].elaborated
+        codes = {d.code for d in result.sink.diagnostics}
+        assert "E0202" in codes and "L0001" in codes
+
+    def test_exit_codes(self):
+        clean = check_text(
+            "module m (input wire a, output wire b);"
+            " assign b = a; endmodule"
+        )
+        assert clean.exit_code == 0 and clean.status == "clean"
+        findings = check_text(
+            "module m (input wire a, output wire b);"
+            " wire dead; assign b = a; endmodule"
+        )
+        assert findings.exit_code == 1
+        hopeless = check_text("utter ( garbage")
+        assert hopeless.exit_code == 3
+        assert hopeless.status == "unrecoverable-parse"
+
+    def test_report_schema_and_determinism(self):
+        results = check_targets(["D3"], run_tools=False)
+        report = build_check_report(results)
+        assert report["schema"] == SCHEMA
+        first = render_check_report(report)
+        second = render_check_report(
+            build_check_report(check_targets(["D3"], run_tools=False))
+        )
+        assert first == second
+        parsed = json.loads(first)
+        for entry in parsed["reports"][0]["diagnostics"]:
+            assert set(entry) <= {
+                "severity", "code", "message", "span", "hint"
+            }
+
+    def test_cli_check_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        code = main(
+            ["check", os.path.join(FIXTURES, "three_errors.v"),
+             "--json", "-o", str(out)]
+        )
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == SCHEMA
+        assert payload["reports"][0]["counts"]["error"] >= 3
+
+    def test_cli_check_bug_id(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "D6", "--no-tools"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_obs_counters_wired(self):
+        from repro import obs
+
+        obs.reset()
+        with obs.observed():
+            check_text("module m (input wire a); wire dead; endmodule",
+                       run_tools=False)
+            emitted = obs.counter("diag.emitted").value
+            warnings = obs.counter("diag.warning").value
+        assert emitted >= 1 and warnings >= 1
+
+
+# ---------------------------------------------------------------------------
+# Fuzz lint oracle
+# ---------------------------------------------------------------------------
+
+
+class TestLintOracle:
+    def test_passes_on_valid_design(self):
+        from repro.fuzz.oracles import lint_oracle
+
+        outcome = lint_oracle(
+            "module m (input wire clk, output reg q);\n"
+            "  always @(posedge clk) q <= ~q;\nendmodule"
+        )
+        assert outcome.status == "pass"
+
+    def test_passes_on_broken_design(self):
+        from repro.fuzz.oracles import lint_oracle
+
+        outcome = lint_oracle(
+            open(os.path.join(FIXTURES, "three_errors.v")).read()
+        )
+        assert outcome.status == "pass"
+
+    def test_registered_in_campaign(self):
+        from repro.fuzz.oracles import ORACLE_NAMES, ORACLES
+
+        assert "lint" in ORACLE_NAMES and "lint" in ORACLES

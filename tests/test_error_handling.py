@@ -14,12 +14,18 @@ class TestLexerFailures:
     def test_stray_character(self):
         with pytest.raises(LexerError) as info:
             parse("module m (input wire a); ` endmodule")
-        assert "line 1" in str(info.value)
+        assert "<input>:1:26" in str(info.value)
+        assert info.value.code == "P0101"
 
     def test_line_number_in_error(self):
         with pytest.raises(LexerError) as info:
             parse("module m (\ninput wire a\n);\n`\nendmodule")
-        assert "line 4" in str(info.value)
+        assert "<input>:4:1" in str(info.value)
+
+    def test_filename_in_error(self):
+        with pytest.raises(LexerError) as info:
+            parse("module m (input wire a); ` endmodule", filename="bad.v")
+        assert str(info.value).startswith("bad.v:1:26:")
 
 
 class TestParserFailures:
@@ -38,10 +44,27 @@ class TestParserFailures:
         with pytest.raises(ParseError):
             parse(text)
 
-    def test_error_reports_line(self):
+    def test_error_reports_line_and_column(self):
         with pytest.raises(ParseError) as info:
             parse("module m (\n  input wire a\n);\n  assign = 1;\nendmodule")
-        assert "line 4" in str(info.value)
+        assert "<input>:4:" in str(info.value)
+        assert info.value.diagnostics
+
+    def test_recovery_collects_multiple_errors(self):
+        text = (
+            "module m (input wire clk);\n"
+            "  reg [3:0] a;\n"
+            "  assign = 1;\n"
+            "  always @(posedge clk) begin\n"
+            "    a <= ;\n"
+            "    a <= 2;\n"
+            "  end\n"
+            "endmodule\n"
+        )
+        with pytest.raises(ParseError) as info:
+            parse(text)
+        codes = [d.code for d in info.value.diagnostics]
+        assert len(codes) >= 2
 
 
 class TestElaborationFailures:
