@@ -1,0 +1,127 @@
+"""LossCheck prune=True: instrumentation saved by the payload slice.
+
+``prune=True`` intersects the monitored set with the bit-aware payload
+slice from :mod:`repro.flow.defuse`, dropping registers that only steer
+control (route selectors, thresholds, comparison operands) from the
+shadow-variable instrumentation. Two honest findings:
+
+* On the routed-pipeline fixture — a design with header-programmed
+  routing state on the Source->Sink path — pruning halves the
+  monitored set and the generated LoC while keeping the genuine loss
+  point instrumented.
+* On the paper's testbed specs the default monitored sets are already
+  payload-minimal: the propagation table only relates data sources, so
+  control registers never enter the monitored set in the first place
+  and pruning saves nothing. That zero is itself a precision result
+  worth regressing against — a fatter default would show up here as a
+  sudden nonzero saving.
+"""
+
+import os
+
+from repro.core import LossCheck
+from repro.hdl import elaborate, parse
+from repro.testbed import SPECS, run_losscheck
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "fixtures", "flow",
+    "routed_pipeline.v",
+)
+
+
+def _fixture_design():
+    with open(FIXTURE) as handle:
+        return elaborate(parse(handle.read()), top="routed_pipeline")
+
+
+def _fixture_rows():
+    design = _fixture_design()
+    rows = {}
+    for label, prune in (("default", False), ("prune", True)):
+        lc = LossCheck(design, "in_data", "out_q", prune=prune)
+        rows[label] = {
+            "monitored": len(lc.monitored),
+            "pruned_out": len(lc.pruned_out),
+            "generated_lines": lc.generated_line_count(),
+        }
+    return rows
+
+
+def _testbed_rows():
+    rows = {}
+    for bug_id in sorted(bug for bug, spec in SPECS.items() if spec.losscheck):
+        full = run_losscheck(bug_id)
+        pruned = run_losscheck(bug_id, prune=True)
+        rows[bug_id] = {
+            "monitored": full.monitored_registers,
+            "monitored_pruned": pruned.monitored_registers,
+            "pruned_out": pruned.pruned_registers,
+            "verdict_unchanged": (
+                pruned.result.localized == full.result.localized
+                and pruned.matches_paper == full.matches_paper
+            ),
+        }
+    return rows
+
+
+def _render():
+    fixture = _fixture_rows()
+    testbed = _testbed_rows()
+    lines = [
+        "LossCheck prune=True vs default (payload-slice restriction)",
+        "",
+        "routed_pipeline fixture (in_data -> out_q)",
+        "%-8s %10s %11s %8s"
+        % ("mode", "monitored", "pruned_out", "gen.LoC"),
+    ]
+    for label in ("default", "prune"):
+        row = fixture[label]
+        lines.append(
+            "%-8s %10d %11d %8d"
+            % (label, row["monitored"], row["pruned_out"],
+               row["generated_lines"])
+        )
+    saved = (
+        fixture["default"]["generated_lines"]
+        - fixture["prune"]["generated_lines"]
+    )
+    lines += [
+        "saved: %d generated lines, %d monitored registers"
+        % (saved,
+           fixture["default"]["monitored"] - fixture["prune"]["monitored"]),
+        "",
+        "testbed loss specs (already payload-minimal: savings are zero",
+        "by construction — the propagation table only relates data",
+        "sources, so the default monitored sets equal the payload slice)",
+        "%-5s %10s %14s %11s %9s"
+        % ("bug", "monitored", "with prune", "pruned_out", "verdict"),
+    ]
+    for bug_id, row in testbed.items():
+        lines.append(
+            "%-5s %10d %14d %11d %9s"
+            % (
+                bug_id,
+                row["monitored"],
+                row["monitored_pruned"],
+                row["pruned_out"],
+                "same" if row["verdict_unchanged"] else "CHANGED",
+            )
+        )
+    return "\n".join(lines), fixture, testbed
+
+
+def test_prune_savings(benchmark, emit):
+    text, fixture, testbed = benchmark.pedantic(
+        _render, rounds=1, iterations=1
+    )
+    emit("losscheck_prune.txt", text)
+    # The fixture must show a strict, real saving...
+    assert fixture["prune"]["monitored"] < fixture["default"]["monitored"]
+    assert (
+        fixture["prune"]["generated_lines"]
+        < fixture["default"]["generated_lines"]
+    )
+    # ...while every testbed verdict is untouched and never widened.
+    for bug_id, row in testbed.items():
+        assert row["verdict_unchanged"], bug_id
+        assert row["monitored_pruned"] <= row["monitored"], bug_id

@@ -76,6 +76,10 @@ class AssignmentRecord:
     clock: Optional[str] = None
     lineno: int = 0
     blocking: bool = False
+    #: Index of the always block this assignment lives in (-1 for
+    #: continuous assigns). Lets flow checkers tell same-block
+    #: last-write-wins ordering from cross-block write-write races.
+    block: int = -1
 
     @property
     def data_sources(self):
@@ -146,9 +150,10 @@ def _clock_of(always):
 
 
 class _Collector:
-    def __init__(self, sequential, clock):
+    def __init__(self, sequential, clock, block=-1):
         self.sequential = sequential
         self.clock = clock
+        self.block = block
         self.assignments = []
         self.displays = []
 
@@ -168,6 +173,7 @@ class _Collector:
                         clock=self.clock,
                         lineno=stmt.lineno,
                         blocking=isinstance(stmt, ast.BlockingAssign),
+                        block=self.block,
                     )
                 )
         elif isinstance(stmt, ast.If):
@@ -205,6 +211,7 @@ class _Collector:
 def analyze_module(module):
     """Build the :class:`StaticView` for an elaborated flat module."""
     view = StaticView(module=module)
+    block_index = 0
     for item in module.items:
         if isinstance(item, ast.ContinuousAssign):
             for target in ast.lvalue_base_names(item.lhs):
@@ -220,8 +227,11 @@ def analyze_module(module):
                 )
         elif isinstance(item, ast.Always):
             collector = _Collector(
-                sequential=not item.is_combinational, clock=_clock_of(item)
+                sequential=not item.is_combinational,
+                clock=_clock_of(item),
+                block=block_index,
             )
+            block_index += 1
             collector.visit(item.body, None)
             view.assignments.extend(collector.assignments)
             view.displays.extend(collector.displays)

@@ -30,6 +30,12 @@ class IPFlow:
     #: Template for the propagation condition over port connections.
     #: ``{port}`` placeholders are substituted with connected expressions.
     condition: str = ""
+    #: True when the flow carries the src port's value bits into dst
+    #: (a FIFO data word); False for flows that merely influence dst
+    #: (read/write strobes driving status outputs). The bit-aware
+    #: dataflow slice in :mod:`repro.flow.defuse` follows payload flows
+    #: only.
+    payload: bool = True
 
 
 @dataclass
@@ -49,6 +55,13 @@ class IPAnalysisModel:
     name: str
     flows: list = field(default_factory=list)
     loss_rules: list = field(default_factory=list)
+    #: ``{port: clock port}`` — which of the IP's clocks each data/status
+    #: port belongs to. Dual-clock IPs (dcfifo) are how a design crosses
+    #: domains *legitimately*; the clock-domain inference in
+    #: :mod:`repro.flow.clockdomain` uses this map so signals on the two
+    #: sides land in their respective domains instead of tainting each
+    #: other.
+    port_clocks: dict = field(default_factory=dict)
 
 
 ALTSYNCRAM_MODEL = IPAnalysisModel(
@@ -58,22 +71,28 @@ ALTSYNCRAM_MODEL = IPAnalysisModel(
         IPFlow("data_a", "q_b", latency=2, condition="{wren_a}"),
         IPFlow("data_b", "q_a", latency=2, condition="{wren_b}"),
         IPFlow("data_b", "q_b", latency=2, condition="{wren_b}"),
-        IPFlow("address_a", "q_a", latency=1),
-        IPFlow("address_b", "q_b", latency=1),
+        IPFlow("address_a", "q_a", latency=1, payload=False),
+        IPFlow("address_b", "q_b", latency=1, payload=False),
     ],
+    port_clocks={
+        "data_a": "clock0", "address_a": "clock0", "wren_a": "clock0",
+        "q_a": "clock0",
+        "data_b": "clock1", "address_b": "clock1", "wren_b": "clock1",
+        "q_b": "clock1",
+    },
 )
 
 SCFIFO_MODEL = IPAnalysisModel(
     name="scfifo",
     flows=[
         IPFlow("data", "q", latency=1, condition="{wrreq} && !{full}"),
-        IPFlow("rdreq", "q", latency=1),
-        IPFlow("wrreq", "empty", latency=1),
-        IPFlow("rdreq", "empty", latency=1),
-        IPFlow("wrreq", "full", latency=1),
-        IPFlow("rdreq", "full", latency=1),
-        IPFlow("wrreq", "usedw", latency=1),
-        IPFlow("rdreq", "usedw", latency=1),
+        IPFlow("rdreq", "q", latency=1, payload=False),
+        IPFlow("wrreq", "empty", latency=1, payload=False),
+        IPFlow("rdreq", "empty", latency=1, payload=False),
+        IPFlow("wrreq", "full", latency=1, payload=False),
+        IPFlow("rdreq", "full", latency=1, payload=False),
+        IPFlow("wrreq", "usedw", latency=1, payload=False),
+        IPFlow("rdreq", "usedw", latency=1, payload=False),
     ],
     loss_rules=[
         IPLossRule(
@@ -82,17 +101,21 @@ SCFIFO_MODEL = IPAnalysisModel(
             description="write request while FIFO full drops the data word",
         )
     ],
+    port_clocks={
+        "data": "clock", "wrreq": "clock", "rdreq": "clock", "q": "clock",
+        "empty": "clock", "full": "clock", "usedw": "clock",
+    },
 )
 
 DCFIFO_MODEL = IPAnalysisModel(
     name="dcfifo",
     flows=[
         IPFlow("data", "q", latency=1, condition="{wrreq} && !{wrfull}"),
-        IPFlow("rdreq", "q", latency=1),
-        IPFlow("wrreq", "rdempty", latency=1),
-        IPFlow("rdreq", "rdempty", latency=1),
-        IPFlow("wrreq", "wrfull", latency=1),
-        IPFlow("rdreq", "wrfull", latency=1),
+        IPFlow("rdreq", "q", latency=1, payload=False),
+        IPFlow("wrreq", "rdempty", latency=1, payload=False),
+        IPFlow("rdreq", "rdempty", latency=1, payload=False),
+        IPFlow("wrreq", "wrfull", latency=1, payload=False),
+        IPFlow("rdreq", "wrfull", latency=1, payload=False),
     ],
     loss_rules=[
         IPLossRule(
@@ -101,6 +124,10 @@ DCFIFO_MODEL = IPAnalysisModel(
             description="write request while FIFO full drops the data word",
         )
     ],
+    port_clocks={
+        "data": "wrclk", "wrreq": "wrclk", "wrfull": "wrclk",
+        "rdreq": "rdclk", "q": "rdclk", "rdempty": "rdclk",
+    },
 )
 
 RECORDER_MODEL = IPAnalysisModel(

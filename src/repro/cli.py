@@ -360,10 +360,11 @@ def _cmd_faults(args):
 
 
 def _cmd_check(args):
-    """Recovering frontend + lint over files or testbed bug IDs.
+    """Recovering frontend + lint + flow checks over files or bug IDs.
 
     Exit codes follow the ``repro check`` contract (distinct from the
-    run-one-bug commands): 0 clean, 1 any error/warning finding,
+    run-one-bug commands): 0 no errors (warnings reported but not
+    fatal), 1 any error finding — or any warning under ``--strict`` —
     3 unrecoverable parse (nothing survived recovery).
     """
     from . import obs
@@ -374,11 +375,18 @@ def _cmd_check(args):
         render_check_result,
     )
 
+    select = tuple(code for arg in args.select or () for code in arg.split(","))
+    ignore = tuple(code for arg in args.ignore or () for code in arg.split(","))
     obs.reset()
     with obs.observed():
         try:
             results = check_targets(
-                args.targets, run_tools=not args.no_tools
+                args.targets,
+                run_tools=not args.no_tools,
+                run_flow=not args.no_flow,
+                select=select,
+                ignore=ignore,
+                strict=args.strict,
             )
         except OSError as exc:
             print("error: %s" % exc, file=sys.stderr)
@@ -502,8 +510,8 @@ def build_parser():
     fuzz.add_argument(
         "--oracle",
         action="append",
-        choices=["roundtrip", "differential", "metamorphic", "lint"],
-        help="restrict to one oracle (repeatable; default: all four)",
+        choices=["roundtrip", "differential", "metamorphic", "lint", "flow"],
+        help="restrict to one oracle (repeatable; default: all five)",
     )
     fuzz.add_argument(
         "--output-dir",
@@ -617,6 +625,30 @@ def build_parser():
         "--no-tools",
         action="store_true",
         help="skip the instrumentation passes (parse + lint only)",
+    )
+    check.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip the design-level flow checkers (L04xx rules)",
+    )
+    check.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only report codes matching these comma-separated prefixes "
+        "(e.g. --select L04 keeps just the flow rules; repeatable)",
+    )
+    check.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="drop codes matching these comma-separated prefixes "
+        "(applied after --select; repeatable)",
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings too (default: only errors fail the run)",
     )
     check.add_argument(
         "-v",

@@ -122,9 +122,30 @@ class LossCheck:
         omitted, every Source value is treated as valid.
     ip_models:
         Extra blackbox IP models beyond the default registry.
+    prune:
+        When set, restrict shadow-variable instrumentation to registers
+        on an actual payload-carrying Source→Sink dataflow slice
+        (:func:`repro.flow.payload_slice`) instead of every register on
+        any propagation sequence. Verdict-only registers (comparison
+        results, handshake flags the propagation table conservatively
+        keeps) are skipped, cutting generated LoC and shadow registers.
+        Pruning errs toward reporting: a dropped register's validity is
+        treated as always-true downstream, so kept registers warn at
+        least as often as before. Falls back to the full monitored set
+        when the payload slice misses either endpoint (e.g. the Source
+        is a control signal whose influence on the Sink is all through
+        conditions or indices).
     """
 
-    def __init__(self, design, source, sink, source_valid=None, ip_models=None):
+    def __init__(
+        self,
+        design,
+        source,
+        sink,
+        source_valid=None,
+        ip_models=None,
+        prune=False,
+    ):
         with obs.span("pass:losscheck"):
             self.instrumenter = Instrumenter(design, prefix="lc_")
             self.module = self.instrumenter.module
@@ -140,11 +161,17 @@ class LossCheck:
                     "no propagation path from %r to %r" % (source, sink)
                 )
             self._view = analyze_module(self.instrumenter.original)
+            self.prune = prune
             self.monitored = self._select_monitored()
+            #: Path registers dropped by pruning (empty without prune).
+            self.pruned_out = []
+            if prune:
+                self._apply_prune(ip_models)
             self._valid_regs = {}
             self.filtered = set()
             self._instrument()
         record_pass_metrics("losscheck", self.instrumenter)
+        self._record_prune_metrics()
 
     # -- static selection ---------------------------------------------------
 
@@ -158,6 +185,40 @@ class LossCheck:
             if any(r.sequential for r in records):
                 monitored.append(name)
         return monitored
+
+    def _apply_prune(self, ip_models):
+        """Intersect the monitored set with the payload dataflow slice.
+
+        Conservative in both directions: when the slice is empty or
+        omits the Source/Sink endpoints (the payload tracer gave up on
+        the design), the full propagation-path set is kept unchanged.
+        """
+        from ..flow.defuse import payload_slice
+
+        slice_regs = set(
+            payload_slice(
+                self.instrumenter.original,
+                self.source,
+                self.sink,
+                view=self._view,
+                ip_models=ip_models,
+            )
+        )
+        if self.source not in slice_regs or self.sink not in slice_regs:
+            return
+        kept = [name for name in self.monitored if name in slice_regs]
+        if not kept:
+            return
+        self.pruned_out = [
+            name for name in self.monitored if name not in slice_regs
+        ]
+        self.monitored = kept
+
+    def _record_prune_metrics(self):
+        if not obs.enabled:
+            return
+        obs.gauge("pass.losscheck.monitored").set(len(self.monitored))
+        obs.gauge("pass.losscheck.pruned_out").set(len(self.pruned_out))
 
     def _is_array(self, name):
         decl = self.instrumenter.original.find_declaration(name)

@@ -44,6 +44,7 @@ _LAZY = {
     "render_check_report": "check",
     "render_check_result": "check",
     "CheckResult": "check",
+    "apply_code_filters": "check",
     "lint_source": "lint",
     "lint_module": "lint",
 }
@@ -76,6 +77,7 @@ __all__ = [
     "render_check_report",
     "render_check_result",
     "CheckResult",
+    "apply_code_filters",
     "lint_source",
     "lint_module",
 ]

@@ -13,11 +13,25 @@ diagnostics are sorted by (file, line, col, code, message), module
 entries by name, and JSON is rendered with sorted keys and no
 wall-clock data — CI diffs two fresh runs to enforce this.
 
+On every module that elaborates, the :mod:`repro.flow` checkers run
+too (L0401–L0407): design-level rules — static combinational loops,
+clock-domain crossings, write-write races, read-before-reset,
+unreachable FSM states — that the AST-local lint pass cannot see. For
+a multi-module file each module is also checked standalone, so a
+finding inside a submodule can appear twice: once under its flattened
+name in the parent (``u0.reg``) and once under its local name.
+
 Exit-code contract (mirrors the CLI's stage-specific codes):
 
-* 0 — clean (note-severity diagnostics allowed);
-* 1 — findings (any error- or warning-severity diagnostic);
+* 0 — no error-severity findings (warnings and notes are reported but
+  do not fail the run unless *strict* is set);
+* 1 — findings (any error, or any warning when *strict* is set);
 * 3 — unrecoverable parse (not a single module survived recovery).
+
+``select``/``ignore`` are code-prefix filters (``L04`` matches every
+flow rule) applied to the diagnostics before the exit code and the
+report are computed; unrecoverable-parse detection happens first, so
+filtering cannot turn a hopeless parse into a clean exit.
 """
 
 from __future__ import annotations
@@ -65,28 +79,36 @@ class CheckResult:
     filename: str
     sink: DiagnosticSink
     modules: list = field(default_factory=list)
+    #: Warnings fail the run too (the CLI's ``--strict``).
+    strict: bool = False
+    #: Snapshot of "nothing survived recovery", taken before any
+    #: select/ignore filtering touches the sink.
+    unrecoverable: bool = False
 
     @property
     def parse_failed(self):
         """True when recovery salvaged nothing at all."""
-        return not self.modules and self.sink.has_errors
+        return self.unrecoverable
 
     @property
     def exit_code(self):
         if self.parse_failed:
             return EXIT_UNRECOVERABLE
         counts = self.sink.counts()
-        if counts["error"] or counts["warning"]:
+        if counts["error"] or (self.strict and counts["warning"]):
             return EXIT_FINDINGS
         return EXIT_CLEAN
 
     @property
     def status(self):
-        return {
-            EXIT_CLEAN: "clean",
-            EXIT_FINDINGS: "findings",
-            EXIT_UNRECOVERABLE: "unrecoverable-parse",
-        }[self.exit_code]
+        # Decoupled from the exit code: warnings no longer fail the run,
+        # but a run that reported any is still "findings", not "clean".
+        if self.parse_failed:
+            return "unrecoverable-parse"
+        counts = self.sink.counts()
+        if counts["error"] or counts["warning"]:
+            return "findings"
+        return "clean"
 
 
 def _run_tool_passes(design):
@@ -109,11 +131,54 @@ def _run_tool_passes(design):
     return ran
 
 
-def check_text(text, filename="<input>", target=None, run_tools=True):
+def _code_matches(code, prefixes):
+    return any(code.startswith(prefix) for prefix in prefixes)
+
+
+def apply_code_filters(sink, select=(), ignore=()):
+    """Drop diagnostics not selected (or explicitly ignored) in place.
+
+    *select* keeps only codes matching one of the given prefixes;
+    *ignore* then removes matching codes. Prefix semantics let ``L04``
+    address the whole flow-rule family and ``L0402`` a single rule.
+    """
+    kept = sink.diagnostics
+    if select:
+        kept = [d for d in kept if _code_matches(d.code, select)]
+    if ignore:
+        kept = [d for d in kept if not _code_matches(d.code, ignore)]
+    sink.diagnostics[:] = kept
+
+
+def _run_flow_checks(design, sink, filename, module_name):
+    """Design-level L04xx rules over one elaborated module.
+
+    Any crash in the engine is downgraded to an L0001 note: ``check``
+    must degrade gracefully on designs the dataflow engine cannot
+    digest (the fuzz oracle separately hunts such crashes).
+    """
+    from ..flow import run_flow_checks
+
+    try:
+        run_flow_checks(design, sink=sink, filename=filename)
+    except Exception as exc:  # pragma: no cover - defensive
+        sink.note(
+            "L0001",
+            "module %r skipped by flow checkers (%s: %s)"
+            % (module_name, type(exc).__name__, exc),
+            SourceSpan(file=filename),
+        )
+        return False
+    return True
+
+
+def check_text(text, filename="<input>", target=None, run_tools=True,
+               run_flow=True, select=(), ignore=(), strict=False):
     """Run the full check pipeline over Verilog source *text*."""
     sink = DiagnosticSink()
     result = CheckResult(
-        target=target or filename, filename=filename, sink=sink
+        target=target or filename, filename=filename, sink=sink,
+        strict=strict,
     )
     with obs.span("check", target=result.target):
         source = parse(text, filename=filename, sink=sink)
@@ -135,18 +200,25 @@ def check_text(text, filename="<input>", target=None, run_tools=True):
                 )
                 continue
             report.elaborated = True
+            if run_flow:
+                if _run_flow_checks(design, sink, filename, module.name):
+                    report.tools.append("flow")
             if run_tools:
-                report.tools = _run_tool_passes(design)
+                report.tools.extend(_run_tool_passes(design))
         result.modules.sort(key=lambda m: m.name)
+        result.unrecoverable = not result.modules and sink.has_errors
+        apply_code_filters(sink, select=select, ignore=ignore)
     return result
 
 
-def check_file(path, run_tools=True):
+def check_file(path, run_tools=True, run_flow=True, select=(), ignore=(),
+               strict=False):
     """Check one ``.v`` file on disk."""
     with open(path, "r") as handle:
         text = handle.read()
     return check_text(text, filename=str(path), target=str(path),
-                      run_tools=run_tools)
+                      run_tools=run_tools, run_flow=run_flow,
+                      select=select, ignore=ignore, strict=strict)
 
 
 def _resolve_target(target):
@@ -162,14 +234,16 @@ def _resolve_target(target):
         return handle.read(), str(target), str(target)
 
 
-def check_targets(targets, run_tools=True):
+def check_targets(targets, run_tools=True, run_flow=True, select=(),
+                  ignore=(), strict=False):
     """Check several targets; returns the list of :class:`CheckResult`."""
     results = []
     for target in targets:
         text, filename, label = _resolve_target(target)
         results.append(
             check_text(text, filename=filename, target=label,
-                       run_tools=run_tools)
+                       run_tools=run_tools, run_flow=run_flow,
+                       select=select, ignore=ignore, strict=strict)
         )
     return results
 

@@ -53,6 +53,18 @@ RULES = {
     "L0306": "case statement on an FSM state register has no default arm",
     "L0307": "blocking assignment inside an edge-triggered always block",
     "L0308": "instance leaves declared ports unconnected",
+    # -- flow checkers (L04xx) ----------------------------------------------
+    "L0401": "static combinational loop (will not settle in simulation)",
+    "L0402": "communication hazard: unsynchronized clock-domain crossing, "
+             "data/valid latency skew, or a circular handshake",
+    "L0403": "multi-bit clock-domain crossing without gray coding or a "
+             "synchronized handshake",
+    "L0404": "write-write race: register driven from multiple always "
+             "blocks under overlapping conditions",
+    "L0405": "register mixes blocking and nonblocking sequential drivers",
+    "L0406": "register is read but never reset (uninitialized until its "
+             "write condition first fires)",
+    "L0407": "FSM has states unreachable from its reset/initial states",
     # -- check pipeline notes (L00xx) ---------------------------------------
     "L0001": "module skipped by tool passes (did not elaborate cleanly)",
 }

@@ -1,6 +1,6 @@
 """Correctness oracles: what a fuzz case must satisfy to pass.
 
-Three oracle families, each checking a different layer of the stack:
+Five oracle families, each checking a different layer of the stack:
 
 * **round-trip** — ``parse(codegen(parse(src)))`` must be AST-equal to
   ``parse(src)``: the parser and code generator are inverses over the
@@ -20,6 +20,11 @@ Three oracle families, each checking a different layer of the stack:
   input: no crash, only registered rule codes, sane spans, agreement
   with the strict parser about validity, and a byte-deterministic
   report. Violations are diagnostics bugs.
+* **flow** — the design-level dataflow engine must terminate with a
+  deterministic verdict on any elaborable design: no crash, every
+  fixpoint converges, only registered L04xx codes with sane spans, and
+  two runs render byte-identical findings. Violations are flow-engine
+  bugs.
 
 All oracles take Verilog source text, so reducer output can be re-run
 through the same predicate unchanged. Outcomes are ``pass``, ``fail``
@@ -49,7 +54,7 @@ FAIL = "fail"
 INAPPLICABLE = "inapplicable"
 
 #: Oracle registry: name -> callable(text, top, seed, cycles).
-ORACLE_NAMES = ("roundtrip", "differential", "metamorphic", "lint")
+ORACLE_NAMES = ("roundtrip", "differential", "metamorphic", "lint", "flow")
 
 _RESET_HIGH = frozenset(["rst", "reset"])
 _RESET_LOW = frozenset(["rst_n", "resetn", "rstn", "nreset"])
@@ -371,7 +376,7 @@ def lint_oracle(text, top=None, seed=0, cycles=48):
     from ..hdl.lexer import LexerError
     from ..hdl.parser import ParseError
 
-    result = check_text(text, run_tools=False)
+    result = check_text(text, run_tools=False, run_flow=False)
     for diagnostic in result.sink.diagnostics:
         if not is_registered(diagnostic.code):
             return OracleOutcome(
@@ -416,7 +421,9 @@ def lint_oracle(text, top=None, seed=0, cycles=48):
             "accepts",
         )
     rendered = render_check_report(build_check_report(result))
-    again = render_check_report(build_check_report(check_text(text, run_tools=False)))
+    again = render_check_report(
+        build_check_report(check_text(text, run_tools=False, run_flow=False))
+    )
     if rendered != again:
         return OracleOutcome(
             oracle="lint",
@@ -426,9 +433,78 @@ def lint_oracle(text, top=None, seed=0, cycles=48):
     return OracleOutcome(oracle="lint", status=PASS)
 
 
+def flow_oracle(text, top=None, seed=0, cycles=48):
+    """The dataflow engine must terminate with a deterministic verdict.
+
+    On every design that elaborates, :func:`repro.flow.analyze_flow`
+    must (a) not crash, (b) converge — no fixpoint may hit its
+    iteration cap, (c) emit only registered rule codes with sane spans
+    and non-empty messages, and (d) be byte-deterministic: two runs
+    render identical findings and identical loop sets.
+    """
+    from ..diag import is_registered
+    from ..flow import analyze_flow
+    from ..hdl.lexer import LexerError
+    from ..hdl.parser import ParseError
+
+    try:
+        design = elaborate(parse(text), top=top)
+    except (LexerError, ParseError, ValueError) as exc:
+        return OracleOutcome(
+            oracle="flow",
+            status=INAPPLICABLE,
+            detail="design does not elaborate (%s)" % type(exc).__name__,
+        )
+    try:
+        first = analyze_flow(design, filename="<fuzz>")
+        second = analyze_flow(design, filename="<fuzz>")
+    except Exception as exc:
+        return OracleOutcome(
+            oracle="flow",
+            status=FAIL,
+            detail="flow engine crashed: %s: %s" % (type(exc).__name__, exc),
+        )
+    if not first.converged:
+        return OracleOutcome(
+            oracle="flow",
+            status=FAIL,
+            detail="clock-domain fixpoint hit its iteration cap",
+        )
+    for diagnostic in first.diagnostics:
+        if not is_registered(diagnostic.code):
+            return OracleOutcome(
+                oracle="flow",
+                status=FAIL,
+                detail="unregistered rule code %r" % diagnostic.code,
+            )
+        if diagnostic.span.line < 0 or diagnostic.span.col < 0:
+            return OracleOutcome(
+                oracle="flow",
+                status=FAIL,
+                detail="negative span %s on %s"
+                % (diagnostic.span, diagnostic.code),
+            )
+        if not diagnostic.message:
+            return OracleOutcome(
+                oracle="flow",
+                status=FAIL,
+                detail="empty message on %s" % diagnostic.code,
+            )
+    rendered = "\n".join(d.format() for d in first.diagnostics)
+    again = "\n".join(d.format() for d in second.diagnostics)
+    if rendered != again or first.loops != second.loops:
+        return OracleOutcome(
+            oracle="flow",
+            status=FAIL,
+            detail="flow verdict is not byte-deterministic",
+        )
+    return OracleOutcome(oracle="flow", status=PASS)
+
+
 ORACLES = {
     "roundtrip": roundtrip_oracle,
     "differential": differential_oracle,
     "metamorphic": metamorphic_oracle,
     "lint": lint_oracle,
+    "flow": flow_oracle,
 }

@@ -201,6 +201,8 @@ class LossCheckOutcome:
     expected_false_positives: tuple
     expected_false_negative: bool
     generated_lines: int = 0
+    monitored_registers: int = 0
+    pruned_registers: int = 0
 
     @property
     def localized(self):
@@ -225,8 +227,12 @@ class LossCheckOutcome:
         return set(self.false_positives) == set(self.expected_false_positives)
 
 
-def run_losscheck(bug_id):
-    """Full LossCheck workflow for one loss bug (§6.3)."""
+def run_losscheck(bug_id, prune=False):
+    """Full LossCheck workflow for one loss bug (§6.3).
+
+    *prune* enables the dataflow-slice instrumentation pruning; the
+    localization verdicts must not change, only the overhead.
+    """
     spec = SPECS[bug_id]
     if spec.losscheck is None:
         raise ValueError("%s is not a LossCheck bug" % bug_id)
@@ -237,6 +243,7 @@ def run_losscheck(bug_id):
         source=lc_spec.source,
         sink=lc_spec.sink,
         source_valid=lc_spec.source_valid,
+        prune=prune,
     )
     if lc_spec.uses_filtering and bug_id in GROUND_TRUTH:
         losscheck.calibrate(GROUND_TRUTH[bug_id])
@@ -248,4 +255,6 @@ def run_losscheck(bug_id):
         expected_false_positives=lc_spec.expected_false_positives,
         expected_false_negative=lc_spec.expected_false_negative,
         generated_lines=losscheck.generated_line_count(),
+        monitored_registers=len(losscheck.monitored),
+        pruned_registers=len(losscheck.pruned_out),
     )

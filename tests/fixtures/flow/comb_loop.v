@@ -1,0 +1,19 @@
+// True combinational oscillator (L0401 / simulator agreement fixture).
+//
+// `a = ~b` with `b = a` admits no consistent assignment, so the settle
+// loop can never converge: the simulator raises CombinationalLoopError
+// naming {a, b}. The static checker must report the same signal set
+// from the SCC of the combinational adjacency graph -- before any
+// simulation runs. The clocked consumer keeps the loop live through
+// elaboration.
+module comb_loop (
+    input wire clk,
+    input wire in_bit,
+    output reg out_q
+);
+    wire a;
+    wire b;
+    assign a = ~b;
+    assign b = a;
+    always @(posedge clk) out_q <= a ^ in_bit;
+endmodule

@@ -1,0 +1,29 @@
+// Unsynchronized clock-domain crossings (CDC positive fixture).
+//
+// Two distinct defects the flow CDC checker must flag:
+//   * flag_a (clk_a domain) feeds combinational logic in the clk_b
+//     block directly -- no synchronizer stage -> L0402;
+//   * data_a (8 bits, clk_a domain) is captured whole in the clk_b
+//     domain without gray coding or a handshake; independent bit
+//     settling can tear the value -> L0403.
+module direct_crossing (
+    input wire clk_a,
+    input wire clk_b,
+    input wire [7:0] din,
+    input wire din_en,
+    output reg [7:0] dout,
+    output reg flag_q
+);
+    reg [7:0] data_a;
+    reg flag_a;
+
+    always @(posedge clk_a) begin
+        if (din_en) data_a <= din;
+        flag_a <= din_en;
+    end
+
+    always @(posedge clk_b) begin
+        dout <= data_a;
+        flag_q <= flag_a & ~flag_q;
+    end
+endmodule

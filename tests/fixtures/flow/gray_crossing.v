@@ -1,0 +1,31 @@
+// Gray-coded pointer crossing (CDC negative fixture).
+//
+// The write pointer crosses from wr_clk to rd_clk as a gray code, so
+// at most one bit changes per write and the 2-FF capture can never
+// tear a multi-bit value. The multi-bit CDC rule (L0403) must accept
+// this idiom.
+module gray_crossing (
+    input wire wr_clk,
+    input wire rd_clk,
+    input wire wr_en,
+    output wire [3:0] rd_gray
+);
+    reg [3:0] wr_ptr;
+    reg [3:0] wr_ptr_gray;
+    reg [3:0] gray_sync_0;
+    reg [3:0] gray_sync_1;
+
+    always @(posedge wr_clk) begin
+        if (wr_en) begin
+            wr_ptr <= wr_ptr + 4'd1;
+            wr_ptr_gray <= (wr_ptr + 4'd1) ^ ((wr_ptr + 4'd1) >> 1);
+        end
+    end
+
+    always @(posedge rd_clk) begin
+        gray_sync_0 <= wr_ptr_gray;
+        gray_sync_1 <= gray_sync_0;
+    end
+
+    assign rd_gray = gray_sync_1;
+endmodule

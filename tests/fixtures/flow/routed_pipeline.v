@@ -1,0 +1,81 @@
+// In-band configured routing pipeline (LossCheck prune fixture).
+//
+// The first beat of every frame is a header: its low bits select the
+// transform applied to the following data beats and its high bits set
+// a threshold used by the conditional transform. Because the header is
+// carried on the data bus, the select and threshold registers are
+// data-tainted -- they sit on the Source->Sink propagation path even
+// though every read of them is a verdict (ternary select, comparison).
+// LossCheck's default mode therefore monitors them; prune=True drops
+// them from the monitored set because no payload bit of in_data can
+// reach out_q through them.
+module routed_pipeline (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire out_ready,
+    output reg [7:0] out_q,
+    output reg out_valid
+);
+    reg hdr_seen;
+    reg [1:0] route_sel;   // header[1:0]: transform select (verdict reads only)
+    reg [3:0] threshold;   // header[7:4]: compare bound (verdict reads only)
+    reg [7:0] stage_a;
+    reg stage_vld;
+    reg [7:0] stage_b;
+    reg emit_pending;
+
+    // Header capture: the select/threshold registers are written from
+    // the data bus (payload-typed writes), which is what puts them on
+    // the propagation path.
+    always @(posedge clk) begin
+        if (rst) begin
+            hdr_seen <= 0;
+            route_sel <= 0;
+            threshold <= 0;
+        end else if (in_valid && !hdr_seen) begin
+            route_sel <= in_data[1:0];
+            threshold <= in_data[7:4];
+            hdr_seen <= 1;
+        end
+    end
+
+    // Data staging: payload beats after the header.
+    always @(posedge clk) begin
+        if (rst) begin
+            stage_vld <= 0;
+        end else begin
+            if (in_valid && hdr_seen) stage_a <= in_data;
+            stage_vld <= in_valid && hdr_seen;
+        end
+    end
+
+    // Transform: route_sel and threshold are read only inside the
+    // ternary conditions -- verdict positions, not payload positions.
+    always @(posedge clk) begin
+        if (rst) begin
+            emit_pending <= 0;
+        end else if (stage_vld) begin
+            stage_b <= (route_sel == 2'd1) ? (stage_a << 1)
+                     : (route_sel == 2'd2) ? (stage_a ^ 8'hff)
+                     : (stage_a > {4'h0, threshold}) ? (stage_a - 8'd1)
+                     : stage_a;
+            emit_pending <= 1;
+        end else if (out_ready) begin
+            emit_pending <= 0;
+        end
+    end
+
+    // Output stage: stage_b is only handed off while the consumer is
+    // ready; a beat that arrives while out_ready is low is overwritten
+    // (the genuine loss point the bracketing should keep monitored).
+    always @(posedge clk) begin
+        if (rst) begin
+            out_valid <= 0;
+        end else begin
+            out_valid <= emit_pending && out_ready;
+            if (emit_pending && out_ready) out_q <= stage_b;
+        end
+    end
+endmodule

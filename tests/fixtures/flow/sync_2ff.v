@@ -1,0 +1,31 @@
+// Clean two-flop synchronizer (CDC negative fixture).
+//
+// flag_a is registered in the clk_a domain and crosses into clk_b
+// through a classic 2-FF synchronizer: a width-1 identity capture is
+// the first synchronizer stage, so the flow CDC checker must stay
+// quiet on this design.
+module sync_2ff (
+    input wire clk_a,
+    input wire clk_b,
+    input wire rst_b,
+    input wire din,
+    output reg dout
+);
+    reg flag_a;
+    reg sync_0;
+    reg sync_1;
+
+    always @(posedge clk_a) flag_a <= din;
+
+    always @(posedge clk_b) begin
+        if (rst_b) begin
+            sync_0 <= 0;
+            sync_1 <= 0;
+            dout <= 0;
+        end else begin
+            sync_0 <= flag_a;
+            sync_1 <= sync_0;
+            dout <= sync_1;
+        end
+    end
+endmodule

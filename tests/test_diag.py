@@ -360,14 +360,45 @@ class TestCheck:
             " assign b = a; endmodule"
         )
         assert clean.exit_code == 0 and clean.status == "clean"
-        findings = check_text(
+        warn_source = (
             "module m (input wire a, output wire b);"
             " wire dead; assign b = a; endmodule"
         )
-        assert findings.exit_code == 1
+        # Warnings no longer fail the run by default; --strict restores
+        # the old contract.
+        relaxed = check_text(warn_source)
+        assert relaxed.sink.counts()["warning"] >= 1
+        assert relaxed.exit_code == 0
+        strict = check_text(warn_source, strict=True)
+        assert strict.exit_code == 1
+        errors = check_text(
+            "module m (input wire a, output wire b);"
+            " assign b = a; assign b = ~a; endmodule"
+        )
+        assert errors.sink.counts()["error"] >= 1 or (
+            errors.sink.counts()["warning"] >= 1
+        )
         hopeless = check_text("utter ( garbage")
         assert hopeless.exit_code == 3
         assert hopeless.status == "unrecoverable-parse"
+
+    def test_select_ignore_filters(self):
+        warn_source = (
+            "module m (input wire a, output wire b);"
+            " wire dead; assign b = a; endmodule"
+        )
+        selected = check_text(warn_source, select=("L03",))
+        assert selected.sink.diagnostics
+        assert all(
+            d.code.startswith("L03") for d in selected.sink.diagnostics
+        )
+        ignored = check_text(warn_source, ignore=("L03",))
+        assert not any(
+            d.code.startswith("L03") for d in ignored.sink.diagnostics
+        )
+        # Filtering cannot turn an unrecoverable parse into a clean run.
+        hopeless = check_text("utter ( garbage", select=("L04",))
+        assert hopeless.exit_code == 3
 
     def test_report_schema_and_determinism(self):
         results = check_targets(["D3"], run_tools=False)

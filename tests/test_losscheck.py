@@ -299,3 +299,83 @@ class TestOnFpgaMode:
         lc = LossCheck(lossy(), source="in", sink="out", source_valid="in_valid")
         result = lc.analyze(overwrite_b, mode=Mode.ON_FPGA, buffer_depth=64)
         assert result.localized == ["b"]
+
+
+class TestPruning:
+    """prune=True: payload-slice restriction of the monitored set."""
+
+    def routed(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "fixtures", "flow", "routed_pipeline.v"
+        )
+        with open(path) as handle:
+            return elaborate(parse(handle.read()), top="routed_pipeline")
+
+    def test_prune_drops_verdict_registers(self):
+        design = self.routed()
+        full = LossCheck(design, "in_data", "out_q")
+        pruned = LossCheck(design, "in_data", "out_q", prune=True)
+        assert set(pruned.monitored) < set(full.monitored)
+        assert pruned.generated_line_count() < full.generated_line_count()
+        assert pruned.pruned_out == ["route_sel", "threshold"]
+        # The genuine loss point survives pruning.
+        assert "stage_b" in pruned.monitored
+
+    def test_prune_detects_same_loss(self):
+        design = self.routed()
+
+        def drive(sim):
+            sim["out_ready"] = 0
+            sim["in_valid"] = 1
+            sim["in_data"] = 0x00  # header: route 0, threshold 0
+            sim.step()
+            for value in (0x11, 0x22, 0x33):  # beats pile up un-consumed
+                sim["in_data"] = value
+                sim.step()
+            sim["in_valid"] = 0
+            sim.step(3)
+
+        for prune in (False, True):
+            lc = LossCheck(design, "in_data", "out_q", prune=prune)
+            result = lc.analyze(drive)
+            assert "stage_b" in result.localized, "prune=%s" % prune
+
+    def test_prune_falls_back_for_control_sources(self):
+        # A pointer Source reaches the sink only through index positions
+        # (ring[wr_ptr] <= ...): the payload slice misses the endpoints,
+        # so the pruned run must keep the conservative full set, not go
+        # blind.
+        from repro.testbed import load_design
+
+        design = load_design("D3")
+        full = LossCheck(design, "wr_ptr", "poll_data")
+        pruned = LossCheck(design, "wr_ptr", "poll_data", prune=True)
+        assert pruned.monitored == full.monitored
+        assert pruned.pruned_out == []
+
+    def test_prune_preserves_spec_bug_verdicts(self):
+        from repro.testbed import SPECS, run_losscheck
+
+        for bug_id, spec in sorted(SPECS.items()):
+            if spec.losscheck is None:
+                continue
+            full = run_losscheck(bug_id)
+            pruned = run_losscheck(bug_id, prune=True)
+            assert pruned.result.localized == full.result.localized, bug_id
+            assert pruned.matches_paper == full.matches_paper, bug_id
+            assert (
+                pruned.monitored_registers <= full.monitored_registers
+            ), bug_id
+
+    def test_prune_metrics_gauges(self):
+        from repro import obs
+
+        design = self.routed()
+        obs.reset()
+        with obs.observed():
+            LossCheck(design, "in_data", "out_q", prune=True)
+            monitored = obs.gauge("pass.losscheck.monitored").value
+            pruned_out = obs.gauge("pass.losscheck.pruned_out").value
+        assert monitored == 2 and pruned_out == 2
