@@ -13,15 +13,18 @@ Mirrors the paper artifact's README commands::
     python -m repro fuzz --cases 500     # differential fuzz campaign
     python -m repro faults --seed 1      # fault-injection campaign
     python -m repro check design.v       # recovering parse + lint + passes
+    python -m repro wave D8 out.vcd      # dump a scenario's VCD waveform
+    python -m repro wavediff C4          # golden-vs-buggy trace diff + OSDD
 
 Global flags: ``--version`` prints the package version; ``--quiet``
 suppresses stdout (the exit status still reports success/failure).
 
 Exit codes are distinct per failure stage so scripts and CI can tell
 them apart: 0 success, 1 command-specific failure (e.g. fuzz oracle
-failures), 2 usage/unknown bug, 3 parse, 4 elaborate, 5 simulate,
-6 tool pass, 130 interrupted. ``fuzz``, ``faults``, and ``profile``
-flush their partial reports before exiting on Ctrl-C.
+failures, or ``wavediff`` finding a divergence), 2 usage/unknown bug,
+3 parse, 4 elaborate, 5 simulate, 6 tool pass, 130 interrupted.
+``fuzz``, ``faults``, and ``profile`` flush their partial reports
+before exiting on Ctrl-C.
 """
 
 from __future__ import annotations
@@ -408,23 +411,100 @@ def _cmd_check(args):
 
 
 def _cmd_wave(args):
-    from .sim import Simulator, write_vcd
+    from .sim import Simulator
     from .testbed import load_design
     from .testbed.scenarios import SCENARIOS
+    from .wave import Trace
 
     sim = Simulator(load_design(args.bug_id, fixed=args.fixed), trace="all")
     SCENARIOS[args.bug_id](sim)
-    write_vcd(
-        sim,
+    trace = Trace.from_simulator(sim)
+    if args.signals or args.last is not None:
+        trace = trace.filter(signals=args.signals, last=args.last)
+    trace.save_vcd(
         args.output,
         comment="testbed bug %s (%s)"
         % (args.bug_id, "fixed" if args.fixed else "buggy"),
     )
     print(
-        "wrote %d-cycle waveform for %s to %s"
-        % (sim.cycle, args.bug_id, args.output)
+        "wrote %d-cycle waveform (%d signals) for %s to %s"
+        % (trace.cycles, len(trace.signals), args.bug_id, args.output)
     )
     return 0
+
+
+def _cmd_wavediff(args):
+    import os
+
+    from . import obs
+    from .wave import (
+        FaultSpecError,
+        render_wave_report,
+        render_wave_summary,
+        wavediff_bug,
+        write_wave_report,
+    )
+
+    if args.fixed and not args.fault:
+        print(
+            "error: --fixed without --fault is redundant — the default "
+            "comparison is already fixed (golden) vs buggy (variant)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    obs.reset()
+    with obs.observed():
+        try:
+            outcome = wavediff_bug(
+                args.bug_id,
+                fault=args.fault,
+                fixed=args.fixed,
+                signals=args.signals,
+                last=args.last,
+                max_offset=args.align,
+            )
+        except FaultSpecError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return EXIT_USAGE
+        if args.obs_report:
+            obs.write_report(
+                obs.build_report(
+                    "wavediff:%s" % args.bug_id,
+                    meta={
+                        "bug": args.bug_id,
+                        "mode": outcome.report["mode"],
+                        "osdd": outcome.report["osdd"],
+                    },
+                ),
+                args.obs_report,
+            )
+    if args.json:
+        rendered = render_wave_report(outcome.report)
+        if args.output:
+            write_wave_report(outcome.report, args.output)
+            print("wrote %s" % args.output)
+        else:
+            sys.stdout.write(rendered)
+    else:
+        sys.stdout.write(render_wave_summary(outcome.report))
+        if args.output:
+            write_wave_report(outcome.report, args.output)
+            print("wrote %s" % args.output)
+    if args.vcd_out:
+        os.makedirs(args.vcd_out, exist_ok=True)
+        for role, trace in (
+            ("golden", outcome.golden),
+            ("variant", outcome.variant),
+        ):
+            path = os.path.join(
+                args.vcd_out, "%s_%s.vcd" % (args.bug_id, role)
+            )
+            trace.save_vcd(
+                path, comment="wavediff %s %s (%s)"
+                % (args.bug_id, role, trace.label)
+            )
+            print("wrote %s" % path)
+    return EXIT_FAILURE if outcome.diverged else EXIT_OK
 
 
 def build_parser():
@@ -665,7 +745,88 @@ def build_parser():
     wave.add_argument(
         "--fixed", action="store_true", help="use the fixed design variant"
     )
+    wave.add_argument(
+        "--signals",
+        action="append",
+        metavar="GLOB",
+        help="only dump signals matching this glob, e.g. 'fifo_*' "
+        "(repeatable; default: every scalar signal)",
+    )
+    wave.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only dump the final N cycles (the window a debugger "
+        "looks at first)",
+    )
     wave.set_defaults(func=_cmd_wave)
+    wavediff = sub.add_parser(
+        "wavediff",
+        help="diff a golden vs variant trace of one bug: per-signal "
+        "first divergences plus the OSDD localization metric",
+    )
+    wavediff.add_argument("bug_id", metavar="BUG")
+    wavediff.add_argument(
+        "--fault",
+        metavar="SPEC",
+        default=None,
+        help="inject a fault and diff faulted vs fault-free instead of "
+        "buggy vs fixed; SPEC is "
+        "KIND:TARGET@CYCLE[:bit=N][:index=N][:duration=N], '+'-joined "
+        "for multiple events (e.g. seu_reg:count@12:bit=3)",
+    )
+    wavediff.add_argument(
+        "--fixed",
+        action="store_true",
+        help="with --fault: inject on the fixed design instead of the "
+        "buggy one",
+    )
+    wavediff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the byte-deterministic repro.wave/v1 JSON report",
+    )
+    wavediff.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the repro.wave/v1 report here (with or without --json)",
+    )
+    wavediff.add_argument(
+        "--vcd-out",
+        metavar="DIR",
+        default=None,
+        help="also write <BUG>_golden.vcd and <BUG>_variant.vcd into DIR",
+    )
+    wavediff.add_argument(
+        "--signals",
+        action="append",
+        metavar="GLOB",
+        help="restrict the comparison to signals matching this glob "
+        "(repeatable)",
+    )
+    wavediff.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="restrict the comparison to the final N cycles",
+    )
+    wavediff.add_argument(
+        "--align",
+        type=int,
+        default=0,
+        metavar="MAX",
+        help="search cycle offsets in [-MAX, MAX] to absorb "
+        "pipeline-latency skew (default 0: lockstep)",
+    )
+    wavediff.add_argument(
+        "--obs-report",
+        default=None,
+        help="also write a repro.obs/v1 run report (spans + wave.* gauges)",
+    )
+    wavediff.set_defaults(func=_cmd_wavediff)
     return parser
 
 

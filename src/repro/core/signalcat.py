@@ -133,6 +133,16 @@ class SignalCat:
                 self._start = self._stop = None
         record_pass_metrics("signalcat", self.instrumenter)
 
+    @property
+    def layouts(self):
+        """Recording-word bit layouts, one per instrumented ``$display``.
+
+        Populated in ON_FPGA mode only; :meth:`repro.wave.Trace.from_recorder`
+        uses these to decode captured recorder words back into per-signal
+        traces.
+        """
+        return tuple(self._layouts)
+
     # -- static synthesis (on-FPGA mode) ------------------------------------
 
     def _synthesize(self):

@@ -138,6 +138,28 @@ class FaultCampaignReport:
             )
         return summary
 
+    def osdd_summary(self):
+        """OSDD stats over effectful cases where both surfaces diverged.
+
+        A case contributes when its traced architectural run produced an
+        output *and* a state divergence (``osdd`` non-null); the summary
+        says how many cycles of slack a debugger typically has between
+        the first wrong register and the first wrong output.
+        """
+        values = sorted(
+            record["osdd"]
+            for record in self.records
+            if record["status"] == OK and record.get("osdd") is not None
+        )
+        if not values:
+            return {"cases": 0, "mean": None, "min": None, "max": None}
+        return {
+            "cases": len(values),
+            "mean": round(sum(values) / len(values), 2),
+            "min": values[0],
+            "max": values[-1],
+        }
+
     def losscheck_loss_designs(self):
         """Bugs where LossCheck caught an injected data-loss fault."""
         designs = set()
@@ -168,6 +190,7 @@ class FaultCampaignReport:
             "interrupted": self.interrupted,
             "taxonomy": self.taxonomy_counts(),
             "tools": self.tool_summary(),
+            "osdd": self.osdd_summary(),
             "losscheck_loss_designs": self.losscheck_loss_designs(),
             "records": sorted(
                 self.records, key=lambda record: record["case"]
@@ -187,6 +210,7 @@ class FaultCampaignReport:
                 tool: counts["detection_rate"]
                 for tool, counts in self.tool_summary().items()
             },
+            "osdd": self.osdd_summary(),
             "losscheck_loss_designs": self.losscheck_loss_designs(),
             "elapsed_seconds": round(self.elapsed, 3),
         }

@@ -21,6 +21,13 @@ Per-tool outcomes for one fault:
                    it as helpful for this bug* — the damning case
 ``sensitive``      architecturally masked fault, tool still diverged
 ``masked``         masked fault, tool silent (correct silence)
+
+Beyond the per-tool verdicts, the architectural run is traced (output
+ports plus state registers) and the golden/faulted traces go through
+the shared :mod:`repro.wave` aligner, so every scored case carries a
+structured first divergence and an OSDD (earliest output divergence
+minus earliest state divergence) — the same metric ``python -m repro
+wavediff`` reports.
 """
 
 from __future__ import annotations
@@ -38,6 +45,8 @@ from ..testbed.debug_configs import CONFIGS, DebugConfig
 from ..testbed.harness import load_design
 from ..testbed.metadata import SPECS, Tool
 from ..testbed.scenarios import GROUND_TRUTH, SCENARIOS
+from ..wave.align import diff_traces
+from ..wave.trace import Trace, classify_signals
 from .injector import FaultInjector
 from .models import DATA_LOSS_KINDS
 
@@ -86,6 +95,12 @@ class CaseScore:
     #: Number of schedule events actually realized before the run ended.
     applied: int
     verdicts: dict = field(default_factory=dict)
+    #: Output/state divergence delta from the traced architectural run
+    #: (None when either surface never diverged).
+    osdd: object = None
+    #: First golden-vs-faulted signal divergence as a plain dict
+    #: (``{"cycle", "signal", "golden", "faulted"}``), or None.
+    divergence: object = None
 
     def classification(self, tool):
         """The per-tool outcome label (None when the tool wasn't run)."""
@@ -122,6 +137,8 @@ class CaseScore:
                 }
                 for tool, verdict in sorted(self.verdicts.items())
             },
+            "osdd": self.osdd,
+            "divergence": self.divergence,
         }
 
 
@@ -147,6 +164,14 @@ class DetectionScorer:
             self.tools = {}
             self.tool_errors = {}
             self._build_tools()
+        # The architectural run traces the OSDD surface: output ports
+        # plus state registers (memories stay untraced — scalar traces
+        # only).
+        kinds = classify_signals(self.design.top)
+        self._signal_kinds = kinds
+        self._trace_signals = sorted(
+            name for name, kind in kinds.items() if kind in ("output", "state")
+        )
         self._golden = None
 
     @property
@@ -197,12 +222,12 @@ class DetectionScorer:
             self._golden = self._execute(None)
         return self._golden
 
-    def _run_design(self, module_or_design, schedule):
+    def _run_design(self, module_or_design, schedule, trace=None):
         """One scenario execution, optionally faulted.
 
         Returns ``(sim, observation, applied)``.
         """
-        sim = Simulator(module_or_design)
+        sim = Simulator(module_or_design, trace=trace)
         injector = None
         if schedule is not None:
             injector = FaultInjector(sim, schedule)
@@ -220,8 +245,16 @@ class DetectionScorer:
         as detection-by-crash.
         """
         readings = {}
-        sim, observation, applied = self._run_design(self.design, schedule)
+        sim, observation, applied = self._run_design(
+            self.design, schedule, trace=self._trace_signals
+        )
         readings["__arch__"] = self._observe_architecture(sim, observation)
+        readings["__trace__"] = Trace.from_waveform(
+            sim.waveform,
+            {name: sim.symbols.width_of(name) for name in sim.waveform},
+            kinds=self._signal_kinds,
+            label="%s:%s" % (self.bug_id, "faulted" if schedule else "golden"),
+        )
         readings["signalcat"] = tuple(
             (e.cycle, e.label, e.text) for e in sim.display_events
         )
@@ -316,17 +349,32 @@ class DetectionScorer:
                 faulted=faulted_digest,
                 error=error,
             )
+        # Shared-aligner reading of the traced architectural run: the
+        # structured first divergence and the OSDD localization metric.
+        diff = diff_traces(golden["__trace__"], faulted["__trace__"])
+        divergence = None
+        if diff.first is not None:
+            divergence = {
+                "cycle": diff.first.cycle,
+                "signal": diff.first.signal,
+                "golden": diff.first.golden,
+                "faulted": diff.first.variant,
+            }
         if obs.enabled:
             obs.counter("faults.scored_cases").inc()
             for tool, verdict in verdicts.items():
                 if verdict.detected:
                     obs.counter("faults.detected.%s" % tool).inc()
+            if diff.osdd is not None:
+                obs.gauge("wave.osdd").set(diff.osdd)
         return CaseScore(
             bug_id=self.bug_id,
             schedule=schedule,
             effect=effect,
             applied=applied,
             verdicts=verdicts,
+            osdd=diff.osdd,
+            divergence=divergence,
         )
 
 

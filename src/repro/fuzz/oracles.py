@@ -128,19 +128,18 @@ def simulate_trace(design, stimulus, clock, signals=None, **sim_kwargs):
 
 
 def _first_trace_divergence(trace_a, trace_b, label_a, label_b):
-    """Readable first mismatch between two traces, or None."""
-    for cycle, (snap_a, snap_b) in enumerate(zip(trace_a, trace_b)):
-        names = sorted(set(snap_a) & set(snap_b))
-        for name in names:
-            if snap_a[name] != snap_b[name]:
-                return "cycle %d signal %s: %s=%r %s=%r" % (
-                    cycle, name, label_a, snap_a[name], label_b, snap_b[name]
-                )
-    if len(trace_a) != len(trace_b):
-        return "trace length %s=%d %s=%d" % (
-            label_a, len(trace_a), label_b, len(trace_b)
-        )
-    return None
+    """Readable first mismatch between two traces, or None.
+
+    Thin wrapper over the shared :mod:`repro.wave` aligner — the same
+    primitive the fault scorer uses — preserving the historical detail
+    string format (fuzz failure bucketing keys on it).
+    """
+    from ..wave.align import first_snapshot_divergence
+
+    divergence = first_snapshot_divergence(trace_a, trace_b)
+    if divergence is None:
+        return None
+    return divergence.describe(label_a, label_b)
 
 
 def _display_log(sim, unlabeled_only=False):

@@ -21,7 +21,7 @@ from .simulator import (
 )
 from .testbench import Testbench
 from .values import EvaluationError, Evaluator, SymbolTable, mask
-from .vcd import dump_vcd, write_vcd
+from .vcd import dump_vcd, parse_vcd, write_vcd
 
 __all__ = [
     "Simulator",
@@ -35,5 +35,6 @@ __all__ = [
     "EvaluationError",
     "mask",
     "dump_vcd",
+    "parse_vcd",
     "write_vcd",
 ]

@@ -1,86 +1,14 @@
-"""VCD (value-change-dump) waveform export.
+"""Back-compat shim: the VCD writer moved to :mod:`repro.wave.vcd`.
 
-The paper motivates its tools against "inspecting a massive waveform";
-this writer produces that baseline artifact from a simulator's trace so
-the two debugging experiences can be compared side by side (and so
-traces can be opened in GTKWave & co.).
-
-Usage::
-
-    sim = Simulator(design, trace="all")
-    ... drive ...
-    write_vcd(sim, "trace.vcd")
+``repro.sim`` predates the waveform subsystem; existing callers import
+:func:`write_vcd`/:func:`dump_vcd` from here (or from ``repro.sim``
+directly). The implementations now live in :mod:`repro.wave.vcd` —
+with ``$dumpvars`` initial values, reserved-character escaping,
+x/unknown support, and a :func:`~repro.wave.vcd.parse_vcd` inverse.
 """
 
 from __future__ import annotations
 
-import string
+from ..wave.vcd import dump_vcd, parse_vcd, write_vcd
 
-_ID_CHARS = string.ascii_letters + string.digits + "!#$%&'()*+,-./:;<=>?@[]^_`{|}~"
-
-
-def _identifiers():
-    """Yield unique short VCD identifier codes."""
-    for char in _ID_CHARS:
-        yield char
-    for first in _ID_CHARS:
-        for second in _ID_CHARS:
-            yield first + second
-
-
-def _format_value(value, width):
-    if width == 1:
-        return None, str(value & 1)
-    return "b", bin(value)[2:]
-
-
-def dump_vcd(waveform, widths, timescale="1ns", comment=""):
-    """Render a waveform dict ({signal: [values by cycle]}) as VCD text."""
-    lines = ["$date", "  repro reproduction run", "$end"]
-    if comment:
-        lines += ["$comment", "  " + comment, "$end"]
-    lines += ["$timescale %s $end" % timescale, "$scope module top $end"]
-    codes = {}
-    id_gen = _identifiers()
-    for name in sorted(waveform):
-        code = next(id_gen)
-        codes[name] = code
-        lines.append(
-            "$var wire %d %s %s $end" % (widths.get(name, 1), code, name)
-        )
-    lines += ["$upscope $end", "$enddefinitions $end"]
-    cycles = max((len(v) for v in waveform.values()), default=0)
-    previous = {}
-    for cycle in range(cycles):
-        changes = []
-        for name, values in waveform.items():
-            if cycle >= len(values):
-                continue
-            value = values[cycle]
-            if previous.get(name) == value:
-                continue
-            previous[name] = value
-            prefix, text = _format_value(value, widths.get(name, 1))
-            if prefix:
-                changes.append("%s%s %s" % (prefix, text, codes[name]))
-            else:
-                changes.append("%s%s" % (text, codes[name]))
-        if changes or cycle == 0:
-            lines.append("#%d" % cycle)
-            lines.extend(changes)
-    lines.append("#%d" % cycles)
-    return "\n".join(lines) + "\n"
-
-
-def write_vcd(sim, path, comment=""):
-    """Write a simulator's captured trace (``trace=...``) to *path*."""
-    if not sim.waveform:
-        raise ValueError(
-            "simulator has no trace; construct it with trace='all' or a "
-            "signal list"
-        )
-    widths = {name: sim.symbols.width_of(name) for name in sim.waveform}
-    text = dump_vcd(sim.waveform, widths, comment=comment)
-    with open(path, "w") as handle:
-        handle.write(text)
-    return path
+__all__ = ["dump_vcd", "parse_vcd", "write_vcd"]

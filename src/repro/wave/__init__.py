@@ -1,0 +1,74 @@
+"""``repro.wave`` — waveform observability: capture, VCD, trace diff.
+
+The dynamic complement to the static L04xx checkers. The paper's
+debugging loop is "observe a divergence, localize it in time and
+space"; this subsystem makes that loop concrete:
+
+* :class:`~repro.wave.trace.Trace` — per-signal value sequences with
+  widths, design-role kinds, and clock-domain tags, captured from live
+  simulator runs, checkpointed what-if replays, or decoded recorder IP
+  buffers — all exportable to standard VCD;
+* :func:`~repro.wave.align.diff_traces` — golden-vs-variant alignment
+  (optional cycle-offset search for pipeline-latency skew), per-signal
+  first-divergence tables, and the rtl-repair-style OSDD metric
+  (earliest output divergence minus earliest state divergence);
+* :func:`~repro.wave.capture.wavediff_bug` — the push-button workflow
+  behind ``python -m repro wavediff``, emitting byte-deterministic
+  ``repro.wave/v1`` reports.
+
+Exports resolve lazily (PEP 562) so that ``repro.sim``'s back-compat
+VCD shim can import :mod:`repro.wave.vcd` without dragging in the
+simulator/testbed layers this package builds on.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "dump_vcd": ".vcd",
+    "parse_vcd": ".vcd",
+    "write_vcd": ".vcd",
+    "escape_id": ".vcd",
+    "unescape_id": ".vcd",
+    "SignalTrace": ".trace",
+    "Trace": ".trace",
+    "classify_signals": ".trace",
+    "signal_domains": ".trace",
+    "Divergence": ".align",
+    "SignalDiff": ".align",
+    "TraceDiff": ".align",
+    "align_offset": ".align",
+    "diff_traces": ".align",
+    "SnapshotDivergence": ".align",
+    "first_snapshot_divergence": ".align",
+    "SCHEMA": ".report",
+    "build_wave_report": ".report",
+    "render_wave_report": ".report",
+    "render_wave_summary": ".report",
+    "write_wave_report": ".report",
+    "FaultSpecError": ".capture",
+    "WaveDiffOutcome": ".capture",
+    "capture_scenario": ".capture",
+    "capture_what_if": ".capture",
+    "parse_fault_spec": ".capture",
+    "wavediff_bug": ".capture",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        )
+    import importlib
+
+    module = importlib.import_module(module_name, __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

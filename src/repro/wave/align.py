@@ -1,0 +1,278 @@
+"""Trace alignment and divergence analysis (the ``wavediff`` engine).
+
+:func:`diff_traces` compares a **golden** trace against a **variant**
+(buggy, faulted, or mutated) execution of the same design:
+
+* optional cycle-offset alignment absorbs pipeline-latency skew — the
+  offset minimizing total mismatches over the common signals wins, ties
+  broken toward zero;
+* every common signal gets a first-divergence cycle and a
+  divergence-cycle count (``None`` values are unknown and never count
+  as divergence);
+* the rtl-repair-style **OSDD** (output/state divergence delta) is the
+  earliest *output*-signal divergence minus the earliest *state*
+  (register) divergence: a positive delta says which register went
+  wrong how many cycles before the module interface did — the
+  localization step of the paper's observe-a-divergence loop.
+
+:func:`first_snapshot_divergence` is the shared primitive behind the
+fuzz oracles' and the fault scorer's golden-vs-variant readings — one
+aligner, three consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Divergence:
+    """The first golden-vs-variant mismatch of one comparison."""
+
+    cycle: int
+    signal: str
+    golden: object
+    variant: object
+
+
+@dataclass
+class SignalDiff:
+    """Divergence summary for one compared signal."""
+
+    name: str
+    width: int
+    kind: str
+    domains: tuple
+    #: Golden-side cycle of the first mismatch (None: never diverged).
+    first_divergence: object
+    #: Number of compared cycles where the values differed.
+    divergent_cycles: int
+    #: Cycles where both sides had known values.
+    compared_cycles: int
+    #: Cycles skipped because either side was x/unknown.
+    unknown_cycles: int
+    #: Values at the first divergence (None when never diverged).
+    golden_value: object = None
+    variant_value: object = None
+
+
+@dataclass
+class TraceDiff:
+    """Full golden-vs-variant comparison result."""
+
+    #: Applied variant cycle offset (variant cycle = golden cycle + offset).
+    offset: int
+    signals: list = field(default_factory=list)
+    signals_compared: int = 0
+    divergent_signals: int = 0
+    cycles_compared: int = 0
+    #: First divergence over non-input signals (inputs are testbench
+    #: stimulus, not design behavior), or None.
+    first: object = None
+    #: ``(cycle, signal)`` of the earliest output/state divergence.
+    output_divergence: object = None
+    state_divergence: object = None
+    #: OSDD: output cycle minus state cycle (None unless both diverged).
+    osdd: object = None
+
+    @property
+    def diverged(self):
+        return self.divergent_signals > 0
+
+    def divergent(self):
+        """Divergent per-signal diffs, earliest (then by name) first."""
+        return sorted(
+            (d for d in self.signals if d.first_divergence is not None),
+            key=lambda d: (d.first_divergence, d.name),
+        )
+
+
+def _window(golden_sig, variant_sig, offset):
+    """Compared golden-cycle range for one signal pair at *offset*."""
+    lo = max(0, -offset)
+    hi = min(len(golden_sig.values), len(variant_sig.values) - offset)
+    return lo, max(lo, hi)
+
+
+def _mismatches(golden, variant, names, offset):
+    """Total mismatching (signal, cycle) pairs at *offset*."""
+    count = 0
+    for name in names:
+        sig_g = golden.signals[name]
+        sig_v = variant.signals[name]
+        lo, hi = _window(sig_g, sig_v, offset)
+        for cycle in range(lo, hi):
+            value_g = sig_g.values[cycle]
+            value_v = sig_v.values[cycle + offset]
+            if value_g is None or value_v is None:
+                continue
+            if value_g != value_v:
+                count += 1
+    return count
+
+
+def align_offset(golden, variant, max_offset, names=None):
+    """The variant cycle offset in ``[-max_offset, max_offset]`` that
+    minimizes total mismatches (ties broken toward zero, then negative).
+    """
+    if names is None:
+        names = sorted(set(golden.signals) & set(variant.signals))
+    best_offset = 0
+    best_score = None
+    for offset in sorted(
+        range(-max_offset, max_offset + 1), key=lambda o: (abs(o), o)
+    ):
+        score = _mismatches(golden, variant, names, offset)
+        if best_score is None or score < best_score:
+            best_score = score
+            best_offset = offset
+        if best_score == 0:
+            break
+    return best_offset
+
+
+def diff_traces(golden, variant, max_offset=0):
+    """Compare two traces; returns a :class:`TraceDiff`.
+
+    Only signals present in both traces are compared. *max_offset*
+    enables cycle-offset alignment (0: compare in lockstep).
+    """
+    names = sorted(set(golden.signals) & set(variant.signals))
+    offset = (
+        align_offset(golden, variant, max_offset, names=names)
+        if max_offset
+        else 0
+    )
+    diffs = []
+    first = None
+    output_div = None
+    state_div = None
+    cycles_compared = 0
+    for name in names:
+        sig_g = golden.signals[name]
+        sig_v = variant.signals[name]
+        kind = sig_v.kind if sig_v.kind != "internal" else sig_g.kind
+        domains = sig_v.domains or sig_g.domains
+        lo, hi = _window(sig_g, sig_v, offset)
+        cycles_compared = max(cycles_compared, hi - lo)
+        compared = unknown = divergent = 0
+        first_cycle = None
+        value_g_at = value_v_at = None
+        for cycle in range(lo, hi):
+            value_g = sig_g.values[cycle]
+            value_v = sig_v.values[cycle + offset]
+            if value_g is None or value_v is None:
+                unknown += 1
+                continue
+            compared += 1
+            if value_g != value_v:
+                divergent += 1
+                if first_cycle is None:
+                    first_cycle = cycle
+                    value_g_at, value_v_at = value_g, value_v
+        diff = SignalDiff(
+            name=name,
+            width=max(sig_g.width, sig_v.width),
+            kind=kind,
+            domains=tuple(domains),
+            first_divergence=first_cycle,
+            divergent_cycles=divergent,
+            compared_cycles=compared,
+            unknown_cycles=unknown,
+            golden_value=value_g_at,
+            variant_value=value_v_at,
+        )
+        diffs.append(diff)
+        if first_cycle is None:
+            continue
+        if kind != "input" and (
+            first is None
+            or (first_cycle, name) < (first.cycle, first.signal)
+        ):
+            first = Divergence(
+                cycle=first_cycle,
+                signal=name,
+                golden=value_g_at,
+                variant=value_v_at,
+            )
+        if kind == "output" and (
+            output_div is None or (first_cycle, name) < output_div
+        ):
+            output_div = (first_cycle, name)
+        if kind == "state" and (
+            state_div is None or (first_cycle, name) < state_div
+        ):
+            state_div = (first_cycle, name)
+    osdd = None
+    if output_div is not None and state_div is not None:
+        osdd = output_div[0] - state_div[0]
+    return TraceDiff(
+        offset=offset,
+        signals=diffs,
+        signals_compared=len(diffs),
+        divergent_signals=sum(
+            1 for d in diffs if d.first_divergence is not None
+        ),
+        cycles_compared=cycles_compared,
+        first=first,
+        output_divergence=output_div,
+        state_divergence=state_div,
+        osdd=osdd,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Snapshot-trace divergence (the fuzz-oracle / fault-scorer primitive)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SnapshotDivergence:
+    """First mismatch between two per-cycle snapshot lists.
+
+    Either a value mismatch (``cycle``/``signal`` set) or a pure length
+    mismatch (both None).
+    """
+
+    cycle: object = None
+    signal: object = None
+    value_a: object = None
+    value_b: object = None
+    length_a: int = 0
+    length_b: int = 0
+
+    def describe(self, label_a, label_b):
+        """The legacy human-readable divergence string."""
+        if self.signal is not None:
+            return "cycle %d signal %s: %s=%r %s=%r" % (
+                self.cycle, self.signal,
+                label_a, self.value_a, label_b, self.value_b,
+            )
+        return "trace length %s=%d %s=%d" % (
+            label_a, self.length_a, label_b, self.length_b
+        )
+
+
+def first_snapshot_divergence(trace_a, trace_b):
+    """First mismatch between two ``[{signal: value}]`` snapshot traces.
+
+    Compares the intersection of signals cycle by cycle (memory values
+    included — snapshots carry copied lists), then trace lengths.
+    Returns a :class:`SnapshotDivergence` or None when equivalent.
+    """
+    for cycle, (snap_a, snap_b) in enumerate(zip(trace_a, trace_b)):
+        for name in sorted(set(snap_a) & set(snap_b)):
+            if snap_a[name] != snap_b[name]:
+                return SnapshotDivergence(
+                    cycle=cycle,
+                    signal=name,
+                    value_a=snap_a[name],
+                    value_b=snap_b[name],
+                    length_a=len(trace_a),
+                    length_b=len(trace_b),
+                )
+    if len(trace_a) != len(trace_b):
+        return SnapshotDivergence(
+            length_a=len(trace_a), length_b=len(trace_b)
+        )
+    return None

@@ -1,0 +1,211 @@
+"""Trace capture orchestration and the ``wavediff`` workflow.
+
+This is the subsystem's glue layer: run a testbed scenario with full
+tracing, optionally under an injected fault schedule, and hand matched
+golden/variant traces to the aligner. Three comparison modes back the
+``python -m repro wavediff`` CLI:
+
+* default — the fixed design (golden) against the buggy design
+  (variant): where does the shipped bug first show?
+* ``--fault SPEC`` — the same design with and without an injected
+  fault: what would this SEU/stuck-at do, and with what OSDD?
+* ``--fault SPEC --fixed`` — fault injection on the fixed design
+  instead of the buggy one.
+
+Fault specs use a compact grammar, one event per ``+``-joined term::
+
+    KIND:TARGET@CYCLE[:bit=N][:index=N][:duration=N]
+
+e.g. ``seu_reg:count@12:bit=3`` or
+``stuck0:valid@5:duration=4+glitch:ready@9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import obs
+from .align import diff_traces
+from .report import build_wave_report
+from .trace import Trace
+
+
+class FaultSpecError(ValueError):
+    """Raised for an unparsable ``--fault`` specification."""
+
+
+def parse_fault_spec(text):
+    """Parse a CLI fault spec into a :class:`~repro.faults.models.FaultSchedule`."""
+    from ..faults.models import KINDS, FaultEvent, FaultSchedule
+
+    events = []
+    for term in text.split("+"):
+        term = term.strip()
+        if not term:
+            raise FaultSpecError("empty fault event in %r" % text)
+        head, sep, tail = term.partition("@")
+        if not sep:
+            raise FaultSpecError(
+                "fault event %r has no @CYCLE (expected "
+                "KIND:TARGET@CYCLE[:bit=N][:index=N][:duration=N])" % term
+            )
+        kind, sep, target = head.partition(":")
+        if not sep or not target:
+            raise FaultSpecError(
+                "fault event %r has no KIND:TARGET before the @" % term
+            )
+        if kind not in KINDS:
+            raise FaultSpecError(
+                "unknown fault kind %r (known: %s)" % (kind, ", ".join(KINDS))
+            )
+        fields = tail.split(":")
+        try:
+            cycle = int(fields[0])
+        except ValueError:
+            raise FaultSpecError(
+                "fault event %r has a non-integer cycle %r" % (term, fields[0])
+            )
+        options = {"bit": 0, "index": 0, "duration": 0}
+        for option in fields[1:]:
+            key, sep, value = option.partition("=")
+            if not sep or key not in options:
+                raise FaultSpecError(
+                    "bad fault option %r in %r (expected bit=N, index=N, "
+                    "or duration=N)" % (option, term)
+                )
+            try:
+                options[key] = int(value)
+            except ValueError:
+                raise FaultSpecError(
+                    "fault option %r in %r is not an integer" % (option, term)
+                )
+        events.append(
+            FaultEvent(cycle=cycle, kind=kind, target=target, **options)
+        )
+    return FaultSchedule(events=events, label=text)
+
+
+def capture_scenario(bug_id, fixed=False, schedule=None, label=""):
+    """Run *bug_id*'s scenario with full tracing; returns ``(trace, obs)``.
+
+    With *schedule*, a :class:`~repro.faults.injector.FaultInjector`
+    rides along and realizes the fault events at their exact cycles.
+    """
+    from ..sim import Simulator
+    from ..testbed.harness import load_design
+    from ..testbed.scenarios import SCENARIOS
+
+    design = load_design(bug_id, fixed=fixed)
+    sim = Simulator(design, trace="all")
+    injector = None
+    if schedule is not None:
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(sim, schedule)
+    try:
+        observation = SCENARIOS[bug_id](sim)
+    finally:
+        if injector is not None:
+            injector.detach()
+    if not label:
+        label = "%s:%s" % (bug_id, "fixed" if fixed else "buggy")
+        if schedule is not None:
+            label += "+fault"
+    return Trace.from_simulator(sim, label=label), observation
+
+
+def capture_what_if(sim, schedule, run, label="what-if"):
+    """Checkpointed what-if replay that keeps the faulted trace.
+
+    Like :func:`repro.faults.injector.what_if`, but captures the
+    variant's :class:`Trace` *before* rolling the simulator back to the
+    golden timeline. The simulator must have been constructed with
+    tracing enabled. Returns ``(trace, value)`` where *value* is
+    ``run(sim)``'s return.
+    """
+    from ..faults.injector import FaultInjector
+
+    snapshot = sim.checkpoint()
+    injector = FaultInjector(sim, schedule)
+    try:
+        value = run(sim)
+        trace = Trace.from_simulator(sim, label=label)
+    finally:
+        injector.detach()
+        sim.restore(snapshot)
+    return trace, value
+
+
+@dataclass
+class WaveDiffOutcome:
+    """Everything a wavediff run produced."""
+
+    bug_id: str
+    golden: Trace
+    variant: Trace
+    diff: object
+    report: dict = field(default=None, repr=False)
+
+    @property
+    def diverged(self):
+        return self.diff.diverged
+
+
+def wavediff_bug(bug_id, fault=None, fixed=False, signals=None, last=None,
+                 max_offset=0):
+    """The full wavediff workflow for one testbed bug.
+
+    Captures golden and variant traces (see the module docstring for
+    the three modes), aligns and diffs them, and builds the
+    byte-deterministic ``repro.wave/v1`` report. *signals*/*last*
+    window both traces before the comparison; *max_offset* enables
+    cycle-offset alignment. *fault* is a spec string or a
+    :class:`~repro.faults.models.FaultSchedule`.
+    """
+    schedule = None
+    if fault is not None:
+        schedule = (
+            parse_fault_spec(fault) if isinstance(fault, str) else fault
+        )
+    base = "fixed" if fixed else "buggy"
+    with obs.span("wave:capture", bug=bug_id, mode=(
+        "fault" if schedule is not None else "fixed-vs-buggy"
+    )):
+        if schedule is not None:
+            mode = "fault"
+            golden, _ = capture_scenario(bug_id, fixed=fixed)
+            variant, _ = capture_scenario(
+                bug_id, fixed=fixed, schedule=schedule
+            )
+        else:
+            mode = "fixed-vs-buggy"
+            golden, _ = capture_scenario(bug_id, fixed=True)
+            variant, _ = capture_scenario(bug_id, fixed=False)
+    if signals or last is not None:
+        golden = golden.filter(signals=signals, last=last)
+        variant = variant.filter(signals=signals, last=last)
+    with obs.span("wave:align", bug=bug_id, max_offset=max_offset):
+        diff = diff_traces(golden, variant, max_offset=max_offset)
+    with obs.span("wave:report", bug=bug_id):
+        report = build_wave_report(
+            bug_id,
+            diff,
+            mode=mode,
+            golden_label=golden.label,
+            variant_label=variant.label,
+            cycles=max(golden.cycles, variant.cycles),
+            fault=schedule,
+            base=base,
+        )
+    if obs.enabled:
+        obs.gauge("wave.signals_compared").set(diff.signals_compared)
+        obs.gauge("wave.divergent_signals").set(diff.divergent_signals)
+        if diff.osdd is not None:
+            obs.gauge("wave.osdd").set(diff.osdd)
+    return WaveDiffOutcome(
+        bug_id=bug_id,
+        golden=golden,
+        variant=variant,
+        diff=diff,
+        report=report,
+    )

@@ -1,0 +1,168 @@
+"""Byte-deterministic ``repro.wave/v1`` wavediff reports.
+
+Follows the same contract as ``repro.diag/v1`` and ``repro.faults/v1``:
+the report dict carries no wall-clock data, per-signal tables are
+sorted, and rendering is ``json.dumps(..., indent=2, sort_keys=True)``
+plus a trailing newline — two identical wavediff runs produce
+byte-identical files (the CI ``cmp`` gate depends on this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+SCHEMA = "repro.wave/v1"
+
+
+def _divergence_dict(divergence):
+    if divergence is None:
+        return None
+    return {
+        "cycle": divergence.cycle,
+        "signal": divergence.signal,
+        "golden": divergence.golden,
+        "variant": divergence.variant,
+    }
+
+
+def _endpoint_dict(endpoint):
+    """A bare ``(cycle, signal)`` output/state divergence endpoint."""
+    if endpoint is None:
+        return None
+    return {"cycle": endpoint[0], "signal": endpoint[1]}
+
+
+def build_wave_report(bug_id, diff, mode, golden_label, variant_label,
+                      cycles, fault=None, base="buggy"):
+    """The ``repro.wave/v1`` report dict for one trace comparison.
+
+    *diff* is a :class:`~repro.wave.align.TraceDiff`; *mode* names the
+    comparison (``"fixed-vs-buggy"`` or ``"fault"``); *fault* is the
+    injected :class:`~repro.faults.models.FaultSchedule` (fault mode
+    only); *base* says which design variant the fault ran on.
+    """
+    signals = []
+    for sig in sorted(diff.signals, key=lambda s: s.name):
+        signals.append({
+            "name": sig.name,
+            "width": sig.width,
+            "kind": sig.kind,
+            "domains": list(sig.domains),
+            "first_divergence": sig.first_divergence,
+            "divergent_cycles": sig.divergent_cycles,
+            "compared_cycles": sig.compared_cycles,
+            "unknown_cycles": sig.unknown_cycles,
+            "golden_value": sig.golden_value,
+            "variant_value": sig.variant_value,
+        })
+    return {
+        "schema": SCHEMA,
+        "bug": bug_id,
+        "mode": mode,
+        "base": base,
+        "fault": fault.to_dict() if fault is not None else None,
+        "golden": golden_label,
+        "variant": variant_label,
+        "cycles": cycles,
+        "offset": diff.offset,
+        "signals_compared": diff.signals_compared,
+        "divergent_signals": diff.divergent_signals,
+        "diverged": diff.diverged,
+        "first_divergence": _divergence_dict(diff.first),
+        "output_divergence": _endpoint_dict(diff.output_divergence),
+        "state_divergence": _endpoint_dict(diff.state_divergence),
+        "osdd": diff.osdd,
+        "signals": signals,
+    }
+
+
+def render_wave_report(report):
+    """Render a report dict to its canonical byte-deterministic JSON."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def write_wave_report(report, path):
+    """Write the canonical JSON rendering to *path*."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(render_wave_report(report))
+    return path
+
+
+def render_wave_summary(report, limit=8):
+    """Human-readable wavediff summary (the non-``--json`` CLI output)."""
+    lines = []
+    header = "wavediff %s: %s vs %s over %d cycles" % (
+        report["bug"], report["golden"], report["variant"], report["cycles"]
+    )
+    lines.append(header)
+    if report["fault"] is not None:
+        events = report["fault"].get("events", [])
+        lines.append(
+            "  fault: %s (%d event%s, base=%s)"
+            % (
+                report["fault"].get("label") or "<unlabelled>",
+                len(events),
+                "" if len(events) == 1 else "s",
+                report["base"],
+            )
+        )
+    if report["offset"]:
+        lines.append("  alignment offset: %+d cycles" % report["offset"])
+    if not report["diverged"]:
+        lines.append(
+            "  no divergence (%d signals compared)"
+            % report["signals_compared"]
+        )
+        return "\n".join(lines) + "\n"
+    lines.append(
+        "  %d of %d signals diverge"
+        % (report["divergent_signals"], report["signals_compared"])
+    )
+    first = report["first_divergence"]
+    if first is not None:
+        lines.append(
+            "  first divergence: cycle %d signal %s (golden=%r variant=%r)"
+            % (first["cycle"], first["signal"], first["golden"],
+               first["variant"])
+        )
+    state = report["state_divergence"]
+    output = report["output_divergence"]
+    if state is not None:
+        lines.append(
+            "  state diverges:  cycle %d (%s)" % (state["cycle"],
+                                                  state["signal"])
+        )
+    if output is not None:
+        lines.append(
+            "  output diverges: cycle %d (%s)" % (output["cycle"],
+                                                  output["signal"])
+        )
+    if report["osdd"] is not None:
+        lines.append(
+            "  OSDD: %d cycle%s between state and output divergence"
+            % (report["osdd"], "" if report["osdd"] == 1 else "s")
+        )
+    divergent = [
+        sig for sig in report["signals"]
+        if sig["first_divergence"] is not None
+    ]
+    divergent.sort(key=lambda s: (s["first_divergence"], s["name"]))
+    lines.append("  per-signal first divergence:")
+    for sig in divergent[:limit]:
+        lines.append(
+            "    cycle %4d  %-10s %s (%d/%d cycles differ)"
+            % (
+                sig["first_divergence"],
+                sig["kind"],
+                sig["name"],
+                sig["divergent_cycles"],
+                sig["compared_cycles"],
+            )
+        )
+    if len(divergent) > limit:
+        lines.append("    ... and %d more" % (len(divergent) - limit))
+    return "\n".join(lines) + "\n"

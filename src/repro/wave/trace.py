@@ -1,0 +1,251 @@
+"""The :class:`Trace` model: per-signal value sequences with metadata.
+
+A Trace is the dynamic-observability counterpart of the static L04xx
+checkers: a rectangular view of one execution — every traced signal's
+value at every cycle, together with its width, its role in the design
+(``input``/``output``/``state``/``internal``/``recorded``), and the
+clock-domain tags inferred by :mod:`repro.flow`. Unknown values are
+``None`` (rendered as ``x`` in VCD): a recorder buffer only knows the
+cycles it sampled, a shorter trace is padded, a wrapped buffer forgot
+its oldest samples.
+
+Traces are captured from live :class:`~repro.sim.simulator.Simulator`
+runs (:meth:`Trace.from_simulator`), decoded from on-FPGA recorder IP
+buffers (:meth:`Trace.from_recorder`), parsed back from VCD text
+(:meth:`Trace.from_vcd`), or built from raw waveform dicts — and every
+one exports to standard VCD.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+from .vcd import dump_vcd, parse_vcd
+
+
+@dataclass
+class SignalTrace:
+    """One signal's value sequence plus static metadata."""
+
+    name: str
+    width: int
+    #: Per-cycle values: ints, or ``None`` for x/unknown.
+    values: list
+    #: Role in the design: input / output / state / internal / recorded.
+    kind: str = "internal"
+    #: Clock-domain tags from :func:`repro.flow.infer_domains` (sorted).
+    domains: tuple = ()
+
+
+def classify_signals(module):
+    """Role of every declared signal: ``{name: kind}``.
+
+    Output ports are ``output`` (even when registered — OSDD follows
+    rtl-repair in treating the module interface as the output surface),
+    input ports ``input``, sequentially-assigned scalars ``state``,
+    memories ``memory``, everything else ``internal``.
+    """
+    from ..analysis.assignments import analyze_module
+    from ..hdl import ast_nodes as ast
+    from ..sim.values import SymbolTable
+
+    symbols = SymbolTable(module)
+    sequential = {
+        record.target
+        for record in analyze_module(module).assignments
+        if record.sequential
+    }
+    kinds = {}
+    for name in symbols.widths:
+        if symbols.is_array(name):
+            kinds[name] = "memory"
+        elif name in sequential:
+            kinds[name] = "state"
+        else:
+            kinds[name] = "internal"
+    for port in module.ports:
+        if port.direction is ast.PortDirection.INPUT:
+            kinds[port.name] = "input"
+        elif port.direction is ast.PortDirection.OUTPUT:
+            kinds[port.name] = "output"
+    return kinds
+
+
+def signal_domains(module):
+    """Clock-domain tags per signal: ``{name: (clock, ...)}`` (sorted)."""
+    from ..flow import infer_domains
+
+    try:
+        inference = infer_domains(module)
+    except Exception:  # domain tags are best-effort decoration
+        return {}
+    return {
+        name: tuple(sorted(domains))
+        for name, domains in inference.domains.items()
+    }
+
+
+@dataclass
+class Trace:
+    """A captured execution: ``{signal: SignalTrace}`` over *cycles*."""
+
+    cycles: int = 0
+    signals: dict = field(default_factory=dict)
+    label: str = ""
+
+    def names(self):
+        """Traced signal names, sorted."""
+        return sorted(self.signals)
+
+    def __contains__(self, name):
+        return name in self.signals
+
+    def __getitem__(self, name):
+        return self.signals[name]
+
+    def waveform(self):
+        """The plain ``{name: values}`` dict (VCD-writer input form)."""
+        return {name: list(sig.values) for name, sig in self.signals.items()}
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_waveform(cls, waveform, widths, kinds=None, domains=None,
+                      label=""):
+        """Build from a raw ``{signal: [values]}`` dict.
+
+        Memory snapshots (list values) are skipped — traces hold scalar
+        sequences. Shorter sequences are padded with ``None``.
+        """
+        kinds = kinds or {}
+        domains = domains or {}
+        cycles = max((len(v) for v in waveform.values()), default=0)
+        signals = {}
+        for name in sorted(waveform):
+            values = list(waveform[name])
+            if any(isinstance(value, list) for value in values):
+                continue
+            values += [None] * (cycles - len(values))
+            signals[name] = SignalTrace(
+                name=name,
+                width=widths.get(name, 1),
+                values=values,
+                kind=kinds.get(name, "internal"),
+                domains=tuple(domains.get(name, ())),
+            )
+        return cls(cycles=cycles, signals=signals, label=label)
+
+    @classmethod
+    def from_simulator(cls, sim, label="", with_domains=True):
+        """Capture a live simulator's recorded waveform (``trace=...``).
+
+        Signal kinds come from the simulated module; clock-domain tags
+        from :mod:`repro.flow` unless *with_domains* is False.
+        """
+        module = sim.module
+        widths = {name: sim.symbols.width_of(name) for name in sim.waveform}
+        return cls.from_waveform(
+            sim.waveform,
+            widths,
+            kinds=classify_signals(module),
+            domains=signal_domains(module) if with_domains else None,
+            label=label or module.name,
+        )
+
+    @classmethod
+    def from_vcd(cls, text, label=""):
+        """Parse VCD text back into a Trace (metadata-free)."""
+        waveform, widths = parse_vcd(text)
+        return cls.from_waveform(waveform, widths, label=label)
+
+    @classmethod
+    def from_recorder(cls, signalcat, sim, label=""):
+        """Decode an on-FPGA SignalCat recorder buffer into a Trace.
+
+        One signal per recorded ``$display`` argument, named
+        ``s<stmt>[.<label>].a<arg>.<expr>``; a cycle's value is known
+        only where the statement's path-constraint flag was set in a
+        captured sample — everything else (including samples lost to a
+        buffer wrap) is ``None``.
+        """
+        from ..hdl.codegen import generate_expression
+        from ..sim.values import mask
+
+        recorder = sim.ip_model(signalcat.RECORDER_INSTANCE)
+        cycles = sim.cycle
+        signals = {}
+        fields = []  # (flag_bit, offset, width, name)
+        for layout, record in zip(signalcat.layouts, signalcat.displays):
+            base = "s%d" % layout.index
+            if layout.label:
+                base += ".%s" % layout.label
+            for position, ((offset, width), arg) in enumerate(
+                zip(layout.arg_fields, record.stmt.args)
+            ):
+                name = "%s.a%d.%s" % (base, position, generate_expression(arg))
+                signals[name] = SignalTrace(
+                    name=name,
+                    width=width,
+                    values=[None] * cycles,
+                    kind="recorded",
+                )
+                fields.append((layout.flag_bit, offset, width, name))
+        for cycle, word in recorder.samples:
+            if cycle >= cycles:
+                continue
+            for flag_bit, offset, width, name in fields:
+                if (word >> flag_bit) & 1:
+                    signals[name].values[cycle] = (word >> offset) & mask(width)
+        return cls(cycles=cycles, signals=signals, label=label)
+
+    # -- windows ------------------------------------------------------------
+
+    def filter(self, signals=None, last=None):
+        """A sub-trace: glob-selected *signals*, trailing *last* cycles.
+
+        *signals* is a glob pattern or list of patterns matched with
+        :func:`fnmatch.fnmatchcase`; *last* keeps only the final N
+        cycles (the window a debugger looks at first).
+        """
+        names = self.names()
+        if signals:
+            patterns = (
+                [signals] if isinstance(signals, str) else list(signals)
+            )
+            names = [
+                name
+                for name in names
+                if any(fnmatch.fnmatchcase(name, pat) for pat in patterns)
+            ]
+        start = 0
+        cycles = self.cycles
+        if last is not None and 0 <= last < cycles:
+            start = cycles - last
+            cycles = last
+        selected = {}
+        for name in names:
+            sig = self.signals[name]
+            selected[name] = SignalTrace(
+                name=name,
+                width=sig.width,
+                values=sig.values[start:start + cycles],
+                kind=sig.kind,
+                domains=sig.domains,
+            )
+        return Trace(cycles=cycles, signals=selected, label=self.label)
+
+    # -- export -------------------------------------------------------------
+
+    def to_vcd(self, timescale="1ns", comment=""):
+        """Render as VCD text."""
+        widths = {name: sig.width for name, sig in self.signals.items()}
+        return dump_vcd(
+            self.waveform(), widths, timescale=timescale, comment=comment
+        )
+
+    def save_vcd(self, path, timescale="1ns", comment=""):
+        """Write the VCD rendering to *path*."""
+        with open(path, "w") as handle:
+            handle.write(self.to_vcd(timescale=timescale, comment=comment))
+        return path
