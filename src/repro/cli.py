@@ -15,6 +15,7 @@ Mirrors the paper artifact's README commands::
     python -m repro check design.v       # recovering parse + lint + passes
     python -m repro wave D8 out.vcd      # dump a scenario's VCD waveform
     python -m repro wavediff C4          # golden-vs-buggy trace diff + OSDD
+    python -m repro repair D1            # template repair search + ranking
 
 Global flags: ``--version`` prints the package version; ``--quiet``
 suppresses stdout (the exit status still reports success/failure).
@@ -507,6 +508,101 @@ def _cmd_wavediff(args):
     return EXIT_FAILURE if outcome.diverged else EXIT_OK
 
 
+def _cmd_repair(args):
+    import os
+
+    from . import obs
+    from .repair import (
+        RepairConfig,
+        render_repair_report,
+        render_repair_summary,
+        run_repair,
+        unified_patch,
+        write_repair_report,
+    )
+
+    if args.budget <= 0:
+        print("error: --budget must be positive", file=sys.stderr)
+        return EXIT_USAGE
+    from .repair import TEMPLATE_NAMES
+
+    for name in args.template or ():
+        if name not in TEMPLATE_NAMES:
+            print(
+                "error: unknown template %r (known: %s)"
+                % (name, ", ".join(TEMPLATE_NAMES)),
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    config = RepairConfig(
+        bug_id=args.bug_id,
+        budget=args.budget,
+        watchdog=args.watchdog,
+        journal_path=args.journal or "",
+        fresh=args.fresh,
+        templates=tuple(args.template or ()),
+        use_faults=not args.no_faults,
+        stop_after=args.stop_after,
+    )
+    obs.reset()
+    with obs.observed():
+        try:
+            outcome = run_repair(config)
+        except KeyError:
+            raise
+        except Exception as exc:
+            print(
+                "error (repair): %s: %s" % (type(exc).__name__, exc),
+                file=sys.stderr,
+            )
+            return EXIT_TOOL
+        if args.obs_report:
+            obs.write_report(
+                obs.build_report(
+                    "repair:%s" % args.bug_id,
+                    meta={
+                        "bug": args.bug_id,
+                        "repaired": outcome.repaired,
+                    },
+                ),
+                args.obs_report,
+            )
+    report = outcome.report
+    if args.json:
+        if args.output:
+            write_repair_report(report, args.output)
+            print("wrote %s" % args.output)
+        else:
+            sys.stdout.write(render_repair_report(report))
+    else:
+        sys.stdout.write(render_repair_summary(report))
+        if args.output:
+            write_repair_report(report, args.output)
+            print("wrote %s" % args.output)
+    if args.emit_patch:
+        os.makedirs(args.emit_patch, exist_ok=True)
+        rank_by_id = {
+            entry["candidate"]: entry["rank"]
+            for entry in report["ranking"]
+        }
+        for candidate_id in sorted(
+            outcome.patches, key=lambda c: rank_by_id.get(c, 10 ** 9)
+        ):
+            safe = candidate_id.replace(":", "_").replace("/", "_")
+            path = os.path.join(
+                args.emit_patch,
+                "%s_rank%d_%s.patch"
+                % (args.bug_id, rank_by_id.get(candidate_id, 0), safe),
+            )
+            with open(path, "w") as handle:
+                handle.write(unified_patch(
+                    args.bug_id, candidate_id,
+                    outcome.patches[candidate_id],
+                ))
+            print("wrote %s" % path)
+    return EXIT_OK if outcome.repaired else EXIT_FAILURE
+
+
 def build_parser():
     """The argparse command tree."""
     from . import __version__
@@ -827,6 +923,83 @@ def build_parser():
         help="also write a repro.obs/v1 run report (spans + wave.* gauges)",
     )
     wavediff.set_defaults(func=_cmd_wavediff)
+    repair = sub.add_parser(
+        "repair",
+        help="search for a template patch that makes the bug's scenario "
+        "pass, ranked by waveform closeness to the fixed design",
+    )
+    repair.add_argument("bug_id", metavar="BUG")
+    repair.add_argument(
+        "--budget",
+        type=int,
+        default=400,
+        metavar="N",
+        help="maximum candidates to validate (default 400)",
+    )
+    repair.add_argument(
+        "--watchdog",
+        type=float,
+        default=10,
+        metavar="SECONDS",
+        help="wall-clock bound per candidate simulation (default 10)",
+    )
+    repair.add_argument(
+        "--stop-after",
+        type=int,
+        default=5,
+        metavar="N",
+        help="stop once N scenario-passing candidates are found "
+        "(0: exhaust the budget; default 5)",
+    )
+    repair.add_argument(
+        "--template",
+        action="append",
+        metavar="NAME",
+        help="restrict to this repair template (repeatable)",
+    )
+    repair.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the fault-sensitivity localization pass (faster, "
+        "coarser site ranking)",
+    )
+    repair.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="crash-safe JSONL journal; an interrupted campaign resumes "
+        "from it instead of re-simulating",
+    )
+    repair.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore (and overwrite) an existing journal",
+    )
+    repair.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the byte-deterministic repro.repair/v1 JSON report",
+    )
+    repair.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the repro.repair/v1 report here",
+    )
+    repair.add_argument(
+        "--emit-patch",
+        metavar="DIR",
+        default=None,
+        help="write unified diffs of the top-ranked passing candidates "
+        "into DIR",
+    )
+    repair.add_argument(
+        "--obs-report",
+        default=None,
+        help="also write a repro.obs/v1 run report (spans + repair.* "
+        "gauges)",
+    )
+    repair.set_defaults(func=_cmd_repair)
     return parser
 
 

@@ -22,7 +22,16 @@ Pieces:
 """
 
 from .generator import GeneratedDesign, GeneratorConfig, generate_design
-from .mutator import MutationResult, mutate_source, mutation_names
+from .mutator import (
+    MutationAnchor,
+    MutationResult,
+    anchor_of,
+    build_anchor_maps,
+    mutate_source,
+    mutation_names,
+    node_signals,
+    parse_site,
+)
 from .oracles import (
     ORACLE_NAMES,
     ORACLES,
@@ -44,9 +53,14 @@ __all__ = [
     "GeneratedDesign",
     "GeneratorConfig",
     "generate_design",
+    "MutationAnchor",
     "MutationResult",
+    "anchor_of",
+    "build_anchor_maps",
     "mutate_source",
     "mutation_names",
+    "node_signals",
+    "parse_site",
     "ORACLE_NAMES",
     "ORACLES",
     "OracleOutcome",

@@ -15,14 +15,18 @@ Two families, following the mutation-based tool-bug-detection literature:
   invariance and backend equivalence are properties of the *tools*, not
   of design correctness.
 
-Entry point: :func:`mutate_source`.
+Entry point: :func:`mutate_source`. Every candidate mutation carries a
+:class:`MutationAnchor` naming the source lines and signals it touches,
+so callers — the repair subsystem's template enumeration in particular —
+can target a *specific* AST site (``site="file.v:42"`` or
+``site="resp"``) instead of the seeded random choice the fuzzer uses.
 """
 
 from __future__ import annotations
 
 import copy
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..hdl import ast_nodes as ast
 from ..hdl import parse
@@ -51,6 +55,95 @@ class MutationResult:
     description: str
 
 
+@dataclass(frozen=True)
+class MutationAnchor:
+    """Where a candidate mutation would land: source lines + signals."""
+
+    lines: frozenset = field(default_factory=frozenset)
+    signals: frozenset = field(default_factory=frozenset)
+
+    def matches(self, target):
+        """True when this anchor hits a :func:`parse_site` target."""
+        kind, value = target
+        if kind == "line":
+            return value in self.lines
+        return value in self.signals
+
+
+def parse_site(site):
+    """Normalize a site spec into ``("line", N)`` or ``("signal", name)``.
+
+    Accepts an int line number, a ``"file.v:42"``-style location (the
+    file part is informational — mutation operates on one source), a
+    bare line-number string, or a signal name.
+    """
+    if site is None:
+        return None
+    if isinstance(site, int):
+        return ("line", site)
+    text = str(site).strip()
+    if ":" in text:
+        tail = text.rsplit(":", 1)[1]
+        if tail.isdigit():
+            return ("line", int(tail))
+    if text.isdigit():
+        return ("line", int(text))
+    return ("signal", text)
+
+
+def _node_signals(node):
+    """All identifier names inside *node*'s subtree."""
+    return frozenset(
+        n.name for n in node.walk() if isinstance(n, ast.Identifier)
+    )
+
+
+def _build_anchor_maps(source):
+    """Per-node position context: ``(line_map, signal_map)``.
+
+    Expressions carry no position of their own; they inherit the line
+    of the innermost statement/item that does (0 when nothing does —
+    synthesized code) and the signal set of that enclosing statement,
+    so ``site="q"`` finds the constants inside ``q``'s assignment too.
+    """
+    lines = {}
+    signals = {}
+
+    def visit(node, current_line, current_signals):
+        line = getattr(node, "lineno", 0) or current_line
+        if isinstance(node, (ast.Statement, ast.ModuleItem)):
+            current_signals = _node_signals(node)
+        lines[id(node)] = line
+        signals[id(node)] = current_signals
+        for child in node.children():
+            visit(child, line, current_signals)
+
+    for module in source.modules:
+        for item in module.items:
+            visit(item, getattr(item, "lineno", 0) or 0, frozenset())
+    return lines, signals
+
+
+def _anchor(maps, node, extra_signals=()):
+    """The :class:`MutationAnchor` for a candidate editing *node*."""
+    line_map, signal_map = maps
+    return MutationAnchor(
+        lines=frozenset({line_map.get(id(node), 0)}),
+        signals=(
+            signal_map.get(id(node), frozenset())
+            | _node_signals(node)
+            | frozenset(extra_signals)
+        ),
+    )
+
+
+#: Public names for the anchor machinery: the repair subsystem's
+#: template enumeration reuses the same site model as the mutator.
+node_signals = _node_signals
+build_anchor_maps = _build_anchor_maps
+anchor_of = _anchor
+
+
 def _walk_statements(stmt, blocks):
     """Collect every Block node reachable from *stmt*."""
     for node in stmt.walk():
@@ -64,6 +157,7 @@ def _candidates(source):
     ``apply`` mutates the (already copied) tree in place and returns a
     short human-readable description.
     """
+    maps = _build_anchor_maps(source)
     cands = []
     exprs = []
     ifs = []
@@ -103,7 +197,9 @@ def _candidates(source):
             def swap(node=node):
                 node.left, node.right = node.right, node.left
                 return "swapped operands of commutative %r" % node.op
-            cands.append(("swap_commutative", True, swap))
+            cands.append(
+                ("swap_commutative", True, swap, _anchor(maps, node))
+            )
 
     for node in ifs:
         def double_negate(node=node):
@@ -111,13 +207,17 @@ def _candidates(source):
                 op="!", operand=ast.UnaryOp(op="!", operand=node.cond)
             )
             return "double-negated an if condition"
-        cands.append(("double_negate_cond", True, double_negate))
+        cands.append(
+            ("double_negate_cond", True, double_negate, _anchor(maps, node))
+        )
         if node.else_stmt is not None:
             def invert(node=node):
                 node.cond = ast.UnaryOp(op="!", operand=node.cond)
                 node.then_stmt, node.else_stmt = node.else_stmt, node.then_stmt
                 return "negated an if condition and swapped its branches"
-            cands.append(("invert_if_else", True, invert))
+            cands.append(
+                ("invert_if_else", True, invert, _anchor(maps, node))
+            )
 
     for block in blocks:
         for index in range(len(block.statements)):
@@ -126,7 +226,10 @@ def _candidates(source):
                     statements=[block.statements[index]]
                 )
                 return "wrapped a statement in begin/end"
-            cands.append(("wrap_block", True, wrap))
+            cands.append((
+                "wrap_block", True, wrap,
+                _anchor(maps, block.statements[index]),
+            ))
 
     regs = [
         decl.name
@@ -150,7 +253,10 @@ def _candidates(source):
                             node.name = replacement
                 return "renamed register %s -> %s" % (name, replacement)
             return "rename skipped"
-        cands.append(("rename_register", True, rename))
+        cands.append((
+            "rename_register", True, rename,
+            MutationAnchor(signals=frozenset({name})),
+        ))
 
     # -- semantics-perturbing ------------------------------------------------
 
@@ -160,7 +266,9 @@ def _candidates(source):
                 old = node.op
                 node.op = _FLIP_OPS[old]
                 return "flipped operator %r -> %r" % (old, node.op)
-            cands.append(("flip_binop", False, flip))
+            cands.append(
+                ("flip_binop", False, flip, _anchor(maps, node))
+            )
 
     for node in numbers:
         def tweak(node=node):
@@ -170,19 +278,25 @@ def _candidates(source):
             if node.width is not None:
                 node.value &= (1 << node.width) - 1
             return "tweaked constant %d -> %d" % (old, node.value)
-        cands.append(("tweak_constant", False, tweak))
+        cands.append(
+            ("tweak_constant", False, tweak, _anchor(maps, node))
+        )
 
     for node in ifs:
         def negate(node=node):
             node.cond = ast.UnaryOp(op="!", operand=node.cond)
             return "negated an if condition (branches kept)"
-        cands.append(("negate_condition", False, negate))
+        cands.append(
+            ("negate_condition", False, negate, _anchor(maps, node))
+        )
 
     for node in ternaries:
         def swap_arms(node=node):
             node.iftrue, node.iffalse = node.iffalse, node.iftrue
             return "swapped ternary arms"
-        cands.append(("swap_ternary_arms", False, swap_arms))
+        cands.append(
+            ("swap_ternary_arms", False, swap_arms, _anchor(maps, node))
+        )
 
     for node in indexes:
         def off_by_one(node=node):
@@ -190,7 +304,9 @@ def _candidates(source):
                 op="+", left=node.index, right=ast.Number(value=1)
             )
             return "off-by-one index (misindexing)"
-        cands.append(("off_by_one_index", False, off_by_one))
+        cands.append(
+            ("off_by_one_index", False, off_by_one, _anchor(maps, node))
+        )
 
     for node in nonblocking:
         def make_blocking(node=node, source=source):
@@ -202,7 +318,10 @@ def _candidates(source):
                     if replaced:
                         return "nonblocking -> blocking assignment (race)"
             return "assignment left unchanged"
-        cands.append(("nonblocking_to_blocking", False, make_blocking))
+        cands.append((
+            "nonblocking_to_blocking", False, make_blocking,
+            _anchor(maps, node),
+        ))
 
     for block in blocks:
         if len(block.statements) > 1:
@@ -210,13 +329,18 @@ def _candidates(source):
                 def drop(block=block, index=index):
                     del block.statements[index]
                     return "dropped a statement (incomplete implementation)"
-                cands.append(("drop_statement", False, drop))
+                cands.append((
+                    "drop_statement", False, drop,
+                    _anchor(maps, block.statements[index]),
+                ))
 
     for node in assigns:
         def truncate(node=node):
             node.rhs = ast.SizeCast(width=2, expr=node.rhs)
             return "truncated an assign rhs to 2 bits (bit truncation)"
-        cands.append(("truncate_assign", False, truncate))
+        cands.append(
+            ("truncate_assign", False, truncate, _anchor(maps, node))
+        )
 
     return cands
 
@@ -265,7 +389,7 @@ def mutation_names(preserving=None):
     """All operator names, optionally filtered by family."""
     names = []
     seen = set()
-    for name, is_preserving, _ in _candidates(parse(_PROBE)):
+    for name, is_preserving, _, _ in _candidates(parse(_PROBE)):
         if preserving is not None and is_preserving != preserving:
             continue
         if name not in seen:
@@ -294,21 +418,27 @@ endmodule
 """
 
 
-def mutate_source(text, seed, preserving=None):
+def mutate_source(text, seed, preserving=None, site=None):
     """Apply one random mutation to Verilog *text*.
 
     ``preserving`` selects the family: True for semantics-preserving
-    only, False for perturbing only, None for either. Returns a
-    :class:`MutationResult`, or None when no operator applies.
+    only, False for perturbing only, None for either. ``site``
+    restricts candidates to a specific AST location: an int or
+    ``"file.v:42"`` string targets a source line, any other string
+    targets a signal name. Returns a :class:`MutationResult`, or None
+    when no operator applies.
     """
     rng = random.Random(seed)
     source = copy.deepcopy(parse(text))
     cands = _candidates(source)
     if preserving is not None:
         cands = [c for c in cands if c[1] == preserving]
+    target = parse_site(site)
+    if target is not None:
+        cands = [c for c in cands if c[3].matches(target)]
     if not cands:
         return None
-    name, is_preserving, apply_fn = rng.choice(cands)
+    name, is_preserving, apply_fn, _ = rng.choice(cands)
     description = apply_fn()
     return MutationResult(
         text=generate_source(source),

@@ -1,0 +1,110 @@
+"""Waveform-guided ranking of validated repair candidates.
+
+Several candidates often pass a scenario; the scenario is a *sampled*
+oracle, so passing is necessary but not sufficient. The tie-breaker is
+the waveform: each surviving candidate's traced run is diffed against
+the *fixed* reference design's run with
+:func:`repro.wave.diff_traces`, and candidates whose behaviour is
+closer to the reference rank higher. "Closer" follows the paper's
+observability ordering:
+
+1. full trace equivalence with the reference beats everything;
+2. later **first output divergence** beats earlier — the patch is
+   right for longer on the externally visible surface;
+3. fewer **divergent signals** beats more — the patch perturbs less of
+   the design;
+4. higher **OSDD** (output minus state divergence cycle) beats lower —
+   internal deviations that take longer to become visible are the
+   benign kind (e.g. don't-care state encodings);
+5. the stable candidate id, so the order is deterministic.
+
+Ranking never re-simulates: validation already traced every candidate
+run, and the fixed reference is captured once per campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..wave.align import diff_traces
+from ..wave.capture import capture_scenario
+
+#: Sort key sentinel: a candidate that never diverges on outputs.
+_NEVER = 10 ** 9
+
+
+@dataclass
+class RankMetrics:
+    """The waveform-comparison numbers one candidate is ranked by."""
+
+    equivalent: bool = False
+    #: Golden-side cycle of the earliest output divergence (None: never).
+    output_divergence_cycle: object = None
+    output_divergence_signal: str = ""
+    divergent_signals: int = 0
+    signals_compared: int = 0
+    osdd: object = None
+
+    def sort_key(self):
+        out_cycle = (
+            _NEVER if self.output_divergence_cycle is None
+            else self.output_divergence_cycle
+        )
+        osdd = self.osdd if self.osdd is not None else _NEVER
+        return (
+            0 if self.equivalent else 1,
+            -out_cycle,
+            self.divergent_signals,
+            -osdd,
+        )
+
+    def to_dict(self):
+        return {
+            "equivalent": self.equivalent,
+            "output_divergence_cycle": self.output_divergence_cycle,
+            "output_divergence_signal": self.output_divergence_signal,
+            "divergent_signals": self.divergent_signals,
+            "signals_compared": self.signals_compared,
+            "osdd": self.osdd,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            equivalent=data["equivalent"],
+            output_divergence_cycle=data["output_divergence_cycle"],
+            output_divergence_signal=data["output_divergence_signal"],
+            divergent_signals=data["divergent_signals"],
+            signals_compared=data["signals_compared"],
+            osdd=data["osdd"],
+        )
+
+
+def reference_trace(bug_id):
+    """The fixed variant's traced scenario run (the ranking reference)."""
+    trace, _observation = capture_scenario(bug_id, fixed=True)
+    return trace
+
+
+def score_candidate(reference, candidate_trace):
+    """Rank metrics for one candidate trace against the fixed reference."""
+    diff = diff_traces(reference, candidate_trace)
+    out_cycle = None
+    out_signal = ""
+    if diff.output_divergence is not None:
+        out_cycle, out_signal = diff.output_divergence
+    return RankMetrics(
+        equivalent=not diff.diverged,
+        output_divergence_cycle=out_cycle,
+        output_divergence_signal=out_signal,
+        divergent_signals=diff.divergent_signals,
+        signals_compared=diff.signals_compared,
+        osdd=diff.osdd,
+    )
+
+
+def rank_candidates(entries):
+    """Sort ``(candidate_id, RankMetrics)`` pairs, best candidate first."""
+    return sorted(
+        entries, key=lambda e: e[1].sort_key() + (e[0],)
+    )

@@ -1,0 +1,200 @@
+"""Diagnostic-bounded repair site enumeration.
+
+The repair search is only tractable because it is *localized*: instead
+of trying every template everywhere, candidate sites come from the
+diagnostics the rest of the stack already produces, in decreasing order
+of trust:
+
+1. **LossCheck localization** (rank 0) — for loss bugs, the shadow
+   variables LossCheck's analyze() names are the registers where data
+   actually disappeared;
+2. **`repro check` findings** (rank 1) — L03xx lint and L04xx flow
+   findings carry both a source line and, usually, a quoted signal
+   name;
+3. **fault sensitivity** (rank 2) — an architecture-only
+   :class:`~repro.faults.scoring.DetectionScorer` flips one bit in each
+   state register mid-scenario; registers whose flip perturbs the
+   scenario's observation sit on the behaviour cone of the failure;
+4. **the observable cone** (rank 3) — every state register, output
+   port, and IP instance, so a within-budget search can still reach a
+   repair whose site no diagnostic named.
+
+Sites are plain :class:`~repro.repair.templates.RepairSite` records;
+:func:`repro.repair.templates.resolve_sites` later distributes them
+over module namespaces (following one level of dotted instance paths).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .. import obs
+from ..diag.check import check_targets
+from ..faults.models import SEU_REG, FaultEvent, FaultSchedule
+from ..faults.scoring import DetectionScorer
+from ..hdl import ast_nodes as ast
+from ..testbed.harness import load_design
+from ..testbed.metadata import SPECS
+from ..wave.trace import classify_signals
+from .templates import RepairSite
+
+#: Quoted identifiers (possibly dotted) inside a diagnostic message.
+_QUOTED_NAME = re.compile(r"'([A-Za-z_][\w.]*)'")
+
+RANK_LOSSCHECK = 0
+RANK_CHECK = 1
+RANK_FAULT = 2
+RANK_CONE = 3
+
+
+def _losscheck_sites(bug_id):
+    """Registers LossCheck's shadow variables localized data loss to."""
+    spec = SPECS[bug_id]
+    if spec.losscheck is None:
+        return []
+    from ..testbed.harness import run_losscheck
+
+    try:
+        outcome = run_losscheck(bug_id)
+    except Exception as exc:
+        return [RepairSite(
+            origin="losscheck-error", detail=str(exc), rank=RANK_CONE,
+        )]
+    sites = []
+    for name in sorted(set(outcome.result.localized)):
+        sites.append(RepairSite(
+            signal=name,
+            origin="losscheck",
+            detail="shadow variable localized loss at %s" % name,
+            rank=RANK_LOSSCHECK,
+        ))
+    return sites
+
+
+def _check_sites(bug_id):
+    """Lint (L03xx) and flow (L04xx) findings: lines + quoted signals."""
+    sites = []
+    try:
+        results = check_targets([bug_id])
+    except Exception as exc:
+        return [RepairSite(
+            origin="check-error", detail=str(exc), rank=RANK_CONE,
+        )]
+    for result in results:
+        for diag in result.sink.diagnostics:
+            if not diag.code.startswith(("L03", "L04")):
+                continue
+            names = _QUOTED_NAME.findall(diag.message)
+            if not names:
+                names = [""]
+            for name in names:
+                sites.append(RepairSite(
+                    signal=name,
+                    line=diag.span.line,
+                    origin="check:%s" % diag.code,
+                    detail=diag.message,
+                    rank=RANK_CHECK,
+                ))
+    return sites
+
+
+def _fault_sites(bug_id, scorer=None):
+    """State registers whose mid-scenario bit flip perturbs the scenario.
+
+    Uses an architecture-only scorer (instrumented tools cleared) — two
+    simulations per register, golden cached — so this is the most
+    expensive source; it still runs in seconds on testbed designs.
+    """
+    if scorer is None:
+        try:
+            scorer = DetectionScorer(bug_id)
+        except Exception as exc:
+            return [RepairSite(
+                origin="fault-error", detail=str(exc), rank=RANK_CONE,
+            )]
+    scorer.tools = {}  # architecture-only: skip instrumented-tool replays
+    try:
+        golden, _ = scorer.golden()
+        mid_cycle = max(1, golden["__trace__"].cycles // 2)
+    except Exception as exc:
+        return [RepairSite(
+            origin="fault-error", detail=str(exc), rank=RANK_CONE,
+        )]
+    kinds = classify_signals(scorer.module)
+    sites = []
+    for name in sorted(n for n, k in kinds.items() if k == "state"):
+        schedule = FaultSchedule(
+            events=[FaultEvent(cycle=mid_cycle, kind=SEU_REG, target=name)],
+            label="repair-localize:%s" % name,
+        )
+        try:
+            case = scorer.score(schedule)
+        except Exception:
+            continue
+        if case.effect:
+            sites.append(RepairSite(
+                signal=name,
+                origin="fault",
+                detail="bit flip at cycle %d perturbs the scenario"
+                % mid_cycle,
+                rank=RANK_FAULT,
+            ))
+    return sites
+
+
+def _cone_sites(bug_id):
+    """The full observable cone: state regs, outputs, and IP instances."""
+    design = load_design(bug_id)
+    kinds = classify_signals(design.top)
+    sites = []
+    for name in sorted(
+        n for n, k in kinds.items() if k in ("state", "output", "memory")
+    ):
+        sites.append(RepairSite(
+            signal=name,
+            origin="cone",
+            detail="observable-cone fallback",
+            rank=RANK_CONE,
+        ))
+    for item in design.top.items:
+        if isinstance(item, ast.Instance):
+            sites.append(RepairSite(
+                signal=item.instance_name,
+                origin="cone",
+                detail="IP/submodule instance",
+                rank=RANK_CONE,
+            ))
+    return sites
+
+
+def enumerate_sites(bug_id, use_faults=True, scorer=None):
+    """All repair sites for *bug_id*, strongest localization first.
+
+    Returns a deduplicated, deterministically ordered list of
+    :class:`RepairSite`. Each (signal, line) pair keeps only its best
+    (lowest) rank. The cone fallback is always appended so the search
+    degrades to budget-bounded instead of giving up when no diagnostic
+    fires.
+    """
+    with obs.span("repair:localize", bug=bug_id):
+        sites = []
+        sites.extend(_losscheck_sites(bug_id))
+        sites.extend(_check_sites(bug_id))
+        if use_faults:
+            sites.extend(_fault_sites(bug_id, scorer=scorer))
+        sites.extend(_cone_sites(bug_id))
+    best = {}
+    order = []
+    for site in sites:
+        key = (site.signal, site.line)
+        if key == ("", 0):
+            continue  # error placeholders carry no location
+        if key not in best or site.rank < best[key].rank:
+            if key not in best:
+                order.append(key)
+            best[key] = site
+    result = [best[key] for key in order]
+    result.sort(key=lambda s: (s.rank, s.signal, s.line, s.origin))
+    if obs.enabled:
+        obs.gauge("repair.sites").set(len(result))
+    return result

@@ -5,10 +5,37 @@
 directly). The implementations now live in :mod:`repro.wave.vcd` —
 with ``$dumpvars`` initial values, reserved-character escaping,
 x/unknown support, and a :func:`~repro.wave.vcd.parse_vcd` inverse.
+
+Calling through this shim emits a :class:`DeprecationWarning`; update
+imports to ``repro.wave.vcd`` (same signatures, drop-in). The warning
+fires at call time, not import time, because ``repro.sim`` itself
+still re-exports these names for compatibility.
 """
 
 from __future__ import annotations
 
-from ..wave.vcd import dump_vcd, parse_vcd, write_vcd
+import functools
+import warnings
+
+from ..wave import vcd as _wave_vcd
 
 __all__ = ["dump_vcd", "parse_vcd", "write_vcd"]
+
+
+def _deprecated(func):
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            "repro.sim.vcd.%s is deprecated; import it from "
+            "repro.wave.vcd instead (same signature)" % func.__name__,
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func(*args, **kwargs)
+
+    return wrapper
+
+
+dump_vcd = _deprecated(_wave_vcd.dump_vcd)
+parse_vcd = _deprecated(_wave_vcd.parse_vcd)
+write_vcd = _deprecated(_wave_vcd.write_vcd)

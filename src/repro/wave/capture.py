@@ -65,7 +65,13 @@ def parse_fault_spec(text):
             raise FaultSpecError(
                 "fault event %r has a non-integer cycle %r" % (term, fields[0])
             )
+        if cycle < 0:
+            raise FaultSpecError(
+                "fault event %r has a negative cycle %d (cycles count "
+                "from 0)" % (term, cycle)
+            )
         options = {"bit": 0, "index": 0, "duration": 0}
+        given = set()
         for option in fields[1:]:
             key, sep, value = option.partition("=")
             if not sep or key not in options:
@@ -73,11 +79,21 @@ def parse_fault_spec(text):
                     "bad fault option %r in %r (expected bit=N, index=N, "
                     "or duration=N)" % (option, term)
                 )
+            if key in given:
+                raise FaultSpecError(
+                    "duplicate fault option %r in %r (each of bit/index/"
+                    "duration may appear once)" % (key, term)
+                )
+            given.add(key)
             try:
                 options[key] = int(value)
             except ValueError:
                 raise FaultSpecError(
                     "fault option %r in %r is not an integer" % (option, term)
+                )
+            if options[key] < 0:
+                raise FaultSpecError(
+                    "fault option %r in %r is negative" % (option, term)
                 )
         events.append(
             FaultEvent(cycle=cycle, kind=kind, target=target, **options)

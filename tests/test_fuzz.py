@@ -117,6 +117,58 @@ class TestMutator:
         assert result.text != base
 
 
+_SITED = """
+module sited (
+    input wire clk,
+    input wire rst,
+    input wire en,
+    output reg [3:0] q,
+    output reg done
+);
+    always @(posedge clk) begin
+        if (rst) begin
+            q <= 0;
+            done <= 0;
+        end else if (en) begin
+            q <= q + 1;
+            done <= q == 9;
+        end
+    end
+endmodule
+"""
+
+
+class TestMutatorSiteTargeting:
+    def test_signal_site_restricts_to_its_cone(self):
+        for seed in range(8):
+            result = mutate_source(_SITED, seed, site="done")
+            assert result is not None
+            # The mutated line must involve `done`, not the q-only ones.
+            assert "done" in result.description or "done" in result.text
+
+    def test_line_site_accepts_file_colon_line(self):
+        # Line 14 is `q <= q + 1;` in _SITED (1-based, leading newline).
+        for spec in (14, "14", "sited.v:14"):
+            result = mutate_source(_SITED, 0, site=spec)
+            assert result is not None
+
+    def test_unmatched_site_returns_none(self):
+        assert mutate_source(_SITED, 0, site="no_such_signal") is None
+        assert mutate_source(_SITED, 0, site=9999) is None
+
+    def test_site_none_is_unchanged_behavior(self):
+        with_site = mutate_source(_SITED, 4, site=None)
+        without = mutate_source(_SITED, 4)
+        assert with_site.text == without.text
+        assert with_site.name == without.name
+
+    def test_sited_mutants_stay_parseable(self):
+        for seed in range(6):
+            result = mutate_source(_SITED, seed, site="q")
+            assert result is not None
+            parse(result.text)
+
+
 # ---------------------------------------------------------------------------
 # Oracles
 # ---------------------------------------------------------------------------

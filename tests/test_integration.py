@@ -115,7 +115,7 @@ class TestToolComposition:
 
 class TestWaveformsFromTestbed:
     def test_vcd_export_of_a_bug_run(self, tmp_path):
-        from repro.sim import write_vcd
+        from repro.wave.vcd import write_vcd
 
         design = load_design("D13")
         sim = Simulator(design, trace="all")

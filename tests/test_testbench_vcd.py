@@ -3,7 +3,8 @@
 import pytest
 
 from repro.hdl import elaborate, parse
-from repro.sim import Simulator, Testbench, dump_vcd, write_vcd
+from repro.sim import Simulator, Testbench
+from repro.wave.vcd import dump_vcd, write_vcd
 
 STREAMER = """
 module streamer (

@@ -132,8 +132,28 @@ class TestVCDWriter:
         from repro.sim.vcd import dump_vcd as module_dump
         from repro.wave.vcd import dump_vcd as wave_dump
 
-        assert sim_dump is wave_dump is module_dump
+        assert sim_dump is module_dump
+        assert sim_dump.__wrapped__ is wave_dump
         assert sim_write is not None
+
+    def test_backcompat_shim_warns_at_call_time(self):
+        import warnings
+
+        from repro.sim.vcd import dump_vcd as deprecated_dump
+        from repro.sim.vcd import parse_vcd as deprecated_parse
+
+        with pytest.warns(DeprecationWarning, match="repro.wave.vcd"):
+            text = deprecated_dump({"a": [0, 1]}, {"a": 1})
+        with pytest.warns(DeprecationWarning, match="repro.wave.vcd"):
+            waveform, widths = deprecated_parse(text)
+        assert waveform == {"a": [0, 1]}
+        # The wrapped originals stay warning-free: repro.sim re-exports
+        # the shim eagerly, so only *calls* through it may warn.
+        from repro.wave.vcd import dump_vcd as wave_dump
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            wave_dump({"a": [0]}, {"a": 1})
 
 
 class TestVCDRoundTrip:
@@ -471,6 +491,24 @@ class TestWaveCli:
     def test_wavediff_bad_spec_is_usage_error(self, capsys):
         assert main(["wavediff", "C4", "--fault", "bogus:x@1"]) == 2
         assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_wavediff_negative_cycle_is_usage_error(self, capsys):
+        code = main(["wavediff", "C4", "--fault", "seu_reg:fifo_pop@-5"])
+        assert code == 2
+        assert "negative cycle" in capsys.readouterr().err
+
+    def test_wavediff_duplicate_option_is_usage_error(self, capsys):
+        code = main([
+            "wavediff", "C4", "--fault",
+            "seu_reg:fifo_pop@5:bit=1:bit=2",
+        ])
+        assert code == 2
+        assert "duplicate fault option 'bit'" in capsys.readouterr().err
+
+    def test_wavediff_negative_option_is_usage_error(self, capsys):
+        code = main(["wavediff", "C4", "--fault", "seu_reg:fifo_pop@5:bit=-1"])
+        assert code == 2
+        assert "is negative" in capsys.readouterr().err
 
     def test_wavediff_fixed_requires_fault(self, capsys):
         assert main(["wavediff", "C4", "--fixed"]) == 2
