@@ -1,0 +1,145 @@
+"""repro.serve under concurrent clients: throughput and degradation.
+
+Boots an in-process server (real subprocess workers, real HTTP) and
+drives it from several client threads with the mixed workload the
+server is built for — mostly near-duplicate checks, a few fuzz
+campaigns. Headline numbers:
+
+* **jobs per second** — end-to-end completion rate, HTTP round trips
+  and worker dispatch included;
+* **cache hit rate** — the content-addressed cache's contribution on a
+  workload where most submissions repeat recent work (the CI /
+  interactive-debugging pattern);
+* **p50/p99 job latency** — from submission to terminal status, the
+  number a client actually experiences.
+
+Chaos stays off here: this benchmark measures the happy-path cost of
+the robustness machinery (journaling, watchdog arming, cache
+verification), not its behaviour under injected faults — the chaos
+acceptance test in ``tests/test_serve.py`` covers that.
+"""
+
+import os
+import tempfile
+import threading
+import time
+
+from repro.serve import ReproServer, ServeClient, ServeConfig
+
+TINY = """
+module tiny(input wire clk, input wire rst, output reg [%d:0] q);
+    always @(posedge clk) begin
+        if (rst) q <= 0;
+        else q <= q + 1;
+    end
+endmodule
+"""
+
+CLIENTS = 4
+JOBS_PER_CLIENT = 25
+DISTINCT_SOURCES = 8
+
+
+def _workload(client_index):
+    """One client's submission list: checks over a few designs + fuzz."""
+    jobs = []
+    for index in range(JOBS_PER_CLIENT):
+        if index % 10 == 9:
+            jobs.append(("fuzz", {"cases": 2, "seed": index % 3,
+                                  "cycles": 16}))
+        else:
+            width = (client_index + index) % DISTINCT_SOURCES
+            jobs.append(("check", {"source": TINY % (2 + width),
+                                   "filename": "tiny.v"}))
+    return jobs
+
+
+def _drive(tmp):
+    config = ServeConfig(
+        port=0,
+        workers=3,
+        watchdog=30.0,
+        retries=1,
+        backoff=0.05,
+        cache_dir=os.path.join(tmp, "cache"),
+        journal_path=os.path.join(tmp, "journal.jsonl"),
+        quota_rate=0.0,  # measuring throughput, not admission control
+    )
+    server = ReproServer(config).start_background()
+    results = [None] * CLIENTS
+    try:
+        def run_client(index):
+            client = ServeClient("http://127.0.0.1:%d" % server.port,
+                                 client_id="bench-%d" % index)
+            statuses = []
+            for kind, params in _workload(index):
+                detail = client.run(kind, params, timeout=120.0, poll=0.02)
+                statuses.append(detail["status"])
+            results[index] = statuses
+
+        started = time.monotonic()
+        threads = [
+            threading.Thread(target=run_client, args=(index,))
+            for index in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - started
+        metrics = ServeClient(
+            "http://127.0.0.1:%d" % server.port
+        ).metrics()
+    finally:
+        server.shutdown()
+    return {
+        "elapsed": elapsed,
+        "statuses": [status for batch in results for status in batch],
+        "cache": metrics["cache"],
+        "latency_ms": metrics["latency_ms"],
+        "pool": metrics["pool"],
+    }
+
+
+def _render(outcome):
+    total = len(outcome["statuses"])
+    done = outcome["statuses"].count("done")
+    cache = outcome["cache"]
+    latency = outcome["latency_ms"]
+    lines = [
+        "repro.serve throughput (%d clients x %d jobs, %d workers, "
+        "chaos off)" % (CLIENTS, JOBS_PER_CLIENT, 3),
+        "",
+        "jobs completed:    %d/%d" % (done, total),
+        "wall clock:        %.2fs" % outcome["elapsed"],
+        "throughput:        %.1f jobs/sec"
+        % (total / outcome["elapsed"] if outcome["elapsed"] else 0.0),
+        "cache hit rate:    %s (%d hits, %d misses)"
+        % (
+            "%.0f%%" % (100.0 * cache["hit_rate"])
+            if cache["hit_rate"] is not None else "n/a",
+            cache["hits"], cache["misses"],
+        ),
+        "job latency:       p50 %.1fms, p99 %.1fms (%d measured)"
+        % (latency["p50"] or 0.0, latency["p99"] or 0.0, latency["count"]),
+        "worker executions: %d (%d retries, %d watchdog kills)"
+        % (outcome["pool"]["executions"], outcome["pool"]["retries"],
+           outcome["pool"]["watchdog_kills"]),
+    ]
+    return "\n".join(lines)
+
+
+def test_serve_throughput(benchmark, emit):
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        outcome = benchmark.pedantic(
+            _drive, args=(tmp,), rounds=1, iterations=1
+        )
+    emit("serve_throughput.txt", _render(outcome))
+    total = CLIENTS * JOBS_PER_CLIENT
+    assert len(outcome["statuses"]) == total
+    # Happy path: everything lands, and the cache carries the repeats.
+    assert outcome["statuses"].count("done") == total
+    assert outcome["cache"]["hits"] > 0
+    assert outcome["cache"]["hit_rate"] > 0.3
+    # Latency is measured on executed jobs; cache hits finish at submit.
+    assert outcome["latency_ms"]["count"] >= outcome["cache"]["misses"]

@@ -16,6 +16,8 @@ Mirrors the paper artifact's README commands::
     python -m repro wave D8 out.vcd      # dump a scenario's VCD waveform
     python -m repro wavediff C4          # golden-vs-buggy trace diff + OSDD
     python -m repro repair D1            # template repair search + ranking
+    python -m repro serve                # debugging-as-a-service job server
+    python -m repro submit check D2      # run a job on a serve instance
 
 Global flags: ``--version`` prints the package version; ``--quiet``
 suppresses stdout (the exit status still reports success/failure).
@@ -603,6 +605,142 @@ def _cmd_repair(args):
     return EXIT_OK if outcome.repaired else EXIT_FAILURE
 
 
+def _cmd_serve(args):
+    from .serve import ChaosConfig, ReproServer, ServeConfig
+
+    if args.workers <= 0:
+        print("error: --workers must be positive", file=sys.stderr)
+        return EXIT_USAGE
+    if args.resume and args.fresh:
+        print("error: --resume and --fresh are mutually exclusive",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.fresh:
+        import os
+
+        if os.path.exists(args.journal):
+            os.remove(args.journal)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        watchdog=args.watchdog,
+        retries=args.retries,
+        backoff=args.backoff,
+        jitter=args.jitter,
+        cache_dir=args.cache_dir,
+        cache_mb=args.cache_mb,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        journal_path=args.journal,
+        resume=args.resume,
+        report_path=args.report,
+        drain_timeout=args.drain_timeout,
+        chaos=ChaosConfig(
+            seed=args.chaos_seed,
+            kill_prob=args.chaos_kill_prob,
+            kill_delay=args.chaos_kill_delay,
+        ),
+    )
+    return ReproServer(config).run()
+
+
+def _parse_submit_params(pairs):
+    """``key=value`` pairs; values parse as JSON with string fallback."""
+    import json
+
+    params = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError("--param expects key=value, got %r" % pair)
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _cmd_submit(args):
+    import json
+
+    from .serve import QuotaExceeded, ServeClient, ServeClientError
+    from .serve.jobs import JOB_KINDS
+
+    if args.kind not in JOB_KINDS:
+        print(
+            "error: unknown job kind %r (known: %s)"
+            % (args.kind, ", ".join(JOB_KINDS)),
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        params = _parse_submit_params(args.param)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.target:
+        # One positional shorthand per kind: a bug id (or .v path for
+        # `check`), instead of spelling out --param bug=....
+        if args.kind == "check":
+            params.setdefault("target", args.target)
+        elif args.kind in ("profile", "wavediff", "repair"):
+            params.setdefault("bug", args.target)
+        elif args.kind == "faults":
+            params.setdefault("bugs", [args.target])
+    if args.source:
+        with open(args.source, "r") as handle:
+            params["source"] = handle.read()
+        params.setdefault("filename", args.source)
+    client = ServeClient(args.url, client_id=args.client)
+    try:
+        if args.wait_ready:
+            client.wait_ready(timeout=args.wait_ready)
+        summary = client.submit(args.kind, params)
+        if args.no_wait:
+            detail = summary
+        else:
+            detail = (
+                summary
+                if summary["status"] in ("done", "failed", "quarantined")
+                else client.wait(summary["id"], timeout=args.timeout)
+            )
+            if "result" not in detail:
+                detail = client.job(summary["id"])
+    except QuotaExceeded as exc:
+        print(
+            "error: quota exceeded; retry after %.1fs" % exc.retry_after,
+            file=sys.stderr,
+        )
+        return EXIT_FAILURE
+    except (ServeClientError, OSError, TimeoutError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_FAILURE
+    rendered = json.dumps(detail, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print("wrote %s" % args.output)
+    if args.json and not args.output:
+        sys.stdout.write(rendered)
+    else:
+        print(
+            "job %s (%s): %s%s%s"
+            % (
+                detail["id"],
+                detail["kind"],
+                detail["status"],
+                " [cached]" if detail.get("cached") else "",
+                " — %s" % detail["error"] if detail.get("error") else "",
+            )
+        )
+    if args.no_wait:
+        return EXIT_OK
+    return EXIT_OK if detail["status"] == "done" else EXIT_FAILURE
+
+
 def build_parser():
     """The argparse command tree."""
     from . import __version__
@@ -1000,6 +1138,153 @@ def build_parser():
         "gauges)",
     )
     repair.set_defaults(func=_cmd_repair)
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant debugging-as-a-service job server "
+        "(check/profile/wavediff/fuzz/faults/repair over JSON-HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8731,
+        help="listen port (0 picks a free one; default 8731)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--watchdog", type=float, default=120.0, metavar="SECONDS",
+        help="per-attempt deadline before the worker is killed "
+        "(default 120)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=2,
+        help="requeues per job after a kill/crash (default 2)",
+    )
+    serve.add_argument(
+        "--backoff", type=float, default=0.25, metavar="SECONDS",
+        help="base retry backoff, doubled per attempt (default 0.25)",
+    )
+    serve.add_argument(
+        "--jitter", type=float, default=0.1,
+        help="retry jitter fraction (default 0.1)",
+    )
+    serve.add_argument(
+        "--cache-dir", default="results/serve/cache",
+        help="content-addressed artifact cache directory",
+    )
+    serve.add_argument(
+        "--cache-mb", type=int, default=64,
+        help="cache size bound in MiB before LRU eviction (default 64)",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=20.0,
+        help="per-client submissions/second (0 disables quotas; "
+        "default 20)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=40.0,
+        help="per-client burst bucket size (default 40)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive fatal failures before a job kind is "
+        "quarantined (0 disables; default 5)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="quarantine duration before a half-open probe (default 30)",
+    )
+    serve.add_argument(
+        "--journal", default="results/serve/journal.jsonl",
+        help="crash-safe job journal path",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal: finished jobs keep their results, "
+        "incomplete ones re-run",
+    )
+    serve.add_argument(
+        "--fresh", action="store_true",
+        help="discard an existing journal instead of resuming",
+    )
+    serve.add_argument(
+        "--report", default=None,
+        help="write the deterministic repro.serve/v1 final report here "
+        "on graceful drain",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="bound on waiting for in-flight jobs at SIGTERM "
+        "(default 30)",
+    )
+    serve.add_argument(
+        "--chaos-kill-prob", type=float, default=0.0,
+        help="harness fault injection: probability each job attempt's "
+        "worker is SIGKILLed (default 0: off)",
+    )
+    serve.add_argument(
+        "--chaos-kill-delay", type=float, default=0.05, metavar="SECONDS",
+        help="upper bound on how far into an attempt a chaos kill lands",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for deterministic chaos decisions",
+    )
+    serve.set_defaults(func=_cmd_serve)
+    submit = sub.add_parser(
+        "submit",
+        help="submit one job to a running `repro serve` instance and "
+        "(by default) wait for its result",
+    )
+    submit.add_argument(
+        "kind",
+        help="job kind: check, profile, wavediff, fuzz, faults, repair",
+    )
+    submit.add_argument(
+        "target", nargs="?", default=None,
+        help="bug id (or .v path for `check`); optional for fuzz/faults",
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8731",
+        help="server base URL (default http://127.0.0.1:8731)",
+    )
+    submit.add_argument(
+        "--client", default="anon",
+        help="client identity for quota accounting (default anon)",
+    )
+    submit.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="job parameter; VALUE parses as JSON with string fallback "
+        "(repeatable, e.g. --param cases=50)",
+    )
+    submit.add_argument(
+        "--source", metavar="FILE", default=None,
+        help="send FILE's text as the job's inline source (check jobs)",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without waiting",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="wait bound in seconds (default 600)",
+    )
+    submit.add_argument(
+        "--wait-ready", type=float, default=0.0, metavar="SECONDS",
+        help="poll /healthz up to SECONDS before submitting (for "
+        "scripts that just booted the server)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print the full job detail (including the result payload) "
+        "as JSON",
+    )
+    submit.add_argument(
+        "-o", "--output", default=None,
+        help="write the job detail JSON here",
+    )
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -84,6 +84,25 @@ class Histogram:
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q):
+        """Upper-bound estimate of the *q*-quantile (``0 <= q <= 1``).
+
+        Walks the bucket histogram and returns the upper bound of the
+        bucket containing the q-th observation — so the true value is
+        at most the returned one. Resolution is the bucket width (a
+        factor of two), which is enough for the latency dashboards this
+        feeds (p50/p99 on ``serve.latency_ms``).
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for bound in sorted(self.buckets):
+            seen += self.buckets[bound]
+            if seen >= rank:
+                return float(bound)
+        return float(self.max if self.max is not None else 0.0)
+
     def snapshot(self):
         return {
             "name": self.name,

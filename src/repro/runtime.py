@@ -1,24 +1,30 @@
 """Shared runtime-resilience utilities for long-running campaigns.
 
-Both campaign runners (:mod:`repro.fuzz.runner` and
-:mod:`repro.faults.campaign`) execute thousands of cases against designs
-that may hang, crash, or fail transiently. This module concentrates the
-machinery they share:
+The campaign runners (:mod:`repro.fuzz.runner`, :mod:`repro.faults.campaign`,
+:mod:`repro.repair.search`) and the job server (:mod:`repro.serve`) all
+execute work against designs that may hang, crash, or fail transiently.
+This module concentrates the machinery they share:
 
 * :func:`time_limit` — a wall-clock watchdog built on ``SIGALRM`` (a
-  no-op on platforms without it, e.g. Windows);
+  no-op on platforms without it, e.g. Windows). ``SIGALRM`` can only be
+  armed on the main thread; off-main-thread callers get a clear
+  :class:`RuntimeError` pointing them at the process-kill watchdog
+  (:class:`repro.serve.watchdog.DeadlineWatchdog`) instead;
 * :func:`retry_with_backoff` — bounded retries with exponential backoff
-  for transiently failing work;
+  and optional jitter for transiently failing work;
 * :class:`JsonlJournal` — crash-safe incremental journaling: one JSON
   record per line, flushed and fsynced per append, tolerant of a torn
-  final line when reloading after a crash.
+  final line (and of corrupt interior lines) when reloading after a
+  crash.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import signal
+import threading
 import time
 from contextlib import contextmanager
 
@@ -39,10 +45,24 @@ def time_limit(seconds):
     check would never reach. Nested limits restore the outer handler and
     remaining budget. A falsy *seconds* — or a platform without
     ``SIGALRM`` — disables the limit entirely.
+
+    ``SIGALRM`` handlers can only be installed from the main thread, so
+    arming a limit anywhere else raises :class:`RuntimeError` up front
+    (instead of the cryptic ``ValueError`` ``signal`` would emit).
+    Worker threads that need a wall-clock bound should run the work in a
+    subprocess monitored by
+    :class:`repro.serve.watchdog.DeadlineWatchdog`, which kills the
+    child on a monotonic deadline and works from any thread.
     """
     if not seconds or not HAS_ALARM:
         yield
         return
+    if threading.current_thread() is not threading.main_thread():
+        raise RuntimeError(
+            "time_limit() arms SIGALRM and only works on the main thread; "
+            "run the work in a subprocess under "
+            "repro.serve.watchdog.DeadlineWatchdog instead"
+        )
 
     def handler(signum, frame):
         raise TimeLimitExceeded("exceeded %.1fs wall-clock budget" % seconds)
@@ -65,19 +85,28 @@ def retry_with_backoff(
     retries=2,
     base_delay=0.5,
     factor=2.0,
+    jitter=0.0,
     retry_on=(TimeLimitExceeded,),
     sleep=time.sleep,
     on_retry=None,
+    rng=None,
 ):
     """Call *func()* with up to *retries* retries on *retry_on* failures.
 
     Waits ``base_delay * factor**attempt`` seconds between attempts
-    (exponential backoff). *on_retry*, when given, is called with
-    ``(attempt_number, exception)`` before each wait — campaign runners
-    use it for progress lines and metrics. The final failure propagates.
+    (exponential backoff). *jitter*, when non-zero, scales each wait by
+    a uniform factor in ``[1, 1 + jitter]`` so a fleet of workers
+    retrying the same hiccup does not thunder back in lockstep; *rng*
+    (a zero-argument callable returning ``[0, 1)``) is injectable for
+    deterministic tests and defaults to :func:`random.random`.
+    *on_retry*, when given, is called with ``(attempt_number,
+    exception)`` before each wait — campaign runners use it for
+    progress lines and metrics. The final failure propagates.
 
     Returns ``(result, attempts)`` where *attempts* counts executions.
     """
+    if rng is None:
+        rng = random.random
     attempt = 0
     while True:
         attempt += 1
@@ -88,7 +117,26 @@ def retry_with_backoff(
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)
-            sleep(base_delay * (factor ** (attempt - 1)))
+            delay = base_delay * (factor ** (attempt - 1))
+            if jitter:
+                delay *= 1.0 + jitter * rng()
+            sleep(delay)
+
+
+def backoff_delay(attempt, base_delay=0.5, factor=2.0, jitter=0.0, rng=None):
+    """The wait before retry number *attempt* (1-based), with jitter.
+
+    The same schedule :func:`retry_with_backoff` uses, exposed for
+    callers that requeue work instead of looping in place (the serve
+    worker pool re-enqueues killed jobs rather than blocking a retry
+    loop on one worker slot).
+    """
+    if rng is None:
+        rng = random.random
+    delay = base_delay * (factor ** (max(1, attempt) - 1))
+    if jitter:
+        delay *= 1.0 + jitter * rng()
+    return delay
 
 
 class JsonlJournal:
@@ -96,48 +144,72 @@ class JsonlJournal:
 
     Every :meth:`append` writes one compact JSON record, flushes, and
     fsyncs, so an interrupted campaign loses at most the record being
-    written when the process died. :meth:`load` skips a torn final line,
-    letting a resumed campaign trust everything it reads.
+    written when the process died. :meth:`load` tolerates the two ways a
+    journal gets damaged in the field instead of raising
+    ``json.JSONDecodeError``:
+
+    * a *torn final line* (crash mid-append) is skipped and counted on
+      the ``runtime.journal.truncated`` obs counter;
+    * a *corrupt interior line* (bit rot, or two uncoordinated writers
+      interleaving) is skipped — not silently discarding everything
+      after it — and counted on ``runtime.journal.corrupt``.
+
+    Appends are a single ``write`` on an ``O_APPEND`` handle, so
+    multiple processes may safely append to one journal; reloads see
+    every intact record.
     """
 
     def __init__(self, path):
         self.path = path
         self._handle = None
+        self._lock = threading.Lock()
 
     def load(self):
         """All intact records currently in the journal (oldest first)."""
         records = []
         if not os.path.exists(self.path):
             return records
+        from . import obs
+
         with open(self.path, "r") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except ValueError:
+            lines = handle.readlines()
+        last_index = len(lines) - 1
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                if index == last_index:
                     # Torn write from a crash mid-append: drop the tail.
-                    break
+                    if obs.enabled:
+                        obs.counter("runtime.journal.truncated").inc()
+                else:
+                    # Damaged interior record: skip it, keep the rest.
+                    if obs.enabled:
+                        obs.counter("runtime.journal.corrupt").inc()
         return records
 
     def append(self, record):
-        """Durably append one JSON-serializable *record*."""
-        if self._handle is None:
-            directory = os.path.dirname(self.path)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
-            self._handle = open(self.path, "a")
-        self._handle.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        )
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        """Durably append one JSON-serializable *record* (thread-safe)."""
+        with self._lock:
+            if self._handle is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._handle = open(self.path, "a")
+            self._handle.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def close(self):
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self):
         return self

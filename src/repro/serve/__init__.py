@@ -1,0 +1,71 @@
+"""repro.serve: fault-tolerant debugging-as-a-service.
+
+The paper argues debugging tools must survive hostile conditions —
+hangs, lost data, partial observability. This package applies that
+thesis to the serving layer itself: every subsystem (``check``,
+``profile``, ``wavediff``, ``fuzz``, ``faults``, ``repair``) becomes an
+asynchronously executed *job* behind a stdlib-``asyncio``
+JSON-over-HTTP API, engineered for robustness end to end:
+
+* :mod:`~repro.serve.pool` — subprocess workers under a thread-safe
+  monotonic-deadline watchdog (:mod:`~repro.serve.watchdog`), with
+  kill/requeue on worker death, retry-with-backoff+jitter, and a
+  circuit breaker (:mod:`~repro.serve.breaker`) that quarantines a sick
+  job class instead of taking the server down;
+* :mod:`~repro.serve.cache` — content-addressed artifact cache keyed by
+  source digest: bounded, LRU-evicted, verified on read (a corrupt
+  entry costs a recompute, never a crash);
+* :mod:`~repro.serve.store` — the job queue and results ride a
+  crash-safe ``JsonlJournal``; ``repro serve --resume`` replays
+  incomplete work, and graceful drain on SIGTERM flushes in-flight
+  results and a deterministic final report;
+* :mod:`~repro.serve.quota` — per-client token buckets with structured
+  429s; :mod:`~repro.serve.chaos` — seeded harness-level fault
+  injection (worker SIGKILLs) used by the chaos acceptance tests.
+
+Start one with ``python -m repro serve``; talk to it with
+``python -m repro submit`` or :class:`~repro.serve.client.ServeClient`.
+"""
+
+from .breaker import CircuitBreaker
+from .cache import ArtifactCache
+from .chaos import ChaosConfig, ChaosMonkey
+from .client import QuotaExceeded, ServeClient, ServeClientError
+from .jobs import (
+    JOB_KINDS,
+    TERMINAL_STATUSES,
+    Job,
+    JobError,
+    execute_job,
+    job_cache_key,
+    payload_digest,
+)
+from .pool import WorkerPool
+from .quota import TokenBucketQuota
+from .server import ReproServer, ServeConfig
+from .store import SCHEMA, JobStore
+from .watchdog import DeadlineWatchdog
+
+__all__ = [
+    "SCHEMA",
+    "JOB_KINDS",
+    "TERMINAL_STATUSES",
+    "Job",
+    "JobError",
+    "execute_job",
+    "job_cache_key",
+    "payload_digest",
+    "ArtifactCache",
+    "DeadlineWatchdog",
+    "CircuitBreaker",
+    "TokenBucketQuota",
+    "WorkerPool",
+    "ChaosConfig",
+    "ChaosMonkey",
+    "JobStore",
+    "ReproServer",
+    "ServeConfig",
+    "ServeClient",
+    "ServeClientError",
+    "QuotaExceeded",
+]

@@ -1,0 +1,107 @@
+"""Circuit breaker: quarantine a failing job class, not the server.
+
+A job kind that keeps killing workers (a parser bug tripped by one
+design, a subsystem regression) would otherwise grind the pool down —
+every crash costs a worker respawn and a retry storm. After
+``threshold`` consecutive fatal failures of one kind, the breaker
+*opens*: new jobs of that kind are rejected instantly with status
+``quarantined`` while every other kind keeps flowing. After
+``cooldown`` seconds the breaker goes *half-open* and admits a single
+probe job; success closes the circuit, failure re-opens it for another
+cooldown.
+
+Thread-safe; the clock is injectable so tests drive state transitions
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-job-kind consecutive-failure breaker."""
+
+    def __init__(self, threshold=5, cooldown=30.0, clock=time.monotonic):
+        #: ``threshold <= 0`` disables the breaker entirely (the chaos
+        #: harness does this: injected crashes are the point, not a
+        #: sick job class).
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states = {}  # kind -> {failures, opened_at, probing}
+
+    def _state(self, kind):
+        state = self._states.get(kind)
+        if state is None:
+            state = self._states[kind] = {
+                "failures": 0, "opened_at": None, "probing": False,
+            }
+        return state
+
+    def allow(self, kind):
+        """May a job of *kind* run now?"""
+        if self.threshold <= 0:
+            return True
+        with self._lock:
+            state = self._state(kind)
+            if state["opened_at"] is None:
+                return True
+            if self._clock() - state["opened_at"] < self.cooldown:
+                return False
+            if state["probing"]:
+                return False  # one probe at a time in half-open
+            state["probing"] = True
+            return True
+
+    def record_success(self, kind):
+        if self.threshold <= 0:
+            return
+        with self._lock:
+            self._states[kind] = {
+                "failures": 0, "opened_at": None, "probing": False,
+            }
+
+    def record_failure(self, kind):
+        if self.threshold <= 0:
+            return
+        from .. import obs
+
+        with self._lock:
+            state = self._state(kind)
+            state["failures"] += 1
+            if state["probing"] or state["failures"] >= self.threshold:
+                state["opened_at"] = self._clock()
+                state["probing"] = False
+                if obs.enabled:
+                    obs.counter("serve.breaker.opened").inc()
+
+    def state(self, kind):
+        """``closed`` / ``open`` / ``half-open`` for *kind*."""
+        if self.threshold <= 0:
+            return CLOSED
+        with self._lock:
+            state = self._state(kind)
+            if state["opened_at"] is None:
+                return CLOSED
+            if self._clock() - state["opened_at"] < self.cooldown:
+                return OPEN
+            return HALF_OPEN
+
+    def snapshot(self):
+        """JSON-ready per-kind states (only kinds that ever failed)."""
+        with self._lock:
+            kinds = sorted(self._states)
+        return {
+            kind: {
+                "state": self.state(kind),
+                "consecutive_failures": self._states[kind]["failures"],
+            }
+            for kind in kinds
+        }

@@ -1,0 +1,180 @@
+"""Content-addressed artifact cache with LRU eviction and verified reads.
+
+Most serve traffic re-checks near-identical designs, so finished job
+payloads are cached on disk under their content key (see
+:func:`repro.serve.jobs.job_cache_key`). The cache is engineered for
+hostile conditions, per the failure model the rest of the stack
+assumes:
+
+* **verified on read** — every entry stores the SHA-256 of its
+  payload's canonical JSON; a mismatch (bit rot, torn write, a chaos
+  monkey with a hex editor) is treated as a miss: the entry is deleted,
+  the ``serve.cache.corrupt`` counter ticks, and the caller recomputes.
+  Corruption can cost a recompute, never a crash and never a wrong
+  answer;
+* **bounded** — total bytes on disk stay under ``max_bytes``; inserts
+  evict least-recently-used entries (file mtime is the recency clock,
+  bumped on every hit, so warmth survives a server restart);
+* **crash-safe writes** — entries land via write-to-temp + atomic
+  rename, so a crash mid-``put`` leaves either the old entry or none.
+
+Thread-safe: the server's asyncio thread checks for hits at submit
+time while pool manager threads insert finished results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+
+from .jobs import canonical_json
+
+
+class ArtifactCache:
+    """Disk-backed LRU cache of JSON payloads keyed by content digest."""
+
+    def __init__(self, directory, max_bytes=64 * 1024 * 1024):
+        self.directory = directory
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # -- internals ----------------------------------------------------------
+
+    def _path(self, key):
+        return os.path.join(self.directory, "%s.json" % key)
+
+    def _entries(self):
+        """``[(mtime, size, path)]`` of every entry currently on disk."""
+        entries = []
+        for name in os.listdir(self.directory):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def _record(self, field):
+        from .. import obs
+
+        setattr(self, field, getattr(self, field) + 1)
+        if obs.enabled:
+            obs.counter("serve.cache.%s" % field).inc()
+
+    # -- public API ---------------------------------------------------------
+
+    def get(self, key):
+        """The cached payload for *key*, or ``None``.
+
+        A present-but-corrupt entry is deleted and reported as a miss.
+        """
+        path = self._path(key)
+        with self._lock:
+            try:
+                with open(path, "r") as handle:
+                    entry = json.load(handle)
+                payload = entry["payload"]
+                digest = hashlib.sha256(
+                    canonical_json(payload).encode("utf-8")
+                ).hexdigest()
+                if digest != entry["digest"]:
+                    raise ValueError("digest mismatch")
+            except FileNotFoundError:
+                self._record("misses")
+                return None
+            except (ValueError, KeyError, TypeError, OSError):
+                # Corrupt entry: recompute, never crash.
+                self._record("corrupt")
+                self._record("misses")
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                return None
+            self._record("hits")
+            try:
+                os.utime(path)  # bump LRU recency
+            except OSError:
+                pass
+            return payload
+
+    def put(self, key, payload):
+        """Insert *payload* under *key*, evicting LRU entries if needed."""
+        body = json.dumps(
+            {
+                "digest": hashlib.sha256(
+                    canonical_json(payload).encode("utf-8")
+                ).hexdigest(),
+                "payload": payload,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        path = self._path(key)
+        with self._lock:
+            temp = path + ".tmp"
+            with open(temp, "w") as handle:
+                handle.write(body)
+            os.replace(temp, path)
+            self._evict(keep=path)
+
+    def _evict(self, keep=None):
+        total = 0
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self._record("evictions")
+
+    def __contains__(self, key):
+        return os.path.exists(self._path(key))
+
+    def __len__(self):
+        return len(self._entries())
+
+    def total_bytes(self):
+        return sum(size for _, size, _ in self._entries())
+
+    def corrupt_entry(self, key):
+        """Deliberately damage *key*'s stored payload (chaos harness)."""
+        path = self._path(key)
+        with self._lock:
+            with open(path, "r") as handle:
+                entry = json.load(handle)
+            entry["payload"] = {"tampered": True}
+            with open(path, "w") as handle:
+                json.dump(entry, handle)
+
+    def stats(self):
+        """JSON-ready counters plus the current footprint."""
+        hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "entries": len(self),
+            "bytes": self.total_bytes(),
+            "hit_rate": round(hits / lookups, 4) if lookups else None,
+        }

@@ -1,0 +1,61 @@
+"""Seeded fault injection for the serve harness itself.
+
+The rest of the repo injects faults into *designs*; this module injects
+them into the *server* — the same philosophy turned inward. A
+:class:`ChaosMonkey` decides, deterministically per ``(job, attempt)``,
+whether to SIGKILL the worker mid-job. Determinism matters: the chaos
+acceptance test demands that a campaign run under chaos, killed halfway
+and resumed, produce a final report byte-identical to an uninterrupted
+chaos run — which only holds if the monkey's choices depend on job
+identity, never on wall clock or arrival order.
+
+Injected *hangs* ride on the job itself (``params["_chaos_hang"]``, see
+:func:`repro.serve.jobs.execute_job`) because a hang is a property of
+the work; kills are a property of the environment and live here.
+Corrupted cache entries and truncated journals are injected directly by
+the tests through :meth:`ArtifactCache.corrupt_entry` and file
+truncation — they are data-at-rest faults with no scheduling component.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs for harness-level fault injection (all off by default)."""
+
+    seed: int = 0
+    #: Probability that any given (job, attempt) execution gets its
+    #: worker SIGKILLed partway through.
+    kill_prob: float = 0.0
+    #: Upper bound, in seconds, on how far into the attempt the kill
+    #: lands (the actual delay is a deterministic fraction of this).
+    kill_delay: float = 0.05
+
+    @property
+    def active(self):
+        return self.kill_prob > 0
+
+
+class ChaosMonkey:
+    """Deterministic per-(job, attempt) kill decisions."""
+
+    def __init__(self, config):
+        self.config = config
+        self.kills_planned = 0
+
+    def _roll(self, job_id, attempt, salt):
+        token = "%d:%s:%d:%s" % (self.config.seed, job_id, attempt, salt)
+        return (zlib.crc32(token.encode("utf-8")) & 0xFFFFFFFF) / 2.0 ** 32
+
+    def kill_after(self, job_id, attempt):
+        """Seconds until this attempt's worker should be killed, or None."""
+        if not self.config.active:
+            return None
+        if self._roll(job_id, attempt, "kill") >= self.config.kill_prob:
+            return None
+        self.kills_planned += 1
+        return self.config.kill_delay * self._roll(job_id, attempt, "delay")

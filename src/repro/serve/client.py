@@ -1,0 +1,133 @@
+"""Thin stdlib HTTP client for the serve API.
+
+The CLI (``python -m repro submit``), the CI smoke job, the tests, and
+the throughput benchmark all talk to the server through this class —
+the CLI is just one client among many. Synchronous on purpose: one
+request per connection matches the server's ``Connection: close``
+model, and callers that want concurrency use threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+
+class ServeClientError(Exception):
+    """The server refused or failed a request (HTTP >= 400)."""
+
+    def __init__(self, status, payload):
+        message = "unexpected response"
+        if isinstance(payload, dict):
+            message = payload.get("error", message)
+        super().__init__("HTTP %d: %s" % (status, message))
+        self.status = status
+        self.payload = payload
+
+
+class QuotaExceeded(ServeClientError):
+    """Structured 429: carries how long to back off."""
+
+    def __init__(self, status, payload):
+        super().__init__(status, payload)
+        self.retry_after = (
+            payload.get("retry_after", 1.0)
+            if isinstance(payload, dict) else 1.0
+        )
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(self, base_url, client_id="anon", timeout=60.0):
+        split = urlsplit(base_url if "//" in base_url
+                         else "http://" + base_url)
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 8731
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def _request(self, method, path, obj=None):
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {"X-Repro-Client": self.client_id}
+            if obj is not None:
+                body = json.dumps(obj).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            if response.status == 429:
+                raise QuotaExceeded(response.status, payload)
+            if response.status >= 400:
+                raise ServeClientError(response.status, payload)
+            return payload
+        finally:
+            connection.close()
+
+    # -- API ----------------------------------------------------------------
+
+    def health(self):
+        return self._request("GET", "/healthz")
+
+    def info(self):
+        return self._request("GET", "/")
+
+    def metrics(self):
+        return self._request("GET", "/metrics")
+
+    def submit(self, kind, params=None):
+        """Submit one job; returns its summary (id, status, cached)."""
+        return self._request(
+            "POST", "/jobs",
+            {"kind": kind, "params": params or {}, "client": self.client_id},
+        )
+
+    def job(self, job_id):
+        return self._request("GET", "/jobs/%s" % job_id)
+
+    def jobs(self):
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(self, job_id, timeout=300.0, poll=0.1):
+        """Poll until *job_id* is terminal; returns the job detail."""
+        from .jobs import TERMINAL_STATUSES
+
+        deadline = time.monotonic() + timeout
+        while True:
+            detail = self.job(job_id)
+            if detail["status"] in TERMINAL_STATUSES:
+                return detail
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "job %s still %r after %.1fs"
+                    % (job_id, detail["status"], timeout)
+                )
+            time.sleep(poll)
+
+    def run(self, kind, params=None, timeout=300.0, poll=0.1):
+        """Submit and wait in one call; returns the finished job detail."""
+        summary = self.submit(kind, params)
+        if summary["status"] in ("done", "failed", "quarantined"):
+            return self.job(summary["id"])
+        return self.wait(summary["id"], timeout=timeout, poll=poll)
+
+    def wait_ready(self, timeout=30.0, poll=0.2):
+        """Block until the server answers /healthz (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (OSError, ServeClientError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)

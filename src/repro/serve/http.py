@@ -1,0 +1,95 @@
+"""Minimal JSON-over-HTTP/1.1 plumbing on stdlib asyncio.
+
+Just enough protocol for the serve API — request-line + headers +
+``Content-Length`` body in, one JSON document out, ``Connection:
+close`` always. No dependencies, no streaming, no keep-alive: every
+request is an independent short exchange, which keeps the failure
+model trivial (a broken connection loses one response, never corrupts
+a stream).
+"""
+
+from __future__ import annotations
+
+import json
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Largest request body accepted (a pasted design, not a bitstream).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """Raise inside a handler to produce a structured error response."""
+
+    def __init__(self, status, message, **extra):
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message}
+        self.payload.update(extra)
+
+
+async def read_request(reader):
+    """Parse one request; returns ``(method, path, headers, body)``.
+
+    Returns ``None`` on a closed/empty connection. Malformed requests
+    raise :class:`HttpError` (400).
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise HttpError(400, "malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise HttpError(400, "bad Content-Length")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(400, "unacceptable Content-Length %d" % length)
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def parse_json_body(body):
+    """The request body as a JSON object (400 on anything else)."""
+    if not body:
+        return {}
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        raise HttpError(400, "request body is not valid JSON")
+    if not isinstance(obj, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    return obj
+
+
+def json_response(status, payload, headers=()):
+    """A full HTTP response as bytes."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+    lines = [
+        "HTTP/1.1 %d %s" % (status, REASONS.get(status, "Unknown")),
+        "Content-Type: application/json",
+        "Content-Length: %d" % len(body),
+        "Connection: close",
+    ]
+    lines.extend("%s: %s" % pair for pair in headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,334 @@
+"""Job model and subsystem adapters for the serve API.
+
+A *job* is one unit of debugging work — a check, a profile, a waveform
+diff, a fuzz/fault campaign, or a repair search — executed out of
+process by the worker pool. Every adapter returns a **deterministic**
+payload: no wall-clock fields, no filesystem paths, nothing that would
+make two executions of the same content differ. That property is what
+makes the content-addressed cache sound (a hit is byte-identical to a
+recompute) and what lets ``repro serve --resume`` rebuild a final
+report byte-identical to an uninterrupted run's.
+
+Cache keys are content-addressed: the digest covers the job kind, the
+SHA-256 of every source text the job reads (testbed designs resolve to
+their on-disk Verilog), and the semantically meaningful parameters.
+Keys deliberately exclude ``_chaos*`` parameters — fault injection in
+the harness changes *how* a job runs, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+#: Supported job kinds, in the order the docs present them.
+JOB_KINDS = ("check", "profile", "wavediff", "fuzz", "faults", "repair")
+
+#: Job lifecycle states. ``queued -> running -> <terminal>``; a killed
+#: or crashed attempt transitions back to ``queued`` while retry budget
+#: remains.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CRASHED = "crashed"
+QUARANTINED = "quarantined"
+
+TERMINAL_STATUSES = (DONE, FAILED, TIMEOUT, CRASHED, QUARANTINED)
+
+
+class JobError(Exception):
+    """A job request is malformed (unknown kind, bad params)."""
+
+
+@dataclass
+class Job:
+    """One submitted job and everything the server tracks about it."""
+
+    id: str
+    kind: str
+    params: dict
+    client: str = "anon"
+    status: str = QUEUED
+    attempts: int = 0
+    result: object = None
+    error: str = ""
+    error_code: str = None
+    cached: bool = False
+    cache_key: str = ""
+    #: Wall-clock submit time (monotonic), for latency metrics only —
+    #: never persisted or reported.
+    submitted_at: float = field(default=0.0, repr=False, compare=False)
+
+    @property
+    def terminal(self):
+        return self.status in TERMINAL_STATUSES
+
+    def to_summary(self):
+        """JSON-ready summary (no result payload)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "client": self.client,
+            "status": self.status,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "cache_key": self.cache_key,
+            "error": self.error,
+            "error_code": self.error_code,
+        }
+
+    def to_detail(self):
+        """Summary plus the full result payload."""
+        detail = self.to_summary()
+        detail["result"] = self.result
+        return detail
+
+
+def canonical_json(obj):
+    """The one serialization used for digests: compact, sorted keys."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(payload):
+    """SHA-256 hex digest of a payload's canonical JSON."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _chaos_free(params):
+    """Params with harness fault-injection knobs (``_``-prefixed) removed."""
+    return {k: v for k, v in params.items() if not k.startswith("_")}
+
+
+def _bug_text(bug_id):
+    from ..testbed.harness import _design_text
+    from ..testbed.metadata import SPECS
+
+    spec = SPECS[bug_id]  # KeyError for unknown bugs -> 400 at submit
+    return _design_text(spec.design_file)
+
+
+def resolve_sources(kind, params):
+    """``{name: text}`` of every source text the job's result depends on.
+
+    Testbed bug IDs resolve to their design files so an edited design
+    invalidates the cache entry; purely generative jobs (``fuzz``)
+    depend on no external text at all.
+    """
+    params = _chaos_free(params)
+    if kind == "check":
+        if "source" in params:
+            return {"inline": params["source"]}
+        target = params.get("target", "")
+        if target.upper() in _known_bug_ids():
+            return {target.upper(): _bug_text(target.upper())}
+        with open(target, "r") as handle:
+            return {target: handle.read()}
+    if kind in ("profile", "wavediff", "repair"):
+        bug_id = params["bug"]
+        return {bug_id: _bug_text(bug_id)}
+    if kind == "faults":
+        bugs = params.get("bugs") or list(_known_bug_ids())
+        return {bug_id: _bug_text(bug_id) for bug_id in bugs}
+    if kind == "fuzz":
+        return {}
+    raise JobError("unknown job kind %r (known: %s)"
+                   % (kind, ", ".join(JOB_KINDS)))
+
+
+def _known_bug_ids():
+    from ..testbed.metadata import SPECS
+
+    return SPECS
+
+
+def job_cache_key(kind, params):
+    """Content-addressed cache key for one (kind, params) submission.
+
+    The key digests ``{kind, sources: {name: sha256(text)}, params}``
+    where *params* excludes the source text itself (already covered by
+    its digest) and all ``_chaos*`` harness knobs.
+    """
+    sources = resolve_sources(kind, params)
+    keyed_params = _chaos_free(params)
+    keyed_params.pop("source", None)
+    identity = {
+        "kind": kind,
+        "sources": {
+            name: hashlib.sha256(text.encode("utf-8")).hexdigest()
+            for name, text in sources.items()
+        },
+        "params": keyed_params,
+    }
+    return hashlib.sha256(
+        canonical_json(identity).encode("utf-8")
+    ).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Adapters. Each runs inside a worker process (its main thread, so the
+# SIGALRM time_limit used by the wrapped subsystems still works) and
+# returns a JSON-ready deterministic payload.
+# ---------------------------------------------------------------------------
+
+
+def _run_check(params):
+    from ..diag import build_check_report
+    from ..diag.check import check_targets, check_text
+
+    select = tuple(params.get("select") or ())
+    ignore = tuple(params.get("ignore") or ())
+    kwargs = dict(
+        run_tools=not params.get("no_tools", False),
+        run_flow=not params.get("no_flow", False),
+        select=select,
+        ignore=ignore,
+        strict=bool(params.get("strict", False)),
+    )
+    if "source" in params:
+        filename = params.get("filename", "<serve>")
+        results = [
+            check_text(params["source"], filename=filename, target=filename,
+                       **kwargs)
+        ]
+    else:
+        results = check_targets([params["target"]], **kwargs)
+    return build_check_report(results)
+
+
+def _run_profile(params):
+    from ..testbed import reproduce
+
+    bug_id = params["bug"]
+    result = reproduce(bug_id)
+    return {
+        "bug": bug_id,
+        "reproduced": result.reproduced,
+        "symptoms": sorted(s.value for s in result.observation.symptoms),
+    }
+
+
+def _run_wavediff(params):
+    from ..wave import wavediff_bug
+
+    outcome = wavediff_bug(
+        params["bug"],
+        fault=params.get("fault"),
+        fixed=bool(params.get("fixed", False)),
+        signals=params.get("signals"),
+        last=params.get("last"),
+        max_offset=int(params.get("align", 0)),
+    )
+    return outcome.report
+
+
+def _run_fuzz(params):
+    import shutil
+    import tempfile
+
+    from ..fuzz import ORACLE_NAMES, CampaignConfig, run_campaign
+
+    scratch = tempfile.mkdtemp(prefix="repro-serve-fuzz-")
+    try:
+        config = CampaignConfig(
+            cases=int(params.get("cases", 25)),
+            seed=int(params.get("seed", 0)),
+            cycles=int(params.get("cycles", 48)),
+            oracles=tuple(params.get("oracles") or ORACLE_NAMES),
+            jobs=1,
+            reduce=False,
+            output_dir=scratch,
+        )
+        report = run_campaign(config)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {
+        "seed": config.seed,
+        "cases": len(report.results),
+        "counts": report.counts,
+        "buckets": sorted(report.buckets),
+        "failures": [
+            {
+                "index": result.index,
+                "status": result.status,
+                "oracle": result.oracle,
+                "signature": result.signature,
+            }
+            for result in sorted(report.failures, key=lambda r: r.index)
+        ],
+    }
+
+
+def _run_faults(params):
+    import os
+    import shutil
+    import tempfile
+
+    from ..faults import FaultCampaignConfig, run_fault_campaign
+
+    bugs = tuple(params.get("bugs") or ())
+    if not bugs:
+        from ..testbed.metadata import BUG_IDS
+
+        bugs = tuple(BUG_IDS)
+    scratch = tempfile.mkdtemp(prefix="repro-serve-faults-")
+    try:
+        config = FaultCampaignConfig(
+            bugs=bugs,
+            faults_per_bug=int(params.get("faults_per_bug", 2)),
+            seed=int(params.get("seed", 0)),
+            kinds=tuple(params["kinds"]) if params.get("kinds") else None,
+            output_dir=scratch,
+            journal_path=os.path.join(scratch, "journal.jsonl"),
+            resume=False,
+        )
+        report = run_fault_campaign(config)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return report.to_report()
+
+
+def _run_repair(params):
+    from ..repair import RepairConfig, run_repair
+
+    config = RepairConfig(
+        bug_id=params["bug"],
+        budget=int(params.get("budget", 200)),
+        watchdog=float(params.get("watchdog", 10.0)),
+        stop_after=int(params.get("stop_after", 5)),
+        templates=tuple(params.get("templates") or ()),
+        use_faults=bool(params.get("use_faults", False)),
+    )
+    return run_repair(config).report
+
+
+_ADAPTERS = {
+    "check": _run_check,
+    "profile": _run_profile,
+    "wavediff": _run_wavediff,
+    "fuzz": _run_fuzz,
+    "faults": _run_faults,
+    "repair": _run_repair,
+}
+
+
+def execute_job(kind, params, attempt=1):
+    """Run one job attempt; returns the deterministic payload.
+
+    ``params["_chaos_hang"]`` — ``{"seconds": S, "attempts": N}`` —
+    makes the first *N* attempts sleep *S* seconds before doing the
+    work. The chaos harness uses it to simulate a hung tool that the
+    deadline watchdog must kill; a retried attempt past *N* proceeds
+    normally, so a hang is transient rather than fatal.
+    """
+    adapter = _ADAPTERS.get(kind)
+    if adapter is None:
+        raise JobError("unknown job kind %r (known: %s)"
+                       % (kind, ", ".join(JOB_KINDS)))
+    hang = params.get("_chaos_hang")
+    if hang and attempt <= int(hang.get("attempts", 1)):
+        time.sleep(float(hang.get("seconds", 0)))
+    return adapter(params)

@@ -1,0 +1,67 @@
+"""Per-client token-bucket quotas for the serve API.
+
+Every client (the ``X-Repro-Client`` header, defaulting to ``anon``)
+gets an independent bucket holding up to ``burst`` tokens that refills
+at ``rate`` tokens per second. A submission spends one token; an empty
+bucket yields a structured 429 telling the client exactly how long to
+back off, so well-behaved clients self-pace instead of hammering.
+
+Thread-safe; the clock is injectable for tests. ``rate <= 0`` disables
+quotas entirely (single-user / CI mode).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class TokenBucketQuota:
+    """Admit-or-defer decisions for every client."""
+
+    def __init__(self, rate=20.0, burst=40.0, clock=time.monotonic):
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets = {}  # client -> [tokens, last_refill]
+        self.denied = 0
+
+    def admit(self, client):
+        """``(True, 0.0)`` to run now, ``(False, retry_after_seconds)``.
+
+        The returned wait is how long until one full token has
+        accumulated — the value the 429 response carries in its body
+        and ``Retry-After`` header.
+        """
+        if self.rate <= 0:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = [self.burst, now]
+            tokens, last = bucket
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                bucket[0] = tokens - 1.0
+                bucket[1] = now
+                return True, 0.0
+            bucket[0] = tokens
+            bucket[1] = now
+            self.denied += 1
+            from .. import obs
+
+            if obs.enabled:
+                obs.counter("serve.quota.denied").inc()
+            return False, round((1.0 - tokens) / self.rate, 3)
+
+    def snapshot(self):
+        """JSON-ready quota stats."""
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+                "denied": self.denied,
+            }

@@ -1,0 +1,176 @@
+"""Crash-safe job store: the queue and results ride a ``JsonlJournal``.
+
+Two event kinds, one line each, fsynced on append:
+
+* ``{"event": "submit", "id", "kind", "params", "client", "cache_key"}``
+  — written the moment a job is accepted;
+* ``{"event": "done", "id", "status", "result", "error", "error_code"}``
+  — written exactly once when the job reaches a terminal status.
+
+``repro serve --resume`` replays the journal: every ``submit`` without
+a matching ``done`` is incomplete work to re-enqueue; every ``done``
+restores its result so clients can still ``GET /jobs/<id>`` after a
+restart. The journal inherits :class:`repro.runtime.JsonlJournal`'s
+tolerance of torn and corrupt lines, so a SIGKILL mid-append costs at
+most the record being written.
+
+The **final report** (written on graceful drain) is deliberately free
+of wall-clock data, attempt counts, and cache-hit flags — everything
+that can differ between an uninterrupted run and a killed-and-resumed
+one — so the chaos harness can assert byte-identical reports across
+the two. Results are summarized by SHA-256 digest; full payloads stay
+in the journal and the job API.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from ..runtime import JsonlJournal
+from .jobs import Job, QUEUED, TERMINAL_STATUSES, payload_digest
+
+SCHEMA = "repro.serve/v1"
+
+
+class JobStore:
+    """All jobs the server knows about, persisted through a journal."""
+
+    def __init__(self, journal_path=None):
+        self._lock = threading.Lock()
+        self._jobs = {}
+        self._order = []
+        self._seq = 0
+        self._journal = JsonlJournal(journal_path) if journal_path else None
+
+    # -- creation / persistence --------------------------------------------
+
+    def create(self, kind, params, client, cache_key):
+        """Allocate the next job id and journal the submission."""
+        with self._lock:
+            self._seq += 1
+            job = Job(
+                id="j%06d" % self._seq,
+                kind=kind,
+                params=params,
+                client=client,
+                cache_key=cache_key,
+            )
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        if self._journal is not None:
+            self._journal.append({
+                "event": "submit",
+                "id": job.id,
+                "kind": kind,
+                "params": params,
+                "client": client,
+                "cache_key": cache_key,
+            })
+        return job
+
+    def record_done(self, job):
+        """Journal a terminal transition (call exactly once per job)."""
+        if self._journal is not None:
+            self._journal.append({
+                "event": "done",
+                "id": job.id,
+                "status": job.status,
+                "result": job.result,
+                "error": job.error,
+                "error_code": job.error_code,
+            })
+
+    def resume(self):
+        """Replay the journal; returns the incomplete jobs to re-enqueue.
+
+        Jobs come back in submission order with attempt counters reset —
+        a resumed job re-runs from scratch, which is safe because every
+        adapter is deterministic and finalization is exactly-once.
+        """
+        if self._journal is None:
+            return []
+        incomplete = []
+        with self._lock:
+            for record in self._journal.load():
+                event = record.get("event")
+                if event == "submit":
+                    job = Job(
+                        id=record["id"],
+                        kind=record["kind"],
+                        params=record.get("params") or {},
+                        client=record.get("client", "anon"),
+                        cache_key=record.get("cache_key", ""),
+                    )
+                    self._jobs[job.id] = job
+                    self._order.append(job.id)
+                    self._seq = max(self._seq, int(job.id[1:]))
+                    incomplete.append(job)
+                elif event == "done":
+                    job = self._jobs.get(record.get("id"))
+                    if job is None:
+                        continue
+                    job.status = record.get("status", QUEUED)
+                    job.result = record.get("result")
+                    job.error = record.get("error", "")
+                    job.error_code = record.get("error_code")
+                    if job.terminal and job in incomplete:
+                        incomplete.remove(job)
+        return [job for job in incomplete if not job.terminal]
+
+    def close(self):
+        if self._journal is not None:
+            self._journal.close()
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, job_id):
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self):
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def counts(self):
+        """Jobs per status, including non-terminal ones."""
+        counts = {}
+        for job in self.jobs():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    # -- reporting -----------------------------------------------------------
+
+    def final_report(self):
+        """Deterministic ``repro.serve/v1`` campaign report."""
+        jobs = sorted(self.jobs(), key=lambda job: job.id)
+        entries = []
+        for job in jobs:
+            entries.append({
+                "id": job.id,
+                "kind": job.kind,
+                "cache_key": job.cache_key,
+                "status": job.status,
+                "error": job.error,
+                "error_code": job.error_code,
+                "result_sha256": (
+                    payload_digest(job.result)
+                    if job.status in TERMINAL_STATUSES
+                    and job.result is not None else None
+                ),
+            })
+        return {
+            "schema": SCHEMA,
+            "jobs": entries,
+            "counts": self.counts(),
+        }
+
+    def write_final_report(self, path):
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.final_report(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path

@@ -1,0 +1,119 @@
+"""Thread-safe monotonic-deadline watchdog for out-of-process work.
+
+:func:`repro.runtime.time_limit` arms ``SIGALRM`` and therefore only
+works on the main thread — useless to a worker pool whose manager
+threads each babysit one worker process. This watchdog is the
+off-main-thread replacement: a single daemon thread tracks ``(token,
+monotonic deadline, callback)`` entries and fires the callback (which
+kills the worker process) the moment a deadline passes. Because the
+enforcement action is a process kill rather than an in-process
+exception, it works from any thread and cannot be blocked by a wedged
+interpreter in the child.
+
+Deadlines use :func:`time.monotonic` (injectable for tests), so wall
+clock steps — NTP corrections, suspend/resume — never fire or starve a
+watchdog.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class DeadlineWatchdog:
+    """Fire callbacks when monotonic deadlines expire.
+
+    ``arm(token, seconds, callback, reason)`` registers a deadline;
+    ``disarm(token)`` cancels it. When a deadline passes, the entry is
+    removed, the expiry is remembered (``fired_reason(token)``), and
+    *callback(token, reason)* runs on the watchdog thread — callbacks
+    must be quick and must not raise (a kill + flag set, typically).
+    One token may hold several concurrent deadlines under distinct
+    *reason* labels (a job timeout and an earlier chaos kill, say);
+    the soonest fires first.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._entries = {}  # (token, reason) -> (deadline, callback)
+        self._fired = {}  # token -> first reason that fired
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def arm(self, token, seconds, callback, reason="timeout"):
+        """Schedule *callback(token, reason)* in *seconds* from now."""
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("watchdog is closed")
+            self._entries[(token, reason)] = (
+                self._clock() + seconds, callback
+            )
+            self._wakeup.notify()
+
+    def disarm(self, token):
+        """Cancel every pending deadline for *token*."""
+        with self._wakeup:
+            for key in [k for k in self._entries if k[0] == token]:
+                del self._entries[key]
+            self._wakeup.notify()
+
+    def fired_reason(self, token, clear=True):
+        """The reason *token*'s first expiry fired, or ``None``."""
+        with self._lock:
+            if clear:
+                return self._fired.pop(token, None)
+            return self._fired.get(token)
+
+    def pending(self):
+        with self._lock:
+            return len(self._entries)
+
+    def close(self):
+        with self._wakeup:
+            self._closed = True
+            self._entries.clear()
+            self._wakeup.notify()
+        self._thread.join(timeout=2.0)
+
+    # -- watchdog thread ----------------------------------------------------
+
+    def _run(self):
+        while True:
+            with self._wakeup:
+                if self._closed:
+                    return
+                now = self._clock()
+                expired = []
+                soonest = None
+                for key, (deadline, callback) in list(self._entries.items()):
+                    if deadline <= now:
+                        expired.append((key, callback))
+                        del self._entries[key]
+                    elif soonest is None or deadline < soonest:
+                        soonest = deadline
+                for (token, reason), _ in expired:
+                    self._fired.setdefault(token, reason)
+                if not expired:
+                    timeout = None if soonest is None else max(
+                        0.0, soonest - now
+                    )
+                    # Poll at least every 50ms so injected test clocks
+                    # (which advance between waits) are noticed.
+                    self._wakeup.wait(
+                        0.05 if timeout is None else min(timeout, 0.05)
+                    )
+                    continue
+            for (token, reason), callback in expired:
+                try:
+                    callback(token, reason)
+                except Exception:
+                    # A failing kill callback must not take down the
+                    # watchdog thread; the pool's liveness checks will
+                    # catch the worker eventually.
+                    pass

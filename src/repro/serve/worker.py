@@ -1,0 +1,83 @@
+"""Worker process: executes jobs sent as JSON lines over stdin/stdout.
+
+Run as ``python -m repro.serve.worker`` by the pool; never started by
+hand. The protocol is one JSON object per line:
+
+request::
+
+    {"id": "j000001", "kind": "check", "params": {...}, "attempt": 1}
+
+response::
+
+    {"id": "j000001", "ok": true, "payload": {...}}
+    {"id": "j000001", "ok": false, "error": "...", "error_code": "...",
+     "transient": false}
+
+A worker that hangs simply produces no line; the pool's deadline
+watchdog SIGKILLs it and the manager thread sees EOF. Running each job
+on this process's *main* thread keeps the wrapped subsystems'
+``SIGALRM``-based :func:`repro.runtime.time_limit` fully functional
+(repair candidate watchdogs, campaign case timeouts) — the serve
+watchdog is the outer, unconditional bound.
+
+``transient`` marks failures worth retrying (wall-clock limits blown by
+a noisy neighbour); deterministic failures — parse errors, unknown
+bugs — are final on the first attempt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from ..diag.model import error_code
+from ..runtime import TimeLimitExceeded
+from .jobs import execute_job
+
+
+def _respond(out, record):
+    out.write(json.dumps(record, sort_keys=True) + "\n")
+    out.flush()
+
+
+def main(stdin=None, stdout=None):
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except ValueError:
+            _respond(stdout, {"id": None, "ok": False,
+                              "error": "malformed request",
+                              "error_code": None, "transient": False})
+            continue
+        job_id = request.get("id")
+        attempt = int(request.get("attempt", 1))
+        params = request.get("params") or {}
+        exit_chaos = params.get("_chaos_exit")
+        if exit_chaos and attempt <= int(exit_chaos.get("attempts", 1)):
+            # Simulated worker crash (chaos harness): die without a
+            # response, exactly like a segfault would look.
+            os._exit(57)
+        try:
+            payload = execute_job(request.get("kind"), params,
+                                  attempt=attempt)
+            _respond(stdout, {"id": job_id, "ok": True, "payload": payload})
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:  # noqa: BLE001 — report, don't die
+            _respond(stdout, {
+                "id": job_id,
+                "ok": False,
+                "error": "%s: %s" % (type(exc).__name__, str(exc)[:300]),
+                "error_code": error_code(exc),
+                "transient": isinstance(exc, TimeLimitExceeded),
+            })
+
+
+if __name__ == "__main__":
+    main()

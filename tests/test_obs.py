@@ -70,6 +70,20 @@ class TestHistograms:
     def test_empty_histogram_mean(self):
         assert obs.histogram("empty").mean == 0.0
 
+    def test_percentile_upper_bound_estimate(self):
+        hist = obs.histogram("latency")
+        for value in (1, 2, 3, 100):
+            hist.observe(value)
+        # Bucket upper bounds: 1, 2, 4, 128. p50 lands in bucket 2,
+        # p99 in the last bucket.
+        assert hist.percentile(0.5) == 2.0
+        assert hist.percentile(0.99) == 128.0
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(1.0) == 128.0
+
+    def test_percentile_empty_is_zero(self):
+        assert obs.histogram("empty").percentile(0.5) == 0.0
+
 
 class TestSpans:
     def test_disabled_spans_are_noops(self):

@@ -146,3 +146,125 @@ class TestJsonlJournal:
         assert [r["case"] for r in JsonlJournal(path).load()] == [
             "A#0", "A#1",
         ]
+
+    def test_truncated_final_line_counts_on_obs(self, tmp_path):
+        from repro import obs
+
+        path = str(tmp_path / "journal.jsonl")
+        with JsonlJournal(path) as journal:
+            journal.append({"case": "A#0"})
+        with open(path, "a") as handle:
+            handle.write('{"case": "A#1", "sta')
+        obs.reset()
+        with obs.observed():
+            loaded = JsonlJournal(path).load()
+            truncated = obs.counter("runtime.journal.truncated").value
+        obs.reset()
+        obs.enabled = False
+        assert [record["case"] for record in loaded] == ["A#0"]
+        assert truncated == 1
+
+    def test_corrupt_interior_line_skipped_not_fatal(self, tmp_path):
+        # Records after a damaged interior line must survive the reload
+        # (a resume that silently dropped the tail would re-run finished
+        # work — or worse, report it lost).
+        from repro import obs
+
+        path = str(tmp_path / "journal.jsonl")
+        with JsonlJournal(path) as journal:
+            journal.append({"case": "A#0"})
+        with open(path, "a") as handle:
+            handle.write('###garbage###\n')
+        with JsonlJournal(path) as journal:
+            journal.append({"case": "A#2"})
+        obs.reset()
+        with obs.observed():
+            loaded = JsonlJournal(path).load()
+            corrupt = obs.counter("runtime.journal.corrupt").value
+        obs.reset()
+        obs.enabled = False
+        assert [record["case"] for record in loaded] == ["A#0", "A#2"]
+        assert corrupt == 1
+
+    def test_two_processes_appending_one_journal(self, tmp_path):
+        # O_APPEND single-write lines: two uncoordinated writers may
+        # interleave records but never tear each other's lines.
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "journal.jsonl")
+        script = (
+            "import sys\n"
+            "from repro.runtime import JsonlJournal\n"
+            "journal = JsonlJournal(sys.argv[1])\n"
+            "for index in range(50):\n"
+            "    journal.append({'writer': sys.argv[2], 'index': index})\n"
+            "journal.close()\n"
+        )
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script, path, name])
+            for name in ("alpha", "beta")
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+        loaded = JsonlJournal(path).load()
+        assert len(loaded) == 100
+        for name in ("alpha", "beta"):
+            indices = [r["index"] for r in loaded if r["writer"] == name]
+            assert indices == list(range(50))  # per-writer order intact
+
+
+class TestTimeLimitThreading:
+    @pytest.mark.skipif(not HAS_ALARM, reason="platform lacks SIGALRM")
+    def test_off_main_thread_raises_clear_error(self):
+        import threading
+
+        failures = []
+
+        def worker():
+            try:
+                with time_limit(1.0):
+                    pass
+            except RuntimeError as exc:
+                failures.append(str(exc))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert len(failures) == 1
+        assert "main thread" in failures[0]
+        assert "DeadlineWatchdog" in failures[0]
+
+
+class TestBackoffJitter:
+    def test_jitter_scales_delays_with_injected_rng(self):
+        calls = {"n": 0}
+        delays = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TimeLimitExceeded("slow")
+            return "done"
+
+        result, attempts = retry_with_backoff(
+            flaky,
+            retries=3,
+            base_delay=1.0,
+            factor=2.0,
+            jitter=0.5,
+            sleep=delays.append,
+            rng=lambda: 1.0,  # worst case: full jitter every wait
+        )
+        assert result == "done"
+        assert delays == [1.5, 3.0]  # base * factor**n, scaled by 1.5
+
+    def test_zero_jitter_is_exact_schedule(self):
+        from repro.runtime import backoff_delay
+
+        assert backoff_delay(1, base_delay=0.5, factor=2.0) == 0.5
+        assert backoff_delay(3, base_delay=0.5, factor=2.0) == 2.0
+        jittered = backoff_delay(
+            2, base_delay=0.5, factor=2.0, jitter=0.2, rng=lambda: 0.5
+        )
+        assert jittered == pytest.approx(1.1)
