@@ -608,8 +608,10 @@ def _cmd_repair(args):
 def _cmd_serve(args):
     from .serve import ChaosConfig, ReproServer, ServeConfig
 
-    if args.workers <= 0:
-        print("error: --workers must be positive", file=sys.stderr)
+    if args.fabric_port is None and args.workers <= 0:
+        print("error: --workers must be positive (or use --fabric-port "
+              "and start workers with `repro worker --connect`)",
+              file=sys.stderr)
         return EXIT_USAGE
     if args.resume and args.fresh:
         print("error: --resume and --fresh are mutually exclusive",
@@ -642,9 +644,37 @@ def _cmd_serve(args):
             seed=args.chaos_seed,
             kill_prob=args.chaos_kill_prob,
             kill_delay=args.chaos_kill_delay,
+            drop_prob=args.chaos_drop_prob,
+            stall_prob=args.chaos_stall_prob,
+            stall_duration=args.chaos_stall_duration,
+            dup_prob=args.chaos_dup_prob,
+            delay_prob=args.chaos_delay_prob,
         ),
+        fabric_port=args.fabric_port,
+        fabric_token=args.fabric_token,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_misses=args.heartbeat_misses,
+        straggler_after=args.straggler_after,
     )
     return ReproServer(config).run()
+
+
+def _cmd_worker(args):
+    from .serve.worker import main_tcp
+
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not port.isdigit():
+        print("error: --connect expects HOST:PORT, got %r" % args.connect,
+              file=sys.stderr)
+        return EXIT_USAGE
+    return main_tcp(
+        host or "127.0.0.1",
+        int(port),
+        token=args.token,
+        worker_id=args.name,
+        max_reconnects=args.max_reconnects,
+        reconnect_delay=args.reconnect_delay,
+    )
 
 
 def _parse_submit_params(pairs):
@@ -694,7 +724,11 @@ def _cmd_submit(args):
         with open(args.source, "r") as handle:
             params["source"] = handle.read()
         params.setdefault("filename", args.source)
-    client = ServeClient(args.url, client_id=args.client)
+    if args.shards is not None:
+        params.setdefault("_shards", args.shards)
+    client = ServeClient(
+        args.url, client_id=args.client, max_retries=args.max_retries
+    )
     try:
         if args.wait_ready:
             client.wait_ready(timeout=args.wait_ready)
@@ -1231,7 +1265,82 @@ def build_parser():
         "--chaos-seed", type=int, default=0,
         help="seed for deterministic chaos decisions",
     )
+    serve.add_argument(
+        "--chaos-drop-prob", type=float, default=0.0,
+        help="fabric chaos: probability a result frame is dropped and "
+        "its connection cut (default 0: off)",
+    )
+    serve.add_argument(
+        "--chaos-stall-prob", type=float, default=0.0,
+        help="fabric chaos: probability a dispatch's heartbeats go "
+        "unheard for --chaos-stall-duration seconds",
+    )
+    serve.add_argument(
+        "--chaos-stall-duration", type=float, default=0.0,
+        metavar="SECONDS",
+        help="length of an injected heartbeat stall",
+    )
+    serve.add_argument(
+        "--chaos-dup-prob", type=float, default=0.0,
+        help="fabric chaos: probability a result frame is applied twice",
+    )
+    serve.add_argument(
+        "--chaos-delay-prob", type=float, default=0.0,
+        help="fabric chaos: probability a result frame is applied late",
+    )
+    serve.add_argument(
+        "--fabric-port", type=int, default=None, metavar="PORT",
+        help="listen for TCP workers on PORT (0 picks a free one) "
+        "instead of spawning subprocess workers; start workers with "
+        "`repro worker --connect HOST:PORT`",
+    )
+    serve.add_argument(
+        "--fabric-token", default="",
+        help="shared secret TCP workers must present at handshake",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=2.0, metavar="SECONDS",
+        help="fabric worker heartbeat period (default 2)",
+    )
+    serve.add_argument(
+        "--heartbeat-misses", type=int, default=3,
+        help="missed heartbeat intervals before a fabric worker is "
+        "declared suspect and its job requeued (default 3)",
+    )
+    serve.add_argument(
+        "--straggler-after", type=float, default=0.0, metavar="SECONDS",
+        help="re-dispatch a shard child still running this long after "
+        "its first sibling finished (0 disables; the loser's stale "
+        "result is fenced)",
+    )
     serve.set_defaults(func=_cmd_serve)
+    worker = sub.add_parser(
+        "worker",
+        help="run one TCP fabric worker process against a "
+        "`repro serve --fabric-port` server",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="fabric address printed by the server at startup",
+    )
+    worker.add_argument(
+        "--token", default="",
+        help="shared secret matching the server's --fabric-token",
+    )
+    worker.add_argument(
+        "--name", default=None,
+        help="worker identity shown in server logs (default pid-based)",
+    )
+    worker.add_argument(
+        "--max-reconnects", type=int, default=5,
+        help="consecutive failed connection attempts before giving up "
+        "(default 5)",
+    )
+    worker.add_argument(
+        "--reconnect-delay", type=float, default=0.5, metavar="SECONDS",
+        help="base delay between reconnect attempts (default 0.5)",
+    )
+    worker.set_defaults(func=_cmd_worker)
     submit = sub.add_parser(
         "submit",
         help="submit one job to a running `repro serve` instance and "
@@ -1274,6 +1383,17 @@ def build_parser():
         "--wait-ready", type=float, default=0.0, metavar="SECONDS",
         help="poll /healthz up to SECONDS before submitting (for "
         "scripts that just booted the server)",
+    )
+    submit.add_argument(
+        "--max-retries", type=int, default=3,
+        help="reconnects with backoff when a status poll's connection "
+        "resets (submissions never retry; default 3)",
+    )
+    submit.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split a fuzz/faults/repair campaign across N workers "
+        "(shorthand for --param _shards=N; the merged result is "
+        "byte-identical to the unsharded run)",
     )
     submit.add_argument(
         "--json", action="store_true",

@@ -79,6 +79,22 @@ class FaultCampaignConfig:
     output_dir: str = "results/faults"
     journal_path: str = None
     resume: bool = True
+    #: Explicit ``((bug_id, index), ...)`` case subset to run instead of
+    #: the full ``bugs x range(faults_per_bug)`` grid. Case seeds depend
+    #: only on ``(seed, bug, index)``, so any partition of the grid —
+    #: the serve fabric shards campaigns this way — produces records
+    #: identical to the full run's, whatever the execution order.
+    case_list: tuple = None
+
+    def case_grid(self):
+        """The ``(bug_id, index)`` pairs this campaign will run."""
+        if self.case_list is not None:
+            return [(bug, int(index)) for bug, index in self.case_list]
+        return [
+            (bug_id, index)
+            for bug_id in self.bugs
+            for index in range(self.faults_per_bug)
+        ]
 
     def resolved_journal_path(self):
         import os
@@ -324,9 +340,18 @@ def run_fault_campaign(config, progress=None, sleep=time.sleep):
         faults_per_bug=config.faults_per_bug,
     ):
         try:
-            for bug_id in config.bugs:
+            # Group consecutive grid entries by bug so the per-bug obs
+            # span survives explicit case lists (shards stay contiguous
+            # per bug by construction).
+            grouped = []
+            for bug_id, index in config.case_grid():
+                if grouped and grouped[-1][0] == bug_id:
+                    grouped[-1][1].append(index)
+                else:
+                    grouped.append((bug_id, [index]))
+            for bug_id, indexes in grouped:
                 with obs.span("faults:bug", bug=bug_id):
-                    for index in range(config.faults_per_bug):
+                    for index in indexes:
                         key = case_key(bug_id, index)
                         if key in completed:
                             records.append(completed[key])

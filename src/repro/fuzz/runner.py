@@ -69,6 +69,12 @@ class CampaignConfig:
 
     cases: int = 200
     seed: int = 0
+    #: First case index to run. Case recipes depend only on
+    #: ``(seed, index)``, so ``start=100, cases=50`` runs exactly the
+    #: cases 100..149 of the seed's infinite sequence — the serve
+    #: fabric shards one campaign into such index ranges and merges the
+    #: results byte-identically.
+    start: int = 0
     jobs: int = 1
     cycles: int = 48
     oracles: tuple = ORACLE_NAMES
@@ -392,7 +398,7 @@ def run_campaign(config, progress=None):
     work = [
         (config.seed, index, tuple(config.oracles), config.cycles,
          config.case_timeout)
-        for index in range(config.cases)
+        for index in range(config.start, config.start + config.cases)
     ]
 
     def consume(result):

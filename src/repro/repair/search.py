@@ -71,6 +71,13 @@ class RepairConfig:
     #: (0: exhaust the budget). Several survivors are wanted so the
     #: waveform ranking has something to discriminate between.
     stop_after: int = 5
+    #: Validate only candidates whose enumeration index falls in
+    #: ``[lo, hi)``. Enumeration order is deterministic, so disjoint
+    #: windows partition one campaign across workers (the serve fabric's
+    #: repair sharding); merging the windows' records reproduces the
+    #: whole campaign only when ``stop_after`` is 0 — early stopping
+    #: depends on global order no single window can see.
+    candidate_range: tuple = None
 
 
 @dataclass
@@ -80,6 +87,9 @@ class RepairOutcome:
     report: dict
     #: ``{candidate_id: patched_text}`` for the top plausible candidates.
     patches: dict = field(default_factory=dict)
+    #: Raw per-candidate journal records, in enumeration order — what
+    #: :func:`build_report_from_parts` needs to merge sharded windows.
+    records: list = field(default_factory=list)
 
     @property
     def repaired(self):
@@ -146,17 +156,24 @@ def run_repair(config):
             filename=spec.design_file,
         )
 
+    lo, hi = 0, None
+    if config.candidate_range is not None:
+        lo, hi = int(config.candidate_range[0]), int(config.candidate_range[1])
     records = []
     patches = {}
     tried = 0
     passing = 0
     try:
         with obs.span("repair:validate", bug=bug_id):
-            for candidate in candidates:
+            for position, candidate in enumerate(candidates):
+                if hi is not None and position >= hi:
+                    break
                 if tried >= config.budget:
                     break
                 if config.stop_after and passing >= config.stop_after:
                     break
+                if position < lo:
+                    continue
                 tried += 1
                 cached = seen.get(candidate.candidate_id)
                 if cached is not None:
@@ -188,7 +205,7 @@ def run_repair(config):
         obs.gauge("repair.candidates").set(tried)
         obs.gauge("repair.validated").set(len(records))
         obs.gauge("repair.plausible").set(len(report["ranking"]))
-    return RepairOutcome(report=report, patches=patches)
+    return RepairOutcome(report=report, patches=patches, records=records)
 
 
 def _validate_one(bug_id, candidate, baseline, reference, config):
@@ -222,6 +239,31 @@ def _validate_one(bug_id, candidate, baseline, reference, config):
 
 def build_report(bug_id, config, baseline, sites, planned, tried, records):
     """The byte-deterministic ``repro.repair/v1`` report dict."""
+    return build_report_from_parts(
+        bug_id=bug_id,
+        budget=config.budget,
+        watchdog=config.watchdog,
+        baseline={
+            "status": baseline.status,
+            "symptoms": list(baseline.symptoms),
+        },
+        sites=[site.to_dict() for site in sites],
+        planned=planned,
+        tried=tried,
+        records=records,
+    )
+
+
+def build_report_from_parts(bug_id, budget, watchdog, baseline, sites,
+                            planned, tried, records):
+    """:func:`build_report` from already-serialized parts.
+
+    *baseline* and *sites* are the JSON-ready dicts the report embeds;
+    *records* are per-candidate journal records in enumeration order.
+    The serve fabric merges sharded repair windows through this — each
+    shard ships its records, the parent rebuilds the one report the
+    unsharded campaign would have written.
+    """
     by_status = {}
     by_template = {}
     improved = []
@@ -256,13 +298,10 @@ def build_report(bug_id, config, baseline, sites, planned, tried, records):
     return {
         "schema": SCHEMA,
         "bug": bug_id,
-        "budget": config.budget,
-        "watchdog": config.watchdog,
-        "baseline": {
-            "status": baseline.status,
-            "symptoms": list(baseline.symptoms),
-        },
-        "sites": [site.to_dict() for site in sites],
+        "budget": budget,
+        "watchdog": watchdog,
+        "baseline": dict(baseline),
+        "sites": list(sites),
         "candidates": {
             "planned": planned,
             "tried": tried,

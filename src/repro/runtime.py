@@ -164,8 +164,17 @@ class JsonlJournal:
         self._handle = None
         self._lock = threading.Lock()
 
-    def load(self):
-        """All intact records currently in the journal (oldest first)."""
+    def load(self, dedupe=None):
+        """All intact records currently in the journal (oldest first).
+
+        *dedupe*, when given, maps a record to a hashable key or None;
+        a record whose key was already seen is dropped (first write
+        wins) and counted on ``runtime.journal.duplicate``. Records
+        keyed None are never deduplicated. A crashed writer that
+        re-appends an event it already journaled — the double-``done``
+        hazard ``--resume`` must survive — is thereby invisible to
+        callers who declare the event's identity.
+        """
         records = []
         if not os.path.exists(self.path):
             return records
@@ -174,12 +183,13 @@ class JsonlJournal:
         with open(self.path, "r") as handle:
             lines = handle.readlines()
         last_index = len(lines) - 1
+        seen = set()
         for index, line in enumerate(lines):
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except ValueError:
                 if index == last_index:
                     # Torn write from a crash mid-append: drop the tail.
@@ -189,6 +199,16 @@ class JsonlJournal:
                     # Damaged interior record: skip it, keep the rest.
                     if obs.enabled:
                         obs.counter("runtime.journal.corrupt").inc()
+                continue
+            if dedupe is not None:
+                key = dedupe(record)
+                if key is not None:
+                    if key in seen:
+                        if obs.enabled:
+                            obs.counter("runtime.journal.duplicate").inc()
+                        continue
+                    seen.add(key)
+            records.append(record)
         return records
 
     def append(self, record):

@@ -21,7 +21,16 @@ JSON-over-HTTP API, engineered for robustness end to end:
   results and a deterministic final report;
 * :mod:`~repro.serve.quota` — per-client token buckets with structured
   429s; :mod:`~repro.serve.chaos` — seeded harness-level fault
-  injection (worker SIGKILLs) used by the chaos acceptance tests.
+  injection (worker SIGKILLs, dropped/stalled/duplicated/delayed
+  fabric frames) used by the chaos acceptance tests;
+* :mod:`~repro.serve.fabric` — TCP worker transport: remote workers
+  (``python -m repro worker --connect``) speak length-prefixed JSON
+  frames with heartbeats, and every dispatch carries a
+  :mod:`~repro.serve.lease` epoch so a partitioned worker's stale
+  result is fenced, never double-applied;
+* :mod:`~repro.serve.shard` — partition-tolerant campaign sharding:
+  fuzz/faults/repair campaigns split into deterministic sub-ranges
+  fanned across workers, merged byte-identical to the unsharded run.
 
 Start one with ``python -m repro serve``; talk to it with
 ``python -m repro submit`` or :class:`~repro.serve.client.ServeClient`.
@@ -31,6 +40,7 @@ from .breaker import CircuitBreaker
 from .cache import ArtifactCache
 from .chaos import ChaosConfig, ChaosMonkey
 from .client import QuotaExceeded, ServeClient, ServeClientError
+from .fabric import PROTO_VERSION, FabricPool, FrameError, encode_frame
 from .jobs import (
     JOB_KINDS,
     TERMINAL_STATUSES,
@@ -40,15 +50,20 @@ from .jobs import (
     job_cache_key,
     payload_digest,
 )
+from .lease import LeaseTable
 from .pool import WorkerPool
 from .quota import TokenBucketQuota
-from .server import ReproServer, ServeConfig
+from .server import ReproServer, ServeConfig, ShardCoordinator
+from .shard import SHARDABLE_KINDS, merge_shards, plan_shards, shard_count
 from .store import SCHEMA, JobStore
+from .transport import WorkerTransport
 from .watchdog import DeadlineWatchdog
 
 __all__ = [
     "SCHEMA",
     "JOB_KINDS",
+    "PROTO_VERSION",
+    "SHARDABLE_KINDS",
     "TERMINAL_STATUSES",
     "Job",
     "JobError",
@@ -60,11 +75,20 @@ __all__ = [
     "CircuitBreaker",
     "TokenBucketQuota",
     "WorkerPool",
+    "WorkerTransport",
+    "FabricPool",
+    "FrameError",
+    "encode_frame",
+    "LeaseTable",
     "ChaosConfig",
     "ChaosMonkey",
     "JobStore",
     "ReproServer",
     "ServeConfig",
+    "ShardCoordinator",
+    "merge_shards",
+    "plan_shards",
+    "shard_count",
     "ServeClient",
     "ServeClientError",
     "QuotaExceeded",

@@ -49,6 +49,8 @@ class CircuitBreaker:
         """May a job of *kind* run now?"""
         if self.threshold <= 0:
             return True
+        from .. import obs
+
         with self._lock:
             state = self._state(kind)
             if state["opened_at"] is None:
@@ -58,15 +60,22 @@ class CircuitBreaker:
             if state["probing"]:
                 return False  # one probe at a time in half-open
             state["probing"] = True
+            if obs.enabled:
+                obs.counter("serve.breaker.half_open").inc()
             return True
 
     def record_success(self, kind):
         if self.threshold <= 0:
             return
+        from .. import obs
+
         with self._lock:
+            was_probe = self._state(kind)["probing"]
             self._states[kind] = {
                 "failures": 0, "opened_at": None, "probing": False,
             }
+        if was_probe and obs.enabled:
+            obs.counter("serve.breaker.closed").inc()
 
     def record_failure(self, kind):
         if self.threshold <= 0:
@@ -77,10 +86,13 @@ class CircuitBreaker:
             state = self._state(kind)
             state["failures"] += 1
             if state["probing"] or state["failures"] >= self.threshold:
+                reopened = state["probing"]
                 state["opened_at"] = self._clock()
                 state["probing"] = False
                 if obs.enabled:
                     obs.counter("serve.breaker.opened").inc()
+                    if reopened:
+                        obs.counter("serve.breaker.reopened").inc()
 
     def state(self, kind):
         """``closed`` / ``open`` / ``half-open`` for *kind*."""

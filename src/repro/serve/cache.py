@@ -13,10 +13,17 @@ assumes:
   Corruption can cost a recompute, never a crash and never a wrong
   answer;
 * **bounded** — total bytes on disk stay under ``max_bytes``; inserts
-  evict least-recently-used entries (file mtime is the recency clock,
-  bumped on every hit, so warmth survives a server restart);
+  evict least-recently-used entries. Recency is an **explicit access
+  counter** persisted in a sidecar index (``lru-index``), not file
+  mtime: on fast filesystems consecutive accesses land in the same
+  mtime granule, which made eviction order tie-dependent and therefore
+  filesystem-dependent. The index survives restarts (warmth persists)
+  and its loss is harmless — unindexed entries are merely treated as
+  coldest, in stable name order;
 * **crash-safe writes** — entries land via write-to-temp + atomic
   rename, so a crash mid-``put`` leaves either the old entry or none.
+  The index is written the same way; a torn or corrupt index is
+  discarded and rebuilt, never trusted.
 
 Thread-safe: the server's asyncio thread checks for hits at submit
 time while pool manager threads insert finished results.
@@ -44,11 +51,48 @@ class ArtifactCache:
         self.evictions = 0
         self.corrupt = 0
         os.makedirs(directory, exist_ok=True)
+        self._index_path = os.path.join(directory, "lru-index")
+        self._access = {}  # entry filename -> access sequence number
+        self._access_seq = 0
+        self._load_index()
 
     # -- internals ----------------------------------------------------------
 
     def _path(self, key):
         return os.path.join(self.directory, "%s.json" % key)
+
+    def _load_index(self):
+        """Restore the access-order index; tolerate loss or damage."""
+        try:
+            with open(self._index_path, "r") as handle:
+                raw = json.load(handle)
+            self._access = {
+                str(name): int(seq) for name, seq in raw.items()
+            }
+        except (OSError, ValueError, TypeError, AttributeError):
+            # Missing (fresh cache), torn, or corrupt: start cold.
+            # Unindexed entries evict first, so correctness holds.
+            self._access = {}
+        self._access_seq = max(self._access.values(), default=0)
+
+    def _save_index(self):
+        temp = self._index_path + ".tmp"
+        try:
+            with open(temp, "w") as handle:
+                json.dump(self._access, handle, separators=(",", ":"))
+            os.replace(temp, self._index_path)
+        except OSError:
+            pass  # recency is an optimization; never fail the caller
+
+    def _touch(self, path):
+        """Mark *path* most-recently-used and persist the ordering."""
+        self._access_seq += 1
+        self._access[os.path.basename(path)] = self._access_seq
+        self._save_index()
+
+    def _drop_index(self, path):
+        if self._access.pop(os.path.basename(path), None) is not None:
+            self._save_index()
 
     def _entries(self):
         """``[(mtime, size, path)]`` of every entry currently on disk."""
@@ -100,12 +144,10 @@ class ArtifactCache:
                     os.remove(path)
                 except OSError:
                     pass
+                self._drop_index(path)
                 return None
             self._record("hits")
-            try:
-                os.utime(path)  # bump LRU recency
-            except OSError:
-                pass
+            self._touch(path)
             return payload
 
     def put(self, key, payload):
@@ -126,15 +168,27 @@ class ArtifactCache:
             with open(temp, "w") as handle:
                 handle.write(body)
             os.replace(temp, path)
+            self._touch(path)
             self._evict(keep=path)
 
     def _evict(self, keep=None):
-        total = 0
         entries = self._entries()
         total = sum(size for _, size, _ in entries)
         if total <= self.max_bytes:
             return
-        for _, size, path in sorted(entries):
+        # Strict LRU by access sequence; entries missing from the index
+        # (a lost or pre-upgrade cache) are coldest, in stable name
+        # order — never mtime, whose granularity ties on fast
+        # filesystems made eviction order filesystem-dependent.
+        ranked = sorted(
+            entries,
+            key=lambda entry: (
+                self._access.get(os.path.basename(entry[2]), 0),
+                os.path.basename(entry[2]),
+            ),
+        )
+        dropped = False
+        for _, size, path in ranked:
             if total <= self.max_bytes:
                 break
             if path == keep:
@@ -143,8 +197,12 @@ class ArtifactCache:
                 os.remove(path)
             except OSError:
                 continue
+            self._access.pop(os.path.basename(path), None)
+            dropped = True
             total -= size
             self._record("evictions")
+        if dropped:
+            self._save_index()
 
     def __contains__(self, key):
         return os.path.exists(self._path(key))

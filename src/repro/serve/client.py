@@ -5,6 +5,14 @@ the throughput benchmark all talk to the server through this class —
 the CLI is just one client among many. Synchronous on purpose: one
 request per connection matches the server's ``Connection: close``
 model, and callers that want concurrency use threads.
+
+Transient transport failures (connection reset mid-poll, a server
+restarting under ``--resume``, a flapping network) are retried with
+exponential backoff — but only for **GET** requests, which are
+idempotent by construction. A retried ``POST /jobs`` could enqueue the
+same campaign twice; submissions fail fast instead and the caller
+decides. ``max_retries=0`` (the default) preserves strict fail-fast
+behavior for callers that manage their own retry policy.
 """
 
 from __future__ import annotations
@@ -13,6 +21,17 @@ import http.client
 import json
 import time
 from urllib.parse import urlsplit
+
+#: Transport-level failures worth a reconnect (the server never sent a
+#: complete response; the request may simply be re-asked).
+RETRYABLE_ERRORS = (
+    ConnectionError,
+    http.client.BadStatusLine,
+    http.client.RemoteDisconnected,
+    http.client.ResponseNotReady,
+    TimeoutError,
+    OSError,
+)
 
 
 class ServeClientError(Exception):
@@ -41,15 +60,35 @@ class QuotaExceeded(ServeClientError):
 class ServeClient:
     """Talks to one ``repro serve`` instance."""
 
-    def __init__(self, base_url, client_id="anon", timeout=60.0):
+    def __init__(self, base_url, client_id="anon", timeout=60.0,
+                 max_retries=0, retry_backoff=0.2, sleep=time.sleep):
         split = urlsplit(base_url if "//" in base_url
                          else "http://" + base_url)
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 8731
         self.client_id = client_id
         self.timeout = timeout
+        #: Reconnect budget per GET request (0 = fail fast).
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        #: Total reconnects performed over this client's lifetime.
+        self.reconnects = 0
+        self._sleep = sleep
 
     def _request(self, method, path, obj=None):
+        retries = self.max_retries if method == "GET" else 0
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, obj)
+            except RETRYABLE_ERRORS:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                self.reconnects += 1
+                self._sleep(self.retry_backoff * (2.0 ** (attempt - 1)))
+
+    def _request_once(self, method, path, obj=None):
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )

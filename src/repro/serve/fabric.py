@@ -1,0 +1,569 @@
+"""TCP worker fabric: multi-node workers behind the transport interface.
+
+``repro serve --fabric-port P`` listens for workers started with
+``python -m repro worker --connect HOST:P --token T`` — separate
+processes on this host or any other. The wire protocol is JSON frames
+with an 8-hex-digit length prefix (:func:`encode_frame`), opened by a
+version-checked, token-authenticated handshake:
+
+    worker -> {"type": "hello", "proto": 1, "token": T, "worker": W}
+    server -> {"type": "welcome", "proto": 1, "heartbeat": H,
+               "watchdog": D}
+
+after which the server pushes ``job`` frames (carrying the job, the
+attempt number, and the **lease epoch**) and the worker returns
+``result`` frames echoing that epoch. ``cancel`` tells a worker its
+lease was fenced (best effort — a busy worker sees it late) and ``bye``
+announces server shutdown.
+
+Robustness model (see :mod:`~repro.serve.lease` for the fencing story):
+
+* every worker heartbeats on a side thread; the server tracks a
+  monotonic last-beat per connection and declares a worker **suspect**
+  after ``heartbeat_misses`` missed intervals — its in-flight job is
+  requeued and its lease fenced, but the socket stays open, because a
+  partitioned worker is indistinguishable from a dead one. If it comes
+  back, it rejoins the pool; the result it was holding arrives with a
+  stale epoch and is rejected, never double-applied;
+* a closed connection (crash, SIGKILL, network teardown) requeues the
+  in-flight job through the shared backoff/breaker machinery;
+* a per-dispatch server-side deadline (the worker also arms its own
+  ``SIGALRM`` limit from the handshake's ``watchdog``) bounds wedged
+  workers that still heartbeat;
+* the :class:`~repro.serve.chaos.ChaosMonkey` injects seeded connection
+  drops, heartbeat stalls, and duplicated/delayed result frames here —
+  the acceptance tests run whole sharded campaigns under all of them.
+
+The fabric runs its own asyncio loop on a daemon thread, so it plugs
+into the synchronous :class:`~repro.serve.transport.WorkerTransport`
+contract exactly like the subprocess pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from .jobs import CRASHED, QUEUED, RUNNING, TIMEOUT
+from .transport import WorkerTransport
+
+#: Protocol version; a mismatched worker is rejected at handshake.
+PROTO_VERSION = 1
+
+#: Largest accepted frame (a job's params, never a bitstream).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_PREFIX_LEN = 8
+
+
+class FrameError(Exception):
+    """A malformed or oversized frame (protocol violation)."""
+
+
+def encode_frame(obj):
+    """One wire frame: 8-hex-digit body length, then the JSON line."""
+    body = (json.dumps(obj, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError("frame of %d bytes exceeds limit" % len(body))
+    return ("%08x" % len(body)).encode("ascii") + body
+
+
+def _parse_length(prefix):
+    try:
+        length = int(prefix.decode("ascii"), 16)
+    except (UnicodeDecodeError, ValueError):
+        raise FrameError("bad frame length prefix %r" % prefix)
+    if length <= 0 or length > MAX_FRAME_BYTES:
+        raise FrameError("unacceptable frame length %d" % length)
+    return length
+
+
+def _parse_body(body):
+    try:
+        frame = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise FrameError("frame body is not valid JSON")
+    if not isinstance(frame, dict):
+        raise FrameError("frame must be a JSON object")
+    return frame
+
+
+async def read_frame(reader):
+    """Read one frame from an asyncio reader; None on clean EOF."""
+    try:
+        prefix = await reader.readexactly(_PREFIX_LEN)
+    except asyncio.IncompleteReadError:
+        return None
+    length = _parse_length(prefix)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        return None  # torn frame: the peer died mid-write
+    return _parse_body(body)
+
+
+def read_frame_blocking(stream):
+    """Read one frame from a blocking binary stream; None on EOF."""
+    prefix = stream.read(_PREFIX_LEN)
+    if not prefix:
+        return None
+    if len(prefix) < _PREFIX_LEN:
+        return None  # torn prefix
+    length = _parse_length(prefix)
+    body = stream.read(length)
+    if body is None or len(body) < length:
+        return None  # torn body
+    return _parse_body(body)
+
+
+class _FabricWorker:
+    """Server-side state for one connected worker."""
+
+    def __init__(self, writer, worker_id, now):
+        self.writer = writer
+        self.worker_id = worker_id
+        self.job = None  # in-flight Job, or None when idle
+        self.epoch = 0
+        self.deadline_handle = None
+        self.last_beat = now
+        #: Heartbeats received before this instant are ignored (chaos
+        #: stall injection) — the server goes deaf to this worker.
+        self.deaf_until = 0.0
+        #: True once heartbeat misses fenced this worker; a later frame
+        #: re-admits it (a partition healed).
+        self.suspect = False
+        self.closed = False
+
+    @property
+    def idle(self):
+        return self.job is None and not self.suspect and not self.closed
+
+
+class FabricPool(WorkerTransport):
+    """Worker transport over TCP with lease-fenced exactly-once results."""
+
+    def __init__(self, host="127.0.0.1", port=0, token="",
+                 heartbeat_interval=2.0, heartbeat_misses=3, **kwargs):
+        super().__init__(**kwargs)
+        self.host = host
+        self.token = token
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self._requested_port = port
+        self.port = None  # bound port, known once the listener is up
+        self.stats.update({
+            "workers_seen": 0,
+            "handshake_rejected": 0,
+            "heartbeat_misses": 0,
+            "disconnect_requeues": 0,
+            "deadline_requeues": 0,
+            "straggler_redispatches": 0,
+            "chaos_drops": 0,
+            "chaos_stalls": 0,
+            "chaos_dups": 0,
+            "chaos_delays": 0,
+        })
+        self._pending = []  # dispatch queue (loop thread only)
+        self._by_id = {}  # job id -> Job, for frames about non-current work
+        self._conns = set()
+        self._server = None
+        self._loop = None
+        self._ready = threading.Event()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serve-fabric", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0) or self._loop is None:
+            raise RuntimeError(
+                "fabric listener failed to start: %s"
+                % (self._startup_error or "timeout")
+            )
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "fabric listener failed to start: %s" % self._startup_error
+            )
+
+    # -- loop lifecycle ------------------------------------------------------
+
+    def _run_loop(self):
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._start())
+        except Exception as exc:  # noqa: BLE001 — surface via constructor
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            except Exception:  # noqa: BLE001
+                pass
+            loop.close()
+
+    async def _start(self):
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._monitor_task = asyncio.get_event_loop().create_task(
+            self._monitor()
+        )
+
+    def close(self):
+        if not self._mark_closed():
+            return
+        if self._loop is None:
+            return
+
+        def _shutdown():
+            for conn in list(self._conns):
+                self._send(conn, {"type": "bye"})
+                self._close_conn(conn)
+            if self._server is not None:
+                self._server.close()
+            self._monitor_task.cancel()
+            self._loop.stop()
+
+        try:
+            self._loop.call_soon_threadsafe(_shutdown)
+        except RuntimeError:
+            return
+        self._thread.join(timeout=5.0)
+
+    # -- transport interface -------------------------------------------------
+
+    def _enqueue(self, job):
+        if self._on_loop():
+            self._admit(job)
+        else:
+            self._loop.call_soon_threadsafe(self._admit, job)
+
+    def _on_loop(self):
+        try:
+            return asyncio.get_running_loop() is self._loop
+        except RuntimeError:
+            return False
+
+    def _admit(self, job):
+        self._by_id[job.id] = job
+        self._pending.append(job)
+        self._pump()
+
+    def queue_depth(self):
+        return len(self._pending)
+
+    def workers(self):
+        """Connected (non-suspect) worker count — a metrics gauge."""
+        return sum(
+            1 for conn in self._conns
+            if not conn.closed and not conn.suspect
+        )
+
+    def kick(self, job):
+        """Straggler re-dispatch: fence the running attempt, requeue now.
+
+        The shard coordinator calls this when a sub-shard outlives the
+        straggler deadline: the current lease (if any) is revoked, a
+        ``cancel`` frame tells the loser to stop caring, and the job
+        goes straight back on the queue for another worker. Consumes no
+        retry budget — a slow worker is not a failed attempt.
+        """
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._kick, job)
+
+    def _kick(self, job):
+        if job.terminal or job in self._pending:
+            return
+        for conn in self._conns:
+            if conn.job is job:
+                self._count("straggler_redispatches")
+                self.leases.revoke(job.id)
+                self._send(conn, {"type": "cancel", "id": job.id,
+                                  "epoch": conn.epoch})
+                self._clear_dispatch(conn)
+                job.status = QUEUED
+                # Prefer a different worker — handing the job straight
+                # back to the straggler would defeat the redispatch.
+                other = next(
+                    (c for c in self._conns if c.idle and c is not conn),
+                    None,
+                )
+                if other is not None:
+                    self._by_id[job.id] = job
+                    self._dispatch(other, job)
+                else:
+                    self._admit(job)
+                return
+
+    def _requeue_after(self, job, delay):
+        # Delivery paths run on the event loop: never sleep in place.
+        def _requeue():
+            if not self.closed:
+                self._admit(job)
+
+        if self._on_loop():
+            self._loop.call_later(delay, _requeue)
+        else:
+            self._loop.call_soon_threadsafe(
+                lambda: self._loop.call_later(delay, _requeue)
+            )
+
+    # -- connection handling (loop thread) -----------------------------------
+
+    async def _handle_conn(self, reader, writer):
+        conn = None
+        try:
+            hello = await read_frame(reader)
+            problem = self._vet_hello(hello)
+            if problem is not None:
+                self._count("handshake_rejected")
+                writer.write(encode_frame(
+                    {"type": "reject", "error": problem}
+                ))
+                await writer.drain()
+                return
+            conn = _FabricWorker(
+                writer, hello.get("worker") or "anonymous", time.monotonic()
+            )
+            self._conns.add(conn)
+            self._count("workers_seen")
+            writer.write(encode_frame({
+                "type": "welcome",
+                "proto": PROTO_VERSION,
+                "heartbeat": self.heartbeat_interval,
+                "watchdog": self.watchdog_seconds,
+            }))
+            await writer.drain()
+            self._pump()
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except FrameError:
+                    break  # protocol violation: drop the worker
+                if frame is None:
+                    break
+                self._on_frame(conn, frame)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            if conn is not None:
+                self._on_disconnect(conn)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _vet_hello(self, hello):
+        if hello is None or hello.get("type") != "hello":
+            return "expected a hello frame"
+        if hello.get("proto") != PROTO_VERSION:
+            return (
+                "protocol version mismatch: server speaks %d, worker %r"
+                % (PROTO_VERSION, hello.get("proto"))
+            )
+        if self.token and hello.get("token") != self.token:
+            return "bad token"
+        return None
+
+    def _send(self, conn, obj):
+        if conn.closed:
+            return
+        try:
+            conn.writer.write(encode_frame(obj))
+        except (ConnectionError, OSError, RuntimeError):
+            self._close_conn(conn)
+
+    def _close_conn(self, conn):
+        conn.closed = True
+        try:
+            conn.writer.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def _on_disconnect(self, conn):
+        self._conns.discard(conn)
+        conn.closed = True
+        job, epoch = conn.job, conn.epoch
+        self._clear_dispatch(conn)
+        if job is not None and not job.terminal and not self.closed:
+            if self.abandon(job, epoch,
+                            error="worker %r connection lost"
+                                  % conn.worker_id):
+                self._count("disconnect_requeues")
+
+    # -- frames from workers -------------------------------------------------
+
+    def _on_frame(self, conn, frame):
+        now = time.monotonic()
+        kind = frame.get("type")
+        if kind == "heartbeat":
+            if now < conn.deaf_until:
+                return  # chaos stall: the server has gone deaf
+            conn.last_beat = now
+            self._rejoin(conn)
+            return
+        if kind == "result":
+            conn.last_beat = now
+            self._rejoin(conn)
+            self._on_result(conn, frame)
+            return
+        # Unknown frame types are ignored (forward compatibility).
+
+    def _rejoin(self, conn):
+        if conn.suspect and not conn.closed:
+            conn.suspect = False  # the partition healed
+            self._pump()
+
+    def _on_result(self, conn, frame):
+        job_id = frame.get("id")
+        epoch = int(frame.get("epoch", 0))
+        if conn.job is not None and conn.job.id == job_id \
+                and conn.epoch == epoch:
+            self._clear_dispatch(conn)
+        job = self._by_id.get(job_id)
+        if job is None:
+            # Finished and forgotten: a very late echo. Count the fence.
+            self.leases.record_stale(job_id, epoch)
+            self._count("stale_rejected")
+            self._pump()
+            return
+        deliveries = 1
+        if self.chaos is not None:
+            if self.chaos.drop_result(job_id, epoch):
+                # Seeded connection drop: the frame never "arrived" and
+                # the link that carried it goes down with it.
+                self._count("chaos_drops")
+                self._close_conn(conn)
+                self._pump()
+                return
+            if self.chaos.duplicate_result(job_id, epoch):
+                self._count("chaos_dups")
+                deliveries = 2
+            delay = self.chaos.delay_result(job_id, epoch)
+        else:
+            delay = None
+
+        def _apply():
+            applied = self.deliver(
+                job, epoch,
+                ok=bool(frame.get("ok")),
+                payload=frame.get("payload"),
+                error=frame.get("error", "unknown error"),
+                error_code=frame.get("error_code"),
+                transient=bool(frame.get("transient")),
+            )
+            if applied and job.terminal:
+                self._by_id.pop(job.id, None)
+
+        for _ in range(deliveries):
+            if delay is not None:
+                self._count("chaos_delays")
+                self._loop.call_later(delay, _apply)
+            else:
+                _apply()
+        self._pump()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _pump(self):
+        if self.closed:
+            return
+        while self._pending:
+            conn = next(
+                (c for c in self._conns if c.idle), None
+            )
+            if conn is None:
+                return
+            job = self._pending.pop(0)
+            if job.terminal:
+                continue
+            self._dispatch(conn, job)
+        self._gauge_depth()
+
+    def _dispatch(self, conn, job):
+        lease = self.leases.grant(job.id)
+        job.attempts += 1
+        job.status = RUNNING
+        self._count("executions")
+        conn.job = job
+        conn.epoch = lease.epoch
+        if self.chaos is not None:
+            stall = self.chaos.stall_after(job.id, lease.epoch)
+            if stall is not None:
+                self._count("chaos_stalls")
+                now = time.monotonic()
+                conn.deaf_until = now + stall
+                # The stall must be able to out-age the miss window, or
+                # it would be invisible; backdate the last beat so the
+                # monitor sees a worker that just went quiet.
+                conn.last_beat = min(conn.last_beat, now)
+        self._send(conn, {
+            "type": "job",
+            "id": job.id,
+            "kind": job.kind,
+            "params": job.params,
+            "attempt": job.attempts,
+            "epoch": lease.epoch,
+            "deadline": self.watchdog_seconds,
+        })
+        grace = 2.0 * self.heartbeat_interval
+        conn.deadline_handle = self._loop.call_later(
+            self.watchdog_seconds + grace,
+            self._on_deadline, conn, job, lease.epoch,
+        )
+
+    def _clear_dispatch(self, conn):
+        conn.job = None
+        conn.epoch = 0
+        if conn.deadline_handle is not None:
+            conn.deadline_handle.cancel()
+            conn.deadline_handle = None
+
+    def _on_deadline(self, conn, job, epoch):
+        """The dispatch outlived worker-side limits: fence and requeue."""
+        if conn.job is not job or conn.epoch != epoch:
+            return
+        self._count("watchdog_kills")
+        self._clear_dispatch(conn)
+        # The worker still heartbeats but cannot finish: treat the
+        # connection as lost so a wedged interpreter cannot hold a slot.
+        self._close_conn(conn)
+        if self.abandon(job, epoch, status=TIMEOUT,
+                        error="fabric deadline after %.1fs"
+                              % self.watchdog_seconds):
+            self._count("deadline_requeues")
+
+    # -- heartbeat monitor ---------------------------------------------------
+
+    async def _monitor(self):
+        period = max(0.05, self.heartbeat_interval / 2.0)
+        window = self.heartbeat_interval * self.heartbeat_misses
+        while True:
+            await asyncio.sleep(period)
+            now = time.monotonic()
+            for conn in list(self._conns):
+                if conn.closed or conn.suspect:
+                    continue
+                if now - conn.last_beat <= window:
+                    continue
+                self._count("heartbeat_misses")
+                conn.suspect = True
+                job, epoch = conn.job, conn.epoch
+                self._clear_dispatch(conn)
+                if job is not None and not job.terminal:
+                    self.abandon(
+                        job, epoch, status=CRASHED,
+                        error="worker %r missed %d heartbeats"
+                              % (conn.worker_id, self.heartbeat_misses),
+                    )
+            self._pump()

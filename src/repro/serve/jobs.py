@@ -59,9 +59,19 @@ class Job:
     error_code: str = None
     cached: bool = False
     cache_key: str = ""
+    #: Lease epoch whose result finalized this job (0 = cache hit or
+    #: not yet terminal). Set by the transport's fenced delivery path.
+    lease_epoch: int = 0
+    #: Shard linkage: ``{"parent": id, "index": n}`` on a shard child,
+    #: ``{"children": [ids]}`` on a sharded parent, None otherwise.
+    shard: dict = None
     #: Wall-clock submit time (monotonic), for latency metrics only —
     #: never persisted or reported.
     submitted_at: float = field(default=0.0, repr=False, compare=False)
+
+    @property
+    def shard_child(self):
+        return bool(self.shard and "parent" in self.shard)
 
     @property
     def terminal(self):
@@ -236,6 +246,7 @@ def _run_fuzz(params):
         config = CampaignConfig(
             cases=int(params.get("cases", 25)),
             seed=int(params.get("seed", 0)),
+            start=int(params.get("start", 0)),
             cycles=int(params.get("cycles", 48)),
             oracles=tuple(params.get("oracles") or ORACLE_NAMES),
             jobs=1,
@@ -276,11 +287,16 @@ def _run_faults(params):
         bugs = tuple(BUG_IDS)
     scratch = tempfile.mkdtemp(prefix="repro-serve-faults-")
     try:
+        case_list = params.get("case_list")
         config = FaultCampaignConfig(
             bugs=bugs,
             faults_per_bug=int(params.get("faults_per_bug", 2)),
             seed=int(params.get("seed", 0)),
             kinds=tuple(params["kinds"]) if params.get("kinds") else None,
+            case_list=(
+                tuple((bug, int(index)) for bug, index in case_list)
+                if case_list is not None else None
+            ),
             output_dir=scratch,
             journal_path=os.path.join(scratch, "journal.jsonl"),
             resume=False,
@@ -288,21 +304,52 @@ def _run_faults(params):
         report = run_fault_campaign(config)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
+    if case_list is not None:
+        # Shard child: ship the raw records; the parent's merge rebuilds
+        # the full report from every shard's records together.
+        return {
+            "case_list": [[bug, index] for bug, index in config.case_list],
+            "records": sorted(
+                report.records, key=lambda record: record["case"]
+            ),
+        }
     return report.to_report()
 
 
 def _run_repair(params):
     from ..repair import RepairConfig, run_repair
 
+    candidate_range = params.get("candidate_range")
+    stop_after = int(params.get("stop_after", 5))
+    if candidate_range is not None and stop_after != 0:
+        raise JobError(
+            "candidate_range requires stop_after=0: early stopping "
+            "depends on global candidate order"
+        )
     config = RepairConfig(
         bug_id=params["bug"],
         budget=int(params.get("budget", 200)),
         watchdog=float(params.get("watchdog", 10.0)),
-        stop_after=int(params.get("stop_after", 5)),
+        stop_after=stop_after,
         templates=tuple(params.get("templates") or ()),
         use_faults=bool(params.get("use_faults", False)),
+        candidate_range=(
+            (int(candidate_range[0]), int(candidate_range[1]))
+            if candidate_range is not None else None
+        ),
     )
-    return run_repair(config).report
+    outcome = run_repair(config)
+    if candidate_range is not None:
+        # Shard child: the window's parts, for build_report_from_parts.
+        report = outcome.report
+        return {
+            "baseline": report["baseline"],
+            "sites": report["sites"],
+            "planned": report["candidates"]["planned"],
+            "tried": report["candidates"]["tried"],
+            "records": outcome.records,
+        }
+    return outcome.report
 
 
 _ADAPTERS = {

@@ -1,4 +1,4 @@
-"""Process worker pool with deadline kills, requeue, and retry/backoff.
+"""Subprocess worker transport: deadline kills, requeue, retry/backoff.
 
 Each worker is a subprocess (``python -m repro.serve.worker``) owned by
 one manager thread in the server. The manager feeds it one job at a
@@ -18,10 +18,10 @@ from what happens when that line never arrives:
   :class:`~repro.serve.breaker.CircuitBreaker`, which quarantines that
   kind instead of letting it take the pool down.
 
-Exactly-once completion: a job reaches a terminal status exactly once
-(executions are at-least-once — a killed attempt may rerun — but
-finalization is guarded), which is what the journal's ``done`` records
-and the resume logic rely on.
+Every dispatch holds a :class:`~repro.serve.lease.Lease`; results are
+applied through :meth:`WorkerTransport.deliver`, so the exactly-once
+guarantees (fenced stale results, deduplicated deliveries) are the same
+here as over the TCP fabric — the pipes just make stale results rare.
 """
 
 from __future__ import annotations
@@ -31,54 +31,19 @@ import queue
 import subprocess
 import sys
 import threading
-import time
 
-from ..runtime import backoff_delay
-from .jobs import CRASHED, DONE, FAILED, QUARANTINED, QUEUED, RUNNING, TIMEOUT
+from .jobs import CRASHED, RUNNING, TIMEOUT
+from .transport import REASON_CHAOS, REASON_TIMEOUT, WorkerTransport
 
 _SENTINEL = object()
 
-#: Watchdog reasons.
-_REASON_TIMEOUT = "timeout"
-_REASON_CHAOS = "chaos"
 
-
-class WorkerPool:
+class WorkerPool(WorkerTransport):
     """Fixed-size pool of subprocess workers with a shared job queue."""
 
-    def __init__(
-        self,
-        workers=2,
-        watchdog_seconds=30.0,
-        retries=2,
-        backoff=0.25,
-        jitter=0.1,
-        breaker=None,
-        chaos=None,
-        on_done=None,
-        sleep=time.sleep,
-    ):
-        self.watchdog_seconds = watchdog_seconds
-        self.retries = retries
-        self.backoff = backoff
-        self.jitter = jitter
-        self.breaker = breaker
-        self.chaos = chaos
-        self.on_done = on_done or (lambda job: None)
-        self._sleep = sleep
+    def __init__(self, workers=2, **kwargs):
+        super().__init__(**kwargs)
         self._queue = queue.Queue()
-        self._lock = threading.Lock()
-        self._drained = threading.Condition(self._lock)
-        self._outstanding = 0
-        self._closed = False
-        self.watchdog = None
-        self.stats = {
-            "executions": 0,
-            "retries": 0,
-            "watchdog_kills": 0,
-            "chaos_kills": 0,
-            "worker_restarts": 0,
-        }
         from .watchdog import DeadlineWatchdog
 
         self.watchdog = DeadlineWatchdog()
@@ -88,58 +53,19 @@ class WorkerPool:
         for slot in self._workers:
             slot.start()
 
-    # -- submission / lifecycle --------------------------------------------
+    # -- transport interface -------------------------------------------------
 
-    def submit(self, job):
-        """Queue *job* — or quarantine it instantly if its kind is open."""
-        if self.breaker is not None and not self.breaker.allow(job.kind):
-            with self._lock:
-                self._outstanding += 1
-            self._finalize(
-                job, QUARANTINED,
-                error="job kind %r quarantined by circuit breaker"
-                      % job.kind,
-            )
-            return
-        with self._lock:
-            self._outstanding += 1
-        job.status = QUEUED
+    def _enqueue(self, job):
         self._queue.put(job)
-        self._gauge_depth()
-
-    def outstanding(self):
-        with self._lock:
-            return self._outstanding
-
-    def stats_snapshot(self):
-        with self._lock:
-            return dict(self.stats)
 
     def queue_depth(self):
         return self._queue.qsize()
 
-    def drain(self, timeout=None):
-        """Block until every submitted job is terminal. True on success."""
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self._drained:
-            while self._outstanding > 0:
-                remaining = None if deadline is None else (
-                    deadline - time.monotonic()
-                )
-                if remaining is not None and remaining <= 0:
-                    return False
-                self._drained.wait(
-                    0.5 if remaining is None else min(remaining, 0.5)
-                )
-        return True
-
     def close(self):
         """Stop managers, kill workers. Non-terminal jobs stay journaled
         as incomplete for ``--resume``."""
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
+        if not self._mark_closed():
+            return
         for _ in self._workers:
             self._queue.put(_SENTINEL)
         for slot in self._workers:
@@ -147,63 +73,6 @@ class WorkerPool:
         for slot in self._workers:
             slot.join(timeout=5.0)
         self.watchdog.close()
-
-    @property
-    def closed(self):
-        with self._lock:
-            return self._closed
-
-    # -- internals ----------------------------------------------------------
-
-    def _gauge_depth(self):
-        from .. import obs
-
-        if obs.enabled:
-            obs.gauge("serve.queue.depth").set(self._queue.qsize())
-
-    def _count(self, name):
-        from .. import obs
-
-        with self._lock:
-            self.stats[name] += 1
-        if obs.enabled:
-            obs.counter("serve.%s" % name).inc()
-
-    def _finalize(self, job, status, payload=None, error="",
-                  error_code=None):
-        from .. import obs
-
-        assert not job.terminal, "job %s finalized twice" % job.id
-        job.status = status
-        job.result = payload
-        job.error = error
-        job.error_code = error_code
-        if self.breaker is not None:
-            if status == DONE:
-                self.breaker.record_success(job.kind)
-            elif status in (TIMEOUT, CRASHED):
-                self.breaker.record_failure(job.kind)
-        if obs.enabled:
-            obs.counter("serve.jobs.%s" % status).inc()
-        with self._drained:
-            self._outstanding -= 1
-            self._drained.notify_all()
-        self.on_done(job)
-
-    def _retry_or_finalize(self, job, status, error, error_code=None,
-                           transient=True):
-        """Requeue a transiently failed attempt, or make *status* final."""
-        if transient and job.attempts <= self.retries and not self.closed:
-            self._count("retries")
-            delay = backoff_delay(
-                job.attempts, base_delay=self.backoff, jitter=self.jitter
-            )
-            job.status = QUEUED
-            self._sleep(delay)
-            self._queue.put(job)
-            self._gauge_depth()
-            return
-        self._finalize(job, status, error=error, error_code=error_code)
 
 
 class _WorkerSlot:
@@ -252,10 +121,11 @@ class _WorkerSlot:
                 self._spawn(respawn=ever_spawned)
                 ever_spawned = True
             proc = self.proc
+            lease = pool.leases.grant(job.id)
             job.attempts += 1
             job.status = RUNNING
             pool._count("executions")
-            token = "%s@%d" % (job.id, job.attempts)
+            token = lease.token
 
             def _kill(token, reason, proc=proc):
                 if proc.poll() is None:
@@ -266,6 +136,7 @@ class _WorkerSlot:
                 "kind": job.kind,
                 "params": job.params,
                 "attempt": job.attempts,
+                "epoch": lease.epoch,
             }, sort_keys=True)
             try:
                 proc.stdin.write(request + "\n")
@@ -273,15 +144,19 @@ class _WorkerSlot:
             except (BrokenPipeError, OSError):
                 # Worker died between jobs: burn no watchdog, requeue.
                 self.proc = None
-                pool._retry_or_finalize(job, CRASHED, error="worker died")
+                pool.abandon(job, lease.epoch)
                 continue
             pool.watchdog.arm(
-                token, pool.watchdog_seconds, _kill, _REASON_TIMEOUT
+                token, pool.watchdog_seconds, _kill, REASON_TIMEOUT
             )
             if pool.chaos is not None:
+                # Keyed by attempt, not epoch: the kill schedule for a
+                # given seed must not shift with lease bookkeeping
+                # (epochs advance by two per requeue, which would skew
+                # the per-attempt kill probability stream).
                 kill_after = pool.chaos.kill_after(job.id, job.attempts)
                 if kill_after is not None:
-                    pool.watchdog.arm(token, kill_after, _kill, _REASON_CHAOS)
+                    pool.watchdog.arm(token, kill_after, _kill, REASON_CHAOS)
             line = proc.stdout.readline()
             pool.watchdog.disarm(token)
             reason = pool.watchdog.fired_reason(token)
@@ -294,29 +169,29 @@ class _WorkerSlot:
                 except ValueError:
                     response = None  # torn final line from a kill
             if response is not None:
-                if response.get("ok"):
-                    self.pool._finalize(job, DONE,
-                                        payload=response.get("payload"))
-                else:
-                    pool._retry_or_finalize(
-                        job, FAILED,
-                        error=response.get("error", "unknown error"),
-                        error_code=response.get("error_code"),
-                        transient=bool(response.get("transient")),
-                    )
+                pool.deliver(
+                    job,
+                    int(response.get("epoch", lease.epoch)),
+                    ok=bool(response.get("ok")),
+                    payload=response.get("payload"),
+                    error=response.get("error", "unknown error"),
+                    error_code=response.get("error_code"),
+                    transient=bool(response.get("transient")),
+                )
                 continue
             # No (intact) response: the worker is gone. Classify by who
             # pulled the trigger, then respawn lazily on the next job.
             proc.wait()
             self.proc = None
-            if reason == _REASON_TIMEOUT:
+            if reason == REASON_TIMEOUT:
                 pool._count("watchdog_kills")
-                pool._retry_or_finalize(
-                    job, TIMEOUT,
+                pool.abandon(
+                    job, lease.epoch, status=TIMEOUT,
                     error="watchdog kill after %.1fs"
                           % pool.watchdog_seconds,
                 )
             else:
-                if reason == _REASON_CHAOS:
-                    pool._count("chaos_kills")
-                pool._retry_or_finalize(job, CRASHED, error="worker died")
+                pool.abandon(
+                    job, lease.epoch, status=CRASHED,
+                    count="chaos_kills" if reason == REASON_CHAOS else None,
+                )

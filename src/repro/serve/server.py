@@ -32,9 +32,11 @@ from .breaker import CircuitBreaker
 from .cache import ArtifactCache
 from .chaos import ChaosConfig, ChaosMonkey
 from .http import HttpError, json_response, parse_json_body, read_request
-from .jobs import DONE, JOB_KINDS, JobError, job_cache_key
+from .jobs import DONE, FAILED, JOB_KINDS, JobError, job_cache_key
+from .lease import LeaseTable
 from .pool import WorkerPool
 from .quota import TokenBucketQuota
+from .shard import SHARDABLE_KINDS, merge_shards, plan_shards, shard_count
 from .store import JobStore
 
 
@@ -61,6 +63,11 @@ class ServeConfig:
         report_path=None,
         drain_timeout=30.0,
         chaos=None,
+        fabric_port=None,
+        fabric_token="",
+        heartbeat_interval=2.0,
+        heartbeat_misses=3,
+        straggler_after=0.0,
     ):
         self.host = host
         self.port = port
@@ -80,6 +87,168 @@ class ServeConfig:
         self.report_path = report_path
         self.drain_timeout = drain_timeout
         self.chaos = chaos or ChaosConfig()
+        #: TCP fabric listener port (None disables the fabric; 0 binds
+        #: an ephemeral port). When set, jobs run on externally started
+        #: ``repro worker --connect`` processes instead of the
+        #: subprocess pool.
+        self.fabric_port = fabric_port
+        self.fabric_token = fabric_token
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        #: Re-dispatch a shard child still running this many seconds
+        #: after its first sibling finished (0 disables straggler
+        #: mitigation). The loser's lease is fenced, so its late result
+        #: can never double-apply.
+        self.straggler_after = straggler_after
+
+
+class ShardCoordinator:
+    """Fan sharded campaign jobs out and merge them exactly once.
+
+    Owns the parent/child bookkeeping: a parent job never reaches a
+    worker — its children do — and the parent finalizes when the last
+    child lands, with a payload byte-identical to the unsharded run
+    (see :mod:`repro.serve.shard` for why). A child that fails
+    terminally fails the parent. Stragglers: when siblings have
+    finished and a child is still running ``straggler_after`` seconds
+    later, the transport is kicked to fence and re-dispatch it —
+    the slow attempt's result arrives stale and is dropped.
+    """
+
+    def __init__(self, server, straggler_after=0.0):
+        self.server = server
+        self.straggler_after = straggler_after
+        self._lock = threading.Lock()
+        self._parents = {}  # parent_id -> {"job", "children", "timer"}
+
+    # -- registration --------------------------------------------------------
+
+    def start(self, parent, child_params_list, resume_children=None):
+        """Register *parent* and create/adopt its children.
+
+        *resume_children* maps shard index -> existing child Job for
+        ``--resume`` (children already journaled by the killed run);
+        missing indexes are created fresh. Returns the child jobs that
+        still need submission (non-terminal), in shard order.
+        """
+        server = self.server
+        children = []
+        to_submit = []
+        for index, params in enumerate(child_params_list):
+            child = (resume_children or {}).get(index)
+            if child is None:
+                child = server.store.create(
+                    parent.kind, params, parent.client,
+                    job_cache_key(parent.kind, params),
+                    shard={"parent": parent.id, "index": index},
+                )
+                child.submitted_at = time.monotonic()
+            children.append(child)
+            if not child.terminal:
+                to_submit.append(child)
+        parent.shard = {"children": [child.id for child in children]}
+        with self._lock:
+            self._parents[parent.id] = {
+                "job": parent,
+                "children": children,
+                "timer": None,
+            }
+        if not to_submit:
+            self._maybe_finalize(parent.id)
+        return to_submit
+
+    # -- child completion ----------------------------------------------------
+
+    def on_job_done(self, job):
+        """Hook from the server's terminal-transition path."""
+        if not job.shard_child:
+            return
+        parent_id = job.shard.get("parent")
+        with self._lock:
+            entry = self._parents.get(parent_id)
+        if entry is None:
+            return
+        self._arm_straggler_timer(parent_id)
+        self._maybe_finalize(parent_id)
+
+    def _arm_straggler_timer(self, parent_id):
+        if self.straggler_after <= 0:
+            return
+        with self._lock:
+            entry = self._parents.get(parent_id)
+            if entry is None:
+                return
+            running = [c for c in entry["children"] if not c.terminal]
+            if entry["timer"] is not None:
+                entry["timer"].cancel()
+                entry["timer"] = None
+            if not running:
+                return
+            timer = threading.Timer(
+                self.straggler_after, self._kick_stragglers, (parent_id,)
+            )
+            timer.daemon = True
+            entry["timer"] = timer
+            timer.start()
+
+    def _kick_stragglers(self, parent_id):
+        with self._lock:
+            entry = self._parents.get(parent_id)
+            if entry is None:
+                return
+            stragglers = [c for c in entry["children"] if not c.terminal]
+        for child in stragglers:
+            if obs.enabled:
+                obs.counter("serve.shard.straggler_kicked").inc()
+            self.server.pool.kick(child)
+
+    # -- parent finalization -------------------------------------------------
+
+    def _maybe_finalize(self, parent_id):
+        with self._lock:
+            entry = self._parents.get(parent_id)
+            if entry is None:
+                return
+            if any(not c.terminal for c in entry["children"]):
+                return
+            entry = self._parents.pop(parent_id)
+            if entry["timer"] is not None:
+                entry["timer"].cancel()
+        parent, children = entry["job"], entry["children"]
+        failed = [c for c in children if c.status != DONE]
+        if failed:
+            parent.status = FAILED
+            parent.error = "shard %s %s did not complete" % (
+                "child" if len(failed) == 1 else "children",
+                ", ".join("%s (%s)" % (c.id, c.status) for c in failed),
+            )
+            parent.error_code = "shard-child-failed"
+        else:
+            try:
+                parent.result = merge_shards(
+                    parent.kind, parent.params,
+                    [c.result for c in children],
+                )
+                parent.status = DONE
+            except Exception as exc:  # noqa: BLE001 — fail the parent
+                parent.status = FAILED
+                parent.error = "shard merge failed: %s: %s" % (
+                    type(exc).__name__, exc,
+                )
+                parent.error_code = "shard-merge-failed"
+        if obs.enabled:
+            obs.counter("serve.shard.parents_%s" % parent.status).inc()
+        self.server._job_finished(parent)
+
+    def pending(self):
+        with self._lock:
+            return len(self._parents)
+
+    def close(self):
+        with self._lock:
+            for entry in self._parents.values():
+                if entry["timer"] is not None:
+                    entry["timer"].cancel()
 
 
 class ReproServer:
@@ -98,8 +267,11 @@ class ReproServer:
             threshold=config.breaker_threshold,
             cooldown=config.breaker_cooldown,
         )
-        self.pool = WorkerPool(
-            workers=config.workers,
+        self.leases = LeaseTable()
+        self.coordinator = ShardCoordinator(
+            self, straggler_after=config.straggler_after
+        )
+        transport_kwargs = dict(
             watchdog_seconds=config.watchdog,
             retries=config.retries,
             backoff=config.backoff,
@@ -108,8 +280,25 @@ class ReproServer:
             chaos=(
                 ChaosMonkey(config.chaos) if config.chaos.active else None
             ),
+            leases=self.leases,
+            store=self.store,
             on_done=self._job_finished,
         )
+        if config.fabric_port is not None:
+            from .fabric import FabricPool
+
+            self.pool = FabricPool(
+                host=config.host,
+                port=config.fabric_port,
+                token=config.fabric_token,
+                heartbeat_interval=config.heartbeat_interval,
+                heartbeat_misses=config.heartbeat_misses,
+                **transport_kwargs,
+            )
+        else:
+            self.pool = WorkerPool(
+                workers=config.workers, **transport_kwargs
+            )
         self.port = None
         self.draining = False
         self.started_at = time.monotonic()
@@ -124,7 +313,7 @@ class ReproServer:
     # -- job completion (pool manager threads) ------------------------------
 
     def _job_finished(self, job):
-        """Terminal-transition hook: persist, cache, measure."""
+        """Terminal-transition hook: persist, cache, measure, coordinate."""
         if job.status == DONE and job.result is not None and not job.cached:
             self.cache.put(job.cache_key, job.result)
         self.store.record_done(job)
@@ -136,6 +325,7 @@ class ReproServer:
                     del self._latencies[:5000]
             if obs.enabled:
                 obs.histogram("serve.latency_ms").observe(int(latency_ms))
+        self.coordinator.on_job_done(job)
 
     def _latency_percentiles(self):
         with self._latency_lock:
@@ -170,12 +360,19 @@ class ReproServer:
             )
         try:
             cache_key = job_cache_key(kind, params)
+            shards = shard_count(params)
+            child_params_list = (
+                plan_shards(kind, params, shards) if shards > 1 else None
+            )
         except (JobError, KeyError, OSError, TypeError) as exc:
             raise HttpError(400, "bad job params: %s" % exc)
         job = self.store.create(kind, params, client, cache_key)
         job.submitted_at = time.monotonic()
         cached = self.cache.get(cache_key)
         if cached is not None:
+            # ``_shards`` is excluded from the key, so a sharded parent
+            # hits the cache entry its unsharded twin wrote (and vice
+            # versa) — sound because merges are byte-identical.
             job.cached = True
             job.attempts = 0
             job.status = DONE
@@ -184,24 +381,88 @@ class ReproServer:
                 obs.counter("serve.jobs.done").inc()
             self.store.record_done(job)
             return job
+        if child_params_list is not None and len(child_params_list) > 1:
+            if obs.enabled:
+                obs.counter("serve.shard.parents").inc()
+            for child in self.coordinator.start(job, child_params_list):
+                self._submit_or_cache(child)
+            return job
         self.pool.submit(job)
         return job
+
+    def _submit_or_cache(self, job):
+        """Route one runnable job: cache fast path or the transport."""
+        cached = self.cache.get(job.cache_key)
+        if cached is not None:
+            job.cached = True
+            job.status = DONE
+            job.result = cached
+            if obs.enabled:
+                obs.counter("serve.jobs.done").inc()
+            self._job_finished(job)
+            return
+        self.pool.submit(job)
+
+    def _resume_jobs(self, resumed):
+        """Re-enqueue journal-recovered work, rebuilding shard fan-outs.
+
+        Parents register with the coordinator before any child is
+        submitted, so a child finalizing instantly (cache hit) finds
+        its parent waiting. Children the killed run already journaled
+        are adopted by shard index; ones it never got to create are
+        created now — shard planning is deterministic, so the re-plan
+        reproduces the original fan-out exactly.
+        """
+        for job in resumed:
+            job.submitted_at = time.monotonic()
+        to_submit = []
+        for job in resumed:
+            if job.shard_child:
+                continue  # submitted through its parent below
+            if job.kind in SHARDABLE_KINDS:
+                try:
+                    shards = shard_count(job.params)
+                    plan = (
+                        plan_shards(job.kind, job.params, shards)
+                        if shards > 1 else None
+                    )
+                except JobError:
+                    plan = None  # was accepted once; run it unsharded
+                if plan is not None and len(plan) > 1:
+                    existing = {
+                        child.shard.get("index"): child
+                        for child in self.store.children_of(job.id)
+                    }
+                    to_submit.extend(self.coordinator.start(
+                        job, plan, resume_children=existing
+                    ))
+                    continue
+            to_submit.append(job)
+        for job in to_submit:
+            self._submit_or_cache(job)
 
     # -- metrics -------------------------------------------------------------
 
     def metrics(self):
         """The ``GET /metrics`` document."""
+        fabric = self.config.fabric_port is not None
         return {
             "schema": "repro.serve-metrics/v1",
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "draining": self.draining,
-            "workers": self.config.workers,
+            "transport": "fabric" if fabric else "pool",
+            "workers": (
+                self.pool.workers() if fabric else self.config.workers
+            ),
+            "fabric_port": self.pool.port if fabric else None,
             "queue_depth": self.pool.queue_depth(),
             "outstanding": self.pool.outstanding(),
+            "shard_parents_pending": self.coordinator.pending(),
             "jobs": self.store.counts(),
             "cache": self.cache.stats(),
             "quota": self.quota.snapshot(),
             "breaker": self.breaker.snapshot(),
+            "lease": self.leases.snapshot(),
             "pool": self.pool.stats_snapshot(),
             "latency_ms": self._latency_percentiles(),
             "obs": obs.registry.snapshot() if obs.enabled else [],
@@ -293,23 +554,19 @@ class ReproServer:
         )
         self.port = server.sockets[0].getsockname()[1]
         if self.config.resume:
-            resumed = self.store.resume()
-            for job in resumed:
-                # A result may have been cached by the killed run or by
-                # a twin job — the same fast path as a live submission.
-                job.submitted_at = time.monotonic()
-                cached = self.cache.get(job.cache_key)
-                if cached is not None:
-                    job.cached = True
-                    job.status = DONE
-                    job.result = cached
-                    self.store.record_done(job)
-                else:
-                    self.pool.submit(job)
+            resumed = self.store.resume(leases=self.leases)
+            self._resume_jobs(resumed)
             print(
                 "resumed %d incomplete job%s from %s"
                 % (len(resumed), "" if len(resumed) == 1 else "s",
                    self.config.journal_path),
+                flush=True,
+            )
+        if self.config.fabric_port is not None:
+            print(
+                "fabric listening on %s:%d (token %s)"
+                % (self.config.host, self.pool.port,
+                   "required" if self.config.fabric_token else "disabled"),
                 flush=True,
             )
         print(
@@ -328,8 +585,14 @@ class ReproServer:
         drained = await loop.run_in_executor(
             None, self.pool.drain, self.config.drain_timeout
         )
+        # Parents finalize on the last child's completion callback,
+        # which can land a beat after drain() unblocks.
+        deadline = time.monotonic() + 5.0
+        while self.coordinator.pending() and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
         server.close()
         await server.wait_closed()
+        self.coordinator.close()
         self.pool.close()
         if self.config.report_path:
             self.store.write_final_report(self.config.report_path)

@@ -1,0 +1,204 @@
+"""Deterministic campaign sharding: split, fan out, merge byte-identically.
+
+A campaign job (``fuzz``, ``faults``, ``repair``) submitted with
+``params["_shards"] = N`` is split into *N* child jobs, fanned across
+the worker fabric, and merged — and the merge is **byte-identical** to
+what one worker computing the whole campaign would have returned. That
+property is not best-effort; it is what every split here is chosen for:
+
+* **fuzz** — case recipes depend only on ``(seed, index)``
+  (:func:`repro.fuzz.runner.case_spec`), so a campaign of ``cases``
+  cases is exactly the index range ``[start, start+cases)`` and shards
+  are contiguous sub-ranges. Counts sum, buckets union, failures
+  concatenate in index order;
+* **faults** — case seeds depend only on ``(seed, bug, index)``
+  (:func:`repro.faults.campaign.case_seed`), so the ``bugs x
+  range(faults_per_bug)`` grid partitions into explicit case lists and
+  the parent report is rebuilt from the concatenated records by the
+  same :class:`~repro.faults.campaign.FaultCampaignReport` the
+  unsharded run uses;
+* **repair** — candidates enumerate in a deterministic order, so the
+  budget window ``[0, budget)`` splits into enumeration-index ranges.
+  This is only sound when no shard can end the campaign early, hence
+  the **determinism rule**: sharded repair requires ``stop_after=0``
+  (exhaust the window); anything else is rejected at submission.
+
+``_shards`` is underscore-prefixed deliberately: like the ``_chaos*``
+knobs it changes *how* the answer is computed, never *what* it is, so
+:func:`repro.serve.jobs.job_cache_key` excludes it and a sharded parent
+shares its cache entry with the equivalent unsharded submission.
+Children carry real (keyed) range parameters and get their own entries.
+"""
+
+from __future__ import annotations
+
+from .jobs import JobError
+
+#: Kinds that know how to split. Everything else runs whole.
+SHARDABLE_KINDS = ("fuzz", "faults", "repair")
+
+
+def shard_count(params):
+    """The validated ``_shards`` value of a submission (1 = unsharded)."""
+    raw = params.get("_shards", 1)
+    try:
+        count = int(raw)
+    except (TypeError, ValueError):
+        raise JobError("_shards must be an integer, got %r" % (raw,))
+    if count < 1:
+        raise JobError("_shards must be >= 1, got %d" % count)
+    return count
+
+
+def _split_range(total, shards):
+    """Contiguous ``(offset, length)`` chunks covering ``[0, total)``."""
+    shards = min(shards, max(1, total))
+    base, extra = divmod(total, shards)
+    chunks = []
+    offset = 0
+    for index in range(shards):
+        length = base + (1 if index < extra else 0)
+        chunks.append((offset, length))
+        offset += length
+    return chunks
+
+
+def _child_params(params, **overrides):
+    child = {k: v for k, v in params.items() if k != "_shards"}
+    child.update(overrides)
+    return child
+
+
+def _fault_grid(params):
+    bugs = tuple(params.get("bugs") or ())
+    if not bugs:
+        from ..testbed.metadata import BUG_IDS
+
+        bugs = tuple(BUG_IDS)
+    faults_per_bug = int(params.get("faults_per_bug", 2))
+    return [
+        [bug_id, index]
+        for bug_id in bugs
+        for index in range(faults_per_bug)
+    ]
+
+
+def plan_shards(kind, params, shards):
+    """Child param dicts for splitting ``(kind, params)`` *shards* ways.
+
+    Raises :class:`JobError` when the submission cannot be sharded
+    soundly. May return fewer children than requested when the campaign
+    has fewer cases than shards; never returns an empty list.
+    """
+    if kind not in SHARDABLE_KINDS:
+        raise JobError(
+            "job kind %r cannot be sharded (shardable: %s)"
+            % (kind, ", ".join(SHARDABLE_KINDS))
+        )
+    if kind == "fuzz":
+        cases = int(params.get("cases", 25))
+        start = int(params.get("start", 0))
+        return [
+            _child_params(params, cases=length, start=start + offset)
+            for offset, length in _split_range(cases, shards)
+            if length > 0
+        ] or [_child_params(params)]
+    if kind == "faults":
+        grid = _fault_grid(params)
+        return [
+            _child_params(params, case_list=grid[offset:offset + length])
+            for offset, length in _split_range(len(grid), shards)
+            if length > 0
+        ] or [_child_params(params)]
+    # repair: enumeration-index windows over the candidate budget.
+    if int(params.get("stop_after", 5)) != 0:
+        raise JobError(
+            "sharded repair requires stop_after=0: early stopping "
+            "depends on global candidate order, which no shard can see"
+        )
+    budget = int(params.get("budget", 200))
+    return [
+        _child_params(params, candidate_range=[offset, offset + length])
+        for offset, length in _split_range(budget, shards)
+        if length > 0
+    ] or [_child_params(params)]
+
+
+# ---------------------------------------------------------------------------
+# Merging. Each function takes the parent params and the child payloads
+# in shard order and returns the payload the unsharded job would have
+# produced, byte for byte (canonical JSON with sorted keys).
+# ---------------------------------------------------------------------------
+
+
+def _merge_fuzz(params, payloads):
+    counts = {}
+    buckets = set()
+    failures = []
+    for payload in payloads:
+        for status, count in payload["counts"].items():
+            counts[status] = counts.get(status, 0) + count
+        buckets.update(payload["buckets"])
+        failures.extend(payload["failures"])
+    return {
+        "seed": int(params.get("seed", 0)),
+        "cases": sum(payload["cases"] for payload in payloads),
+        "counts": counts,
+        "buckets": sorted(buckets),
+        "failures": sorted(failures, key=lambda f: f["index"]),
+    }
+
+
+def _merge_faults(params, payloads):
+    from ..faults import FaultCampaignConfig
+    from ..faults.campaign import FaultCampaignReport
+
+    bugs = tuple(params.get("bugs") or ())
+    if not bugs:
+        from ..testbed.metadata import BUG_IDS
+
+        bugs = tuple(BUG_IDS)
+    config = FaultCampaignConfig(
+        bugs=bugs,
+        faults_per_bug=int(params.get("faults_per_bug", 2)),
+        seed=int(params.get("seed", 0)),
+        kinds=tuple(params["kinds"]) if params.get("kinds") else None,
+    )
+    records = []
+    for payload in payloads:
+        records.extend(payload["records"])
+    return FaultCampaignReport(config=config, records=records).to_report()
+
+
+def _merge_repair(params, payloads):
+    from ..repair.search import build_report_from_parts
+
+    records = []
+    for payload in payloads:
+        records.extend(payload["records"])
+    first = payloads[0]
+    return build_report_from_parts(
+        bug_id=params["bug"],
+        budget=int(params.get("budget", 200)),
+        watchdog=float(params.get("watchdog", 10.0)),
+        baseline=first["baseline"],
+        sites=first["sites"],
+        planned=first["planned"],
+        tried=sum(payload["tried"] for payload in payloads),
+        records=records,
+    )
+
+
+_MERGERS = {
+    "fuzz": _merge_fuzz,
+    "faults": _merge_faults,
+    "repair": _merge_repair,
+}
+
+
+def merge_shards(kind, params, payloads):
+    """The parent payload from child payloads in shard order."""
+    merger = _MERGERS.get(kind)
+    if merger is None:
+        raise JobError("job kind %r has no shard merger" % kind)
+    return merger(params, payloads)

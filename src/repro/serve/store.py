@@ -2,17 +2,30 @@
 
 Two event kinds, one line each, fsynced on append:
 
-* ``{"event": "submit", "id", "kind", "params", "client", "cache_key"}``
-  — written the moment a job is accepted;
-* ``{"event": "done", "id", "status", "result", "error", "error_code"}``
-  — written exactly once when the job reaches a terminal status.
+* ``{"event": "submit", "id", "kind", "params", "client", "cache_key",
+  "shard"}`` — written the moment a job is accepted;
+* ``{"event": "done", "id", "status", "result", "error", "error_code",
+  "epoch"}`` — written exactly once when the job reaches a terminal
+  status; ``epoch`` is the lease epoch whose result won.
 
 ``repro serve --resume`` replays the journal: every ``submit`` without
 a matching ``done`` is incomplete work to re-enqueue; every ``done``
 restores its result so clients can still ``GET /jobs/<id>`` after a
-restart. The journal inherits :class:`repro.runtime.JsonlJournal`'s
-tolerance of torn and corrupt lines, so a SIGKILL mid-append costs at
-most the record being written.
+restart. Replay is hardened against the crash-window double-``done``
+(finalized, journaled, killed before the in-memory flag landed, then
+finalized again on resume): ``done`` lines deduplicate by job id —
+first write wins, extras count on ``runtime.journal.duplicate``. The
+journal inherits :class:`repro.runtime.JsonlJournal`'s tolerance of
+torn and corrupt lines, so a SIGKILL mid-append costs at most the
+record being written.
+
+The store also owns the fabric's **first-application registry**: the
+transports ask :meth:`JobStore.mark_applied` before applying a result,
+so a duplicated frame of the current lease epoch — same ``(job_id,
+epoch)`` delivered twice — is a no-op however many connections replay
+it. Resume reseeds the registry (and fast-forwards the lease table)
+from journaled epochs, so a resumed server can never re-issue an epoch
+an old result might still be carrying.
 
 The **final report** (written on graceful drain) is deliberately free
 of wall-clock data, attempt counts, and cache-hit flags — everything
@@ -42,11 +55,12 @@ class JobStore:
         self._jobs = {}
         self._order = []
         self._seq = 0
+        self._applied = set()  # (job_id, epoch) results already applied
         self._journal = JsonlJournal(journal_path) if journal_path else None
 
     # -- creation / persistence --------------------------------------------
 
-    def create(self, kind, params, client, cache_key):
+    def create(self, kind, params, client, cache_key, shard=None):
         """Allocate the next job id and journal the submission."""
         with self._lock:
             self._seq += 1
@@ -56,6 +70,7 @@ class JobStore:
                 params=params,
                 client=client,
                 cache_key=cache_key,
+                shard=shard,
             )
             self._jobs[job.id] = job
             self._order.append(job.id)
@@ -67,8 +82,21 @@ class JobStore:
                 "params": params,
                 "client": client,
                 "cache_key": cache_key,
+                "shard": shard,
             })
         return job
+
+    def mark_applied(self, job_id, epoch):
+        """First-application check for one ``(job, epoch)`` result.
+
+        True exactly once per pair; a duplicated delivery of the same
+        lease epoch gets False and must be ignored by the caller.
+        """
+        with self._lock:
+            if (job_id, epoch) in self._applied:
+                return False
+            self._applied.add((job_id, epoch))
+            return True
 
     def record_done(self, job):
         """Journal a terminal transition (call exactly once per job)."""
@@ -80,20 +108,37 @@ class JobStore:
                 "result": job.result,
                 "error": job.error,
                 "error_code": job.error_code,
+                "epoch": job.lease_epoch,
             })
 
-    def resume(self):
+    @staticmethod
+    def _dedupe_key(record):
+        """Journal identity: at most one ``done`` may apply per job.
+
+        A server killed between journaling a ``done`` and recording it
+        in memory will journal a second one on resume; apply-once by
+        job id makes the first write win and the duplicate harmless.
+        """
+        if record.get("event") == "done":
+            return ("done", record.get("id"))
+        return None
+
+    def resume(self, leases=None):
         """Replay the journal; returns the incomplete jobs to re-enqueue.
 
         Jobs come back in submission order with attempt counters reset —
         a resumed job re-runs from scratch, which is safe because every
         adapter is deterministic and finalization is exactly-once.
+        Duplicate ``done`` lines apply once (first wins); journaled
+        lease epochs reseed the first-application registry and, when a
+        *leases* table is given, fast-forward it past every epoch the
+        killed run ever finalized under.
         """
         if self._journal is None:
             return []
         incomplete = []
         with self._lock:
-            for record in self._journal.load():
+            for record in self._journal.load(dedupe=self._dedupe_key):
                 event = record.get("event")
                 if event == "submit":
                     job = Job(
@@ -102,6 +147,7 @@ class JobStore:
                         params=record.get("params") or {},
                         client=record.get("client", "anon"),
                         cache_key=record.get("cache_key", ""),
+                        shard=record.get("shard"),
                     )
                     self._jobs[job.id] = job
                     self._order.append(job.id)
@@ -115,6 +161,11 @@ class JobStore:
                     job.result = record.get("result")
                     job.error = record.get("error", "")
                     job.error_code = record.get("error_code")
+                    job.lease_epoch = int(record.get("epoch", 0))
+                    if job.lease_epoch:
+                        self._applied.add((job.id, job.lease_epoch))
+                        if leases is not None:
+                            leases.observe(job.id, job.lease_epoch)
                     if job.terminal and job in incomplete:
                         incomplete.remove(job)
         return [job for job in incomplete if not job.terminal]
@@ -140,11 +191,29 @@ class JobStore:
             counts[job.status] = counts.get(job.status, 0) + 1
         return counts
 
+    def children_of(self, parent_id):
+        """A sharded parent's child jobs, in shard order."""
+        return sorted(
+            (
+                job for job in self.jobs()
+                if job.shard_child and job.shard.get("parent") == parent_id
+            ),
+            key=lambda job: job.shard.get("index", 0),
+        )
+
     # -- reporting -----------------------------------------------------------
 
     def final_report(self):
-        """Deterministic ``repro.serve/v1`` campaign report."""
-        jobs = sorted(self.jobs(), key=lambda job: job.id)
+        """Deterministic ``repro.serve/v1`` campaign report.
+
+        Shard children are an execution detail of *how* a parent's
+        answer was computed, so they are excluded: a sharded campaign
+        and its unsharded twin produce byte-identical reports.
+        """
+        jobs = sorted(
+            (job for job in self.jobs() if not job.shard_child),
+            key=lambda job: job.id,
+        )
         entries = []
         for job in jobs:
             entries.append({
@@ -160,10 +229,13 @@ class JobStore:
                     and job.result is not None else None
                 ),
             })
+        counts = {}
+        for job in jobs:
+            counts[job.status] = counts.get(job.status, 0) + 1
         return {
             "schema": SCHEMA,
             "jobs": entries,
-            "counts": self.counts(),
+            "counts": counts,
         }
 
     def write_final_report(self, path):

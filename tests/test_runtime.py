@@ -164,6 +164,45 @@ class TestJsonlJournal:
         assert [record["case"] for record in loaded] == ["A#0"]
         assert truncated == 1
 
+    def test_dedupe_first_write_wins_and_counts(self, tmp_path):
+        from repro import obs
+
+        path = str(tmp_path / "journal.jsonl")
+        with JsonlJournal(path) as journal:
+            journal.append({"event": "done", "id": "j1", "n": 1})
+            journal.append({"event": "submit", "id": "j1"})
+            journal.append({"event": "done", "id": "j1", "n": 2})
+            journal.append({"event": "done", "id": "j2", "n": 3})
+
+        def identity(record):
+            if record.get("event") == "done":
+                return ("done", record["id"])
+            return None
+
+        obs.reset()
+        with obs.observed():
+            loaded = JsonlJournal(path).load(dedupe=identity)
+            duplicates = obs.counter("runtime.journal.duplicate").value
+        obs.reset()
+        obs.enabled = False
+        assert duplicates == 1
+        assert [record.get("n") for record in loaded] == [1, None, 3]
+
+    def test_dedupe_none_keys_never_collapse(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JsonlJournal(path) as journal:
+            journal.append({"event": "case", "id": "j1"})
+            journal.append({"event": "case", "id": "j1"})  # identical
+        loaded = JsonlJournal(path).load(dedupe=lambda record: None)
+        assert len(loaded) == 2
+
+    def test_load_without_dedupe_keeps_duplicates(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JsonlJournal(path) as journal:
+            journal.append({"event": "done", "id": "j1"})
+            journal.append({"event": "done", "id": "j1"})
+        assert len(JsonlJournal(path).load()) == 2
+
     def test_corrupt_interior_line_skipped_not_fatal(self, tmp_path):
         # Records after a damaged interior line must survive the reload
         # (a resume that silently dropped the tail would re-run finished

@@ -13,12 +13,15 @@ an uninterrupted run's.
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
 
+from repro import obs
 from repro.serve import (
     ArtifactCache,
     ChaosConfig,
@@ -28,6 +31,7 @@ from repro.serve import (
     Job,
     JobError,
     JobStore,
+    LeaseTable,
     ReproServer,
     ServeClient,
     ServeClientError,
@@ -37,6 +41,7 @@ from repro.serve import (
     job_cache_key,
     payload_digest,
 )
+from repro.serve.client import RETRYABLE_ERRORS
 from repro.serve.jobs import CRASHED, DONE, QUARANTINED, TIMEOUT
 
 TINY = """
@@ -164,6 +169,47 @@ class TestArtifactCache:
         assert "old" in cache  # recently used survives
         assert "mid" not in cache  # LRU entry paid the price
 
+    def test_eviction_order_survives_identical_mtimes(self, tmp_path):
+        """The regression the explicit access index exists for: on a
+        fast filesystem consecutive accesses land in the same mtime
+        granule, so mtime-ranked eviction was tie-dependent. Recency
+        must come from the access counter, never the filesystem."""
+        cache = ArtifactCache(str(tmp_path / "cache"), max_bytes=600)
+        filler = "x" * 150
+        cache.put("old", {"data": filler})
+        cache.put("mid", {"data": filler})
+        cache.get("old")  # bump recency: "mid" is now the LRU entry
+        stamp = time.time()  # collapse every mtime to one instant
+        for name in os.listdir(cache.directory):
+            os.utime(os.path.join(cache.directory, name), (stamp, stamp))
+        cache.put("new", {"data": filler})
+        assert "old" in cache
+        assert "mid" not in cache
+
+    def test_access_order_survives_restart(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        warm = ArtifactCache(directory, max_bytes=600)
+        filler = "x" * 150
+        warm.put("old", {"data": filler})
+        warm.put("mid", {"data": filler})
+        warm.get("old")
+        # A crash-restart: a fresh instance must inherit the warmth.
+        cache = ArtifactCache(directory, max_bytes=600)
+        cache.put("new", {"data": filler})
+        assert "old" in cache
+        assert "mid" not in cache
+
+    def test_corrupt_index_degrades_to_cold_start(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ArtifactCache(directory)
+        cache.put("k1", {"answer": 42})
+        with open(os.path.join(directory, "lru-index"), "w") as handle:
+            handle.write("{torn mid-write")
+        fresh = ArtifactCache(directory)
+        assert fresh.get("k1") == {"answer": 42}  # entries unaffected
+        fresh.put("k2", {"answer": 43})  # and the index rebuilds
+        assert fresh.get("k2") == {"answer": 43}
+
 
 # ---------------------------------------------------------------------------
 # Quotas
@@ -257,6 +303,52 @@ class TestCircuitBreaker:
             breaker.record_failure("check")
         assert breaker.allow("check")
         assert breaker.state("check") == "closed"
+
+    def test_concurrent_half_open_probes_admit_exactly_one(self):
+        """The half-open race: many submissions hit a cooled-down
+        breaker at once; exactly one may probe, the rest stay blocked
+        until the probe's verdict is in."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure("repair")
+        clock.advance(10.1)
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def probe():
+            barrier.wait()
+            if breaker.allow("repair"):
+                admitted.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+
+    def test_transition_counters_track_the_state_machine(self):
+        obs.reset()
+        try:
+            with obs.observed():
+                clock = FakeClock()
+                breaker = CircuitBreaker(threshold=1, cooldown=10.0,
+                                         clock=clock)
+                breaker.record_failure("repair")  # closed -> open
+                assert obs.counter("serve.breaker.opened").value == 1
+                clock.advance(10.1)
+                assert breaker.allow("repair")  # open -> half-open probe
+                assert obs.counter("serve.breaker.half_open").value == 1
+                breaker.record_failure("repair")  # probe fails: reopen
+                assert obs.counter("serve.breaker.reopened").value == 1
+                assert obs.counter("serve.breaker.opened").value == 2
+                clock.advance(10.1)
+                assert breaker.allow("repair")
+                breaker.record_success("repair")  # probe passes: close
+                assert obs.counter("serve.breaker.closed").value == 1
+        finally:
+            obs.reset()
+            obs.enabled = False
 
 
 # ---------------------------------------------------------------------------
@@ -434,6 +526,48 @@ class TestJobStore:
         store.write_final_report(first)
         store.write_final_report(second)
         assert open(first, "rb").read() == open(second, "rb").read()
+
+    def test_resume_applies_first_done_and_counts_duplicates(
+        self, tmp_path
+    ):
+        """The crash-window double-``done``: finalized, journaled,
+        killed before the in-memory flag landed, then finalized again
+        after resume. The first record must win, the duplicate must be
+        visible on the duplicate counter, and the replayed epoch must
+        reseed both fencing and the first-application registry."""
+        path = str(tmp_path / "journal.jsonl")
+        store = JobStore(journal_path=path)
+        job = store.create("check", check_params(), "anon", "key1")
+        job.status = DONE
+        job.result = {"winner": "first"}
+        job.lease_epoch = 2
+        store.record_done(job)
+        job.result = {"winner": "second"}
+        store.record_done(job)  # the duplicate the crash window writes
+        store.close()
+
+        obs.reset()
+        try:
+            with obs.observed():
+                fresh = JobStore(journal_path=path)
+                leases = LeaseTable()
+                assert fresh.resume(leases=leases) == []
+                duplicates = obs.counter(
+                    "runtime.journal.duplicate"
+                ).value
+        finally:
+            obs.reset()
+            obs.enabled = False
+        assert duplicates == 1
+        restored = fresh.get("j000001")
+        assert restored.status == DONE
+        assert restored.result == {"winner": "first"}
+        assert restored.lease_epoch == 2
+        # Fencing state survives the restart: the journaled epoch can
+        # never be re-issued, and its result can never re-apply.
+        assert leases.current("j000001") == 2
+        assert not fresh.mark_applied("j000001", 2)
+        fresh.close()
 
 
 # ---------------------------------------------------------------------------
@@ -669,6 +803,103 @@ class TestServerEndToEnd:
 
 
 # ---------------------------------------------------------------------------
+# Client reconnects (flapping fake server)
+# ---------------------------------------------------------------------------
+
+
+class FlappingServer:
+    """A TCP listener that resets the first *flaps* requests mid-poll,
+    then answers like a healthy serve instance."""
+
+    def __init__(self, flaps, body=b'{"status": "ok"}'):
+        self.flaps = flaps
+        self.body = body
+        self.accepted = 0
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(16)
+        self.port = self.sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.accepted += 1
+            try:
+                conn.recv(65536)
+                if self.accepted <= self.flaps:
+                    # Connection reset with the request in flight.
+                    conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                    b"\x01\x00\x00\x00\x00\x00\x00\x00")
+                    conn.close()
+                    continue
+                conn.sendall(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n"
+                    % len(self.body) + self.body
+                )
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class TestClientReconnect:
+    def test_get_reconnects_with_backoff_through_flaps(self):
+        server = FlappingServer(flaps=2)
+        try:
+            client = ServeClient("http://127.0.0.1:%d" % server.port,
+                                 max_retries=3, retry_backoff=0.01)
+            assert client.health() == {"status": "ok"}
+            assert client.reconnects == 2
+        finally:
+            server.close()
+
+    def test_retry_budget_exhausted_reraises(self):
+        server = FlappingServer(flaps=99)
+        try:
+            client = ServeClient("http://127.0.0.1:%d" % server.port,
+                                 max_retries=2, retry_backoff=0.01)
+            with pytest.raises(RETRYABLE_ERRORS):
+                client.health()
+            assert client.reconnects == 2  # budget fully spent
+        finally:
+            server.close()
+
+    def test_default_client_fails_fast(self):
+        server = FlappingServer(flaps=99)
+        try:
+            client = ServeClient("http://127.0.0.1:%d" % server.port)
+            with pytest.raises(RETRYABLE_ERRORS):
+                client.health()
+            assert client.reconnects == 0
+        finally:
+            server.close()
+
+    def test_post_never_retries(self):
+        """A retried POST /jobs could enqueue the campaign twice; only
+        idempotent GETs get the reconnect budget."""
+        server = FlappingServer(flaps=99)
+        try:
+            client = ServeClient("http://127.0.0.1:%d" % server.port,
+                                 max_retries=5, retry_backoff=0.01)
+            with pytest.raises(RETRYABLE_ERRORS):
+                client.submit("check", {})
+            assert client.reconnects == 0
+            assert server.accepted == 1  # one attempt, no replays
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
 # Chaos acceptance: kill workers, hang jobs, corrupt the cache, truncate
 # the journal, SIGKILL the server halfway — and still converge.
 # ---------------------------------------------------------------------------
@@ -679,7 +910,10 @@ def serve_command(tmp, name, resume=False, report="report.json"):
         sys.executable, "-u", "-m", "repro", "serve",
         "--port", "0",
         "--workers", "3",
-        "--watchdog", "1.0",
+        # Generous enough that a legitimate fuzz job beats it even on a
+        # loaded single-core box (the 30s injected hangs still trip it),
+        # tight enough that the test doesn't crawl.
+        "--watchdog", "2.5",
         "--retries", "5",
         "--backoff", "0.02",
         "--jitter", "0",
