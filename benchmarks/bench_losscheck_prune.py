@@ -9,12 +9,17 @@ shadow-variable instrumentation. Two honest findings:
   routing state on the Source->Sink path — pruning halves the
   monitored set and the generated LoC while keeping the genuine loss
   point instrumented.
+* On the constant_tap fixture — a payload path carrying a
+  provably-constant debug tap — the second prune cut (absint facts from
+  :func:`repro.flow.compute_facts`) drops a register the payload slice
+  alone keeps: a register that only ever holds one value cannot lose
+  data, so its shadow variable is dead weight.
 * On the paper's testbed specs the default monitored sets are already
   payload-minimal: the propagation table only relates data sources, so
   control registers never enter the monitored set in the first place
-  and pruning saves nothing. That zero is itself a precision result
-  worth regressing against — a fatter default would show up here as a
-  sudden nonzero saving.
+  and pruning (either cut) saves nothing. That zero is itself a
+  precision result worth regressing against — a fatter default would
+  show up here as a sudden nonzero saving.
 """
 
 import os
@@ -23,19 +28,18 @@ from repro.core import LossCheck
 from repro.hdl import elaborate, parse
 from repro.testbed import SPECS, run_losscheck
 
-FIXTURE = os.path.join(
-    os.path.dirname(__file__), "..", "tests", "fixtures", "flow",
-    "routed_pipeline.v",
+_FIXTURE_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "fixtures", "flow"
 )
 
 
-def _fixture_design():
-    with open(FIXTURE) as handle:
-        return elaborate(parse(handle.read()), top="routed_pipeline")
+def _fixture_design(name):
+    with open(os.path.join(_FIXTURE_DIR, name + ".v")) as handle:
+        return elaborate(parse(handle.read()), top=name)
 
 
-def _fixture_rows():
-    design = _fixture_design()
+def _fixture_rows(name):
+    design = _fixture_design(name)
     rows = {}
     for label, prune in (("default", False), ("prune", True)):
         lc = LossCheck(design, "in_data", "out_q", prune=prune)
@@ -65,30 +69,40 @@ def _testbed_rows():
 
 
 def _render():
-    fixture = _fixture_rows()
+    fixtures = {
+        name: _fixture_rows(name)
+        for name in ("routed_pipeline", "constant_tap")
+    }
     testbed = _testbed_rows()
     lines = [
-        "LossCheck prune=True vs default (payload-slice restriction)",
-        "",
-        "routed_pipeline fixture (in_data -> out_q)",
-        "%-8s %10s %11s %8s"
-        % ("mode", "monitored", "pruned_out", "gen.LoC"),
+        "LossCheck prune=True vs default (payload slice + absint "
+        "constant cut)",
     ]
-    for label in ("default", "prune"):
-        row = fixture[label]
-        lines.append(
-            "%-8s %10d %11d %8d"
-            % (label, row["monitored"], row["pruned_out"],
-               row["generated_lines"])
+    for name, fixture in fixtures.items():
+        lines += [
+            "",
+            "%s fixture (in_data -> out_q)" % name,
+            "%-8s %10s %11s %8s"
+            % ("mode", "monitored", "pruned_out", "gen.LoC"),
+        ]
+        for label in ("default", "prune"):
+            row = fixture[label]
+            lines.append(
+                "%-8s %10d %11d %8d"
+                % (label, row["monitored"], row["pruned_out"],
+                   row["generated_lines"])
+            )
+        saved = (
+            fixture["default"]["generated_lines"]
+            - fixture["prune"]["generated_lines"]
         )
-    saved = (
-        fixture["default"]["generated_lines"]
-        - fixture["prune"]["generated_lines"]
-    )
+        lines.append(
+            "saved: %d generated lines, %d monitored registers"
+            % (saved,
+               fixture["default"]["monitored"]
+               - fixture["prune"]["monitored"])
+        )
     lines += [
-        "saved: %d generated lines, %d monitored registers"
-        % (saved,
-           fixture["default"]["monitored"] - fixture["prune"]["monitored"]),
         "",
         "testbed loss specs (already payload-minimal: savings are zero",
         "by construction — the propagation table only relates data",
@@ -107,21 +121,29 @@ def _render():
                 "same" if row["verdict_unchanged"] else "CHANGED",
             )
         )
-    return "\n".join(lines), fixture, testbed
+    return "\n".join(lines), fixtures, testbed
 
 
 def test_prune_savings(benchmark, emit):
-    text, fixture, testbed = benchmark.pedantic(
+    text, fixtures, testbed = benchmark.pedantic(
         _render, rounds=1, iterations=1
     )
     emit("losscheck_prune.txt", text)
-    # The fixture must show a strict, real saving...
-    assert fixture["prune"]["monitored"] < fixture["default"]["monitored"]
-    assert (
-        fixture["prune"]["generated_lines"]
-        < fixture["default"]["generated_lines"]
-    )
-    # ...while every testbed verdict is untouched and never widened.
+    # Both fixtures must show a strict, real saving...
+    for name, fixture in fixtures.items():
+        assert (
+            fixture["prune"]["monitored"] < fixture["default"]["monitored"]
+        ), name
+        assert (
+            fixture["prune"]["generated_lines"]
+            < fixture["default"]["generated_lines"]
+        ), name
+    # ...the constant cut specifically drops the dead debug tap...
+    assert fixtures["constant_tap"]["prune"]["pruned_out"] == 1
+    # ...while every testbed verdict is untouched and never widened
+    # (pinned: the testbed loss paths hold no constant registers, so
+    # both cuts are exact zeros there).
     for bug_id, row in testbed.items():
         assert row["verdict_unchanged"], bug_id
-        assert row["monitored_pruned"] <= row["monitored"], bug_id
+        assert row["monitored_pruned"] == row["monitored"], bug_id
+        assert row["pruned_out"] == 0, bug_id

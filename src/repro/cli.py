@@ -858,8 +858,11 @@ def build_parser():
     fuzz.add_argument(
         "--oracle",
         action="append",
-        choices=["roundtrip", "differential", "metamorphic", "lint", "flow"],
-        help="restrict to one oracle (repeatable; default: all five)",
+        choices=[
+            "roundtrip", "differential", "metamorphic", "lint", "flow",
+            "absint",
+        ],
+        help="restrict to one oracle (repeatable; default: all six)",
     )
     fuzz.add_argument(
         "--output-dir",
@@ -977,14 +980,14 @@ def build_parser():
     check.add_argument(
         "--no-flow",
         action="store_true",
-        help="skip the design-level flow checkers (L04xx rules)",
+        help="skip the design-level flow checkers (L04xx + L05xx rules)",
     )
     check.add_argument(
         "--select",
         action="append",
         metavar="CODES",
         help="only report codes matching these comma-separated prefixes "
-        "(e.g. --select L04 keeps just the flow rules; repeatable)",
+        "(e.g. --select L05 keeps just the value rules; repeatable)",
     )
     check.add_argument(
         "--ignore",

@@ -128,8 +128,11 @@ class LossCheck:
         (:func:`repro.flow.payload_slice`) instead of every register on
         any propagation sequence. Verdict-only registers (comparison
         results, handshake flags the propagation table conservatively
-        keeps) are skipped, cutting generated LoC and shadow registers.
-        Pruning errs toward reporting: a dropped register's validity is
+        keeps) are skipped, cutting generated LoC and shadow registers,
+        and registers the abstract interpreter
+        (:func:`repro.flow.compute_facts`) proves constant are dropped
+        too — a register that only ever holds one value cannot drop
+        payload. Pruning errs toward reporting: a dropped register's validity is
         treated as always-true downstream, so kept registers warn at
         least as often as before. Falls back to the full monitored set
         when the payload slice misses either endpoint (e.g. the Source
@@ -192,6 +195,13 @@ class LossCheck:
         Conservative in both directions: when the slice is empty or
         omits the Source/Sink endpoints (the payload tracer gave up on
         the design), the full propagation-path set is kept unchanged.
+
+        A second cut intersects with the abstract-interpretation facts
+        (:func:`repro.flow.compute_facts`): a monitored register proven
+        to hold a single constant value in every reachable state cannot
+        lose payload data — its shadow variable would never record a
+        drop — so it is pruned too. Registers with X taint or
+        non-converged fact tables are kept (facts would be unusable).
         """
         from ..flow.defuse import payload_slice
 
@@ -204,14 +214,40 @@ class LossCheck:
                 ip_models=ip_models,
             )
         )
-        if self.source not in slice_regs or self.sink not in slice_regs:
+        if self.source in slice_regs and self.sink in slice_regs:
+            kept = [name for name in self.monitored if name in slice_regs]
+            if kept:
+                self.pruned_out = [
+                    name for name in self.monitored if name not in slice_regs
+                ]
+                self.monitored = kept
+        self._prune_constants(ip_models)
+
+    def _prune_constants(self, ip_models):
+        """Drop monitored registers the abstract facts prove constant."""
+        from ..flow.absint import compute_facts
+
+        try:
+            facts = compute_facts(
+                self.instrumenter.original, ip_models=ip_models
+            )
+        except Exception:
             return
-        kept = [name for name in self.monitored if name in slice_regs]
+        if not facts.converged:
+            return
+        constants = facts.constants()
+        protected = {self.source, self.sink}
+        dropped = [
+            name
+            for name in self.monitored
+            if name in constants and name not in protected
+        ]
+        if not dropped:
+            return
+        kept = [name for name in self.monitored if name not in dropped]
         if not kept:
             return
-        self.pruned_out = [
-            name for name in self.monitored if name not in slice_regs
-        ]
+        self.pruned_out.extend(dropped)
         self.monitored = kept
 
     def _record_prune_metrics(self):

@@ -65,6 +65,17 @@ RULES = {
     "L0406": "register is read but never reset (uninitialized until its "
              "write condition first fires)",
     "L0407": "FSM has states unreachable from its reset/initial states",
+    # -- value analysis / abstract interpretation (L05xx) -------------------
+    "L0501": "condition is provably always true or always false (dead "
+             "branch)",
+    "L0502": "case arm unreachable: subject can never equal its label value",
+    "L0503": "comparison can never be satisfied (constant exceeds the "
+             "operand's width or proven value range)",
+    "L0504": "uninitialized value (X) can reach an output or steer control "
+             "flow",
+    "L0505": "memory/array index is provably out of bounds",
+    "L0506": "divisor or modulus operand can be zero",
+    "L0507": "redundant mask: AND selects only bits proven zero",
     # -- check pipeline notes (L00xx) ---------------------------------------
     "L0001": "module skipped by tool passes (did not elaborate cleanly)",
 }

@@ -13,11 +13,15 @@ engine provides
   assignments plus port connections (already flattened by elaboration)
   plus blackbox edges from :class:`~repro.analysis.ip_models.IPAnalysisModel`;
 * :mod:`repro.flow.clockdomain` — per-signal clock-domain inference;
-* :mod:`repro.flow.checkers` — the L0401–L0407 semantic rules surfaced
-  through ``python -m repro check``.
+* :mod:`repro.flow.absint` — abstract interpretation (value ranges +
+  known bits + X taint) exporting a deterministic :class:`FactTable`;
+* :mod:`repro.flow.checkers` — the L0401–L0407 semantic rules and the
+  L0501–L0507 value rules surfaced through ``python -m repro check``.
 """
 
 from .solver import FixpointResult, reachable, solve
+from .domains import AbsValue
+from .absint import FactTable, analyze_values, compute_facts
 from .defuse import (
     DefUseChains,
     build_def_use,
@@ -45,6 +49,10 @@ __all__ = [
     "build_signal_graph",
     "DomainInference",
     "infer_domains",
+    "AbsValue",
+    "FactTable",
+    "analyze_values",
+    "compute_facts",
     "FlowReport",
     "analyze_flow",
     "run_flow_checks",

@@ -68,6 +68,8 @@ class FlowReport:
     loops: list = field(default_factory=list)
     #: Clock-domain inference result (exposed for tests/tools).
     domains: object = None
+    #: Abstract-interpretation facts (:class:`repro.flow.absint.FactTable`).
+    facts: object = None
     #: False only if a fixpoint hit its iteration cap (a flow bug).
     converged: bool = True
 
@@ -720,6 +722,7 @@ def analyze_flow(design, filename="<input>", ip_models=None):
     Returns a :class:`FlowReport`; use :func:`run_flow_checks` to also
     emit the findings into a :class:`~repro.diag.model.DiagnosticSink`.
     """
+    from .absint import analyze_values
     from .defuse import build_def_use
 
     module = getattr(design, "top", design)
@@ -727,11 +730,15 @@ def analyze_flow(design, filename="<input>", ip_models=None):
     graph = build_signal_graph(module, view=view, ip_models=ip_models)
     domains = infer_domains(module, view=view, graph=graph)
     chains = build_def_use(module, view=view)
+    facts, value_diagnostics = analyze_values(
+        module, filename=filename, ip_models=ip_models
+    )
     report = FlowReport(
         module=module.name,
         filename=filename,
         domains=domains,
-        converged=domains.converged,
+        facts=facts,
+        converged=domains.converged and facts.converged,
     )
     check_comb_loops(report, graph)
     check_cdc(report, module, view, graph, domains)
@@ -739,6 +746,7 @@ def analyze_flow(design, filename="<input>", ip_models=None):
     check_mixed_drivers(report, view)
     check_read_before_reset(report, module, view, chains)
     check_fsm_reachability(report, module)
+    report.diagnostics.extend(value_diagnostics)
     report.diagnostics.sort(key=Diagnostic.sort_key)
     return report
 

@@ -1,0 +1,281 @@
+"""Abstract value domains for :mod:`repro.flow.absint`.
+
+One :class:`AbsValue` is the reduced product of three domains over the
+unsigned ``width``-bit integers the two-state simulator computes with:
+
+* an **interval** ``[lo, hi]`` (unsigned; :meth:`signed_bounds` exposes
+  the two's-complement reading for reporting);
+* a **known-bits ternary**: ``ones`` are bit positions proven 1 in every
+  concrete value, ``zeros`` proven 0; a position in neither mask is
+  unknown (the 0/1/X ternary's X in the *value* sense);
+* an **X-taint mask** ``xmask``: bit positions that may carry an
+  uninitialized value on real four-state hardware (seeded at registers
+  with no reset arc and propagated through every operation). ``xmask``
+  never constrains concrete two-state values — it is provenance for the
+  L0504 checker, not a soundness claim.
+
+The reduction (:func:`_reduce`) propagates information between the
+interval and the bit masks both ways, so e.g. an AND with a constant
+immediately tightens ``hi`` and a singleton interval pins every bit.
+
+Everything is an immutable value object with total, deterministic
+operations; the join/widen pair keeps fixpoint chains finite (widening
+jumps a growing bound straight to the domain extreme, and the bit masks
+only ever shrink toward unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+def bit_mask(width):
+    """All-ones mask for *width* bits (0 for non-positive widths)."""
+    if width <= 0:
+        return 0
+    return (1 << width) - 1
+
+
+def _reduce(width, lo, hi, ones, zeros):
+    """Mutually tighten interval and bit masks; None on contradiction."""
+    m = bit_mask(width)
+    lo = max(0, lo)
+    hi = min(hi, m)
+    ones &= m
+    zeros &= m
+    if lo > hi or ones & zeros:
+        return None
+    # Bits above the highest reachable value are provably zero.
+    zeros |= m ^ bit_mask(hi.bit_length())
+    # Known ones give a floor; known zeros give a ceiling.
+    lo = max(lo, ones)
+    hi = min(hi, m ^ zeros)
+    if lo > hi or ones & zeros:
+        return None
+    if lo == hi:
+        ones = lo
+        zeros = m ^ lo
+    return lo, hi, ones, zeros
+
+
+@dataclass(frozen=True)
+class AbsValue:
+    """One signal's abstract fact: interval x known bits x X taint."""
+
+    width: int
+    lo: int
+    hi: int
+    ones: int = 0
+    zeros: int = 0
+    xmask: int = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def make(cls, width, lo, hi, ones=0, zeros=0, xmask=0):
+        """Reduced value; falls back to TOP on a contradictory request."""
+        width = max(1, width)
+        reduced = _reduce(width, lo, hi, ones, zeros)
+        if reduced is None:
+            return cls.top(width, xmask=xmask)
+        lo, hi, ones, zeros = reduced
+        return cls(width, lo, hi, ones, zeros, xmask & bit_mask(width))
+
+    @classmethod
+    def top(cls, width, xmask=0):
+        """No information beyond the width bound."""
+        width = max(1, width)
+        return cls(width, 0, bit_mask(width), 0, 0, xmask & bit_mask(width))
+
+    @classmethod
+    def const(cls, value, width=None, xmask=0):
+        """The singleton abstract value for a known constant."""
+        if width is None:
+            width = max(1, int(value).bit_length())
+        width = max(1, width)
+        value &= bit_mask(width)
+        return cls.make(width, value, value, xmask=xmask)
+
+    @classmethod
+    def boolean(cls, xmask=0):
+        """The 1-bit unknown truth value."""
+        return cls.top(1, xmask=1 if xmask else 0)
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_const(self):
+        return self.lo == self.hi
+
+    @property
+    def const_value(self):
+        return self.lo if self.lo == self.hi else None
+
+    @property
+    def is_top(self):
+        m = bit_mask(self.width)
+        return self.lo == 0 and self.hi == m and not self.ones and not self.zeros
+
+    def truth(self):
+        """Three-valued truthiness: True, False, or None (unknown)."""
+        if self.hi == 0:
+            return False
+        if self.lo > 0 or self.ones:
+            return True
+        return None
+
+    def can_be_zero(self):
+        return self.lo == 0 and not self.ones
+
+    def contains(self, value):
+        """Is the concrete *value* within this abstract value? (soundness)"""
+        return (
+            self.lo <= value <= self.hi
+            and not (value & self.zeros)
+            and (value & self.ones) == self.ones
+        )
+
+    def signed_bounds(self):
+        """Two's-complement (smin, smax) reading of the interval."""
+        half = 1 << (self.width - 1)
+        full = 1 << self.width
+        if self.hi < half:
+            return self.lo, self.hi
+        if self.lo >= half:
+            return self.lo - full, self.hi - full
+        return max(self.lo, half) - full, min(self.hi, half - 1)
+
+    # -- lattice operations -------------------------------------------------
+
+    def join(self, other):
+        """Least upper bound (hull of intervals, intersection of knowledge)."""
+        width = max(self.width, other.width)
+        a = self.resized(width)
+        b = other.resized(width)
+        return AbsValue.make(
+            width,
+            min(a.lo, b.lo),
+            max(a.hi, b.hi),
+            a.ones & b.ones,
+            a.zeros & b.zeros,
+            xmask=a.xmask | b.xmask,
+        )
+
+    def widen(self, new):
+        """Widen ``self`` (the previous fact) against the grown ``new``.
+
+        A growing bound jumps straight to the domain extreme so interval
+        chains are finite; the bit masks on the growing side are dropped
+        too (they are partly derived *from* the old bound and would
+        re-cap the jump, turning one widening step into a per-bit
+        doubling chain). Taint lives in a finite lattice and is taken
+        from *new* unchanged.
+        """
+        width = max(self.width, new.width)
+        old = self.resized(width)
+        grown = new.resized(width)
+        lo, ones = grown.lo, grown.ones
+        hi, zeros = grown.hi, grown.zeros
+        if grown.lo < old.lo:
+            lo, ones = 0, 0
+        if grown.hi > old.hi:
+            hi, zeros = bit_mask(width), 0
+        return AbsValue.make(width, lo, hi, ones, zeros, xmask=grown.xmask)
+
+    # -- width adjustment ---------------------------------------------------
+
+    def resized(self, width):
+        """This value re-masked to *width* bits (``value & mask(width)``).
+
+        Growing the width adds known-zero high bits; shrinking it keeps
+        the low bits' knowledge and collapses the interval to the full
+        range when the old interval does not fit (masking may wrap).
+        """
+        width = max(1, width)
+        if width == self.width:
+            return self
+        m = bit_mask(width)
+        if width > self.width:
+            extra = m ^ bit_mask(self.width)
+            return AbsValue.make(
+                width, self.lo, self.hi, self.ones, self.zeros | extra,
+                xmask=self.xmask,
+            )
+        if self.hi <= m:
+            return AbsValue.make(
+                width, self.lo, self.hi, self.ones & m, self.zeros & m,
+                xmask=self.xmask & m,
+            )
+        return AbsValue.make(
+            width, 0, m, self.ones & m, self.zeros & m, xmask=self.xmask & m
+        )
+
+    def with_xmask(self, xmask):
+        """Same value knowledge, replaced taint mask."""
+        return replace(self, xmask=xmask & bit_mask(self.width))
+
+    # -- bit-level helpers (used by the abstract evaluator) -----------------
+
+    def shifted_right(self, amount):
+        """``value >> amount`` for a known non-negative *amount*."""
+        width = max(1, self.width - amount)
+        return AbsValue.make(
+            width,
+            self.lo >> amount,
+            self.hi >> amount,
+            self.ones >> amount,
+            (self.zeros >> amount) | (bit_mask(width) ^ bit_mask(self.width - amount)),
+            xmask=self.xmask >> amount,
+        )
+
+    def shifted_left(self, amount, width):
+        """``(value << amount) & mask(width)`` for a known *amount*."""
+        m = bit_mask(width)
+        if amount >= width:
+            return AbsValue.const(0, width)
+        low_zero = bit_mask(min(amount, width))
+        if self.hi << amount <= m:
+            return AbsValue.make(
+                width,
+                self.lo << amount,
+                self.hi << amount,
+                (self.ones << amount) & m,
+                ((self.zeros << amount) | low_zero) & m,
+                xmask=(self.xmask << amount) & m,
+            )
+        # The shift can wrap: only the freshly-vacated low bits are known.
+        return AbsValue.make(
+            width, 0, m, 0, low_zero,
+            xmask=m if self.xmask else 0,
+        )
+
+    # -- rendering ----------------------------------------------------------
+
+    def to_dict(self):
+        """Deterministic JSON-friendly rendering (the FactTable entry)."""
+        return {
+            "width": self.width,
+            "lo": self.lo,
+            "hi": self.hi,
+            "ones": self.ones,
+            "zeros": self.zeros,
+            "xmask": self.xmask,
+        }
+
+    def describe(self):
+        """Compact human-readable rendering for diagnostics."""
+        if self.is_const:
+            return "constant %d" % self.lo
+        text = "[%d, %d]" % (self.lo, self.hi)
+        if self.ones or self.zeros:
+            bits = []
+            for position in range(self.width - 1, -1, -1):
+                bit = 1 << position
+                if self.ones & bit:
+                    bits.append("1")
+                elif self.zeros & bit:
+                    bits.append("0")
+                else:
+                    bits.append("x")
+            text += " bits=%s" % "".join(bits)
+        return text

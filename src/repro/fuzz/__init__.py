@@ -36,6 +36,7 @@ from .oracles import (
     ORACLE_NAMES,
     ORACLES,
     OracleOutcome,
+    absint_oracle,
     differential_oracle,
     metamorphic_oracle,
     roundtrip_oracle,
@@ -64,6 +65,7 @@ __all__ = [
     "ORACLE_NAMES",
     "ORACLES",
     "OracleOutcome",
+    "absint_oracle",
     "roundtrip_oracle",
     "differential_oracle",
     "metamorphic_oracle",

@@ -1,6 +1,6 @@
 """Correctness oracles: what a fuzz case must satisfy to pass.
 
-Five oracle families, each checking a different layer of the stack:
+Six oracle families, each checking a different layer of the stack:
 
 * **round-trip** — ``parse(codegen(parse(src)))`` must be AST-equal to
   ``parse(src)``: the parser and code generator are inverses over the
@@ -25,6 +25,13 @@ Five oracle families, each checking a different layer of the stack:
   fixpoint converges, only registered L04xx codes with sane spans, and
   two runs render byte-identical findings. Violations are flow-engine
   bugs.
+* **absint** — the abstract interpreter's per-signal facts must be
+  *sound*: simulating the design under seeded stimulus, no concrete
+  value may ever escape its static interval or contradict its known
+  bits; the fact fixpoint must converge (a cap hit is a failure, since
+  capped facts are unusable under-approximations) and two runs must
+  render byte-identical :class:`~repro.flow.absint.FactTable` JSON.
+  Violations are abstract-domain/transfer-function bugs.
 
 All oracles take Verilog source text, so reducer output can be re-run
 through the same predicate unchanged. Outcomes are ``pass``, ``fail``
@@ -54,7 +61,9 @@ FAIL = "fail"
 INAPPLICABLE = "inapplicable"
 
 #: Oracle registry: name -> callable(text, top, seed, cycles).
-ORACLE_NAMES = ("roundtrip", "differential", "metamorphic", "lint", "flow")
+ORACLE_NAMES = (
+    "roundtrip", "differential", "metamorphic", "lint", "flow", "absint"
+)
 
 _RESET_HIGH = frozenset(["rst", "reset"])
 _RESET_LOW = frozenset(["rst_n", "resetn", "rstn", "nreset"])
@@ -500,10 +509,87 @@ def flow_oracle(text, top=None, seed=0, cycles=48):
     return OracleOutcome(oracle="flow", status=PASS)
 
 
+def absint_oracle(text, top=None, seed=0, cycles=48, max_iterations=None):
+    """Abstract facts must be sound against simulation and deterministic.
+
+    On every design that elaborates, :func:`repro.flow.compute_facts`
+    must (a) not crash, (b) converge — capped facts are unsound
+    under-approximations and count as failures, (c) render a
+    byte-identical ``FactTable`` across two runs, and (d) be *sound*:
+    simulating the design under the seeded stimulus, every per-cycle
+    settled value of every tracked signal (memory elements included)
+    stays inside its static interval and consistent with its known
+    0/1 bits. ``max_iterations`` (tests only) lowers the solver cap to
+    exercise the cap-hit-is-failure path.
+    """
+    from ..flow import compute_facts
+    from ..hdl.lexer import LexerError
+    from ..hdl.parser import ParseError
+
+    try:
+        design = elaborate(parse(text), top=top)
+    except (LexerError, ParseError, ValueError) as exc:
+        return OracleOutcome(
+            oracle="absint",
+            status=INAPPLICABLE,
+            detail="design does not elaborate (%s)" % type(exc).__name__,
+        )
+    module = design.top
+    try:
+        first = compute_facts(module, max_iterations=max_iterations)
+        second = compute_facts(module, max_iterations=max_iterations)
+    except Exception as exc:
+        return OracleOutcome(
+            oracle="absint",
+            status=FAIL,
+            detail="abstract interpreter crashed: %s: %s"
+            % (type(exc).__name__, exc),
+        )
+    if not first.converged:
+        return OracleOutcome(
+            oracle="absint",
+            status=FAIL,
+            detail="fact fixpoint hit its iteration cap after %d "
+            "iterations" % first.iterations,
+        )
+    if first.render() != second.render():
+        return OracleOutcome(
+            oracle="absint",
+            status=FAIL,
+            detail="fact table is not byte-deterministic",
+        )
+    clock = dominant_clock(module)
+    stimulus = build_stimulus(module, seed, cycles, clock)
+    trace, _sim = simulate_trace(design, stimulus, clock)
+    for cycle, snapshot in enumerate(trace):
+        for name, value in snapshot.items():
+            fact = first.get(name)
+            if fact is None:
+                continue
+            values = value if isinstance(value, list) else [value]
+            for index, element in enumerate(values):
+                if fact.contains(element):
+                    continue
+                where = (
+                    "%s[%d]" % (name, index)
+                    if isinstance(value, list)
+                    else name
+                )
+                return OracleOutcome(
+                    oracle="absint",
+                    status=FAIL,
+                    detail="soundness violation: %s = %d at cycle %d "
+                    "escapes its static fact %s"
+                    % (where, element, cycle, fact.describe()),
+                )
+    return OracleOutcome(oracle="absint", status=PASS)
+
+
 ORACLES = {
     "roundtrip": roundtrip_oracle,
     "differential": differential_oracle,
     "metamorphic": metamorphic_oracle,
     "lint": lint_oracle,
     "flow": flow_oracle,
+    "absint": absint_oracle,
 }

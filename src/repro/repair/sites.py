@@ -8,9 +8,9 @@ of trust:
 1. **LossCheck localization** (rank 0) — for loss bugs, the shadow
    variables LossCheck's analyze() names are the registers where data
    actually disappeared;
-2. **`repro check` findings** (rank 1) — L03xx lint and L04xx flow
-   findings carry both a source line and, usually, a quoted signal
-   name;
+2. **`repro check` findings** (rank 1) — L03xx lint, L04xx flow, and
+   L05xx value-analysis findings carry both a source line and,
+   usually, a quoted signal name;
 3. **fault sensitivity** (rank 2) — an architecture-only
    :class:`~repro.faults.scoring.DetectionScorer` flips one bit in each
    state register mid-scenario; registers whose flip perturbs the
@@ -72,7 +72,7 @@ def _losscheck_sites(bug_id):
 
 
 def _check_sites(bug_id):
-    """Lint (L03xx) and flow (L04xx) findings: lines + quoted signals."""
+    """Lint (L03xx), flow (L04xx), and value (L05xx) findings."""
     sites = []
     try:
         results = check_targets([bug_id])
@@ -82,7 +82,7 @@ def _check_sites(bug_id):
         )]
     for result in results:
         for diag in result.sink.diagnostics:
-            if not diag.code.startswith(("L03", "L04")):
+            if not diag.code.startswith(("L03", "L04", "L05")):
                 continue
             names = _QUOTED_NAME.findall(diag.message)
             if not names:

@@ -1,0 +1,29 @@
+// A payload path with a provably-constant register riding along.
+//
+// `dbg_tag` is a debug tap that was wired off (`& 8'h00`) but left
+// instantiated: it sits on the in_data -> out_q payload slice (its
+// value feeds the sum), yet abstract interpretation proves it constant
+// zero in every reachable state. The payload-slice prune alone keeps
+// it; the absint constant cut drops it from LossCheck's monitored set.
+module constant_tap (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    output reg [7:0] out_q
+);
+    reg [7:0] stage;
+    reg [7:0] dbg_tag;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            stage <= 0;
+            dbg_tag <= 0;
+            out_q <= 0;
+        end else begin
+            if (in_valid) stage <= in_data;
+            dbg_tag <= (in_data >> 4) & 8'h00;
+            out_q <= stage + dbg_tag;
+        end
+    end
+endmodule

@@ -1,0 +1,26 @@
+// Widening stress: without widening, the interval on `count` climbs
+// one step per fixpoint iteration ([0,0], [0,1], ... toward 65535) and
+// the solver's cap would trip long before convergence. Widening at the
+// sequential back-edge jumps the growing bound to the domain extreme
+// after two visits, so the analysis converges in a handful of passes —
+// and still proves the guard impossible: 17'h10000 does not fit in
+// count's 16 bits, so `hit` can never be set (L0503; the L0501
+// dead-branch finding is suppressed as explained by the L0503).
+module divergent_counter (
+    input wire clk,
+    input wire rst,
+    input wire en,
+    output reg hit
+);
+    reg [15:0] count;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            count <= 0;
+            hit <= 0;
+        end else if (en) begin
+            count <= count + 1;
+            if (count == 17'h10000) hit <= 1;
+        end
+    end
+endmodule

@@ -400,6 +400,33 @@ class TestCheck:
         hopeless = check_text("utter ( garbage", select=("L04",))
         assert hopeless.exit_code == 3
 
+    def test_select_strict_contract_covers_l05(self):
+        # A value-level finding (L0501: provably-dead branch) obeys the
+        # same prefix-filter and exit-code contract as L03/L04.
+        l05_source = (
+            "module m (input wire clk, output reg q);\n"
+            "  reg [3:0] zero;\n"
+            "  always @(posedge clk) begin\n"
+            "    zero <= 0;\n"
+            "    if (zero[1]) q <= 1; else q <= 0;\n"
+            "  end\nendmodule"
+        )
+        selected = check_text(l05_source, run_tools=False, select=("L05",))
+        assert selected.sink.diagnostics
+        assert all(
+            d.code.startswith("L05") for d in selected.sink.diagnostics
+        )
+        # L05 findings are warnings: exit 0 by default, 1 under --strict.
+        assert selected.exit_code == 0
+        strict = check_text(
+            l05_source, run_tools=False, select=("L05",), strict=True
+        )
+        assert strict.exit_code == 1
+        ignored = check_text(l05_source, run_tools=False, ignore=("L05",))
+        assert not any(
+            d.code.startswith("L05") for d in ignored.sink.diagnostics
+        )
+
     def test_report_schema_and_determinism(self):
         results = check_targets(["D3"], run_tools=False)
         report = build_check_report(results)
@@ -431,7 +458,12 @@ class TestCheck:
     def test_cli_check_bug_id(self, capsys):
         from repro.cli import main
 
+        # D6 is structurally clean; the value pass (L05xx) warns about
+        # its never-reset output cone, so warnings exist but the exit
+        # code stays 0 without --strict.
         assert main(["check", "D6", "--no-tools"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+        assert main(["check", "D6", "--no-tools", "--ignore", "L05"]) == 0
         assert "clean" in capsys.readouterr().out
 
     def test_obs_counters_wired(self):
